@@ -1,0 +1,37 @@
+//! Figure 2 as a micro-benchmark: the full analyse → reduce → schedule →
+//! allocate pipeline on the paper's worked example.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rs_core::model::{RegType, Target};
+use rs_core::pipeline::Pipeline;
+use rs_kernels::figure2::figure2;
+use rs_sched::{ListScheduler, RegisterAllocator, Resources};
+
+fn bench_figure2_pipeline(c: &mut Criterion) {
+    c.bench_function("figure2_full_pipeline", |b| {
+        b.iter(|| {
+            let (mut ddg, _) = figure2(Target::superscalar());
+            let report = Pipeline {
+                budgets: vec![(RegType::FLOAT, 3)],
+                verify_exact: false,
+            }
+            .run(black_box(&mut ddg));
+            let sched = ListScheduler::new(Resources::four_issue()).schedule(&ddg);
+            let alloc = RegisterAllocator::new().allocate(&ddg, RegType::FLOAT, &sched.sigma, 3);
+            assert!(report.all_fit() && alloc.success());
+            (report, sched.makespan)
+        });
+    });
+}
+
+fn bench_figure2_analysis_only(c: &mut Criterion) {
+    let (ddg, _) = figure2(Target::superscalar());
+    c.bench_function("figure2_exact_rs", |b| {
+        b.iter(|| {
+            rs_core::exact::ExactRs::new().saturation(black_box(&ddg), RegType::FLOAT)
+        });
+    });
+}
+
+criterion_group!(benches, bench_figure2_pipeline, bench_figure2_analysis_only);
+criterion_main!(benches);

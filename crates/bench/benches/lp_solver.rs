@@ -1,0 +1,70 @@
+//! Benchmarks for the LP/MILP substrate — the CPLEX stand-in whose speed
+//! bounds the exact experiments (the paper reports "many seconds to many
+//! days" for its CPLEX runs).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rs_lp::{solve, solve_relaxation, Cmp, LinExpr, MilpConfig, Model, Sense, VarKind};
+
+/// A dense random-ish LP with `n` variables and `n` constraints
+/// (deterministic coefficients).
+fn make_lp(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..n)
+        .map(|i| m.add_var(format!("x{i}"), VarKind::Continuous, 0.0, 50.0))
+        .collect();
+    for i in 0..n {
+        let mut e = LinExpr::new();
+        for (j, &v) in vars.iter().enumerate() {
+            let coef = ((i * 7 + j * 13) % 5) as f64 + 1.0;
+            e = e + (coef, v);
+        }
+        m.add_constraint(e, Cmp::Le, (100 + i * 10) as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &v) in vars.iter().enumerate() {
+        obj = obj + ((j % 7 + 1) as f64, v);
+    }
+    m.set_objective(obj);
+    m
+}
+
+/// A binary knapsack MILP with `n` items.
+fn make_knapsack(n: usize) -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let mut w = LinExpr::new();
+    let mut val = LinExpr::new();
+    for i in 0..n {
+        let x = m.add_var(format!("b{i}"), VarKind::Binary, 0.0, 1.0);
+        w = w + (((i * 5) % 11 + 1) as f64, x);
+        val = val + (((i * 3) % 9 + 1) as f64, x);
+    }
+    m.add_constraint(w, Cmp::Le, (n as f64) * 2.5);
+    m.set_objective(val);
+    m
+}
+
+fn bench_simplex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simplex_relaxation");
+    for &n in &[10usize, 25, 50, 100] {
+        let m = make_lp(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| solve_relaxation(black_box(m)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_milp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("milp_knapsack");
+    group.sample_size(20);
+    for &n in &[10usize, 16, 22] {
+        let m = make_knapsack(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &m, |b, m| {
+            b.iter(|| solve(black_box(m), &MilpConfig::default()).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simplex, bench_milp);
+criterion_main!(benches);

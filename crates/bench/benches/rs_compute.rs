@@ -1,0 +1,68 @@
+//! **T5 (computation side)** — wall-time scaling of RS computation:
+//! Greedy-k heuristic vs combinatorial exact vs the Section-3 intLP.
+//!
+//! The paper notes its exact CPLEX runs took "many seconds to many days";
+//! the reproduced shape is the same — the heuristic is orders of magnitude
+//! faster than both exact methods, and the intLP is the slowest.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rs_core::exact::ExactRs;
+use rs_core::heuristic::GreedyK;
+use rs_core::ilp::RsIlp;
+use rs_core::model::{RegType, Target};
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+
+fn bench_heuristic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_heuristic_greedy_k");
+    for &n in &[12usize, 20, 32, 48, 64] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 3), Target::superscalar());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
+            b.iter(|| GreedyK::new().saturation(black_box(ddg), RegType::FLOAT));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_enum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_exact_enumeration");
+    group.sample_size(20);
+    for &n in &[12usize, 16, 20, 24] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 3), Target::superscalar());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
+            b.iter(|| ExactRs::new().saturation(black_box(ddg), RegType::FLOAT));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_exact_intlp");
+    group.sample_size(10);
+    for &n in &[6usize, 8, 10] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 3), Target::superscalar());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
+            b.iter(|| RsIlp::new().saturation(black_box(ddg), RegType::FLOAT).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rs_heuristic_kernels");
+    for k in rs_kernels::corpus() {
+        let ddg = (k.build)(Target::superscalar());
+        group.bench_with_input(BenchmarkId::from_parameter(k.name), &ddg, |b, ddg| {
+            b.iter(|| GreedyK::new().saturation(black_box(ddg), RegType::FLOAT));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristic,
+    bench_exact_enum,
+    bench_exact_ilp,
+    bench_kernels
+);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! **T5 (reduction side)** — wall-time of RS reduction: heuristic value
+//! serialization vs the Section-4 exact intLP.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rs_core::heuristic::GreedyK;
+use rs_core::ilp::ReduceIlp;
+use rs_core::model::{RegType, Target};
+use rs_core::reduce::Reducer;
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+
+fn bench_heuristic_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_heuristic");
+    group.sample_size(20);
+    for &n in &[12usize, 20, 32] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 5), Target::superscalar());
+        let rs0 = GreedyK::new().saturation(&ddg, RegType::FLOAT).saturation;
+        if rs0 < 3 {
+            continue;
+        }
+        let budget = rs0 - 2;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
+            b.iter(|| {
+                let mut d = ddg.clone();
+                Reducer::new().reduce(black_box(&mut d), RegType::FLOAT, budget)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_exact_intlp");
+    group.sample_size(10);
+    for &n in &[6usize, 8] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 5), Target::superscalar());
+        let rs0 = GreedyK::new().saturation(&ddg, RegType::FLOAT).saturation;
+        if rs0 < 2 {
+            continue;
+        }
+        let budget = rs0 - 1;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
+            b.iter(|| {
+                let mut d = ddg.clone();
+                let _ = ReduceIlp::new().reduce(black_box(&mut d), RegType::FLOAT, budget);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_kernel_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_heuristic_kernels");
+    group.sample_size(20);
+    for name in ["lll7", "ddot", "swim"] {
+        let k = rs_kernels::corpus()
+            .into_iter()
+            .find(|k| k.name == name)
+            .unwrap();
+        let ddg = (k.build)(Target::superscalar());
+        let rs0 = GreedyK::new().saturation(&ddg, RegType::FLOAT).saturation;
+        let budget = (rs0 / 2).max(2);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &ddg, |b, ddg| {
+            b.iter(|| {
+                let mut d = ddg.clone();
+                Reducer::new().reduce(black_box(&mut d), RegType::FLOAT, budget)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_heuristic_reduce,
+    bench_exact_reduce,
+    bench_kernel_reduce
+);
+criterion_main!(benches);

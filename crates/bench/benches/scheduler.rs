@@ -1,0 +1,43 @@
+//! Benchmarks for the downstream list scheduler and register allocator.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rs_core::model::{RegType, Target};
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+use rs_sched::{ListScheduler, RegisterAllocator, Resources};
+
+fn bench_list_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("list_scheduler");
+    for &n in &[16usize, 32, 64, 128] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 17), Target::superscalar());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
+            b.iter(|| ListScheduler::new(Resources::four_issue()).schedule(black_box(ddg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_allocator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("register_allocator");
+    for &n in &[16usize, 32, 64, 128] {
+        let ddg = random_ddg(&RandomDagConfig::sized(n, 17), Target::superscalar());
+        let sched = ListScheduler::new(Resources::four_issue()).schedule(&ddg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(ddg, sched),
+            |b, (ddg, sched)| {
+                b.iter(|| {
+                    RegisterAllocator::new().allocate(
+                        black_box(ddg),
+                        RegType::FLOAT,
+                        &sched.sigma,
+                        64,
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_list_scheduler, bench_allocator);
+criterion_main!(benches);

@@ -1,0 +1,140 @@
+//! Shared experiment plumbing: the evaluation corpus, a deterministic
+//! parallel map, and result output.
+
+use rs_core::model::{Ddg, RegType, Target};
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// A DAG under evaluation: name + register type to analyse.
+pub struct Case {
+    /// Display name, e.g. `"lll1/float"` or `"rand16/seed3"`.
+    pub name: String,
+    /// The DDG.
+    pub ddg: Ddg,
+    /// Register type under analysis.
+    pub reg_type: RegType,
+}
+
+/// The named kernels, one case per register type with ≥ 2 values.
+pub fn kernel_cases(target: Target) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for k in rs_kernels::corpus() {
+        let ddg = (k.build)(target.clone());
+        for t in ddg.reg_types() {
+            if ddg.values(t).len() >= 2 {
+                cases.push(Case {
+                    name: format!("{}/{:?}", k.name, t),
+                    ddg: ddg.clone(),
+                    reg_type: t,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Random cases: `count` DAGs per size in `sizes`, float type only.
+pub fn random_cases(sizes: &[usize], count: usize, target: Target) -> Vec<Case> {
+    let mut cases = Vec::new();
+    for &n in sizes {
+        for i in 0..count {
+            let cfg = RandomDagConfig::sized(n, 0x5EED_0000 + (n as u64) * 1000 + i as u64);
+            let ddg = random_ddg(&cfg, target.clone());
+            if ddg.values(RegType::FLOAT).len() >= 2 {
+                cases.push(Case {
+                    name: format!("rand{n}/s{i}"),
+                    ddg,
+                    reg_type: RegType::FLOAT,
+                });
+            }
+        }
+    }
+    cases
+}
+
+/// Order-preserving parallel map with scoped threads — the experiments are
+/// embarrassingly parallel per DAG.
+pub fn par_map<T: Send, O: Send>(items: Vec<T>, threads: usize, f: impl Fn(T) -> O + Sync) -> Vec<O> {
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, n);
+    let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+    let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
+    let queue = parking_lot::Mutex::new(work);
+    let results = parking_lot::Mutex::new(&mut slots);
+
+    crossbeam::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|_| loop {
+                let item = queue.lock().pop();
+                match item {
+                    Some((idx, t)) => {
+                        let out = f(t);
+                        results.lock()[idx] = Some(out);
+                    }
+                    None => break,
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    slots.into_iter().map(|s| s.expect("slot filled")).collect()
+}
+
+/// Writes a text report and a JSON sidecar under `results/`.
+pub fn write_report<S: Serialize>(dir: &Path, name: &str, text: &str, data: &S) {
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let txt_path = dir.join(format!("{name}.txt"));
+    let mut f = std::fs::File::create(&txt_path).expect("create report");
+    f.write_all(text.as_bytes()).expect("write report");
+    let json_path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(data).expect("serialize");
+    std::fs::write(json_path, json).expect("write json");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_cases_cover_corpus() {
+        let cases = kernel_cases(Target::superscalar());
+        assert!(cases.len() >= 13, "got {}", cases.len());
+        // names unique
+        let mut names: Vec<_> = cases.iter().map(|c| c.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), cases.len());
+    }
+
+    #[test]
+    fn random_cases_deterministic() {
+        let a = random_cases(&[12], 3, Target::superscalar());
+        let b = random_cases(&[12], 3, Target::superscalar());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.ddg.graph().edge_count(), y.ddg.graph().edge_count());
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..50).collect();
+        let out = par_map(items.clone(), 8, |x| x * x);
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_map_empty_and_single_thread() {
+        let out: Vec<u32> = par_map(Vec::<u32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+        let out = par_map(vec![1u32, 2, 3], 1, |x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

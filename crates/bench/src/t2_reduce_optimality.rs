@@ -1,0 +1,282 @@
+//! **T2 — RS reduction optimality** (Section 5, category table).
+//!
+//! The paper classifies every (DAG, register budget) trial by comparing the
+//! heuristic reduction against the optimal intLP reduction:
+//!
+//! | category | meaning | paper |
+//! |---|---|---|
+//! | (i)(a)  | optimal RS reduction, optimal ILP loss | 72.22 % |
+//! | (i)(b)  | optimal RS reduction, sub-optimal ILP loss | 18.5 % |
+//! | (ii)(a) | sub-optimal RS reduction, optimal ILP loss | 4.63 % |
+//! | (ii)(b) | sub-optimal RS reduction, sub-optimal ILP loss | < 1 % |
+//! | (ii)(c) | sub-optimal RS reduction, *super*-optimal ILP loss (extra registers buy ILP) | 3.7 % |
+//!
+//! Interpretation used here (see EXPERIMENTS.md): the *reduction achieved*
+//! is optimal when the heuristic's reduced DAG meets the budget wherever
+//! the exact method does; ILP loss is the critical-path increase. Exact
+//! reduction comes from the Section-4 intLP, so trials are restricted to
+//! intLP-tractable sizes.
+
+use crate::common::{par_map, random_cases, Case};
+use rs_core::exact::ExactRs;
+use rs_core::ilp::{ReduceIlp, ReduceIlpError};
+use rs_core::model::Target;
+use rs_core::reduce::Reducer;
+use rs_lp::MilpConfig;
+use serde::Serialize;
+use std::fmt::Write;
+
+/// Classification of one trial.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Category {
+    /// Optimal reduction, optimal ILP loss.
+    IA,
+    /// Optimal reduction, sub-optimal ILP loss.
+    IB,
+    /// Sub-optimal reduction, optimal ILP loss.
+    IIA,
+    /// Sub-optimal reduction, sub-optimal ILP loss.
+    IIB,
+    /// Sub-optimal reduction, super-optimal ILP loss.
+    IIC,
+    /// Both methods agree the budget is infeasible (spill unavoidable) —
+    /// not counted in the paper's percentages.
+    BothInfeasible,
+}
+
+/// One (DAG, budget) trial.
+#[derive(Clone, Debug, Serialize)]
+pub struct Trial {
+    /// Case name.
+    pub name: String,
+    /// Register budget targeted.
+    pub budget: usize,
+    /// Saturation before reduction.
+    pub rs_before: usize,
+    /// Exact saturation of the heuristic's reduced DAG (`usize::MAX` if the
+    /// heuristic failed).
+    pub heur_rs_after: Option<usize>,
+    /// Heuristic ILP loss (critical-path increase).
+    pub heur_ilp_loss: Option<i64>,
+    /// Exact saturation of the intLP's reduced DAG.
+    pub opt_rs_after: Option<usize>,
+    /// Optimal ILP loss.
+    pub opt_ilp_loss: Option<i64>,
+    /// Category.
+    pub category: Category,
+}
+
+/// Aggregate report.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// All trials.
+    pub trials: Vec<Trial>,
+    /// Percentage per category, in (i)(a), (i)(b), (ii)(a), (ii)(b), (ii)(c)
+    /// order, over classified trials.
+    pub percentages: [f64; 5],
+}
+
+/// Runs the experiment on intLP-tractable DAGs.
+pub fn run(quick: bool) -> (String, Report) {
+    let target = Target::superscalar();
+    // Small random DAGs: the intLP must stay tractable (n ≤ ~8 values).
+    let count = if quick { 4 } else { 14 };
+    let cases = random_cases(&[6, 8, 10], count, target)
+        .into_iter()
+        .filter(|c| {
+            let v = c.ddg.values(c.reg_type).len();
+            (2..=6).contains(&v)
+        })
+        .collect::<Vec<_>>();
+
+    let trials: Vec<Vec<Trial>> = par_map(cases, num_threads(), |case: Case| {
+        let t = case.reg_type;
+        let rs0 = ExactRs::new().saturation(&case.ddg, t);
+        let mut out = Vec::new();
+        // sweep budgets below the saturation
+        let max_drop = if quick { 2 } else { 3 };
+        for drop in 1..=max_drop.min(rs0.saturation.saturating_sub(1)) {
+            let budget = rs0.saturation - drop;
+            out.push(run_trial(&case, budget, rs0.saturation));
+        }
+        out
+    });
+    let trials: Vec<Trial> = trials.into_iter().flatten().collect();
+
+    let mut counts = [0usize; 5];
+    let mut classified = 0usize;
+    for tr in &trials {
+        let idx = match tr.category {
+            Category::IA => 0,
+            Category::IB => 1,
+            Category::IIA => 2,
+            Category::IIB => 3,
+            Category::IIC => 4,
+            Category::BothInfeasible => continue,
+        };
+        counts[idx] += 1;
+        classified += 1;
+    }
+    let percentages = counts.map(|c| 100.0 * c as f64 / classified.max(1) as f64);
+
+    let mut text = String::new();
+    let _ = writeln!(text, "T2 — RS reduction: heuristic vs optimal intLP");
+    let _ = writeln!(text, "==============================================");
+    let _ = writeln!(
+        text,
+        "{:<14} {:>3} {:>4} | {:>6} {:>6} | {:>6} {:>6} | {:?}",
+        "case", "R", "RS0", "RS*aft", "ILP*", "RSaft", "ILP", "cat"
+    );
+    for tr in &trials {
+        let _ = writeln!(
+            text,
+            "{:<14} {:>3} {:>4} | {:>6} {:>6} | {:>6} {:>6} | {:?}",
+            tr.name,
+            tr.budget,
+            tr.rs_before,
+            opt_str(tr.heur_rs_after),
+            opt_str_i(tr.heur_ilp_loss),
+            opt_str(tr.opt_rs_after),
+            opt_str_i(tr.opt_ilp_loss),
+            tr.category,
+        );
+    }
+    let labels = ["(i)(a)", "(i)(b)", "(ii)(a)", "(ii)(b)", "(ii)(c)"];
+    let paper = [72.22, 18.5, 4.63, 1.0, 3.7];
+    let _ = writeln!(text, "\ncategory breakdown over {classified} classified trials:");
+    let _ = writeln!(text, "{:<8} {:>9} {:>12}", "cat", "measured", "paper");
+    for i in 0..5 {
+        let _ = writeln!(
+            text,
+            "{:<8} {:>8.2}% {:>11.2}%{}",
+            labels[i],
+            percentages[i],
+            paper[i],
+            if i == 3 { " (paper: <1%)" } else { "" }
+        );
+    }
+
+    let report = Report {
+        trials,
+        percentages,
+    };
+    (text, report)
+}
+
+fn run_trial(case: &Case, budget: usize, rs_before: usize) -> Trial {
+    let t = case.reg_type;
+
+    // Heuristic reduction.
+    let mut heur_ddg = case.ddg.clone();
+    let cp_before = heur_ddg.critical_path();
+    let heur_out = Reducer::new().reduce(&mut heur_ddg, t, budget);
+    let (heur_rs_after, heur_ilp_loss) = if heur_out.fits() {
+        let rs = ExactRs::new().saturation(&heur_ddg, t).saturation;
+        (Some(rs), Some(heur_ddg.critical_path() - cp_before))
+    } else {
+        (None, None)
+    };
+
+    // Optimal reduction (Section-4 intLP).
+    let mut opt_ddg = case.ddg.clone();
+    let milp = MilpConfig {
+        time_limit: Some(std::time::Duration::from_secs(20)),
+        ..MilpConfig::default()
+    };
+    let opt = ReduceIlp {
+        milp,
+        ..ReduceIlp::new()
+    }
+    .reduce(&mut opt_ddg, t, budget);
+    let (opt_rs_after, opt_ilp_loss) = match &opt {
+        Ok(_res) => {
+            let rs = ExactRs::new().saturation(&opt_ddg, t).saturation;
+            (Some(rs), Some(opt_ddg.critical_path() - cp_before))
+        }
+        Err(ReduceIlpError::SpillUnavoidable) => (None, None),
+        Err(ReduceIlpError::Budget) => (None, None),
+    };
+
+    let category = classify(budget, heur_rs_after, heur_ilp_loss, opt_rs_after, opt_ilp_loss);
+    Trial {
+        name: case.name.clone(),
+        budget,
+        rs_before,
+        heur_rs_after,
+        heur_ilp_loss,
+        opt_rs_after,
+        opt_ilp_loss,
+        category,
+    }
+}
+
+fn classify(
+    budget: usize,
+    heur_rs: Option<usize>,
+    heur_ilp: Option<i64>,
+    opt_rs: Option<usize>,
+    opt_ilp: Option<i64>,
+) -> Category {
+    match (heur_rs, opt_rs) {
+        (None, None) => Category::BothInfeasible,
+        (Some(h), Some(_o)) => {
+            let heur_ok = h <= budget;
+            let (hi, oi) = (heur_ilp.unwrap(), opt_ilp.unwrap());
+            if heur_ok {
+                if hi <= oi {
+                    Category::IA
+                } else {
+                    Category::IB
+                }
+            } else if hi == oi {
+                Category::IIA
+            } else if hi > oi {
+                Category::IIB
+            } else {
+                Category::IIC
+            }
+        }
+        // Heuristic failed where the optimal succeeded: sub-optimal
+        // reduction; with no heuristic graph to measure, ILP compares as
+        // super-optimal (the untouched DAG keeps all its ILP).
+        (None, Some(_)) => Category::IIC,
+        // Heuristic "succeeded" where the exact method proved infeasibility
+        // cannot happen: heuristic success is witnessed by a valid graph.
+        (Some(_), None) => Category::IA,
+    }
+}
+
+fn opt_str(v: Option<usize>) -> String {
+    v.map_or("-".into(), |x| x.to_string())
+}
+
+fn opt_str_i(v: Option<i64>) -> String {
+    v.map_or("-".into(), |x| x.to_string())
+}
+
+fn num_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_dominated_by_both_optimal() {
+        let (text, report) = run(true);
+        assert!(text.contains("category breakdown"));
+        assert!(!report.trials.is_empty());
+        // shape of the paper's table: (i)(a) dominates, (ii)(b) rare
+        assert!(
+            report.percentages[0] >= 50.0,
+            "(i)(a) should dominate: {:?}",
+            report.percentages
+        );
+        assert!(
+            report.percentages[3] <= 10.0,
+            "(ii)(b) should be rare: {:?}",
+            report.percentages
+        );
+    }
+}

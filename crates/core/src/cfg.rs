@@ -1,0 +1,330 @@
+//! Global register saturation over an acyclic control-flow graph
+//! (Section 6, "In the case of a global scheduler", and the conclusion:
+//! *"In the presence of branches, global RS of an acyclic CFG is brought
+//! back to RS in DAGs (basic blocs) by inserting entry and exit values with
+//! the corresponding flow arcs."*).
+//!
+//! Per block, values that are **live-in** become *entry values* (pseudo
+//! producer at the block top) and values that are **live-out** get an
+//! *exit consumer* (pseudo flow arc keeping them alive to the block
+//! bottom). Each block is then an ordinary DDG and the machinery of this
+//! crate applies unchanged; the global saturation of a type is the maximum
+//! over blocks.
+//!
+//! The paper also warns that a *global* allocator may need one register
+//! more than `MAXLIVE` because of inserted `move` operations, and proposes
+//! decrementing the available-register count: [`Cfg::effective_budget`]
+//! implements exactly that.
+
+use crate::heuristic::GreedyK;
+use crate::model::{Ddg, DdgBuilder, OpClass, RegType, Target};
+use crate::reduce::{ReduceOutcome, Reducer};
+use rs_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Index of a basic block in a [`Cfg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+struct BlockUnderConstruction {
+    name: String,
+    builder: DdgBuilder,
+    live_in: Vec<(String, RegType, NodeId)>,
+    live_out: Vec<(String, RegType)>,
+}
+
+/// Incremental CFG construction.
+pub struct CfgBuilder {
+    target: Target,
+    blocks: Vec<BlockUnderConstruction>,
+    edges: Vec<(BlockId, BlockId)>,
+}
+
+impl CfgBuilder {
+    /// Starts a CFG against a target.
+    pub fn new(target: Target) -> Self {
+        CfgBuilder {
+            target,
+            blocks: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Adds an empty basic block.
+    pub fn add_block(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId(self.blocks.len());
+        self.blocks.push(BlockUnderConstruction {
+            name: name.into(),
+            builder: DdgBuilder::new(self.target.clone()),
+            live_in: Vec::new(),
+            live_out: Vec::new(),
+        });
+        id
+    }
+
+    /// Adds a control-flow edge (must keep the CFG acyclic — loops are out
+    /// of scope, as in the paper).
+    pub fn branch(&mut self, from: BlockId, to: BlockId) {
+        self.edges.push((from, to));
+    }
+
+    /// Adds an operation inside a block.
+    pub fn op(
+        &mut self,
+        blk: BlockId,
+        name: impl Into<String>,
+        class: OpClass,
+        writes: Option<RegType>,
+    ) -> NodeId {
+        self.blocks[blk.0].builder.op(name, class, writes)
+    }
+
+    /// Flow dependence inside a block.
+    pub fn flow(&mut self, blk: BlockId, from: NodeId, to: NodeId, latency: i64, t: RegType) {
+        self.blocks[blk.0].builder.flow(from, to, latency, t);
+    }
+
+    /// Serial dependence inside a block.
+    pub fn serial(&mut self, blk: BlockId, from: NodeId, to: NodeId, latency: i64) {
+        self.blocks[blk.0].builder.serial(from, to, latency);
+    }
+
+    /// Declares a value live-in to a block: inserts an *entry value*
+    /// (pseudo producer). Returns its node, to be used as a flow source.
+    pub fn live_in(&mut self, blk: BlockId, name: impl Into<String>, t: RegType) -> NodeId {
+        let name = name.into();
+        let n = self.blocks[blk.0]
+            .builder
+            .op(format!("entry {name}"), OpClass::Copy, Some(t));
+        self.blocks[blk.0].live_in.push((name, t, n));
+        n
+    }
+
+    /// Declares a value live-out of a block: an *exit consumer* keeps it
+    /// alive to the block bottom (a flow arc to a pseudo reader).
+    pub fn live_out(&mut self, blk: BlockId, def: NodeId, t: RegType, name: impl Into<String>) {
+        let name = name.into();
+        let block = &mut self.blocks[blk.0];
+        let sink = block
+            .builder
+            .op(format!("exit {name}"), OpClass::Copy, None);
+        let lat = 1; // the value must survive to the branch point
+        block.builder.flow(def, sink, lat, t);
+        block.live_out.push((name, t));
+    }
+
+    /// Finalizes all blocks. Panics if the CFG is cyclic.
+    pub fn finish(self) -> Cfg {
+        // validate CFG acyclicity with a simple Kahn pass
+        let n = self.blocks.len();
+        let mut indeg = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            indeg[to.0] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        let mut head = 0;
+        while head < queue.len() {
+            let b = queue[head];
+            head += 1;
+            seen += 1;
+            for &(from, to) in &self.edges {
+                if from.0 == b {
+                    indeg[to.0] -= 1;
+                    if indeg[to.0] == 0 {
+                        queue.push(to.0);
+                    }
+                }
+            }
+        }
+        assert_eq!(seen, n, "the control-flow graph must be acyclic (no loops)");
+
+        let blocks = self
+            .blocks
+            .into_iter()
+            .map(|b| CfgBlock {
+                name: b.name,
+                live_in: b.live_in.iter().map(|(n, t, _)| (n.clone(), *t)).collect(),
+                live_out: b.live_out,
+                ddg: b.builder.finish(),
+            })
+            .collect();
+        Cfg {
+            blocks,
+            edges: self.edges,
+        }
+    }
+}
+
+/// A finalized basic block: its DDG includes the entry/exit pseudo values.
+pub struct CfgBlock {
+    /// Block label.
+    pub name: String,
+    /// Live-in value names and types.
+    pub live_in: Vec<(String, RegType)>,
+    /// Live-out value names and types.
+    pub live_out: Vec<(String, RegType)>,
+    /// The block body as a self-contained DDG.
+    pub ddg: Ddg,
+}
+
+/// An acyclic control-flow graph of DDG blocks.
+pub struct Cfg {
+    /// The blocks.
+    pub blocks: Vec<CfgBlock>,
+    /// Control-flow edges.
+    pub edges: Vec<(BlockId, BlockId)>,
+}
+
+/// Global saturation analysis result.
+#[derive(Clone, Debug)]
+pub struct GlobalRs {
+    /// Per-block saturation estimates.
+    pub per_block: BTreeMap<String, usize>,
+    /// The global saturation: the maximum over blocks.
+    pub global: usize,
+}
+
+impl Cfg {
+    /// The register budget each block must meet so that a *global*
+    /// allocator with `r` registers always succeeds: one register is
+    /// reserved for the possible extra `move` operations (the paper's
+    /// de Werra-based argument that the optimal difference is at most one).
+    pub fn effective_budget(r: usize) -> usize {
+        r.saturating_sub(1).max(1)
+    }
+
+    /// Global register saturation of type `t`: max over blocks.
+    pub fn global_saturation(&self, t: RegType) -> GlobalRs {
+        let g = GreedyK::new();
+        let per_block: BTreeMap<String, usize> = self
+            .blocks
+            .iter()
+            .map(|b| (b.name.clone(), g.saturation(&b.ddg, t).saturation))
+            .collect();
+        let global = per_block.values().copied().max().unwrap_or(0);
+        GlobalRs { per_block, global }
+    }
+
+    /// Reduces every block's saturation below the *effective* budget for
+    /// `r` physical registers. Returns per-block outcomes.
+    pub fn reduce_all(&mut self, t: RegType, r: usize) -> BTreeMap<String, ReduceOutcome> {
+        let budget = Self::effective_budget(r);
+        let reducer = Reducer::new();
+        self.blocks
+            .iter_mut()
+            .map(|b| (b.name.clone(), reducer.reduce(&mut b.ddg, t, budget)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diamond CFG:  entry -> {then, else} -> join, with a value defined
+    /// in entry, used in both arms and in the join.
+    fn diamond() -> Cfg {
+        let mut c = CfgBuilder::new(Target::superscalar());
+        let entry = c.add_block("entry");
+        let then_b = c.add_block("then");
+        let else_b = c.add_block("else");
+        let join = c.add_block("join");
+        c.branch(entry, then_b);
+        c.branch(entry, else_b);
+        c.branch(then_b, join);
+        c.branch(else_b, join);
+
+        // entry: x = load; y = load; both live out
+        let x = c.op(entry, "load x", OpClass::Load, Some(RegType::FLOAT));
+        let y = c.op(entry, "load y", OpClass::Load, Some(RegType::FLOAT));
+        c.live_out(entry, x, RegType::FLOAT, "x");
+        c.live_out(entry, y, RegType::FLOAT, "y");
+
+        // then: t = x*y (x, y live in), t live out
+        let xin = c.live_in(then_b, "x", RegType::FLOAT);
+        let yin = c.live_in(then_b, "y", RegType::FLOAT);
+        let t = c.op(then_b, "x*y", OpClass::FloatMul, Some(RegType::FLOAT));
+        c.flow(then_b, xin, t, 1, RegType::FLOAT);
+        c.flow(then_b, yin, t, 1, RegType::FLOAT);
+        c.live_out(then_b, t, RegType::FLOAT, "t");
+
+        // else: t = x+y
+        let xin = c.live_in(else_b, "x", RegType::FLOAT);
+        let yin = c.live_in(else_b, "y", RegType::FLOAT);
+        let t = c.op(else_b, "x+y", OpClass::FloatAlu, Some(RegType::FLOAT));
+        c.flow(else_b, xin, t, 1, RegType::FLOAT);
+        c.flow(else_b, yin, t, 1, RegType::FLOAT);
+        c.live_out(else_b, t, RegType::FLOAT, "t");
+
+        // join: store t
+        let tin = c.live_in(join, "t", RegType::FLOAT);
+        let st = c.op(join, "store t", OpClass::Store, None);
+        c.flow(join, tin, st, 1, RegType::FLOAT);
+
+        c.finish()
+    }
+
+    #[test]
+    fn per_block_and_global_saturation() {
+        let cfg = diamond();
+        let rs = cfg.global_saturation(RegType::FLOAT);
+        assert_eq!(rs.per_block.len(), 4);
+        // entry: x and y simultaneously alive (both live out) = 2
+        assert_eq!(rs.per_block["entry"], 2);
+        // arms: x, y alive, then t — entry values + result ≥ 2
+        assert!(rs.per_block["then"] >= 2);
+        assert_eq!(rs.per_block["join"], 1);
+        assert_eq!(
+            rs.global,
+            *rs.per_block.values().max().unwrap(),
+            "global RS is the max over blocks"
+        );
+    }
+
+    #[test]
+    fn effective_budget_reserves_move_register() {
+        assert_eq!(Cfg::effective_budget(8), 7);
+        assert_eq!(Cfg::effective_budget(2), 1);
+        assert_eq!(Cfg::effective_budget(1), 1);
+    }
+
+    #[test]
+    fn reduce_all_blocks() {
+        let mut cfg = diamond();
+        let before = cfg.global_saturation(RegType::FLOAT).global;
+        assert!(before >= 2);
+        let outcomes = cfg.reduce_all(RegType::FLOAT, 4); // effective 3
+        assert_eq!(outcomes.len(), 4);
+        for (name, o) in &outcomes {
+            assert!(o.fits(), "block {name} failed: {:?}", o);
+        }
+        let after = cfg.global_saturation(RegType::FLOAT).global;
+        assert!(after <= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cyclic_cfg_rejected() {
+        let mut c = CfgBuilder::new(Target::superscalar());
+        let a = c.add_block("a");
+        let b = c.add_block("b");
+        c.branch(a, b);
+        c.branch(b, a);
+        c.op(a, "nop", OpClass::Other, None);
+        c.op(b, "nop", OpClass::Other, None);
+        c.finish();
+    }
+
+    #[test]
+    fn live_ranges_pin_entry_and_exit() {
+        let cfg = diamond();
+        let entry = &cfg.blocks[0];
+        assert_eq!(entry.live_out.len(), 2);
+        assert!(entry.live_in.is_empty());
+        // exit pseudo-consumers keep x and y alive to the block bottom:
+        // the block's RS counts both even though nothing in-block reads them
+        let rs = GreedyK::new().saturation(&entry.ddg, RegType::FLOAT);
+        assert_eq!(rs.saturation, 2);
+    }
+}

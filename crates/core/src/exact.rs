@@ -1,0 +1,300 @@
+//! Exact register saturation by combinatorial branch-and-bound over killing
+//! functions.
+//!
+//! `RS_t(G) = max over valid killing functions k of width(DV_k)` (\[14\]).
+//! The decision points are the values with more than one potential killer;
+//! the search enumerates their choices with two prunings:
+//!
+//! - **Optimistic bound:** arcs of `DV_k` only ever *grow* when enforcement
+//!   arcs are added, so the DV graph built from the arcs *forced under every
+//!   remaining choice* (using the base graph's longest paths and only the
+//!   already-fixed enforcement arcs) over-approximates every completion's
+//!   antichain. If that optimistic width cannot beat the incumbent, the
+//!   subtree is pruned.
+//! - **Early exit:** the saturation can never exceed `|V_{R,t}|`; reaching
+//!   it stops the search.
+//!
+//! This solver is exact when it terminates within its node budget (flagged
+//! in [`ExactRsResult::proven_optimal`]) and scales far beyond the intLP on
+//! the experiment corpus, which is how the optimality study (T1) covers
+//! hundreds of DAGs. The intLP of Section 3 ([`crate::ilp::RsIlp`])
+//! cross-checks it on small instances.
+
+use crate::killing::{rs_for_killing, KillingFunction};
+use crate::model::{Ddg, RegType};
+use crate::pkill::{potential_killers, PKill};
+use rs_graph::antichain::max_antichain;
+use rs_graph::paths::LongestPaths;
+use rs_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Configuration of the exact search.
+#[derive(Clone, Debug)]
+pub struct ExactRs {
+    /// Maximum number of complete killing functions evaluated.
+    pub node_limit: usize,
+}
+
+impl Default for ExactRs {
+    fn default() -> Self {
+        ExactRs {
+            node_limit: 2_000_000,
+        }
+    }
+}
+
+/// Result of the exact computation.
+#[derive(Clone, Debug)]
+pub struct ExactRsResult {
+    /// The register saturation (exact iff `proven_optimal`).
+    pub saturation: usize,
+    /// Values of a maximum antichain (simultaneously alive under some
+    /// schedule).
+    pub saturating_values: Vec<NodeId>,
+    /// The optimal killing function found.
+    pub killing: KillingFunction,
+    /// Whether the search space was exhausted (or pruned exactly) within
+    /// the node budget.
+    pub proven_optimal: bool,
+    /// Number of complete killing functions evaluated.
+    pub leaves_evaluated: usize,
+    /// Number of pruned subtrees.
+    pub pruned: usize,
+}
+
+impl ExactRs {
+    /// Creates the solver with default limits.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes `RS_t(G)` exactly (subject to the node budget).
+    pub fn saturation(&self, ddg: &Ddg, t: RegType) -> ExactRsResult {
+        let values = ddg.values(t);
+        let lp = LongestPaths::new(ddg.graph());
+        let pk = potential_killers(ddg, t, &lp);
+
+        if values.is_empty() {
+            return ExactRsResult {
+                saturation: 0,
+                saturating_values: Vec::new(),
+                killing: KillingFunction {
+                    reg_type: t,
+                    killer: BTreeMap::new(),
+                },
+                proven_optimal: true,
+                leaves_evaluated: 0,
+                pruned: 0,
+            };
+        }
+
+        // Seed with the heuristic: a valid incumbent and often already
+        // optimal, which makes pruning effective immediately.
+        let seed = crate::heuristic::GreedyK::new().saturation(ddg, t);
+        let mut best_width = seed.saturation;
+        let mut best = (seed.killing.clone(), seed.saturating_values.clone());
+
+        let ambiguous = pk.ambiguous_values();
+        let mut search = Search {
+            ddg,
+            t,
+            pk: &pk,
+            values: &values,
+            ambiguous: &ambiguous,
+            base_lp: &lp,
+            node_limit: self.node_limit,
+            leaves: 0,
+            pruned: 0,
+            exhausted: true,
+        };
+        let mut assignment: BTreeMap<NodeId, NodeId> = pk
+            .killers
+            .iter()
+            .filter(|(_, ks)| ks.len() == 1)
+            .map(|(&u, ks)| (u, ks[0]))
+            .collect();
+        search.recurse(0, &mut assignment, &mut best_width, &mut best);
+
+        ExactRsResult {
+            saturation: best_width,
+            saturating_values: best.1,
+            killing: best.0,
+            proven_optimal: search.exhausted,
+            leaves_evaluated: search.leaves,
+            pruned: search.pruned,
+        }
+    }
+}
+
+struct Search<'a> {
+    ddg: &'a Ddg,
+    t: RegType,
+    pk: &'a PKill,
+    values: &'a [NodeId],
+    ambiguous: &'a [NodeId],
+    base_lp: &'a LongestPaths,
+    node_limit: usize,
+    leaves: usize,
+    pruned: usize,
+    exhausted: bool,
+}
+
+impl Search<'_> {
+    fn recurse(
+        &mut self,
+        depth: usize,
+        assignment: &mut BTreeMap<NodeId, NodeId>,
+        best_width: &mut usize,
+        best: &mut (KillingFunction, Vec<NodeId>),
+    ) {
+        if self.leaves >= self.node_limit {
+            self.exhausted = false;
+            return;
+        }
+        if *best_width == self.values.len() {
+            return; // cannot do better
+        }
+        if depth == self.ambiguous.len() {
+            self.leaves += 1;
+            let k = KillingFunction {
+                reg_type: self.t,
+                killer: assignment.clone(),
+            };
+            if let Some(dv) = rs_for_killing(self.ddg, self.t, self.pk, &k) {
+                if dv.width > *best_width {
+                    *best_width = dv.width;
+                    *best = (k, dv.saturating);
+                }
+            }
+            return;
+        }
+
+        // Optimistic bound: the DV order that holds for EVERY completion is
+        // the one computed from the base longest paths with only fixed
+        // choices' killers; enforcement arcs only lengthen paths, adding DV
+        // arcs and shrinking antichains. Using the *base* lp under-counts DV
+        // arcs, so the antichain is an upper bound.
+        let ub = self.optimistic_width(assignment);
+        if ub <= *best_width {
+            self.pruned += 1;
+            return;
+        }
+
+        let u = self.ambiguous[depth];
+        for &cand in &self.pk.killers[&u] {
+            assignment.insert(u, cand);
+            self.recurse(depth + 1, assignment, best_width, best);
+        }
+        assignment.remove(&u);
+    }
+
+    /// Upper bound: max antichain of the DV relation built from arcs that
+    /// are certain regardless of the remaining choices — for assigned
+    /// values, the usual criterion with the *base* lp (a subset of the
+    /// extended graph's lp); for unassigned values, the intersection over
+    /// all candidate killers.
+    fn optimistic_width(&self, assignment: &BTreeMap<NodeId, NodeId>) -> usize {
+        let forced_before = |u: NodeId, w: NodeId| -> bool {
+            if u == w {
+                return false;
+            }
+            let check = |ku: NodeId| -> bool {
+                if ku == w {
+                    return self.ddg.delta_r(ku) <= self.ddg.delta_w(w);
+                }
+                matches!(self.base_lp.lp(ku, w),
+                    Some(d) if d >= self.ddg.delta_r(ku) - self.ddg.delta_w(w))
+            };
+            match assignment.get(&u) {
+                Some(&ku) => check(ku),
+                None => self.pk.killers[&u].iter().all(|&ku| check(ku)),
+            }
+        };
+        max_antichain(self.values, forced_before).width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::GreedyK;
+    use crate::model::{DdgBuilder, OpClass, Target};
+
+    #[test]
+    fn trivial_cases_match_heuristic() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        for i in 0..4 {
+            b.op(format!("v{i}"), OpClass::IntAlu, Some(RegType::INT));
+        }
+        let d = b.finish();
+        let ex = ExactRs::new().saturation(&d, RegType::INT);
+        assert_eq!(ex.saturation, 4);
+        assert!(ex.proven_optimal);
+    }
+
+    #[test]
+    fn exact_at_least_heuristic() {
+        // fan-in/fan-out structure with ambiguous killers
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let v1 = b.op("v1", OpClass::Load, Some(RegType::INT));
+        let v2 = b.op("v2", OpClass::Load, Some(RegType::INT));
+        let a = b.op("a", OpClass::IntAlu, Some(RegType::INT));
+        let c = b.op("c", OpClass::IntAlu, Some(RegType::INT));
+        let s = b.op("s", OpClass::Store, None);
+        b.flow(v1, a, 4, RegType::INT);
+        b.flow(v1, c, 4, RegType::INT);
+        b.flow(v2, a, 4, RegType::INT);
+        b.flow(v2, c, 4, RegType::INT);
+        b.flow(a, s, 1, RegType::INT);
+        b.flow(c, s, 1, RegType::INT);
+        let d = b.finish();
+        let h = GreedyK::new().saturation(&d, RegType::INT);
+        let ex = ExactRs::new().saturation(&d, RegType::INT);
+        assert!(ex.proven_optimal);
+        assert!(ex.saturation >= h.saturation);
+        // v1 and v2 die exactly when the later of {a, c} defines its value
+        // (half-open lifetimes), so at most {v1, v2, first-of-a/c} coexist:
+        // RS = 3.
+        assert_eq!(ex.saturation, 3);
+    }
+
+    #[test]
+    fn exact_killing_is_valid() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let v = b.op("v", OpClass::Load, Some(RegType::INT));
+        let c1 = b.op("c1", OpClass::IntAlu, Some(RegType::INT));
+        let c2 = b.op("c2", OpClass::IntAlu, Some(RegType::INT));
+        b.flow(v, c1, 4, RegType::INT);
+        b.flow(v, c2, 4, RegType::INT);
+        let d = b.finish();
+        let ex = ExactRs::new().saturation(&d, RegType::INT);
+        let lp = rs_graph::paths::LongestPaths::new(d.graph());
+        let pk = potential_killers(&d, RegType::INT, &lp);
+        assert!(ex.killing.respects(&pk));
+        assert!(ex.proven_optimal);
+        // v dies exactly when the later of {c1, c2} defines: RS = 2.
+        assert_eq!(ex.saturation, 2);
+    }
+
+    #[test]
+    fn node_budget_degrades_gracefully() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        // many values with two killers each -> big search space
+        let mut stores = Vec::new();
+        for i in 0..3 {
+            stores.push(b.op(format!("s{i}"), OpClass::Store, None));
+        }
+        for i in 0..6 {
+            let v = b.op(format!("v{i}"), OpClass::Load, Some(RegType::INT));
+            b.flow(v, stores[i % 3], 4, RegType::INT);
+            b.flow(v, stores[(i + 1) % 3], 4, RegType::INT);
+        }
+        let d = b.finish();
+        let limited = ExactRs { node_limit: 1 }.saturation(&d, RegType::INT);
+        let full = ExactRs::new().saturation(&d, RegType::INT);
+        assert!(full.proven_optimal);
+        assert!(limited.saturation <= full.saturation);
+        // even budget-limited results are achievable lower bounds
+        assert!(limited.saturation >= 1);
+    }
+}

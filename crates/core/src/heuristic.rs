@@ -1,0 +1,404 @@
+//! The Greedy-k register-saturation heuristic (reimplementation of the
+//! CC'01 estimator \[14\] whose near-optimality this paper demonstrates).
+//!
+//! Computing `RS_t(G)` is NP-complete; fixing a killing function makes it
+//! polynomial ([`crate::killing`]). Greedy-k therefore *chooses* a killing
+//! function heuristically, aiming for the widest disjoint-value DAG:
+//!
+//! - **Coverage:** killers that can kill many values are preferred — values
+//!   killed at the same point die together, which lets them be
+//!   simultaneously alive just before;
+//! - **Few descendants:** killers with few value descendants induce fewer
+//!   `DV_k` arcs, keeping antichains wide;
+//! - **Validity:** chosen killings must not create cyclic enforcement arcs;
+//!   conflicts are repaired against a fixed topological order (choosing the
+//!   topologically last potential killer is always valid).
+//!
+//! The published description of Greedy-k leaves tie-breaking unspecified;
+//! this implementation evaluates a small portfolio of greedy orders and
+//! keeps the best (every candidate is a *valid* killing function, so the
+//! result is always an achievable lower bound `RS* ≤ RS`). The reproduced
+//! experimental property (Section 5: error ≤ 1 register, rarely) is checked
+//! in the T1 experiment.
+
+use crate::killing::{killed_graph, rs_for_killing, topo_max_killing, KillingFunction};
+use crate::model::{Ddg, RegType};
+use crate::pkill::{potential_killers, PKill};
+use rs_graph::closure::TransitiveClosure;
+use rs_graph::paths::LongestPaths;
+use rs_graph::{topo, NodeId};
+use std::collections::BTreeMap;
+
+/// Result of a saturation analysis.
+#[derive(Clone, Debug)]
+pub struct RsAnalysis {
+    /// The register type analysed.
+    pub reg_type: RegType,
+    /// The estimated register saturation `RS*` (achievable: some valid
+    /// schedule needs exactly this many registers).
+    pub saturation: usize,
+    /// A witness set of values that can be simultaneously alive.
+    pub saturating_values: Vec<NodeId>,
+    /// The killing function realizing the estimate.
+    pub killing: KillingFunction,
+    /// True when the estimate is provably optimal without search (single
+    /// killing function, or the antichain already spans all values).
+    pub provably_optimal: bool,
+}
+
+/// The Greedy-k heuristic.
+///
+/// ```
+/// use rs_core::model::{DdgBuilder, OpClass, RegType, Target};
+/// use rs_core::heuristic::GreedyK;
+///
+/// // two independent values: both can be alive at once
+/// let mut b = DdgBuilder::new(Target::superscalar());
+/// b.op("x", OpClass::IntAlu, Some(RegType::INT));
+/// b.op("y", OpClass::IntAlu, Some(RegType::INT));
+/// let ddg = b.finish();
+///
+/// let rs = GreedyK::new().saturation(&ddg, RegType::INT);
+/// assert_eq!(rs.saturation, 2);
+/// assert!(rs.provably_optimal);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GreedyK {
+    /// Maximum cycle-repair iterations before falling back to the
+    /// always-valid topological-max killing function.
+    pub max_repairs: usize,
+    /// Hill-climbing passes over the killer choices after the greedy
+    /// construction: each pass tries every alternative killer of every
+    /// ambiguous value and keeps switches that widen the antichain.
+    /// `0` disables refinement.
+    pub refine_passes: usize,
+}
+
+impl Default for GreedyK {
+    fn default() -> Self {
+        GreedyK {
+            max_repairs: 32,
+            refine_passes: 3,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Strategy {
+    /// coverage desc, then value-descendant count asc.
+    CoverageFirst,
+    /// value-descendant count asc, then coverage desc.
+    DescendantsFirst,
+    /// topological-max (always valid; also the repair fallback).
+    TopoMax,
+}
+
+impl GreedyK {
+    /// Creates the heuristic with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Computes the register saturation estimate `RS*_t(G)`.
+    pub fn saturation(&self, ddg: &Ddg, t: RegType) -> RsAnalysis {
+        let values = ddg.values(t);
+        if values.is_empty() {
+            return RsAnalysis {
+                reg_type: t,
+                saturation: 0,
+                saturating_values: Vec::new(),
+                killing: KillingFunction {
+                    reg_type: t,
+                    killer: BTreeMap::new(),
+                },
+                provably_optimal: true,
+            };
+        }
+        let lp = LongestPaths::new(ddg.graph());
+        let pk = potential_killers(ddg, t, &lp);
+        let unique_killing = pk.killing_function_count() == 1;
+
+        let mut best: Option<RsAnalysis> = None;
+        for strategy in [
+            Strategy::CoverageFirst,
+            Strategy::DescendantsFirst,
+            Strategy::TopoMax,
+        ] {
+            let k = self.build_killing(ddg, t, &pk, strategy);
+            let Some(dv) = rs_for_killing(ddg, t, &pk, &k) else {
+                continue; // repair failed (cannot happen for TopoMax)
+            };
+            let cand = RsAnalysis {
+                reg_type: t,
+                saturation: dv.width,
+                saturating_values: dv.saturating,
+                killing: k,
+                provably_optimal: unique_killing || dv.width == values.len(),
+            };
+            let better = best
+                .as_ref()
+                .is_none_or(|b| cand.saturation > b.saturation);
+            if better {
+                best = Some(cand);
+            }
+            if unique_killing {
+                break;
+            }
+        }
+        let mut best = best.expect("TopoMax strategy always yields a valid killing function");
+        if !unique_killing && best.saturation < values.len() {
+            self.refine(ddg, t, &pk, &mut best, values.len());
+        }
+        best
+    }
+
+    /// Hill-climbing over killer choices: try every alternative killer of
+    /// every ambiguous value, adopt switches that widen the antichain.
+    fn refine(
+        &self,
+        ddg: &Ddg,
+        t: RegType,
+        pk: &PKill,
+        best: &mut RsAnalysis,
+        max_width: usize,
+    ) {
+        let ambiguous: Vec<(NodeId, &Vec<NodeId>)> = pk
+            .killers
+            .iter()
+            .filter(|(_, ks)| ks.len() > 1)
+            .map(|(&u, ks)| (u, ks))
+            .collect();
+        for _pass in 0..self.refine_passes {
+            let mut improved = false;
+            for &(u, killers) in &ambiguous {
+                let current = best.killing.of(u);
+                for &alt in killers {
+                    if alt == current || best.saturation == max_width {
+                        continue;
+                    }
+                    let mut trial = best.killing.clone();
+                    trial.killer.insert(u, alt);
+                    if let Some(dv) = rs_for_killing(ddg, t, pk, &trial) {
+                        if dv.width > best.saturation {
+                            best.saturation = dv.width;
+                            best.saturating_values = dv.saturating;
+                            best.killing = trial;
+                            best.provably_optimal = dv.width == max_width;
+                            improved = true;
+                            break; // re-read `current` for this value
+                        }
+                    }
+                }
+            }
+            if !improved || best.saturation == max_width {
+                break;
+            }
+        }
+    }
+
+    /// Builds a killing function by the given greedy order, repairing
+    /// enforcement-arc cycles against the topological order.
+    fn build_killing(
+        &self,
+        ddg: &Ddg,
+        t: RegType,
+        pk: &PKill,
+        strategy: Strategy,
+    ) -> KillingFunction {
+        if matches!(strategy, Strategy::TopoMax) {
+            return topo_max_killing(ddg, t, pk);
+        }
+
+        // Killer statistics.
+        let tc = TransitiveClosure::new(ddg.graph());
+        let values = ddg.values(t);
+        let is_value: Vec<bool> = {
+            let mut v = vec![false; ddg.num_ops()];
+            for &x in &values {
+                v[x.index()] = true;
+            }
+            v
+        };
+        let mut coverage: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for ks in pk.killers.values() {
+            for &k in ks {
+                *coverage.entry(k).or_insert(0) += 1;
+            }
+        }
+        let value_descendants = |killer: NodeId| -> usize {
+            tc.descendants(killer)
+                .iter()
+                .filter(|&i| is_value[i])
+                .count()
+        };
+
+        let order = topo::topo_sort(ddg.graph()).expect("DDG is acyclic");
+        let mut pos = vec![0usize; ddg.num_ops()];
+        for (i, n) in order.iter().enumerate() {
+            pos[n.index()] = i;
+        }
+
+        let score = |k: NodeId| -> (i64, i64, i64) {
+            let cov = coverage.get(&k).copied().unwrap_or(0) as i64;
+            let desc = value_descendants(k) as i64;
+            match strategy {
+                Strategy::CoverageFirst => (-cov, desc, -(pos[k.index()] as i64)),
+                Strategy::DescendantsFirst => (desc, -cov, -(pos[k.index()] as i64)),
+                Strategy::TopoMax => unreachable!(),
+            }
+        };
+
+        let mut killer: BTreeMap<NodeId, NodeId> = pk
+            .killers
+            .iter()
+            .map(|(&u, ks)| {
+                let best = *ks
+                    .iter()
+                    .min_by_key(|&&k| score(k))
+                    .expect("pkill sets are nonempty");
+                (u, best)
+            })
+            .collect();
+
+        // Cycle repair: re-point conflicting values at their topological-max
+        // killer (arcs toward the topo-max killer always go forward).
+        let fallback = topo_max_killing(ddg, t, pk);
+        for _ in 0..self.max_repairs {
+            let kf = KillingFunction {
+                reg_type: t,
+                killer: killer.clone(),
+            };
+            if killed_graph(ddg, pk, &kf).is_some() {
+                return kf;
+            }
+            // Find one value whose greedy choice differs from the fallback
+            // and whose enforcement could participate in a cycle; flip it.
+            let mut flipped = false;
+            for (&u, ks) in &pk.killers {
+                if ks.len() > 1 && killer[&u] != fallback.killer[&u] {
+                    killer.insert(u, fallback.killer[&u]);
+                    flipped = true;
+                    break;
+                }
+            }
+            if !flipped {
+                break;
+            }
+        }
+        fallback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{DdgBuilder, OpClass, Target};
+
+    #[test]
+    fn empty_type_has_zero_saturation() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        b.op("st", OpClass::Store, None);
+        let d = b.finish();
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT);
+        assert_eq!(rs.saturation, 0);
+        assert!(rs.provably_optimal);
+    }
+
+    #[test]
+    fn independent_values_all_saturate() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        for i in 0..5 {
+            b.op(format!("v{i}"), OpClass::IntAlu, Some(RegType::INT));
+        }
+        let d = b.finish();
+        let rs = GreedyK::new().saturation(&d, RegType::INT);
+        assert_eq!(rs.saturation, 5);
+        assert!(rs.provably_optimal);
+        assert_eq!(rs.saturating_values.len(), 5);
+    }
+
+    #[test]
+    fn chain_saturates_at_two() {
+        // v0 -> v1 -> v2 -> v3 (each consumes the previous): at any moment at
+        // most two of these int values are needed... actually exactly 2: the
+        // consumed one stays alive until its reader issues, at which point
+        // the reader's own value is born (half-open: they touch). Width 1?
+        // Lifetimes: (σ_i, σ_{i+1}]. Consecutive touch -> no interference;
+        // so the chain needs exactly 1 register at saturation... but the
+        // LAST value lives until ⊥ alongside nothing else. Saturation = 1.
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let mut prev = b.op("v0", OpClass::IntAlu, Some(RegType::INT));
+        for i in 1..4 {
+            let n = b.op(format!("v{i}"), OpClass::IntAlu, Some(RegType::INT));
+            b.flow(prev, n, 1, RegType::INT);
+            prev = n;
+        }
+        let d = b.finish();
+        let rs = GreedyK::new().saturation(&d, RegType::INT);
+        assert_eq!(rs.saturation, 1);
+    }
+
+    #[test]
+    fn figure2_dag_saturates_at_four() {
+        // The paper's Figure 2(a): a -> b, c, d chain structure where
+        // bold values {a, b, c, d} can all be alive simultaneously.
+        // Modelled as: a feeds b, c, d (fan-out), plus the latency-17 edge
+        // making a's lifetime long.
+        let mut bld = DdgBuilder::new(Target::superscalar());
+        let a = bld.op("a", OpClass::Load, Some(RegType::FLOAT));
+        let b = bld.op("b", OpClass::FloatAlu, Some(RegType::FLOAT));
+        let c = bld.op("c", OpClass::FloatAlu, Some(RegType::FLOAT));
+        let d = bld.op("d", OpClass::FloatAlu, Some(RegType::FLOAT));
+        let sink = bld.op("sink", OpClass::Store, None);
+        bld.flow(a, sink, 17, RegType::FLOAT);
+        bld.flow(b, sink, 1, RegType::FLOAT);
+        bld.flow(c, sink, 1, RegType::FLOAT);
+        bld.flow(d, sink, 1, RegType::FLOAT);
+        let ddg = bld.finish();
+        let rs = GreedyK::new().saturation(&ddg, RegType::FLOAT);
+        assert_eq!(rs.saturation, 4);
+    }
+
+    #[test]
+    fn estimate_is_achievable() {
+        // The witness killing function must be valid and its width must be
+        // realizable by an actual schedule's register need.
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let l1 = b.op("l1", OpClass::Load, Some(RegType::FLOAT));
+        let l2 = b.op("l2", OpClass::Load, Some(RegType::FLOAT));
+        let l3 = b.op("l3", OpClass::Load, Some(RegType::FLOAT));
+        let m1 = b.op("m1", OpClass::FloatMul, Some(RegType::FLOAT));
+        let m2 = b.op("m2", OpClass::FloatMul, Some(RegType::FLOAT));
+        let st = b.op("st", OpClass::Store, None);
+        b.flow(l1, m1, 4, RegType::FLOAT);
+        b.flow(l2, m1, 4, RegType::FLOAT);
+        b.flow(l2, m2, 4, RegType::FLOAT);
+        b.flow(l3, m2, 4, RegType::FLOAT);
+        b.flow(m1, st, 4, RegType::FLOAT);
+        b.flow(m2, st, 4, RegType::FLOAT);
+        let d = b.finish();
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT);
+        // all three loads live together; m1 can still be alive while l3 is:
+        // ASAP already needs 3+ registers.
+        assert!(rs.saturation >= 3, "got {}", rs.saturation);
+        // achievability: the ASAP register need never exceeds RS*... only
+        // the exact RS bounds all schedules; here we check the weaker sanity
+        // RN(asap) <= |values|.
+        let asap = crate::lifetime::asap_schedule(&d);
+        let rn = crate::lifetime::register_need(&d, RegType::FLOAT, &asap);
+        assert!(rn <= d.values(RegType::FLOAT).len());
+    }
+
+    #[test]
+    fn multiple_types_analysed_independently() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let i1 = b.op("i1", OpClass::IntAlu, Some(RegType::INT));
+        let i2 = b.op("i2", OpClass::IntAlu, Some(RegType::INT));
+        let f1 = b.op("f1", OpClass::FloatAlu, Some(RegType::FLOAT));
+        let _ = (i1, i2, f1);
+        let d = b.finish();
+        let g = GreedyK::new();
+        assert_eq!(g.saturation(&d, RegType::INT).saturation, 2);
+        assert_eq!(g.saturation(&d, RegType::FLOAT).saturation, 1);
+    }
+}

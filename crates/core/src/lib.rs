@@ -1,0 +1,53 @@
+//! # rs-core — register saturation (Touati, ICPP 2004)
+//!
+//! The **register saturation** `RS_t(G)` of a data-dependence DAG `G` is the
+//! exact maximal register requirement of register type `t` over *all* valid
+//! schedules of `G`:
+//!
+//! ```text
+//! RS_t(G) = max over σ ∈ Σ(G) of RN_σ^t(G)
+//! ```
+//!
+//! Handling register pressure this way — *before* instruction scheduling —
+//! decouples register constraints from resource-constrained scheduling
+//! (Figure 1 of the paper): if `RS ≤ R` the DAG needs no attention at all,
+//! and otherwise the *reduction* pass adds the fewest serialization arcs
+//! that bring `RS` below `R` while minimizing critical-path growth.
+//!
+//! This crate implements both sides of the paper's optimality study:
+//!
+//! | problem | heuristic (from CC'01 \[14\]) | exact |
+//! |---|---|---|
+//! | compute `RS` (NP-complete) | [`heuristic::GreedyK`] | [`exact::ExactRs`] (combinatorial B&B), [`ilp::RsIlp`] (the paper's Section-3 intLP) |
+//! | reduce `RS ≤ R` (NP-hard, Thm 4.2) | [`reduce::Reducer`] | [`ilp::ReduceIlp`] (Section-4 intLP + Theorem-4.2 serialization arcs) |
+//!
+//! plus the supporting theory: lifetimes and register need
+//! ([`lifetime`]), the potential-killing framework ([`pkill`], [`killing`]),
+//! the register-*minimization* strawman of Section 6 ([`minimize`]), a
+//! time-indexed baseline intLP used for the model-size comparison
+//! ([`ilp_baseline`]), and the end-to-end pipeline ([`pipeline`]).
+
+pub mod cfg;
+pub mod exact;
+pub mod heuristic;
+pub mod ilp;
+pub mod ilp_baseline;
+pub mod killing;
+pub mod lifetime;
+pub mod minimize;
+pub mod model;
+pub mod parse;
+pub mod pipeline;
+pub mod pkill;
+pub mod reduce;
+pub mod spill;
+
+pub use exact::ExactRs;
+pub use heuristic::GreedyK;
+pub use ilp::{ReduceIlp, RsIlp};
+pub use killing::{DisjointValueDag, KillingFunction};
+pub use lifetime::{lifetime_intervals, register_need, saturating_values};
+pub use model::{Ddg, DdgBuilder, EdgeKind, OpClass, Operation, RegType, Target, TargetKind};
+pub use pipeline::{Pipeline, PipelineReport};
+pub use reduce::{ReduceOutcome, Reducer};
+pub use spill::{SpillPass, SpillResult};

@@ -1,0 +1,363 @@
+//! A line-oriented text format for DDGs, so saturation analyses can be run
+//! on graphs produced by external compilers (the paper's DDGs were
+//! extracted from a compiler's IR; this is the interchange boundary).
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! target superscalar            # or: vliw
+//! op   a   load    float        # name, class, value type (or "none")
+//! op   b   fadd    float
+//! op   st  store   none
+//! flow a b 4 float              # producer, consumer, latency, type
+//! flow b st 2 float
+//! serial a st 1                 # plain precedence
+//! ```
+//!
+//! Node names are arbitrary identifiers (no whitespace). [`parse_ddg`]
+//! builds the closed DDG; [`print_ddg`] emits the same format (modulo the
+//! virtual `⊥`, which is never printed), and the two round-trip.
+
+use crate::model::{Ddg, DdgBuilder, EdgeKind, OpClass, RegType, Target};
+use rs_graph::NodeId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parse failure, with its 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn class_of(s: &str) -> Option<OpClass> {
+    Some(match s {
+        "load" => OpClass::Load,
+        "store" => OpClass::Store,
+        "ialu" | "add" | "sub" => OpClass::IntAlu,
+        "imul" => OpClass::IntMul,
+        "falu" | "fadd" | "fsub" | "fcmp" => OpClass::FloatAlu,
+        "fmul" => OpClass::FloatMul,
+        "fdiv" | "fsqrt" => OpClass::FloatDiv,
+        "copy" | "mov" => OpClass::Copy,
+        "addr" | "lea" => OpClass::Addr,
+        "other" | "nop" => OpClass::Other,
+        _ => return None,
+    })
+}
+
+fn class_name(c: OpClass) -> &'static str {
+    match c {
+        OpClass::Load => "load",
+        OpClass::Store => "store",
+        OpClass::IntAlu => "ialu",
+        OpClass::IntMul => "imul",
+        OpClass::FloatAlu => "falu",
+        OpClass::FloatMul => "fmul",
+        OpClass::FloatDiv => "fdiv",
+        OpClass::Copy => "copy",
+        OpClass::Addr => "addr",
+        OpClass::Other => "other",
+    }
+}
+
+fn type_of(s: &str) -> Option<Option<RegType>> {
+    Some(match s {
+        "int" => Some(RegType::INT),
+        "float" => Some(RegType::FLOAT),
+        "branch" => Some(RegType::BRANCH),
+        "none" | "-" => None,
+        _ => return None,
+    })
+}
+
+fn type_name(t: RegType) -> &'static str {
+    match t {
+        RegType::INT => "int",
+        RegType::FLOAT => "float",
+        RegType::BRANCH => "branch",
+        _ => "int",
+    }
+}
+
+/// Parses the text format into a closed DDG.
+///
+/// ```
+/// use rs_core::parse::parse_ddg;
+/// use rs_core::model::RegType;
+///
+/// let ddg = parse_ddg("
+///     target superscalar
+///     op a load  float
+///     op b store none
+///     flow a b 4 float
+/// ").unwrap();
+/// assert_eq!(ddg.values(RegType::FLOAT).len(), 1);
+/// assert_eq!(ddg.critical_path(), 5); // 4 to the store, 1 to ⊥
+/// ```
+pub fn parse_ddg(input: &str) -> Result<Ddg, ParseError> {
+    let mut target: Option<Target> = None;
+    let mut builder: Option<DdgBuilder> = None;
+    let mut nodes: BTreeMap<String, NodeId> = BTreeMap::new();
+
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "target" => {
+                if builder.is_some() {
+                    return Err(err(lineno, "`target` must precede all `op` lines"));
+                }
+                let t = match tokens.get(1) {
+                    Some(&"superscalar") => Target::superscalar(),
+                    Some(&"vliw") => Target::vliw(),
+                    other => {
+                        return Err(err(
+                            lineno,
+                            format!("unknown target {:?} (expected superscalar|vliw)", other),
+                        ))
+                    }
+                };
+                target = Some(t);
+            }
+            "op" => {
+                if tokens.len() != 4 {
+                    return Err(err(lineno, "usage: op <name> <class> <type|none>"));
+                }
+                let b = builder.get_or_insert_with(|| {
+                    DdgBuilder::new(target.clone().unwrap_or_else(Target::superscalar))
+                });
+                let name = tokens[1];
+                if nodes.contains_key(name) {
+                    return Err(err(lineno, format!("duplicate op name `{name}`")));
+                }
+                let class = class_of(tokens[2])
+                    .ok_or_else(|| err(lineno, format!("unknown op class `{}`", tokens[2])))?;
+                let writes = type_of(tokens[3])
+                    .ok_or_else(|| err(lineno, format!("unknown register type `{}`", tokens[3])))?;
+                let id = b.op(name, class, writes);
+                nodes.insert(name.to_string(), id);
+            }
+            "flow" => {
+                if tokens.len() != 5 {
+                    return Err(err(lineno, "usage: flow <src> <dst> <latency> <type>"));
+                }
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "flow before any op"))?;
+                let src = *nodes
+                    .get(tokens[1])
+                    .ok_or_else(|| err(lineno, format!("unknown op `{}`", tokens[1])))?;
+                let dst = *nodes
+                    .get(tokens[2])
+                    .ok_or_else(|| err(lineno, format!("unknown op `{}`", tokens[2])))?;
+                let lat: i64 = tokens[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad latency `{}`", tokens[3])))?;
+                let ty = type_of(tokens[4])
+                    .ok_or_else(|| err(lineno, format!("unknown register type `{}`", tokens[4])))?
+                    .ok_or_else(|| err(lineno, "flow edges need a concrete type"))?;
+                b.flow(src, dst, lat, ty);
+            }
+            "serial" => {
+                if tokens.len() != 4 {
+                    return Err(err(lineno, "usage: serial <src> <dst> <latency>"));
+                }
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| err(lineno, "serial before any op"))?;
+                let src = *nodes
+                    .get(tokens[1])
+                    .ok_or_else(|| err(lineno, format!("unknown op `{}`", tokens[1])))?;
+                let dst = *nodes
+                    .get(tokens[2])
+                    .ok_or_else(|| err(lineno, format!("unknown op `{}`", tokens[2])))?;
+                let lat: i64 = tokens[3]
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad latency `{}`", tokens[3])))?;
+                b.serial(src, dst, lat);
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let b = builder.ok_or_else(|| err(0, "empty input: no operations"))?;
+    Ok(b.finish())
+}
+
+/// Prints a DDG in the text format (the virtual `⊥` and its closure arcs
+/// are omitted; re-parsing regenerates them).
+pub fn print_ddg(ddg: &Ddg) -> String {
+    let mut out = String::new();
+    let kind = match ddg.target().kind {
+        crate::model::TargetKind::Superscalar => "superscalar",
+        crate::model::TargetKind::Vliw => "vliw",
+    };
+    let _ = writeln!(out, "target {kind}");
+    let bottom = ddg.bottom();
+
+    // stable printable names: sanitize whitespace and disambiguate
+    // duplicates with the node index
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for n in ddg.graph().node_ids() {
+        if n != bottom {
+            let sanitized: String = ddg
+                .graph()
+                .node(n)
+                .name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            *counts.entry(sanitized).or_insert(0) += 1;
+        }
+    }
+    let name_of = |n: NodeId| -> String {
+        let sanitized: String = ddg
+            .graph()
+            .node(n)
+            .name
+            .chars()
+            .map(|c| if c.is_whitespace() { '_' } else { c })
+            .collect();
+        if counts.get(&sanitized).copied().unwrap_or(0) > 1 {
+            format!("{sanitized}.{}", n.index())
+        } else {
+            sanitized
+        }
+    };
+
+    for n in ddg.graph().node_ids() {
+        if n == bottom {
+            continue;
+        }
+        let op = ddg.graph().node(n);
+        let ty = op.writes.first().map_or("none", |&t| type_name(t));
+        let _ = writeln!(out, "op {} {} {}", name_of(n), class_name(op.class), ty);
+    }
+    for e in ddg.graph().edge_ids() {
+        let (src, dst) = (ddg.graph().src(e), ddg.graph().dst(e));
+        if src == bottom || dst == bottom {
+            continue;
+        }
+        match ddg.edge_kind(e) {
+            EdgeKind::Flow(t) => {
+                let _ = writeln!(
+                    out,
+                    "flow {} {} {} {}",
+                    name_of(src),
+                    name_of(dst),
+                    ddg.graph().latency(e),
+                    type_name(t)
+                );
+            }
+            EdgeKind::Serial => {
+                let _ = writeln!(
+                    out,
+                    "serial {} {} {}",
+                    name_of(src),
+                    name_of(dst),
+                    ddg.graph().latency(e)
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heuristic::GreedyK;
+
+    const SAMPLE: &str = r#"
+# two loads into an add, then a store
+target superscalar
+op  l1  load  float
+op  l2  load  float
+op  add fadd  float
+op  st  store none
+flow l1 add 4 float
+flow l2 add 4 float
+flow add st 2 float
+serial l1 l2 1
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let d = parse_ddg(SAMPLE).unwrap();
+        assert_eq!(d.num_ops(), 5); // 4 + ⊥
+        assert_eq!(d.values(RegType::FLOAT).len(), 3);
+        assert_eq!(GreedyK::new().saturation(&d, RegType::FLOAT).saturation, 2);
+    }
+
+    #[test]
+    fn roundtrip_preserves_analysis() {
+        let d = parse_ddg(SAMPLE).unwrap();
+        let text = print_ddg(&d);
+        let d2 = parse_ddg(&text).unwrap();
+        assert_eq!(d.num_ops(), d2.num_ops());
+        assert_eq!(d.graph().edge_count(), d2.graph().edge_count());
+        assert_eq!(
+            GreedyK::new().saturation(&d, RegType::FLOAT).saturation,
+            GreedyK::new().saturation(&d2, RegType::FLOAT).saturation
+        );
+        assert_eq!(d.critical_path(), d2.critical_path());
+    }
+
+    #[test]
+    fn vliw_and_multi_type_roundtrip() {
+        let mut b = DdgBuilder::new(Target::vliw());
+        let a = b.op("addr calc", OpClass::Addr, Some(RegType::INT));
+        let l = b.op("ld", OpClass::Load, Some(RegType::FLOAT));
+        let m = b.op("mul", OpClass::FloatMul, Some(RegType::FLOAT));
+        b.serial(a, l, 1);
+        b.flow(l, m, 4, RegType::FLOAT);
+        let d = b.finish();
+        let d2 = parse_ddg(&print_ddg(&d)).unwrap();
+        assert_eq!(d2.num_ops(), d.num_ops());
+        assert_eq!(d2.target().kind, d.target().kind);
+        assert_eq!(d2.values(RegType::INT).len(), 1);
+    }
+
+    #[test]
+    fn error_reporting() {
+        assert!(parse_ddg("").is_err());
+        let e = parse_ddg("op a load float\nflow a b 1 float").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unknown op `b`"));
+        let e = parse_ddg("op a wat float").unwrap_err();
+        assert!(e.message.contains("unknown op class"));
+        let e = parse_ddg("op a load float\nop a load float").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+        let e = parse_ddg("op a load float\ntarget vliw").unwrap_err();
+        assert!(e.message.contains("precede"));
+        let e = parse_ddg("bogus directive").unwrap_err();
+        assert!(e.message.contains("unknown directive"));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let d = parse_ddg("  # leading comment\n\nop x ialu int # trailing\n").unwrap();
+        assert_eq!(d.values(RegType::INT).len(), 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Maximum antichains and minimum chain covers of finite posets (Dilworth).
+//!
+//! The register saturation of a DAG under a fixed killing function is the
+//! size of a maximum antichain of the *disjoint-value DAG* (Touati \[14\]).
+//! Dilworth's theorem reduces this to bipartite matching: for a poset on
+//! `n` elements, `max antichain = n − max matching` on the comparability
+//! bipartite graph, and the antichain itself falls out of the König minimum
+//! vertex cover.
+//!
+//! The order is supplied as a closure `less(u, v)` which **must be a strict
+//! partial order** (irreflexive, transitive); callers pass reachability in a
+//! transitively closed DAG.
+
+use crate::graph::NodeId;
+use crate::matching::{hopcroft_karp, BipartiteGraph};
+
+/// Output of [`max_antichain`]: a witness antichain and a matching-derived
+/// minimum chain cover (both optimal, with `antichain.len() == chains.len()`
+/// by Dilworth's theorem).
+#[derive(Clone, Debug)]
+pub struct AntichainResult {
+    /// A maximum antichain: pairwise incomparable elements.
+    pub antichain: Vec<NodeId>,
+    /// A minimum chain cover: disjoint chains covering every element, each
+    /// listed in increasing order.
+    pub chains: Vec<Vec<NodeId>>,
+}
+
+impl AntichainResult {
+    /// Size of the maximum antichain (== number of chains).
+    pub fn width(&self) -> usize {
+        self.antichain.len()
+    }
+}
+
+/// Computes a maximum antichain and minimum chain cover of the poset induced
+/// by `less` on `elements`.
+///
+/// `less(a, b)` must hold iff `a` strictly precedes `b`; it must be
+/// irreflexive and transitive. Complexity `O(k² + E√k)` for `k` elements.
+///
+/// ```
+/// use rs_graph::{antichain::max_antichain, NodeId};
+///
+/// // the divisibility poset on {1, 2, 3, 4}: width 2 (e.g. {2, 3})
+/// let els: Vec<NodeId> = (1..=4).map(NodeId).collect();
+/// let result = max_antichain(&els, |a, b| a.0 != b.0 && b.0 % a.0 == 0);
+/// assert_eq!(result.width(), 2);
+/// assert_eq!(result.chains.len(), 2); // Dilworth: chain cover of the same size
+/// ```
+pub fn max_antichain(
+    elements: &[NodeId],
+    mut less: impl FnMut(NodeId, NodeId) -> bool,
+) -> AntichainResult {
+    let k = elements.len();
+    let mut bg = BipartiteGraph::new(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && less(elements[i], elements[j]) {
+                bg.add_edge(i, j);
+            }
+        }
+    }
+    let m = hopcroft_karp(&bg);
+
+    // Antichain = elements uncovered on both sides (König).
+    let antichain: Vec<NodeId> = (0..k)
+        .filter(|&i| !m.cover_left[i] && !m.cover_right[i])
+        .map(|i| elements[i])
+        .collect();
+    debug_assert_eq!(antichain.len(), k - m.size, "Dilworth count mismatch");
+
+    // Chains: follow pair_left pointers from chain heads (unmatched on the
+    // right, i.e. nothing precedes them in the cover).
+    let mut chains = Vec::with_capacity(k - m.size);
+    for start in 0..k {
+        if m.pair_right[start].is_some() {
+            continue; // not a chain head
+        }
+        let mut chain = vec![elements[start]];
+        let mut cur = start;
+        while let Some(next) = m.pair_left[cur] {
+            chain.push(elements[next]);
+            cur = next;
+        }
+        chains.push(chain);
+    }
+    debug_assert_eq!(chains.len(), k - m.size, "chain cover count mismatch");
+
+    AntichainResult { antichain, chains }
+}
+
+/// Convenience wrapper returning only the minimum chain cover.
+pub fn min_chain_cover(
+    elements: &[NodeId],
+    less: impl FnMut(NodeId, NodeId) -> bool,
+) -> Vec<Vec<NodeId>> {
+    max_antichain(elements, less).chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u32]) -> Vec<NodeId> {
+        v.iter().map(|&x| NodeId(x)).collect()
+    }
+
+    #[test]
+    fn total_order_has_width_one() {
+        let els = ids(&[0, 1, 2, 3]);
+        let r = max_antichain(&els, |a, b| a.0 < b.0);
+        assert_eq!(r.width(), 1);
+        assert_eq!(r.chains.len(), 1);
+        assert_eq!(r.chains[0], els);
+    }
+
+    #[test]
+    fn empty_order_is_one_big_antichain() {
+        let els = ids(&[0, 1, 2, 3, 4]);
+        let r = max_antichain(&els, |_, _| false);
+        assert_eq!(r.width(), 5);
+        assert_eq!(r.chains.len(), 5);
+    }
+
+    #[test]
+    fn two_by_two_grid() {
+        // poset: 0 < 1, 0 < 2, 1 < 3, 2 < 3 (and 0 < 3 by transitivity)
+        let els = ids(&[0, 1, 2, 3]);
+        let pairs = [(0, 1), (0, 2), (1, 3), (2, 3), (0, 3)];
+        let r = max_antichain(&els, |a, b| pairs.contains(&(a.0, b.0)));
+        assert_eq!(r.width(), 2);
+        let set: Vec<u32> = r.antichain.iter().map(|n| n.0).collect();
+        assert!(set == vec![1, 2], "expected the middle layer, got {:?}", set);
+    }
+
+    #[test]
+    fn empty_elements() {
+        let r = max_antichain(&[], |_, _| true);
+        assert_eq!(r.width(), 0);
+        assert!(r.chains.is_empty());
+    }
+
+    #[test]
+    fn chains_partition_elements() {
+        let els = ids(&[0, 1, 2, 3, 4, 5]);
+        // two independent chains: 0<1<2 and 3<4, plus isolated 5
+        let pairs = [(0, 1), (1, 2), (0, 2), (3, 4)];
+        let r = max_antichain(&els, |a, b| pairs.contains(&(a.0, b.0)));
+        assert_eq!(r.width(), 3);
+        let mut all: Vec<u32> = r.chains.iter().flatten().map(|n| n.0).collect();
+        all.sort();
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+        // each chain is increasing in the order
+        for chain in &r.chains {
+            for w in chain.windows(2) {
+                assert!(pairs.contains(&(w[0].0, w[1].0)));
+            }
+        }
+    }
+
+    /// Brute-force max antichain by subset enumeration.
+    fn brute_width(els: &[NodeId], less: &dyn Fn(NodeId, NodeId) -> bool) -> usize {
+        let k = els.len();
+        let mut best = 0;
+        for mask in 0u32..(1 << k) {
+            let members: Vec<NodeId> = (0..k)
+                .filter(|&i| mask & (1 << i) != 0)
+                .map(|i| els[i])
+                .collect();
+            let ok = members.iter().all(|&a| {
+                members
+                    .iter()
+                    .all(|&b| a == b || (!less(a, b) && !less(b, a)))
+            });
+            if ok {
+                best = best.max(members.len());
+            }
+        }
+        best
+    }
+
+    proptest! {
+        #[test]
+        fn agrees_with_brute_force(edges in proptest::collection::vec((0u32..8, 0u32..8), 0..20)) {
+            // build a random strict order from a random DAG (low -> high) and
+            // transitively close it by Floyd-Warshall
+            let mut rel = [[false; 8]; 8];
+            for (u, v) in edges {
+                if u < v {
+                    rel[u as usize][v as usize] = true;
+                }
+            }
+            for m in 0..8 {
+                for a in 0..8 {
+                    for b in 0..8 {
+                        if rel[a][m] && rel[m][b] {
+                            rel[a][b] = true;
+                        }
+                    }
+                }
+            }
+            let els = ids(&[0, 1, 2, 3, 4, 5, 6, 7]);
+            let less = |a: NodeId, b: NodeId| rel[a.index()][b.index()];
+            let r = max_antichain(&els, less);
+            // witness is a valid antichain
+            for &a in &r.antichain {
+                for &b in &r.antichain {
+                    prop_assert!(a == b || (!less(a, b) && !less(b, a)));
+                }
+            }
+            // optimal
+            prop_assert_eq!(r.width(), brute_width(&els, &less));
+            // Dilworth: chains count equals width, chains partition
+            prop_assert_eq!(r.chains.len(), r.width());
+            let mut all: Vec<u32> = r.chains.iter().flatten().map(|n| n.0).collect();
+            all.sort();
+            prop_assert_eq!(all, (0u32..8).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Bitset transitive closure / reachability.
+//!
+//! The disjoint-value DAG and the poset algorithms need `O(1)` reachability
+//! queries; one bitset row per node gives `O(n·m/64)` construction.
+
+use crate::bitset::BitSet;
+use crate::graph::{DiGraph, NodeId};
+use crate::topo::topo_sort;
+
+/// Reachability oracle for a DAG. `reaches(u, v)` is true iff there is a
+/// path of one or more edges from `u` to `v` (irreflexive: `reaches(u, u)`
+/// is false unless the caller made it so via [`TransitiveClosure::insert`]).
+#[derive(Clone, Debug)]
+pub struct TransitiveClosure {
+    rows: Vec<BitSet>,
+}
+
+impl TransitiveClosure {
+    /// Builds the closure of a DAG.
+    pub fn new<N>(g: &DiGraph<N>) -> Self {
+        let n = g.node_count();
+        let order = topo_sort(g).expect("TransitiveClosure requires a DAG");
+        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for &u in order.iter().rev() {
+            // descendants(u) = ∪ over successors s of ({s} ∪ descendants(s))
+            let ui = u.index();
+            let succs: Vec<NodeId> = g.successors(u).collect();
+            for s in succs {
+                let si = s.index();
+                if si != ui {
+                    // split_at_mut to borrow two rows
+                    if ui < si {
+                        let (left, right) = rows.split_at_mut(si);
+                        left[ui].union_with(&right[0]);
+                    } else {
+                        let (left, right) = rows.split_at_mut(ui);
+                        right[0].union_with(&left[si]);
+                    }
+                    rows[ui].insert(si);
+                }
+            }
+        }
+        TransitiveClosure { rows }
+    }
+
+    /// Strict reachability query.
+    #[inline]
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.rows[u.index()].contains(v.index())
+    }
+
+    /// Reflexive-or-strict reachability.
+    #[inline]
+    pub fn reaches_eq(&self, u: NodeId, v: NodeId) -> bool {
+        u == v || self.reaches(u, v)
+    }
+
+    /// Whether `u` and `v` are incomparable (no path either way, and distinct).
+    #[inline]
+    pub fn incomparable(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && !self.reaches(u, v) && !self.reaches(v, u)
+    }
+
+    /// The descendant row of `u`.
+    #[inline]
+    pub fn descendants(&self, u: NodeId) -> &BitSet {
+        &self.rows[u.index()]
+    }
+
+    /// Number of strict descendants of `u`.
+    pub fn descendant_count(&self, u: NodeId) -> usize {
+        self.rows[u.index()].count()
+    }
+
+    /// Manually asserts reachability `u ⇝ v` (used by callers that overlay
+    /// extra precedence on top of a graph closure).
+    pub fn insert(&mut self, u: NodeId, v: NodeId) {
+        self.rows[u.index()].insert(v.index());
+    }
+
+    /// Number of nodes covered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the closure covers zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn diamond_closure() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 0);
+        g.add_edge(a, c, 0);
+        g.add_edge(b, d, 0);
+        g.add_edge(c, d, 0);
+        let tc = TransitiveClosure::new(&g);
+        assert!(tc.reaches(a, d));
+        assert!(tc.reaches(a, b));
+        assert!(!tc.reaches(d, a));
+        assert!(!tc.reaches(b, c));
+        assert!(tc.incomparable(b, c));
+        assert!(!tc.incomparable(a, d));
+        assert!(!tc.reaches(a, a));
+        assert!(tc.reaches_eq(a, a));
+        assert_eq!(tc.descendant_count(a), 3);
+        assert_eq!(tc.descendant_count(d), 0);
+    }
+
+    #[test]
+    fn manual_insert() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let mut tc = TransitiveClosure::new(&g);
+        assert!(!tc.reaches(a, b));
+        tc.insert(a, b);
+        assert!(tc.reaches(a, b));
+    }
+
+    proptest! {
+        /// Closure agrees with DFS reachability on random DAGs.
+        #[test]
+        fn matches_dfs(edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+            let mut g: DiGraph<()> = DiGraph::new();
+            for _ in 0..12 {
+                g.add_node(());
+            }
+            for (u, v) in edges {
+                // orient edges low -> high to guarantee a DAG
+                if u < v {
+                    g.add_edge(NodeId(u as u32), NodeId(v as u32), 1);
+                }
+            }
+            let tc = TransitiveClosure::new(&g);
+            // reference DFS
+            for s in g.node_ids() {
+                let mut seen = [false; 12];
+                let mut stack = vec![s];
+                while let Some(u) = stack.pop() {
+                    for v in g.successors(u) {
+                        if !seen[v.index()] {
+                            seen[v.index()] = true;
+                            stack.push(v);
+                        }
+                    }
+                }
+                for t in g.node_ids() {
+                    prop_assert_eq!(tc.reaches(s, t), seen[t.index()],
+                        "closure mismatch {:?} -> {:?}", s, t);
+                }
+            }
+        }
+    }
+}

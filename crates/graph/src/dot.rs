@@ -1,0 +1,83 @@
+//! Graphviz DOT export, for debugging DDGs and documenting examples.
+
+use crate::graph::DiGraph;
+use std::fmt::Write;
+
+/// Renders the graph in Graphviz DOT syntax. Node labels come from
+/// `label(payload)`; edge labels are latencies. `highlight` edges (by id
+/// index) are drawn bold red — used to visualize added serialization arcs.
+pub fn to_dot<N>(
+    g: &DiGraph<N>,
+    name: &str,
+    mut label: impl FnMut(&N) -> String,
+    highlight: &[usize],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=TB;");
+    for n in g.node_ids() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            n.index(),
+            escape(&label(g.node(n)))
+        );
+    }
+    for e in g.edge_ids() {
+        let style = if highlight.contains(&e.index()) {
+            " color=red penwidth=2"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"{}];",
+            g.src(e).index(),
+            g.dst(e).index(),
+            g.latency(e),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node("load");
+        let b = g.add_node("add");
+        let e = g.add_edge(a, b, 3);
+        let dot = to_dot(&g, "test", |s| s.to_string(), &[e.index()]);
+        assert!(dot.contains("digraph test"));
+        assert!(dot.contains("n0 [label=\"load\"]"));
+        assert!(dot.contains("n0 -> n1 [label=\"3\" color=red penwidth=2]"));
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut g = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = to_dot(&g, "q", |s| s.to_string(), &[]);
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+
+    #[test]
+    fn skips_tombstoned_edges() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e = g.add_edge(a, b, 1);
+        g.remove_edge(e);
+        let dot = to_dot(&g, "t", |_| "x".into(), &[]);
+        assert!(!dot.contains("->"));
+    }
+}

@@ -1,0 +1,63 @@
+//! # rs-graph — directed-graph substrate for register-saturation analysis
+//!
+//! This crate provides the graph algorithms the register-saturation framework
+//! is built on. It is deliberately self-contained (no external graph crate):
+//! the paper's algorithms need tight control over edge latencies (which may be
+//! negative for VLIW/EPIC serialization arcs), tombstone edge removal, and
+//! poset algorithms (Dilworth antichains via Hopcroft–Karp matching) that are
+//! not available off the shelf.
+//!
+//! ## Modules
+//!
+//! - [`graph`]: arena-based directed multigraph with `i64` edge latencies.
+//! - [`bitset`]: fixed-size bitsets used for transitive-closure rows.
+//! - [`topo`]: topological sorting and cycle extraction.
+//! - [`paths`]: single-source and all-pairs *longest* paths on DAGs
+//!   (the scheduling-theoretic `lp(u, v)` of the paper).
+//! - [`closure`]: bitset transitive closure / reachability.
+//! - [`matching`]: Hopcroft–Karp maximum bipartite matching with König
+//!   vertex-cover extraction.
+//! - [`antichain`]: maximum antichain and minimum chain cover of a poset
+//!   (Dilworth / Mirsky machinery used to evaluate `RS` for a fixed killing
+//!   function).
+//! - [`interval`]: half-open lifetime intervals `(a, b]` and the sweep that
+//!   computes the maximum number of simultaneously alive values.
+//! - [`dot`]: Graphviz export for debugging and documentation.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use rs_graph::{DiGraph, paths, antichain};
+//!
+//! let mut g: DiGraph<&str> = DiGraph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! let c = g.add_node("c");
+//! g.add_edge(a, b, 2);
+//! g.add_edge(b, c, 3);
+//! let order = rs_graph::topo::topo_sort(&g).unwrap();
+//! assert_eq!(order.len(), 3);
+//! let lp = paths::longest_from(&g, a);
+//! assert_eq!(lp[c.index()], Some(5));
+//! ```
+
+pub mod antichain;
+pub mod bitset;
+pub mod closure;
+pub mod dot;
+pub mod graph;
+pub mod interval;
+pub mod matching;
+pub mod paths;
+pub mod topo;
+
+pub use antichain::{max_antichain, min_chain_cover, AntichainResult};
+pub use bitset::BitSet;
+pub use closure::TransitiveClosure;
+pub use graph::{DiGraph, EdgeId, NodeId};
+pub use interval::{max_overlap, Interval};
+pub use matching::{hopcroft_karp, BipartiteGraph, MatchingResult};
+pub use topo::{cycle_witness, is_acyclic, topo_sort, CycleError};
+
+/// Sentinel latency used in longest-path tables for "no path".
+pub const NO_PATH: i64 = i64::MIN;

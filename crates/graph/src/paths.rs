@@ -1,0 +1,290 @@
+//! Longest paths on DAGs.
+//!
+//! In the scheduling model of the paper, a valid schedule satisfies
+//! `σ_v − σ_u ≥ δ(e)` for every edge, so the *longest* path `lp(u, v)` is the
+//! minimum possible separation between the issue dates of `u` and `v`. All
+//! routines accept negative latencies (VLIW serialization arcs).
+//!
+//! All functions panic if the graph is cyclic; callers are expected to have
+//! validated acyclicity (the DDG invariant).
+
+use crate::graph::{DiGraph, NodeId};
+use crate::topo::topo_sort;
+
+/// Longest path lengths from `src` to every node (`None` if unreachable;
+/// `Some(0)` for `src` itself).
+pub fn longest_from<N>(g: &DiGraph<N>, src: NodeId) -> Vec<Option<i64>> {
+    let order = topo_sort(g).expect("longest_from requires a DAG");
+    let mut dist: Vec<Option<i64>> = vec![None; g.node_count()];
+    dist[src.index()] = Some(0);
+    for &u in &order {
+        let Some(du) = dist[u.index()] else { continue };
+        for e in g.out_edges(u) {
+            let v = g.dst(e);
+            let cand = du + g.latency(e);
+            if dist[v.index()].is_none_or(|dv| cand > dv) {
+                dist[v.index()] = Some(cand);
+            }
+        }
+    }
+    dist
+}
+
+/// Longest path lengths from every node to `dst`.
+pub fn longest_to<N>(g: &DiGraph<N>, dst: NodeId) -> Vec<Option<i64>> {
+    let order = topo_sort(g).expect("longest_to requires a DAG");
+    let mut dist: Vec<Option<i64>> = vec![None; g.node_count()];
+    dist[dst.index()] = Some(0);
+    for &u in order.iter().rev() {
+        if u == dst {
+            continue;
+        }
+        let mut best: Option<i64> = None;
+        for e in g.out_edges(u) {
+            let v = g.dst(e);
+            if let Some(dv) = dist[v.index()] {
+                let cand = dv + g.latency(e);
+                if best.is_none_or(|b| cand > b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        if u != dst {
+            dist[u.index()] = best;
+        }
+    }
+    dist
+}
+
+/// Dense all-pairs longest-path table for a DAG.
+///
+/// Memory is `O(n²)`; time is `O(n·m)`. DDGs in this framework are loop
+/// bodies (tens of nodes) so a dense table is the right trade-off — it is
+/// queried `O(n²)` times per saturation analysis.
+#[derive(Clone, Debug)]
+pub struct LongestPaths {
+    n: usize,
+    // row-major; i64::MIN encodes "no path"
+    table: Vec<i64>,
+}
+
+impl LongestPaths {
+    /// Builds the table.
+    pub fn new<N>(g: &DiGraph<N>) -> Self {
+        let n = g.node_count();
+        let order = topo_sort(g).expect("LongestPaths requires a DAG");
+        let mut table = vec![i64::MIN; n * n];
+        // Process nodes in reverse topological order: lp(u, v) =
+        // max over out-edges (u,w) of δ + lp(w, v), and lp(u, u) = 0.
+        for &u in order.iter().rev() {
+            let ui = u.index();
+            table[ui * n + ui] = 0;
+            for e in g.out_edges(u) {
+                let w = g.dst(e);
+                let lat = g.latency(e);
+                let wi = w.index();
+                // Split borrows: copy w's row segment-wise.
+                for v in 0..n {
+                    let via = table[wi * n + v];
+                    if via != i64::MIN {
+                        let cand = via + lat;
+                        let cell = &mut table[ui * n + v];
+                        if *cell == i64::MIN || cand > *cell {
+                            *cell = cand;
+                        }
+                    }
+                }
+            }
+        }
+        LongestPaths { n, table }
+    }
+
+    /// `lp(u, v)`: longest path length, `None` if no path. `lp(u, u) == 0`.
+    #[inline]
+    pub fn lp(&self, u: NodeId, v: NodeId) -> Option<i64> {
+        let x = self.table[u.index() * self.n + v.index()];
+        (x != i64::MIN).then_some(x)
+    }
+
+    /// Whether a (possibly empty) path `u ⇝ v` exists.
+    #[inline]
+    pub fn reaches(&self, u: NodeId, v: NodeId) -> bool {
+        self.table[u.index() * self.n + v.index()] != i64::MIN
+    }
+
+    /// Number of nodes the table covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Length of the longest path in the DAG (0 for an empty or edgeless graph).
+pub fn critical_path<N>(g: &DiGraph<N>) -> i64 {
+    let order = topo_sort(g).expect("critical_path requires a DAG");
+    let mut dist: Vec<i64> = vec![0; g.node_count()];
+    let mut best = 0i64;
+    for &u in &order {
+        let du = dist[u.index()];
+        for e in g.out_edges(u) {
+            let v = g.dst(e);
+            let cand = du + g.latency(e);
+            if cand > dist[v.index()] {
+                dist[v.index()] = cand;
+                if cand > best {
+                    best = cand;
+                }
+            }
+        }
+    }
+    best
+}
+
+/// As-soon-as-possible issue dates: `asap(u) = max path length into u`,
+/// i.e. the earliest valid `σ_u` starting all sources at 0.
+pub fn asap<N>(g: &DiGraph<N>) -> Vec<i64> {
+    let order = topo_sort(g).expect("asap requires a DAG");
+    let mut dist = vec![0i64; g.node_count()];
+    for &u in &order {
+        for e in g.out_edges(u) {
+            let v = g.dst(e);
+            dist[v.index()] = dist[v.index()].max(dist[u.index()] + g.latency(e));
+        }
+    }
+    dist
+}
+
+/// As-late-as-possible issue dates against horizon `t`:
+/// `alap(u) = t − max path length from u`.
+pub fn alap<N>(g: &DiGraph<N>, horizon: i64) -> Vec<i64> {
+    let order = topo_sort(g).expect("alap requires a DAG");
+    let mut from = vec![0i64; g.node_count()];
+    for &u in order.iter().rev() {
+        for e in g.out_edges(u) {
+            let v = g.dst(e);
+            from[u.index()] = from[u.index()].max(from[v.index()] + g.latency(e));
+        }
+    }
+    from.iter().map(|&f| horizon - f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain_and_shortcut() -> (DiGraph<()>, [NodeId; 4]) {
+        // a -1-> b -2-> c -3-> d, plus shortcut a -4-> d
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(b, c, 2);
+        g.add_edge(c, d, 3);
+        g.add_edge(a, d, 4);
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn longest_from_picks_longer_route() {
+        let (g, [a, b, c, d]) = chain_and_shortcut();
+        let lp = longest_from(&g, a);
+        assert_eq!(lp[a.index()], Some(0));
+        assert_eq!(lp[b.index()], Some(1));
+        assert_eq!(lp[c.index()], Some(3));
+        assert_eq!(lp[d.index()], Some(6)); // 1+2+3 beats the 4 shortcut
+    }
+
+    #[test]
+    fn longest_to_mirrors() {
+        let (g, [a, b, _, d]) = chain_and_shortcut();
+        let lp = longest_to(&g, d);
+        assert_eq!(lp[a.index()], Some(6));
+        assert_eq!(lp[b.index()], Some(5));
+        assert_eq!(lp[d.index()], Some(0));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 1);
+        let lp = longest_from(&g, a);
+        assert_eq!(lp[c.index()], None);
+        let lpt = longest_to(&g, b);
+        assert_eq!(lpt[c.index()], None);
+    }
+
+    #[test]
+    fn all_pairs_consistent_with_single_source() {
+        let (g, [a, b, c, d]) = chain_and_shortcut();
+        let ap = LongestPaths::new(&g);
+        for &u in &[a, b, c, d] {
+            let single = longest_from(&g, u);
+            for &v in &[a, b, c, d] {
+                assert_eq!(ap.lp(u, v), single[v.index()], "lp({:?},{:?})", u, v);
+            }
+        }
+        assert!(ap.reaches(a, d));
+        assert!(!ap.reaches(d, a));
+        assert_eq!(ap.len(), 4);
+    }
+
+    #[test]
+    fn negative_latency_paths() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, -2);
+        g.add_edge(b, c, 5);
+        g.add_edge(a, c, 1);
+        let ap = LongestPaths::new(&g);
+        assert_eq!(ap.lp(a, c), Some(3)); // -2+5 beats 1
+        assert_eq!(ap.lp(a, b), Some(-2));
+    }
+
+    #[test]
+    fn critical_path_and_asap_alap() {
+        let (g, [a, b, c, d]) = chain_and_shortcut();
+        assert_eq!(critical_path(&g), 6);
+        let asap_v = asap(&g);
+        assert_eq!(asap_v[a.index()], 0);
+        assert_eq!(asap_v[d.index()], 6);
+        let alap_v = alap(&g, 10);
+        assert_eq!(alap_v[d.index()], 10);
+        assert_eq!(alap_v[a.index()], 4);
+        assert_eq!(alap_v[b.index()], 5);
+        assert_eq!(alap_v[c.index()], 7);
+        // asap ≤ alap for any horizon ≥ critical path
+        for n in g.node_ids() {
+            assert!(asap_v[n.index()] <= alap_v[n.index()]);
+        }
+    }
+
+    #[test]
+    fn parallel_edges_take_max() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 9);
+        let ap = LongestPaths::new(&g);
+        assert_eq!(ap.lp(a, b), Some(9));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<()> = DiGraph::new();
+        assert_eq!(critical_path(&g), 0);
+        let ap = LongestPaths::new(&g);
+        assert!(ap.is_empty());
+    }
+}

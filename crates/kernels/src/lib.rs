@@ -1,0 +1,168 @@
+//! # rs-kernels — the experiment corpus
+//!
+//! The paper evaluates on "some scientific codes extracted from SpecFP,
+//! whetstone, livermore and linpack … simply some loop bodies (excluding
+//! branches)". The original DDG extractions are not available, so this
+//! crate models the classic kernels' loop bodies by hand — same operation
+//! mix (long-latency loads, FP multiply/add chains, address arithmetic),
+//! same sizes (tens of operations), same value structure (fan-out loads,
+//! reductions, stencils) — and complements them with a seeded random
+//! layered-DAG generator for the breadth sweeps.
+//!
+//! Every builder takes the [`Target`] so the same kernel can be analysed
+//! under superscalar and VLIW delay models.
+
+pub mod figure2;
+pub mod linpack;
+pub mod livermore;
+pub mod random;
+pub mod specfp;
+pub mod whetstone;
+
+use rs_core::model::{Ddg, Target};
+
+/// A named kernel of the corpus.
+pub struct Kernel {
+    /// Short identifier, e.g. `"lll1"`.
+    pub name: &'static str,
+    /// One-line description of the modelled loop body.
+    pub description: &'static str,
+    /// DDG builder.
+    pub build: fn(Target) -> Ddg,
+}
+
+/// The full named corpus (Livermore + LINPACK + whetstone + SpecFP-like).
+pub fn corpus() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "lll1",
+            description: "Livermore loop 1: hydro fragment x[k]=q+y[k]*(r*z[k+10]+t*z[k+11])",
+            build: livermore::lll1_hydro,
+        },
+        Kernel {
+            name: "lll2",
+            description: "Livermore loop 2: ICCG inner body (reduction of products)",
+            build: livermore::lll2_iccg,
+        },
+        Kernel {
+            name: "lll3",
+            description: "Livermore loop 3: inner product q += z[k]*x[k] (unrolled x4)",
+            build: livermore::lll3_inner_product,
+        },
+        Kernel {
+            name: "lll5",
+            description: "Livermore loop 5: tri-diagonal elimination x[i]=z[i]*(y[i]-x[i-1])",
+            build: livermore::lll5_tridiag,
+        },
+        Kernel {
+            name: "lll7",
+            description: "Livermore loop 7: equation of state fragment (wide FMA tree)",
+            build: livermore::lll7_state,
+        },
+        Kernel {
+            name: "lll9",
+            description: "Livermore loop 9: integrate predictors (wide dot product)",
+            build: livermore::lll9_predictors,
+        },
+        Kernel {
+            name: "lll11",
+            description: "Livermore loop 11: first sum (serial prefix recurrence)",
+            build: livermore::lll11_first_sum,
+        },
+        Kernel {
+            name: "lll12",
+            description: "Livermore loop 12: first difference (shared loads)",
+            build: livermore::lll12_first_diff,
+        },
+        Kernel {
+            name: "daxpy",
+            description: "LINPACK daxpy: dy[i] += da*dx[i] (unrolled x4)",
+            build: linpack::daxpy,
+        },
+        Kernel {
+            name: "ddot",
+            description: "LINPACK ddot: sum += dx[i]*dy[i] (unrolled x4)",
+            build: linpack::ddot,
+        },
+        Kernel {
+            name: "dscal",
+            description: "LINPACK dscal: dx[i] = da*dx[i] (unrolled x4)",
+            build: linpack::dscal,
+        },
+        Kernel {
+            name: "whet_p3",
+            description: "Whetstone module 3: array-element arithmetic cycle",
+            build: whetstone::p3_array,
+        },
+        Kernel {
+            name: "whet_p8",
+            description: "Whetstone module 8: procedure call body (mul/div chain)",
+            build: whetstone::p8_proc,
+        },
+        Kernel {
+            name: "tomcatv",
+            description: "SpecFP-like tomcatv mesh stencil fragment",
+            build: specfp::tomcatv_stencil,
+        },
+        Kernel {
+            name: "swim",
+            description: "SpecFP-like swim shallow-water update fragment",
+            build: specfp::swim_update,
+        },
+        Kernel {
+            name: "fppp",
+            description: "SpecFP-like fpppp two-electron fragment (deep FP dependence chain)",
+            build: specfp::fppp_chain,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_core::heuristic::GreedyK;
+    use rs_core::model::RegType;
+
+    #[test]
+    fn corpus_builds_on_both_targets() {
+        for k in corpus() {
+            for target in [Target::superscalar(), Target::vliw()] {
+                let d = (k.build)(target);
+                assert!(d.is_acyclic(), "{} must be a DAG", k.name);
+                assert!(d.num_ops() >= 8, "{} too small ({} ops)", k.name, d.num_ops());
+                assert!(
+                    !d.values(RegType::FLOAT).is_empty() || !d.values(RegType::INT).is_empty(),
+                    "{} has no register values",
+                    k.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_has_nontrivial_saturation() {
+        let g = GreedyK::new();
+        let mut nontrivial = 0;
+        for k in corpus() {
+            let d = (k.build)(Target::superscalar());
+            for t in d.reg_types() {
+                if g.saturation(&d, t).saturation >= 3 {
+                    nontrivial += 1;
+                }
+            }
+        }
+        assert!(
+            nontrivial >= 8,
+            "expected most kernels to exert register pressure, got {nontrivial}"
+        );
+    }
+
+    #[test]
+    fn corpus_names_unique() {
+        let names: Vec<_> = corpus().iter().map(|k| k.name).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(names.len(), dedup.len());
+    }
+}

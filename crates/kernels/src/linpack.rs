@@ -1,0 +1,112 @@
+//! LINPACK BLAS-1 loop bodies (daxpy / ddot / dscal), unrolled by four —
+//! the form compilers actually schedule.
+
+use rs_core::model::{Ddg, DdgBuilder, OpClass, RegType, Target};
+
+const F: RegType = RegType::FLOAT;
+const I: RegType = RegType::INT;
+
+/// `dy[i] = dy[i] + da * dx[i]`, unrolled x4, with address updates.
+pub fn daxpy(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let da = b.op("da", OpClass::Copy, Some(F));
+    let ix = b.op("ix", OpClass::IntAlu, Some(I));
+    let iy = b.op("iy", OpClass::IntAlu, Some(I));
+    for j in 0..4 {
+        let ax = b.op(format!("&dx[i+{j}]"), OpClass::Addr, Some(I));
+        let ay = b.op(format!("&dy[i+{j}]"), OpClass::Addr, Some(I));
+        b.flow(ix, ax, 1, I);
+        b.flow(iy, ay, 1, I);
+        let x = b.op(format!("load dx[i+{j}]"), OpClass::Load, Some(F));
+        let y = b.op(format!("load dy[i+{j}]"), OpClass::Load, Some(F));
+        b.serial(ax, x, 1);
+        b.serial(ay, y, 1);
+        let m = b.op(format!("da*dx{j}"), OpClass::FloatMul, Some(F));
+        b.flow(da, m, 1, F);
+        b.flow(x, m, 4, F);
+        let s = b.op(format!("dy{j}+m{j}"), OpClass::FloatAlu, Some(F));
+        b.flow(y, s, 4, F);
+        b.flow(m, s, 4, F);
+        let st = b.op(format!("store dy[i+{j}]"), OpClass::Store, None);
+        b.flow(s, st, 3, F);
+        b.flow(ay, st, 1, I);
+    }
+    b.finish()
+}
+
+/// `dtemp += dx[i] * dy[i]`, unrolled x4 with a partial-sum tree.
+pub fn ddot(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let mut prods = Vec::new();
+    for j in 0..4 {
+        let x = b.op(format!("load dx[i+{j}]"), OpClass::Load, Some(F));
+        let y = b.op(format!("load dy[i+{j}]"), OpClass::Load, Some(F));
+        let m = b.op(format!("x{j}*y{j}"), OpClass::FloatMul, Some(F));
+        b.flow(x, m, 4, F);
+        b.flow(y, m, 4, F);
+        prods.push(m);
+    }
+    let acc = b.op("dtemp", OpClass::Copy, Some(F));
+    let s01 = b.op("p0+p1", OpClass::FloatAlu, Some(F));
+    b.flow(prods[0], s01, 4, F);
+    b.flow(prods[1], s01, 4, F);
+    let s23 = b.op("p2+p3", OpClass::FloatAlu, Some(F));
+    b.flow(prods[2], s23, 4, F);
+    b.flow(prods[3], s23, 4, F);
+    let tot = b.op("s01+s23", OpClass::FloatAlu, Some(F));
+    b.flow(s01, tot, 3, F);
+    b.flow(s23, tot, 3, F);
+    let upd = b.op("dtemp+tot", OpClass::FloatAlu, Some(F));
+    b.flow(acc, upd, 1, F);
+    b.flow(tot, upd, 3, F);
+    b.finish()
+}
+
+/// `dx[i] = da * dx[i]`, unrolled x4 — short independent def-use chains,
+/// the easily-reducible end of the corpus.
+pub fn dscal(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let da = b.op("da", OpClass::Copy, Some(F));
+    for j in 0..4 {
+        let x = b.op(format!("load dx[i+{j}]"), OpClass::Load, Some(F));
+        let m = b.op(format!("da*x{j}"), OpClass::FloatMul, Some(F));
+        b.flow(da, m, 1, F);
+        b.flow(x, m, 4, F);
+        let st = b.op(format!("store dx[i+{j}]"), OpClass::Store, None);
+        b.flow(m, st, 3, F);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_core::heuristic::GreedyK;
+    use rs_core::reduce::Reducer;
+
+    #[test]
+    fn daxpy_has_mixed_pressure() {
+        let d = daxpy(Target::superscalar());
+        let g = GreedyK::new();
+        let f = g.saturation(&d, RegType::FLOAT).saturation;
+        let i = g.saturation(&d, RegType::INT).saturation;
+        assert!(f >= 6, "float pressure {f}");
+        assert!(i >= 2, "int pressure {i}");
+    }
+
+    #[test]
+    fn ddot_all_loads_alive() {
+        let d = ddot(Target::superscalar());
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        assert!(rs >= 8, "got {rs}");
+    }
+
+    #[test]
+    fn dscal_reduces_cleanly() {
+        let mut d = dscal(Target::superscalar());
+        let before = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        assert!(before >= 4);
+        let out = Reducer::new().reduce(&mut d, RegType::FLOAT, 3);
+        assert!(out.fits(), "{:?}", out);
+    }
+}

@@ -1,0 +1,317 @@
+//! Livermore loop bodies (FORTRAN kernels from the classic LFK suite),
+//! modelled as DDGs: loads for array reads, FP arithmetic for the
+//! expressions, integer address arithmetic, stores for array writes.
+
+use rs_core::model::{Ddg, DdgBuilder, OpClass, RegType, Target};
+
+const F: RegType = RegType::FLOAT;
+const I: RegType = RegType::INT;
+
+/// Livermore loop 1 — hydro fragment:
+/// `x[k] = q + y[k] * (r * z[k+10] + t * z[k+11])`.
+pub fn lll1_hydro(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    // address arithmetic
+    let k = b.op("k = i*8", OpClass::IntAlu, Some(I));
+    let a_y = b.op("&y[k]", OpClass::Addr, Some(I));
+    let a_z10 = b.op("&z[k+10]", OpClass::Addr, Some(I));
+    let a_z11 = b.op("&z[k+11]", OpClass::Addr, Some(I));
+    let a_x = b.op("&x[k]", OpClass::Addr, Some(I));
+    b.flow(k, a_y, 1, I);
+    b.flow(k, a_z10, 1, I);
+    b.flow(k, a_z11, 1, I);
+    b.flow(k, a_x, 1, I);
+    // loads
+    let y = b.op("load y[k]", OpClass::Load, Some(F));
+    let z10 = b.op("load z[k+10]", OpClass::Load, Some(F));
+    let z11 = b.op("load z[k+11]", OpClass::Load, Some(F));
+    b.serial(a_y, y, 1);
+    b.serial(a_z10, z10, 1);
+    b.serial(a_z11, z11, 1);
+    // loop-invariant scalars live in registers: modelled as copies
+    let q = b.op("q", OpClass::Copy, Some(F));
+    let r = b.op("r", OpClass::Copy, Some(F));
+    let t = b.op("t", OpClass::Copy, Some(F));
+    // r*z[k+10]
+    let m1 = b.op("r*z10", OpClass::FloatMul, Some(F));
+    b.flow(r, m1, 1, F);
+    b.flow(z10, m1, 4, F);
+    // t*z[k+11]
+    let m2 = b.op("t*z11", OpClass::FloatMul, Some(F));
+    b.flow(t, m2, 1, F);
+    b.flow(z11, m2, 4, F);
+    // sum and outer multiply-add
+    let s1 = b.op("m1+m2", OpClass::FloatAlu, Some(F));
+    b.flow(m1, s1, 4, F);
+    b.flow(m2, s1, 4, F);
+    let m3 = b.op("y*s1", OpClass::FloatMul, Some(F));
+    b.flow(y, m3, 4, F);
+    b.flow(s1, m3, 3, F);
+    let s2 = b.op("q+m3", OpClass::FloatAlu, Some(F));
+    b.flow(q, s2, 1, F);
+    b.flow(m3, s2, 4, F);
+    // store
+    let st = b.op("store x[k]", OpClass::Store, None);
+    b.flow(s2, st, 3, F);
+    b.flow(a_x, st, 1, I);
+    b.finish()
+}
+
+/// Livermore loop 2 — ICCG inner body, a short reduction of products:
+/// `q -= x[k]*v[k] + x[k+1]*v[k+1]` style fragment.
+pub fn lll2_iccg(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let base = b.op("addr base", OpClass::Addr, Some(I));
+    let mut partials = Vec::new();
+    for j in 0..3 {
+        let ax = b.op(format!("&x[k+{j}]"), OpClass::Addr, Some(I));
+        b.flow(base, ax, 1, I);
+        let x = b.op(format!("load x[k+{j}]"), OpClass::Load, Some(F));
+        let v = b.op(format!("load v[k+{j}]"), OpClass::Load, Some(F));
+        b.serial(ax, x, 1);
+        b.serial(ax, v, 1);
+        let m = b.op(format!("x{j}*v{j}"), OpClass::FloatMul, Some(F));
+        b.flow(x, m, 4, F);
+        b.flow(v, m, 4, F);
+        partials.push(m);
+    }
+    let q0 = b.op("q", OpClass::Copy, Some(F));
+    let s1 = b.op("p0+p1", OpClass::FloatAlu, Some(F));
+    b.flow(partials[0], s1, 4, F);
+    b.flow(partials[1], s1, 4, F);
+    let s2 = b.op("s1+p2", OpClass::FloatAlu, Some(F));
+    b.flow(s1, s2, 3, F);
+    b.flow(partials[2], s2, 4, F);
+    let q1 = b.op("q - s2", OpClass::FloatAlu, Some(F));
+    b.flow(q0, q1, 1, F);
+    b.flow(s2, q1, 3, F);
+    b.finish()
+}
+
+/// Livermore loop 3 — inner product, unrolled by four:
+/// `q += z[k]*x[k]` with a partial-sum tree (the classic ILP rewrite).
+pub fn lll3_inner_product(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let mut products = Vec::new();
+    for j in 0..4 {
+        let z = b.op(format!("load z[k+{j}]"), OpClass::Load, Some(F));
+        let x = b.op(format!("load x[k+{j}]"), OpClass::Load, Some(F));
+        let m = b.op(format!("z{j}*x{j}"), OpClass::FloatMul, Some(F));
+        b.flow(z, m, 4, F);
+        b.flow(x, m, 4, F);
+        products.push(m);
+    }
+    let s01 = b.op("p0+p1", OpClass::FloatAlu, Some(F));
+    b.flow(products[0], s01, 4, F);
+    b.flow(products[1], s01, 4, F);
+    let s23 = b.op("p2+p3", OpClass::FloatAlu, Some(F));
+    b.flow(products[2], s23, 4, F);
+    b.flow(products[3], s23, 4, F);
+    let q0 = b.op("q", OpClass::Copy, Some(F));
+    let s = b.op("s01+s23", OpClass::FloatAlu, Some(F));
+    b.flow(s01, s, 3, F);
+    b.flow(s23, s, 3, F);
+    let q1 = b.op("q+s", OpClass::FloatAlu, Some(F));
+    b.flow(q0, q1, 1, F);
+    b.flow(s, q1, 3, F);
+    b.finish()
+}
+
+/// Livermore loop 5 — tri-diagonal elimination:
+/// `x[i] = z[i] * (y[i] - x[i-1])` — a recurrence: tight serial chain next
+/// to parallel loads, the low-saturation end of the corpus.
+pub fn lll5_tridiag(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let xprev = b.op("x[i-1]", OpClass::Copy, Some(F));
+    let mut carry = xprev;
+    for j in 0..3 {
+        let y = b.op(format!("load y[{j}]"), OpClass::Load, Some(F));
+        let z = b.op(format!("load z[{j}]"), OpClass::Load, Some(F));
+        let sub = b.op(format!("y{j}-x"), OpClass::FloatAlu, Some(F));
+        b.flow(y, sub, 4, F);
+        b.flow(carry, sub, if j == 0 { 1 } else { 3 }, F);
+        let mul = b.op(format!("z{j}*sub{j}"), OpClass::FloatMul, Some(F));
+        b.flow(z, mul, 4, F);
+        b.flow(sub, mul, 3, F);
+        let st = b.op(format!("store x[{j}]"), OpClass::Store, None);
+        b.flow(mul, st, 4, F);
+        carry = mul;
+    }
+    b.finish()
+}
+
+/// Livermore loop 7 — equation of state fragment:
+/// `x[k] = u[k] + r*(z[k] + r*y[k]) + t*(u[k+3] + r*(u[k+2] + r*u[k+1])
+///        + t*(u[k+6] + r*(u[k+5] + r*u[k+4])))`
+/// — the big, wide one: nine loads and a deep FMA tree.
+pub fn lll7_state(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let loads: Vec<_> = ["u0", "z", "y", "u3", "u2", "u1", "u6", "u5", "u4"]
+        .iter()
+        .map(|n| b.op(format!("load {n}"), OpClass::Load, Some(F)))
+        .collect();
+    let r = b.op("r", OpClass::Copy, Some(F));
+    let t = b.op("t", OpClass::Copy, Some(F));
+    // helper: a + r*b
+    let fma = |b: &mut DdgBuilder, name: &str, a_val, b_val, scale| {
+        let m = b.op(format!("{name}.mul"), OpClass::FloatMul, Some(F));
+        b.flow(scale, m, 1, F);
+        b.flow(b_val, m, 4, F);
+        let s = b.op(format!("{name}.add"), OpClass::FloatAlu, Some(F));
+        b.flow(a_val, s, 4, F);
+        b.flow(m, s, 4, F);
+        s
+    };
+    let inner1 = fma(&mut b, "z+r*y", loads[1], loads[2], r);
+    let term1 = fma(&mut b, "u0+r*(...)", loads[0], inner1, r);
+    let inner2 = fma(&mut b, "u2+r*u1", loads[4], loads[5], r);
+    let mid = fma(&mut b, "u3+r*(...)", loads[3], inner2, r);
+    let inner3 = fma(&mut b, "u5+r*u4", loads[7], loads[8], r);
+    let last = fma(&mut b, "u6+r*(...)", loads[6], inner3, r);
+    let tail = fma(&mut b, "mid+t*last", mid, last, t);
+    let total = fma(&mut b, "term1+t*tail", term1, tail, t);
+    let st = b.op("store x[k]", OpClass::Store, None);
+    b.flow(total, st, 4, F);
+    b.finish()
+}
+
+/// Livermore loop 9 — integrate predictors: a wide dot-product-like
+/// combination of ten coefficient loads against one px row.
+pub fn lll9_predictors(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let dm: Vec<_> = (0..5)
+        .map(|i| b.op(format!("dm{i}"), OpClass::Copy, Some(F)))
+        .collect();
+    let px: Vec<_> = (0..5)
+        .map(|i| b.op(format!("load px[{i}]"), OpClass::Load, Some(F)))
+        .collect();
+    let mut terms = Vec::new();
+    for i in 0..5 {
+        let m = b.op(format!("dm{i}*px{i}"), OpClass::FloatMul, Some(F));
+        b.flow(dm[i], m, 1, F);
+        b.flow(px[i], m, 4, F);
+        terms.push(m);
+    }
+    // balanced reduction tree
+    while terms.len() > 1 {
+        let mut next = Vec::new();
+        for pair in terms.chunks(2) {
+            if pair.len() == 2 {
+                let s = b.op("sum", OpClass::FloatAlu, Some(F));
+                b.flow(pair[0], s, 4, F);
+                b.flow(pair[1], s, 4, F);
+                next.push(s);
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        terms = next;
+    }
+    let st = b.op("store px[0]", OpClass::Store, None);
+    b.flow(terms[0], st, 3, F);
+    b.finish()
+}
+
+/// Livermore loop 11 — first sum (prefix sum): the fully serial recurrence
+/// `x[k] = x[k-1] + y[k]`, unrolled x4. The anti-parallel extreme of the
+/// corpus: RS stays small no matter the schedule.
+pub fn lll11_first_sum(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let mut carry = b.op("x[k-1]", OpClass::Copy, Some(F));
+    for j in 0..4 {
+        let y = b.op(format!("load y[{j}]"), OpClass::Load, Some(F));
+        let s = b.op(format!("x{j}"), OpClass::FloatAlu, Some(F));
+        b.flow(carry, s, if j == 0 { 1 } else { 3 }, F);
+        b.flow(y, s, 4, F);
+        let st = b.op(format!("store x[{j}]"), OpClass::Store, None);
+        b.flow(s, st, 3, F);
+        carry = s;
+    }
+    b.finish()
+}
+
+/// Livermore loop 12 — first difference: `x[k] = y[k+1] − y[k]`, unrolled
+/// x4 with shared loads between adjacent differences.
+pub fn lll12_first_diff(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let loads: Vec<_> = (0..5)
+        .map(|j| b.op(format!("load y[{j}]"), OpClass::Load, Some(F)))
+        .collect();
+    for j in 0..4 {
+        let d = b.op(format!("y{}−y{}", j + 1, j), OpClass::FloatAlu, Some(F));
+        b.flow(loads[j + 1], d, 4, F);
+        b.flow(loads[j], d, 4, F);
+        let st = b.op(format!("store x[{j}]"), OpClass::Store, None);
+        b.flow(d, st, 3, F);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_core::exact::ExactRs;
+    use rs_core::heuristic::GreedyK;
+
+    #[test]
+    fn lll1_structure() {
+        let d = lll1_hydro(Target::superscalar());
+        assert!(d.is_acyclic());
+        // y, z10, z11, q, r, t, m1, m2, s1, m3, s2
+        assert_eq!(d.values(RegType::FLOAT).len(), 11);
+        assert_eq!(d.values(RegType::INT).len(), 5);
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT);
+        assert!(rs.saturation >= 4, "float RS* = {}", rs.saturation);
+    }
+
+    #[test]
+    fn lll3_saturation_bounded_by_values() {
+        let d = lll3_inner_product(Target::superscalar());
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT);
+        assert!(rs.saturation <= d.values(RegType::FLOAT).len());
+        assert!(rs.saturation >= 8, "all loads can be alive: {}", rs.saturation);
+    }
+
+    #[test]
+    fn lll5_recurrence_has_low_saturation() {
+        let d = lll5_tridiag(Target::superscalar());
+        let wide = lll7_state(Target::superscalar());
+        let rs5 = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        let rs7 = GreedyK::new().saturation(&wide, RegType::FLOAT).saturation;
+        assert!(rs5 < rs7, "recurrence ({rs5}) vs wide tree ({rs7})");
+    }
+
+    #[test]
+    fn lll9_wide_dot_product() {
+        let d = lll9_predictors(Target::superscalar());
+        assert!(d.is_acyclic());
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        assert!(rs >= 10, "all 10 inputs can be alive: {rs}");
+    }
+
+    #[test]
+    fn lll11_recurrence_is_narrow() {
+        let d = lll11_first_sum(Target::superscalar());
+        let rs = ExactRs::new().saturation(&d, RegType::FLOAT);
+        assert!(rs.proven_optimal);
+        // the serial carry bounds the saturation well below the value count
+        assert!(rs.saturation < d.values(RegType::FLOAT).len());
+    }
+
+    #[test]
+    fn lll12_shared_loads_raise_pressure() {
+        let d = lll12_first_diff(Target::superscalar());
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        assert!(rs >= 5, "all five shared loads alive: {rs}");
+    }
+
+    #[test]
+    fn lll2_exact_vs_heuristic_near_optimal() {
+        let d = lll2_iccg(Target::superscalar());
+        let h = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        let e = ExactRs::new().saturation(&d, RegType::FLOAT);
+        assert!(e.proven_optimal);
+        assert!(e.saturation >= h);
+        assert!(e.saturation - h <= 1, "paper: error ≤ 1 register (got {h} vs {})", e.saturation);
+    }
+}

@@ -1,0 +1,227 @@
+//! Seeded random layered-DAG generator for the breadth experiments.
+//!
+//! The generator produces loop-body-shaped DDGs: operations arranged in
+//! layers (so the DAG property is structural), flow edges from value
+//! producers to later-layer consumers, a configurable fraction of
+//! value-producing operations, and realistic per-class latencies from the
+//! target description. Everything is deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rs_core::model::{Ddg, DdgBuilder, OpClass, RegType, Target};
+use rs_graph::NodeId;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct RandomDagConfig {
+    /// Number of operations (excluding the virtual `⊥`).
+    pub ops: usize,
+    /// Number of layers (≥ 2; depth/width trade-off).
+    pub layers: usize,
+    /// Probability of a flow edge from a producer to each later-layer op.
+    pub edge_prob: f64,
+    /// Fraction of operations producing a float value (the rest are
+    /// stores/address ops; a small slice produces int values).
+    pub value_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomDagConfig {
+    fn default() -> Self {
+        RandomDagConfig {
+            ops: 16,
+            layers: 4,
+            edge_prob: 0.25,
+            value_ratio: 0.7,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl RandomDagConfig {
+    /// Convenience constructor for sweeps.
+    pub fn sized(ops: usize, seed: u64) -> Self {
+        RandomDagConfig {
+            ops,
+            layers: (ops / 4).clamp(2, 8),
+            seed,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates a random DDG against the target.
+pub fn random_ddg(cfg: &RandomDagConfig, target: Target) -> Ddg {
+    assert!(cfg.ops >= 2, "need at least two operations");
+    let layers = cfg.layers.clamp(2, cfg.ops);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DdgBuilder::new(target);
+
+    // Assign ops to layers round-robin with jitter, so every layer is
+    // populated.
+    let mut layer_of: Vec<usize> = (0..cfg.ops).map(|i| i * layers / cfg.ops).collect();
+    for l in layer_of.iter_mut() {
+        if *l + 1 < layers && rng.gen_bool(0.25) {
+            *l += 1;
+        }
+    }
+    layer_of.sort_unstable();
+
+    let classes_float = [
+        OpClass::Load,
+        OpClass::FloatAlu,
+        OpClass::FloatMul,
+        OpClass::FloatAlu,
+        OpClass::FloatMul,
+        OpClass::FloatDiv,
+    ];
+    let classes_other = [OpClass::Store, OpClass::Addr, OpClass::IntAlu];
+
+    struct OpInfo {
+        id: NodeId,
+        layer: usize,
+        writes: Option<RegType>,
+    }
+    let mut ops: Vec<OpInfo> = Vec::with_capacity(cfg.ops);
+    for (i, &layer) in layer_of.iter().enumerate() {
+        let roll: f64 = rng.gen();
+        let (class, writes) = if roll < cfg.value_ratio {
+            let class = classes_float[rng.gen_range(0..classes_float.len())];
+            (class, Some(RegType::FLOAT))
+        } else if roll < cfg.value_ratio + (1.0 - cfg.value_ratio) * 0.4 {
+            (OpClass::IntAlu, Some(RegType::INT))
+        } else {
+            let class = classes_other[rng.gen_range(0..classes_other.len())];
+            let writes = matches!(class, OpClass::Addr | OpClass::IntAlu)
+                .then_some(RegType::INT);
+            (class, writes)
+        };
+        let id = b.op(format!("op{i}"), class, writes);
+        ops.push(OpInfo { id, layer, writes });
+    }
+
+    // Flow/serial edges: from each op to later-layer ops with probability
+    // edge_prob; every op beyond the first layer gets at least one
+    // predecessor so the DAG is connected-ish.
+    for j in 0..ops.len() {
+        if ops[j].layer == 0 {
+            continue;
+        }
+        let mut has_pred = false;
+        for i in 0..j {
+            if ops[i].layer >= ops[j].layer {
+                continue;
+            }
+            if rng.gen_bool(cfg.edge_prob) {
+                add_dependence(&mut b, &mut rng, ops[i].id, ops[i].writes, ops[j].id);
+                has_pred = true;
+            }
+        }
+        if !has_pred {
+            // pick a random earlier-layer op (if the jitter left none, the
+            // node simply becomes an extra source)
+            let candidates: Vec<usize> = (0..j)
+                .filter(|&i| ops[i].layer < ops[j].layer)
+                .collect();
+            if !candidates.is_empty() {
+                let pick = candidates[rng.gen_range(0..candidates.len())];
+                add_dependence(&mut b, &mut rng, ops[pick].id, ops[pick].writes, ops[j].id);
+            }
+        }
+    }
+    b.finish()
+}
+
+fn add_dependence(
+    b: &mut DdgBuilder,
+    rng: &mut StdRng,
+    from: NodeId,
+    from_writes: Option<RegType>,
+    to: NodeId,
+) {
+    match from_writes {
+        Some(t) => {
+            // flow dependence with the producer's latency
+            b.flow_default(from, to, t);
+        }
+        None => {
+            b.serial(from, to, rng.gen_range(1..=2));
+        }
+    }
+}
+
+/// A standard sweep of seeded DAGs for the experiments: `count` DAGs of
+/// `ops` operations each, seeds derived from `base_seed`.
+pub fn sweep(ops: usize, count: usize, base_seed: u64, target: Target) -> Vec<Ddg> {
+    (0..count)
+        .map(|i| {
+            random_ddg(
+                &RandomDagConfig::sized(ops, base_seed.wrapping_add(i as u64 * 7919)),
+                target.clone(),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_core::heuristic::GreedyK;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomDagConfig::default();
+        let a = random_ddg(&cfg, Target::superscalar());
+        let b = random_ddg(&cfg, Target::superscalar());
+        assert_eq!(a.num_ops(), b.num_ops());
+        assert_eq!(a.graph().edge_count(), b.graph().edge_count());
+        let rs_a = GreedyK::new().saturation(&a, RegType::FLOAT).saturation;
+        let rs_b = GreedyK::new().saturation(&b, RegType::FLOAT).saturation;
+        assert_eq!(rs_a, rs_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = random_ddg(&RandomDagConfig::default(), Target::superscalar());
+        let cfg2 = RandomDagConfig {
+            seed: 42,
+            ..RandomDagConfig::default()
+        };
+        let b = random_ddg(&cfg2, Target::superscalar());
+        // edge structure almost surely differs
+        assert!(
+            a.graph().edge_count() != b.graph().edge_count()
+                || a.values(RegType::FLOAT).len() != b.values(RegType::FLOAT).len(),
+            "suspiciously identical DAGs from different seeds"
+        );
+    }
+
+    #[test]
+    fn sweep_produces_valid_dags() {
+        for d in sweep(14, 10, 7, Target::superscalar()) {
+            assert!(d.is_acyclic());
+            assert_eq!(d.num_ops(), 15); // 14 + ⊥
+            // analyzable without panic
+            for t in d.reg_types() {
+                let _ = GreedyK::new().saturation(&d, t);
+            }
+        }
+    }
+
+    #[test]
+    fn vliw_target_generates_valid_flow_latencies() {
+        let cfg = RandomDagConfig::sized(20, 99);
+        let d = random_ddg(&cfg, Target::vliw());
+        assert!(d.is_acyclic());
+    }
+
+    #[test]
+    fn scales_to_larger_sizes() {
+        let cfg = RandomDagConfig::sized(60, 5);
+        let d = random_ddg(&cfg, Target::superscalar());
+        assert_eq!(d.num_ops(), 61);
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT);
+        assert!(rs.saturation <= d.values(RegType::FLOAT).len());
+    }
+}

@@ -1,0 +1,161 @@
+//! SpecFP-flavoured loop bodies: stencil, shallow-water update, deep
+//! dependence chain — the shapes the floating-point Spec codes exercise.
+
+use rs_core::model::{Ddg, DdgBuilder, OpClass, RegType, Target};
+
+const F: RegType = RegType::FLOAT;
+const I: RegType = RegType::INT;
+
+/// A tomcatv-like 5-point mesh stencil fragment:
+/// `new = c0*p[i][j] + c1*(p[i-1][j] + p[i+1][j] + p[i][j-1] + p[i][j+1])`.
+pub fn tomcatv_stencil(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let idx = b.op("i*stride+j", OpClass::IntMul, Some(I));
+    let names = ["c", "n", "s", "w", "e"];
+    let mut loads = Vec::new();
+    for n in names {
+        let a = b.op(format!("&p[{n}]"), OpClass::Addr, Some(I));
+        b.flow(idx, a, 3, I);
+        let l = b.op(format!("load p[{n}]"), OpClass::Load, Some(F));
+        b.serial(a, l, 1);
+        loads.push(l);
+    }
+    let c0 = b.op("c0", OpClass::Copy, Some(F));
+    let c1 = b.op("c1", OpClass::Copy, Some(F));
+    let s1 = b.op("n+s", OpClass::FloatAlu, Some(F));
+    b.flow(loads[1], s1, 4, F);
+    b.flow(loads[2], s1, 4, F);
+    let s2 = b.op("w+e", OpClass::FloatAlu, Some(F));
+    b.flow(loads[3], s2, 4, F);
+    b.flow(loads[4], s2, 4, F);
+    let s3 = b.op("(n+s)+(w+e)", OpClass::FloatAlu, Some(F));
+    b.flow(s1, s3, 3, F);
+    b.flow(s2, s3, 3, F);
+    let m1 = b.op("c1*ring", OpClass::FloatMul, Some(F));
+    b.flow(c1, m1, 1, F);
+    b.flow(s3, m1, 3, F);
+    let m0 = b.op("c0*center", OpClass::FloatMul, Some(F));
+    b.flow(c0, m0, 1, F);
+    b.flow(loads[0], m0, 4, F);
+    let out = b.op("m0+m1", OpClass::FloatAlu, Some(F));
+    b.flow(m0, out, 4, F);
+    b.flow(m1, out, 4, F);
+    let st = b.op("store new", OpClass::Store, None);
+    b.flow(out, st, 3, F);
+    b.flow(idx, st, 3, I);
+    b.finish()
+}
+
+/// A swim-like shallow-water variable update: three coupled field updates
+/// sharing operand loads — wide and store-heavy.
+pub fn swim_update(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let loads: Vec<_> = ["u", "v", "p", "cu", "cv", "z", "h"]
+        .iter()
+        .map(|n| b.op(format!("load {n}"), OpClass::Load, Some(F)))
+        .collect();
+    let dt = b.op("tdts8", OpClass::Copy, Some(F));
+    // unew = uold + tdts8*(z+z)*(cv+cv) - tdts8*(h-h)
+    let zsum = b.op("z+z'", OpClass::FloatAlu, Some(F));
+    b.flow(loads[5], zsum, 4, F);
+    b.flow(loads[2], zsum, 4, F);
+    let cvsum = b.op("cv+cv'", OpClass::FloatAlu, Some(F));
+    b.flow(loads[4], cvsum, 4, F);
+    b.flow(loads[3], cvsum, 4, F);
+    let m1 = b.op("zsum*cvsum", OpClass::FloatMul, Some(F));
+    b.flow(zsum, m1, 3, F);
+    b.flow(cvsum, m1, 3, F);
+    let m2 = b.op("tdts8*m1", OpClass::FloatMul, Some(F));
+    b.flow(dt, m2, 1, F);
+    b.flow(m1, m2, 4, F);
+    let hdiff = b.op("h-h'", OpClass::FloatAlu, Some(F));
+    b.flow(loads[6], hdiff, 4, F);
+    b.flow(loads[2], hdiff, 4, F);
+    let unew = b.op("u+m2-hdiff", OpClass::FloatAlu, Some(F));
+    b.flow(loads[0], unew, 4, F);
+    b.flow(m2, unew, 4, F);
+    b.flow(hdiff, unew, 3, F);
+    let stu = b.op("store unew", OpClass::Store, None);
+    b.flow(unew, stu, 3, F);
+    // vnew = vold - tdts8*(z)*(cu) + hdiff
+    let m3 = b.op("z*cu", OpClass::FloatMul, Some(F));
+    b.flow(loads[5], m3, 4, F);
+    b.flow(loads[3], m3, 4, F);
+    let m4 = b.op("tdts8*m3", OpClass::FloatMul, Some(F));
+    b.flow(dt, m4, 1, F);
+    b.flow(m3, m4, 4, F);
+    let vnew = b.op("v-m4+hdiff", OpClass::FloatAlu, Some(F));
+    b.flow(loads[1], vnew, 4, F);
+    b.flow(m4, vnew, 4, F);
+    b.flow(hdiff, vnew, 3, F);
+    let stv = b.op("store vnew", OpClass::Store, None);
+    b.flow(vnew, stv, 3, F);
+    // pnew = pold - tdts8*(cu + cv)
+    let cusum = b.op("cu+cv", OpClass::FloatAlu, Some(F));
+    b.flow(loads[3], cusum, 4, F);
+    b.flow(loads[4], cusum, 4, F);
+    let m5 = b.op("tdts8*cusum", OpClass::FloatMul, Some(F));
+    b.flow(dt, m5, 1, F);
+    b.flow(cusum, m5, 3, F);
+    let pnew = b.op("p-m5", OpClass::FloatAlu, Some(F));
+    b.flow(loads[2], pnew, 4, F);
+    b.flow(m5, pnew, 4, F);
+    let stp = b.op("store pnew", OpClass::Store, None);
+    b.flow(pnew, stp, 3, F);
+    b.finish()
+}
+
+/// An fpppp-like fragment: a deep chain of dependent multiplies with a few
+/// long-lived operands — high pressure *and* a long critical path.
+pub fn fppp_chain(target: Target) -> Ddg {
+    let mut b = DdgBuilder::new(target);
+    let coeffs: Vec<_> = (0..4)
+        .map(|i| b.op(format!("load c{i}"), OpClass::Load, Some(F)))
+        .collect();
+    let x = b.op("load x", OpClass::Load, Some(F));
+    let mut acc = x;
+    for (i, &c) in coeffs.iter().enumerate() {
+        // Horner step: acc = acc*x + c — every coefficient stays live until
+        // its step, stressing the register file.
+        let m = b.op(format!("h{i}.mul"), OpClass::FloatMul, Some(F));
+        b.flow(acc, m, 4, F);
+        b.flow(x, m, 4, F);
+        let s = b.op(format!("h{i}.add"), OpClass::FloatAlu, Some(F));
+        b.flow(m, s, 4, F);
+        b.flow(c, s, 4, F);
+        acc = s;
+    }
+    let st = b.op("store poly", OpClass::Store, None);
+    b.flow(acc, st, 3, F);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rs_core::heuristic::GreedyK;
+
+    #[test]
+    fn stencil_mixes_types() {
+        let d = tomcatv_stencil(Target::superscalar());
+        assert!(!d.values(RegType::INT).is_empty());
+        assert!(d.values(RegType::FLOAT).len() >= 10);
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        assert!(rs >= 5, "got {rs}");
+    }
+
+    #[test]
+    fn swim_is_wide() {
+        let d = swim_update(Target::superscalar());
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        assert!(rs >= 7, "got {rs}");
+    }
+
+    #[test]
+    fn horner_keeps_coefficients_alive() {
+        let d = fppp_chain(Target::superscalar());
+        let rs = GreedyK::new().saturation(&d, RegType::FLOAT).saturation;
+        // x + 4 coefficients + the running accumulator
+        assert!(rs >= 5, "got {rs}");
+    }
+}

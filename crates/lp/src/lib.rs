@@ -1,0 +1,48 @@
+//! # rs-lp — linear-programming substrate
+//!
+//! The paper solves its intLP formulations with CPLEX; this crate is the
+//! from-scratch replacement: a dense two-phase primal simplex for LP
+//! relaxations and a branch-and-bound driver for mixed-integer programs,
+//! plus the logical-operator linearizations (`max`, `⟹`, `⟺`, `∨`) that
+//! Sections 3–4 of the paper take from Touati's thesis \[15\].
+//!
+//! Design notes:
+//!
+//! - **Exactness over scale.** All model data in the register-saturation
+//!   formulations is integral with modest magnitudes; `f64` arithmetic with
+//!   a `1e-7` tolerance plus integral rounding of bounds is exact in
+//!   practice for these instances, and every MILP answer used in the
+//!   experiments is cross-checked against a combinatorial solver.
+//! - **Dense tableau.** Instances are small (hundreds of rows/columns), so
+//!   a cache-friendly dense tableau beats sparse machinery.
+//! - **Deterministic.** No randomness anywhere: identical models yield
+//!   identical pivots, bounds, and branching decisions.
+//!
+//! ```
+//! use rs_lp::{Model, Sense, VarKind, LinExpr};
+//!
+//! // max x + 2y  s.t.  x + y <= 4,  x, y ∈ [0, 3] integer
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", VarKind::Integer, 0.0, 3.0);
+//! let y = m.add_var("y", VarKind::Integer, 0.0, 3.0);
+//! m.add_constraint(LinExpr::from(x) + y, rs_lp::Cmp::Le, 4.0);
+//! m.set_objective(LinExpr::from(x) + (2.0, y));
+//! let sol = rs_lp::solve(&m, &rs_lp::MilpConfig::default()).unwrap();
+//! assert_eq!(sol.objective.round() as i64, 7); // x=1, y=3
+//! ```
+
+pub mod expr;
+pub mod linearize;
+pub mod milp;
+pub mod presolve;
+pub mod model;
+pub mod simplex;
+
+pub use expr::LinExpr;
+pub use milp::{solve, MilpConfig, MilpError, MilpStats};
+pub use presolve::{presolve, PresolveOutcome, PresolveStats};
+pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
+pub use simplex::{solve_relaxation, LpOutcome, Solution};
+
+/// Numeric tolerance used throughout the solver.
+pub const EPS: f64 = 1e-7;

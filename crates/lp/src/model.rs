@@ -1,0 +1,347 @@
+//! MILP model builder: variables with bounds and kinds, linear constraints,
+//! and an objective.
+
+use crate::expr::LinExpr;
+use std::fmt;
+
+/// Index of a decision variable.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable id as a `usize` for indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Variable integrality class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued.
+    Continuous,
+    /// Integer-valued.
+    Integer,
+    /// Integer restricted to `{0, 1}` (bounds are clamped on creation).
+    Binary,
+}
+
+/// Constraint comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Variable {
+    pub name: String,
+    pub kind: VarKind,
+    pub lo: f64,
+    pub hi: f64,
+}
+
+#[derive(Clone, Debug)]
+pub(crate) struct Constraint {
+    pub expr: LinExpr,
+    pub cmp: Cmp,
+    pub rhs: f64,
+}
+
+/// Size statistics of a model — the quantity Table T3 of the reproduction
+/// measures against the paper's `O(n²)` variables / `O(m + n²)` constraints
+/// claim.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Continuous variables.
+    pub continuous: usize,
+    /// General integer variables.
+    pub integer: usize,
+    /// Binary variables.
+    pub binary: usize,
+    /// Number of linear constraints.
+    pub constraints: usize,
+    /// Total nonzero coefficients across constraints.
+    pub nonzeros: usize,
+}
+
+impl ModelStats {
+    /// Total variable count.
+    pub fn variables(&self) -> usize {
+        self.continuous + self.integer + self.binary
+    }
+
+    /// Integer-or-binary variable count (the paper counts "integer
+    /// variables", i.e. everything that is not relaxed).
+    pub fn integral(&self) -> usize {
+        self.integer + self.binary
+    }
+}
+
+/// A mixed-integer linear program.
+#[derive(Clone, Debug)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Sense,
+}
+
+impl Model {
+    /// Creates an empty model with the given optimization direction.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+            sense,
+        }
+    }
+
+    /// Adds a variable. Binary variables get their bounds clamped to
+    /// `[0, 1]`. Lower bounds must be finite (the register-saturation
+    /// models always shift domains to finite ranges, per the paper's
+    /// requirement that "linear writing of logical operators requires to
+    /// bound the domain set of the integer variables").
+    pub fn add_var(&mut self, name: impl Into<String>, kind: VarKind, lo: f64, hi: f64) -> VarId {
+        let (lo, hi) = match kind {
+            VarKind::Binary => (lo.max(0.0), hi.min(1.0)),
+            _ => (lo, hi),
+        };
+        assert!(lo.is_finite(), "variable lower bound must be finite");
+        assert!(lo <= hi, "empty domain [{lo}, {hi}] for {}", name.into());
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(Variable {
+            name: String::new(),
+            kind,
+            lo,
+            hi,
+        });
+        id
+    }
+
+    /// Adds a named variable, keeping the name for diagnostics.
+    pub fn add_named_var(
+        &mut self,
+        name: impl Into<String>,
+        kind: VarKind,
+        lo: f64,
+        hi: f64,
+    ) -> VarId {
+        let name = name.into();
+        let id = self.add_var(name.clone(), kind, lo, hi);
+        self.vars[id.index()].name = name;
+        id
+    }
+
+    /// Adds the constraint `expr cmp rhs`. The expression is normalized; a
+    /// constant expression is checked immediately and recorded as a trivial
+    /// feasible/infeasible marker row.
+    pub fn add_constraint(&mut self, mut expr: LinExpr, cmp: Cmp, rhs: f64) {
+        expr.normalize();
+        // Fold the expression constant into the rhs.
+        let rhs = rhs - expr.constant;
+        expr.constant = 0.0;
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Sets the objective expression.
+    pub fn set_objective(&mut self, mut obj: LinExpr) {
+        obj.normalize();
+        self.objective = obj;
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable kind.
+    pub fn kind(&self, v: VarId) -> VarKind {
+        self.vars[v.index()].kind
+    }
+
+    /// Variable bounds `(lo, hi)`.
+    pub fn bounds(&self, v: VarId) -> (f64, f64) {
+        let var = &self.vars[v.index()];
+        (var.lo, var.hi)
+    }
+
+    /// Variable name (may be empty).
+    pub fn name(&self, v: VarId) -> &str {
+        &self.vars[v.index()].name
+    }
+
+    /// Tightens a variable's bounds (used by branch-and-bound).
+    pub fn set_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
+        let var = &mut self.vars[v.index()];
+        var.lo = lo;
+        var.hi = hi;
+    }
+
+    /// Finite interval `[lo, hi]` that `expr` is guaranteed to lie in, given
+    /// the variable bounds. Infinite if any needed bound is infinite.
+    /// This provides the big-M constants of the logical linearizations.
+    pub fn expr_bounds(&self, expr: &LinExpr) -> (f64, f64) {
+        let mut lo = expr.constant;
+        let mut hi = expr.constant;
+        for &(v, c) in &expr.terms {
+            let (vlo, vhi) = self.bounds(v);
+            if c >= 0.0 {
+                lo += c * vlo;
+                hi += c * vhi;
+            } else {
+                lo += c * vhi;
+                hi += c * vlo;
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Size statistics.
+    pub fn stats(&self) -> ModelStats {
+        let mut s = ModelStats::default();
+        for v in &self.vars {
+            match v.kind {
+                VarKind::Continuous => s.continuous += 1,
+                VarKind::Integer => s.integer += 1,
+                VarKind::Binary => s.binary += 1,
+            }
+        }
+        s.constraints = self.constraints.len();
+        s.nonzeros = self.constraints.iter().map(|c| c.expr.terms.len()).sum();
+        s
+    }
+
+    /// Checks a full assignment against every constraint and bound, with
+    /// tolerance `tol`. Returns the first violation description.
+    pub fn check_feasible(&self, values: &[f64], tol: f64) -> Result<(), String> {
+        if values.len() != self.vars.len() {
+            return Err(format!(
+                "assignment has {} values, model has {} vars",
+                values.len(),
+                self.vars.len()
+            ));
+        }
+        for (i, var) in self.vars.iter().enumerate() {
+            let x = values[i];
+            if x < var.lo - tol || x > var.hi + tol {
+                return Err(format!(
+                    "x{} = {} violates bounds [{}, {}]",
+                    i, x, var.lo, var.hi
+                ));
+            }
+            if !matches!(var.kind, VarKind::Continuous) && (x - x.round()).abs() > tol {
+                return Err(format!("x{} = {} is not integral", i, x));
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            let lhs = c.expr.eval(values);
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return Err(format!(
+                    "constraint {} violated: lhs = {}, {:?} rhs = {}",
+                    ci, lhs, c.cmp, c.rhs
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_count_kinds() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", VarKind::Continuous, 0.0, 10.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 5.0);
+        let c = m.add_var("c", VarKind::Binary, -3.0, 3.0);
+        m.add_constraint(LinExpr::from(a) + b + c, Cmp::Le, 6.0);
+        let s = m.stats();
+        assert_eq!(s.continuous, 1);
+        assert_eq!(s.integer, 1);
+        assert_eq!(s.binary, 1);
+        assert_eq!(s.variables(), 3);
+        assert_eq!(s.integral(), 2);
+        assert_eq!(s.constraints, 1);
+        assert_eq!(s.nonzeros, 3);
+        // binary bounds clamped
+        assert_eq!(m.bounds(c), (0.0, 1.0));
+    }
+
+    #[test]
+    fn expr_bounds_respects_sign() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", VarKind::Continuous, 1.0, 4.0);
+        let b = m.add_var("b", VarKind::Continuous, -2.0, 3.0);
+        let e = LinExpr::from(a) + (-2.0, b) + 1.0;
+        let (lo, hi) = m.expr_bounds(&e);
+        assert_eq!(lo, 1.0 - 6.0 + 1.0);
+        assert_eq!(hi, 4.0 + 4.0 + 1.0);
+    }
+
+    #[test]
+    fn constraint_constant_folds_into_rhs() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", VarKind::Continuous, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(a) + 5.0, Cmp::Le, 8.0);
+        assert_eq!(m.constraints[0].rhs, 3.0);
+        assert_eq!(m.constraints[0].expr.constant, 0.0);
+    }
+
+    #[test]
+    fn check_feasible_reports_violations() {
+        let mut m = Model::new(Sense::Minimize);
+        let a = m.add_var("a", VarKind::Integer, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(a), Cmp::Ge, 4.0);
+        assert!(m.check_feasible(&[5.0], 1e-6).is_ok());
+        assert!(m.check_feasible(&[3.0], 1e-6).is_err());
+        assert!(m.check_feasible(&[4.5], 1e-6).is_err()); // not integral
+        assert!(m.check_feasible(&[11.0], 1e-6).is_err()); // bound
+        assert!(m.check_feasible(&[], 1e-6).is_err()); // arity
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn rejects_empty_domain() {
+        let mut m = Model::new(Sense::Minimize);
+        m.add_var("bad", VarKind::Continuous, 2.0, 1.0);
+    }
+}

@@ -1,0 +1,310 @@
+//! Presolve: bound tightening and redundant-constraint elimination.
+//!
+//! The register-saturation intLPs are big-M heavy; activity-based bound
+//! tightening shrinks the M-induced slack before branch-and-bound sees the
+//! model, and redundant rows (implied by the variable bounds alone) are
+//! dropped. Presolve is *safe*: it never changes the feasible set of the
+//! integer program — every transformation is justified by interval
+//! arithmetic over the current bounds, with integral rounding applied only
+//! to integral variables.
+
+use crate::expr::LinExpr;
+use crate::model::{Cmp, Model, VarKind};
+use crate::EPS;
+
+/// Outcome of presolving.
+#[derive(Clone, Debug)]
+pub enum PresolveOutcome {
+    /// The reduced model plus statistics.
+    Reduced {
+        /// The transformed model (same variables, tighter bounds, fewer rows).
+        model: Model,
+        /// Presolve statistics.
+        stats: PresolveStats,
+    },
+    /// Presolve proved the model infeasible.
+    Infeasible,
+}
+
+/// What presolve accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Variable bounds strictly tightened.
+    pub bounds_tightened: usize,
+    /// Constraints removed as redundant.
+    pub rows_removed: usize,
+    /// Variables whose domain collapsed to a point.
+    pub vars_fixed: usize,
+    /// Tightening rounds executed.
+    pub rounds: usize,
+}
+
+/// Activity interval `[lo, hi]` of `expr` under the model's bounds.
+fn activity(model: &Model, expr: &LinExpr) -> (f64, f64) {
+    model.expr_bounds(expr)
+}
+
+/// Runs presolve for at most `max_rounds` fixpoint rounds.
+pub fn presolve(model: &Model, max_rounds: usize) -> PresolveOutcome {
+    let mut m = model.clone();
+    let mut stats = PresolveStats::default();
+
+    for _round in 0..max_rounds {
+        stats.rounds += 1;
+        let mut changed = false;
+
+        // 1. Row classification.
+        let mut keep = vec![true; m.constraints.len()];
+        for (ci, c) in m.constraints.iter().enumerate() {
+            let (lo, hi) = activity(&m, &c.expr);
+            let (feasible, redundant) = match c.cmp {
+                Cmp::Le => (lo <= c.rhs + EPS, hi <= c.rhs + EPS),
+                Cmp::Ge => (hi >= c.rhs - EPS, lo >= c.rhs - EPS),
+                Cmp::Eq => (
+                    lo <= c.rhs + EPS && hi >= c.rhs - EPS,
+                    (lo - c.rhs).abs() <= EPS && (hi - c.rhs).abs() <= EPS,
+                ),
+            };
+            if !feasible {
+                return PresolveOutcome::Infeasible;
+            }
+            if redundant {
+                keep[ci] = false;
+                changed = true;
+            }
+        }
+        if keep.iter().any(|&k| !k) {
+            let mut idx = 0;
+            m.constraints.retain(|_| {
+                let k = keep[idx];
+                idx += 1;
+                if !k {
+                    stats.rows_removed += 1;
+                }
+                k
+            });
+        }
+
+        // 2. Bound tightening from each remaining row.
+        let n_rows = m.constraints.len();
+        for ci in 0..n_rows {
+            let c = m.constraints[ci].clone();
+            // Treat Eq as both Le and Ge.
+            let passes: &[(Cmp, f64)] = match c.cmp {
+                Cmp::Le => &[(Cmp::Le, c.rhs)],
+                Cmp::Ge => &[(Cmp::Ge, c.rhs)],
+                Cmp::Eq => &[(Cmp::Le, c.rhs), (Cmp::Ge, c.rhs)],
+            };
+            for &(cmp, rhs) in passes {
+                // For Σ a_i x_i ≤ rhs: x_j ≤ (rhs − min-activity-without-j)/a_j
+                // when a_j > 0 (symmetric for a_j < 0 / Ge rows).
+                let (act_lo, act_hi) = activity(&m, &c.expr);
+                for &(v, a) in &c.expr.terms {
+                    if a.abs() <= EPS {
+                        continue;
+                    }
+                    let (vlo, vhi) = m.bounds(v);
+                    let integral = !matches!(m.kind(v), VarKind::Continuous);
+                    match cmp {
+                        Cmp::Le => {
+                            // lo of the rest = act_lo − contribution_lo(v)
+                            let contrib_lo = if a > 0.0 { a * vlo } else { a * vhi };
+                            let rest_lo = act_lo - contrib_lo;
+                            if a > 0.0 {
+                                let mut ub = (rhs - rest_lo) / a;
+                                if integral {
+                                    ub = (ub + EPS).floor();
+                                }
+                                if ub < vhi - EPS {
+                                    if ub < vlo - EPS {
+                                        return PresolveOutcome::Infeasible;
+                                    }
+                                    m.set_bounds(v, vlo, ub);
+                                    stats.bounds_tightened += 1;
+                                    changed = true;
+                                }
+                            } else {
+                                let mut lb = (rhs - rest_lo) / a;
+                                if integral {
+                                    lb = (lb - EPS).ceil();
+                                }
+                                if lb > vlo + EPS {
+                                    if lb > vhi + EPS {
+                                        return PresolveOutcome::Infeasible;
+                                    }
+                                    m.set_bounds(v, lb, vhi);
+                                    stats.bounds_tightened += 1;
+                                    changed = true;
+                                }
+                            }
+                        }
+                        Cmp::Ge => {
+                            // hi of the rest = act_hi − contribution_hi(v)
+                            let contrib_hi = if a > 0.0 { a * vhi } else { a * vlo };
+                            let rest_hi = act_hi - contrib_hi;
+                            if a > 0.0 {
+                                let mut lb = (rhs - rest_hi) / a;
+                                if integral {
+                                    lb = (lb - EPS).ceil();
+                                }
+                                if lb > vlo + EPS {
+                                    if lb > vhi + EPS {
+                                        return PresolveOutcome::Infeasible;
+                                    }
+                                    m.set_bounds(v, lb, vhi);
+                                    stats.bounds_tightened += 1;
+                                    changed = true;
+                                }
+                            } else {
+                                let mut ub = (rhs - rest_hi) / a;
+                                if integral {
+                                    ub = (ub + EPS).floor();
+                                }
+                                if ub < vhi - EPS {
+                                    if ub < vlo - EPS {
+                                        return PresolveOutcome::Infeasible;
+                                    }
+                                    m.set_bounds(v, vlo, ub);
+                                    stats.bounds_tightened += 1;
+                                    changed = true;
+                                }
+                            }
+                        }
+                        Cmp::Eq => unreachable!("expanded above"),
+                    }
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // Count collapsed domains.
+    for i in 0..m.num_vars() {
+        let (lo, hi) = m.bounds(crate::VarId(i as u32));
+        if (hi - lo).abs() <= EPS {
+            stats.vars_fixed += 1;
+        }
+    }
+
+    PresolveOutcome::Reduced { model: m, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::milp::{solve, MilpConfig};
+    use crate::model::Sense;
+    use proptest::prelude::*;
+
+    #[test]
+    fn removes_redundant_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 5.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Le, 100.0); // redundant
+        m.add_constraint(LinExpr::from(x), Cmp::Le, 3.0);
+        m.set_objective(LinExpr::from(x));
+        match presolve(&m, 4) {
+            PresolveOutcome::Reduced { model, stats } => {
+                // the loose row goes first; tightening x ≤ 3 then makes the
+                // binding row redundant as well, so both disappear
+                assert_eq!(stats.rows_removed, 2);
+                assert_eq!(model.num_constraints(), 0);
+                assert_eq!(model.bounds(x).1, 3.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn tightens_integer_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(x) * 2.0, Cmp::Le, 7.0); // x ≤ 3.5 → 3
+        m.set_objective(LinExpr::from(x));
+        match presolve(&m, 4) {
+            PresolveOutcome::Reduced { model, stats } => {
+                assert_eq!(model.bounds(x).1, 3.0);
+                assert!(stats.bounds_tightened >= 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 2.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
+        m.set_objective(LinExpr::from(x));
+        assert!(matches!(presolve(&m, 4), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn propagates_through_chains() {
+        // x ≤ 4, y ≥ x + 3 (as -x + y ≥ 3), y ≤ 5 ⟹ x ≤ 2
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 5.0);
+        m.add_constraint(LinExpr::from(y) - x, Cmp::Ge, 3.0);
+        m.set_objective(LinExpr::from(x));
+        match presolve(&m, 8) {
+            PresolveOutcome::Reduced { model, .. } => {
+                assert_eq!(model.bounds(x).1, 2.0);
+                assert_eq!(model.bounds(y).0, 3.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Presolve must preserve the MILP optimum.
+        #[test]
+        fn preserves_optimum(
+            cons in proptest::collection::vec(
+                (proptest::array::uniform3(-3i64..=3), -5i64..=20), 1..4),
+            obj in proptest::array::uniform3(-4i64..=4),
+        ) {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..3)
+                .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 4.0))
+                .collect();
+            for (coefs, rhs) in &cons {
+                let mut e = LinExpr::new();
+                for (i, &c) in coefs.iter().enumerate() {
+                    e = e + (c as f64, vars[i]);
+                }
+                m.add_constraint(e, Cmp::Le, *rhs as f64);
+            }
+            let mut o = LinExpr::new();
+            for (i, &c) in obj.iter().enumerate() {
+                o = o + (c as f64, vars[i]);
+            }
+            m.set_objective(o);
+
+            let direct = solve(&m, &MilpConfig::default());
+            match presolve(&m, 6) {
+                PresolveOutcome::Infeasible => {
+                    prop_assert!(direct.is_err(), "presolve claims infeasible, solver found {:?}",
+                        direct.map(|s| s.objective));
+                }
+                PresolveOutcome::Reduced { model, .. } => {
+                    let presolved = solve(&model, &MilpConfig::default());
+                    match (direct, presolved) {
+                        (Ok(a), Ok(b)) => prop_assert_eq!(
+                            a.objective.round() as i64,
+                            b.objective.round() as i64
+                        ),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => prop_assert!(false, "divergence: {:?} vs {:?}",
+                            a.map(|s| s.objective), b.map(|s| s.objective)),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! Two-phase dense primal simplex.
+//!
+//! The models produced by the register-saturation formulations are small
+//! (hundreds of rows and columns), dense-tableau simplex is the simplest
+//! correct implementation at that scale, and determinism falls out for free.
+//!
+//! Conversion to standard form:
+//! 1. every variable is shifted by its (finite) lower bound, so all
+//!    structural variables are `≥ 0`;
+//! 2. finite upper bounds become explicit `x ≤ range` rows;
+//! 3. `≤` / `≥` rows receive slack / surplus variables, negative right-hand
+//!    sides are negated, and rows without a ready basic column receive an
+//!    artificial variable;
+//! 4. phase 1 minimizes the artificial sum (infeasible iff it stays
+//!    positive), phase 2 optimizes the true objective.
+//!
+//! Anti-cycling: Dantzig pricing normally, with a permanent switch to
+//! Bland's rule after an iteration budget proportional to the tableau size.
+
+use crate::model::{Cmp, Model, Sense};
+use crate::EPS;
+
+/// A feasible (optimal) LP solution.
+#[derive(Clone, Debug)]
+pub struct Solution {
+    /// Value per model variable, indexed by `VarId::index()`.
+    pub values: Vec<f64>,
+    /// Objective value in the model's own sense.
+    pub objective: f64,
+}
+
+/// Result of an LP relaxation solve.
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// Proven optimal solution.
+    Optimal(Solution),
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+}
+
+struct Tableau {
+    /// (m + 1) rows × (ncols + 1) columns, row-major; last row is the cost
+    /// row, last column the right-hand side.
+    t: Vec<f64>,
+    m: usize,
+    ncols: usize,
+    basis: Vec<usize>,
+    /// Columns that may enter the basis (artificials are disabled after
+    /// phase 1).
+    allowed: Vec<bool>,
+}
+
+impl Tableau {
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.t[r * (self.ncols + 1) + c]
+    }
+
+    #[inline]
+    fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.t[r * (self.ncols + 1) + c] = v;
+    }
+
+    #[inline]
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.ncols)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let w = self.ncols + 1;
+        let piv = self.at(row, col);
+        debug_assert!(piv.abs() > 1e-12, "pivot too small: {piv}");
+        // Normalize pivot row.
+        let inv = 1.0 / piv;
+        let (rs, re) = (row * w, (row + 1) * w);
+        for x in &mut self.t[rs..re] {
+            *x *= inv;
+        }
+        // Eliminate the column elsewhere.
+        for r in 0..=self.m {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor.abs() <= 1e-12 {
+                continue;
+            }
+            let (or_s, _or_e) = (r * w, (r + 1) * w);
+            for j in 0..w {
+                let v = self.t[rs + j];
+                self.t[or_s + j] -= factor * v;
+            }
+            // Force exact zero in the pivot column for stability.
+            self.t[or_s + col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs the simplex loop on the current cost row (minimization).
+    /// Returns `false` if unbounded.
+    fn optimize(&mut self) -> bool {
+        let iter_budget = 50 * (self.m + self.ncols) + 1000;
+        let mut iters = 0usize;
+        loop {
+            iters += 1;
+            let bland = iters > iter_budget;
+            // Entering column.
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for j in 0..self.ncols {
+                if !self.allowed[j] {
+                    continue;
+                }
+                let rc = self.at(self.m, j);
+                if bland {
+                    if rc < -EPS {
+                        enter = Some(j);
+                        break;
+                    }
+                } else if rc < best {
+                    best = rc;
+                    enter = Some(j);
+                }
+            }
+            let Some(col) = enter else {
+                return true; // optimal
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.m {
+                let a = self.at(r, col);
+                if a > 1e-9 {
+                    let ratio = self.rhs(r) / a;
+                    let better = if bland {
+                        // Bland: smallest ratio; ties by smallest basis index.
+                        ratio < best_ratio - 1e-12
+                            || (ratio < best_ratio + 1e-12
+                                && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]))
+                    } else {
+                        // Prefer strictly better ratio; on ties take the
+                        // larger pivot element for numerical stability.
+                        ratio < best_ratio - 1e-12
+                            || (ratio < best_ratio + 1e-12
+                                && leave.is_some_and(|lr| a.abs() > self.at(lr, col).abs()))
+                    };
+                    if leave.is_none() || better {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(row) = leave else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality is ignored).
+pub fn solve_relaxation(model: &Model) -> LpOutcome {
+    let n = model.num_vars();
+
+    // Shifted variables: x = lo + x', x' >= 0; remember ranges.
+    let lo: Vec<f64> = (0..n).map(|i| model.bounds(crate::VarId(i as u32)).0).collect();
+    let hi: Vec<f64> = (0..n).map(|i| model.bounds(crate::VarId(i as u32)).1).collect();
+
+    // Assemble rows: (coeffs over structural vars, cmp, rhs).
+    struct Row {
+        coeffs: Vec<(usize, f64)>,
+        cmp: Cmp,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+    for c in &model.constraints {
+        let mut rhs = c.rhs;
+        let mut coeffs = Vec::with_capacity(c.expr.terms.len());
+        for &(v, coef) in &c.expr.terms {
+            rhs -= coef * lo[v.index()];
+            coeffs.push((v.index(), coef));
+        }
+        rows.push(Row {
+            coeffs,
+            cmp: c.cmp,
+            rhs,
+        });
+    }
+    for i in 0..n {
+        if hi[i].is_finite() {
+            rows.push(Row {
+                coeffs: vec![(i, 1.0)],
+                cmp: Cmp::Le,
+                rhs: hi[i] - lo[i],
+            });
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [0, n) structural; then one slack/surplus per Le/Ge
+    // row; then artificials as needed.
+    let mut n_slack = 0usize;
+    for r in &rows {
+        if !matches!(r.cmp, Cmp::Eq) {
+            n_slack += 1;
+        }
+    }
+
+    // First pass to decide artificials: a row ends with +1 slack and
+    // nonnegative rhs iff it can seed the basis.
+    // Build a dense matrix incrementally.
+    let mut slack_of_row: Vec<Option<(usize, f64)>> = Vec::with_capacity(m);
+    {
+        let mut next = n;
+        for r in &rows {
+            match r.cmp {
+                Cmp::Le => {
+                    slack_of_row.push(Some((next, 1.0)));
+                    next += 1;
+                }
+                Cmp::Ge => {
+                    slack_of_row.push(Some((next, -1.0)));
+                    next += 1;
+                }
+                Cmp::Eq => slack_of_row.push(None),
+            }
+        }
+        debug_assert_eq!(next, n + n_slack);
+    }
+
+    // Negate rows with negative rhs (flips slack signs too).
+    let mut needs_artificial: Vec<bool> = vec![false; m];
+    let mut row_sign: Vec<f64> = vec![1.0; m];
+    for (i, r) in rows.iter().enumerate() {
+        let s = if r.rhs < 0.0 { -1.0 } else { 1.0 };
+        row_sign[i] = s;
+        let slack_coef = slack_of_row[i].map(|(_, c)| c * s);
+        needs_artificial[i] = slack_coef != Some(1.0);
+    }
+    let n_art = needs_artificial.iter().filter(|&&b| b).count();
+    let ncols = n + n_slack + n_art;
+
+    let w = ncols + 1;
+    let mut t = vec![0.0f64; (m + 1) * w];
+    let mut basis = vec![usize::MAX; m];
+    {
+        let mut art_next = n + n_slack;
+        for (i, r) in rows.iter().enumerate() {
+            let s = row_sign[i];
+            for &(j, c) in &r.coeffs {
+                t[i * w + j] += c * s;
+            }
+            if let Some((sj, sc)) = slack_of_row[i] {
+                t[i * w + sj] = sc * s;
+            }
+            t[i * w + ncols] = r.rhs * s;
+            if needs_artificial[i] {
+                t[i * w + art_next] = 1.0;
+                basis[i] = art_next;
+                art_next += 1;
+            } else {
+                basis[i] = slack_of_row[i].expect("row without slack needs artificial").0;
+            }
+        }
+    }
+
+    let mut tab = Tableau {
+        t,
+        m,
+        ncols,
+        basis,
+        allowed: vec![true; ncols],
+    };
+
+    // Phase 1: minimize the artificial sum. Cost row: 1 on artificials,
+    // reduce against the artificial basis rows.
+    if n_art > 0 {
+        for j in 0..ncols {
+            tab.set(m, j, if j >= n + n_slack { 1.0 } else { 0.0 });
+        }
+        tab.set(m, ncols, 0.0);
+        for r in 0..m {
+            if tab.basis[r] >= n + n_slack {
+                // subtract row r from cost row
+                for j in 0..=ncols {
+                    let v = tab.at(m, j) - tab.at(r, j);
+                    tab.set(m, j, v);
+                }
+            }
+        }
+        let ok = tab.optimize();
+        debug_assert!(ok, "phase 1 cannot be unbounded");
+        let art_sum = -tab.rhs(m);
+        if art_sum > 1e-6 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive remaining (degenerate) artificials out of the basis.
+        for r in 0..m {
+            if tab.basis[r] >= n + n_slack {
+                let mut pivot_col = None;
+                for j in 0..n + n_slack {
+                    if tab.at(r, j).abs() > 1e-9 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    tab.pivot(r, j);
+                }
+                // else: the row is redundant; the artificial stays basic at 0
+                // and its column stays disallowed, which is harmless.
+            }
+        }
+        // Artificials may never re-enter.
+        for j in n + n_slack..ncols {
+            tab.allowed[j] = false;
+        }
+    }
+
+    // Phase 2 cost row: minimize (negate objective if maximizing), over the
+    // shifted variables.
+    let minimize_sign = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    for j in 0..=ncols {
+        tab.set(m, j, 0.0);
+    }
+    for &(v, c) in &model.objective.terms {
+        let j = v.index();
+        let cur = tab.at(m, j);
+        tab.set(m, j, cur + minimize_sign * c);
+    }
+    // Reduce the cost row against the current basis.
+    for r in 0..m {
+        let b = tab.basis[r];
+        let coef = tab.at(m, b);
+        if coef.abs() > 1e-12 {
+            for j in 0..=ncols {
+                let v = tab.at(m, j) - coef * tab.at(r, j);
+                tab.set(m, j, v);
+            }
+            tab.set(m, b, 0.0);
+        }
+    }
+    if !tab.optimize() {
+        return LpOutcome::Unbounded;
+    }
+
+    // Extract structural values.
+    let mut shifted = vec![0.0f64; ncols];
+    for r in 0..m {
+        let b = tab.basis[r];
+        if b < ncols {
+            shifted[b] = tab.rhs(r);
+        }
+    }
+    let values: Vec<f64> = (0..n).map(|i| lo[i] + shifted[i]).collect();
+    let objective = model.objective.eval(&values);
+    LpOutcome::Optimal(Solution { values, objective })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, LinExpr, Model, Sense, VarKind};
+
+    fn optimal(m: &Model) -> Solution {
+        match solve_relaxation(m) {
+            LpOutcome::Optimal(s) => s,
+            other => panic!("expected optimal, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn simple_max() {
+        // max 3x + 2y s.t. x + y <= 4, x <= 2; optimum at (2, 2) = 10
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Le, 4.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Le, 2.0);
+        m.set_objective(LinExpr::from(x) * 3.0 + (2.0, y));
+        let s = optimal(&m);
+        assert!((s.objective - 10.0).abs() < 1e-6, "got {}", s.objective);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simple_min_with_ge() {
+        // min x + y s.t. x + 2y >= 6, 3x + y >= 6 -> (1.2, 2.4), obj 3.6
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::from(x) + (2.0, y), Cmp::Ge, 6.0);
+        m.add_constraint(LinExpr::from(x) * 3.0 + y, Cmp::Ge, 6.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let s = optimal(&m);
+        assert!((s.objective - 3.6).abs() < 1e-6, "got {}", s.objective);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 5, x - y = 1 -> (3, 2)
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Eq, 5.0);
+        m.add_constraint(LinExpr::from(x) - y, Cmp::Eq, 1.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let s = optimal(&m);
+        assert!((s.values[0] - 3.0).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Le, 3.0);
+        m.set_objective(LinExpr::from(x));
+        assert!(matches!(solve_relaxation(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::from(x) - y, Cmp::Le, 1.0);
+        m.set_objective(LinExpr::from(x));
+        assert!(matches!(solve_relaxation(&m), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // min x s.t. x >= -3 with x in [-5, 5]
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, -5.0, 5.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Ge, -3.0);
+        m.set_objective(LinExpr::from(x));
+        let s = optimal(&m);
+        assert!((s.values[0] + 3.0).abs() < 1e-6, "got {}", s.values[0]);
+    }
+
+    #[test]
+    fn negative_rhs_rows() {
+        // x + y >= -1 is vacuous for x,y >= 0; max x + y <= 2
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Ge, -1.0);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Le, 2.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let s = optimal(&m);
+        assert!((s.objective - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fixed_variable() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 2.0, 2.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 3.0);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Le, 4.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let s = optimal(&m);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Klee-Minty-like degenerate structure; mostly a termination test.
+        let mut m = Model::new(Sense::Maximize);
+        let n = 6;
+        let vars: Vec<_> = (0..n)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Continuous, 0.0, f64::INFINITY))
+            .collect();
+        for i in 0..n {
+            let mut e = LinExpr::new();
+            for (j, item) in vars.iter().enumerate().take(i) {
+                e = e + (2.0f64.powi((i - j) as i32 + 1), *item);
+            }
+            e = e + vars[i];
+            m.add_constraint(e, Cmp::Le, 5.0f64.powi(i as i32 + 1));
+        }
+        let mut obj = LinExpr::new();
+        for (j, v) in vars.iter().enumerate() {
+            obj = obj + (2.0f64.powi((n - 1 - j) as i32), *v);
+        }
+        m.set_objective(obj);
+        let s = optimal(&m);
+        assert!((s.objective - 5.0f64.powi(n as i32)).abs() / 5.0f64.powi(n as i32) < 1e-6);
+    }
+
+    #[test]
+    fn solution_satisfies_model() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 7.5);
+        let y = m.add_var("y", VarKind::Continuous, 1.0, 4.0);
+        let z = m.add_var("z", VarKind::Continuous, -2.0, 2.0);
+        m.add_constraint(LinExpr::from(x) + (2.0, y) + (-1.0, z), Cmp::Le, 9.0);
+        m.add_constraint(LinExpr::from(y) + z, Cmp::Ge, 1.5);
+        m.set_objective(LinExpr::from(x) + y + z);
+        let s = optimal(&m);
+        assert!(m.check_feasible(&s.values, 1e-5).is_ok());
+    }
+}

@@ -1,0 +1,186 @@
+//! Interval register allocation (left-edge algorithm).
+//!
+//! Once a schedule is fixed, value lifetimes are intervals and the
+//! interference graph is an interval graph, for which left-edge allocation
+//! is optimal: it succeeds with `R` registers iff `RN_σ ≤ R`. This is the
+//! final pipeline stage and the end-to-end witness that the saturation
+//! pre-pass did its job — *zero spills by construction*.
+
+use rs_core::lifetime::lifetime_intervals;
+use rs_core::model::{Ddg, RegType};
+use rs_graph::interval::Interval;
+use rs_graph::NodeId;
+use std::collections::BTreeMap;
+
+/// Outcome of an allocation attempt.
+#[derive(Clone, Debug)]
+pub struct AllocationResult {
+    /// Register index assigned to each value (spilled values absent).
+    pub assignment: BTreeMap<NodeId, usize>,
+    /// Values that did not fit in the budget (would require spill code).
+    pub spilled: Vec<NodeId>,
+    /// Number of registers actually used.
+    pub registers_used: usize,
+}
+
+impl AllocationResult {
+    /// Whether every value got a register.
+    pub fn success(&self) -> bool {
+        self.spilled.is_empty()
+    }
+}
+
+/// The left-edge allocator.
+#[derive(Clone, Debug, Default)]
+pub struct RegisterAllocator;
+
+impl RegisterAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        RegisterAllocator
+    }
+
+    /// Allocates registers of type `t` for the given schedule within
+    /// `budget` registers. Values whose lifetime is empty need no register.
+    pub fn allocate(
+        &self,
+        ddg: &Ddg,
+        t: RegType,
+        sigma: &[i64],
+        budget: usize,
+    ) -> AllocationResult {
+        let mut intervals: Vec<(NodeId, Interval)> = lifetime_intervals(ddg, t, sigma)
+            .into_iter()
+            .filter(|(_, iv)| !iv.is_empty())
+            .collect();
+        // Left-edge: sort by start.
+        intervals.sort_by_key(|&(n, iv)| (iv.start, iv.end, n));
+
+        let mut assignment: BTreeMap<NodeId, usize> = BTreeMap::new();
+        let mut spilled = Vec::new();
+        // free_at[r] = cycle after which register r is free (exclusive end
+        // of its last interval).
+        let mut free_at: Vec<i64> = Vec::new();
+        let mut used = 0usize;
+
+        for (node, iv) in intervals {
+            // Find a register free at iv.start (half-open: (a, b] frees at b).
+            let mut chosen = None;
+            for (r, &f) in free_at.iter().enumerate() {
+                if f <= iv.start {
+                    chosen = Some(r);
+                    break;
+                }
+            }
+            match chosen {
+                Some(r) => {
+                    free_at[r] = iv.end;
+                    assignment.insert(node, r);
+                }
+                None if free_at.len() < budget => {
+                    let r = free_at.len();
+                    free_at.push(iv.end);
+                    assignment.insert(node, r);
+                    used = used.max(r + 1);
+                }
+                None => spilled.push(node),
+            }
+        }
+        AllocationResult {
+            assignment,
+            spilled,
+            registers_used: free_at.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListScheduler;
+    use crate::resources::Resources;
+    use rs_core::lifetime::register_need;
+    use rs_core::model::{DdgBuilder, OpClass, Target};
+    use rs_core::reduce::Reducer;
+
+    fn chains(k: usize) -> Ddg {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        for i in 0..k {
+            let v = b.op(format!("l{i}"), OpClass::Load, Some(RegType::FLOAT));
+            let s = b.op(format!("s{i}"), OpClass::Store, None);
+            b.flow(v, s, 4, RegType::FLOAT);
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn allocation_matches_register_need() {
+        let d = chains(3);
+        let sched = ListScheduler::new(Resources::wide_issue()).schedule(&d);
+        let rn = register_need(&d, RegType::FLOAT, &sched.sigma);
+        let alloc = RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, rn);
+        assert!(alloc.success(), "left-edge must fit within RN");
+        assert_eq!(alloc.registers_used, rn);
+        // one fewer register must spill
+        let tight = RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, rn - 1);
+        assert!(!tight.success());
+        assert_eq!(tight.spilled.len() + tight.assignment.len(), 3);
+    }
+
+    #[test]
+    fn no_two_interfering_values_share_a_register() {
+        let d = chains(4);
+        let sched = ListScheduler::new(Resources::four_issue()).schedule(&d);
+        let alloc = RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, 16);
+        assert!(alloc.success());
+        let ivs = lifetime_intervals(&d, RegType::FLOAT, &sched.sigma);
+        for (a, iva) in &ivs {
+            for (b, ivb) in &ivs {
+                if a != b && iva.interferes(ivb) {
+                    assert_ne!(
+                        alloc.assignment.get(a),
+                        alloc.assignment.get(b),
+                        "{:?} and {:?} interfere but share a register",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    /// The paper's end-to-end promise: reduce RS to the budget, schedule
+    /// freely, allocate with zero spills.
+    #[test]
+    fn end_to_end_no_spills_after_reduction() {
+        for budget in [2usize, 3] {
+            let mut d = chains(5);
+            let out = Reducer::new().reduce(&mut d, RegType::FLOAT, budget);
+            assert!(out.fits(), "budget {budget}");
+            let sched = ListScheduler::new(Resources::four_issue()).schedule(&d);
+            let alloc =
+                RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, budget);
+            assert!(
+                alloc.success(),
+                "budget {budget}: spilled {:?}",
+                alloc.spilled
+            );
+            assert!(alloc.registers_used <= budget);
+        }
+    }
+
+    #[test]
+    fn empty_lifetime_values_need_no_register() {
+        // x's only reader issues at x's cycle +1 with superscalar delays:
+        // interval (0, 1]: nonempty. To get an empty interval we need
+        // δr(reader) < δw(writer) which superscalar forbids; so check the
+        // zero-value case instead.
+        let mut b = DdgBuilder::new(Target::superscalar());
+        b.op("st", OpClass::Store, None);
+        let d = b.finish();
+        let sched = ListScheduler::new(Resources::four_issue()).schedule(&d);
+        let alloc = RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, 0);
+        assert!(alloc.success());
+        assert_eq!(alloc.registers_used, 0);
+    }
+}

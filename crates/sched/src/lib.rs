@@ -1,0 +1,22 @@
+//! # rs-sched — the downstream passes of Figure 1
+//!
+//! After the register-saturation pre-pass has produced a DAG that fits the
+//! register budget, a resource-constrained **list scheduler** and an
+//! interval-based **register allocator** finish code generation. These are
+//! the substrate the paper assumes exists ("the DAG … can be sent to the
+//! scheduler and the register allocator"); they are implemented here so the
+//! pipeline can be validated end to end:
+//!
+//! - scheduling never has to consider register constraints,
+//! - allocation always succeeds within the budget (zero spills) whenever
+//!   the reduction pass reported success,
+//! - the *ILP loss* of reduction is measured as makespan growth under real
+//!   resource constraints, not just critical-path growth.
+
+pub mod allocator;
+pub mod list;
+pub mod resources;
+
+pub use allocator::{AllocationResult, RegisterAllocator};
+pub use list::{ListScheduler, Schedule};
+pub use resources::Resources;

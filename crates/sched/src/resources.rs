@@ -1,0 +1,118 @@
+//! Functional-unit resource model.
+//!
+//! Each operation class maps to a functional-unit kind with a per-cycle
+//! issue capacity. The model is deliberately simple (fully pipelined units,
+//! issue-width cap) — the paper's point is precisely that the scheduler
+//! under resource constraints can stay register-oblivious.
+
+use rs_core::model::OpClass;
+
+/// Functional-unit kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FuKind {
+    /// Load/store unit.
+    Memory,
+    /// Integer ALU.
+    IntUnit,
+    /// Floating-point unit.
+    FloatUnit,
+    /// Catch-all (copies, address arithmetic, pseudo-ops).
+    Misc,
+}
+
+impl FuKind {
+    /// The unit an operation class issues on.
+    pub fn of(class: OpClass) -> FuKind {
+        match class {
+            OpClass::Load | OpClass::Store => FuKind::Memory,
+            OpClass::IntAlu | OpClass::IntMul => FuKind::IntUnit,
+            OpClass::FloatAlu | OpClass::FloatMul | OpClass::FloatDiv => FuKind::FloatUnit,
+            OpClass::Copy | OpClass::Addr | OpClass::Other => FuKind::Misc,
+        }
+    }
+}
+
+/// Per-cycle issue capacities.
+#[derive(Clone, Debug)]
+pub struct Resources {
+    /// Total issue width per cycle.
+    pub issue_width: usize,
+    /// Memory unit slots per cycle.
+    pub memory: usize,
+    /// Integer unit slots per cycle.
+    pub int_unit: usize,
+    /// Float unit slots per cycle.
+    pub float_unit: usize,
+    /// Misc slots per cycle.
+    pub misc: usize,
+}
+
+impl Resources {
+    /// A generic 4-issue machine: 2 memory, 2 int, 2 float, 2 misc ports.
+    pub fn four_issue() -> Self {
+        Resources {
+            issue_width: 4,
+            memory: 2,
+            int_unit: 2,
+            float_unit: 2,
+            misc: 2,
+        }
+    }
+
+    /// A narrow 1-issue machine (sequential-ish; stresses ILP loss).
+    pub fn single_issue() -> Self {
+        Resources {
+            issue_width: 1,
+            memory: 1,
+            int_unit: 1,
+            float_unit: 1,
+            misc: 1,
+        }
+    }
+
+    /// An 8-issue machine with generous units (near-unbounded ILP).
+    pub fn wide_issue() -> Self {
+        Resources {
+            issue_width: 8,
+            memory: 4,
+            int_unit: 4,
+            float_unit: 4,
+            misc: 4,
+        }
+    }
+
+    /// Capacity of one unit kind.
+    pub fn capacity(&self, kind: FuKind) -> usize {
+        match kind {
+            FuKind::Memory => self.memory,
+            FuKind::IntUnit => self.int_unit,
+            FuKind::FloatUnit => self.float_unit,
+            FuKind::Misc => self.misc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_to_unit_mapping_total() {
+        for class in OpClass::ALL {
+            let _ = FuKind::of(class); // no panic: mapping is total
+        }
+        assert_eq!(FuKind::of(OpClass::Load), FuKind::Memory);
+        assert_eq!(FuKind::of(OpClass::FloatDiv), FuKind::FloatUnit);
+    }
+
+    #[test]
+    fn capacities() {
+        let r = Resources::four_issue();
+        assert_eq!(r.capacity(FuKind::Memory), 2);
+        assert_eq!(r.issue_width, 4);
+        let s = Resources::single_issue();
+        for k in [FuKind::Memory, FuKind::IntUnit, FuKind::FloatUnit, FuKind::Misc] {
+            assert_eq!(s.capacity(k), 1);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Global register saturation over an acyclic CFG (Section 6's extension):
+//! per-block RS with entry/exit values, the max-over-blocks global RS, and
+//! the move-insertion register reserve.
+//!
+//! ```text
+//! cargo run --example global_cfg
+//! ```
+
+use rs_core::cfg::{Cfg, CfgBuilder};
+use rs_core::model::{OpClass, RegType, Target};
+
+fn main() {
+    // if (c) { t = a*b + a } else { t = a+b } ; store t
+    let mut c = CfgBuilder::new(Target::superscalar());
+    let entry = c.add_block("entry");
+    let then_b = c.add_block("then");
+    let else_b = c.add_block("else");
+    let join = c.add_block("join");
+    c.branch(entry, then_b);
+    c.branch(entry, else_b);
+    c.branch(then_b, join);
+    c.branch(else_b, join);
+
+    // entry defines a and b, both live across the branch
+    let a = c.op(entry, "load a", OpClass::Load, Some(RegType::FLOAT));
+    let b = c.op(entry, "load b", OpClass::Load, Some(RegType::FLOAT));
+    c.live_out(entry, a, RegType::FLOAT, "a");
+    c.live_out(entry, b, RegType::FLOAT, "b");
+
+    // then: t = a*b + a  (a read twice -> longer lifetime)
+    let a_in = c.live_in(then_b, "a", RegType::FLOAT);
+    let b_in = c.live_in(then_b, "b", RegType::FLOAT);
+    let m = c.op(then_b, "a*b", OpClass::FloatMul, Some(RegType::FLOAT));
+    c.flow(then_b, a_in, m, 1, RegType::FLOAT);
+    c.flow(then_b, b_in, m, 1, RegType::FLOAT);
+    let t1 = c.op(then_b, "m+a", OpClass::FloatAlu, Some(RegType::FLOAT));
+    c.flow(then_b, m, t1, 4, RegType::FLOAT);
+    c.flow(then_b, a_in, t1, 1, RegType::FLOAT);
+    c.live_out(then_b, t1, RegType::FLOAT, "t");
+
+    // else: t = a+b
+    let a_in = c.live_in(else_b, "a", RegType::FLOAT);
+    let b_in = c.live_in(else_b, "b", RegType::FLOAT);
+    let t2 = c.op(else_b, "a+b", OpClass::FloatAlu, Some(RegType::FLOAT));
+    c.flow(else_b, a_in, t2, 1, RegType::FLOAT);
+    c.flow(else_b, b_in, t2, 1, RegType::FLOAT);
+    c.live_out(else_b, t2, RegType::FLOAT, "t");
+
+    // join: store t
+    let t_in = c.live_in(join, "t", RegType::FLOAT);
+    let st = c.op(join, "store t", OpClass::Store, None);
+    c.flow(join, t_in, st, 1, RegType::FLOAT);
+
+    let mut cfg = c.finish();
+
+    println!("per-block / global register saturation (float):");
+    let rs = cfg.global_saturation(RegType::FLOAT);
+    for (block, sat) in &rs.per_block {
+        println!("  {block:<8} RS = {sat}");
+    }
+    println!("  global   RS = {} (max over blocks)\n", rs.global);
+
+    let physical = 4;
+    println!(
+        "global allocation with {physical} registers: each block is reduced to {} \
+         (one register reserved for possible 'move' insertions, per the paper)",
+        Cfg::effective_budget(physical)
+    );
+    let outcomes = cfg.reduce_all(RegType::FLOAT, physical);
+    for (block, out) in &outcomes {
+        println!(
+            "  {block:<8} fits = {}, arcs added = {}",
+            out.fits(),
+            out.added_arcs().len()
+        );
+    }
+    let after = cfg.global_saturation(RegType::FLOAT);
+    println!("\nglobal RS after reduction: {} ≤ {}", after.global, Cfg::effective_budget(physical));
+}

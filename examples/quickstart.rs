@@ -1,0 +1,83 @@
+//! Quickstart: compute the register saturation of a small DDG, reduce it to
+//! a register budget, and verify the downstream scheduler/allocator see a
+//! register-constraint-free DAG.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use register_saturation::prelude::*;
+use rs_core::exact::ExactRs;
+
+fn main() {
+    // Build the DDG of:  t = (a[i] * b[i]) + (c[i] * d[i]); store t
+    let mut b = DdgBuilder::new(Target::superscalar());
+    let la = b.op("load a[i]", OpClass::Load, Some(RegType::FLOAT));
+    let lb = b.op("load b[i]", OpClass::Load, Some(RegType::FLOAT));
+    let lc = b.op("load c[i]", OpClass::Load, Some(RegType::FLOAT));
+    let ld = b.op("load d[i]", OpClass::Load, Some(RegType::FLOAT));
+    let m1 = b.op("a*b", OpClass::FloatMul, Some(RegType::FLOAT));
+    let m2 = b.op("c*d", OpClass::FloatMul, Some(RegType::FLOAT));
+    let s = b.op("m1+m2", OpClass::FloatAlu, Some(RegType::FLOAT));
+    let st = b.op("store t", OpClass::Store, None);
+    b.flow(la, m1, 4, RegType::FLOAT);
+    b.flow(lb, m1, 4, RegType::FLOAT);
+    b.flow(lc, m2, 4, RegType::FLOAT);
+    b.flow(ld, m2, 4, RegType::FLOAT);
+    b.flow(m1, s, 4, RegType::FLOAT);
+    b.flow(m2, s, 4, RegType::FLOAT);
+    b.flow(s, st, 3, RegType::FLOAT);
+    let mut ddg = b.finish();
+
+    println!("DDG: {} ops, {} edges, critical path {}", ddg.num_ops(), ddg.graph().edge_count(), ddg.critical_path());
+
+    // 1. Register saturation: the exact upper bound over ALL schedules.
+    let heuristic = GreedyK::new().saturation(&ddg, RegType::FLOAT);
+    let exact = ExactRs::new().saturation(&ddg, RegType::FLOAT);
+    println!(
+        "register saturation (float): heuristic RS* = {}, exact RS = {}{}",
+        heuristic.saturation,
+        exact.saturation,
+        if exact.proven_optimal { "" } else { " (budget-limited)" },
+    );
+    println!(
+        "saturating values: {:?}",
+        exact
+            .saturating_values
+            .iter()
+            .map(|&v| ddg.graph().node(v).name.clone())
+            .collect::<Vec<_>>()
+    );
+
+    // 2. Suppose the target has only 3 float registers: reduce.
+    let budget = 3;
+    let outcome = Reducer::new().reduce(&mut ddg, RegType::FLOAT, budget);
+    match &outcome {
+        ReduceOutcome::AlreadyFits { rs } => println!("RS = {rs} ≤ {budget}: DAG untouched"),
+        ReduceOutcome::Reduced {
+            rs_before,
+            rs_after,
+            cp_before,
+            cp_after,
+            added_arcs,
+            ..
+        } => println!(
+            "reduced RS {rs_before} -> {rs_after} with {} arcs; critical path {cp_before} -> {cp_after}",
+            added_arcs.len()
+        ),
+        ReduceOutcome::Failed { .. } => println!("cannot fit {budget} registers: spill needed"),
+    }
+
+    // 3. The scheduler now never needs to think about registers.
+    let sched = ListScheduler::new(Resources::four_issue()).schedule(&ddg);
+    println!("list schedule makespan under a 4-issue machine: {}", sched.makespan);
+
+    // 4. And allocation succeeds within the budget, zero spills.
+    let alloc = RegisterAllocator::new().allocate(&ddg, RegType::FLOAT, &sched.sigma, budget);
+    println!(
+        "allocation: {} registers used, {} spills",
+        alloc.registers_used,
+        alloc.spilled.len()
+    );
+    assert!(alloc.success(), "the saturation pre-pass guarantees no spills");
+}

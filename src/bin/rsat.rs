@@ -1,0 +1,211 @@
+//! `rsat` — register-saturation command-line tool.
+//!
+//! ```text
+//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact]
+//! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]
+//! rsat pipeline <file.ddg> --registers N [--issue 1|4|8]
+//! rsat dot      <file.ddg>
+//! ```
+//!
+//! The input format is documented in `rs_core::parse`. Examples live in
+//! `examples/data/*.ddg`.
+
+use rs_core::exact::ExactRs;
+use rs_core::heuristic::GreedyK;
+use rs_core::model::{Ddg, RegType};
+use rs_core::parse::{parse_ddg, print_ddg};
+use rs_core::reduce::{ReduceOutcome, Reducer};
+use rs_core::spill::SpillPass;
+use rs_sched::{ListScheduler, RegisterAllocator, Resources};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("rsat: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  rsat analyze  <file.ddg> [--type float|int|branch] [--exact]");
+            eprintln!("  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]");
+            eprintln!("  rsat pipeline <file.ddg> --registers N [--issue 1|4|8]");
+            eprintln!("  rsat dot      <file.ddg>");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    let file = args.get(1).ok_or("missing input file")?;
+    let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let ddg = parse_ddg(&input).map_err(|e| format!("{file}: {e}"))?;
+
+    let reg_type = flag_value(args, "--type")
+        .map(|s| match s.as_str() {
+            "int" => Ok(RegType::INT),
+            "float" => Ok(RegType::FLOAT),
+            "branch" => Ok(RegType::BRANCH),
+            other => Err(format!("unknown register type `{other}`")),
+        })
+        .transpose()?;
+
+    match cmd.as_str() {
+        "analyze" => analyze(&ddg, reg_type, args.iter().any(|a| a == "--exact")),
+        "reduce" => reduce(
+            ddg,
+            reg_type,
+            parse_registers(args)?,
+            args.iter().any(|a| a == "--spill"),
+            flag_value(args, "--output"),
+        ),
+        "pipeline" => pipeline(ddg, reg_type, parse_registers(args)?, flag_value(args, "--issue")),
+        "dot" => {
+            println!("{}", ddg.to_dot("ddg", &[]));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_registers(args: &[String]) -> Result<usize, String> {
+    flag_value(args, "--registers")
+        .ok_or("missing --registers N")?
+        .parse()
+        .map_err(|_| "bad --registers value".to_string())
+}
+
+fn types_to_analyse(ddg: &Ddg, requested: Option<RegType>) -> Vec<RegType> {
+    match requested {
+        Some(t) => vec![t],
+        None => ddg.reg_types(),
+    }
+}
+
+fn analyze(ddg: &Ddg, reg_type: Option<RegType>, exact: bool) -> Result<(), String> {
+    println!(
+        "{} operations (incl. ⊥), {} edges, critical path {}",
+        ddg.num_ops(),
+        ddg.graph().edge_count(),
+        ddg.critical_path()
+    );
+    for t in types_to_analyse(ddg, reg_type) {
+        let h = GreedyK::new().saturation(ddg, t);
+        print!("type {:?}: {} values, RS* = {}", t, ddg.values(t).len(), h.saturation);
+        if exact {
+            let e = ExactRs::new().saturation(ddg, t);
+            print!(
+                ", exact RS = {}{}",
+                e.saturation,
+                if e.proven_optimal { "" } else { " (budget-limited)" }
+            );
+        }
+        println!();
+        let names: Vec<String> = h
+            .saturating_values
+            .iter()
+            .map(|&v| ddg.graph().node(v).name.clone())
+            .collect();
+        println!("  saturating values: {}", names.join(", "));
+    }
+    Ok(())
+}
+
+fn reduce(
+    mut ddg: Ddg,
+    reg_type: Option<RegType>,
+    registers: usize,
+    spill: bool,
+    output: Option<String>,
+) -> Result<(), String> {
+    for t in types_to_analyse(&ddg.clone(), reg_type) {
+        let out = Reducer::new().reduce(&mut ddg, t, registers);
+        match &out {
+            ReduceOutcome::AlreadyFits { rs } => {
+                println!("type {t:?}: RS = {rs} ≤ {registers}, untouched")
+            }
+            ReduceOutcome::Reduced {
+                rs_before,
+                rs_after,
+                added_arcs,
+                cp_before,
+                cp_after,
+                ..
+            } => println!(
+                "type {t:?}: RS {rs_before} -> {rs_after} (+{} arcs, critical path {cp_before} -> {cp_after})",
+                added_arcs.len()
+            ),
+            ReduceOutcome::Failed { rs_before, .. } => {
+                if spill {
+                    match SpillPass::new().spill_to_fit(&ddg, t, registers) {
+                        Some(res) => {
+                            println!(
+                                "type {t:?}: RS {rs_before} needed spilling: {:?} spilled, final RS = {}",
+                                res.spilled_values, res.rs_after
+                            );
+                            ddg = res.ddg;
+                        }
+                        None => {
+                            return Err(format!(
+                                "type {t:?}: cannot reach {registers} registers even with spilling"
+                            ))
+                        }
+                    }
+                } else {
+                    return Err(format!(
+                        "type {t:?}: cannot reduce RS {rs_before} to {registers} by serialization \
+                         (try --spill)"
+                    ));
+                }
+            }
+        }
+    }
+    if let Some(path) = output {
+        std::fs::write(&path, print_ddg(&ddg)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("modified DDG written to {path}");
+    }
+    Ok(())
+}
+
+fn pipeline(
+    mut ddg: Ddg,
+    reg_type: Option<RegType>,
+    registers: usize,
+    issue: Option<String>,
+) -> Result<(), String> {
+    let resources = match issue.as_deref() {
+        None | Some("4") => Resources::four_issue(),
+        Some("1") => Resources::single_issue(),
+        Some("8") => Resources::wide_issue(),
+        Some(other) => return Err(format!("unknown issue width `{other}`")),
+    };
+    let types = types_to_analyse(&ddg, reg_type);
+    for &t in &types {
+        let out = Reducer::new().reduce(&mut ddg, t, registers);
+        if !out.fits() {
+            return Err(format!(
+                "type {t:?}: budget {registers} infeasible without spilling"
+            ));
+        }
+    }
+    let sched = ListScheduler::new(resources).schedule(&ddg);
+    println!("schedule makespan: {}", sched.makespan);
+    for &t in &types {
+        let alloc = RegisterAllocator::new().allocate(&ddg, t, &sched.sigma, registers);
+        println!(
+            "type {:?}: {} registers used, {} spills",
+            t,
+            alloc.registers_used,
+            alloc.spilled.len()
+        );
+    }
+    Ok(())
+}

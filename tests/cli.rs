@@ -1,0 +1,91 @@
+//! Integration tests for the `rsat` command-line tool and the DDG text
+//! format shipped in `examples/data/`.
+
+use std::process::Command;
+
+fn rsat(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rsat"))
+        .args(args)
+        .output()
+        .expect("run rsat");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn data(name: &str) -> String {
+    format!("{}/examples/data/{name}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyze_reports_saturation() {
+    let (ok, stdout, _) = rsat(&["analyze", &data("expr.ddg"), "--exact"]);
+    assert!(ok);
+    assert!(stdout.contains("RS* = 4"), "{stdout}");
+    assert!(stdout.contains("exact RS = 4"), "{stdout}");
+    assert!(stdout.contains("saturating values"), "{stdout}");
+}
+
+#[test]
+fn reduce_roundtrips_through_the_text_format() {
+    let out_path = std::env::temp_dir().join("rsat_test_reduced.ddg");
+    let out_str = out_path.to_str().unwrap();
+    let (ok, stdout, _) = rsat(&[
+        "reduce",
+        &data("expr.ddg"),
+        "--registers",
+        "3",
+        "--output",
+        out_str,
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("RS 4 -> 3"), "{stdout}");
+
+    // the written file parses and analyses to the reduced saturation
+    let (ok, stdout, _) = rsat(&["analyze", out_str, "--exact"]);
+    assert!(ok);
+    assert!(stdout.contains("exact RS = 3"), "{stdout}");
+    let _ = std::fs::remove_file(out_path);
+}
+
+#[test]
+fn pipeline_reports_zero_spills() {
+    let (ok, stdout, _) = rsat(&["pipeline", &data("daxpy.ddg"), "--registers", "4"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("0 spills"), "{stdout}");
+    assert!(stdout.contains("makespan"), "{stdout}");
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (ok, stdout, _) = rsat(&["dot", &data("expr.ddg")]);
+    assert!(ok);
+    assert!(stdout.starts_with("digraph"));
+    assert!(stdout.contains("->"));
+}
+
+#[test]
+fn impossible_budget_suggests_spill_flag() {
+    let (ok, _, stderr) = rsat(&["reduce", &data("expr.ddg"), "--registers", "1"]);
+    assert!(!ok);
+    assert!(stderr.contains("--spill"), "{stderr}");
+}
+
+#[test]
+fn bad_input_reports_line_numbers() {
+    let bad = std::env::temp_dir().join("rsat_test_bad.ddg");
+    std::fs::write(&bad, "op a load float\nflow a missing 1 float\n").unwrap();
+    let (ok, _, stderr) = rsat(&["analyze", bad.to_str().unwrap()]);
+    assert!(!ok);
+    assert!(stderr.contains("line 2"), "{stderr}");
+    let _ = std::fs::remove_file(bad);
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = rsat(&["frobnicate", &data("expr.ddg")]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"), "{stderr}");
+}

@@ -1,0 +1,137 @@
+//! Reduction invariants across the corpus (heuristic and exact intLP):
+//! budgets are honoured, original edges survive, graphs stay acyclic and
+//! schedulable, and the exact method is never worse than the heuristic on
+//! ILP loss when both meet the budget.
+
+use rs_core::exact::ExactRs;
+use rs_core::heuristic::GreedyK;
+use rs_core::ilp::{ReduceIlp, ReduceIlpError};
+use rs_core::model::{RegType, Target};
+use rs_core::reduce::Reducer;
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+use rs_lp::MilpConfig;
+
+#[test]
+fn heuristic_reduction_honours_budget_on_corpus() {
+    for k in rs_kernels::corpus() {
+        let base = (k.build)(Target::superscalar());
+        let rs0 = GreedyK::new().saturation(&base, RegType::FLOAT).saturation;
+        for drop in 1..=3usize {
+            if rs0 <= drop + 1 {
+                continue;
+            }
+            let budget = rs0 - drop;
+            let mut ddg = base.clone();
+            let out = Reducer::new().reduce(&mut ddg, RegType::FLOAT, budget);
+            assert!(ddg.is_acyclic(), "{}: graph must stay schedulable", k.name);
+            if out.fits() {
+                let exact = ExactRs::new().saturation(&ddg, RegType::FLOAT);
+                if exact.proven_optimal {
+                    assert!(
+                        exact.saturation <= budget,
+                        "{} at R={budget}: exact RS after = {}",
+                        k.name,
+                        exact.saturation
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn reduction_preserves_all_original_edges() {
+    let k = rs_kernels::corpus()
+        .into_iter()
+        .find(|k| k.name == "lll7")
+        .unwrap();
+    let mut ddg = (k.build)(Target::superscalar());
+    let originals: Vec<_> = ddg.graph().edge_ids().collect();
+    let _ = Reducer::new().reduce(&mut ddg, RegType::FLOAT, 4);
+    for e in originals {
+        assert!(ddg.graph().edge_alive(e));
+    }
+}
+
+#[test]
+fn exact_reduction_matches_or_beats_heuristic_ilp_loss() {
+    let mut compared = 0;
+    for seed in 0..10u64 {
+        let base = random_ddg(
+            &RandomDagConfig::sized(7, 0xEE + seed),
+            Target::superscalar(),
+        );
+        let nvals = base.values(RegType::FLOAT).len();
+        if !(3..=5).contains(&nvals) {
+            continue;
+        }
+        let rs0 = ExactRs::new().saturation(&base, RegType::FLOAT).saturation;
+        if rs0 < 2 {
+            continue;
+        }
+        let budget = rs0 - 1;
+        let cp0 = base.critical_path();
+
+        let mut heur = base.clone();
+        let hout = Reducer::new().reduce(&mut heur, RegType::FLOAT, budget);
+
+        let mut opt = base.clone();
+        let milp = MilpConfig {
+            time_limit: Some(std::time::Duration::from_secs(15)),
+            ..MilpConfig::default()
+        };
+        let oout = ReduceIlp {
+            milp,
+            ..ReduceIlp::new()
+        }
+        .reduce(&mut opt, RegType::FLOAT, budget);
+
+        match oout {
+            Ok(res) => {
+                assert!(opt.is_acyclic());
+                let exact_after = ExactRs::new().saturation(&opt, RegType::FLOAT);
+                if exact_after.proven_optimal && !res.repaired {
+                    assert!(
+                        exact_after.saturation <= budget,
+                        "seed {seed}: intLP reduction exceeded budget ({} > {budget})",
+                        exact_after.saturation
+                    );
+                }
+                if hout.fits() && res.proven_optimal {
+                    let h_loss = heur.critical_path() - cp0;
+                    let o_loss = opt.critical_path() - cp0;
+                    // the optimum minimizes makespan; its CP loss cannot
+                    // exceed the heuristic's by more than the slack between
+                    // CP and the witness makespan bound
+                    assert!(
+                        o_loss <= h_loss.max(res.makespan - cp0),
+                        "seed {seed}: optimal ILP loss {o_loss} worse than heuristic {h_loss}"
+                    );
+                    compared += 1;
+                }
+            }
+            Err(ReduceIlpError::SpillUnavoidable) => {
+                // then the heuristic must fail too (it cannot do the impossible)
+                assert!(
+                    !hout.fits(),
+                    "seed {seed}: heuristic claims success where intLP proves infeasibility"
+                );
+            }
+            Err(ReduceIlpError::Budget) => {}
+        }
+    }
+    assert!(compared >= 2, "only {compared} feasible comparisons ran");
+}
+
+#[test]
+fn failed_reduction_leaves_schedulable_graph() {
+    // impossible budgets: the graph must survive the attempt
+    for k in rs_kernels::corpus().into_iter().take(5) {
+        let mut ddg = (k.build)(Target::superscalar());
+        let _ = Reducer::new().reduce(&mut ddg, RegType::FLOAT, 1);
+        assert!(ddg.is_acyclic(), "{}", k.name);
+        // and scheduling still works
+        let sched = rs_sched::ListScheduler::new(rs_sched::Resources::four_issue()).schedule(&ddg);
+        assert!(rs_core::lifetime::is_valid_schedule(&ddg, &sched.sigma));
+    }
+}
