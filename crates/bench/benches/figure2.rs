@@ -27,9 +27,7 @@ fn bench_figure2_pipeline(c: &mut Criterion) {
 fn bench_figure2_analysis_only(c: &mut Criterion) {
     let (ddg, _) = figure2(Target::superscalar());
     c.bench_function("figure2_exact_rs", |b| {
-        b.iter(|| {
-            rs_core::exact::ExactRs::new().saturation(black_box(&ddg), RegType::FLOAT)
-        });
+        b.iter(|| rs_core::exact::ExactRs::new().saturation(black_box(&ddg), RegType::FLOAT));
     });
 }
 

@@ -41,7 +41,11 @@ fn bench_exact_ilp(c: &mut Criterion) {
     for &n in &[6usize, 8, 10] {
         let ddg = random_ddg(&RandomDagConfig::sized(n, 3), Target::superscalar());
         group.bench_with_input(BenchmarkId::from_parameter(n), &ddg, |b, ddg| {
-            b.iter(|| RsIlp::new().saturation(black_box(ddg), RegType::FLOAT).unwrap());
+            b.iter(|| {
+                RsIlp::new()
+                    .saturation(black_box(ddg), RegType::FLOAT)
+                    .unwrap()
+            });
         });
     }
     group.finish();

@@ -56,7 +56,11 @@ pub fn random_cases(sizes: &[usize], count: usize, target: Target) -> Vec<Case> 
 
 /// Order-preserving parallel map with scoped threads — the experiments are
 /// embarrassingly parallel per DAG.
-pub fn par_map<T: Send, O: Send>(items: Vec<T>, threads: usize, f: impl Fn(T) -> O + Sync) -> Vec<O> {
+pub fn par_map<T: Send, O: Send>(
+    items: Vec<T>,
+    threads: usize,
+    f: impl Fn(T) -> O + Sync,
+) -> Vec<O> {
     let n = items.len();
     if n == 0 {
         return Vec::new();
@@ -64,24 +68,23 @@ pub fn par_map<T: Send, O: Send>(items: Vec<T>, threads: usize, f: impl Fn(T) ->
     let threads = threads.clamp(1, n);
     let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
     let work: Vec<(usize, T)> = items.into_iter().enumerate().collect();
-    let queue = parking_lot::Mutex::new(work);
-    let results = parking_lot::Mutex::new(&mut slots);
+    let queue = std::sync::Mutex::new(work);
+    let results = std::sync::Mutex::new(&mut slots);
 
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         for _ in 0..threads {
-            s.spawn(|_| loop {
-                let item = queue.lock().pop();
+            s.spawn(|| loop {
+                let item = queue.lock().unwrap().pop();
                 match item {
                     Some((idx, t)) => {
                         let out = f(t);
-                        results.lock()[idx] = Some(out);
+                        results.lock().unwrap()[idx] = Some(out);
                     }
                     None => break,
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
     slots.into_iter().map(|s| s.expect("slot filled")).collect()
 }

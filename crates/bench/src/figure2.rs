@@ -50,9 +50,19 @@ pub fn run() -> (String, Report) {
     };
 
     let mut text = String::new();
-    let _ = writeln!(text, "Figure 2 — RS reduction vs minimal register requirement");
-    let _ = writeln!(text, "=======================================================");
-    let _ = writeln!(text, "(a) initial DAG:        RS = {} (paper: 4), critical path {}", report.initial_rs, cp);
+    let _ = writeln!(
+        text,
+        "Figure 2 — RS reduction vs minimal register requirement"
+    );
+    let _ = writeln!(
+        text,
+        "======================================================="
+    );
+    let _ = writeln!(
+        text,
+        "(a) initial DAG:        RS = {} (paper: 4), critical path {}",
+        report.initial_rs, cp
+    );
     let _ = writeln!(
         text,
         "(b) minimization:       RS = {} with {} added arcs (paper: restricted to 2 registers)",
@@ -68,7 +78,11 @@ pub fn run() -> (String, Report) {
         "critical path after both transformations: {} (unchanged — the 17-cycle value absorbs serializations)",
         reduced.critical_path()
     );
-    let _ = writeln!(text, "\nDOT of the reduced DAG:\n{}", reduced.to_dot("figure2c", &[]));
+    let _ = writeln!(
+        text,
+        "\nDOT of the reduced DAG:\n{}",
+        reduced.to_dot("figure2c", &[])
+    );
 
     (text, report)
 }

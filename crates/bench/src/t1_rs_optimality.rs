@@ -52,7 +52,11 @@ pub struct Report {
 pub fn run(quick: bool) -> (String, Report) {
     let target = Target::superscalar();
     let mut cases = kernel_cases(target.clone());
-    let sizes: &[usize] = if quick { &[10, 14] } else { &[8, 10, 12, 14, 16, 20, 24] };
+    let sizes: &[usize] = if quick {
+        &[10, 14]
+    } else {
+        &[8, 10, 12, 14, 16, 20, 24]
+    };
     let count = if quick { 6 } else { 30 };
     cases.extend(random_cases(sizes, count, target));
     let ilp_max_values = 5;

@@ -143,7 +143,10 @@ pub fn run(quick: bool) -> (String, Report) {
     }
     let labels = ["(i)(a)", "(i)(b)", "(ii)(a)", "(ii)(b)", "(ii)(c)"];
     let paper = [72.22, 18.5, 4.63, 1.0, 3.7];
-    let _ = writeln!(text, "\ncategory breakdown over {classified} classified trials:");
+    let _ = writeln!(
+        text,
+        "\ncategory breakdown over {classified} classified trials:"
+    );
     let _ = writeln!(text, "{:<8} {:>9} {:>12}", "cat", "measured", "paper");
     for i in 0..5 {
         let _ = writeln!(
@@ -197,7 +200,13 @@ fn run_trial(case: &Case, budget: usize, rs_before: usize) -> Trial {
         Err(ReduceIlpError::Budget) => (None, None),
     };
 
-    let category = classify(budget, heur_rs_after, heur_ilp_loss, opt_rs_after, opt_ilp_loss);
+    let category = classify(
+        budget,
+        heur_rs_after,
+        heur_ilp_loss,
+        opt_rs_after,
+        opt_ilp_loss,
+    );
     Trial {
         name: case.name.clone(),
         budget,

@@ -84,8 +84,14 @@ pub fn run(quick: bool) -> (String, Report) {
     let max_con_factor = rows.iter().map(|r| r.paper_con_factor).fold(0.0, f64::max);
 
     let mut text = String::new();
-    let _ = writeln!(text, "T3 — intLP model sizes: paper formulation vs time-indexed baseline");
-    let _ = writeln!(text, "===================================================================");
+    let _ = writeln!(
+        text,
+        "T3 — intLP model sizes: paper formulation vs time-indexed baseline"
+    );
+    let _ = writeln!(
+        text,
+        "==================================================================="
+    );
     let _ = writeln!(
         text,
         "{:>4} {:>4} {:>6} | {:>10} {:>10} | {:>10} {:>10} | {:>8} {:>8}",
@@ -139,7 +145,11 @@ mod tests {
         assert!(
             last.paper_var_factor <= first.paper_var_factor * 2.0 + 1.0,
             "variable factor grows: {:?}",
-            report.rows.iter().map(|r| r.paper_var_factor).collect::<Vec<_>>()
+            report
+                .rows
+                .iter()
+                .map(|r| r.paper_var_factor)
+                .collect::<Vec<_>>()
         );
         // the baseline is strictly larger at every size
         for r in &report.rows {

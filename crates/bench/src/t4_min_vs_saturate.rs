@@ -100,8 +100,14 @@ pub fn run(quick: bool) -> (String, Report) {
         .count();
 
     let mut text = String::new();
-    let _ = writeln!(text, "T4 — saturation reduction vs register-need minimization");
-    let _ = writeln!(text, "========================================================");
+    let _ = writeln!(
+        text,
+        "T4 — saturation reduction vs register-need minimization"
+    );
+    let _ = writeln!(
+        text,
+        "========================================================"
+    );
     let _ = writeln!(
         text,
         "{:<16} {:>4} {:>4} | {:>7} {:>7} {:>8} | {:>7} {:>7} {:>8}",
@@ -159,7 +165,10 @@ mod tests {
             );
             assert!(r.sat_rs_after <= r.budget.max(r.rs0));
         }
-        assert!(report.zero_arc_wins > 0, "minimization should add arcs somewhere");
+        assert!(
+            report.zero_arc_wins > 0,
+            "minimization should add arcs somewhere"
+        );
         // minimization never keeps more freedom than saturation
         for r in &report.rows {
             assert!(

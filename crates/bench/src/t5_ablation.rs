@@ -41,7 +41,11 @@ pub fn run(quick: bool) -> (String, Report) {
     let target = Target::superscalar();
 
     // --- 1. refinement ablation ---------------------------------------
-    let cases = random_cases(if quick { &[12, 16] } else { &[12, 16, 20] }, if quick { 8 } else { 20 }, target.clone());
+    let cases = random_cases(
+        if quick { &[12, 16] } else { &[12, 16, 20] },
+        if quick { 8 } else { 20 },
+        target.clone(),
+    );
     let results: Vec<(bool, bool, u128, u128)> = par_map(cases, threads(), |case: Case| {
         let exact = ExactRs::new().saturation(&case.ddg, case.reg_type);
         let t0 = Instant::now();
@@ -103,7 +107,9 @@ pub fn run(quick: bool) -> (String, Report) {
 
     // --- 3. horizon escalation ablation ---------------------------------
     for case in small.iter().take(if quick { 2 } else { 4 }) {
-        let rs0 = GreedyK::new().saturation(&case.ddg, case.reg_type).saturation;
+        let rs0 = GreedyK::new()
+            .saturation(&case.ddg, case.reg_type)
+            .saturation;
         if rs0 < 2 {
             continue;
         }
@@ -142,7 +148,11 @@ pub fn run(quick: bool) -> (String, Report) {
         "   + refinement : {}/{} exact, total {} µs",
         report.greedy_refined.0, report.greedy_refined.1, report.greedy_refined.2
     );
-    let _ = writeln!(text, "\n2. Section-3 pair pre-filter (summed over {} small DAGs):", small.len());
+    let _ = writeln!(
+        text,
+        "\n2. Section-3 pair pre-filter (summed over {} small DAGs):",
+        small.len()
+    );
     let _ = writeln!(
         text,
         "   with filter   : {} vars, {} constraints, {} ms solve",

@@ -135,9 +135,7 @@ impl GreedyK {
                 killing: k,
                 provably_optimal: unique_killing || dv.width == values.len(),
             };
-            let better = best
-                .as_ref()
-                .is_none_or(|b| cand.saturation > b.saturation);
+            let better = best.as_ref().is_none_or(|b| cand.saturation > b.saturation);
             if better {
                 best = Some(cand);
             }
@@ -154,14 +152,7 @@ impl GreedyK {
 
     /// Hill-climbing over killer choices: try every alternative killer of
     /// every ambiguous value, adopt switches that widen the antichain.
-    fn refine(
-        &self,
-        ddg: &Ddg,
-        t: RegType,
-        pk: &PKill,
-        best: &mut RsAnalysis,
-        max_width: usize,
-    ) {
+    fn refine(&self, ddg: &Ddg, t: RegType, pk: &PKill, best: &mut RsAnalysis, max_width: usize) {
         let ambiguous: Vec<(NodeId, &Vec<NodeId>)> = pk
             .killers
             .iter()

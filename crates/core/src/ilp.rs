@@ -220,12 +220,15 @@ impl RsIlp {
         }
         m.set_objective(obj);
 
-        (m, RsIlpVars {
-            sigma,
-            kill,
-            pair,
-            x,
-        })
+        (
+            m,
+            RsIlpVars {
+                sigma,
+                kill,
+                pair,
+                x,
+            },
+        )
     }
 
     /// Solves for `RS_t(G)`.
@@ -337,7 +340,10 @@ impl std::fmt::Display for ReduceIlpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ReduceIlpError::SpillUnavoidable => {
-                write!(f, "register saturation cannot be reduced: spill code is unavoidable")
+                write!(
+                    f,
+                    "register saturation cannot be reduced: spill code is unavoidable"
+                )
             }
             ReduceIlpError::Budget => write!(f, "MILP budget exhausted"),
         }
@@ -606,7 +612,12 @@ mod tests {
         let st = model.stats();
         let n = d.num_ops();
         let m_edges = d.graph().edge_count();
-        assert!(st.variables() <= 8 * n * n, "vars {} vs n² {}", st.variables(), n * n);
+        assert!(
+            st.variables() <= 8 * n * n,
+            "vars {} vs n² {}",
+            st.variables(),
+            n * n
+        );
         assert!(
             st.constraints <= m_edges + 12 * n * n,
             "constraints {} vs m + n² = {}",
@@ -663,7 +674,11 @@ mod tests {
         assert!(d.is_acyclic());
         let after = ExactRs::new().saturation(&d, RegType::INT);
         assert!(after.proven_optimal);
-        assert!(after.saturation <= 1, "RS after reduction = {}", after.saturation);
+        assert!(
+            after.saturation <= 1,
+            "RS after reduction = {}",
+            after.saturation
+        );
         assert!(!res.added_arcs.is_empty());
         // the witness schedule colors within 1 register
         assert!(res.registers.values().all(|&i| i < 1));
@@ -695,7 +710,9 @@ mod tests {
         let mut d = b.finish();
         // v1, v2 both read by add: both live until the add — 1 register is
         // impossible.
-        let err = ReduceIlp::new().reduce(&mut d, RegType::FLOAT, 1).unwrap_err();
+        let err = ReduceIlp::new()
+            .reduce(&mut d, RegType::FLOAT, 1)
+            .unwrap_err();
         assert_eq!(err, ReduceIlpError::SpillUnavoidable);
     }
 }

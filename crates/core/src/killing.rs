@@ -85,7 +85,13 @@ pub fn killed_graph(ddg: &Ddg, pk: &PKill, k: &KillingFunction) -> Option<Killed
 /// than value `w` is defined iff
 /// `lp(k(u), w) ≥ δr(k(u)) − δw(w)` (with `k(u) = w` meaning `w` itself is
 /// the last reader, compared via the delays alone).
-pub fn dv_before(ddg: &Ddg, killed: &KilledGraph, k: &KillingFunction, u: NodeId, w: NodeId) -> bool {
+pub fn dv_before(
+    ddg: &Ddg,
+    killed: &KilledGraph,
+    k: &KillingFunction,
+    u: NodeId,
+    w: NodeId,
+) -> bool {
     if u == w {
         return false;
     }
@@ -262,7 +268,10 @@ mod tests {
             reg_type: RegType::INT,
             killer,
         };
-        assert!(killed_graph(&d, &pk, &k).is_none(), "cyclic killing must be rejected");
+        assert!(
+            killed_graph(&d, &pk, &k).is_none(),
+            "cyclic killing must be rejected"
+        );
         // but the consistent choice works
         let mut killer = BTreeMap::new();
         killer.insert(u1, a);

@@ -48,8 +48,7 @@ pub fn minimize_register_need(ddg: &mut Ddg, t: RegType) -> MinimizeOutcome {
 
     let step_limit = 4 * ddg.num_ops() * ddg.num_ops();
     for _ in 0..step_limit {
-        let Some(arcs) = zero_cost_candidate(ddg, t, &current.saturating_values, cp_before)
-        else {
+        let Some(arcs) = zero_cost_candidate(ddg, t, &current.saturating_values, cp_before) else {
             break;
         };
         // Tentatively apply; keep only if the saturation estimate drops.
@@ -70,7 +69,10 @@ pub fn minimize_register_need(ddg: &mut Ddg, t: RegType) -> MinimizeOutcome {
     }
 
     let cp_after = ddg.critical_path();
-    debug_assert_eq!(cp_before, cp_after, "minimization must not lengthen the critical path");
+    debug_assert_eq!(
+        cp_before, cp_after,
+        "minimization must not lengthen the critical path"
+    );
     MinimizeOutcome {
         rs_before,
         rs_after: current.saturation,

@@ -357,7 +357,12 @@ impl DdgBuilder {
     }
 
     /// Adds an operation writing at most one value (of `writes` type).
-    pub fn op(&mut self, name: impl Into<String>, class: OpClass, writes: Option<RegType>) -> NodeId {
+    pub fn op(
+        &mut self,
+        name: impl Into<String>,
+        class: OpClass,
+        writes: Option<RegType>,
+    ) -> NodeId {
         self.op_multi(name, class, writes.into_iter().collect())
     }
 
@@ -461,11 +466,7 @@ impl DdgBuilder {
             is_bottom: true,
         });
 
-        let nodes: Vec<NodeId> = self
-            .graph
-            .node_ids()
-            .filter(|&n| n != bottom)
-            .collect();
+        let nodes: Vec<NodeId> = self.graph.node_ids().filter(|&n| n != bottom).collect();
         for u in nodes {
             let op = self.graph.node(u).clone();
             let mut linked = false;
@@ -602,7 +603,11 @@ mod tests {
     #[test]
     fn multi_type_definition_accepted() {
         let mut b = DdgBuilder::new(Target::superscalar());
-        let n = b.op_multi("divmod", OpClass::IntMul, vec![RegType::INT, RegType::FLOAT]);
+        let n = b.op_multi(
+            "divmod",
+            OpClass::IntMul,
+            vec![RegType::INT, RegType::FLOAT],
+        );
         let d = b.finish();
         assert!(d.values(RegType::INT).contains(&n));
         assert!(d.values(RegType::FLOAT).contains(&n));

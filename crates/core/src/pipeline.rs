@@ -167,7 +167,10 @@ mod tests {
         assert_eq!(float.rs_before, 4);
         assert!(float.rs_after <= 2);
         assert!(float.arcs_added > 0);
-        assert_eq!(float.verified_rs.unwrap().min(2), float.verified_rs.unwrap());
+        assert_eq!(
+            float.verified_rs.unwrap().min(2),
+            float.verified_rs.unwrap()
+        );
         let int = report.types.iter().find(|t| t.reg_type == 0).unwrap();
         assert_eq!(int.arcs_added, 0, "int fits, must be untouched");
         assert!(report.total_arcs_added() >= float.arcs_added);

@@ -53,12 +53,7 @@ impl PKill {
 
 /// `v` always reads no later than `v'` (the ⪯ preorder on consumers):
 /// there is a path `v ⇝ v'` with `lp(v, v') ≥ δr(v) − δr(v')`.
-pub fn always_reads_before(
-    ddg: &Ddg,
-    lp: &LongestPaths,
-    v: NodeId,
-    v_prime: NodeId,
-) -> bool {
+pub fn always_reads_before(ddg: &Ddg, lp: &LongestPaths, v: NodeId, v_prime: NodeId) -> bool {
     if v == v_prime {
         return false;
     }

@@ -202,12 +202,7 @@ impl Reducer {
 
     /// Enumerates valid serializations among the saturating values and
     /// returns the cheapest.
-    fn best_candidate(
-        &self,
-        ddg: &Ddg,
-        t: RegType,
-        saturating: &[NodeId],
-    ) -> Option<Candidate> {
+    fn best_candidate(&self, ddg: &Ddg, t: RegType, saturating: &[NodeId]) -> Option<Candidate> {
         let lp = LongestPaths::new(ddg.graph());
         let asap_v = asap(ddg.graph());
         let to_bottom = longest_to(ddg.graph(), ddg.bottom());
@@ -235,9 +230,7 @@ impl Reducer {
                         valid = false; // would create a circuit
                         break;
                     }
-                    let through = asap_v[reader.index()]
-                        + lat
-                        + to_bottom[v.index()].unwrap_or(0);
+                    let through = asap_v[reader.index()] + lat + to_bottom[v.index()].unwrap_or(0);
                     cost = cost.max(through - cp);
                     arcs.push((reader, v, lat));
                 }
@@ -247,9 +240,7 @@ impl Reducer {
                 let cost = cost.max(0);
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        (cost, arcs.len(), u, v) < (b.cost, b.arcs.len(), b.u, b.v)
-                    }
+                    Some(b) => (cost, arcs.len(), u, v) < (b.cost, b.arcs.len(), b.u, b.v),
                 };
                 if better {
                     best = Some(Candidate { u, v, arcs, cost });

@@ -138,12 +138,7 @@ impl SpillPass {
         }
     }
 
-    fn pick_spill_candidate(
-        &self,
-        ddg: &Ddg,
-        t: RegType,
-        already: &[String],
-    ) -> Option<NodeId> {
+    fn pick_spill_candidate(&self, ddg: &Ddg, t: RegType, already: &[String]) -> Option<NodeId> {
         let analysis = GreedyK::new().saturation(ddg, t);
         let lp = rs_graph::paths::LongestPaths::new(ddg.graph());
         analysis
@@ -215,10 +210,7 @@ pub fn spill_value(ddg: &Ddg, t: RegType, victim: NodeId) -> Ddg {
             continue; // ⊥ closure is regenerated by finish()
         }
         let lat = g.latency(e);
-        let (src2, dst2) = (
-            map[src.index()].unwrap(),
-            map[dst.index()].unwrap(),
-        );
+        let (src2, dst2) = (map[src.index()].unwrap(), map[dst.index()].unwrap());
         match ddg.edge_kind(e) {
             EdgeKind::Flow(ft) if ft == t && src == victim => {
                 // consumer now reads the reloaded value, at load latency
@@ -333,7 +325,9 @@ mod tests {
             b.flow(v, s, 4, RegType::FLOAT);
         }
         let d = b.finish();
-        let res = SpillPass::new().spill_to_fit(&d, RegType::FLOAT, 2).unwrap();
+        let res = SpillPass::new()
+            .spill_to_fit(&d, RegType::FLOAT, 2)
+            .unwrap();
         assert_eq!(res.stores_added, 0, "no spill code for a reducible DAG");
         assert!(res.rs_after <= 2);
     }
@@ -343,7 +337,9 @@ mod tests {
         // a binary combiner needs both operands alive at its read: R = 1 is
         // impossible for ANY transformation (spill reloads are values too)
         let d = combiner_ddg(2);
-        assert!(SpillPass::new().spill_to_fit(&d, RegType::FLOAT, 1).is_none());
+        assert!(SpillPass::new()
+            .spill_to_fit(&d, RegType::FLOAT, 1)
+            .is_none());
     }
 
     #[test]

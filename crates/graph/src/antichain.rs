@@ -132,7 +132,11 @@ mod tests {
         let r = max_antichain(&els, |a, b| pairs.contains(&(a.0, b.0)));
         assert_eq!(r.width(), 2);
         let set: Vec<u32> = r.antichain.iter().map(|n| n.0).collect();
-        assert!(set == vec![1, 2], "expected the middle layer, got {:?}", set);
+        assert!(
+            set == vec![1, 2],
+            "expected the middle layer, got {:?}",
+            set
+        );
     }
 
     #[test]

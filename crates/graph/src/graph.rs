@@ -248,12 +248,16 @@ impl<N> DiGraph<N> {
 
     /// Nodes with no live in-edges.
     pub fn sources(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.in_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.in_degree(n) == 0)
+            .collect()
     }
 
     /// Nodes with no live out-edges.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.node_ids().filter(|&n| self.out_degree(n) == 0).collect()
+        self.node_ids()
+            .filter(|&n| self.out_degree(n) == 0)
+            .collect()
     }
 
     /// Sum of the latencies of all live edges, clamped at 0 from below per

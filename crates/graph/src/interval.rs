@@ -125,7 +125,10 @@ mod tests {
     fn interference_semantics() {
         let a = Interval::new(0, 5);
         let b = Interval::new(5, 10); // starts exactly where a ends: (0,5] vs (5,10]
-        assert!(!a.interferes(&b), "touching half-open intervals do not interfere");
+        assert!(
+            !a.interferes(&b),
+            "touching half-open intervals do not interfere"
+        );
         assert!(a.before(&b));
         let c = Interval::new(4, 6);
         assert!(a.interferes(&c));
@@ -163,7 +166,11 @@ mod tests {
 
     #[test]
     fn disjoint_is_one() {
-        let ivs = [Interval::new(0, 1), Interval::new(1, 2), Interval::new(2, 3)];
+        let ivs = [
+            Interval::new(0, 1),
+            Interval::new(1, 2),
+            Interval::new(2, 3),
+        ];
         assert_eq!(max_overlap(&ivs), 1);
     }
 

@@ -30,10 +30,7 @@ pub fn topo_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, CycleError> {
     for e in g.edge_ids() {
         indeg[g.dst(e).index()] += 1;
     }
-    let mut queue: Vec<NodeId> = g
-        .node_ids()
-        .filter(|nid| indeg[nid.index()] == 0)
-        .collect();
+    let mut queue: Vec<NodeId> = g.node_ids().filter(|nid| indeg[nid.index()] == 0).collect();
     let mut order = Vec::with_capacity(n);
     let mut head = 0;
     while head < queue.len() {

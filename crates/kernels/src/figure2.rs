@@ -84,11 +84,19 @@ mod tests {
         let out = Reducer::new().reduce(&mut reduced, RegType::FLOAT, 3);
         assert!(out.fits());
         let arcs_reduction = out.added_arcs().len();
-        assert_eq!(out.ilp_loss(), 0, "the 17-cycle shadow absorbs the serialization");
+        assert_eq!(
+            out.ilp_loss(),
+            0,
+            "the 17-cycle shadow absorbs the serialization"
+        );
 
         let (mut minimized, _) = figure2(Target::superscalar());
         let m = minimize_register_need(&mut minimized, RegType::FLOAT);
-        assert!(m.rs_after <= 2, "minimization drives the need to ~2: {:?}", m.rs_after);
+        assert!(
+            m.rs_after <= 2,
+            "minimization drives the need to ~2: {:?}",
+            m.rs_after
+        );
         assert!(
             m.added_arcs.len() > arcs_reduction,
             "minimization arcs {} vs reduction arcs {}",
@@ -96,9 +104,16 @@ mod tests {
             arcs_reduction
         );
         // and the reduced DAG retains more freedom: saturation 3 vs ~2
-        let rs_red = ExactRs::new().saturation(&reduced, RegType::FLOAT).saturation;
-        let rs_min = ExactRs::new().saturation(&minimized, RegType::FLOAT).saturation;
-        assert!(rs_red > rs_min, "reduction {rs_red} vs minimization {rs_min}");
+        let rs_red = ExactRs::new()
+            .saturation(&reduced, RegType::FLOAT)
+            .saturation;
+        let rs_min = ExactRs::new()
+            .saturation(&minimized, RegType::FLOAT)
+            .saturation;
+        assert!(
+            rs_red > rs_min,
+            "reduction {rs_red} vs minimization {rs_min}"
+        );
         assert_eq!(rs_red, 3);
     }
 }

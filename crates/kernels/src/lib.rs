@@ -129,7 +129,12 @@ mod tests {
             for target in [Target::superscalar(), Target::vliw()] {
                 let d = (k.build)(target);
                 assert!(d.is_acyclic(), "{} must be a DAG", k.name);
-                assert!(d.num_ops() >= 8, "{} too small ({} ops)", k.name, d.num_ops());
+                assert!(
+                    d.num_ops() >= 8,
+                    "{} too small ({} ops)",
+                    k.name,
+                    d.num_ops()
+                );
                 assert!(
                     !d.values(RegType::FLOAT).is_empty() || !d.values(RegType::INT).is_empty(),
                     "{} has no register values",

@@ -269,7 +269,11 @@ mod tests {
         let d = lll3_inner_product(Target::superscalar());
         let rs = GreedyK::new().saturation(&d, RegType::FLOAT);
         assert!(rs.saturation <= d.values(RegType::FLOAT).len());
-        assert!(rs.saturation >= 8, "all loads can be alive: {}", rs.saturation);
+        assert!(
+            rs.saturation >= 8,
+            "all loads can be alive: {}",
+            rs.saturation
+        );
     }
 
     #[test]
@@ -312,6 +316,10 @@ mod tests {
         let e = ExactRs::new().saturation(&d, RegType::FLOAT);
         assert!(e.proven_optimal);
         assert!(e.saturation >= h);
-        assert!(e.saturation - h <= 1, "paper: error ≤ 1 register (got {h} vs {})", e.saturation);
+        assert!(
+            e.saturation - h <= 1,
+            "paper: error ≤ 1 register (got {h} vs {})",
+            e.saturation
+        );
     }
 }

@@ -93,8 +93,7 @@ pub fn random_ddg(cfg: &RandomDagConfig, target: Target) -> Ddg {
             (OpClass::IntAlu, Some(RegType::INT))
         } else {
             let class = classes_other[rng.gen_range(0..classes_other.len())];
-            let writes = matches!(class, OpClass::Addr | OpClass::IntAlu)
-                .then_some(RegType::INT);
+            let writes = matches!(class, OpClass::Addr | OpClass::IntAlu).then_some(RegType::INT);
             (class, writes)
         };
         let id = b.op(format!("op{i}"), class, writes);
@@ -121,9 +120,7 @@ pub fn random_ddg(cfg: &RandomDagConfig, target: Target) -> Ddg {
         if !has_pred {
             // pick a random earlier-layer op (if the jitter left none, the
             // node simply becomes an extra source)
-            let candidates: Vec<usize> = (0..j)
-                .filter(|&i| ops[i].layer < ops[j].layer)
-                .collect();
+            let candidates: Vec<usize> = (0..j).filter(|&i| ops[i].layer < ops[j].layer).collect();
             if !candidates.is_empty() {
                 let pick = candidates[rng.gen_range(0..candidates.len())];
                 add_dependence(&mut b, &mut rng, ops[pick].id, ops[pick].writes, ops[j].id);
@@ -202,6 +199,7 @@ mod tests {
         for d in sweep(14, 10, 7, Target::superscalar()) {
             assert!(d.is_acyclic());
             assert_eq!(d.num_ops(), 15); // 14 + ⊥
+
             // analyzable without panic
             for t in d.reg_types() {
                 let _ = GreedyK::new().saturation(&d, t);

@@ -34,14 +34,14 @@
 pub mod expr;
 pub mod linearize;
 pub mod milp;
-pub mod presolve;
 pub mod model;
+pub mod presolve;
 pub mod simplex;
 
 pub use expr::LinExpr;
 pub use milp::{solve, MilpConfig, MilpError, MilpStats};
-pub use presolve::{presolve, PresolveOutcome, PresolveStats};
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
+pub use presolve::{presolve, PresolveOutcome, PresolveStats};
 pub use simplex::{solve_relaxation, LpOutcome, Solution};
 
 /// Numeric tolerance used throughout the solver.

@@ -36,11 +36,7 @@ pub fn max_of(m: &mut Model, name: &str, terms: &[LinExpr]) -> VarId {
         // k <= t_i + M_i (1 - y_i), M_i = k_hi - lo(t_i)
         let y = m.add_named_var(format!("{name}.y{i}"), VarKind::Binary, 0.0, 1.0);
         let big_m = (k_hi - bounds[i].0).max(0.0);
-        m.add_constraint(
-            LinExpr::from(k) - t.clone() + (big_m, y),
-            Cmp::Le,
-            big_m,
-        );
+        m.add_constraint(LinExpr::from(k) - t.clone() + (big_m, y), Cmp::Le, big_m);
         selector_sum = selector_sum + y;
     }
     m.add_constraint(selector_sum, Cmp::Eq, 1.0);
@@ -79,7 +75,10 @@ pub fn reverse_indicator_ge(
 /// `guard = 0 ⟹ expr ≤ rhs`.
 pub fn indicator_le_on_zero(m: &mut Model, guard: VarId, expr: LinExpr, rhs: f64) {
     let (_, hi) = m.expr_bounds(&expr);
-    assert!(hi.is_finite(), "indicator_le_on_zero requires a finite upper bound");
+    assert!(
+        hi.is_finite(),
+        "indicator_le_on_zero requires a finite upper bound"
+    );
     let big_m = (hi - rhs).max(0.0);
     // expr <= rhs + M g
     m.add_constraint(expr + (-big_m, guard), Cmp::Le, rhs);

@@ -285,7 +285,11 @@ mod tests {
         let b = m.add_var("b", VarKind::Integer, 0.0, 1000.0);
         let c = m.add_var("c", VarKind::Integer, 0.0, 1000.0);
         m.add_constraint(LinExpr::from(a) + b + c, Cmp::Le, 100.0);
-        m.add_constraint(LinExpr::from(a) * 10.0 + (4.0, b) + (5.0, c), Cmp::Le, 600.0);
+        m.add_constraint(
+            LinExpr::from(a) * 10.0 + (4.0, b) + (5.0, c),
+            Cmp::Le,
+            600.0,
+        );
         m.add_constraint(LinExpr::from(a) * 2.0 + (2.0, b) + (6.0, c), Cmp::Le, 300.0);
         m.set_objective(LinExpr::from(a) * 10.0 + (6.0, b) + (4.0, c));
         let s = solve(&m, &MilpConfig::default()).unwrap();
@@ -314,9 +318,15 @@ mod tests {
 
         let mut best = 0.0f64;
         for mask in 0u32..64 {
-            let w: f64 = (0..6).filter(|i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
+            let w: f64 = (0..6)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| weights[i])
+                .sum();
             if w <= cap {
-                let v: f64 = (0..6).filter(|i| mask & (1 << i) != 0).map(|i| values[i]).sum();
+                let v: f64 = (0..6)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(|i| values[i])
+                    .sum();
                 best = best.max(v);
             }
         }
@@ -331,7 +341,10 @@ mod tests {
         let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
         m.add_constraint(LinExpr::from(x) * 2.0, Cmp::Eq, 1.0);
         m.set_objective(LinExpr::from(x));
-        assert_eq!(solve(&m, &MilpConfig::default()).unwrap_err(), MilpError::Infeasible);
+        assert_eq!(
+            solve(&m, &MilpConfig::default()).unwrap_err(),
+            MilpError::Infeasible
+        );
     }
 
     #[test]
@@ -360,7 +373,11 @@ mod tests {
         m.add_constraint(LinExpr::from(t), Cmp::Le, 7.3);
         m.set_objective(LinExpr::from(y) + (0.5, t));
         let s = solve(&m, &MilpConfig::default()).unwrap();
-        assert!((s.objective - (1.0 + 3.65)).abs() < 1e-5, "got {}", s.objective);
+        assert!(
+            (s.objective - (1.0 + 3.65)).abs() < 1e-5,
+            "got {}",
+            s.objective
+        );
         assert!((s.values[1] - 7.3).abs() < 1e-5);
     }
 
@@ -384,11 +401,7 @@ mod tests {
         use proptest::prelude::*;
 
         /// Exhaustive optimum over the integer box `[0, 4]³`.
-        fn brute_force(
-            cons: &[([i64; 3], i64)],
-            obj: &[i64; 3],
-            sense: Sense,
-        ) -> Option<i64> {
+        fn brute_force(cons: &[([i64; 3], i64)], obj: &[i64; 3], sense: Sense) -> Option<i64> {
             let mut best: Option<i64> = None;
             for x in 0i64..=4 {
                 for y in 0i64..=4 {

@@ -165,8 +165,12 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
     let n = model.num_vars();
 
     // Shifted variables: x = lo + x', x' >= 0; remember ranges.
-    let lo: Vec<f64> = (0..n).map(|i| model.bounds(crate::VarId(i as u32)).0).collect();
-    let hi: Vec<f64> = (0..n).map(|i| model.bounds(crate::VarId(i as u32)).1).collect();
+    let lo: Vec<f64> = (0..n)
+        .map(|i| model.bounds(crate::VarId(i as u32)).0)
+        .collect();
+    let hi: Vec<f64> = (0..n)
+        .map(|i| model.bounds(crate::VarId(i as u32)).1)
+        .collect();
 
     // Assemble rows: (coeffs over structural vars, cmp, rhs).
     struct Row {
@@ -261,7 +265,9 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
                 basis[i] = art_next;
                 art_next += 1;
             } else {
-                basis[i] = slack_of_row[i].expect("row without slack needs artificial").0;
+                basis[i] = slack_of_row[i]
+                    .expect("row without slack needs artificial")
+                    .0;
             }
         }
     }

@@ -158,8 +158,7 @@ mod tests {
             let out = Reducer::new().reduce(&mut d, RegType::FLOAT, budget);
             assert!(out.fits(), "budget {budget}");
             let sched = ListScheduler::new(Resources::four_issue()).schedule(&d);
-            let alloc =
-                RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, budget);
+            let alloc = RegisterAllocator::new().allocate(&d, RegType::FLOAT, &sched.sigma, budget);
             assert!(
                 alloc.success(),
                 "budget {budget}: spilled {:?}",

@@ -45,9 +45,8 @@ impl ListScheduler {
 
         // earliest[v]: data-ready cycle given already-issued predecessors.
         let mut earliest: Vec<i64> = vec![0; n];
-        let mut remaining_preds: Vec<usize> = (0..n)
-            .map(|i| g.in_degree(NodeId(i as u32)))
-            .collect();
+        let mut remaining_preds: Vec<usize> =
+            (0..n).map(|i| g.in_degree(NodeId(i as u32))).collect();
         let mut scheduled: Vec<Option<i64>> = vec![None; n];
         let mut ready: Vec<NodeId> = g
             .node_ids()
@@ -73,12 +72,7 @@ impl ListScheduler {
             };
 
             // Priority order: longest path to ⊥ descending, id ascending.
-            ready.sort_by_key(|&v| {
-                (
-                    -(priority[v.index()].unwrap_or(0)),
-                    v.index(),
-                )
-            });
+            ready.sort_by_key(|&v| (-(priority[v.index()].unwrap_or(0)), v.index()));
 
             let mut issued_this_cycle: Vec<NodeId> = Vec::new();
             let mut i = 0;
@@ -91,8 +85,7 @@ impl ListScheduler {
                 let op = g.node(v);
                 let is_bottom = op.is_bottom;
                 let kind = FuKind::of(op.class);
-                let fits = is_bottom
-                    || (width_left > 0 && unit_left[unit_idx(kind)] > 0);
+                let fits = is_bottom || (width_left > 0 && unit_left[unit_idx(kind)] > 0);
                 if fits {
                     if !is_bottom {
                         width_left -= 1;
@@ -138,7 +131,10 @@ impl ListScheduler {
             }
         }
 
-        let sigma: Vec<i64> = scheduled.into_iter().map(|s| s.expect("all scheduled")).collect();
+        let sigma: Vec<i64> = scheduled
+            .into_iter()
+            .map(|s| s.expect("all scheduled"))
+            .collect();
         let makespan = sigma[bottom.index()];
         Schedule { sigma, makespan }
     }

@@ -111,7 +111,12 @@ mod tests {
         assert_eq!(r.capacity(FuKind::Memory), 2);
         assert_eq!(r.issue_width, 4);
         let s = Resources::single_issue();
-        for k in [FuKind::Memory, FuKind::IntUnit, FuKind::FloatUnit, FuKind::Misc] {
+        for k in [
+            FuKind::Memory,
+            FuKind::IntUnit,
+            FuKind::FloatUnit,
+            FuKind::Misc,
+        ] {
             assert_eq!(s.capacity(k), 1);
         }
     }

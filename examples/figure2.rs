@@ -18,7 +18,10 @@ fn main() {
     let (initial, nodes) = figure2(Target::superscalar());
     let rs = ExactRs::new().saturation(&initial, t);
     println!("(a) initial DAG: RS = {} (paper: 4)", rs.saturation);
-    println!("    values a={:?} b={:?} c={:?} d={:?}", nodes.a, nodes.b, nodes.c, nodes.d);
+    println!(
+        "    values a={:?} b={:?} c={:?} d={:?}",
+        nodes.a, nodes.b, nodes.c, nodes.d
+    );
     println!("    critical path = {}", initial.critical_path());
     println!("    if the processor has ≥ 4 registers, the RS pass leaves this DAG alone.\n");
 
@@ -30,8 +33,14 @@ fn main() {
         m.rs_after,
         m.added_arcs.len()
     );
-    println!("    critical path unchanged: {} (the 17-cycle shadow hides the chain)", minimized.critical_path());
-    println!("    the scheduler can now use at most {} registers no matter what.\n", m.rs_after);
+    println!(
+        "    critical path unchanged: {} (the 17-cycle shadow hides the chain)",
+        minimized.critical_path()
+    );
+    println!(
+        "    the scheduler can now use at most {} registers no matter what.\n",
+        m.rs_after
+    );
 
     // Part (c): RS reduction with 3 available registers.
     let (mut reduced, _) = figure2(Target::superscalar());

@@ -75,5 +75,9 @@ fn main() {
         );
     }
     let after = cfg.global_saturation(RegType::FLOAT);
-    println!("\nglobal RS after reduction: {} ≤ {}", after.global, Cfg::effective_budget(physical));
+    println!(
+        "\nglobal RS after reduction: {} ≤ {}",
+        after.global,
+        Cfg::effective_budget(physical)
+    );
 }

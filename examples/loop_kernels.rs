@@ -39,7 +39,10 @@ fn main() {
         let allocator = RegisterAllocator::new();
         let mut spills = 0;
         for t in ddg.reg_types() {
-            spills += allocator.allocate(&ddg, t, &sched.sigma, budget).spilled.len();
+            spills += allocator
+                .allocate(&ddg, t, &sched.sigma, budget)
+                .spilled
+                .len();
         }
 
         let float = report.types.iter().find(|t| t.reg_type == RegType::FLOAT.0);

@@ -29,7 +29,12 @@ fn main() {
     b.flow(s, st, 3, RegType::FLOAT);
     let mut ddg = b.finish();
 
-    println!("DDG: {} ops, {} edges, critical path {}", ddg.num_ops(), ddg.graph().edge_count(), ddg.critical_path());
+    println!(
+        "DDG: {} ops, {} edges, critical path {}",
+        ddg.num_ops(),
+        ddg.graph().edge_count(),
+        ddg.critical_path()
+    );
 
     // 1. Register saturation: the exact upper bound over ALL schedules.
     let heuristic = GreedyK::new().saturation(&ddg, RegType::FLOAT);
@@ -38,7 +43,11 @@ fn main() {
         "register saturation (float): heuristic RS* = {}, exact RS = {}{}",
         heuristic.saturation,
         exact.saturation,
-        if exact.proven_optimal { "" } else { " (budget-limited)" },
+        if exact.proven_optimal {
+            ""
+        } else {
+            " (budget-limited)"
+        },
     );
     println!(
         "saturating values: {:?}",
@@ -70,7 +79,10 @@ fn main() {
 
     // 3. The scheduler now never needs to think about registers.
     let sched = ListScheduler::new(Resources::four_issue()).schedule(&ddg);
-    println!("list schedule makespan under a 4-issue machine: {}", sched.makespan);
+    println!(
+        "list schedule makespan under a 4-issue machine: {}",
+        sched.makespan
+    );
 
     // 4. And allocation succeeds within the budget, zero spills.
     let alloc = RegisterAllocator::new().allocate(&ddg, RegType::FLOAT, &sched.sigma, budget);
@@ -79,5 +91,8 @@ fn main() {
         alloc.registers_used,
         alloc.spilled.len()
     );
-    assert!(alloc.success(), "the saturation pre-pass guarantees no spills");
+    assert!(
+        alloc.success(),
+        "the saturation pre-pass guarantees no spills"
+    );
 }

@@ -33,8 +33,15 @@ fn main() {
 
     // Serialization alone at R = 1: must fail.
     let mut plain = ddg.clone();
-    let out = Reducer { verify_exact: true, ..Reducer::new() }.reduce(&mut plain, RegType::FLOAT, 1);
-    println!("value-serialization reduction to R=1: fits = {}", out.fits());
+    let out = Reducer {
+        verify_exact: true,
+        ..Reducer::new()
+    }
+    .reduce(&mut plain, RegType::FLOAT, 1);
+    println!(
+        "value-serialization reduction to R=1: fits = {}",
+        out.fits()
+    );
 
     // The spill pass splits L's lifetime through memory.
     println!("\nDDG-level spill pass at R=1:");
@@ -45,7 +52,11 @@ fn main() {
                 "  +{} store(s), +{} reload(s), {} serialization arcs, final exact RS = {}",
                 res.stores_added, res.loads_added, res.reduction_arcs, res.rs_after
             );
-            println!("  transformed DDG has {} ops (was {})", res.ddg.num_ops(), ddg.num_ops());
+            println!(
+                "  transformed DDG has {} ops (was {})",
+                res.ddg.num_ops(),
+                ddg.num_ops()
+            );
             // show the inserted ops
             for n in res.ddg.graph().node_ids() {
                 let name = &res.ddg.graph().node(n).name;

@@ -37,11 +37,18 @@ fn main() {
         for (v, iv) in lifetime_intervals(&ddg, RegType::FLOAT, &sigma) {
             let op = ddg.graph().node(v);
             if op.class == OpClass::Load {
-                println!("  {:<8} ({}, {}]  (δw shifts the write {} cycles late)", op.name, iv.start, iv.end, op.delta_w);
+                println!(
+                    "  {:<8} ({}, {}]  (δw shifts the write {} cycles late)",
+                    op.name, iv.start, iv.end, op.delta_w
+                );
             }
         }
         let rs = ExactRs::new().saturation(&ddg, RegType::FLOAT);
-        println!("exact RS = {}{}", rs.saturation, if rs.proven_optimal { "" } else { "?" });
+        println!(
+            "exact RS = {}{}",
+            rs.saturation,
+            if rs.proven_optimal { "" } else { "?" }
+        );
 
         // Reduce to 2 registers; on VLIW the added arcs carry latency
         // δr(reader) − δw(def) which can be negative — the reducer must keep
@@ -58,7 +65,11 @@ fn main() {
                 reduced.graph().node(s).name,
                 reduced.graph().node(d).name,
                 lat,
-                if lat <= 0 { "  (non-positive: VLIW offset arc)" } else { "" }
+                if lat <= 0 {
+                    "  (non-positive: VLIW offset arc)"
+                } else {
+                    ""
+                }
             );
         }
         assert!(reduced.is_acyclic(), "no non-positive circuits may survive");

@@ -28,7 +28,9 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!("  rsat analyze  <file.ddg> [--type float|int|branch] [--exact]");
-            eprintln!("  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]");
+            eprintln!(
+                "  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]"
+            );
             eprintln!("  rsat pipeline <file.ddg> --registers N [--issue 1|4|8]");
             eprintln!("  rsat dot      <file.ddg>");
             ExitCode::FAILURE
@@ -60,7 +62,12 @@ fn run(args: &[String]) -> Result<(), String> {
             args.iter().any(|a| a == "--spill"),
             flag_value(args, "--output"),
         ),
-        "pipeline" => pipeline(ddg, reg_type, parse_registers(args)?, flag_value(args, "--issue")),
+        "pipeline" => pipeline(
+            ddg,
+            reg_type,
+            parse_registers(args)?,
+            flag_value(args, "--issue"),
+        ),
         "dot" => {
             println!("{}", ddg.to_dot("ddg", &[]));
             Ok(())
@@ -99,13 +106,22 @@ fn analyze(ddg: &Ddg, reg_type: Option<RegType>, exact: bool) -> Result<(), Stri
     );
     for t in types_to_analyse(ddg, reg_type) {
         let h = GreedyK::new().saturation(ddg, t);
-        print!("type {:?}: {} values, RS* = {}", t, ddg.values(t).len(), h.saturation);
+        print!(
+            "type {:?}: {} values, RS* = {}",
+            t,
+            ddg.values(t).len(),
+            h.saturation
+        );
         if exact {
             let e = ExactRs::new().saturation(ddg, t);
             print!(
                 ", exact RS = {}{}",
                 e.saturation,
-                if e.proven_optimal { "" } else { " (budget-limited)" }
+                if e.proven_optimal {
+                    ""
+                } else {
+                    " (budget-limited)"
+                }
             );
         }
         println!();

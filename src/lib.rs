@@ -56,13 +56,13 @@ pub use rs_sched as sched;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
-    pub use rs_core::model::{DdgBuilder, OpClass, RegType, Target, Ddg};
     pub use rs_core::exact::ExactRs;
     pub use rs_core::heuristic::GreedyK;
-    pub use rs_core::ilp::{RsIlp, ReduceIlp};
-    pub use rs_core::lifetime::{register_need, lifetime_intervals};
+    pub use rs_core::ilp::{ReduceIlp, RsIlp};
+    pub use rs_core::lifetime::{lifetime_intervals, register_need};
+    pub use rs_core::model::{Ddg, DdgBuilder, OpClass, RegType, Target};
     pub use rs_core::pipeline::{Pipeline, PipelineReport};
     pub use rs_core::reduce::{ReduceOutcome, Reducer};
     pub use rs_graph::{DiGraph, NodeId};
-    pub use rs_sched::{ListScheduler, Resources, RegisterAllocator};
+    pub use rs_sched::{ListScheduler, RegisterAllocator, Resources};
 }

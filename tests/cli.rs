@@ -20,6 +20,27 @@ fn data(name: &str) -> String {
 }
 
 #[test]
+fn analyze_smoke_on_shipped_fixtures() {
+    // Every fixture under examples/data/ must stay analysable: `rsat
+    // analyze` exits 0 and reports a saturation value for each.
+    let dir = format!("{}/examples/data", env!("CARGO_MANIFEST_DIR"));
+    let mut fixtures: Vec<String> = std::fs::read_dir(&dir)
+        .expect("read examples/data")
+        .filter_map(|e| {
+            let name = e.expect("dir entry").file_name().into_string().unwrap();
+            name.ends_with(".ddg").then_some(name)
+        })
+        .collect();
+    fixtures.sort();
+    assert!(fixtures.len() >= 2, "expected shipped fixtures in {dir}");
+    for fixture in &fixtures {
+        let (ok, stdout, stderr) = rsat(&["analyze", &data(fixture)]);
+        assert!(ok, "analyze {fixture} failed: {stderr}");
+        assert!(stdout.contains("RS* ="), "{fixture}: {stdout}");
+    }
+}
+
+#[test]
 fn analyze_reports_saturation() {
     let (ok, stdout, _) = rsat(&["analyze", &data("expr.ddg"), "--exact"]);
     assert!(ok);

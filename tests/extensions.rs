@@ -108,7 +108,11 @@ fn cfg_pipeline_respects_effective_budget() {
 
     let mut cfg = c.finish();
     let before = cfg.global_saturation(RegType::FLOAT);
-    assert!(before.global >= 4, "four live-through values: {}", before.global);
+    assert!(
+        before.global >= 4,
+        "four live-through values: {}",
+        before.global
+    );
 
     let physical = 5;
     let outcomes = cfg.reduce_all(RegType::FLOAT, physical);
@@ -122,12 +126,8 @@ fn cfg_pipeline_respects_effective_budget() {
     // register count
     for block in &cfg.blocks {
         let sched = ListScheduler::new(Resources::four_issue()).schedule(&block.ddg);
-        let alloc = RegisterAllocator::new().allocate(
-            &block.ddg,
-            RegType::FLOAT,
-            &sched.sigma,
-            physical,
-        );
+        let alloc =
+            RegisterAllocator::new().allocate(&block.ddg, RegType::FLOAT, &sched.sigma, physical);
         assert!(alloc.success(), "block {} spilled", block.name);
     }
 }
@@ -148,7 +148,9 @@ fn corpus_roundtrips_through_text_format() {
         );
         assert_eq!(reparsed.critical_path(), ddg.critical_path(), "{}", k.name);
         for t in ddg.reg_types() {
-            let a = rs_core::heuristic::GreedyK::new().saturation(&ddg, t).saturation;
+            let a = rs_core::heuristic::GreedyK::new()
+                .saturation(&ddg, t)
+                .saturation;
             let b = rs_core::heuristic::GreedyK::new()
                 .saturation(&reparsed, t)
                 .saturation;

@@ -37,9 +37,17 @@ fn part_b_minimization_restricts_regardless_of_registers() {
     let cp = ddg.critical_path();
     let m = minimize_register_need(&mut ddg, T);
     assert_eq!(m.rs_before, 4);
-    assert!(m.rs_after <= 2, "paper: restricted to 2 registers, got {}", m.rs_after);
+    assert!(
+        m.rs_after <= 2,
+        "paper: restricted to 2 registers, got {}",
+        m.rs_after
+    );
     assert!(!m.added_arcs.is_empty());
-    assert_eq!(ddg.critical_path(), cp, "minimization must respect the critical path");
+    assert_eq!(
+        ddg.critical_path(),
+        cp,
+        "minimization must respect the critical path"
+    );
 }
 
 #[test]

@@ -83,7 +83,10 @@ fn vliw_pipeline_no_spills() {
 #[test]
 fn pipeline_is_idempotent_when_fitting() {
     // running the pipeline twice must not add more arcs the second time
-    let k = rs_kernels::corpus().into_iter().find(|k| k.name == "ddot").unwrap();
+    let k = rs_kernels::corpus()
+        .into_iter()
+        .find(|k| k.name == "ddot")
+        .unwrap();
     let mut ddg = (k.build)(Target::superscalar());
     let r1 = Pipeline::uniform(6).run(&mut ddg);
     let edges_after_first = ddg.graph().edge_count();

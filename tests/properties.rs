@@ -10,15 +10,22 @@ use rs_core::reduce::Reducer;
 use rs_kernels::random::{random_ddg, RandomDagConfig};
 
 fn arb_config() -> impl Strategy<Value = RandomDagConfig> {
-    (6usize..=18, 2usize..=6, 0.1f64..0.5, 0.4f64..0.9, any::<u64>()).prop_map(
-        |(ops, layers, edge_prob, value_ratio, seed)| RandomDagConfig {
-            ops,
-            layers,
-            edge_prob,
-            value_ratio,
-            seed,
-        },
+    (
+        6usize..=18,
+        2usize..=6,
+        0.1f64..0.5,
+        0.4f64..0.9,
+        any::<u64>(),
     )
+        .prop_map(
+            |(ops, layers, edge_prob, value_ratio, seed)| RandomDagConfig {
+                ops,
+                layers,
+                edge_prob,
+                value_ratio,
+                seed,
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,299 @@
+//! Offline stand-in for [criterion.rs](https://docs.rs/criterion/0.5).
+//!
+//! The build environment has no crates.io access, so this crate provides the
+//! API surface the workspace's `harness = false` bench targets use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`], benchmark
+//! groups, [`BenchmarkId`], [`black_box`] — backed by a deliberately small
+//! timing loop instead of criterion's statistical machinery: a short warm-up,
+//! then `sample_size` timed samples whose iteration count is calibrated to a
+//! per-sample time budget; median and min/max per-iteration times go to
+//! stdout.
+//!
+//! Command-line behaviour matches what `cargo bench` / `cargo test --benches`
+//! need: timing runs only under `cargo bench` (which passes `--bench`);
+//! `--test` — or the absence of `--bench` — runs each benchmark exactly once,
+//! untimed, for smoke coverage. Criterion's value-taking flags are consumed
+//! and ignored, and the first bare argument filters benchmarks by substring.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id distinguished only by its parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Timing driver handed to the benchmark closure.
+pub struct Bencher {
+    /// Iterations per timed sample (calibrated by the harness).
+    iters: u64,
+    /// Total elapsed time across `iters` iterations of the last `iter` call.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` iterations of `routine`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Clone, Copy)]
+struct RunMode {
+    /// Run each benchmark once, untimed (cargo test --benches).
+    smoke_only: bool,
+}
+
+/// Top-level benchmark registry and runner.
+pub struct Criterion {
+    filter: Option<String>,
+    mode: RunMode,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut bench_mode = false;
+        let mut test_mode = false;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" => bench_mode = true,
+                "--test" => test_mode = true,
+                // criterion flags that take a separate value: consume it so
+                // it is not mistaken for a benchmark filter
+                "--sample-size"
+                | "--measurement-time"
+                | "--warm-up-time"
+                | "--save-baseline"
+                | "--baseline"
+                | "--load-baseline"
+                | "--profile-time"
+                | "--output-format"
+                | "--color"
+                | "--significance-level"
+                | "--noise-threshold"
+                | "--confidence-level" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                // first bare argument is the filter, as in criterion
+                s => {
+                    if filter.is_none() {
+                        filter = Some(s.to_string());
+                    }
+                }
+            }
+        }
+        Criterion {
+            filter,
+            // As in real criterion: time only under `cargo bench` (which
+            // passes --bench); `cargo test --benches` passes --test or
+            // nothing, and gets one untimed smoke iteration per benchmark.
+            mode: RunMode {
+                smoke_only: test_mode || !bench_mode,
+            },
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.default_sample_size;
+        self.run_one(None, id, sample_size, f);
+        self
+    }
+
+    fn matches(&self, full_id: &str) -> bool {
+        self.filter
+            .as_deref()
+            .is_none_or(|needle| full_id.contains(needle))
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        group: Option<&str>,
+        id: &str,
+        sample_size: usize,
+        mut f: F,
+    ) {
+        let full_id = match group {
+            Some(g) => format!("{g}/{id}"),
+            None => id.to_string(),
+        };
+        if !self.matches(&full_id) {
+            return;
+        }
+        if self.mode.smoke_only {
+            let mut b = Bencher {
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("test {full_id} ... ok");
+            return;
+        }
+
+        // Calibrate: time one iteration, then size samples to ~5 ms each,
+        // bounded so a single benchmark stays well under a second.
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let once = b.elapsed.max(Duration::from_nanos(1));
+        let per_sample = (Duration::from_millis(5).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+
+        let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+        for _ in 0..sample_size {
+            let mut b = Bencher {
+                iters: per_sample as u64,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            samples.push(b.elapsed.as_nanos() as f64 / per_sample as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "{full_id:<40} time: [{} {} {}]",
+            format_ns(lo),
+            format_ns(median),
+            format_ns(hi)
+        );
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: BenchmarkId, f: F) -> &mut Self {
+        let (name, sample_size) = (self.name.clone(), self.sample_size);
+        self.criterion.run_one(Some(&name), &id.id, sample_size, f);
+        self
+    }
+
+    /// Runs a benchmark in this group with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let (name, sample_size) = (self.name.clone(), self.sample_size);
+        self.criterion
+            .run_one(Some(&name), &id.id, sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (marker for API parity; reporting is per-benchmark).
+    pub fn finish(self) {}
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(32).id, "32");
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+    }
+
+    #[test]
+    fn bencher_times_iterations() {
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 10);
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for [`serde`](https://serde.rs).
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! this crate supplies the subset of serde's public surface the workspace
+//! actually uses: the `Serialize`/`Deserialize` derive macros and trait
+//! names, backed by a simple JSON-shaped value tree ([`Value`]) instead of
+//! serde's visitor machinery. `serde_json::to_string_pretty` renders that
+//! tree. Swapping the real serde back in requires no source changes in the
+//! workspace — only the manifests.
+
+// Lets the `::serde::...` paths in derive-generated code resolve inside
+// this crate's own tests.
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-shaped value tree: the serialization data model.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (covers `u64`/`u128` beyond `i64::MAX`).
+    UInt(u128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// A type that can turn itself into a [`Value`].
+///
+/// Derivable with `#[derive(Serialize)]`; the derive mirrors serde's JSON
+/// conventions (structs to objects, unit enum variants to strings, newtype
+/// variants to single-key objects).
+pub trait Serialize {
+    /// Converts `self` into the serialization data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// Nothing in the workspace deserializes at run time; the derive exists so
+/// `#[derive(Deserialize)]` attributes in the source compile unchanged.
+pub trait Deserialize {}
+
+macro_rules! impl_ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u128)
+            }
+        }
+    )*};
+}
+
+impl_ser_int!(i8, i16, i32, i64, isize);
+impl_ser_uint!(u8, u16, u32, u64, u128, usize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+
+impl_ser_tuple!(A: 0);
+impl_ser_tuple!(A: 0, B: 1);
+impl_ser_tuple!(A: 0, B: 1, C: 2);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_value(&self) -> Value {
+        Value::Float(self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3i64.to_value(), Value::Int(3));
+        assert_eq!(3usize.to_value(), Value::UInt(3));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::Str("x".to_string()));
+        assert_eq!(None::<u8>.to_value(), Value::Null);
+        assert_eq!(
+            vec![1u8, 2].to_value(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn derive_named_struct() {
+        #[derive(Serialize)]
+        struct S {
+            a: usize,
+            b: String,
+        }
+        let v = S {
+            a: 1,
+            b: "hi".into(),
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("a".into(), Value::UInt(1)),
+                ("b".into(), Value::Str("hi".into())),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_newtype_and_enum() {
+        #[derive(Serialize)]
+        struct Id(u32);
+        #[derive(Serialize)]
+        enum E {
+            Unit,
+            Wrap(Id),
+        }
+        assert_eq!(E::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            E::Wrap(Id(7)).to_value(),
+            Value::Object(vec![("Wrap".into(), Value::UInt(7))])
+        );
+    }
+
+    #[test]
+    fn derive_generic_struct() {
+        #[derive(Serialize)]
+        struct Pair<T> {
+            left: T,
+            right: T,
+        }
+        let v = Pair {
+            left: 1u8,
+            right: 2u8,
+        }
+        .to_value();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                ("left".into(), Value::UInt(1)),
+                ("right".into(), Value::UInt(2)),
+            ])
+        );
+    }
+}

@@ -1,0 +1,376 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The offline build environment has neither `syn` nor `quote`, so the item
+//! is parsed by walking the raw [`TokenStream`] directly. This only has to
+//! handle the shapes that actually occur in this workspace:
+//!
+//! - named-field structs (possibly generic over type parameters),
+//! - tuple structs (newtype ids like `NodeId(pub u32)`),
+//! - enums with unit, tuple, and named-field variants.
+//!
+//! Generated impls target `serde::Serialize::to_value` (a JSON-shaped value
+//! tree) and the `serde::Deserialize` marker trait, following serde_json's
+//! conventions: structs serialize to objects, unit variants to strings,
+//! newtype variants to single-key objects.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<(String, Body)>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+/// Cursor over a token list with helpers for the small grammar we need.
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Skips `#[...]` attributes (including doc comments).
+    fn skip_attributes(&mut self) {
+        while self.at_punct('#') {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+            {
+                self.next();
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if self.at_ident("pub") {
+            self.next();
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.next();
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Parses `<...>` generics if present, returning the type-parameter
+    /// names (lifetimes and const params are skipped; bounds are ignored).
+    fn parse_generics(&mut self) -> Vec<String> {
+        let mut params = Vec::new();
+        if !self.at_punct('<') {
+            return params;
+        }
+        self.next();
+        let mut depth = 1usize;
+        let mut expect_param = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 1 => {
+                    expect_param = true;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => {
+                    // lifetime: consume its identifier, stay in skip mode
+                    self.next();
+                    expect_param = false;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' && depth == 1 => {
+                    // bounds follow; skip until next top-level ',' or '>'
+                    expect_param = false;
+                }
+                Some(TokenTree::Ident(i)) => {
+                    let word = i.to_string();
+                    if expect_param && word != "const" {
+                        params.push(word);
+                        expect_param = false;
+                    } else if word == "const" {
+                        // const param: take its name but don't treat as type
+                        self.expect_ident();
+                        expect_param = false;
+                    }
+                }
+                Some(_) => {}
+                None => panic!("serde derive: unterminated generics"),
+            }
+        }
+        params
+    }
+}
+
+/// Parses the field names of a `{ ... }` struct body.
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        c.skip_visibility();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            break;
+        };
+        fields.push(name.to_string());
+        // expect ':', then skip the type until a top-level ','
+        let mut angle_depth = 0usize;
+        loop {
+            match c.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => angle_depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1);
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => break,
+                Some(_) => {}
+                None => return fields,
+            }
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` tuple body.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut c = Cursor::new(group);
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    while let Some(t) = c.next() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_enum_variants(group: TokenStream) -> Vec<(String, Body)> {
+    let mut c = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        let Some(TokenTree::Ident(name)) = c.next() else {
+            break;
+        };
+        let body = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                c.next();
+                Body::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                c.next();
+                Body::Named(fields)
+            }
+            _ => Body::Unit,
+        };
+        variants.push((name.to_string(), body));
+        // skip an optional discriminant and the trailing comma
+        while let Some(t) = c.peek() {
+            if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                c.next();
+                break;
+            }
+            c.next();
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let kind = c.expect_ident(); // struct | enum
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    // skip an optional where clause up to the body group / semicolon
+    while let Some(t) = c.peek() {
+        match t {
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace || g.delimiter() == Delimiter::Parenthesis =>
+            {
+                break
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => {
+                c.next();
+            }
+        }
+    }
+    let body = match (kind.as_str(), c.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Named(parse_named_fields(g.stream()))
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Body::Tuple(count_tuple_fields(g.stream()))
+        }
+        ("struct", _) => Body::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Body::Enum(parse_enum_variants(g.stream()))
+        }
+        (k, t) => panic!("serde derive: cannot parse {k} body at {t:?}"),
+    };
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+fn impl_header(item: &Item, trait_path: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl {trait_path} for {}", item.name)
+    } else {
+        let params = item.generics.join(", ");
+        let bounds = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: {trait_path}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "impl<{params}> {trait_path} for {}<{params}> where {bounds}",
+            item.name
+        )
+    }
+}
+
+fn tuple_expr(vars: &[String]) -> String {
+    match vars.len() {
+        0 => "::serde::Value::Null".to_string(),
+        1 => format!("::serde::Serialize::to_value(&{})", vars[0]),
+        _ => {
+            let items = vars
+                .iter()
+                .map(|v| format!("::serde::Serialize::to_value(&{v})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("::serde::Value::Array(vec![{items}])")
+        }
+    }
+}
+
+fn named_expr(fields: &[String], accessor: impl Fn(&str) -> String) -> String {
+    if fields.is_empty() {
+        return "::serde::Value::Object(Vec::new())".to_string();
+    }
+    let items = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(String::from(\"{f}\"), ::serde::Serialize::to_value(&{}))",
+                accessor(f)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("::serde::Value::Object(vec![{items}])")
+}
+
+/// Derives `serde::Serialize` (value-tree flavour) for structs and enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.body {
+        Body::Named(fields) => named_expr(fields, |f| format!("self.{f}")),
+        Body::Tuple(n) => {
+            let vars: Vec<String> = (0..*n).map(|i| format!("self.{i}")).collect();
+            tuple_expr(&vars)
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms = variants
+                .iter()
+                .map(|(vname, vbody)| match vbody {
+                    Body::Unit | Body::Enum(_) => format!(
+                        "{}::{vname} => ::serde::Value::Str(String::from(\"{vname}\")),",
+                        item.name
+                    ),
+                    Body::Tuple(n) => {
+                        let vars: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        format!(
+                            "{}::{vname}({}) => ::serde::Value::Object(vec![(String::from(\"{vname}\"), {})]),",
+                            item.name,
+                            vars.join(", "),
+                            tuple_expr(&vars)
+                        )
+                    }
+                    Body::Named(fields) => {
+                        format!(
+                            "{}::{vname} {{ {} }} => ::serde::Value::Object(vec![(String::from(\"{vname}\"), {})]),",
+                            item.name,
+                            fields.join(", "),
+                            named_expr(fields, |f| f.to_string())
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    let header = impl_header(&item, "::serde::Serialize");
+    let out = format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\n{header} {{\n    fn to_value(&self) -> ::serde::Value {{\n        {body}\n    }}\n}}\n"
+    );
+    out.parse().expect("serde derive: generated impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let header = impl_header(&item, "::serde::Deserialize");
+    format!("#[automatically_derived]\n{header} {{}}\n")
+        .parse()
+        .expect("serde derive: generated impl parses")
+}
