@@ -1,0 +1,156 @@
+//! Thread-scaling benchmark for the parallel MILP engine: random-kernel
+//! register-saturation intLP models (Section 3) across a threads × size
+//! grid.
+//!
+//! This target uses a hand-rolled harness instead of criterion because it
+//! measures *wall-clock scaling* of one long solve per cell (not
+//! per-iteration micro-times) and emits a JSON perf report under
+//! `results/milp_scaling.json` for the CI artifact / perf trajectory.
+//!
+//! Modes follow the criterion convention: `cargo bench` (passes `--bench`)
+//! runs the full grid; `--test` (or no `--bench`) runs a small smoke grid.
+//! In every mode the reported optimal objective is asserted identical
+//! across thread counts — the determinism guarantee of the node pool.
+
+use rs_core::ilp::RsIlp;
+use rs_core::model::{RegType, Target};
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+use rs_lp::{MilpConfig, Model};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Cell {
+    size: usize,
+    threads: usize,
+    millis: f64,
+    objective: i64,
+    nodes: usize,
+    lp_solves: usize,
+    warm_solves: usize,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench_mode: bool,
+    host_parallelism: usize,
+    cells: Vec<Cell>,
+    /// Wall-clock speedup of 4 threads over 1 thread on the largest model
+    /// (absent when the grid has no 4-thread column).
+    speedup_4t_largest: Option<f64>,
+}
+
+/// The Section-3 saturation intLP of a seeded random kernel of `ops`
+/// operations — the workload whose solve time bounds the exact
+/// experiments.
+fn random_kernel_model(ops: usize, seed: u64) -> Model {
+    let cfg = RandomDagConfig::sized(ops, seed);
+    let ddg = random_ddg(&cfg, Target::superscalar());
+    RsIlp::new().build_model(&ddg, RegType::FLOAT).0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_mode = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
+
+    // Curated (size, seed) pairs: the intLP solve-time landscape over
+    // random kernels is bimodal (most instances solve in milliseconds, a
+    // minority fall off a big-M cliff), so the grid pins seeds whose
+    // branch-and-bound trees are large enough to exercise the parallel
+    // node pool yet provably finish: ~55, ~1.8k, and ~2k nodes.
+    let (instances, thread_grid): (&[(usize, u64)], &[usize]) = if bench_mode {
+        (&[(12, 1), (14, 0), (18, 4)], &[1, 2, 4])
+    } else {
+        (&[(12, 1)], &[1, 2])
+    };
+
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut cells: Vec<Cell> = Vec::new();
+    println!("milp_scaling: host parallelism {host_parallelism}");
+    println!(
+        "{:>6} {:>8} {:>12} {:>10} {:>8} {:>8}",
+        "size", "threads", "millis", "objective", "nodes", "warm"
+    );
+
+    for &(size, seed) in instances {
+        let model = random_kernel_model(size, 0xBEEF + size as u64 + seed * 7919);
+        let mut objective: Option<i64> = None;
+        for &threads in thread_grid {
+            let cfg = MilpConfig::with_threads(threads);
+            let start = Instant::now();
+            let sol = rs_lp::solve(&model, &cfg).expect("RS model is feasible");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            assert!(sol.stats.proven_optimal, "size {size} hit the budget");
+            let obj = sol.objective.round() as i64;
+            // Determinism: thread count must not change the optimum.
+            match objective {
+                None => objective = Some(obj),
+                Some(expect) => assert_eq!(
+                    obj, expect,
+                    "size {size}: threads={threads} changed the objective"
+                ),
+            }
+            println!(
+                "{size:>6} {threads:>8} {millis:>12.1} {obj:>10} {:>8} {:>8}",
+                sol.stats.nodes, sol.stats.warm_solves
+            );
+            cells.push(Cell {
+                size,
+                threads,
+                millis,
+                objective: obj,
+                nodes: sol.stats.nodes,
+                lp_solves: sol.stats.lp_solves,
+                warm_solves: sol.stats.warm_solves,
+            });
+        }
+    }
+
+    let largest = instances.iter().map(|&(s, _)| s).max().unwrap();
+    let time_of = |threads: usize| {
+        cells
+            .iter()
+            .find(|c| c.size == largest && c.threads == threads)
+            .map(|c| c.millis)
+    };
+    let speedup_4t_largest = match (time_of(1), time_of(4)) {
+        (Some(t1), Some(t4)) if t4 > 0.0 => Some(t1 / t4),
+        _ => None,
+    };
+    if let Some(s) = speedup_4t_largest {
+        println!("speedup at 4 threads on size {largest}: {s:.2}x");
+        if host_parallelism >= 4 {
+            assert!(
+                s >= 2.0,
+                "expected >= 2x wall-clock speedup at 4 threads on a >= 4-core host, got {s:.2}x"
+            );
+        } else {
+            println!(
+                "(host has only {host_parallelism} hardware thread(s); \
+                 speedup assertion skipped)"
+            );
+        }
+    }
+
+    let report = Report {
+        bench_mode,
+        host_parallelism,
+        cells,
+        speedup_4t_largest,
+    };
+    let out_dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let text = format!(
+        "milp_scaling: {} cells, host parallelism {}, 4-thread speedup on largest model: {}\n",
+        report.cells.len(),
+        host_parallelism,
+        report
+            .speedup_4t_largest
+            .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
+    );
+    rs_bench::common::write_report(&out_dir, "milp_scaling", &text, &report);
+    println!(
+        "report written to {}",
+        out_dir.join("milp_scaling.json").display()
+    );
+}

@@ -27,18 +27,31 @@ use rs_graph::antichain::max_antichain;
 use rs_graph::paths::LongestPaths;
 use rs_graph::NodeId;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of the exact search.
 #[derive(Clone, Debug)]
 pub struct ExactRs {
-    /// Maximum number of complete killing functions evaluated.
+    /// Maximum number of complete killing functions evaluated (shared
+    /// across all workers).
     pub node_limit: usize,
+    /// Worker threads. The search tree is split at the root over the first
+    /// ambiguous value's candidate killers; workers share the incumbent
+    /// width through an atomic, so pruning stays as effective as in the
+    /// sequential search. The computed saturation never depends on this
+    /// value. The *witness* (killing function / antichain) among
+    /// equally-wide optima can vary run-to-run when `threads > 1`: a job
+    /// may be pruned by another job's concurrently published equal-width
+    /// bound. Every returned witness is valid.
+    pub threads: usize,
 }
 
 impl Default for ExactRs {
     fn default() -> Self {
         ExactRs {
             node_limit: 2_000_000,
+            threads: 1,
         }
     }
 }
@@ -68,6 +81,14 @@ impl ExactRs {
         Self::default()
     }
 
+    /// The default configuration with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ExactRs {
+            threads,
+            ..Self::default()
+        }
+    }
+
     /// Computes `RS_t(G)` exactly (subject to the node budget).
     pub fn saturation(&self, ddg: &Ddg, t: RegType) -> ExactRsResult {
         let values = ddg.values(t);
@@ -91,39 +112,112 @@ impl ExactRs {
         // Seed with the heuristic: a valid incumbent and often already
         // optimal, which makes pruning effective immediately.
         let seed = crate::heuristic::GreedyK::new().saturation(ddg, t);
-        let mut best_width = seed.saturation;
-        let mut best = (seed.killing.clone(), seed.saturating_values.clone());
+        let seed_best = LocalBest {
+            width: seed.saturation,
+            killing: seed.killing.clone(),
+            saturating: seed.saturating_values.clone(),
+        };
 
         let ambiguous = pk.ambiguous_values();
-        let mut search = Search {
-            ddg,
-            t,
-            pk: &pk,
-            values: &values,
-            ambiguous: &ambiguous,
-            base_lp: &lp,
-            node_limit: self.node_limit,
-            leaves: 0,
-            pruned: 0,
-            exhausted: true,
-        };
-        let mut assignment: BTreeMap<NodeId, NodeId> = pk
+        let base_assignment: BTreeMap<NodeId, NodeId> = pk
             .killers
             .iter()
             .filter(|(_, ks)| ks.len() == 1)
             .map(|(&u, ks)| (u, ks[0]))
             .collect();
-        search.recurse(0, &mut assignment, &mut best_width, &mut best);
 
+        // Shared search state: the incumbent width (pruning bound), the
+        // global leaf budget, and diagnostic counters.
+        let best_global = AtomicUsize::new(seed.saturation);
+        let leaves = AtomicUsize::new(0);
+        let pruned = AtomicUsize::new(0);
+
+        let threads = self.threads.max(1);
+        let mut job_results: Vec<(LocalBest, bool)>;
+        if threads == 1 || ambiguous.is_empty() {
+            let mut search = Search {
+                ddg,
+                t,
+                pk: &pk,
+                values: &values,
+                ambiguous: &ambiguous,
+                base_lp: &lp,
+                node_limit: self.node_limit,
+                leaves: &leaves,
+                best_global: &best_global,
+                pruned: 0,
+                exhausted: true,
+            };
+            let mut local = seed_best.clone();
+            let mut assignment = base_assignment;
+            search.recurse(0, &mut assignment, &mut local);
+            pruned.fetch_add(search.pruned, Ordering::Relaxed);
+            job_results = vec![(local, search.exhausted)];
+        } else {
+            // Root split: one job per candidate killer of the first
+            // ambiguous value, drained by `threads` scoped workers.
+            let u0 = ambiguous[0];
+            let cands = &pk.killers[&u0];
+            let mut slots: Vec<Option<(LocalBest, bool)>> =
+                (0..cands.len()).map(|_| None).collect();
+            let next_job = AtomicUsize::new(0);
+            let results = Mutex::new(&mut slots);
+            std::thread::scope(|s| {
+                for _ in 0..threads.min(cands.len()) {
+                    s.spawn(|| loop {
+                        let j = next_job.fetch_add(1, Ordering::Relaxed);
+                        let Some(&cand) = cands.get(j) else { break };
+                        let mut search = Search {
+                            ddg,
+                            t,
+                            pk: &pk,
+                            values: &values,
+                            ambiguous: &ambiguous,
+                            base_lp: &lp,
+                            node_limit: self.node_limit,
+                            leaves: &leaves,
+                            best_global: &best_global,
+                            pruned: 0,
+                            exhausted: true,
+                        };
+                        let mut local = seed_best.clone();
+                        let mut assignment = base_assignment.clone();
+                        assignment.insert(u0, cand);
+                        search.recurse(1, &mut assignment, &mut local);
+                        pruned.fetch_add(search.pruned, Ordering::Relaxed);
+                        results.lock().unwrap()[j] = Some((local, search.exhausted));
+                    });
+                }
+            });
+            job_results = slots.into_iter().map(|r| r.expect("job ran")).collect();
+        }
+
+        // Deterministic merge: widest witness, ties by job order; the seed
+        // stands if no job improved on it.
+        let exhausted = job_results.iter().all(|(_, e)| *e);
+        let mut best = seed_best;
+        for (local, _) in job_results.drain(..) {
+            if local.width > best.width {
+                best = local;
+            }
+        }
         ExactRsResult {
-            saturation: best_width,
-            saturating_values: best.1,
-            killing: best.0,
-            proven_optimal: search.exhausted,
-            leaves_evaluated: search.leaves,
-            pruned: search.pruned,
+            saturation: best.width,
+            saturating_values: best.saturating,
+            killing: best.killing,
+            proven_optimal: exhausted,
+            leaves_evaluated: leaves.load(Ordering::Relaxed),
+            pruned: pruned.load(Ordering::Relaxed),
         }
     }
+}
+
+/// Per-job incumbent: the widest DV witness this job has proven.
+#[derive(Clone)]
+struct LocalBest {
+    width: usize,
+    killing: KillingFunction,
+    saturating: Vec<NodeId>,
 }
 
 struct Search<'a> {
@@ -134,7 +228,12 @@ struct Search<'a> {
     ambiguous: &'a [NodeId],
     base_lp: &'a LongestPaths,
     node_limit: usize,
-    leaves: usize,
+    /// Leaves evaluated across ALL workers (shared budget).
+    leaves: &'a AtomicUsize,
+    /// Widest antichain proven by ANY worker — the shared pruning bound.
+    /// Reading a stale (smaller) value only costs pruning power, never
+    /// correctness.
+    best_global: &'a AtomicUsize,
     pruned: usize,
     exhausted: bool,
 }
@@ -144,26 +243,28 @@ impl Search<'_> {
         &mut self,
         depth: usize,
         assignment: &mut BTreeMap<NodeId, NodeId>,
-        best_width: &mut usize,
-        best: &mut (KillingFunction, Vec<NodeId>),
+        local: &mut LocalBest,
     ) {
-        if self.leaves >= self.node_limit {
+        if self.leaves.load(Ordering::Relaxed) >= self.node_limit {
             self.exhausted = false;
             return;
         }
-        if *best_width == self.values.len() {
+        let best = self.best_global.load(Ordering::Relaxed);
+        if best == self.values.len() {
             return; // cannot do better
         }
         if depth == self.ambiguous.len() {
-            self.leaves += 1;
+            self.leaves.fetch_add(1, Ordering::Relaxed);
             let k = KillingFunction {
                 reg_type: self.t,
                 killer: assignment.clone(),
             };
             if let Some(dv) = rs_for_killing(self.ddg, self.t, self.pk, &k) {
-                if dv.width > *best_width {
-                    *best_width = dv.width;
-                    *best = (k, dv.saturating);
+                if dv.width > local.width {
+                    local.width = dv.width;
+                    local.killing = k;
+                    local.saturating = dv.saturating;
+                    self.best_global.fetch_max(dv.width, Ordering::Relaxed);
                 }
             }
             return;
@@ -175,7 +276,7 @@ impl Search<'_> {
         // arcs and shrinking antichains. Using the *base* lp under-counts DV
         // arcs, so the antichain is an upper bound.
         let ub = self.optimistic_width(assignment);
-        if ub <= *best_width {
+        if ub <= best.max(local.width) {
             self.pruned += 1;
             return;
         }
@@ -183,7 +284,7 @@ impl Search<'_> {
         let u = self.ambiguous[depth];
         for &cand in &self.pk.killers[&u] {
             assignment.insert(u, cand);
-            self.recurse(depth + 1, assignment, best_width, best);
+            self.recurse(depth + 1, assignment, local);
         }
         assignment.remove(&u);
     }
@@ -290,11 +391,43 @@ mod tests {
             b.flow(v, stores[(i + 1) % 3], 4, RegType::INT);
         }
         let d = b.finish();
-        let limited = ExactRs { node_limit: 1 }.saturation(&d, RegType::INT);
+        let limited = ExactRs {
+            node_limit: 1,
+            ..ExactRs::default()
+        }
+        .saturation(&d, RegType::INT);
         let full = ExactRs::new().saturation(&d, RegType::INT);
         assert!(full.proven_optimal);
         assert!(limited.saturation <= full.saturation);
         // even budget-limited results are achievable lower bounds
         assert!(limited.saturation >= 1);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_saturation() {
+        // The same ambiguous-killer structure as the budget test: a search
+        // tree wide enough that the root split actually distributes work.
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let mut stores = Vec::new();
+        for i in 0..4 {
+            stores.push(b.op(format!("s{i}"), OpClass::Store, None));
+        }
+        for i in 0..8 {
+            let v = b.op(format!("v{i}"), OpClass::Load, Some(RegType::INT));
+            b.flow(v, stores[i % 4], 4, RegType::INT);
+            b.flow(v, stores[(i + 1) % 4], 4, RegType::INT);
+        }
+        let d = b.finish();
+        let seq = ExactRs::new().saturation(&d, RegType::INT);
+        assert!(seq.proven_optimal);
+        for threads in [2, 4] {
+            let par = ExactRs::with_threads(threads).saturation(&d, RegType::INT);
+            assert!(par.proven_optimal);
+            assert_eq!(par.saturation, seq.saturation, "threads={threads}");
+            // the parallel witness is still a valid killing function
+            let lp = rs_graph::paths::LongestPaths::new(d.graph());
+            let pk = potential_killers(&d, RegType::INT, &lp);
+            assert!(par.killing.respects(&pk));
+        }
     }
 }

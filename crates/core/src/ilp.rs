@@ -111,6 +111,15 @@ impl RsIlp {
         Self::default()
     }
 
+    /// The default configuration with `threads` branch-and-bound workers.
+    /// The computed saturation does not depend on the thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        RsIlp {
+            milp: MilpConfig::with_threads(threads),
+            ..Self::default()
+        }
+    }
+
     /// Builds the Section-3 model without solving it.
     pub fn build_model(&self, ddg: &Ddg, t: RegType) -> (Model, RsIlpVars) {
         let n = ddg.num_ops();
@@ -189,8 +198,8 @@ impl RsIlp {
                         1.0,
                     );
                 } else {
-                    indicator_ge(&mut m, s, cond_u, rhs_u);
-                    indicator_ge(&mut m, s, cond_v, rhs_v);
+                    indicator_ge(&mut m, s, &cond_u, rhs_u);
+                    indicator_ge(&mut m, s, &cond_v, rhs_v);
                 }
                 pair.insert((u, v), PairVar::Var(s));
             }
@@ -358,6 +367,14 @@ impl ReduceIlp {
         Self::default()
     }
 
+    /// The default configuration with `threads` branch-and-bound workers.
+    pub fn with_threads(threads: usize) -> Self {
+        ReduceIlp {
+            milp: MilpConfig::with_threads(threads),
+            ..Self::default()
+        }
+    }
+
     /// Builds the Section-4 model for register budget `r`.
     pub fn build_model(
         &self,
@@ -465,7 +482,9 @@ impl ReduceIlp {
                 }
                 Err(MilpError::Infeasible) => return Err(ReduceIlpError::SpillUnavoidable),
                 Err(MilpError::Unbounded) => unreachable!("bounded domains"),
-                Err(MilpError::BudgetExhausted) => return Err(ReduceIlpError::Budget),
+                Err(MilpError::BudgetExhausted) | Err(MilpError::Numerical) => {
+                    return Err(ReduceIlpError::Budget)
+                }
             }
         }
     }

@@ -35,6 +35,7 @@ pub mod expr;
 pub mod linearize;
 pub mod milp;
 pub mod model;
+pub(crate) mod pool;
 pub mod presolve;
 pub mod simplex;
 
@@ -42,7 +43,7 @@ pub use expr::LinExpr;
 pub use milp::{solve, MilpConfig, MilpError, MilpStats};
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
 pub use presolve::{presolve, PresolveOutcome, PresolveStats};
-pub use simplex::{solve_relaxation, LpOutcome, Solution};
+pub use simplex::{solve_relaxation, solve_with_basis, Basis, LpOutcome, Solution};
 
 /// Numeric tolerance used throughout the solver.
 pub const EPS: f64 = 1e-7;

@@ -14,6 +14,43 @@
 use crate::expr::LinExpr;
 use crate::model::{Cmp, Model, VarId, VarKind};
 
+/// Scratch buffer for constraint emission: a row is assembled here and
+/// handed to [`Model::add_constraint_terms`], which copies it once into
+/// the model. Helpers that emit several rows (`max_of`) reuse one buffer
+/// across all of them, so emission avoids the `LinExpr` operator chains of
+/// the old path, which reallocated the term vector at every `+`/`clone`
+/// (several allocations per row; now the stored copy plus one amortized
+/// assembly buffer).
+#[derive(Default)]
+struct RowBuf {
+    terms: Vec<(VarId, f64)>,
+}
+
+impl RowBuf {
+    fn start(&mut self) -> &mut Self {
+        self.terms.clear();
+        self
+    }
+
+    fn push(&mut self, var: VarId, coef: f64) -> &mut Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// Appends `sign · e`'s terms and returns `sign · constant` for the
+    /// caller to fold into the right-hand side.
+    fn push_expr(&mut self, e: &LinExpr, sign: f64) -> f64 {
+        for &(v, c) in &e.terms {
+            self.terms.push((v, sign * c));
+        }
+        sign * e.constant
+    }
+
+    fn emit(&mut self, m: &mut Model, cmp: Cmp, rhs: f64) {
+        m.add_constraint_terms(&self.terms, cmp, rhs);
+    }
+}
+
 /// Adds `k = max(terms)` and returns `k`.
 ///
 /// Encoding: `k ≥ tᵢ` for all `i`; `k ≤ tᵢ + Mᵢ·(1 − yᵢ)` with one binary
@@ -29,14 +66,18 @@ pub fn max_of(m: &mut Model, name: &str, terms: &[LinExpr]) -> VarId {
     );
     let k = m.add_named_var(name, VarKind::Integer, k_lo, k_hi);
 
+    let mut buf = RowBuf::default();
     let mut selector_sum = LinExpr::new();
     for (i, t) in terms.iter().enumerate() {
-        // k >= t_i
-        m.add_constraint(LinExpr::from(k) - t.clone(), Cmp::Ge, 0.0);
+        // k >= t_i  <=>  k - t_i >= t_i.constant (terms only)
+        let c0 = buf.start().push(k, 1.0).push_expr(t, -1.0);
+        buf.emit(m, Cmp::Ge, -c0);
         // k <= t_i + M_i (1 - y_i), M_i = k_hi - lo(t_i)
         let y = m.add_named_var(format!("{name}.y{i}"), VarKind::Binary, 0.0, 1.0);
         let big_m = (k_hi - bounds[i].0).max(0.0);
-        m.add_constraint(LinExpr::from(k) - t.clone() + (big_m, y), Cmp::Le, big_m);
+        let c0 = buf.start().push(k, 1.0).push_expr(t, -1.0);
+        buf.push(y, big_m);
+        buf.emit(m, Cmp::Le, big_m - c0);
         selector_sum = selector_sum + y;
     }
     m.add_constraint(selector_sum, Cmp::Eq, 1.0);
@@ -44,28 +85,34 @@ pub fn max_of(m: &mut Model, name: &str, terms: &[LinExpr]) -> VarId {
 }
 
 /// `guard = 1 ⟹ expr ≥ rhs`.
-pub fn indicator_ge(m: &mut Model, guard: VarId, expr: LinExpr, rhs: f64) {
-    let (lo, _) = m.expr_bounds(&expr);
+pub fn indicator_ge(m: &mut Model, guard: VarId, expr: &LinExpr, rhs: f64) {
+    let (lo, _) = m.expr_bounds(expr);
     assert!(lo.is_finite(), "indicator_ge requires a finite lower bound");
     let big_m = (rhs - lo).max(0.0);
     // expr >= rhs - M(1-g)  <=>  expr - M g >= rhs - M
-    m.add_constraint(expr + (-big_m, guard), Cmp::Ge, rhs - big_m);
+    let mut buf = RowBuf::default();
+    let c0 = buf.start().push_expr(expr, 1.0);
+    buf.push(guard, -big_m);
+    buf.emit(m, Cmp::Ge, rhs - big_m - c0);
 }
 
 /// `guard = 1 ⟹ expr ≤ rhs`.
-pub fn indicator_le(m: &mut Model, guard: VarId, expr: LinExpr, rhs: f64) {
-    let (_, hi) = m.expr_bounds(&expr);
+pub fn indicator_le(m: &mut Model, guard: VarId, expr: &LinExpr, rhs: f64) {
+    let (_, hi) = m.expr_bounds(expr);
     assert!(hi.is_finite(), "indicator_le requires a finite upper bound");
     let big_m = (hi - rhs).max(0.0);
     // expr <= rhs + M(1-g)  <=>  expr + M g <= rhs + M
-    m.add_constraint(expr + (big_m, guard), Cmp::Le, rhs + big_m);
+    let mut buf = RowBuf::default();
+    let c0 = buf.start().push_expr(expr, 1.0);
+    buf.push(guard, big_m);
+    buf.emit(m, Cmp::Le, rhs + big_m - c0);
 }
 
 /// `expr ≥ rhs ⟹ guard = 1`, i.e. `guard = 0 ⟹ expr ≤ rhs − strict_step`.
 pub fn reverse_indicator_ge(
     m: &mut Model,
     guard: VarId,
-    expr: LinExpr,
+    expr: &LinExpr,
     rhs: f64,
     strict_step: f64,
 ) {
@@ -73,15 +120,18 @@ pub fn reverse_indicator_ge(
 }
 
 /// `guard = 0 ⟹ expr ≤ rhs`.
-pub fn indicator_le_on_zero(m: &mut Model, guard: VarId, expr: LinExpr, rhs: f64) {
-    let (_, hi) = m.expr_bounds(&expr);
+pub fn indicator_le_on_zero(m: &mut Model, guard: VarId, expr: &LinExpr, rhs: f64) {
+    let (_, hi) = m.expr_bounds(expr);
     assert!(
         hi.is_finite(),
         "indicator_le_on_zero requires a finite upper bound"
     );
     let big_m = (hi - rhs).max(0.0);
     // expr <= rhs + M g
-    m.add_constraint(expr + (-big_m, guard), Cmp::Le, rhs);
+    let mut buf = RowBuf::default();
+    let c0 = buf.start().push_expr(expr, 1.0);
+    buf.push(guard, -big_m);
+    buf.emit(m, Cmp::Le, rhs - c0);
 }
 
 /// Adds the disjunction `(a ≥ ra) ∨ (b ≥ rb)` with a fresh selector binary,
@@ -89,19 +139,22 @@ pub fn indicator_le_on_zero(m: &mut Model, guard: VarId, expr: LinExpr, rhs: f64
 pub fn disjunction_ge(
     m: &mut Model,
     name: &str,
-    a: LinExpr,
+    a: &LinExpr,
     ra: f64,
-    b: LinExpr,
+    b: &LinExpr,
     rb: f64,
 ) -> VarId {
     let d = m.add_named_var(name, VarKind::Binary, 0.0, 1.0);
     // d = 1 -> a >= ra
     indicator_ge(m, d, a, ra);
     // d = 0 -> b >= rb: b >= rb - M d  <=>  b + M d >= rb
-    let (lo_b, _) = m.expr_bounds(&b);
+    let (lo_b, _) = m.expr_bounds(b);
     assert!(lo_b.is_finite());
     let big_m = (rb - lo_b).max(0.0);
-    m.add_constraint(b + (big_m, d), Cmp::Ge, rb);
+    let mut buf = RowBuf::default();
+    let c0 = buf.start().push_expr(b, 1.0);
+    buf.push(d, big_m);
+    buf.emit(m, Cmp::Ge, rb - c0);
     d
 }
 
@@ -120,14 +173,14 @@ pub fn iff_conjunction_ge(
 ) {
     assert!(!conjuncts.is_empty());
     for (e, r) in conjuncts {
-        indicator_ge(m, s, e.clone(), *r);
+        indicator_ge(m, s, e, *r);
     }
     // s = 0 -> ∨_i (expr_i <= rhs_i - step), via selectors d_i:
     //   d_i = 1 -> expr_i <= rhs_i - step; Σ d_i + s >= 1.
     let mut sum = LinExpr::from(s);
     for (i, (e, r)) in conjuncts.iter().enumerate() {
         let d = m.add_named_var(format!("{name}.d{i}"), VarKind::Binary, 0.0, 1.0);
-        indicator_le(m, d, e.clone(), *r - strict_step);
+        indicator_le(m, d, e, *r - strict_step);
         sum = sum + d;
     }
     m.add_constraint(sum, Cmp::Ge, 1.0);
@@ -169,7 +222,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let g = m.add_var("g", VarKind::Binary, 0.0, 1.0);
         let x = m.add_var("x", VarKind::Integer, 0.0, 3.0);
-        indicator_ge(&mut m, g, LinExpr::from(x), 5.0);
+        indicator_ge(&mut m, g, &LinExpr::from(x), 5.0);
         m.set_objective(LinExpr::from(g));
         let s = solve(&m, &MilpConfig::default()).unwrap();
         assert_eq!(s.values[g.index()].round() as i64, 0);
@@ -178,7 +231,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let g = m.add_var("g", VarKind::Binary, 0.0, 1.0);
         let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
-        indicator_ge(&mut m, g, LinExpr::from(x), 5.0);
+        indicator_ge(&mut m, g, &LinExpr::from(x), 5.0);
         m.set_objective(LinExpr::from(g));
         let s = solve(&m, &MilpConfig::default()).unwrap();
         assert_eq!(s.values[g.index()].round() as i64, 1);
@@ -190,7 +243,7 @@ mod tests {
         let mut m = Model::new(Sense::Maximize);
         let g = m.add_var("g", VarKind::Binary, 0.0, 1.0);
         let x = m.add_var("x", VarKind::Integer, 4.0, 10.0);
-        indicator_le(&mut m, g, LinExpr::from(x), 2.0);
+        indicator_le(&mut m, g, &LinExpr::from(x), 2.0);
         m.set_objective(LinExpr::from(g) + (0.001, x));
         let s = solve(&m, &MilpConfig::default()).unwrap();
         // g=1 would force x <= 2, impossible with x >= 4
@@ -204,7 +257,7 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let g = m.add_var("g", VarKind::Binary, 0.0, 1.0);
         let x = m.add_var("x", VarKind::Integer, 8.0, 8.0);
-        reverse_indicator_ge(&mut m, g, LinExpr::from(x), 5.0, 1.0);
+        reverse_indicator_ge(&mut m, g, &LinExpr::from(x), 5.0, 1.0);
         m.set_objective(LinExpr::from(g));
         let s = solve(&m, &MilpConfig::default()).unwrap();
         assert_eq!(s.values[g.index()].round() as i64, 1);
@@ -213,7 +266,7 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let g = m.add_var("g", VarKind::Binary, 0.0, 1.0);
         let x = m.add_var("x", VarKind::Integer, 4.0, 4.0);
-        reverse_indicator_ge(&mut m, g, LinExpr::from(x), 5.0, 1.0);
+        reverse_indicator_ge(&mut m, g, &LinExpr::from(x), 5.0, 1.0);
         m.set_objective(LinExpr::from(g));
         let s = solve(&m, &MilpConfig::default()).unwrap();
         assert_eq!(s.values[g.index()].round() as i64, 0);
@@ -225,7 +278,7 @@ mod tests {
         let mut m = Model::new(Sense::Minimize);
         let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
         let y = m.add_var("y", VarKind::Integer, 0.0, 10.0);
-        disjunction_ge(&mut m, "d", LinExpr::from(x), 6.0, LinExpr::from(y), 6.0);
+        disjunction_ge(&mut m, "d", &LinExpr::from(x), 6.0, &LinExpr::from(y), 6.0);
         m.set_objective(LinExpr::from(x) + y);
         let s = solve(&m, &MilpConfig::default()).unwrap();
         assert_eq!(s.objective.round() as i64, 6);

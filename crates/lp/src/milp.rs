@@ -1,27 +1,58 @@
-//! Branch-and-bound MILP solver on top of the simplex relaxation.
+//! Parallel branch-and-bound MILP solver on top of the simplex relaxation.
 //!
-//! Depth-first search with best-incumbent pruning; branching on the most
-//! fractional integral variable; integral-objective rounding of the dual
-//! bound (every objective in the register-saturation models has integer
-//! coefficients, so `floor`/`ceil` of the relaxation bound is a valid
-//! tightening — enabled via [`MilpConfig::integral_objective`]).
+//! The search is organized around a shared best-bound node pool
+//! ([`crate::pool`]) drained by `std::thread::scope` workers. Each worker
+//! owns a private copy of the model (bounds are the only thing a node
+//! changes), pops the open node with the best inherited dual bound, solves
+//! its LP relaxation — warm-started from the parent's simplex basis — and
+//! pushes the two children. Pruning uses a shared atomic incumbent bound,
+//! so a bound improvement found by one worker immediately tightens every
+//! other worker's search.
+//!
+//! Determinism: pruning only ever discards nodes that provably cannot
+//! *strictly* beat the incumbent, so the optimal objective is identical for
+//! every thread count; incumbent ties are broken by lexicographic value
+//! comparison, independent of arrival order. (The witness values among
+//! equally-optimal solutions may still vary with thread count, because a
+//! different exploration order encounters a different subset of the optima.)
+//!
+//! Branching picks the most fractional integral variable; the dual bound is
+//! rounded to an integer before pruning when
+//! [`MilpConfig::integral_objective`] is set (every objective in the
+//! register-saturation models has integer coefficients, so `floor`/`ceil`
+//! of the relaxation bound is a valid tightening).
 
 use crate::model::{Model, Sense, VarKind};
-use crate::simplex::{solve_relaxation, LpOutcome, Solution};
+use crate::pool::{Incumbent, Node, NodePool};
+use crate::simplex::{solve_with_basis, LpOutcome, Solution};
 use crate::EPS;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// How many nodes a worker processes between wall-clock checks —
+/// `Instant::now` is a syscall-ish vsyscall and the node loop is hot, so
+/// the deadline is only sampled every `TIME_CHECK_MASK + 1` nodes.
+const TIME_CHECK_MASK: usize = 63;
 
 /// Knobs for the branch-and-bound driver.
 #[derive(Clone, Debug)]
 pub struct MilpConfig {
     /// Maximum number of branch-and-bound nodes before giving up.
     pub node_limit: usize,
-    /// Wall-clock budget; `None` disables the check.
+    /// Wall-clock budget; `None` disables the check. The deadline is
+    /// sampled once per 64 nodes per worker (a deliberate trade against
+    /// per-node clock reads), so the overshoot is ~64 node-processing
+    /// times — negligible normally, but noticeable on models whose single
+    /// LP solves are slow. Pair with `node_limit` for a hard stop.
     pub time_limit: Option<std::time::Duration>,
     /// Declare the dual bound integral and round it when pruning (valid
     /// whenever the objective takes integer values on integer solutions).
     pub integral_objective: bool,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Worker threads draining the node pool (clamped to ≥ 1). The optimal
+    /// objective does not depend on this value.
+    pub threads: usize,
 }
 
 impl Default for MilpConfig {
@@ -31,6 +62,17 @@ impl Default for MilpConfig {
             time_limit: Some(std::time::Duration::from_secs(120)),
             integral_objective: true,
             int_tol: 1e-6,
+            threads: 1,
+        }
+    }
+}
+
+impl MilpConfig {
+    /// The default configuration with `threads` workers.
+    pub fn with_threads(threads: usize) -> Self {
+        MilpConfig {
+            threads,
+            ..MilpConfig::default()
         }
     }
 }
@@ -45,6 +87,9 @@ pub enum MilpError {
     /// Node or time budget exhausted before proving optimality, and no
     /// incumbent was found.
     BudgetExhausted,
+    /// The simplex reported unrecoverable numerical trouble (tiny pivots)
+    /// and no incumbent was found.
+    Numerical,
 }
 
 impl std::fmt::Display for MilpError {
@@ -53,6 +98,7 @@ impl std::fmt::Display for MilpError {
             MilpError::Infeasible => write!(f, "MILP infeasible"),
             MilpError::Unbounded => write!(f, "MILP unbounded"),
             MilpError::BudgetExhausted => write!(f, "MILP budget exhausted without incumbent"),
+            MilpError::Numerical => write!(f, "MILP abandoned on numerical trouble"),
         }
     }
 }
@@ -66,7 +112,10 @@ pub struct MilpStats {
     pub nodes: usize,
     /// LP relaxations solved.
     pub lp_solves: usize,
-    /// True iff optimality was proven (budget not exhausted).
+    /// LP relaxations solved with a warm-start basis hint.
+    pub warm_solves: usize,
+    /// True iff optimality was proven (budget not exhausted, no numerical
+    /// trouble encountered).
     pub proven_optimal: bool,
 }
 
@@ -90,181 +139,307 @@ impl From<MilpSolution> for Solution {
     }
 }
 
+/// Shared, read-only search context.
+struct Ctx<'a> {
+    model: &'a Model,
+    cfg: &'a MilpConfig,
+    /// `+1` for maximize, `-1` for minimize: `score = dir · objective`,
+    /// larger always better.
+    dir: f64,
+    original_bounds: Vec<(f64, f64)>,
+    /// Per variable: is it integral (integer or binary)?
+    integral: Vec<bool>,
+    deadline: Option<Instant>,
+    pool: NodePool,
+    incumbent: Incumbent,
+    nodes: AtomicUsize,
+    lp_solves: AtomicUsize,
+    warm_solves: AtomicUsize,
+    budget_hit: AtomicBool,
+    numerical: AtomicBool,
+    unbounded: AtomicBool,
+}
+
+impl Ctx<'_> {
+    /// Integral rounding of a dual bound, in score space.
+    fn tighten_score(&self, score: f64) -> f64 {
+        if self.cfg.integral_objective && score.is_finite() {
+            // score = dir·obj; maximizing the score, the valid integral
+            // tightening is always floor (it is ceil in minimize objective
+            // space, which is floor after negation).
+            (score + self.cfg.int_tol).floor()
+        } else {
+            score
+        }
+    }
+
+    /// Does a candidate score strictly beat the current incumbent?
+    fn improves(&self, score: f64) -> bool {
+        score > self.incumbent.score() + EPS
+    }
+}
+
 /// Solves the mixed-integer program. Returns the optimal solution, or the
 /// best incumbent if the budget ran out (flagged in
 /// [`MilpStats::proven_optimal`]).
 pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError> {
-    let start = std::time::Instant::now();
-    let mut work = model.clone();
-    let mut stats = MilpStats::default();
-
-    // Incumbent tracking; `better` compares in the model's sense.
-    let mut incumbent: Option<Solution> = None;
-    let sense = model.sense();
-    let improves = |cand: f64, inc: f64| match sense {
-        Sense::Maximize => cand > inc + EPS,
-        Sense::Minimize => cand < inc - EPS,
+    let start = Instant::now();
+    let threads = cfg.threads.max(1);
+    let n = model.num_vars();
+    let ctx = Ctx {
+        model,
+        cfg,
+        dir: match model.sense() {
+            Sense::Maximize => 1.0,
+            Sense::Minimize => -1.0,
+        },
+        original_bounds: (0..n)
+            .map(|i| model.bounds(crate::VarId(i as u32)))
+            .collect(),
+        integral: (0..n)
+            .map(|i| !matches!(model.kind(crate::VarId(i as u32)), VarKind::Continuous))
+            .collect(),
+        deadline: cfg.time_limit.map(|tl| start + tl),
+        pool: NodePool::new(Node {
+            bounds: Vec::new(),
+            depth: 0,
+            score: f64::INFINITY,
+            basis: None,
+        }),
+        incumbent: Incumbent::new(),
+        nodes: AtomicUsize::new(0),
+        lp_solves: AtomicUsize::new(0),
+        warm_solves: AtomicUsize::new(0),
+        budget_hit: AtomicBool::new(false),
+        numerical: AtomicBool::new(false),
+        unbounded: AtomicBool::new(false),
     };
 
-    // Explicit DFS stack of bound overrides: (var, lo, hi) lists.
-    #[derive(Clone)]
-    struct Node {
-        bounds: Vec<(crate::VarId, f64, f64)>,
-        depth: usize,
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| worker(&ctx));
+        }
+    });
+
+    if ctx.unbounded.load(Ordering::Relaxed) {
+        return Err(MilpError::Unbounded);
     }
-    let mut stack = vec![Node {
-        bounds: Vec::new(),
-        depth: 0,
-    }];
-
-    let original_bounds: Vec<(f64, f64)> = (0..model.num_vars())
-        .map(|i| model.bounds(crate::VarId(i as u32)))
-        .collect();
-
-    let mut budget_hit = false;
-    while let Some(node) = stack.pop() {
-        if stats.nodes >= cfg.node_limit {
-            budget_hit = true;
-            break;
-        }
-        if let Some(tl) = cfg.time_limit {
-            if start.elapsed() > tl {
-                budget_hit = true;
-                break;
-            }
-        }
-        stats.nodes += 1;
-
-        // Apply node bounds.
-        for (i, &(lo, hi)) in original_bounds.iter().enumerate() {
-            work.set_bounds(crate::VarId(i as u32), lo, hi);
-        }
-        let mut conflict = false;
-        for &(v, lo, hi) in &node.bounds {
-            let (clo, chi) = work.bounds(v);
-            let nlo = clo.max(lo);
-            let nhi = chi.min(hi);
-            if nlo > nhi {
-                conflict = true;
-                break;
-            }
-            work.set_bounds(v, nlo, nhi);
-        }
-        if conflict {
-            continue;
-        }
-
-        stats.lp_solves += 1;
-        let sol = match solve_relaxation(&work) {
-            LpOutcome::Optimal(s) => s,
-            LpOutcome::Infeasible => continue,
-            LpOutcome::Unbounded => {
-                // Unbounded relaxation at the root means unbounded MILP if a
-                // feasible integer point exists; report unbounded directly
-                // (our models never hit this outside tests).
-                if node.depth == 0 {
-                    return Err(MilpError::Unbounded);
-                }
-                continue;
-            }
-        };
-
-        // Bound pruning.
-        if let Some(ref inc) = incumbent {
-            let mut bound = sol.objective;
-            if cfg.integral_objective {
-                bound = match sense {
-                    Sense::Maximize => (bound + cfg.int_tol).floor(),
-                    Sense::Minimize => (bound - cfg.int_tol).ceil(),
-                };
-            }
-            if !improves(bound, inc.objective) {
-                continue;
-            }
-        }
-
-        // Branch on the most fractional integral variable (fraction closest
-        // to one half).
-        let mut branch: Option<(crate::VarId, f64)> = None;
-        let mut best_dist_half = f64::INFINITY;
-        for i in 0..model.num_vars() {
-            let v = crate::VarId(i as u32);
-            if matches!(model.kind(v), VarKind::Continuous) {
-                continue;
-            }
-            let x = sol.values[i];
-            if (x - x.round()).abs() <= cfg.int_tol {
-                continue;
-            }
-            let dist_half = (x - x.floor() - 0.5).abs();
-            if dist_half < best_dist_half {
-                best_dist_half = dist_half;
-                branch = Some((v, x));
-            }
-        }
-
-        match branch {
-            None => {
-                // Integral: candidate incumbent.
-                let mut values = sol.values.clone();
-                for (i, val) in values.iter_mut().enumerate() {
-                    if !matches!(model.kind(crate::VarId(i as u32)), VarKind::Continuous) {
-                        *val = val.round();
-                    }
-                }
-                let objective = model.objective.eval(&values);
-                if incumbent
-                    .as_ref()
-                    .is_none_or(|inc| improves(objective, inc.objective))
-                {
-                    debug_assert!(
-                        model.check_feasible(&values, 1e-5).is_ok(),
-                        "incumbent must be feasible: {:?}",
-                        model.check_feasible(&values, 1e-5)
-                    );
-                    incumbent = Some(Solution { values, objective });
-                }
-            }
-            Some((v, x)) => {
-                let fl = x.floor();
-                // Explore the side nearer the relaxation value first (pushed
-                // last => popped first).
-                let down = Node {
-                    bounds: {
-                        let mut b = node.bounds.clone();
-                        b.push((v, f64::NEG_INFINITY, fl));
-                        b
-                    },
-                    depth: node.depth + 1,
-                };
-                let up = Node {
-                    bounds: {
-                        let mut b = node.bounds.clone();
-                        b.push((v, fl + 1.0, f64::INFINITY));
-                        b
-                    },
-                    depth: node.depth + 1,
-                };
-                if x - fl > 0.5 {
-                    stack.push(down);
-                    stack.push(up);
-                } else {
-                    stack.push(up);
-                    stack.push(down);
-                }
-            }
-        }
-    }
-
-    stats.proven_optimal = !budget_hit;
-    match incumbent {
-        Some(s) => Ok(MilpSolution {
-            values: s.values,
-            objective: s.objective,
+    let budget_hit = ctx.budget_hit.load(Ordering::Relaxed);
+    let numerical = ctx.numerical.load(Ordering::Relaxed);
+    let stats = MilpStats {
+        nodes: ctx.nodes.load(Ordering::Relaxed),
+        lp_solves: ctx.lp_solves.load(Ordering::Relaxed),
+        warm_solves: ctx.warm_solves.load(Ordering::Relaxed),
+        proven_optimal: !budget_hit && !numerical,
+    };
+    match ctx.incumbent.into_best() {
+        Some((objective, values)) => Ok(MilpSolution {
+            values,
+            objective,
             stats,
         }),
         None if budget_hit => Err(MilpError::BudgetExhausted),
+        None if numerical => Err(MilpError::Numerical),
         None => Err(MilpError::Infeasible),
+    }
+}
+
+/// Worker loop: drain the pool until the search completes or is stopped.
+fn worker(ctx: &Ctx<'_>) {
+    // Private model copy: nodes only ever change variable bounds.
+    let mut work = ctx.model.clone();
+    let mut processed = 0usize;
+    while let Some(node) = ctx.pool.pop() {
+        process_node(ctx, &mut work, &mut processed, node);
+        ctx.pool.done();
+    }
+}
+
+fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: Node) {
+    // Node budget: the comparison is against a plain atomic counter; the
+    // wall clock is sampled only every 64 nodes (checking `Instant::now`
+    // per node costs more than a typical warm LP re-solve on small models).
+    let prev = ctx.nodes.fetch_add(1, Ordering::Relaxed);
+    if prev >= ctx.cfg.node_limit {
+        ctx.nodes.fetch_sub(1, Ordering::Relaxed);
+        ctx.budget_hit.store(true, Ordering::Relaxed);
+        ctx.pool.stop();
+        return;
+    }
+    *processed += 1;
+    if *processed & TIME_CHECK_MASK == 0 {
+        if let Some(dl) = ctx.deadline {
+            if Instant::now() > dl {
+                ctx.budget_hit.store(true, Ordering::Relaxed);
+                ctx.pool.stop();
+                return;
+            }
+        }
+    }
+
+    // Prune by the inherited parent bound (already tightened at push time)
+    // — the incumbent may have improved since this node was pushed.
+    if !ctx.improves(node.score) {
+        return;
+    }
+
+    // Apply node bounds over the originals, with the integral
+    // bound-tightening fast path: integer domains are rounded inward, which
+    // both shrinks the relaxation and detects infeasible branches without
+    // an LP solve.
+    for (i, &(lo, hi)) in ctx.original_bounds.iter().enumerate() {
+        work.set_bounds(crate::VarId(i as u32), lo, hi);
+    }
+    for &(v, lo, hi) in &node.bounds {
+        let (clo, chi) = work.bounds(v);
+        let nlo = clo.max(lo);
+        let nhi = chi.min(hi);
+        if nlo > nhi {
+            return;
+        }
+        work.set_bounds(v, nlo, nhi);
+    }
+    for (i, &int) in ctx.integral.iter().enumerate() {
+        if !int {
+            continue;
+        }
+        let v = crate::VarId(i as u32);
+        let (lo, hi) = work.bounds(v);
+        let tlo = if lo.is_finite() {
+            (lo - ctx.cfg.int_tol).ceil()
+        } else {
+            lo
+        };
+        let thi = if hi.is_finite() {
+            (hi + ctx.cfg.int_tol).floor()
+        } else {
+            hi
+        };
+        if tlo > thi {
+            return;
+        }
+        if tlo != lo || thi != hi {
+            work.set_bounds(v, tlo, thi);
+        }
+    }
+
+    ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
+    if node.basis.is_some() {
+        ctx.warm_solves.fetch_add(1, Ordering::Relaxed);
+    }
+    let (outcome, basis) = solve_with_basis(work, node.basis.as_ref());
+    let sol = match outcome {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => return,
+        LpOutcome::Unbounded => {
+            // Unbounded relaxation at the root means unbounded MILP if a
+            // feasible integer point exists; report unbounded directly
+            // (our models never hit this outside tests).
+            if node.depth == 0 {
+                ctx.unbounded.store(true, Ordering::Relaxed);
+                ctx.pool.stop();
+            }
+            return;
+        }
+        LpOutcome::PivotTooSmall => {
+            // Soft numerical failure: skip the node, surrender the
+            // optimality proof instead of crashing or silently mispruning.
+            ctx.numerical.store(true, Ordering::Relaxed);
+            return;
+        }
+    };
+
+    // Bound pruning on the fresh relaxation. Children are queued under the
+    // *tightened* (integer-rounded) bound: rounding loses nothing for
+    // pruning, and it collapses the near-flat big-M bounds into integer
+    // buckets, inside which the pool's depth tie-break dives straight to an
+    // incumbent instead of ping-ponging across the frontier.
+    let score = ctx.tighten_score(ctx.dir * sol.objective);
+    if !ctx.improves(score) {
+        return;
+    }
+
+    // Branch on the most fractional integral variable (fraction closest to
+    // one half).
+    let mut branch: Option<(crate::VarId, f64)> = None;
+    let mut best_dist_half = f64::INFINITY;
+    for (i, &int) in ctx.integral.iter().enumerate() {
+        if !int {
+            continue;
+        }
+        let x = sol.values[i];
+        if (x - x.round()).abs() <= ctx.cfg.int_tol {
+            continue;
+        }
+        let dist_half = (x - x.floor() - 0.5).abs();
+        if dist_half < best_dist_half {
+            best_dist_half = dist_half;
+            branch = Some((crate::VarId(i as u32), x));
+        }
+    }
+
+    match branch {
+        None => {
+            // Integral: candidate incumbent.
+            let mut values = sol.values.clone();
+            for (i, val) in values.iter_mut().enumerate() {
+                if ctx.integral[i] {
+                    *val = val.round();
+                }
+            }
+            let objective = ctx.model.objective.eval(&values);
+            debug_assert!(
+                ctx.model.check_feasible(&values, 1e-5).is_ok(),
+                "incumbent must be feasible: {:?}",
+                ctx.model.check_feasible(&values, 1e-5)
+            );
+            ctx.incumbent
+                .offer(ctx.dir * objective, objective, values, EPS);
+        }
+        Some((v, x)) => {
+            // Simple-rounding primal heuristic: the big-M relaxations of
+            // the register-saturation models are nearly flat, so a pure
+            // dive needs hundreds of levels before its leaf is integral —
+            // but naively rounding the fractional relaxation is very often
+            // already feasible. An early incumbent is what turns the shared
+            // bound into actual pruning.
+            let mut rounded = sol.values.clone();
+            for (i, val) in rounded.iter_mut().enumerate() {
+                if ctx.integral[i] {
+                    *val = val.round();
+                }
+            }
+            let objective = ctx.model.objective.eval(&rounded);
+            if ctx.improves(ctx.dir * objective)
+                && ctx.model.check_feasible(&rounded, ctx.cfg.int_tol).is_ok()
+            {
+                ctx.incumbent
+                    .offer(ctx.dir * objective, objective, rounded, EPS);
+            }
+            let fl = x.floor();
+            let child = |lo: f64, hi: f64, basis: Option<crate::simplex::Basis>| {
+                let mut b = node.bounds.clone();
+                b.push((v, lo, hi));
+                Node {
+                    bounds: b,
+                    depth: node.depth + 1,
+                    score,
+                    basis,
+                }
+            };
+            // Both children inherit this relaxation's bound and basis; the
+            // side nearer the fractional value is pushed first (earlier
+            // sequence number wins best-bound ties, diving towards an
+            // incumbent fast).
+            let down_first = x - fl <= 0.5;
+            if down_first {
+                ctx.pool.push(child(f64::NEG_INFINITY, fl, basis.clone()));
+                ctx.pool.push(child(fl + 1.0, f64::INFINITY, basis));
+            } else {
+                ctx.pool.push(child(fl + 1.0, f64::INFINITY, basis.clone()));
+                ctx.pool.push(child(f64::NEG_INFINITY, fl, basis));
+            }
+        }
     }
 }
 
@@ -277,9 +452,8 @@ mod tests {
     fn integer_knapsack() {
         // max 10a + 6b + 4c s.t. a+b+c <= 100, 10a+4b+5c <= 600,
         // 2a+2b+6c <= 300, all integer >= 0. LP opt 733.33; ILP opt 732
-        // (a=32, b=67, c=0) -> 10*32+6*67 = 722? recompute: classic problem
-        // has ILP optimum 732 with a=33, b=67: 10*33+4*67=330+268=598<=600;
-        // 33+67=100<=100; 2*33+2*67=200<=300; obj=330+402=732.
+        // (a=33, b=67): 10*33+4*67=330+268=598<=600; 33+67=100<=100;
+        // 2*33+2*67=200<=300; obj=330+402=732.
         let mut m = Model::new(Sense::Maximize);
         let a = m.add_var("a", VarKind::Integer, 0.0, 1000.0);
         let b = m.add_var("b", VarKind::Integer, 0.0, 1000.0);
@@ -395,6 +569,88 @@ mod tests {
         assert_eq!(solve(&m, &cfg).unwrap_err(), MilpError::BudgetExhausted);
     }
 
+    #[test]
+    fn warm_starts_are_exercised() {
+        // Any branching model solves child LPs from the parent basis.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 9.0))
+            .collect();
+        let mut e = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            e = e + ((i % 3 + 2) as f64, v);
+            obj = obj + ((i % 5 + 1) as f64, v);
+        }
+        m.add_constraint(e, Cmp::Le, 37.5);
+        m.set_objective(obj);
+        let s = solve(&m, &MilpConfig::default()).unwrap();
+        assert!(s.stats.proven_optimal);
+        assert!(
+            s.stats.warm_solves > 0,
+            "expected warm-started child solves, stats: {:?}",
+            s.stats
+        );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_objective() {
+        // A search tree with plenty of nodes; every thread count must agree.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..10)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 6.0))
+            .collect();
+        for k in 0..6 {
+            let mut e = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                e = e + (((i * 7 + k * 11) % 5 + 1) as f64, v);
+            }
+            m.add_constraint(e, Cmp::Le, (35 + 3 * k) as f64);
+        }
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj = obj + (((i * 13) % 7 + 1) as f64, v);
+        }
+        m.set_objective(obj);
+
+        let reference = solve(&m, &MilpConfig::default()).unwrap();
+        assert!(reference.stats.proven_optimal);
+        for threads in [2, 3, 4, 8] {
+            let s = solve(&m, &MilpConfig::with_threads(threads)).unwrap();
+            assert!(s.stats.proven_optimal);
+            assert_eq!(
+                s.objective.round() as i64,
+                reference.objective.round() as i64,
+                "threads={threads} changed the objective"
+            );
+            assert!(m.check_feasible(&s.values, 1e-6).is_ok());
+        }
+    }
+
+    #[test]
+    fn parallel_minimization_agrees_too() {
+        let mut m = Model::new(Sense::Minimize);
+        let vars: Vec<_> = (0..9)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 5.0))
+            .collect();
+        for k in 0..5 {
+            let mut e = LinExpr::new();
+            for (i, &v) in vars.iter().enumerate() {
+                e = e + (((i + k) % 4 + 1) as f64, v);
+            }
+            m.add_constraint(e, Cmp::Ge, (12 + k) as f64);
+        }
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            obj = obj + ((i % 3 + 1) as f64, v);
+        }
+        m.set_objective(obj);
+        let seq = solve(&m, &MilpConfig::default()).unwrap();
+        let par = solve(&m, &MilpConfig::with_threads(4)).unwrap();
+        assert!(seq.stats.proven_optimal && par.stats.proven_optimal);
+        assert_eq!(seq.objective.round() as i64, par.objective.round() as i64);
+    }
+
     mod property {
         use super::super::*;
         use crate::{Cmp, LinExpr, Model, Sense, VarKind};
@@ -432,6 +688,7 @@ mod tests {
                     (proptest::array::uniform3(-3i64..=3), -5i64..=20), 1..4),
                 obj in proptest::array::uniform3(-4i64..=4),
                 maximize in any::<bool>(),
+                threads in 1usize..=4,
             ) {
                 let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
                 let mut m = Model::new(sense);
@@ -452,7 +709,7 @@ mod tests {
                 m.set_objective(o);
 
                 let expected = brute_force(&cons, &obj, sense);
-                match solve(&m, &MilpConfig::default()) {
+                match solve(&m, &MilpConfig::with_threads(threads)) {
                     Ok(sol) => {
                         prop_assert!(sol.stats.proven_optimal);
                         let got = sol.objective.round() as i64;

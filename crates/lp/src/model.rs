@@ -165,6 +165,21 @@ impl Model {
         self.constraints.push(Constraint { expr, cmp, rhs });
     }
 
+    /// Adds the constraint `Σ terms cmp rhs` from a term slice — the
+    /// allocation-light twin of [`Model::add_constraint`]. Callers that
+    /// emit many constraints (the logical linearizations) assemble each row
+    /// in a reused scratch buffer and hand it over here; only the single
+    /// `Vec` the model stores is allocated, no intermediate expression
+    /// chain.
+    pub fn add_constraint_terms(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) {
+        let mut expr = LinExpr {
+            terms: terms.to_vec(),
+            constant: 0.0,
+        };
+        expr.normalize();
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
     /// Sets the objective expression.
     pub fn set_objective(&mut self, mut obj: LinExpr) {
         obj.normalize();

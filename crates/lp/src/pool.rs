@@ -1,0 +1,322 @@
+//! Shared node pool and incumbent store for the parallel branch-and-bound
+//! driver.
+//!
+//! The pool is a best-bound priority queue drained by `std::thread::scope`
+//! workers: each worker pops the open node with the most promising dual
+//! bound, solves its relaxation, and pushes the two children. Termination
+//! is detected with an in-flight counter — the search is over exactly when
+//! the queue is empty *and* no worker still holds a node (a held node may
+//! yet push children).
+//!
+//! The incumbent is shared through a mutex plus an atomic snapshot of its
+//! score so workers can prune without taking the lock. Incumbent selection
+//! is deterministic: a candidate replaces the incumbent only when it is
+//! strictly better, and ties on the objective are broken by lexicographic
+//! comparison of the value vectors, so the reported optimal objective never
+//! depends on the number of worker threads or their interleaving.
+
+use crate::simplex::Basis;
+use crate::VarId;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// An open branch-and-bound node: the bound overrides along its path from
+/// the root, plus warm-start and ordering metadata.
+pub(crate) struct Node {
+    /// `(var, lo, hi)` overrides accumulated from the root.
+    pub bounds: Vec<(VarId, f64, f64)>,
+    pub depth: usize,
+    /// Dual bound inherited from the parent relaxation, normalized so that
+    /// larger is always better (the root uses `+∞`).
+    pub score: f64,
+    /// Parent's optimal basis for the warm-started child solve.
+    pub basis: Option<Basis>,
+}
+
+struct Entry {
+    node: Node,
+    /// Push sequence number; among equal bounds, older nodes first.
+    seq: u64,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap: higher score wins. Score ties (common —
+        // both children inherit the parent's bound, and the big-M RS
+        // relaxations are flat near the root) break towards the deeper,
+        // most recently pushed node: best-bound search with depth-first
+        // tie-breaking, which dives to an incumbent as fast as plain DFS
+        // instead of enumerating a frontier breadth-first.
+        self.node
+            .score
+            .total_cmp(&other.node.score)
+            .then_with(|| self.node.depth.cmp(&other.node.depth))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+struct Inner {
+    heap: BinaryHeap<Entry>,
+    /// Nodes popped but not yet reported done.
+    in_flight: usize,
+    /// Budget exhausted or error: drain immediately.
+    stopped: bool,
+}
+
+/// Best-bound node pool shared by the workers.
+pub(crate) struct NodePool {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+    seq: AtomicU64,
+}
+
+impl NodePool {
+    pub fn new(root: Node) -> Self {
+        let mut heap = BinaryHeap::new();
+        heap.push(Entry { node: root, seq: 0 });
+        NodePool {
+            inner: Mutex::new(Inner {
+                heap,
+                in_flight: 0,
+                stopped: false,
+            }),
+            cv: Condvar::new(),
+            seq: AtomicU64::new(1),
+        }
+    }
+
+    pub fn push(&self, node: Node) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.stopped {
+            return;
+        }
+        inner.heap.push(Entry { node, seq });
+        drop(inner);
+        self.cv.notify_one();
+    }
+
+    /// Pops the best open node, blocking while the queue is empty but other
+    /// workers still hold nodes. Returns `None` when the search is complete
+    /// or stopped. Every `Some` must be matched by a [`NodePool::done`]
+    /// call once the node's children (if any) have been pushed.
+    pub fn pop(&self) -> Option<Node> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.stopped {
+                return None;
+            }
+            if let Some(e) = inner.heap.pop() {
+                inner.in_flight += 1;
+                return Some(e.node);
+            }
+            if inner.in_flight == 0 {
+                // Queue empty and nobody can produce more: wake the others.
+                self.cv.notify_all();
+                return None;
+            }
+            inner = self.cv.wait(inner).unwrap();
+        }
+    }
+
+    /// Reports a popped node fully processed.
+    pub fn done(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.in_flight -= 1;
+        if inner.in_flight == 0 && inner.heap.is_empty() {
+            drop(inner);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Stops the search: waiting workers wake up and drain.
+    pub fn stop(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.stopped = true;
+        inner.heap.clear();
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+/// Shared incumbent with an atomic score snapshot for lock-free pruning.
+pub(crate) struct Incumbent {
+    /// `(objective, values)` of the best integer-feasible point.
+    best: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Score (`dir · objective`) of the incumbent; `-∞` while empty.
+    score_bits: AtomicU64,
+}
+
+impl Incumbent {
+    pub fn new() -> Self {
+        Incumbent {
+            best: Mutex::new(None),
+            score_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Current incumbent score (larger is better), `-∞` if none.
+    pub fn score(&self) -> f64 {
+        f64::from_bits(self.score_bits.load(Ordering::Relaxed))
+    }
+
+    /// Offers a candidate. Replaces the incumbent when strictly better (by
+    /// more than `eps`), or on an objective tie when the value vector is
+    /// lexicographically smaller — a deterministic, order-independent
+    /// selection rule.
+    pub fn offer(&self, score: f64, objective: f64, values: Vec<f64>, eps: f64) {
+        let mut best = self.best.lock().unwrap();
+        let replace = match &*best {
+            None => true,
+            Some((inc_obj, inc_vals)) => {
+                let inc_score = self.score();
+                if score > inc_score + eps {
+                    true
+                } else if score < inc_score - eps {
+                    false
+                } else {
+                    let _ = inc_obj;
+                    lex_less(&values, inc_vals)
+                }
+            }
+        };
+        if replace {
+            self.score_bits.store(score.to_bits(), Ordering::Relaxed);
+            *best = Some((objective, values));
+        }
+    }
+
+    /// Takes the final incumbent.
+    pub fn into_best(self) -> Option<(f64, Vec<f64>)> {
+        self.best.into_inner().unwrap()
+    }
+}
+
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b) {
+        match x.total_cmp(y) {
+            std::cmp::Ordering::Less => return true,
+            std::cmp::Ordering::Greater => return false,
+            std::cmp::Ordering::Equal => {}
+        }
+    }
+    a.len() < b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(score: f64) -> Node {
+        Node {
+            bounds: Vec::new(),
+            depth: 0,
+            score,
+            basis: None,
+        }
+    }
+
+    #[test]
+    fn pool_pops_best_bound_first() {
+        let pool = NodePool::new(node(1.0));
+        pool.push(node(5.0));
+        pool.push(node(3.0));
+        let a = pool.pop().unwrap();
+        let b = pool.pop().unwrap();
+        let c = pool.pop().unwrap();
+        assert_eq!(a.score, 5.0);
+        assert_eq!(b.score, 3.0);
+        assert_eq!(c.score, 1.0);
+        pool.done();
+        pool.done();
+        pool.done();
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn pool_ties_dive_depth_first() {
+        // Equal scores: the deeper node pops first (dive), and among equal
+        // depths the most recently pushed (LIFO, like DFS).
+        let pool = NodePool::new(Node {
+            depth: 7,
+            ..node(2.0)
+        });
+        pool.push(Node {
+            depth: 8,
+            ..node(2.0)
+        });
+        pool.push(Node {
+            depth: 7,
+            ..node(2.0)
+        });
+        assert_eq!(pool.pop().unwrap().depth, 8);
+        // among the two depth-7 nodes, the pushed one (seq 2) beats the root (seq 0)
+        assert_eq!(pool.pop().unwrap().depth, 7);
+        assert_eq!(pool.pop().unwrap().depth, 7);
+    }
+
+    #[test]
+    fn pool_blocks_until_holder_finishes() {
+        let pool = NodePool::new(node(0.0));
+        let seen = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    while let Some(n) = pool.pop() {
+                        seen.fetch_add(1, Ordering::Relaxed);
+                        if n.depth < 3 {
+                            pool.push(Node {
+                                depth: n.depth + 1,
+                                ..node(0.0)
+                            });
+                            pool.push(Node {
+                                depth: n.depth + 1,
+                                ..node(0.0)
+                            });
+                        }
+                        pool.done();
+                    }
+                });
+            }
+        });
+        // Full binary tree of depth 3: 1 + 2 + 4 + 8 nodes.
+        assert_eq!(seen.load(Ordering::Relaxed), 15);
+    }
+
+    #[test]
+    fn stop_drains_waiters() {
+        let pool = NodePool::new(node(0.0));
+        let n = pool.pop().unwrap();
+        drop(n);
+        pool.stop();
+        pool.done();
+        assert!(pool.pop().is_none());
+    }
+
+    #[test]
+    fn incumbent_keeps_strictly_better_and_lex_ties() {
+        let inc = Incumbent::new();
+        inc.offer(5.0, 5.0, vec![2.0, 1.0], 1e-7);
+        assert_eq!(inc.score(), 5.0);
+        // worse: ignored
+        inc.offer(4.0, 4.0, vec![0.0, 0.0], 1e-7);
+        assert_eq!(inc.score(), 5.0);
+        // tie with lexicographically smaller values: replaces
+        inc.offer(5.0, 5.0, vec![1.0, 2.0], 1e-7);
+        let (obj, vals) = inc.into_best().unwrap();
+        assert_eq!(obj, 5.0);
+        assert_eq!(vals, vec![1.0, 2.0]);
+    }
+}

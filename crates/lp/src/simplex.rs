@@ -1,4 +1,4 @@
-//! Two-phase dense primal simplex.
+//! Two-phase dense primal simplex with warm-started re-solves.
 //!
 //! The models produced by the register-saturation formulations are small
 //! (hundreds of rows and columns), dense-tableau simplex is the simplest
@@ -16,9 +16,35 @@
 //!
 //! Anti-cycling: Dantzig pricing normally, with a permanent switch to
 //! Bland's rule after an iteration budget proportional to the tableau size.
+//!
+//! ## Warm starts
+//!
+//! Branch-and-bound children differ from their parent by a single bound
+//! change, so [`solve_with_basis`] accepts the parent's optimal [`Basis`]:
+//! the child tableau is rebuilt, the hinted columns are pivoted back into
+//! the basis (skipping phase 1 entirely), and the solve resumes with dual
+//! simplex when the bound change made the basis primal-infeasible — the
+//! typical one-bound-tightening case converges in a handful of pivots. Any
+//! structural mismatch or numerical trouble falls back to the cold
+//! two-phase path, so the warm entry point is never less robust than
+//! [`solve_relaxation`].
+//!
+//! ## Pivot loop
+//!
+//! The pivot kernel is sparse-aware: the normalized pivot row is snapshot
+//! into a scratch buffer together with its nonzero index mask, and each
+//! eliminated row either walks only the nonzero columns or, when the pivot
+//! row is dense, runs a contiguous `zip` loop that the compiler
+//! autovectorizes (no per-element `row * width + col` indexing).
 
 use crate::model::{Cmp, Model, Sense};
 use crate::EPS;
+
+/// Pivot elements smaller than this are refused: instead of dividing by a
+/// near-zero (silent garbage in release builds), the solve reports
+/// [`LpOutcome::PivotTooSmall`], or falls back to the cold path when warm
+/// starting.
+const PIVOT_MIN: f64 = 1e-11;
 
 /// A feasible (optimal) LP solution.
 #[derive(Clone, Debug)]
@@ -38,6 +64,40 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded in the optimization direction.
     Unbounded,
+    /// A pivot element fell below the numeric threshold and the solve was
+    /// abandoned rather than risk a garbage result. Degenerate models fail
+    /// soft with this outcome; callers treat it as "no answer", not as a
+    /// verdict about the model.
+    PivotTooSmall,
+}
+
+/// An exportable simplex basis: the basic column per standard-form row,
+/// over the structural + slack columns (artificials are never exported).
+///
+/// Obtained from [`solve_with_basis`] and fed back as a warm-start hint for
+/// a model with the same constraint structure (branch-and-bound children
+/// qualify: bound tightenings change right-hand sides, not the row/column
+/// layout).
+#[derive(Clone, Debug)]
+pub struct Basis {
+    m: usize,
+    /// Structural + slack column count the basis was exported against.
+    ncols: usize,
+    cols: Vec<usize>,
+}
+
+/// Internal soft error: a pivot element below [`PIVOT_MIN`].
+struct PivotStall;
+
+/// Outcome of the dual simplex repair loop.
+enum DualStatus {
+    /// Primal feasibility restored; the basis is optimal (the cost row was
+    /// and stays dual feasible).
+    Feasible,
+    /// A row proves primal infeasibility.
+    Infeasible,
+    /// Iteration budget exhausted without convergence.
+    Stalled,
 }
 
 struct Tableau {
@@ -50,9 +110,25 @@ struct Tableau {
     /// Columns that may enter the basis (artificials are disabled after
     /// phase 1).
     allowed: Vec<bool>,
+    /// Reused snapshot of the normalized pivot row.
+    scratch_row: Vec<f64>,
+    /// Reused nonzero-column mask of the pivot row.
+    scratch_nz: Vec<u32>,
 }
 
 impl Tableau {
+    fn new(m: usize, ncols: usize) -> Self {
+        Tableau {
+            t: vec![0.0; (m + 1) * (ncols + 1)],
+            m,
+            ncols,
+            basis: vec![usize::MAX; m],
+            allowed: vec![true; ncols],
+            scratch_row: Vec::new(),
+            scratch_nz: Vec::new(),
+        }
+    }
+
     #[inline]
     fn at(&self, r: usize, c: usize) -> f64 {
         self.t[r * (self.ncols + 1) + c]
@@ -68,44 +144,100 @@ impl Tableau {
         self.at(r, self.ncols)
     }
 
-    fn pivot(&mut self, row: usize, col: usize) {
+    fn pivot(&mut self, row: usize, col: usize) -> Result<(), PivotStall> {
         let w = self.ncols + 1;
         let piv = self.at(row, col);
-        debug_assert!(piv.abs() > 1e-12, "pivot too small: {piv}");
+        if piv.abs() <= PIVOT_MIN {
+            return Err(PivotStall);
+        }
         // Normalize pivot row.
         let inv = 1.0 / piv;
-        let (rs, re) = (row * w, (row + 1) * w);
-        for x in &mut self.t[rs..re] {
+        let rs = row * w;
+        for x in &mut self.t[rs..rs + w] {
             *x *= inv;
         }
+        // Snapshot the normalized pivot row and its nonzero columns so the
+        // elimination below neither re-reads through `self.t` (which blocks
+        // autovectorization) nor touches columns the pivot row cannot
+        // change.
+        let mut prow = std::mem::take(&mut self.scratch_row);
+        let mut pnz = std::mem::take(&mut self.scratch_nz);
+        prow.clear();
+        prow.extend_from_slice(&self.t[rs..rs + w]);
+        pnz.clear();
+        for (j, &v) in prow.iter().enumerate() {
+            if v.abs() > 1e-13 {
+                pnz.push(j as u32);
+            }
+        }
+        let dense = pnz.len() * 2 >= w;
         // Eliminate the column elsewhere.
         for r in 0..=self.m {
             if r == row {
                 continue;
             }
-            let factor = self.at(r, col);
+            let or_s = r * w;
+            let factor = self.t[or_s + col];
             if factor.abs() <= 1e-12 {
                 continue;
             }
-            let (or_s, _or_e) = (r * w, (r + 1) * w);
-            for j in 0..w {
-                let v = self.t[rs + j];
-                self.t[or_s + j] -= factor * v;
+            let row_slice = &mut self.t[or_s..or_s + w];
+            if dense {
+                for (x, &p) in row_slice.iter_mut().zip(prow.iter()) {
+                    *x -= factor * p;
+                }
+            } else {
+                for &j in &pnz {
+                    let j = j as usize;
+                    row_slice[j] -= factor * prow[j];
+                }
             }
             // Force exact zero in the pivot column for stability.
             self.t[or_s + col] = 0.0;
         }
+        self.scratch_row = prow;
+        self.scratch_nz = pnz;
         self.basis[row] = col;
+        Ok(())
     }
 
-    /// Runs the simplex loop on the current cost row (minimization).
+    /// Lexicographic row comparison for the anti-cycling ratio test: is
+    /// `row r / a_r` lexicographically smaller than `row lr / a_lr`? The
+    /// lexicographic rule strictly decreases a lex-ordering of the basis at
+    /// every degenerate pivot, so (unlike a tolerance-windowed Bland rule
+    /// under floating-point drift) it cannot revisit a basis.
+    fn lex_less_row(&self, r: usize, a_r: f64, lr: usize, a_lr: f64) -> bool {
+        let w = self.ncols + 1;
+        let (rs, ls) = (r * w, lr * w);
+        for j in 0..w {
+            let x = self.t[rs + j] / a_r;
+            let y = self.t[ls + j] / a_lr;
+            if (x - y).abs() > 1e-12 {
+                return x < y;
+            }
+        }
+        false
+    }
+
+    /// Runs the primal simplex loop on the current cost row (minimization).
     /// Returns `false` if unbounded.
-    fn optimize(&mut self) -> bool {
+    ///
+    /// Anti-cycling: Dantzig pricing with a largest-pivot ratio tie-break
+    /// normally; after an iteration budget proportional to the tableau
+    /// size, a permanent switch to Bland entering + lexicographic leaving.
+    /// A hard cap (the massively degenerate register-saturation phase-1
+    /// systems can defeat tolerance-based rules) fails soft via
+    /// [`PivotStall`] rather than looping forever.
+    fn optimize(&mut self) -> Result<bool, PivotStall> {
         let iter_budget = 50 * (self.m + self.ncols) + 1000;
+        let hard_cap = 4 * iter_budget;
         let mut iters = 0usize;
         loop {
             iters += 1;
-            let bland = iters > iter_budget;
+            if iters > hard_cap {
+                return Err(PivotStall);
+            }
+            let lex = iters > iter_budget;
             // Entering column.
             let mut enter: Option<usize> = None;
             let mut best = -EPS;
@@ -114,7 +246,8 @@ impl Tableau {
                     continue;
                 }
                 let rc = self.at(self.m, j);
-                if bland {
+                if lex {
+                    // Bland entering: smallest index with negative cost.
                     if rc < -EPS {
                         enter = Some(j);
                         break;
@@ -125,43 +258,132 @@ impl Tableau {
                 }
             }
             let Some(col) = enter else {
-                return true; // optimal
+                return Ok(true); // optimal
             };
-            // Ratio test.
+            // Ratio test. The rhs is clamped at zero: accumulated drift can
+            // leave a basic value at -1e-13, and a negative ratio would
+            // walk the iterate out of the feasible region.
             let mut leave: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             for r in 0..self.m {
                 let a = self.at(r, col);
                 if a > 1e-9 {
-                    let ratio = self.rhs(r) / a;
-                    let better = if bland {
-                        // Bland: smallest ratio; ties by smallest basis index.
-                        ratio < best_ratio - 1e-12
-                            || (ratio < best_ratio + 1e-12
-                                && leave.is_some_and(|lr| self.basis[r] < self.basis[lr]))
-                    } else {
-                        // Prefer strictly better ratio; on ties take the
-                        // larger pivot element for numerical stability.
-                        ratio < best_ratio - 1e-12
-                            || (ratio < best_ratio + 1e-12
-                                && leave.is_some_and(|lr| a.abs() > self.at(lr, col).abs()))
+                    let ratio = self.rhs(r).max(0.0) / a;
+                    let better = match leave {
+                        None => true,
+                        Some(lr) => {
+                            if ratio < best_ratio - 1e-12 {
+                                true
+                            } else if ratio > best_ratio + 1e-12 {
+                                false
+                            } else if lex {
+                                self.lex_less_row(r, a, lr, self.at(lr, col))
+                            } else {
+                                // On ties take the larger pivot element for
+                                // numerical stability.
+                                a.abs() > self.at(lr, col).abs()
+                            }
+                        }
                     };
-                    if leave.is_none() || better {
+                    if better {
                         best_ratio = ratio;
                         leave = Some(r);
                     }
                 }
             }
             let Some(row) = leave else {
-                return false; // unbounded
+                return Ok(false); // unbounded
             };
-            self.pivot(row, col);
+            self.pivot(row, col)?;
+        }
+    }
+
+    /// Dual simplex repair: restores primal feasibility while keeping the
+    /// cost row dual feasible. Precondition: all allowed reduced costs are
+    /// `≥ -EPS`.
+    fn dual_optimize(&mut self) -> Result<DualStatus, PivotStall> {
+        let iter_budget = 50 * (self.m + self.ncols) + 1000;
+        for _ in 0..iter_budget {
+            // Leaving row: most negative right-hand side.
+            let mut row: Option<usize> = None;
+            let mut most_neg = -1e-9;
+            for r in 0..self.m {
+                let b = self.rhs(r);
+                if b < most_neg {
+                    most_neg = b;
+                    row = Some(r);
+                }
+            }
+            let Some(row) = row else {
+                return Ok(DualStatus::Feasible);
+            };
+            // Entering column: dual ratio test over negative row entries.
+            let mut col: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_a = 0.0f64;
+            for j in 0..self.ncols {
+                if !self.allowed[j] {
+                    continue;
+                }
+                let a = self.at(row, j);
+                if a < -1e-9 {
+                    let ratio = self.at(self.m, j).max(0.0) / -a;
+                    if ratio < best_ratio - 1e-12
+                        || (ratio < best_ratio + 1e-12 && a.abs() > best_a)
+                    {
+                        best_ratio = ratio;
+                        best_a = a.abs();
+                        col = Some(j);
+                    }
+                }
+            }
+            let Some(col) = col else {
+                // The row reads x_B + Σ aⱼxⱼ = b < 0 with all aⱼ ≥ 0 over
+                // nonnegative variables: infeasible.
+                return Ok(DualStatus::Infeasible);
+            };
+            self.pivot(row, col)?;
+        }
+        Ok(DualStatus::Stalled)
+    }
+
+    /// Reduces the cost row against the current basis.
+    fn reduce_cost_row(&mut self) {
+        for r in 0..self.m {
+            let b = self.basis[r];
+            let coef = self.at(self.m, b);
+            if coef.abs() > 1e-12 {
+                for j in 0..=self.ncols {
+                    let v = self.at(self.m, j) - coef * self.at(r, j);
+                    self.set(self.m, j, v);
+                }
+                self.set(self.m, b, 0.0);
+            }
         }
     }
 }
 
-/// Solves the LP relaxation of `model` (integrality is ignored).
-pub fn solve_relaxation(model: &Model) -> LpOutcome {
+/// One standard-form constraint row over shifted structural variables.
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
+/// The standard form shared by the cold and warm solve paths.
+struct StdForm {
+    n: usize,
+    m: usize,
+    lo: Vec<f64>,
+    rows: Vec<Row>,
+    n_slack: usize,
+    slack_of_row: Vec<Option<(usize, f64)>>,
+    row_sign: Vec<f64>,
+    needs_artificial: Vec<bool>,
+    n_art: usize,
+}
+
+fn std_form(model: &Model) -> StdForm {
     let n = model.num_vars();
 
     // Shifted variables: x = lo + x', x' >= 0; remember ranges.
@@ -172,12 +394,6 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
         .map(|i| model.bounds(crate::VarId(i as u32)).1)
         .collect();
 
-    // Assemble rows: (coeffs over structural vars, cmp, rhs).
-    struct Row {
-        coeffs: Vec<(usize, f64)>,
-        cmp: Cmp,
-        rhs: f64,
-    }
     let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
     for c in &model.constraints {
         let mut rhs = c.rhs;
@@ -204,37 +420,26 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
 
     let m = rows.len();
     // Column layout: [0, n) structural; then one slack/surplus per Le/Ge
-    // row; then artificials as needed.
-    let mut n_slack = 0usize;
-    for r in &rows {
-        if !matches!(r.cmp, Cmp::Eq) {
-            n_slack += 1;
-        }
-    }
-
-    // First pass to decide artificials: a row ends with +1 slack and
-    // nonnegative rhs iff it can seed the basis.
-    // Build a dense matrix incrementally.
+    // row; then artificials as needed (cold path only).
     let mut slack_of_row: Vec<Option<(usize, f64)>> = Vec::with_capacity(m);
-    {
-        let mut next = n;
-        for r in &rows {
-            match r.cmp {
-                Cmp::Le => {
-                    slack_of_row.push(Some((next, 1.0)));
-                    next += 1;
-                }
-                Cmp::Ge => {
-                    slack_of_row.push(Some((next, -1.0)));
-                    next += 1;
-                }
-                Cmp::Eq => slack_of_row.push(None),
+    let mut next = n;
+    for r in &rows {
+        match r.cmp {
+            Cmp::Le => {
+                slack_of_row.push(Some((next, 1.0)));
+                next += 1;
             }
+            Cmp::Ge => {
+                slack_of_row.push(Some((next, -1.0)));
+                next += 1;
+            }
+            Cmp::Eq => slack_of_row.push(None),
         }
-        debug_assert_eq!(next, n + n_slack);
     }
+    let n_slack = next - n;
 
-    // Negate rows with negative rhs (flips slack signs too).
+    // Negate rows with negative rhs (flips slack signs too); rows that do
+    // not end up with a ready +1 basic column need an artificial.
     let mut needs_artificial: Vec<bool> = vec![false; m];
     let mut row_sign: Vec<f64> = vec![1.0; m];
     for (i, r) in rows.iter().enumerate() {
@@ -244,94 +449,45 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
         needs_artificial[i] = slack_coef != Some(1.0);
     }
     let n_art = needs_artificial.iter().filter(|&&b| b).count();
-    let ncols = n + n_slack + n_art;
 
-    let w = ncols + 1;
-    let mut t = vec![0.0f64; (m + 1) * w];
-    let mut basis = vec![usize::MAX; m];
-    {
-        let mut art_next = n + n_slack;
-        for (i, r) in rows.iter().enumerate() {
-            let s = row_sign[i];
-            for &(j, c) in &r.coeffs {
-                t[i * w + j] += c * s;
-            }
-            if let Some((sj, sc)) = slack_of_row[i] {
-                t[i * w + sj] = sc * s;
-            }
-            t[i * w + ncols] = r.rhs * s;
-            if needs_artificial[i] {
-                t[i * w + art_next] = 1.0;
-                basis[i] = art_next;
-                art_next += 1;
-            } else {
-                basis[i] = slack_of_row[i]
-                    .expect("row without slack needs artificial")
-                    .0;
-            }
-        }
-    }
-
-    let mut tab = Tableau {
-        t,
+    StdForm {
+        n,
         m,
-        ncols,
-        basis,
-        allowed: vec![true; ncols],
-    };
-
-    // Phase 1: minimize the artificial sum. Cost row: 1 on artificials,
-    // reduce against the artificial basis rows.
-    if n_art > 0 {
-        for j in 0..ncols {
-            tab.set(m, j, if j >= n + n_slack { 1.0 } else { 0.0 });
-        }
-        tab.set(m, ncols, 0.0);
-        for r in 0..m {
-            if tab.basis[r] >= n + n_slack {
-                // subtract row r from cost row
-                for j in 0..=ncols {
-                    let v = tab.at(m, j) - tab.at(r, j);
-                    tab.set(m, j, v);
-                }
-            }
-        }
-        let ok = tab.optimize();
-        debug_assert!(ok, "phase 1 cannot be unbounded");
-        let art_sum = -tab.rhs(m);
-        if art_sum > 1e-6 {
-            return LpOutcome::Infeasible;
-        }
-        // Drive remaining (degenerate) artificials out of the basis.
-        for r in 0..m {
-            if tab.basis[r] >= n + n_slack {
-                let mut pivot_col = None;
-                for j in 0..n + n_slack {
-                    if tab.at(r, j).abs() > 1e-9 {
-                        pivot_col = Some(j);
-                        break;
-                    }
-                }
-                if let Some(j) = pivot_col {
-                    tab.pivot(r, j);
-                }
-                // else: the row is redundant; the artificial stays basic at 0
-                // and its column stays disallowed, which is harmless.
-            }
-        }
-        // Artificials may never re-enter.
-        for j in n + n_slack..ncols {
-            tab.allowed[j] = false;
-        }
+        lo,
+        rows,
+        n_slack,
+        slack_of_row,
+        row_sign,
+        needs_artificial,
+        n_art,
     }
+}
 
-    // Phase 2 cost row: minimize (negate objective if maximizing), over the
-    // shifted variables.
+/// Fills the structural, slack, and rhs entries of a tableau whose column
+/// count is at least `n + n_slack`.
+fn fill_core(tab: &mut Tableau, sf: &StdForm) {
+    let w = tab.ncols + 1;
+    for (i, r) in sf.rows.iter().enumerate() {
+        let s = sf.row_sign[i];
+        for &(j, c) in &r.coeffs {
+            tab.t[i * w + j] += c * s;
+        }
+        if let Some((sj, sc)) = sf.slack_of_row[i] {
+            tab.t[i * w + sj] = sc * s;
+        }
+        tab.t[i * w + tab.ncols] = r.rhs * s;
+    }
+}
+
+/// Installs the phase-2 cost row (minimization of the model objective over
+/// the shifted structural variables).
+fn set_phase2_cost(tab: &mut Tableau, model: &Model) {
     let minimize_sign = match model.sense() {
         Sense::Minimize => 1.0,
         Sense::Maximize => -1.0,
     };
-    for j in 0..=ncols {
+    let m = tab.m;
+    for j in 0..=tab.ncols {
         tab.set(m, j, 0.0);
     }
     for &(v, c) in &model.objective.terms {
@@ -339,33 +495,198 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
         let cur = tab.at(m, j);
         tab.set(m, j, cur + minimize_sign * c);
     }
-    // Reduce the cost row against the current basis.
-    for r in 0..m {
-        let b = tab.basis[r];
-        let coef = tab.at(m, b);
-        if coef.abs() > 1e-12 {
-            for j in 0..=ncols {
-                let v = tab.at(m, j) - coef * tab.at(r, j);
-                tab.set(m, j, v);
-            }
-            tab.set(m, b, 0.0);
-        }
-    }
-    if !tab.optimize() {
-        return LpOutcome::Unbounded;
-    }
+}
 
-    // Extract structural values.
-    let mut shifted = vec![0.0f64; ncols];
-    for r in 0..m {
+/// Extracts the structural solution from an optimal tableau.
+fn extract(tab: &Tableau, sf: &StdForm, model: &Model) -> Solution {
+    let mut shifted = vec![0.0f64; tab.ncols];
+    for r in 0..tab.m {
         let b = tab.basis[r];
-        if b < ncols {
+        if b < tab.ncols {
             shifted[b] = tab.rhs(r);
         }
     }
-    let values: Vec<f64> = (0..n).map(|i| lo[i] + shifted[i]).collect();
+    let values: Vec<f64> = (0..sf.n).map(|i| sf.lo[i] + shifted[i]).collect();
     let objective = model.objective.eval(&values);
-    LpOutcome::Optimal(Solution { values, objective })
+    Solution { values, objective }
+}
+
+/// Exports the basis when it is artificial-free (it always is on the warm
+/// path; a cold solve may leave a degenerate artificial basic).
+fn export_basis(tab: &Tableau, sf: &StdForm) -> Option<Basis> {
+    let core = sf.n + sf.n_slack;
+    if tab.basis.iter().all(|&b| b < core) {
+        Some(Basis {
+            m: sf.m,
+            ncols: core,
+            cols: tab.basis.clone(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Solves the LP relaxation of `model` (integrality is ignored).
+pub fn solve_relaxation(model: &Model) -> LpOutcome {
+    solve_with_basis(model, None).0
+}
+
+/// Solves the LP relaxation, optionally warm-starting from a [`Basis`]
+/// exported by a previous solve of a structurally identical model (same
+/// rows and columns; bound tightenings qualify). Returns the outcome and,
+/// when optimal, the basis to seed the next solve with.
+///
+/// Fast path: if the hinted basis is still primal feasible and dual
+/// feasible after the bound change, the solve finishes with **zero**
+/// simplex pivots. A primal-infeasible hint is repaired by dual simplex;
+/// anything else falls back to the cold two-phase solve.
+pub fn solve_with_basis(model: &Model, hint: Option<&Basis>) -> (LpOutcome, Option<Basis>) {
+    let sf = std_form(model);
+    if let Some(h) = hint {
+        if let Some(result) = warm_solve(model, &sf, h) {
+            return result;
+        }
+    }
+    cold_solve(model, &sf)
+}
+
+/// The warm path: rebuild the tableau without artificials, pivot the hinted
+/// columns back into the basis, and resume. `None` means "fall back to the
+/// cold path" (structural mismatch or numerical trouble) and is not a
+/// verdict about the model.
+fn warm_solve(model: &Model, sf: &StdForm, hint: &Basis) -> Option<(LpOutcome, Option<Basis>)> {
+    let core = sf.n + sf.n_slack;
+    if hint.m != sf.m || hint.ncols != core || hint.cols.len() != sf.m {
+        return None;
+    }
+    let mut tab = Tableau::new(sf.m, core);
+    fill_core(&mut tab, sf);
+
+    // Re-install the hinted basis by Gaussian pivoting. The basis matrix is
+    // nonsingular for the parent model and row sign flips preserve that,
+    // but the fixed pairing order can still hit a small pivot — fall back
+    // cold in that case.
+    for r in 0..sf.m {
+        let c = hint.cols[r];
+        if c >= core || tab.at(r, c).abs() <= 1e-9 {
+            return None;
+        }
+        tab.pivot(r, c).ok()?;
+    }
+
+    set_phase2_cost(&mut tab, model);
+    tab.reduce_cost_row();
+
+    let primal_feasible = (0..sf.m).all(|r| tab.rhs(r) >= -1e-9);
+    if !primal_feasible {
+        // Bound tightenings leave the parent's reduced costs intact, so the
+        // cost row is normally still dual feasible and dual simplex repairs
+        // feasibility in a few pivots. If dual feasibility was lost too,
+        // the hint is useless: go cold.
+        let dual_feasible = (0..core).all(|j| tab.at(sf.m, j) >= -EPS);
+        if !dual_feasible {
+            return None;
+        }
+        match tab.dual_optimize() {
+            Ok(DualStatus::Feasible) => {}
+            Ok(DualStatus::Infeasible) => return Some((LpOutcome::Infeasible, None)),
+            Ok(DualStatus::Stalled) | Err(PivotStall) => return None,
+        }
+    }
+    match tab.optimize() {
+        Ok(true) => {
+            let sol = extract(&tab, sf, model);
+            let basis = export_basis(&tab, sf);
+            Some((LpOutcome::Optimal(sol), basis))
+        }
+        Ok(false) => Some((LpOutcome::Unbounded, None)),
+        Err(PivotStall) => None,
+    }
+}
+
+/// The cold two-phase path.
+fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>) {
+    let core = sf.n + sf.n_slack;
+    let ncols = core + sf.n_art;
+    let mut tab = Tableau::new(sf.m, ncols);
+    fill_core(&mut tab, sf);
+    {
+        let w = ncols + 1;
+        let mut art_next = core;
+        for i in 0..sf.m {
+            if sf.needs_artificial[i] {
+                tab.t[i * w + art_next] = 1.0;
+                tab.basis[i] = art_next;
+                art_next += 1;
+            } else {
+                tab.basis[i] = sf.slack_of_row[i]
+                    .expect("row without slack needs artificial")
+                    .0;
+            }
+        }
+    }
+
+    // Phase 1: minimize the artificial sum. Cost row: 1 on artificials,
+    // reduce against the artificial basis rows.
+    if sf.n_art > 0 {
+        let m = sf.m;
+        for j in 0..ncols {
+            tab.set(m, j, if j >= core { 1.0 } else { 0.0 });
+        }
+        tab.set(m, ncols, 0.0);
+        for r in 0..m {
+            if tab.basis[r] >= core {
+                // subtract row r from cost row
+                for j in 0..=ncols {
+                    let v = tab.at(m, j) - tab.at(r, j);
+                    tab.set(m, j, v);
+                }
+            }
+        }
+        match tab.optimize() {
+            Ok(ok) => debug_assert!(ok, "phase 1 cannot be unbounded"),
+            Err(PivotStall) => return (LpOutcome::PivotTooSmall, None),
+        }
+        let art_sum = -tab.rhs(m);
+        if art_sum > 1e-6 {
+            return (LpOutcome::Infeasible, None);
+        }
+        // Drive remaining (degenerate) artificials out of the basis.
+        for r in 0..sf.m {
+            if tab.basis[r] >= core {
+                let mut pivot_col = None;
+                for j in 0..core {
+                    if tab.at(r, j).abs() > 1e-9 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                if let Some(j) = pivot_col {
+                    if tab.pivot(r, j).is_err() {
+                        return (LpOutcome::PivotTooSmall, None);
+                    }
+                }
+                // else: the row is redundant; the artificial stays basic at 0
+                // and its column stays disallowed, which is harmless.
+            }
+        }
+        // Artificials may never re-enter.
+        for j in core..ncols {
+            tab.allowed[j] = false;
+        }
+    }
+
+    set_phase2_cost(&mut tab, model);
+    tab.reduce_cost_row();
+    match tab.optimize() {
+        Ok(true) => {
+            let sol = extract(&tab, sf, model);
+            let basis = export_basis(&tab, sf);
+            (LpOutcome::Optimal(sol), basis)
+        }
+        Ok(false) => (LpOutcome::Unbounded, None),
+        Err(PivotStall) => (LpOutcome::PivotTooSmall, None),
+    }
 }
 
 #[cfg(test)]
@@ -514,5 +835,148 @@ mod tests {
         m.set_objective(LinExpr::from(x) + y + z);
         let s = optimal(&m);
         assert!(m.check_feasible(&s.values, 1e-5).is_ok());
+    }
+
+    // ---- warm-start coverage ----
+
+    /// A model with all-finite bounds (the B&B shape) to exercise the warm
+    /// path: max 3x + 2y + z s.t. x + y + z <= 10, x + 2y <= 8.
+    fn bounded_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 6.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 6.0);
+        let z = m.add_var("z", VarKind::Continuous, 0.0, 6.0);
+        m.add_constraint(LinExpr::from(x) + y + z, Cmp::Le, 10.0);
+        m.add_constraint(LinExpr::from(x) + (2.0, y), Cmp::Le, 8.0);
+        m.set_objective(LinExpr::from(x) * 3.0 + (2.0, y) + z);
+        m
+    }
+
+    fn warm_optimal(m: &Model, hint: Option<&Basis>) -> (Solution, Option<Basis>) {
+        match solve_with_basis(m, hint) {
+            (LpOutcome::Optimal(s), b) => (s, b),
+            (other, _) => panic!("expected optimal, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn cold_solve_exports_reusable_basis() {
+        let m = bounded_model();
+        let (s1, basis) = warm_optimal(&m, None);
+        let basis = basis.expect("bounded model exports a basis");
+        // Re-solving the identical model from its own basis is the
+        // zero-pivot fast path and must reproduce the optimum.
+        let (s2, _) = warm_optimal(&m, Some(&basis));
+        assert!((s1.objective - s2.objective).abs() < 1e-9);
+        assert_eq!(s1.values.len(), s2.values.len());
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_bound_tightening() {
+        let m = bounded_model();
+        let (cold_parent, basis) = warm_optimal(&m, None);
+        let basis = basis.unwrap();
+        // Tighten x's upper bound below its optimal value — exactly what a
+        // branch-and-bound "down" child does.
+        for new_hi in [5.0, 4.0, 2.0, 1.0, 0.0] {
+            let mut child = m.clone();
+            child.set_bounds(crate::VarId(0), 0.0, new_hi);
+            let (warm, _) = warm_optimal(&child, Some(&basis));
+            let (cold, _) = warm_optimal(&child, None);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "hi={new_hi}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(child.check_feasible(&warm.values, 1e-6).is_ok());
+            // the tightened child can never beat the parent
+            assert!(warm.objective <= cold_parent.objective + 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_matches_cold_after_lower_bound_raise() {
+        let m = bounded_model();
+        let (_, basis) = warm_optimal(&m, None);
+        let basis = basis.unwrap();
+        for new_lo in [1.0, 2.0, 3.0] {
+            let mut child = m.clone();
+            child.set_bounds(crate::VarId(1), new_lo, 6.0);
+            let (warm, _) = warm_optimal(&child, Some(&basis));
+            let (cold, _) = warm_optimal(&child, None);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "lo={new_lo}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+        // y >= 5 forces x + 2y >= 10 > 8: warm and cold must both say
+        // infeasible.
+        let mut child = m.clone();
+        child.set_bounds(crate::VarId(1), 5.0, 6.0);
+        let (out, _) = solve_with_basis(&child, Some(&basis));
+        assert!(matches!(out, LpOutcome::Infeasible), "got {out:?}");
+        assert!(matches!(solve_relaxation(&child), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn warm_start_detects_infeasible_child() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Ge, 8.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let (_, basis) = warm_optimal(&m, None);
+        // x <= 3, y <= 3 cannot reach x + y >= 8.
+        let mut child = m.clone();
+        child.set_bounds(crate::VarId(0), 0.0, 3.0);
+        child.set_bounds(crate::VarId(1), 0.0, 3.0);
+        let (out, _) = solve_with_basis(&child, basis.as_ref());
+        assert!(matches!(out, LpOutcome::Infeasible), "got {out:?}");
+        // cold agrees
+        assert!(matches!(solve_relaxation(&child), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn mismatched_basis_falls_back_to_cold() {
+        let m = bounded_model();
+        let (_, basis) = warm_optimal(&m, None);
+        let basis = basis.unwrap();
+        // A different model (extra constraint => different row count): the
+        // hint must be rejected, not crash or corrupt the answer.
+        let mut other = bounded_model();
+        other.add_constraint(
+            LinExpr::from(crate::VarId(0)) + crate::VarId(1),
+            Cmp::Le,
+            7.0,
+        );
+        let (warm, _) = warm_optimal(&other, Some(&basis));
+        let (cold, _) = warm_optimal(&other, None);
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_start_chain_over_many_tightenings() {
+        // Chained warm starts (basis of each solve feeds the next) across a
+        // sweep of bound tightenings — the exact access pattern of a DFS
+        // dive in branch-and-bound.
+        let m = bounded_model();
+        let (_, mut basis) = warm_optimal(&m, None);
+        let mut child = m.clone();
+        for step in 0..5 {
+            let hi = 5.0 - step as f64;
+            child.set_bounds(crate::VarId(2), 0.0, hi);
+            let (warm, next) = warm_optimal(&child, basis.as_ref());
+            let (cold, _) = warm_optimal(&child, None);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "step {step}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            basis = next.or(basis);
+        }
     }
 }

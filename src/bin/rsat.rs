@@ -1,17 +1,22 @@
 //! `rsat` — register-saturation command-line tool.
 //!
 //! ```text
-//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact]
+//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--threads N]
 //! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]
 //! rsat pipeline <file.ddg> --registers N [--issue 1|4|8]
 //! rsat dot      <file.ddg>
 //! ```
+//!
+//! `--threads N` runs the exact solvers (`--exact` combinatorial search,
+//! `--ilp` intLP branch-and-bound) with `N` parallel workers; the reported
+//! saturations are identical for every thread count.
 //!
 //! The input format is documented in `rs_core::parse`. Examples live in
 //! `examples/data/*.ddg`.
 
 use rs_core::exact::ExactRs;
 use rs_core::heuristic::GreedyK;
+use rs_core::ilp::RsIlp;
 use rs_core::model::{Ddg, RegType};
 use rs_core::parse::{parse_ddg, print_ddg};
 use rs_core::reduce::{ReduceOutcome, Reducer};
@@ -27,7 +32,9 @@ fn main() -> ExitCode {
             eprintln!("rsat: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  rsat analyze  <file.ddg> [--type float|int|branch] [--exact]");
+            eprintln!(
+                "  rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--threads N]"
+            );
             eprintln!(
                 "  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]"
             );
@@ -53,8 +60,22 @@ fn run(args: &[String]) -> Result<(), String> {
         })
         .transpose()?;
 
+    let threads = match flag_value(args, "--threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| "bad --threads value".to_string())?
+            .max(1),
+        None => 1,
+    };
+
     match cmd.as_str() {
-        "analyze" => analyze(&ddg, reg_type, args.iter().any(|a| a == "--exact")),
+        "analyze" => analyze(
+            &ddg,
+            reg_type,
+            args.iter().any(|a| a == "--exact"),
+            args.iter().any(|a| a == "--ilp"),
+            threads,
+        ),
         "reduce" => reduce(
             ddg,
             reg_type,
@@ -97,7 +118,13 @@ fn types_to_analyse(ddg: &Ddg, requested: Option<RegType>) -> Vec<RegType> {
     }
 }
 
-fn analyze(ddg: &Ddg, reg_type: Option<RegType>, exact: bool) -> Result<(), String> {
+fn analyze(
+    ddg: &Ddg,
+    reg_type: Option<RegType>,
+    exact: bool,
+    ilp: bool,
+    threads: usize,
+) -> Result<(), String> {
     println!(
         "{} operations (incl. ⊥), {} edges, critical path {}",
         ddg.num_ops(),
@@ -113,7 +140,7 @@ fn analyze(ddg: &Ddg, reg_type: Option<RegType>, exact: bool) -> Result<(), Stri
             h.saturation
         );
         if exact {
-            let e = ExactRs::new().saturation(ddg, t);
+            let e = ExactRs::with_threads(threads).saturation(ddg, t);
             print!(
                 ", exact RS = {}{}",
                 e.saturation,
@@ -123,6 +150,20 @@ fn analyze(ddg: &Ddg, reg_type: Option<RegType>, exact: bool) -> Result<(), Stri
                     " (budget-limited)"
                 }
             );
+        }
+        if ilp {
+            match RsIlp::with_threads(threads).saturation(ddg, t) {
+                Ok(r) => print!(
+                    ", intLP RS = {}{}",
+                    r.saturation,
+                    if r.proven_optimal {
+                        ""
+                    } else {
+                        " (budget-limited)"
+                    }
+                ),
+                Err(e) => print!(", intLP failed: {e}"),
+            }
         }
         println!();
         let names: Vec<String> = h

@@ -1,0 +1,88 @@
+//! Parallel-vs-sequential agreement of the MILP engine on real
+//! register-saturation models.
+//!
+//! The branch-and-bound node pool promises that the optimal objective is
+//! independent of the worker thread count. These tests check that promise
+//! on the actual Section-3 intLP models (not just synthetic knapsacks):
+//! random kernels are generated, their saturation models built, and each is
+//! solved with 1 and 4 threads; objectives must match exactly and both
+//! witnesses must be feasible.
+
+use proptest::prelude::*;
+use rs_core::ilp::RsIlp;
+use rs_core::model::{RegType, Target};
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+use rs_lp::MilpConfig;
+
+/// Builds the saturation intLP of a seeded random kernel; `None` when the
+/// kernel has fewer than two float values (trivial model).
+fn rs_model(ops: usize, seed: u64) -> Option<rs_lp::Model> {
+    let cfg = RandomDagConfig::sized(ops, seed);
+    let ddg = random_ddg(&cfg, Target::superscalar());
+    if ddg.values(RegType::FLOAT).len() < 2 {
+        return None;
+    }
+    Some(RsIlp::new().build_model(&ddg, RegType::FLOAT).0)
+}
+
+proptest! {
+    // Each case solves a full intLP twice; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn threads_dont_change_rs_objective(
+        ops in 8usize..=12,
+        seed in 0u64..200,
+    ) {
+        let Some(model) = rs_model(ops, 0x5EED_7000 + seed) else {
+            return Ok(());
+        };
+        let seq = rs_lp::solve(&model, &MilpConfig::default());
+        let par = rs_lp::solve(&model, &MilpConfig::with_threads(4));
+        match (seq, par) {
+            (Ok(s), Ok(p)) => {
+                // Only compare proven optima: a budget-limited incumbent is
+                // legitimately exploration-order dependent.
+                if !(s.stats.proven_optimal && p.stats.proven_optimal) {
+                    return Ok(());
+                }
+                prop_assert_eq!(
+                    s.objective.round() as i64,
+                    p.objective.round() as i64,
+                    "ops={} seed={}", ops, seed
+                );
+                prop_assert!(model.check_feasible(&s.values, 1e-5).is_ok());
+                prop_assert!(model.check_feasible(&p.values, 1e-5).is_ok());
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(
+                false,
+                "thread count changed the outcome class: seq {:?} vs par {:?}",
+                a.map(|s| s.objective), b.map(|s| s.objective)
+            ),
+        }
+    }
+}
+
+#[test]
+fn exact_rs_threads_agree_on_kernels() {
+    // The combinatorial exact solver's root split must match its
+    // sequential saturation on the named kernel corpus.
+    use rs_core::exact::ExactRs;
+    for k in rs_kernels::corpus() {
+        let ddg = (k.build)(Target::superscalar());
+        for t in ddg.reg_types() {
+            if ddg.values(t).len() < 2 {
+                continue;
+            }
+            let seq = ExactRs::new().saturation(&ddg, t);
+            let par = ExactRs::with_threads(4).saturation(&ddg, t);
+            assert_eq!(
+                seq.saturation, par.saturation,
+                "kernel {} type {:?}",
+                k.name, t
+            );
+            assert_eq!(seq.proven_optimal, par.proven_optimal);
+        }
+    }
+}
