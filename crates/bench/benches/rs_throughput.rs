@@ -1,0 +1,218 @@
+//! Throughput benchmark for the batch analysis engine: DAGs/second of
+//! register-saturation analysis over the kernel + random corpus,
+//! batched scratch-reuse ([`rs_core::engine::RsEngine`]) vs the one-shot
+//! reference path ([`rs_core::heuristic::GreedyK`]), plus a `--jobs`-style
+//! parallel grid with one engine per worker.
+//!
+//! Hand-rolled harness (criterion convention: `cargo bench` runs the full
+//! grid, `--test` a smoke grid) because the quantity of interest is
+//! wall-clock corpus throughput, not per-iteration micro-times; the JSON
+//! perf report lands in `results/rs_throughput.json` for the CI artifact.
+//!
+//! Asserted invariants:
+//! - batched and one-shot saturations are identical per case;
+//! - the batched single-threaded path is ≥ 1.3× the one-shot path
+//!   (the scratch reuse must actually pay for itself);
+//! - on hosts with ≥ 4 hardware threads, 4 workers are ≥ 2× one worker.
+
+use rs_bench::common::{kernel_cases, random_cases, write_report, Case};
+use rs_core::engine::RsEngine;
+use rs_core::heuristic::GreedyK;
+use rs_core::model::Target;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Cell {
+    path: &'static str,
+    jobs: usize,
+    dags: usize,
+    millis: f64,
+    dags_per_sec: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    bench_mode: bool,
+    host_parallelism: usize,
+    corpus_cases: usize,
+    passes: usize,
+    cells: Vec<Cell>,
+    /// Batched (1 worker) over one-shot throughput — the scratch-reuse win.
+    speedup_batched_1t: f64,
+    /// 4-worker over 1-worker batched throughput (absent in smoke mode).
+    speedup_4_jobs: Option<f64>,
+}
+
+fn build_corpus(bench_mode: bool) -> Vec<Case> {
+    let target = Target::superscalar();
+    let mut cases = kernel_cases(target.clone());
+    let (sizes, count): (&[usize], usize) = if bench_mode {
+        (&[16, 24, 32, 48], 4)
+    } else {
+        (&[12, 16, 24], 2)
+    };
+    cases.extend(random_cases(sizes, count, target));
+    cases
+}
+
+/// One full corpus pass on the one-shot path; returns the saturations.
+fn one_shot_pass(cases: &[Case]) -> Vec<usize> {
+    cases
+        .iter()
+        .map(|c| GreedyK::new().saturation(&c.ddg, c.reg_type).saturation)
+        .collect()
+}
+
+/// One full corpus pass on a shared warm engine.
+fn batched_pass(engine: &mut RsEngine, cases: &[Case]) -> Vec<usize> {
+    cases
+        .iter()
+        .map(|c| engine.analyze(&c.ddg, c.reg_type).saturation)
+        .collect()
+}
+
+/// `passes` corpus passes across `jobs` workers, one warm engine each (the
+/// `rsat corpus --jobs N` execution model). Threads and engines persist for
+/// the whole run — a single shared counter over `passes × cases` items, so
+/// the comparison against the 1-worker cell (one warm engine throughout) is
+/// apples-to-apples.
+fn parallel_batched(cases: &[Case], jobs: usize, passes: usize) -> f64 {
+    let total = cases.len() * passes;
+    let next = AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                let mut engine = RsEngine::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let c = &cases[i % cases.len()];
+                    std::hint::black_box(engine.analyze(&c.ddg, c.reg_type).saturation);
+                }
+            });
+        }
+    });
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bench_mode = args.iter().any(|a| a == "--bench") && !args.iter().any(|a| a == "--test");
+    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let cases = build_corpus(bench_mode);
+    let passes = if bench_mode { 12 } else { 4 };
+    let dags = cases.len() * passes;
+    println!(
+        "rs_throughput: {} cases × {passes} passes, host parallelism {host_parallelism}",
+        cases.len()
+    );
+
+    // Correctness gate: the batched engine must reproduce the one-shot
+    // saturations exactly before any timing counts.
+    let reference = one_shot_pass(&cases);
+    let mut warm = RsEngine::new();
+    let batched_sats = batched_pass(&mut warm, &cases);
+    assert_eq!(
+        reference, batched_sats,
+        "batched engine diverged from the one-shot path"
+    );
+
+    let mut cells = Vec::new();
+    println!(
+        "{:>10} {:>6} {:>8} {:>12} {:>12}",
+        "path", "jobs", "dags", "millis", "dags/sec"
+    );
+    let mut record = |path: &'static str, jobs: usize, millis: f64| -> f64 {
+        let dags_per_sec = dags as f64 / (millis / 1e3);
+        println!("{path:>10} {jobs:>6} {dags:>8} {millis:>12.1} {dags_per_sec:>12.0}");
+        cells.push(Cell {
+            path,
+            jobs,
+            dags,
+            millis,
+            dags_per_sec,
+        });
+        dags_per_sec
+    };
+
+    // One-shot reference path (fresh allocations per DAG and per candidate).
+    let start = Instant::now();
+    for _ in 0..passes {
+        std::hint::black_box(one_shot_pass(&cases));
+    }
+    let one_shot_rate = record("one_shot", 1, start.elapsed().as_secs_f64() * 1e3);
+
+    // Batched path, single worker: pure scratch-reuse gain.
+    let mut engine = RsEngine::new();
+    let start = Instant::now();
+    for _ in 0..passes {
+        std::hint::black_box(batched_pass(&mut engine, &cases));
+    }
+    let batched_rate = record("batched", 1, start.elapsed().as_secs_f64() * 1e3);
+
+    // Parallel grid.
+    let jobs_grid: &[usize] = if bench_mode { &[2, 4] } else { &[2] };
+    let mut rate_of_jobs = vec![(1usize, batched_rate)];
+    for &jobs in jobs_grid {
+        let millis = parallel_batched(&cases, jobs, passes);
+        rate_of_jobs.push((jobs, record("batched", jobs, millis)));
+    }
+
+    let speedup_batched_1t = batched_rate / one_shot_rate;
+    println!("batched vs one-shot (single-threaded): {speedup_batched_1t:.2}x");
+    assert!(
+        speedup_batched_1t >= 1.3,
+        "batched scratch-reuse path must be >= 1.3x the one-shot path, got {speedup_batched_1t:.2}x"
+    );
+
+    let speedup_4_jobs = rate_of_jobs
+        .iter()
+        .find(|&&(j, _)| j == 4)
+        .map(|&(_, r)| r / batched_rate);
+    if let Some(s) = speedup_4_jobs {
+        println!("4 workers vs 1 worker: {s:.2}x");
+        if host_parallelism >= 4 {
+            assert!(
+                s >= 2.0,
+                "expected >= 2x throughput at 4 workers on a >= 4-core host, got {s:.2}x"
+            );
+        } else {
+            println!(
+                "(host has only {host_parallelism} hardware thread(s); parallel assertion skipped)"
+            );
+        }
+    }
+
+    let report = Report {
+        bench_mode,
+        host_parallelism,
+        corpus_cases: cases.len(),
+        passes,
+        cells,
+        speedup_batched_1t,
+        speedup_4_jobs,
+    };
+    let out_dir = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results"));
+    let text = format!(
+        "rs_throughput: {} cases × {} passes; batched/one-shot speedup {:.2}x; \
+         4-worker speedup {}\n",
+        report.corpus_cases,
+        report.passes,
+        report.speedup_batched_1t,
+        report
+            .speedup_4_jobs
+            .map_or("n/a".to_string(), |s| format!("{s:.2}x")),
+    );
+    write_report(&out_dir, "rs_throughput", &text, &report);
+    println!(
+        "report written to {}",
+        out_dir.join("rs_throughput.json").display()
+    );
+}

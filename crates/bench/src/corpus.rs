@@ -1,0 +1,574 @@
+//! The parallel corpus driver behind `rsat corpus <dir>`: walk a directory
+//! of `.ddg` files, analyse (and optionally reduce or pipeline) each one on
+//! a pool of scoped-thread workers — one [`RsEngine`] per worker, so every
+//! thread keeps its own warm [`rs_core::engine::AnalysisScratch`] — and
+//! produce a JSON-serializable summary.
+//!
+//! Error containment is per file: a malformed `.ddg` becomes an `ok: false`
+//! entry carrying the parse error and the run continues. Summaries are
+//! deterministic in everything except wall-clock fields, independent of
+//! `jobs` (asserted by `tests/corpus_cli.rs`).
+
+use rs_core::engine::RsEngine;
+use rs_core::model::{Ddg, RegType};
+use rs_core::parse::parse_ddg;
+use rs_core::pipeline::Pipeline;
+use rs_core::reduce::ReduceOutcome;
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What to run per file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CorpusMode {
+    /// Saturation analysis of every register type.
+    Analyze,
+    /// Analysis plus reduction to the given per-type budget.
+    Reduce {
+        /// Register budget per type.
+        registers: usize,
+    },
+    /// Analysis plus the full Figure-1 pipeline under a uniform budget.
+    Pipeline {
+        /// Register budget per type.
+        registers: usize,
+    },
+}
+
+/// Corpus run configuration.
+#[derive(Clone, Debug)]
+pub struct CorpusOptions {
+    /// Worker threads (clamped to ≥ 1).
+    pub jobs: usize,
+    /// Per-file work.
+    pub mode: CorpusMode,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions {
+            jobs: 1,
+            mode: CorpusMode::Analyze,
+        }
+    }
+}
+
+/// Per-type analysis outcome of one file.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct CorpusTypeSummary {
+    /// Register type (index form, as in `rs_core::pipeline::TypeReport`).
+    pub reg_type: u8,
+    /// Number of values of this type.
+    pub values: usize,
+    /// Greedy-k saturation estimate `RS*` (in reduce/pipeline modes: the
+    /// estimate immediately before this type's reduction).
+    pub saturation: usize,
+    /// Reduction outcome (reduce/pipeline modes only).
+    pub reduce: Option<CorpusReduceSummary>,
+}
+
+/// Reduction outcome of one (file, type) pair.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct CorpusReduceSummary {
+    /// Register budget applied.
+    pub budget: usize,
+    /// Saturation after reduction (best reached when `fits` is false).
+    pub rs_after: usize,
+    /// Serialization arcs added.
+    pub arcs_added: usize,
+    /// Critical path before reduction.
+    pub cp_before: i64,
+    /// Critical path after reduction.
+    pub cp_after: i64,
+    /// Whether the budget was met.
+    pub fits: bool,
+}
+
+/// Outcome of one corpus file.
+#[derive(Clone, Debug, Serialize)]
+pub struct CorpusFileSummary {
+    /// File name relative to the corpus directory.
+    pub file: String,
+    /// Whether the file parsed and analysed.
+    pub ok: bool,
+    /// Parse/analysis error when `ok` is false.
+    pub error: Option<String>,
+    /// Operation count (incl. ⊥); 0 when the file failed to parse.
+    pub ops: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// Critical path length.
+    pub critical_path: i64,
+    /// Per-type outcomes, ascending register type.
+    pub types: Vec<CorpusTypeSummary>,
+    /// Wall-clock milliseconds spent on this file (excluded from the
+    /// `jobs`-independence guarantee).
+    pub millis: f64,
+}
+
+impl CorpusFileSummary {
+    /// The `jobs`-independent content of this entry (everything except
+    /// timing) — what `--jobs 1` and `--jobs N` runs must agree on.
+    pub fn deterministic_view(
+        &self,
+    ) -> (
+        &str,
+        bool,
+        &Option<String>,
+        usize,
+        usize,
+        i64,
+        &[CorpusTypeSummary],
+    ) {
+        (
+            &self.file,
+            self.ok,
+            &self.error,
+            self.ops,
+            self.edges,
+            self.critical_path,
+            &self.types,
+        )
+    }
+}
+
+/// Summary of a whole corpus run.
+#[derive(Clone, Debug, Serialize)]
+pub struct CorpusSummary {
+    /// Corpus directory as given.
+    pub dir: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Mode label (`"analyze"`, `"reduce"`, `"pipeline"`).
+    pub mode: String,
+    /// Files discovered.
+    pub file_count: usize,
+    /// Files analysed successfully.
+    pub analyzed: usize,
+    /// Files skipped with an error entry.
+    pub failed: usize,
+    /// Total wall-clock milliseconds of the parallel region.
+    pub total_millis: f64,
+    /// Per-file entries, sorted by file name.
+    pub files: Vec<CorpusFileSummary>,
+}
+
+/// Runs the corpus under `dir`. Returns an error only for driver-level
+/// failures (unreadable directory, no `.ddg` files); malformed corpus files
+/// are contained as `ok: false` entries.
+pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, String> {
+    if let CorpusMode::Reduce { registers } | CorpusMode::Pipeline { registers } = opts.mode {
+        if registers == 0 {
+            return Err("register budget must be at least 1".to_string());
+        }
+    }
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?
+        .filter_map(|entry| {
+            let path = entry.ok()?.path();
+            (path.is_file() && path.extension().is_some_and(|x| x == "ddg")).then_some(path)
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .ddg files in {}", dir.display()));
+    }
+
+    let jobs = opts.jobs.clamp(1, paths.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<CorpusFileSummary>> = (0..paths.len()).map(|_| None).collect();
+    let results = Mutex::new(&mut slots);
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| {
+                // Per-worker engine: a private scratch, warm across files.
+                let mut engine = RsEngine::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(path) = paths.get(i) else { break };
+                    let summary = run_file(&mut engine, dir, path, opts.mode);
+                    results.lock().unwrap()[i] = Some(summary);
+                }
+            });
+        }
+    });
+    let total_millis = start.elapsed().as_secs_f64() * 1e3;
+
+    let files: Vec<CorpusFileSummary> = slots
+        .into_iter()
+        .map(|s| s.expect("worker filled every slot"))
+        .collect();
+    let analyzed = files.iter().filter(|f| f.ok).count();
+    Ok(CorpusSummary {
+        dir: dir.display().to_string(),
+        jobs,
+        mode: match opts.mode {
+            CorpusMode::Analyze => "analyze".into(),
+            CorpusMode::Reduce { .. } => "reduce".into(),
+            CorpusMode::Pipeline { .. } => "pipeline".into(),
+        },
+        file_count: files.len(),
+        analyzed,
+        failed: files.len() - analyzed,
+        total_millis,
+        files,
+    })
+}
+
+fn run_file(engine: &mut RsEngine, dir: &Path, path: &Path, mode: CorpusMode) -> CorpusFileSummary {
+    let name = path.strip_prefix(dir).unwrap_or(path).display().to_string();
+    let start = Instant::now();
+    let fail = |error: String, start: Instant| CorpusFileSummary {
+        file: name.clone(),
+        ok: false,
+        error: Some(error),
+        ops: 0,
+        edges: 0,
+        critical_path: 0,
+        types: Vec::new(),
+        millis: start.elapsed().as_secs_f64() * 1e3,
+    };
+
+    let input = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return fail(format!("cannot read: {e}"), start),
+    };
+    let mut ddg = match parse_ddg(&input) {
+        Ok(d) => d,
+        Err(e) => return fail(e.to_string(), start),
+    };
+
+    let ops = ddg.num_ops();
+    let edges = ddg.graph().edge_count();
+    let critical_path = ddg.critical_path();
+    let reg_types = ddg.reg_types();
+
+    // Each mode computes every saturation exactly once: in reduce/pipeline
+    // modes the downstream machinery measures `rs_before` anyway, so the
+    // `saturation` field is sourced from there instead of a duplicate
+    // pre-analysis. (Types are processed in ascending order and arcs added
+    // for one type can lower a later type's pre-reduction saturation; the
+    // field is the estimate immediately before that type's reduction.)
+    let types: Vec<CorpusTypeSummary> = match mode {
+        CorpusMode::Analyze => reg_types
+            .into_iter()
+            .map(|t| CorpusTypeSummary {
+                reg_type: t.0,
+                values: ddg.values(t).len(),
+                saturation: engine.analyze(&ddg, t).saturation,
+                reduce: None,
+            })
+            .collect(),
+        CorpusMode::Reduce { registers } => reg_types
+            .into_iter()
+            .map(|t| {
+                let values = ddg.values(t).len();
+                let cp_before = ddg.critical_path();
+                let outcome = engine.reduce(&mut ddg, t, registers);
+                let saturation = match &outcome {
+                    ReduceOutcome::AlreadyFits { rs } => *rs,
+                    ReduceOutcome::Reduced { rs_before, .. }
+                    | ReduceOutcome::Failed { rs_before, .. } => *rs_before,
+                };
+                CorpusTypeSummary {
+                    reg_type: t.0,
+                    values,
+                    saturation,
+                    reduce: Some(reduce_summary(&ddg, registers, cp_before, &outcome)),
+                }
+            })
+            .collect(),
+        CorpusMode::Pipeline { registers } => {
+            let budgets: Vec<(RegType, usize)> =
+                reg_types.iter().map(|&t| (t, registers)).collect();
+            let pipeline = Pipeline {
+                budgets,
+                verify_exact: false,
+            };
+            let report = engine.run_pipeline(&pipeline, &mut ddg);
+            reg_types
+                .into_iter()
+                .map(|t| {
+                    let tr = report
+                        .types
+                        .iter()
+                        .find(|tr| tr.reg_type == t.0)
+                        .expect("pipeline reports every budgeted type with values");
+                    CorpusTypeSummary {
+                        reg_type: t.0,
+                        values: ddg.values(t).len(),
+                        saturation: tr.rs_before,
+                        reduce: Some(CorpusReduceSummary {
+                            budget: tr.budget,
+                            rs_after: tr.rs_after,
+                            arcs_added: tr.arcs_added,
+                            cp_before: tr.cp_before,
+                            cp_after: tr.cp_after,
+                            fits: tr.fits,
+                        }),
+                    }
+                })
+                .collect()
+        }
+    };
+
+    CorpusFileSummary {
+        file: name,
+        ok: true,
+        error: None,
+        ops,
+        edges,
+        critical_path,
+        types,
+        millis: start.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn reduce_summary(
+    ddg: &Ddg,
+    budget: usize,
+    cp_before: i64,
+    outcome: &ReduceOutcome,
+) -> CorpusReduceSummary {
+    let (rs_after, arcs_added, fits) = match outcome {
+        ReduceOutcome::AlreadyFits { rs } => (*rs, 0, true),
+        ReduceOutcome::Reduced {
+            rs_after,
+            added_arcs,
+            ..
+        } => (*rs_after, added_arcs.len(), true),
+        ReduceOutcome::Failed {
+            best_rs,
+            added_arcs,
+            ..
+        } => (*best_rs, added_arcs.len(), false),
+    };
+    CorpusReduceSummary {
+        budget,
+        rs_after,
+        arcs_added,
+        cp_before,
+        cp_after: ddg.critical_path(),
+        fits,
+    }
+}
+
+/// Renders the human-readable run summary printed by `rsat corpus` and
+/// stored as the `.txt` sidecar.
+pub fn render_text(summary: &CorpusSummary) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "corpus {}: {} files, {} analyzed, {} failed, jobs {}, mode {}, {:.1} ms",
+        summary.dir,
+        summary.file_count,
+        summary.analyzed,
+        summary.failed,
+        summary.jobs,
+        summary.mode,
+        summary.total_millis
+    );
+    for f in &summary.files {
+        if f.ok {
+            let types: Vec<String> = f
+                .types
+                .iter()
+                .map(|t| {
+                    let mut s = format!("{:?}: RS* = {}", RegType(t.reg_type), t.saturation);
+                    if let Some(r) = &t.reduce {
+                        let _ = write!(
+                            s,
+                            " -> {} (budget {}, +{} arcs{})",
+                            r.rs_after,
+                            r.budget,
+                            r.arcs_added,
+                            if r.fits { "" } else { ", INFEASIBLE" }
+                        );
+                    }
+                    s
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  {}: {} ops, {} edges, cp {} | {}",
+                f.file,
+                f.ops,
+                f.edges,
+                f.critical_path,
+                types.join("; ")
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {}: SKIPPED ({})",
+                f.file,
+                f.error.as_deref().unwrap_or("unknown error")
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture_dir() -> PathBuf {
+        PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data"))
+    }
+
+    #[test]
+    fn runs_shipped_fixtures() {
+        let summary = run_corpus(&fixture_dir(), &CorpusOptions::default()).unwrap();
+        assert!(summary.file_count >= 2);
+        assert_eq!(summary.failed, 0);
+        assert!(summary.files.iter().all(|f| f.ok && !f.types.is_empty()));
+        // sorted by name
+        let names: Vec<_> = summary.files.iter().map(|f| f.file.clone()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn jobs_do_not_change_the_analysis() {
+        let one = run_corpus(
+            &fixture_dir(),
+            &CorpusOptions {
+                jobs: 1,
+                mode: CorpusMode::Reduce { registers: 3 },
+            },
+        )
+        .unwrap();
+        let four = run_corpus(
+            &fixture_dir(),
+            &CorpusOptions {
+                jobs: 4,
+                mode: CorpusMode::Reduce { registers: 3 },
+            },
+        )
+        .unwrap();
+        assert_eq!(one.file_count, four.file_count);
+        for (a, b) in one.files.iter().zip(&four.files) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+    }
+
+    #[test]
+    fn malformed_file_is_contained() {
+        let dir = std::env::temp_dir().join("rsat_corpus_unit");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.ddg"), "op a load float\n").unwrap();
+        std::fs::write(
+            dir.join("bad.ddg"),
+            "op a load float\nflow a ghost 1 float\n",
+        )
+        .unwrap();
+        let summary = run_corpus(&dir, &CorpusOptions::default()).unwrap();
+        assert_eq!(summary.file_count, 2);
+        assert_eq!(summary.analyzed, 1);
+        assert_eq!(summary.failed, 1);
+        let bad = summary.files.iter().find(|f| f.file == "bad.ddg").unwrap();
+        assert!(!bad.ok);
+        assert!(
+            bad.error.as_deref().unwrap().contains("line 2"),
+            "{:?}",
+            bad.error
+        );
+        let text = render_text(&summary);
+        assert!(text.contains("SKIPPED"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cyclic_and_self_loop_files_are_contained() {
+        // builder-level model violations must surface as parse errors, not
+        // worker panics that abort the whole run
+        let dir = std::env::temp_dir().join("rsat_corpus_cyclic");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("good.ddg"), "op a load float\n").unwrap();
+        std::fs::write(
+            dir.join("cycle.ddg"),
+            "op a load float\nop b store none\nserial a b 1\nserial b a 1\n",
+        )
+        .unwrap();
+        std::fs::write(dir.join("selfloop.ddg"), "op a load float\nserial a a 1\n").unwrap();
+        std::fs::write(
+            dir.join("vliw_lat.ddg"),
+            "target vliw\nop a load float\nop b store none\nflow a b 0 float\n",
+        )
+        .unwrap();
+        let summary = run_corpus(
+            &dir,
+            &CorpusOptions {
+                jobs: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(summary.file_count, 4);
+        assert_eq!(summary.analyzed, 1);
+        assert_eq!(summary.failed, 3);
+        let by_name = |n: &str| summary.files.iter().find(|f| f.file == n).unwrap();
+        assert!(by_name("cycle.ddg")
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("cycle"));
+        assert!(by_name("selfloop.ddg")
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("self-loop"));
+        assert!(by_name("vliw_lat.ddg")
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("latency"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reduce_mode_skips_duplicate_analysis_but_reports_saturation() {
+        let summary = run_corpus(
+            &fixture_dir(),
+            &CorpusOptions {
+                jobs: 1,
+                mode: CorpusMode::Reduce { registers: 3 },
+            },
+        )
+        .unwrap();
+        let expr = summary.files.iter().find(|f| f.file == "expr.ddg").unwrap();
+        let float = expr.types.iter().find(|t| t.reg_type == 1).unwrap();
+        assert_eq!(float.saturation, 4);
+        let r = float.reduce.as_ref().unwrap();
+        assert!(r.fits && r.rs_after <= 3 && r.arcs_added >= 1);
+    }
+
+    #[test]
+    fn empty_dir_is_a_driver_error() {
+        let dir = std::env::temp_dir().join("rsat_corpus_empty");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(run_corpus(&dir, &CorpusOptions::default()).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_budget_is_a_driver_error() {
+        for mode in [
+            CorpusMode::Reduce { registers: 0 },
+            CorpusMode::Pipeline { registers: 0 },
+        ] {
+            let e = run_corpus(&fixture_dir(), &CorpusOptions { jobs: 1, mode }).unwrap_err();
+            assert!(e.contains("at least 1"), "{e}");
+        }
+    }
+}

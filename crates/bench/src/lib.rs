@@ -14,6 +14,7 @@
 //! `results/*.json`.
 
 pub mod common;
+pub mod corpus;
 pub mod figure2;
 pub mod t1_rs_optimality;
 pub mod t2_reduce_optimality;

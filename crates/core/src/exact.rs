@@ -120,10 +120,9 @@ impl ExactRs {
 
         let ambiguous = pk.ambiguous_values();
         let base_assignment: BTreeMap<NodeId, NodeId> = pk
-            .killers
             .iter()
             .filter(|(_, ks)| ks.len() == 1)
-            .map(|(&u, ks)| (u, ks[0]))
+            .map(|(u, ks)| (u, ks[0]))
             .collect();
 
         // Shared search state: the incumbent width (pruning bound), the
@@ -157,7 +156,7 @@ impl ExactRs {
             // Root split: one job per candidate killer of the first
             // ambiguous value, drained by `threads` scoped workers.
             let u0 = ambiguous[0];
-            let cands = &pk.killers[&u0];
+            let cands = pk.of(u0);
             let mut slots: Vec<Option<(LocalBest, bool)>> =
                 (0..cands.len()).map(|_| None).collect();
             let next_job = AtomicUsize::new(0);
@@ -282,7 +281,7 @@ impl Search<'_> {
         }
 
         let u = self.ambiguous[depth];
-        for &cand in &self.pk.killers[&u] {
+        for &cand in self.pk.of(u) {
             assignment.insert(u, cand);
             self.recurse(depth + 1, assignment, local);
         }
@@ -300,15 +299,11 @@ impl Search<'_> {
                 return false;
             }
             let check = |ku: NodeId| -> bool {
-                if ku == w {
-                    return self.ddg.delta_r(ku) <= self.ddg.delta_w(w);
-                }
-                matches!(self.base_lp.lp(ku, w),
-                    Some(d) if d >= self.ddg.delta_r(ku) - self.ddg.delta_w(w))
+                crate::killing::killer_kills_before(self.ddg, self.base_lp, ku, w)
             };
             match assignment.get(&u) {
                 Some(&ku) => check(ku),
-                None => self.pk.killers[&u].iter().all(|&ku| check(ku)),
+                None => self.pk.of(u).iter().all(|&ku| check(ku)),
             }
         };
         max_antichain(self.values, forced_before).width()

@@ -21,7 +21,9 @@
 //! experimental property (Section 5: error ≤ 1 register, rarely) is checked
 //! in the T1 experiment.
 
-use crate::killing::{killed_graph, rs_for_killing, topo_max_killing, KillingFunction};
+use crate::killing::{
+    killed_graph, rs_for_killing, topo_max_killing, FlatKilling, KillingFunction,
+};
 use crate::model::{Ddg, RegType};
 use crate::pkill::{potential_killers, PKill};
 use rs_graph::closure::TransitiveClosure;
@@ -153,12 +155,8 @@ impl GreedyK {
     /// Hill-climbing over killer choices: try every alternative killer of
     /// every ambiguous value, adopt switches that widen the antichain.
     fn refine(&self, ddg: &Ddg, t: RegType, pk: &PKill, best: &mut RsAnalysis, max_width: usize) {
-        let ambiguous: Vec<(NodeId, &Vec<NodeId>)> = pk
-            .killers
-            .iter()
-            .filter(|(_, ks)| ks.len() > 1)
-            .map(|(&u, ks)| (u, ks))
-            .collect();
+        let ambiguous: Vec<(NodeId, &[NodeId])> =
+            pk.iter().filter(|(_, ks)| ks.len() > 1).collect();
         for _pass in 0..self.refine_passes {
             let mut improved = false;
             for &(u, killers) in &ambiguous {
@@ -200,7 +198,10 @@ impl GreedyK {
             return topo_max_killing(ddg, t, pk);
         }
 
-        // Killer statistics.
+        // Killer statistics, in flat arrays indexed by (dense) node id: the
+        // scores are consulted per (value, candidate) pair, and the map
+        // variants dominated the one-shot profile. Iteration stays in
+        // ascending value order, so choices are as deterministic as before.
         let tc = TransitiveClosure::new(ddg.graph());
         let values = ddg.values(t);
         let is_value: Vec<bool> = {
@@ -210,10 +211,10 @@ impl GreedyK {
             }
             v
         };
-        let mut coverage: BTreeMap<NodeId, usize> = BTreeMap::new();
-        for ks in pk.killers.values() {
+        let mut coverage = vec![0u32; ddg.num_ops()];
+        for (_, ks) in pk.iter() {
             for &k in ks {
-                *coverage.entry(k).or_insert(0) += 1;
+                coverage[k.index()] += 1;
             }
         }
         let value_descendants = |killer: NodeId| -> usize {
@@ -230,7 +231,7 @@ impl GreedyK {
         }
 
         let score = |k: NodeId| -> (i64, i64, i64) {
-            let cov = coverage.get(&k).copied().unwrap_or(0) as i64;
+            let cov = coverage[k.index()] as i64;
             let desc = value_descendants(k) as i64;
             match strategy {
                 Strategy::CoverageFirst => (-cov, desc, -(pos[k.index()] as i64)),
@@ -239,35 +240,31 @@ impl GreedyK {
             }
         };
 
-        let mut killer: BTreeMap<NodeId, NodeId> = pk
-            .killers
-            .iter()
-            .map(|(&u, ks)| {
-                let best = *ks
-                    .iter()
+        let mut killer = FlatKilling::default();
+        killer.reset(ddg.num_ops());
+        for (u, ks) in pk.iter() {
+            killer.set(
+                u,
+                *ks.iter()
                     .min_by_key(|&&k| score(k))
-                    .expect("pkill sets are nonempty");
-                (u, best)
-            })
-            .collect();
+                    .expect("pkill sets are nonempty"),
+            );
+        }
 
         // Cycle repair: re-point conflicting values at their topological-max
         // killer (arcs toward the topo-max killer always go forward).
         let fallback = topo_max_killing(ddg, t, pk);
         for _ in 0..self.max_repairs {
-            let kf = KillingFunction {
-                reg_type: t,
-                killer: killer.clone(),
-            };
+            let kf = killer.to_killing_function(t, pk);
             if killed_graph(ddg, pk, &kf).is_some() {
                 return kf;
             }
             // Find one value whose greedy choice differs from the fallback
             // and whose enforcement could participate in a cycle; flip it.
             let mut flipped = false;
-            for (&u, ks) in &pk.killers {
-                if ks.len() > 1 && killer[&u] != fallback.killer[&u] {
-                    killer.insert(u, fallback.killer[&u]);
+            for (u, ks) in pk.iter() {
+                if ks.len() > 1 && killer.of(u) != fallback.of(u) {
+                    killer.set(u, fallback.of(u));
                     flipped = true;
                     break;
                 }

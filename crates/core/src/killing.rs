@@ -38,11 +38,60 @@ impl KillingFunction {
 
     /// Checks `k(u) ∈ pkill(u)` for every value.
     pub fn respects(&self, pk: &PKill) -> bool {
-        self.killer.len() == pk.killers.len()
+        self.killer.len() == pk.len()
             && self
                 .killer
                 .iter()
-                .all(|(u, k)| pk.killers.get(u).is_some_and(|ks| ks.contains(k)))
+                .all(|(u, k)| pk.get(*u).is_some_and(|ks| ks.contains(k)))
+    }
+}
+
+/// Sentinel killer id for nodes that are not values ([`FlatKilling`]).
+const NO_KILLER: u32 = u32::MAX;
+
+/// A killing function stored as a flat array indexed by node id — the
+/// hot-path representation of the batch engine. Semantically identical to
+/// [`KillingFunction`] (which it converts to for results); node ids are
+/// dense, so lookup is one bounds-checked load instead of a `BTreeMap`
+/// descent, and reuse across candidates is a `copy_from_slice`.
+#[derive(Clone, Debug, Default)]
+pub struct FlatKilling {
+    killer: Vec<u32>,
+}
+
+impl FlatKilling {
+    /// Clears the function for a DAG of `num_ops` nodes (all nodes unset).
+    pub fn reset(&mut self, num_ops: usize) {
+        self.killer.clear();
+        self.killer.resize(num_ops, NO_KILLER);
+    }
+
+    /// Sets `k(u) = k`.
+    #[inline]
+    pub fn set(&mut self, u: NodeId, k: NodeId) {
+        self.killer[u.index()] = k.0;
+    }
+
+    /// The chosen killer of value `u`. Panics (debug) if unset.
+    #[inline]
+    pub fn of(&self, u: NodeId) -> NodeId {
+        let k = self.killer[u.index()];
+        debug_assert_ne!(k, NO_KILLER, "no killer chosen for {u:?}");
+        NodeId(k)
+    }
+
+    /// Copies another function of the same DAG over this one.
+    pub fn copy_from(&mut self, other: &FlatKilling) {
+        self.killer.clear();
+        self.killer.extend_from_slice(&other.killer);
+    }
+
+    /// Materializes the map-based [`KillingFunction`] over `pk`'s values.
+    pub fn to_killing_function(&self, t: RegType, pk: &PKill) -> KillingFunction {
+        KillingFunction {
+            reg_type: t,
+            killer: pk.values().iter().map(|&u| (u, self.of(u))).collect(),
+        }
     }
 }
 
@@ -63,7 +112,7 @@ pub struct KilledGraph {
 /// invalid.
 pub fn killed_graph(ddg: &Ddg, pk: &PKill, k: &KillingFunction) -> Option<KilledGraph> {
     let mut g = ddg.graph().clone();
-    for (&u, killers) in &pk.killers {
+    for (u, killers) in pk.iter() {
         let ku = k.of(u);
         debug_assert!(killers.contains(&ku), "killer not in pkill({u:?})");
         for &v in killers {
@@ -81,6 +130,77 @@ pub fn killed_graph(ddg: &Ddg, pk: &PKill, k: &KillingFunction) -> Option<Killed
     Some(KilledGraph { graph: g, lp })
 }
 
+/// Scratch for repeated killed-graph construction: the extended graph, its
+/// topological-sort buffers, and the longest-path table, all reused across
+/// candidate killing functions and across DAGs. One [`KilledScratch::build`]
+/// in the steady state performs no heap allocation.
+#[derive(Clone, Debug)]
+pub struct KilledScratch {
+    /// `G_{→k}` of the last successful build.
+    pub graph: DiGraph<Operation>,
+    /// All-pairs longest paths of `graph`.
+    pub lp: LongestPaths,
+    order: Vec<NodeId>,
+    indeg: Vec<usize>,
+}
+
+impl Default for KilledScratch {
+    fn default() -> Self {
+        KilledScratch {
+            graph: DiGraph::new(),
+            lp: LongestPaths::empty(),
+            order: Vec::new(),
+            indeg: Vec::new(),
+        }
+    }
+}
+
+impl KilledScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds `G_{→k}` for the flat killing `k` in place. Returns `false`
+    /// (without computing longest paths) when the enforcement arcs create a
+    /// cycle — the killing function is invalid. Validity and the resulting
+    /// `lp` agree exactly with [`killed_graph`].
+    pub fn build(&mut self, ddg: &Ddg, pk: &PKill, k: &FlatKilling) -> bool {
+        self.graph.clone_from_graph(ddg.graph());
+        for (u, killers) in pk.iter() {
+            let ku = k.of(u);
+            debug_assert!(killers.contains(&ku), "killer not in pkill({u:?})");
+            for &v in killers {
+                if v == ku {
+                    continue;
+                }
+                let lat = ddg.delta_r(v) - ddg.delta_r(ku);
+                self.graph.add_edge(v, ku, lat);
+            }
+        }
+        if topo::topo_sort_into(&self.graph, &mut self.indeg, &mut self.order).is_err() {
+            return false;
+        }
+        self.lp.compute_into(&self.graph, &self.order);
+        true
+    }
+}
+
+/// The kill-before-definition criterion shared by every DV construction:
+/// with `ku` the designated last reader of some value, that value is dead
+/// no later than `w`'s definition iff `lp(ku, w) ≥ δr(ku) − δw(w)` (with
+/// `ku = w` meaning `w` itself reads last, compared via the delays alone).
+#[inline]
+pub fn killer_kills_before(ddg: &Ddg, lp: &LongestPaths, ku: NodeId, w: NodeId) -> bool {
+    if ku == w {
+        return ddg.delta_r(ku) <= ddg.delta_w(w);
+    }
+    match lp.lp(ku, w) {
+        Some(d) => d >= ddg.delta_r(ku) - ddg.delta_w(w),
+        None => false,
+    }
+}
+
 /// The disjoint-value order: in `G_{→k}`, value `u` always dies no later
 /// than value `w` is defined iff
 /// `lp(k(u), w) ≥ δr(k(u)) − δw(w)` (with `k(u) = w` meaning `w` itself is
@@ -92,17 +212,7 @@ pub fn dv_before(
     u: NodeId,
     w: NodeId,
 ) -> bool {
-    if u == w {
-        return false;
-    }
-    let ku = k.of(u);
-    if ku == w {
-        return ddg.delta_r(ku) <= ddg.delta_w(w);
-    }
-    match killed.lp.lp(ku, w) {
-        Some(d) => d >= ddg.delta_r(ku) - ddg.delta_w(w),
-        None => false,
-    }
+    u != w && killer_kills_before(ddg, &killed.lp, k.of(u), w)
 }
 
 /// The disjoint-value DAG of one killing function, with its maximum
@@ -179,21 +289,28 @@ pub fn topo_max_killing(ddg: &Ddg, t: RegType, pk: &PKill) -> KillingFunction {
     for (i, n) in order.iter().enumerate() {
         pos[n.index()] = i;
     }
-    let killer = pk
-        .killers
-        .iter()
-        .map(|(&u, ks)| {
-            let best = *ks
-                .iter()
-                .max_by_key(|k| pos[k.index()])
-                .expect("pkill sets are nonempty");
-            (u, best)
-        })
-        .collect();
     KillingFunction {
         reg_type: t,
-        killer,
+        killer: pk
+            .iter()
+            .map(|(u, ks)| (u, topo_max_choice(ks, &pos)))
+            .collect(),
     }
+}
+
+/// Flat-array [`topo_max_killing`] against a precomputed topological
+/// position table (the engine computes one order per DAG and shares it).
+pub fn topo_max_killing_into(pk: &PKill, pos: &[usize], out: &mut FlatKilling) {
+    out.reset(pos.len());
+    for (u, ks) in pk.iter() {
+        out.set(u, topo_max_choice(ks, pos));
+    }
+}
+
+fn topo_max_choice(ks: &[NodeId], pos: &[usize]) -> NodeId {
+    *ks.iter()
+        .max_by_key(|k| pos[k.index()])
+        .expect("pkill sets are nonempty")
 }
 
 #[cfg(test)]

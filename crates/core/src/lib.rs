@@ -28,6 +28,7 @@
 //! ([`ilp_baseline`]), and the end-to-end pipeline ([`pipeline`]).
 
 pub mod cfg;
+pub mod engine;
 pub mod exact;
 pub mod heuristic;
 pub mod ilp;
@@ -42,6 +43,7 @@ pub mod pkill;
 pub mod reduce;
 pub mod spill;
 
+pub use engine::{AnalysisScratch, RsEngine};
 pub use exact::ExactRs;
 pub use heuristic::GreedyK;
 pub use ilp::{ReduceIlp, RsIlp};

@@ -21,7 +21,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A register type (the paper's `t ∈ T`, e.g. `{int, float}`).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RegType(pub u8);
 
 impl RegType {
@@ -268,23 +268,41 @@ impl Ddg {
 
     /// `V_{R,t}`: nodes writing a value of type `t` (never includes `⊥`).
     pub fn values(&self, t: RegType) -> Vec<NodeId> {
-        self.graph
-            .node_ids()
-            .filter(|&n| !self.graph.node(n).is_bottom && self.graph.node(n).writes.contains(&t))
-            .collect()
+        let mut out = Vec::new();
+        self.values_into(t, &mut out);
+        out
+    }
+
+    /// Allocation-reusing [`Ddg::values`]: clears `out` and fills it with
+    /// `V_{R,t}` in ascending node order.
+    pub fn values_into(&self, t: RegType, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.graph.node_ids().filter(|&n| {
+                !self.graph.node(n).is_bottom && self.graph.node(n).writes.contains(&t)
+            }),
+        );
     }
 
     /// `Cons(u^t)`: consumers of `u`'s value of type `t`, deduplicated.
     pub fn consumers(&self, u: NodeId, t: RegType) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .graph
-            .out_edges(u)
-            .filter(|&e| self.edge_kinds[e.index()] == EdgeKind::Flow(t))
-            .map(|e| self.graph.dst(e))
-            .collect();
+        let mut out = Vec::new();
+        self.consumers_into(u, t, &mut out);
+        out
+    }
+
+    /// Allocation-reusing [`Ddg::consumers`]: clears `out` and fills it with
+    /// the sorted, deduplicated consumers of `u`'s `t`-value.
+    pub fn consumers_into(&self, u: NodeId, t: RegType, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(
+            self.graph
+                .out_edges(u)
+                .filter(|&e| self.edge_kinds[e.index()] == EdgeKind::Flow(t))
+                .map(|e| self.graph.dst(e)),
+        );
         out.sort_unstable();
         out.dedup();
-        out
     }
 
     /// Write delay of `u`.
@@ -435,6 +453,25 @@ impl DdgBuilder {
         let e = self.graph.add_edge(from, to, latency);
         self.edge_kinds.push(EdgeKind::Serial);
         e
+    }
+
+    /// Whether the graph built so far is acyclic. [`DdgBuilder::finish`]
+    /// panics on cycles; validating parsers check first.
+    pub fn is_acyclic(&self) -> bool {
+        topo::is_acyclic(&self.graph)
+    }
+
+    /// The register types `n` defines a value of. [`DdgBuilder::flow`]
+    /// panics when the source does not write the flow's type; validating
+    /// parsers check first.
+    pub fn writes(&self, n: NodeId) -> &[RegType] {
+        &self.graph.node(n).writes
+    }
+
+    /// The minimum valid latency of a flow edge `from -> to`
+    /// (`δw(from) − δr(to)`); [`DdgBuilder::flow`] panics below it.
+    pub fn min_flow_latency(&self, from: NodeId, to: NodeId) -> i64 {
+        self.graph.node(from).delta_w - self.graph.node(to).delta_r
     }
 
     /// Validates the DDG and closes it with the bottom node `⊥`:

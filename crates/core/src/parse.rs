@@ -177,6 +177,25 @@ pub fn parse_ddg(input: &str) -> Result<Ddg, ParseError> {
                 let ty = type_of(tokens[4])
                     .ok_or_else(|| err(lineno, format!("unknown register type `{}`", tokens[4])))?
                     .ok_or_else(|| err(lineno, "flow edges need a concrete type"))?;
+                // The builder panics on model violations; a parser must
+                // reject them as errors instead (a malformed corpus file may
+                // not abort a batch run).
+                if src == dst {
+                    return Err(err(lineno, format!("self-loop on `{}`", tokens[1])));
+                }
+                if !b.writes(src).contains(&ty) {
+                    return Err(err(
+                        lineno,
+                        format!("`{}` does not write a {} value", tokens[1], tokens[4]),
+                    ));
+                }
+                let min = b.min_flow_latency(src, dst);
+                if lat < min {
+                    return Err(err(
+                        lineno,
+                        format!("flow latency {lat} below the target minimum {min}"),
+                    ));
+                }
                 b.flow(src, dst, lat, ty);
             }
             "serial" => {
@@ -195,6 +214,9 @@ pub fn parse_ddg(input: &str) -> Result<Ddg, ParseError> {
                 let lat: i64 = tokens[3]
                     .parse()
                     .map_err(|_| err(lineno, format!("bad latency `{}`", tokens[3])))?;
+                if src == dst {
+                    return Err(err(lineno, format!("self-loop on `{}`", tokens[1])));
+                }
                 b.serial(src, dst, lat);
             }
             other => return Err(err(lineno, format!("unknown directive `{other}`"))),
@@ -202,6 +224,9 @@ pub fn parse_ddg(input: &str) -> Result<Ddg, ParseError> {
     }
 
     let b = builder.ok_or_else(|| err(0, "empty input: no operations"))?;
+    if !b.is_acyclic() {
+        return Err(err(0, "dependence graph contains a cycle"));
+    }
     Ok(b.finish())
 }
 
@@ -308,6 +333,29 @@ serial l1 l2 1
         assert_eq!(d.num_ops(), 5); // 4 + ⊥
         assert_eq!(d.values(RegType::FLOAT).len(), 3);
         assert_eq!(GreedyK::new().saturation(&d, RegType::FLOAT).saturation, 2);
+    }
+
+    #[test]
+    fn model_violations_are_errors_not_panics() {
+        // self-loop (flow and serial)
+        let e = parse_ddg("op a load float\nflow a a 1 float\n").unwrap_err();
+        assert!(e.to_string().contains("self-loop"), "{e}");
+        assert_eq!(e.line, 2);
+        let e = parse_ddg("op a load float\nserial a a 1\n").unwrap_err();
+        assert!(e.to_string().contains("self-loop"), "{e}");
+        // cycle through serial arcs
+        let e = parse_ddg("op a load float\nop b store none\nserial a b 1\nserial b a 1\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("cycle"), "{e}");
+        // VLIW flow latency below δw(src) − δr(dst)
+        let e = parse_ddg("target vliw\nop a load float\nop b store none\nflow a b 0 float\n")
+            .unwrap_err();
+        assert!(e.to_string().contains("latency"), "{e}");
+        assert_eq!(e.line, 4);
+        // flow through a type the source does not write
+        let e = parse_ddg("op a load int\nop b store none\nflow a b 1 float\n").unwrap_err();
+        assert!(e.to_string().contains("does not write"), "{e}");
+        assert_eq!(e.line, 3);
     }
 
     #[test]

@@ -15,38 +15,85 @@
 use crate::model::{Ddg, RegType};
 use rs_graph::paths::LongestPaths;
 use rs_graph::NodeId;
-use std::collections::BTreeMap;
+
+/// Sentinel for "this node is not a value of the analysed type".
+const NO_SLOT: u32 = u32::MAX;
 
 /// Potential-killing structure of one register type.
-#[derive(Clone, Debug)]
+///
+/// Stored flat (CSR over the ascending value list plus a dense node → slot
+/// table) rather than as a `BTreeMap`: the saturation engine consults it in
+/// its innermost loops, and the flat layout makes rebuilds allocation-free
+/// in the steady state ([`potential_killers_into`]). Iteration order is the
+/// ascending node order the old map-based layout had.
+#[derive(Clone, Debug, Default)]
 pub struct PKill {
     /// The register type analysed.
     pub reg_type: RegType,
-    /// `pkill(u)` per value `u`, each sorted by node id.
-    pub killers: BTreeMap<NodeId, Vec<NodeId>>,
+    /// The values, ascending.
+    values: Vec<NodeId>,
+    /// CSR offsets into `killers`, one per value plus the terminator.
+    offsets: Vec<u32>,
+    /// Concatenated `pkill(u)` slices, each sorted by node id.
+    killers: Vec<NodeId>,
+    /// Dense node index → slot in `values` (or [`NO_SLOT`]).
+    slot: Vec<u32>,
+    /// Consumer scratch for construction.
+    cons: Vec<NodeId>,
 }
 
 impl PKill {
-    /// Potential killers of `u`.
+    /// The values of the analysed type, ascending.
+    pub fn values(&self) -> &[NodeId] {
+        &self.values
+    }
+
+    /// Number of values covered.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no value is covered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Potential killers of `u`. Panics if `u` is not a value of this type.
     pub fn of(&self, u: NodeId) -> &[NodeId] {
-        &self.killers[&u]
+        self.get(u).expect("not a value of the analysed type")
+    }
+
+    /// Potential killers of `u`, or `None` if `u` is not a covered value.
+    pub fn get(&self, u: NodeId) -> Option<&[NodeId]> {
+        let s = *self.slot.get(u.index())?;
+        if s == NO_SLOT {
+            return None;
+        }
+        let (lo, hi) = (self.offsets[s as usize], self.offsets[s as usize + 1]);
+        Some(&self.killers[lo as usize..hi as usize])
+    }
+
+    /// Iterates `(value, pkill(value))` in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &[NodeId])> + '_ {
+        self.values.iter().enumerate().map(|(i, &u)| {
+            let (lo, hi) = (self.offsets[i], self.offsets[i + 1]);
+            (u, &self.killers[lo as usize..hi as usize])
+        })
     }
 
     /// Values with more than one potential killer — the decision points of
     /// the exact enumeration.
     pub fn ambiguous_values(&self) -> Vec<NodeId> {
-        self.killers
-            .iter()
+        self.iter()
             .filter(|(_, ks)| ks.len() > 1)
-            .map(|(&u, _)| u)
+            .map(|(u, _)| u)
             .collect()
     }
 
     /// Number of killing functions (product of `|pkill(u)|`), saturating.
     pub fn killing_function_count(&self) -> u128 {
-        self.killers
-            .values()
-            .map(|ks| ks.len() as u128)
+        self.iter()
+            .map(|(_, ks)| ks.len() as u128)
             .fold(1u128, |a, b| a.saturating_mul(b))
     }
 }
@@ -65,27 +112,44 @@ pub fn always_reads_before(ddg: &Ddg, lp: &LongestPaths, v: NodeId, v_prime: Nod
 
 /// Computes the potential-killing structure for type `t`.
 pub fn potential_killers(ddg: &Ddg, t: RegType, lp: &LongestPaths) -> PKill {
-    let mut killers = BTreeMap::new();
-    for u in ddg.values(t) {
-        let cons = ddg.consumers(u, t);
-        let maximal: Vec<NodeId> = cons
-            .iter()
-            .copied()
-            .filter(|&v| {
-                !cons
-                    .iter()
-                    .any(|&v2| v2 != v && always_reads_before(ddg, lp, v, v2))
-            })
-            .collect();
+    let mut pk = PKill::default();
+    potential_killers_into(ddg, t, lp, &mut pk);
+    pk
+}
+
+/// Allocation-reusing [`potential_killers`]: rebuilds `out` in place. In the
+/// steady state of a batch run no buffer reallocates.
+pub fn potential_killers_into(ddg: &Ddg, t: RegType, lp: &LongestPaths, out: &mut PKill) {
+    out.reg_type = t;
+    ddg.values_into(t, &mut out.values);
+    out.offsets.clear();
+    out.offsets.push(0);
+    out.killers.clear();
+    out.slot.clear();
+    out.slot.resize(ddg.num_ops(), NO_SLOT);
+    // Split borrows: the construction reads `values`/`cons` while pushing
+    // into `killers`/`offsets`/`slot`.
+    let PKill {
+        values,
+        offsets,
+        killers,
+        slot,
+        cons,
+        ..
+    } = out;
+    for (i, &u) in values.iter().enumerate() {
+        slot[u.index()] = i as u32;
+        ddg.consumers_into(u, t, cons);
+        killers.extend(cons.iter().copied().filter(|&v| {
+            !cons
+                .iter()
+                .any(|&v2| v2 != v && always_reads_before(ddg, lp, v, v2))
+        }));
         debug_assert!(
-            !maximal.is_empty(),
+            killers.len() > offsets[i] as usize,
             "every value has at least one potential killer after ⊥-closure"
         );
-        killers.insert(u, maximal);
-    }
-    PKill {
-        reg_type: t,
-        killers,
+        offsets.push(killers.len() as u32);
     }
 }
 

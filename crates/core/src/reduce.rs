@@ -127,30 +127,60 @@ struct Candidate {
     cost: i64,
 }
 
+/// A saturation estimator: returns the estimate and its witness antichain,
+/// like [`GreedyK::saturation`]. The batch engine supplies a scratch-backed
+/// one to [`Reducer::reduce_with`].
+pub type RsEstimator<'a> = dyn FnMut(&Ddg, RegType) -> (usize, Vec<NodeId>) + 'a;
+
 impl Reducer {
     /// Creates the reducer with defaults.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Measures the saturation: the heuristic estimate, upgraded to the
+    /// Measures the saturation: the supplied estimate, upgraded to the
     /// exact value (with its witness antichain) in `verify_exact` mode when
     /// the estimate already fits.
-    fn measure(&self, ddg: &Ddg, t: RegType, r: usize) -> (usize, Vec<NodeId>) {
-        let est = self.heuristic.saturation(ddg, t);
-        if self.verify_exact && est.saturation <= r {
+    fn measure(
+        &self,
+        ddg: &Ddg,
+        t: RegType,
+        r: usize,
+        estimate: &mut RsEstimator<'_>,
+    ) -> (usize, Vec<NodeId>) {
+        let est = estimate(ddg, t);
+        if self.verify_exact && est.0 <= r {
             let exact = crate::exact::ExactRs::new().saturation(ddg, t);
-            if exact.saturation > est.saturation {
+            if exact.saturation > est.0 {
                 return (exact.saturation, exact.saturating_values);
             }
         }
-        (est.saturation, est.saturating_values)
+        est
     }
 
     /// Reduces `RS_t(ddg)` below `r` by adding serialization arcs in place.
     pub fn reduce(&self, ddg: &mut Ddg, t: RegType, r: usize) -> ReduceOutcome {
+        let mut estimate = |ddg: &Ddg, t: RegType| {
+            let est = self.heuristic.saturation(ddg, t);
+            (est.saturation, est.saturating_values)
+        };
+        self.reduce_with(ddg, t, r, &mut estimate)
+    }
+
+    /// [`Reducer::reduce`] with a caller-supplied saturation estimator —
+    /// the hook [`crate::engine::RsEngine`] uses to route every per-step
+    /// measurement through its scratch. The estimator must behave like
+    /// [`GreedyK::saturation`] (return the estimate and its witness
+    /// antichain); `verify_exact` upgrades still apply on top of it.
+    pub fn reduce_with(
+        &self,
+        ddg: &mut Ddg,
+        t: RegType,
+        r: usize,
+        estimate: &mut RsEstimator<'_>,
+    ) -> ReduceOutcome {
         assert!(r >= 1, "register budget must be positive");
-        let (rs_first, sat_first) = self.measure(ddg, t, r);
+        let (rs_first, sat_first) = self.measure(ddg, t, r, estimate);
         if rs_first <= r {
             return ReduceOutcome::AlreadyFits { rs: rs_first };
         }
@@ -189,7 +219,7 @@ impl Reducer {
                 added.push((s, d, lat));
             }
             debug_assert!(ddg.is_acyclic(), "serialization must keep the DDG acyclic");
-            current = self.measure(ddg, t, r);
+            current = self.measure(ddg, t, r, estimate);
             best_rs = best_rs.min(current.0);
         }
         ReduceOutcome::Failed {

@@ -12,7 +12,7 @@
 //! transitively closed DAG.
 
 use crate::graph::NodeId;
-use crate::matching::{hopcroft_karp, BipartiteGraph};
+use crate::matching::{hopcroft_karp_into, BipartiteGraph, MatchingScratch};
 
 /// Output of [`max_antichain`]: a witness antichain and a matching-derived
 /// minimum chain cover (both optimal, with `antichain.len() == chains.len()`
@@ -50,25 +50,13 @@ impl AntichainResult {
 /// ```
 pub fn max_antichain(
     elements: &[NodeId],
-    mut less: impl FnMut(NodeId, NodeId) -> bool,
+    less: impl FnMut(NodeId, NodeId) -> bool,
 ) -> AntichainResult {
+    let mut scratch = AntichainScratch::new();
+    let mut antichain = Vec::new();
+    max_antichain_into(elements, less, &mut scratch, &mut antichain);
     let k = elements.len();
-    let mut bg = BipartiteGraph::new(k, k);
-    for i in 0..k {
-        for j in 0..k {
-            if i != j && less(elements[i], elements[j]) {
-                bg.add_edge(i, j);
-            }
-        }
-    }
-    let m = hopcroft_karp(&bg);
-
-    // Antichain = elements uncovered on both sides (König).
-    let antichain: Vec<NodeId> = (0..k)
-        .filter(|&i| !m.cover_left[i] && !m.cover_right[i])
-        .map(|i| elements[i])
-        .collect();
-    debug_assert_eq!(antichain.len(), k - m.size, "Dilworth count mismatch");
+    let m = &scratch.matching;
 
     // Chains: follow pair_left pointers from chain heads (unmatched on the
     // right, i.e. nothing precedes them in the cover).
@@ -88,6 +76,57 @@ pub fn max_antichain(
     debug_assert_eq!(chains.len(), k - m.size, "chain cover count mismatch");
 
     AntichainResult { antichain, chains }
+}
+
+/// Reusable working storage for [`max_antichain_into`]: the comparability
+/// bipartite graph and the matching buffers.
+#[derive(Clone, Debug, Default)]
+pub struct AntichainScratch {
+    bg: BipartiteGraph,
+    /// The matching of the last call (exposed so [`max_antichain`] can derive
+    /// the chain cover from it).
+    pub matching: MatchingScratch,
+}
+
+impl AntichainScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Allocation-reusing core of [`max_antichain`]: computes a maximum
+/// antichain into `antichain` and returns its width. Witness and width are
+/// identical to [`max_antichain`] (which delegates here); only the chain
+/// cover is skipped — hot-path callers of the saturation analysis never
+/// need it.
+pub fn max_antichain_into(
+    elements: &[NodeId],
+    mut less: impl FnMut(NodeId, NodeId) -> bool,
+    scratch: &mut AntichainScratch,
+    antichain: &mut Vec<NodeId>,
+) -> usize {
+    let k = elements.len();
+    scratch.bg.reset(k, k);
+    for i in 0..k {
+        for j in 0..k {
+            if i != j && less(elements[i], elements[j]) {
+                scratch.bg.add_edge(i, j);
+            }
+        }
+    }
+    hopcroft_karp_into(&scratch.bg, &mut scratch.matching);
+    let m = &scratch.matching;
+
+    // Antichain = elements uncovered on both sides (König).
+    antichain.clear();
+    antichain.extend(
+        (0..k)
+            .filter(|&i| !m.cover_left[i] && !m.cover_right[i])
+            .map(|i| elements[i]),
+    );
+    debug_assert_eq!(antichain.len(), k - m.size, "Dilworth count mismatch");
+    antichain.len()
 }
 
 /// Convenience wrapper returning only the minimum chain cover.

@@ -96,6 +96,16 @@ impl BitSet {
         self.words.fill(0);
     }
 
+    /// Re-dimensions the set to capacity `len` and clears it, reusing the
+    /// word buffer. The allocation-free path of the batch analysis engine:
+    /// a pooled row shrinks/grows without touching the heap once its buffer
+    /// has reached the high-water mark.
+    pub fn reset(&mut self, len: usize) {
+        self.len = len;
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+    }
+
     /// Iterates members in increasing order.
     pub fn iter(&self) -> BitIter<'_> {
         BitIter {
@@ -103,6 +113,42 @@ impl BitSet {
             word_idx: 0,
             current: self.words.first().copied().unwrap_or(0),
         }
+    }
+}
+
+/// A recycling pool of [`BitSet`]s.
+///
+/// Scratch-aware algorithms ([`crate::closure::TransitiveClosure::build_into`])
+/// return rows here when a smaller graph needs fewer of them and draw rows
+/// back out when a larger graph arrives, so row buffers are allocated only
+/// until the pool reaches the corpus high-water mark.
+#[derive(Clone, Debug, Default)]
+pub struct BitSetPool {
+    free: Vec<BitSet>,
+}
+
+impl BitSetPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a cleared set of capacity `len` from the pool (or allocates one
+    /// if the pool is empty).
+    pub fn acquire(&mut self, len: usize) -> BitSet {
+        let mut s = self.free.pop().unwrap_or_else(|| BitSet::new(0));
+        s.reset(len);
+        s
+    }
+
+    /// Returns a set to the pool for later reuse.
+    pub fn release(&mut self, s: BitSet) {
+        self.free.push(s);
+    }
+
+    /// Number of sets currently pooled.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -210,6 +256,34 @@ mod tests {
         let s: BitSet = [3usize, 7, 7, 1].into_iter().collect();
         assert_eq!(s.capacity(), 8);
         assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn reset_redimensions_and_clears() {
+        let mut s = BitSet::new(130);
+        s.insert(129);
+        s.reset(65);
+        assert_eq!(s.capacity(), 65);
+        assert!(s.is_empty());
+        s.insert(64);
+        assert!(s.contains(64));
+        s.reset(200);
+        assert!(s.is_empty());
+        s.insert(199);
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn pool_recycles_sets() {
+        let mut pool = BitSetPool::new();
+        let mut a = pool.acquire(100);
+        a.insert(7);
+        pool.release(a);
+        assert_eq!(pool.pooled(), 1);
+        let b = pool.acquire(50);
+        assert_eq!(pool.pooled(), 0);
+        assert_eq!(b.capacity(), 50);
+        assert!(b.is_empty(), "recycled set must come back cleared");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! The disjoint-value DAG and the poset algorithms need `O(1)` reachability
 //! queries; one bitset row per node gives `O(n·m/64)` construction.
 
-use crate::bitset::BitSet;
+use crate::bitset::{BitSet, BitSetPool};
 use crate::graph::{DiGraph, NodeId};
 use crate::topo::topo_sort;
 
@@ -15,18 +15,49 @@ pub struct TransitiveClosure {
     rows: Vec<BitSet>,
 }
 
+impl Default for TransitiveClosure {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl TransitiveClosure {
     /// Builds the closure of a DAG.
     pub fn new<N>(g: &DiGraph<N>) -> Self {
-        let n = g.node_count();
         let order = topo_sort(g).expect("TransitiveClosure requires a DAG");
-        let mut rows: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        let mut tc = Self::empty();
+        tc.build_into(g, &order, &mut BitSetPool::new());
+        tc
+    }
+
+    /// A closure over zero nodes, ready for [`TransitiveClosure::build_into`].
+    pub fn empty() -> Self {
+        TransitiveClosure { rows: Vec::new() }
+    }
+
+    /// Rebuilds the closure for `g` in place. `order` must be a topological
+    /// order of `g`; rows are recycled through `pool` when the node count
+    /// shrinks and drawn back out when it grows, so a warm batch run touches
+    /// the heap only at new high-water marks.
+    pub fn build_into<N>(&mut self, g: &DiGraph<N>, order: &[NodeId], pool: &mut BitSetPool) {
+        let n = g.node_count();
+        debug_assert_eq!(order.len(), n, "order must cover the graph");
+        while self.rows.len() > n {
+            pool.release(self.rows.pop().expect("len checked"));
+        }
+        for row in &mut self.rows {
+            row.reset(n);
+        }
+        while self.rows.len() < n {
+            self.rows.push(pool.acquire(n));
+        }
+        let rows = &mut self.rows;
         for &u in order.iter().rev() {
-            // descendants(u) = ∪ over successors s of ({s} ∪ descendants(s))
+            // descendants(u) = ∪ over successors s of ({s} ∪ descendants(s)),
+            // iterated straight off the adjacency list (no temporary buffer).
             let ui = u.index();
-            let succs: Vec<NodeId> = g.successors(u).collect();
-            for s in succs {
-                let si = s.index();
+            for e in g.out_edges(u) {
+                let si = g.dst(e).index();
                 if si != ui {
                     // split_at_mut to borrow two rows
                     if ui < si {
@@ -40,7 +71,6 @@ impl TransitiveClosure {
                 }
             }
         }
-        TransitiveClosure { rows }
     }
 
     /// Strict reachability query.
@@ -116,6 +146,37 @@ mod tests {
         assert!(tc.reaches_eq(a, a));
         assert_eq!(tc.descendant_count(a), 3);
         assert_eq!(tc.descendant_count(d), 0);
+    }
+
+    #[test]
+    fn build_into_recycles_rows() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 0);
+        g.add_edge(b, c, 0);
+        let order = topo_sort(&g).unwrap();
+        let mut pool = BitSetPool::new();
+        let mut tc = TransitiveClosure::empty();
+        tc.build_into(&g, &order, &mut pool);
+        assert!(tc.reaches(a, c));
+        // shrink: extra rows land in the pool, stale bits cleared on reuse
+        let mut g2: DiGraph<()> = DiGraph::new();
+        let x = g2.add_node(());
+        let order2 = topo_sort(&g2).unwrap();
+        tc.build_into(&g2, &order2, &mut pool);
+        assert_eq!(tc.len(), 1);
+        assert_eq!(pool.pooled(), 2);
+        assert!(!tc.reaches(x, x));
+        // grow again: matches a fresh build
+        tc.build_into(&g, &order, &mut pool);
+        let fresh = TransitiveClosure::new(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                assert_eq!(tc.reaches(u, v), fresh.reaches(u, v));
+            }
+        }
     }
 
     #[test]

@@ -268,6 +268,22 @@ impl<N> DiGraph<N> {
         self.edge_ids().map(|e| self.latency(e).max(0)).sum()
     }
 
+    /// Clones `other` into `self`, reusing `self`'s allocations (top-level
+    /// vectors, adjacency rows, and payload buffers via `clone_from`). The
+    /// killed-graph construction of the saturation engine rebuilds a scratch
+    /// copy of the same DDG dozens of times per analysis; with this method
+    /// the steady state performs no heap allocation.
+    pub fn clone_from_graph(&mut self, other: &DiGraph<N>)
+    where
+        N: Clone,
+    {
+        self.nodes.clone_from(&other.nodes);
+        self.edges.clone_from(&other.edges);
+        self.out_adj.clone_from(&other.out_adj);
+        self.in_adj.clone_from(&other.in_adj);
+        self.live_edges = other.live_edges;
+    }
+
     /// Maps node payloads, preserving ids and edges.
     pub fn map_nodes<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> DiGraph<M> {
         DiGraph {
@@ -381,6 +397,27 @@ mod tests {
         assert_eq!(*h.node(a), 0);
         assert_eq!(*h.node(d), 30);
         assert_eq!(h.edge_count(), 4);
+    }
+
+    #[test]
+    fn clone_from_graph_matches_clone() {
+        let (g, [a, b, _, d]) = diamond();
+        let mut h: DiGraph<u32> = DiGraph::new();
+        h.add_node(99); // pre-existing state must be fully replaced
+        h.clone_from_graph(&g);
+        assert_eq!(h.node_count(), g.node_count());
+        assert_eq!(h.edge_count(), g.edge_count());
+        assert_eq!(*h.node(a), 0);
+        let succ: Vec<_> = h.successors(a).collect();
+        assert_eq!(succ, vec![b, NodeId(2)]);
+        // mutations on the copy don't leak back, and a re-clone resets them
+        let e = h.find_edge(a, b).unwrap();
+        h.remove_edge(e);
+        h.add_edge(a, d, 9);
+        h.clone_from_graph(&g);
+        assert_eq!(h.edge_count(), 4);
+        assert!(h.find_edge(a, b).is_some());
+        assert!(h.find_edge(a, d).is_none());
     }
 
     #[test]

@@ -51,13 +51,16 @@ pub mod matching;
 pub mod paths;
 pub mod topo;
 
-pub use antichain::{max_antichain, min_chain_cover, AntichainResult};
-pub use bitset::BitSet;
+pub use antichain::AntichainScratch;
+pub use antichain::{max_antichain, max_antichain_into, min_chain_cover, AntichainResult};
+pub use bitset::{BitSet, BitSetPool};
 pub use closure::TransitiveClosure;
 pub use graph::{DiGraph, EdgeId, NodeId};
 pub use interval::{max_overlap, Interval};
-pub use matching::{hopcroft_karp, BipartiteGraph, MatchingResult};
-pub use topo::{cycle_witness, is_acyclic, topo_sort, CycleError};
+pub use matching::{
+    hopcroft_karp, hopcroft_karp_into, BipartiteGraph, MatchingResult, MatchingScratch,
+};
+pub use topo::{cycle_witness, is_acyclic, topo_sort, topo_sort_into, CycleError};
 
 /// Sentinel latency used in longest-path tables for "no path".
 pub const NO_PATH: i64 = i64::MIN;

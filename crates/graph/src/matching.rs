@@ -8,7 +8,7 @@
 
 /// A bipartite graph with `n_left` left vertices and `n_right` right
 /// vertices; adjacency is stored left-to-right.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct BipartiteGraph {
     n_left: usize,
     n_right: usize,
@@ -29,6 +29,19 @@ impl BipartiteGraph {
     pub fn add_edge(&mut self, l: usize, r: usize) {
         assert!(l < self.n_left && r < self.n_right, "edge out of range");
         self.adj[l].push(r);
+    }
+
+    /// Re-dimensions the graph and removes every edge, keeping the adjacency
+    /// allocations of earlier uses alive for reuse.
+    pub fn reset(&mut self, n_left: usize, n_right: usize) {
+        self.n_left = n_left;
+        self.n_right = n_right;
+        for row in &mut self.adj {
+            row.clear();
+        }
+        if self.adj.len() < n_left {
+            self.adj.resize_with(n_left, Vec::new);
+        }
     }
 
     /// Number of left vertices.
@@ -64,14 +77,60 @@ pub struct MatchingResult {
 
 const INF: u32 = u32::MAX;
 
+/// Reusable working storage for [`hopcroft_karp_into`]. The pairing and
+/// cover vectors double as the result; BFS layers and the work queue are
+/// internal. All buffers are retained across calls.
+#[derive(Clone, Debug, Default)]
+pub struct MatchingScratch {
+    /// `pair_left[l] = Some(r)` if left `l` is matched to right `r`.
+    pub pair_left: Vec<Option<usize>>,
+    /// `pair_right[r] = Some(l)` if right `r` is matched to left `l`.
+    pub pair_right: Vec<Option<usize>>,
+    /// Matching cardinality.
+    pub size: usize,
+    /// König minimum vertex cover: flags for left vertices in the cover.
+    pub cover_left: Vec<bool>,
+    /// König minimum vertex cover: flags for right vertices in the cover.
+    pub cover_right: Vec<bool>,
+    dist: Vec<u32>,
+    queue: Vec<usize>,
+}
+
+impl MatchingScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Hopcroft–Karp maximum matching in `O(E·√V)`; also extracts a König
 /// minimum vertex cover (|cover| == matching size).
 pub fn hopcroft_karp(g: &BipartiteGraph) -> MatchingResult {
+    let mut s = MatchingScratch::new();
+    hopcroft_karp_into(g, &mut s);
+    MatchingResult {
+        pair_left: s.pair_left,
+        pair_right: s.pair_right,
+        size: s.size,
+        cover_left: s.cover_left,
+        cover_right: s.cover_right,
+    }
+}
+
+/// Allocation-reusing [`hopcroft_karp`]: results land in `s` (identical to
+/// what `hopcroft_karp` returns — it delegates here).
+pub fn hopcroft_karp_into(g: &BipartiteGraph, s: &mut MatchingScratch) {
     let (nl, nr) = (g.n_left, g.n_right);
-    let mut pair_l: Vec<Option<usize>> = vec![None; nl];
-    let mut pair_r: Vec<Option<usize>> = vec![None; nr];
-    let mut dist: Vec<u32> = vec![0; nl];
-    let mut queue: Vec<usize> = Vec::with_capacity(nl);
+    let pair_l = &mut s.pair_left;
+    let pair_r = &mut s.pair_right;
+    pair_l.clear();
+    pair_l.resize(nl, None);
+    pair_r.clear();
+    pair_r.resize(nr, None);
+    let dist = &mut s.dist;
+    dist.clear();
+    dist.resize(nl, 0);
+    let queue = &mut s.queue;
 
     loop {
         // BFS layering from free left vertices.
@@ -107,20 +166,27 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> MatchingResult {
         // DFS augmentation along layered paths.
         for l in 0..nl {
             if pair_l[l].is_none() {
-                augment(g, l, &mut pair_l, &mut pair_r, &mut dist);
+                augment(g, l, pair_l, pair_r, dist);
             }
         }
     }
 
-    let size = pair_l.iter().filter(|p| p.is_some()).count();
+    s.size = pair_l.iter().filter(|p| p.is_some()).count();
 
     // König: Z = free left vertices ∪ vertices reachable via alternating
     // paths (unmatched edge L→R, matched edge R→L).
-    // Cover = (L \ Z_L) ∪ (R ∩ Z_R).
-    let mut zl = vec![false; nl];
-    let mut zr = vec![false; nr];
-    let mut stack: Vec<usize> = (0..nl).filter(|&l| pair_l[l].is_none()).collect();
-    for &l in &stack {
+    // Cover = (L \ Z_L) ∪ (R ∩ Z_R). `zl`/`zr` live in the cover buffers
+    // (left inverted at the end), the BFS queue doubles as the stack.
+    let zl = &mut s.cover_left;
+    let zr = &mut s.cover_right;
+    zl.clear();
+    zl.resize(nl, false);
+    zr.clear();
+    zr.resize(nr, false);
+    let stack = queue;
+    stack.clear();
+    stack.extend((0..nl).filter(|&l| pair_l[l].is_none()));
+    for &l in stack.iter() {
         zl[l] = true;
     }
     while let Some(l) = stack.pop() {
@@ -139,22 +205,15 @@ pub fn hopcroft_karp(g: &BipartiteGraph) -> MatchingResult {
             }
         }
     }
-    let cover_left: Vec<bool> = (0..nl).map(|l| !zl[l]).collect();
-    let cover_right: Vec<bool> = zr.clone();
+    for flag in zl.iter_mut() {
+        *flag = !*flag; // cover_left = L \ Z_L
+    }
 
     debug_assert_eq!(
-        cover_left.iter().filter(|&&c| c).count() + cover_right.iter().filter(|&&c| c).count(),
-        size,
+        zl.iter().filter(|&&c| c).count() + zr.iter().filter(|&&c| c).count(),
+        s.size,
         "König cover size must equal matching size"
     );
-
-    MatchingResult {
-        pair_left: pair_l,
-        pair_right: pair_r,
-        size,
-        cover_left,
-        cover_right,
-    }
 }
 
 fn augment(

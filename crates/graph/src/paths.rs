@@ -68,27 +68,61 @@ pub struct LongestPaths {
     table: Vec<i64>,
 }
 
+impl Default for LongestPaths {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
 impl LongestPaths {
     /// Builds the table.
     pub fn new<N>(g: &DiGraph<N>) -> Self {
-        let n = g.node_count();
         let order = topo_sort(g).expect("LongestPaths requires a DAG");
-        let mut table = vec![i64::MIN; n * n];
+        let mut lp = Self::empty();
+        lp.compute_into(g, &order);
+        lp
+    }
+
+    /// An empty table, ready to be (re)filled by [`LongestPaths::compute_into`].
+    pub fn empty() -> Self {
+        LongestPaths {
+            n: 0,
+            table: Vec::new(),
+        }
+    }
+
+    /// Recomputes the table for `g` in place, reusing the table allocation.
+    /// `order` must be a topological order of `g` (e.g. from
+    /// [`crate::topo::topo_sort_into`]); sharing it lets a caller pay for one
+    /// topological sort per graph instead of one per table.
+    pub fn compute_into<N>(&mut self, g: &DiGraph<N>, order: &[NodeId]) {
+        let n = g.node_count();
+        debug_assert_eq!(order.len(), n, "order must cover the graph");
+        self.n = n;
+        self.table.clear();
+        self.table.resize(n * n, i64::MIN);
+        let table = &mut self.table[..];
         // Process nodes in reverse topological order: lp(u, v) =
         // max over out-edges (u,w) of δ + lp(w, v), and lp(u, u) = 0.
         for &u in order.iter().rev() {
             let ui = u.index();
             table[ui * n + ui] = 0;
             for e in g.out_edges(u) {
-                let w = g.dst(e);
+                let wi = g.dst(e).index();
                 let lat = g.latency(e);
-                let wi = w.index();
-                // Split borrows: copy w's row segment-wise.
-                for v in 0..n {
-                    let via = table[wi * n + v];
+                // Split borrows: row `u` mutable, row `w` shared (ui != wi
+                // because self-loops are rejected). Whole-row slices keep the
+                // inner loop free of index arithmetic so it vectorizes.
+                let (urow, wrow) = if ui < wi {
+                    let (lo, hi) = table.split_at_mut(wi * n);
+                    (&mut lo[ui * n..ui * n + n], &hi[..n])
+                } else {
+                    let (lo, hi) = table.split_at_mut(ui * n);
+                    (&mut hi[..n], &lo[wi * n..wi * n + n])
+                };
+                for (cell, &via) in urow.iter_mut().zip(wrow) {
                     if via != i64::MIN {
                         let cand = via + lat;
-                        let cell = &mut table[ui * n + v];
                         if *cell == i64::MIN || cand > *cell {
                             *cell = cand;
                         }
@@ -96,7 +130,6 @@ impl LongestPaths {
                 }
             }
         }
-        LongestPaths { n, table }
     }
 
     /// `lp(u, v)`: longest path length, `None` if no path. `lp(u, u) == 0`.
@@ -278,6 +311,33 @@ mod tests {
         g.add_edge(a, b, 9);
         let ap = LongestPaths::new(&g);
         assert_eq!(ap.lp(a, b), Some(9));
+    }
+
+    #[test]
+    fn compute_into_reuses_table_across_graph_sizes() {
+        let (g, [a, _, _, d]) = chain_and_shortcut();
+        let order = topo_sort(&g).unwrap();
+        let mut lp = LongestPaths::empty();
+        lp.compute_into(&g, &order);
+        assert_eq!(lp.lp(a, d), Some(6));
+        // refill from a smaller graph: stale cells must not leak through
+        let mut g2 = DiGraph::new();
+        let x = g2.add_node(());
+        let y = g2.add_node(());
+        g2.add_edge(x, y, 7);
+        let order2 = topo_sort(&g2).unwrap();
+        lp.compute_into(&g2, &order2);
+        assert_eq!(lp.len(), 2);
+        assert_eq!(lp.lp(x, y), Some(7));
+        assert_eq!(lp.lp(y, x), None);
+        // and back to the larger one: identical to a fresh build
+        lp.compute_into(&g, &order);
+        let fresh = LongestPaths::new(&g);
+        for u in g.node_ids() {
+            for v in g.node_ids() {
+                assert_eq!(lp.lp(u, v), fresh.lp(u, v));
+            }
+        }
     }
 
     #[test]

@@ -25,28 +25,48 @@ impl std::error::Error for CycleError {}
 /// Kahn's algorithm. Returns node ids in a topological order, or a witness
 /// cycle if the graph is cyclic.
 pub fn topo_sort<N>(g: &DiGraph<N>) -> Result<Vec<NodeId>, CycleError> {
+    let mut indeg = Vec::new();
+    let mut order = Vec::new();
+    topo_sort_into(g, &mut indeg, &mut order)?;
+    Ok(order)
+}
+
+/// Allocation-reusing variant of [`topo_sort`]: fills `order` with a
+/// topological order (identical to the one `topo_sort` returns), using
+/// `indeg` as working storage. In the steady state of a batch run neither
+/// buffer reallocates. The cyclic-graph error path still allocates its
+/// witness — acceptable, since callers treat it as fatal or as a rejected
+/// candidate.
+pub fn topo_sort_into<N>(
+    g: &DiGraph<N>,
+    indeg: &mut Vec<usize>,
+    order: &mut Vec<NodeId>,
+) -> Result<(), CycleError> {
     let n = g.node_count();
-    let mut indeg: Vec<usize> = vec![0; n];
+    indeg.clear();
+    indeg.resize(n, 0);
     for e in g.edge_ids() {
         indeg[g.dst(e).index()] += 1;
     }
-    let mut queue: Vec<NodeId> = g.node_ids().filter(|nid| indeg[nid.index()] == 0).collect();
-    let mut order = Vec::with_capacity(n);
+    // `order` doubles as Kahn's FIFO work queue: popped-off prefix = emitted
+    // order.
+    order.clear();
+    order.reserve(n);
+    order.extend(g.node_ids().filter(|nid| indeg[nid.index()] == 0));
     let mut head = 0;
-    while head < queue.len() {
-        let u = queue[head];
+    while head < order.len() {
+        let u = order[head];
         head += 1;
-        order.push(u);
         for e in g.out_edges(u) {
             let v = g.dst(e);
             indeg[v.index()] -= 1;
             if indeg[v.index()] == 0 {
-                queue.push(v);
+                order.push(v);
             }
         }
     }
     if order.len() == n {
-        Ok(order)
+        Ok(())
     } else {
         Err(CycleError {
             cycle: find_cycle(g).expect("Kahn detected a cycle but DFS found none"),
@@ -192,6 +212,25 @@ mod tests {
         let mut g = DiGraph::new();
         g.add_node(());
         assert_eq!(topo_sort(&g).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn topo_sort_into_reuses_buffers_and_matches() {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, 0);
+        g.add_edge(b, c, 0);
+        let mut indeg = Vec::new();
+        let mut order = Vec::new();
+        topo_sort_into(&g, &mut indeg, &mut order).unwrap();
+        assert_eq!(order, topo_sort(&g).unwrap());
+        // reuse on a smaller graph: buffers shrink logically, stay valid
+        let mut g2 = DiGraph::new();
+        let x = g2.add_node(());
+        topo_sort_into(&g2, &mut indeg, &mut order).unwrap();
+        assert_eq!(order, vec![x]);
     }
 
     #[test]

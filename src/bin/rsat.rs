@@ -4,12 +4,20 @@
 //! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--threads N]
 //! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]
 //! rsat pipeline <file.ddg> --registers N [--issue 1|4|8]
+//! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]
 //! rsat dot      <file.ddg>
 //! ```
 //!
 //! `--threads N` runs the exact solvers (`--exact` combinatorial search,
 //! `--ilp` intLP branch-and-bound) with `N` parallel workers; the reported
 //! saturations are identical for every thread count.
+//!
+//! `corpus` walks a directory of `.ddg` files with `--jobs` scoped-thread
+//! workers (each with its own warm analysis engine), prints a per-file
+//! summary, and writes `corpus.json`/`corpus.txt` under `--out` (default
+//! `results/`). Malformed files are reported in the summary and skipped —
+//! they do not abort the run or fail the exit code. The summary content is
+//! identical for every `--jobs` value.
 //!
 //! The input format is documented in `rs_core::parse`. Examples live in
 //! `examples/data/*.ddg`.
@@ -39,6 +47,9 @@ fn main() -> ExitCode {
                 "  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]"
             );
             eprintln!("  rsat pipeline <file.ddg> --registers N [--issue 1|4|8]");
+            eprintln!(
+                "  rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]"
+            );
             eprintln!("  rsat dot      <file.ddg>");
             ExitCode::FAILURE
         }
@@ -47,6 +58,9 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let cmd = args.first().ok_or("missing command")?;
+    if cmd == "corpus" {
+        return corpus(args);
+    }
     let file = args.get(1).ok_or("missing input file")?;
     let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
     let ddg = parse_ddg(&input).map_err(|e| format!("{file}: {e}"))?;
@@ -97,6 +111,48 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `rsat corpus <dir>`: the parallel corpus driver of `rs-bench`, with the
+/// report plumbing the experiment binaries use. A malformed `.ddg` is
+/// reported in the summary and skipped; only driver-level failures
+/// (unreadable directory, no corpus files, bad flags) fail the command.
+fn corpus(args: &[String]) -> Result<(), String> {
+    use rs_bench::corpus::{render_text, run_corpus, CorpusMode, CorpusOptions};
+
+    let dir = args.get(1).ok_or("missing corpus directory")?;
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| "bad --jobs value".to_string())?
+            .max(1),
+        None => 1,
+    };
+    let registers = match flag_value(args, "--registers") {
+        Some(_) => Some(parse_registers(args)?),
+        None => None,
+    };
+    let mode = match flag_value(args, "--mode").as_deref() {
+        None | Some("analyze") => CorpusMode::Analyze,
+        Some("reduce") => CorpusMode::Reduce {
+            registers: registers.ok_or("--mode reduce requires --registers N")?,
+        },
+        Some("pipeline") => CorpusMode::Pipeline {
+            registers: registers.ok_or("--mode pipeline requires --registers N")?,
+        },
+        Some(other) => return Err(format!("unknown corpus mode `{other}`")),
+    };
+    let out_dir = flag_value(args, "--out").unwrap_or_else(|| "results".to_string());
+
+    let summary = run_corpus(std::path::Path::new(dir), &CorpusOptions { jobs, mode })?;
+    let text = render_text(&summary);
+    print!("{text}");
+    rs_bench::common::write_report(std::path::Path::new(&out_dir), "corpus", &text, &summary);
+    println!(
+        "summary written to {}",
+        std::path::Path::new(&out_dir).join("corpus.json").display()
+    );
+    Ok(())
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -105,10 +161,14 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn parse_registers(args: &[String]) -> Result<usize, String> {
-    flag_value(args, "--registers")
+    let n: usize = flag_value(args, "--registers")
         .ok_or("missing --registers N")?
         .parse()
-        .map_err(|_| "bad --registers value".to_string())
+        .map_err(|_| "bad --registers value".to_string())?;
+    if n == 0 {
+        return Err("--registers must be at least 1".to_string());
+    }
+    Ok(n)
 }
 
 fn types_to_analyse(ddg: &Ddg, requested: Option<RegType>) -> Vec<RegType> {

@@ -1,0 +1,157 @@
+//! Integration tests for `rsat corpus`: parallel directory runs, JSON/text
+//! report output, exit-code hygiene for malformed corpus files, and
+//! `--jobs` independence of the summary.
+
+use rs_bench::corpus::{run_corpus, CorpusMode, CorpusOptions};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn rsat(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_rsat"))
+        .args(args)
+        .output()
+        .expect("run rsat");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn fixtures() -> String {
+    format!("{}/examples/data", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// A scratch corpus directory seeded with the shipped fixtures plus a
+/// malformed file; removed on drop.
+struct TempCorpus {
+    dir: PathBuf,
+    out: PathBuf,
+}
+
+impl TempCorpus {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("rsat_corpus_cli_{tag}"));
+        let out = std::env::temp_dir().join(format!("rsat_corpus_cli_{tag}_out"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&out);
+        std::fs::create_dir_all(&dir).unwrap();
+        for fixture in ["expr.ddg", "daxpy.ddg"] {
+            std::fs::copy(Path::new(&fixtures()).join(fixture), dir.join(fixture)).unwrap();
+        }
+        TempCorpus { dir, out }
+    }
+
+    fn add_malformed(&self) {
+        // line 3 references an undefined op — a parse error with a line number
+        std::fs::write(
+            self.dir.join("broken.ddg"),
+            "target superscalar\nop a load float\nflow a ghost 1 float\n",
+        )
+        .unwrap();
+    }
+}
+
+impl Drop for TempCorpus {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+        let _ = std::fs::remove_dir_all(&self.out);
+    }
+}
+
+#[test]
+fn corpus_runs_shipped_fixtures_and_writes_reports() {
+    let tc = TempCorpus::new("basic");
+    let dir = tc.dir.to_str().unwrap();
+    let out = tc.out.to_str().unwrap();
+    let (ok, stdout, stderr) = rsat(&["corpus", dir, "--jobs", "2", "--out", out]);
+    assert!(ok, "corpus run failed: {stderr}");
+    assert!(stdout.contains("2 files, 2 analyzed, 0 failed"), "{stdout}");
+    assert!(stdout.contains("expr.ddg"), "{stdout}");
+    // both report artifacts exist and carry the analysis
+    let json = std::fs::read_to_string(tc.out.join("corpus.json")).unwrap();
+    assert!(json.contains("\"saturation\": 4"), "{json}");
+    assert!(std::fs::read_to_string(tc.out.join("corpus.txt")).is_ok());
+}
+
+#[test]
+fn malformed_file_is_skipped_with_success_exit_code() {
+    let tc = TempCorpus::new("malformed");
+    tc.add_malformed();
+    let dir = tc.dir.to_str().unwrap();
+    let out = tc.out.to_str().unwrap();
+    let (ok, stdout, stderr) = rsat(&["corpus", dir, "--jobs", "2", "--out", out]);
+    assert!(
+        ok,
+        "a malformed corpus file must not abort the run: {stderr}"
+    );
+    assert!(stdout.contains("3 files, 2 analyzed, 1 failed"), "{stdout}");
+    assert!(stdout.contains("broken.ddg: SKIPPED"), "{stdout}");
+    // the error (with its line number) is carried into the JSON summary
+    let json = std::fs::read_to_string(tc.out.join("corpus.json")).unwrap();
+    assert!(json.contains("line 3"), "{json}");
+    assert!(json.contains("\"failed\": 1"), "{json}");
+}
+
+#[test]
+fn driver_level_failures_do_fail() {
+    let (ok, _, stderr) = rsat(&["corpus", "/nonexistent_rsat_dir"]);
+    assert!(!ok);
+    assert!(stderr.contains("cannot read directory"), "{stderr}");
+
+    // reduce/pipeline modes require a budget
+    let (ok, _, stderr) = rsat(&["corpus", &fixtures(), "--mode", "reduce"]);
+    assert!(!ok);
+    assert!(stderr.contains("--registers"), "{stderr}");
+
+    // a zero budget is rejected at flag parsing, not by a worker panic
+    let (ok, _, stderr) = rsat(&[
+        "corpus",
+        &fixtures(),
+        "--mode",
+        "reduce",
+        "--registers",
+        "0",
+    ]);
+    assert!(!ok);
+    assert!(stderr.contains("at least 1"), "{stderr}");
+}
+
+#[test]
+fn jobs_one_and_four_summaries_agree() {
+    // library-level check on the shipped fixtures across all three modes
+    for mode in [
+        CorpusMode::Analyze,
+        CorpusMode::Reduce { registers: 3 },
+        CorpusMode::Pipeline { registers: 3 },
+    ] {
+        let one = run_corpus(Path::new(&fixtures()), &CorpusOptions { jobs: 1, mode }).unwrap();
+        let four = run_corpus(Path::new(&fixtures()), &CorpusOptions { jobs: 4, mode }).unwrap();
+        assert_eq!(one.file_count, four.file_count);
+        assert_eq!(one.failed, four.failed);
+        for (a, b) in one.files.iter().zip(&four.files) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view(), "{mode:?}");
+        }
+    }
+}
+
+#[test]
+fn pipeline_mode_reports_reductions() {
+    let tc = TempCorpus::new("pipeline");
+    let dir = tc.dir.to_str().unwrap();
+    let out = tc.out.to_str().unwrap();
+    let (ok, stdout, stderr) = rsat(&[
+        "corpus",
+        dir,
+        "--mode",
+        "pipeline",
+        "--registers",
+        "3",
+        "--out",
+        out,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("budget 3"), "{stdout}");
+    // expr needs one serialization arc to fit 3 registers
+    assert!(stdout.contains("RS* = 4 -> 3"), "{stdout}");
+}

@@ -1,0 +1,158 @@
+//! Property suite for the batch analysis engine: `RsEngine` (scratch-reusing
+//! batch path) must be indistinguishable from the one-shot `GreedyK` /
+//! `Reducer` reference path — same saturation, same witness, same killing
+//! function, same reduction outcome — on random DDGs of both target kinds.
+//!
+//! One engine is shared across every generated case, so any stale-scratch
+//! leakage between DAGs of different shapes and sizes fails the suite.
+
+use proptest::prelude::*;
+use rs_core::engine::RsEngine;
+use rs_core::heuristic::{GreedyK, RsAnalysis};
+use rs_core::model::{RegType, Target};
+use rs_core::pipeline::Pipeline;
+use rs_core::reduce::{ReduceOutcome, Reducer};
+use rs_kernels::random::{random_ddg, RandomDagConfig};
+use std::sync::Mutex;
+
+/// The shared engine: persistence across proptest cases is the point.
+static ENGINE: Mutex<Option<RsEngine>> = Mutex::new(None);
+
+fn with_engine<R>(f: impl FnOnce(&mut RsEngine) -> R) -> R {
+    let mut guard = ENGINE.lock().unwrap();
+    f(guard.get_or_insert_with(RsEngine::new))
+}
+
+fn assert_same_analysis(engine: &RsAnalysis, reference: &RsAnalysis) {
+    assert_eq!(engine.saturation, reference.saturation, "saturation");
+    assert_eq!(
+        engine.saturating_values, reference.saturating_values,
+        "witness antichain"
+    );
+    assert_eq!(engine.killing, reference.killing, "killing function");
+    assert_eq!(
+        engine.provably_optimal, reference.provably_optimal,
+        "optimality flag"
+    );
+}
+
+fn reduce_fingerprint(out: &ReduceOutcome) -> (bool, Vec<(u32, u32, i64)>) {
+    (
+        out.fits(),
+        out.added_arcs()
+            .iter()
+            .map(|&(a, b, l)| (a.0, b.0, l))
+            .collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Batch analysis ≡ one-shot analysis on random superscalar + VLIW DAGs.
+    #[test]
+    fn engine_matches_one_shot(
+        ops in 4usize..26,
+        seed in 0u64..10_000,
+    ) {
+        // alternate targets off the seed (the vendored proptest shim has no
+        // bool strategy)
+        let target = if seed % 2 == 0 { Target::vliw() } else { Target::superscalar() };
+        let ddg = random_ddg(&RandomDagConfig::sized(ops, seed), target);
+        let greedy = GreedyK::new();
+        for t in ddg.reg_types() {
+            let reference = greedy.saturation(&ddg, t);
+            let engine = with_engine(|e| e.analyze(&ddg, t));
+            assert_same_analysis(&engine, &reference);
+            // the witness must also be a killing-respecting valid function
+            let lp = rs_graph::paths::LongestPaths::new(ddg.graph());
+            let pk = rs_core::pkill::potential_killers(&ddg, t, &lp);
+            prop_assert!(engine.killing.respects(&pk));
+        }
+    }
+
+    /// Batch reduction ≡ one-shot reduction (outcome, arcs, final graph).
+    #[test]
+    fn engine_reduce_matches_reducer(
+        ops in 4usize..20,
+        seed in 0u64..5_000,
+        budget in 1usize..5,
+    ) {
+        let ddg = random_ddg(&RandomDagConfig::sized(ops, seed), Target::superscalar());
+        for t in ddg.reg_types() {
+            let mut d_ref = ddg.clone();
+            let mut d_eng = ddg.clone();
+            let reference = Reducer::new().reduce(&mut d_ref, t, budget);
+            let engine = with_engine(|e| e.reduce(&mut d_eng, t, budget));
+            prop_assert_eq!(
+                reduce_fingerprint(&engine),
+                reduce_fingerprint(&reference)
+            );
+            prop_assert_eq!(d_eng.graph().edge_count(), d_ref.graph().edge_count());
+            prop_assert_eq!(d_eng.critical_path(), d_ref.critical_path());
+        }
+    }
+
+    /// Engine-backed pipeline ≡ classic pipeline report.
+    #[test]
+    fn engine_pipeline_matches_run(
+        ops in 4usize..18,
+        seed in 0u64..2_000,
+        budget in 1usize..5,
+    ) {
+        let ddg = random_ddg(&RandomDagConfig::sized(ops, seed), Target::superscalar());
+        let pipeline = Pipeline::uniform(budget);
+        let mut d_ref = ddg.clone();
+        let mut d_eng = ddg;
+        let reference = pipeline.run(&mut d_ref);
+        let engine = with_engine(|e| pipeline.run_with(e, &mut d_eng));
+        prop_assert_eq!(engine.types.len(), reference.types.len());
+        for (a, b) in engine.types.iter().zip(&reference.types) {
+            prop_assert_eq!(a.reg_type, b.reg_type);
+            prop_assert_eq!(a.rs_before, b.rs_before);
+            prop_assert_eq!(a.rs_after, b.rs_after);
+            prop_assert_eq!(a.arcs_added, b.arcs_added);
+            prop_assert_eq!(a.fits, b.fits);
+            prop_assert_eq!(a.cp_after, b.cp_after);
+        }
+        prop_assert_eq!(d_eng.graph().edge_count(), d_ref.graph().edge_count());
+    }
+}
+
+/// The named kernel corpus, both targets: deterministic end-to-end sweep
+/// with one shared engine (mirrors what `rsat corpus` does per worker).
+#[test]
+fn engine_matches_one_shot_on_kernel_corpus() {
+    let greedy = GreedyK::new();
+    for target in [Target::superscalar(), Target::vliw()] {
+        for kernel in rs_kernels::corpus() {
+            let ddg = (kernel.build)(target.clone());
+            for t in ddg.reg_types() {
+                let reference = greedy.saturation(&ddg, t);
+                let engine = with_engine(|e| e.analyze(&ddg, t));
+                assert_same_analysis(&engine, &reference);
+            }
+        }
+    }
+}
+
+/// `RsEngine::analyze_batch` over mixed sizes equals per-DAG one-shot runs.
+#[test]
+fn batch_api_equals_one_shot_per_dag() {
+    let ddgs: Vec<_> = [4usize, 18, 6, 25, 9]
+        .iter()
+        .enumerate()
+        .map(|(i, &ops)| {
+            random_ddg(
+                &RandomDagConfig::sized(ops, 777 + i as u64),
+                Target::superscalar(),
+            )
+        })
+        .collect();
+    let batch: Vec<_> = ddgs.iter().map(|d| (d, RegType::FLOAT)).collect();
+    let results = with_engine(|e| e.analyze_batch(batch.iter().map(|&(d, t)| (d, t))));
+    let greedy = GreedyK::new();
+    for (ddg, result) in ddgs.iter().zip(&results) {
+        assert_same_analysis(result, &greedy.saturation(ddg, RegType::FLOAT));
+    }
+}
