@@ -32,7 +32,9 @@ use crate::pkill::never_simultaneously_alive;
 use rs_graph::paths::{alap, asap, LongestPaths};
 use rs_graph::{topo, NodeId};
 use rs_lp::linearize::{iff_conjunction_ge, indicator_ge, max_of};
-use rs_lp::{Cmp, LinExpr, MilpConfig, MilpError, Model, ModelStats, Sense, VarId, VarKind};
+use rs_lp::{
+    Cmp, LinExpr, MilpConfig, MilpError, MilpStats, Model, ModelStats, Sense, VarId, VarKind,
+};
 use std::collections::BTreeMap;
 
 /// Interference variable of a value pair.
@@ -101,6 +103,10 @@ pub struct RsIlpResult {
     pub saturating_values: Vec<NodeId>,
     /// Model size (for the complexity table).
     pub model_stats: ModelStats,
+    /// Branch-and-bound solve statistics (nodes, LP solves, warm-started
+    /// dives, pivots, relaxation tableau shape) — surfaced by
+    /// `rsat analyze --ilp --stats`.
+    pub milp_stats: MilpStats,
     /// True iff branch-and-bound proved optimality within budget.
     pub proven_optimal: bool,
 }
@@ -249,6 +255,7 @@ impl RsIlp {
                 schedule: lifetime::asap_schedule(ddg),
                 saturating_values: Vec::new(),
                 model_stats: ModelStats::default(),
+                milp_stats: MilpStats::default(),
                 proven_optimal: true,
             });
         }
@@ -275,6 +282,7 @@ impl RsIlp {
             schedule,
             saturating_values: saturating,
             model_stats: stats,
+            milp_stats: sol.stats,
             proven_optimal: sol.stats.proven_optimal,
         })
     }

@@ -1,10 +1,15 @@
 //! # rs-lp — linear-programming substrate
 //!
 //! The paper solves its intLP formulations with CPLEX; this crate is the
-//! from-scratch replacement: a dense two-phase primal simplex for LP
-//! relaxations and a branch-and-bound driver for mixed-integer programs,
-//! plus the logical-operator linearizations (`max`, `⟹`, `⟺`, `∨`) that
-//! Sections 3–4 of the paper take from Touati's thesis \[15\].
+//! from-scratch replacement: a dense two-phase **bounded-variable** primal
+//! simplex for LP relaxations (upper bounds live in per-column statuses,
+//! not in explicit `x ≤ u` rows — the RS models are almost entirely binary,
+//! so this halves the tableau in both dimensions) and a parallel
+//! branch-and-bound driver with a warm-started diving heuristic, plus the
+//! logical-operator linearizations (`max`, `⟹`, `⟺`, `∨`) that Sections
+//! 3–4 of the paper take from Touati's thesis \[15\]. The pre-rewrite
+//! explicit-bound-row formulation survives as a differential baseline in
+//! [`reference`].
 //!
 //! Design notes:
 //!
@@ -37,13 +42,17 @@ pub mod milp;
 pub mod model;
 pub(crate) mod pool;
 pub mod presolve;
+pub mod reference;
 pub mod simplex;
 
 pub use expr::LinExpr;
 pub use milp::{solve, MilpConfig, MilpError, MilpStats};
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
 pub use presolve::{presolve, PresolveOutcome, PresolveStats};
-pub use simplex::{solve_relaxation, solve_with_basis, Basis, LpOutcome, Solution};
+pub use simplex::{
+    solve_relaxation, solve_with_basis, solve_with_basis_stats, tableau_shape, Basis, LpOutcome,
+    LpStats, Solution,
+};
 
 /// Numeric tolerance used throughout the solver.
 pub const EPS: f64 = 1e-7;

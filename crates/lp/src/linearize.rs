@@ -46,8 +46,14 @@ impl RowBuf {
         sign * e.constant
     }
 
+    /// Emits the assembled row. Rows that collapse to a single variable
+    /// (common when a big-M constant is zero: the guard term vanishes and
+    /// the condition holds unconditionally) are folded into that variable's
+    /// bounds instead of materializing a constraint — the bounded-variable
+    /// simplex carries bounds for free, so such rows would only grow the
+    /// tableau. See [`Model::add_bound_or_constraint`].
     fn emit(&mut self, m: &mut Model, cmp: Cmp, rhs: f64) {
-        m.add_constraint_terms(&self.terms, cmp, rhs);
+        m.add_bound_or_constraint(&self.terms, cmp, rhs);
     }
 }
 
@@ -80,7 +86,9 @@ pub fn max_of(m: &mut Model, name: &str, terms: &[LinExpr]) -> VarId {
         buf.emit(m, Cmp::Le, big_m - c0);
         selector_sum = selector_sum + y;
     }
-    m.add_constraint(selector_sum, Cmp::Eq, 1.0);
+    // A single-term max degenerates to `y0 = 1`, which folds into the
+    // selector's bounds like any other single-variable row.
+    m.add_bound_or_constraint(&selector_sum.terms, Cmp::Eq, 1.0);
     k
 }
 

@@ -217,11 +217,65 @@ impl Model {
         &self.vars[v.index()].name
     }
 
-    /// Tightens a variable's bounds (used by branch-and-bound).
+    /// Tightens a variable's bounds (used by branch-and-bound and by the
+    /// bound-folding paths of presolve and the linearizations).
+    ///
+    /// Binary variables are re-clamped to `[0, 1]` exactly as on creation,
+    /// and the result is validated: an empty domain (`lo > hi` after
+    /// clamping) or a non-finite lower bound panics instead of silently
+    /// producing a model the simplex would mis-shift.
     pub fn set_bounds(&mut self, v: VarId, lo: f64, hi: f64) {
         let var = &mut self.vars[v.index()];
+        let (lo, hi) = match var.kind {
+            VarKind::Binary => (lo.max(0.0), hi.min(1.0)),
+            _ => (lo, hi),
+        };
+        assert!(lo.is_finite(), "x{}: lower bound must be finite", v.0);
+        assert!(lo <= hi, "x{}: empty domain [{lo}, {hi}]", v.0);
         var.lo = lo;
         var.hi = hi;
+    }
+
+    /// Adds `Σ terms cmp rhs`, folding a single-variable row into that
+    /// variable's bounds instead of materializing a constraint — the
+    /// bounded-variable simplex handles bounds for free, so a `a·x ≤ b` row
+    /// would only grow the tableau. Integral variables get the folded bound
+    /// rounded inward. When folding would empty the domain (the row is
+    /// infeasible under the current bounds) the row is kept so the solver
+    /// reports infeasibility through its normal path.
+    ///
+    /// Returns `true` when the row was absorbed into a bound.
+    pub fn add_bound_or_constraint(&mut self, terms: &[(VarId, f64)], cmp: Cmp, rhs: f64) -> bool {
+        let mut expr = LinExpr {
+            terms: terms.to_vec(),
+            constant: 0.0,
+        };
+        expr.normalize();
+        if let [(v, a)] = expr.terms[..] {
+            if a.abs() > crate::EPS && self.try_fold_bound(v, a, cmp, rhs) {
+                return true;
+            }
+        }
+        self.constraints.push(Constraint { expr, cmp, rhs });
+        false
+    }
+
+    /// Tightens `v`'s bounds with the row `a·v cmp rhs`. Returns `false`
+    /// (leaving the model untouched) when the tightened interval would be
+    /// empty.
+    fn try_fold_bound(&mut self, v: VarId, a: f64, cmp: Cmp, rhs: f64) -> bool {
+        let (lo, hi) = self.bounds(v);
+        let integral = !matches!(self.kind(v), VarKind::Continuous);
+        match fold_interval(lo, hi, integral, a, cmp, rhs) {
+            Some((nlo, nhi)) if nlo <= nhi => {
+                self.set_bounds(v, nlo, nhi);
+                true
+            }
+            // Empty (or fractionally-pinned integer) interval: keep the
+            // row so the solver reports infeasibility through its normal
+            // path.
+            _ => false,
+        }
     }
 
     /// Finite interval `[lo, hi]` that `expr` is guaranteed to lie in, given
@@ -298,6 +352,56 @@ impl Model {
     }
 }
 
+/// Interval arithmetic shared by every single-variable-row fold (the
+/// model-level [`Model::add_bound_or_constraint`] and presolve's singleton
+/// pass): tightens `[lo, hi]` with the row `a·x cmp rhs`, rounding inward
+/// for integral variables.
+///
+/// Returns `None` when the row pins an integral variable to a fractional
+/// value (the row cannot be represented as a bound at all), otherwise the
+/// tightened interval — **possibly empty** (`nlo > nhi`); the caller
+/// chooses the empty-interval policy (keep the row vs. declare
+/// infeasibility).
+pub(crate) fn fold_interval(
+    lo: f64,
+    hi: f64,
+    integral: bool,
+    a: f64,
+    cmp: Cmp,
+    rhs: f64,
+) -> Option<(f64, f64)> {
+    let x = rhs / a;
+    let (mut nlo, mut nhi) = (lo, hi);
+    let tightens_upper = matches!((cmp, a > 0.0), (Cmp::Le, true) | (Cmp::Ge, false));
+    match cmp {
+        Cmp::Le | Cmp::Ge if tightens_upper => {
+            let ub = if integral {
+                (x + crate::EPS).floor()
+            } else {
+                x
+            };
+            nhi = nhi.min(ub);
+        }
+        Cmp::Le | Cmp::Ge => {
+            let lb = if integral { (x - crate::EPS).ceil() } else { x };
+            nlo = nlo.max(lb);
+        }
+        Cmp::Eq => {
+            let mut val = x;
+            if integral {
+                let r = val.round();
+                if (val - r).abs() > crate::EPS {
+                    return None;
+                }
+                val = r;
+            }
+            nlo = nlo.max(val);
+            nhi = nhi.min(val);
+        }
+    }
+    Some((nlo, nhi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,5 +462,60 @@ mod tests {
     fn rejects_empty_domain() {
         let mut m = Model::new(Sense::Minimize);
         m.add_var("bad", VarKind::Continuous, 2.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty domain")]
+    fn set_bounds_rejects_inverted_interval() {
+        // Regression: this used to be accepted silently and produced a
+        // negative variable range inside the simplex.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0);
+        m.set_bounds(x, 5.0, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound must be finite")]
+    fn set_bounds_rejects_infinite_lower() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0);
+        m.set_bounds(x, f64::NEG_INFINITY, 2.0);
+    }
+
+    #[test]
+    fn set_bounds_reclamps_binaries() {
+        // Regression: set_bounds used to un-clamp binaries to arbitrary
+        // intervals.
+        let mut m = Model::new(Sense::Minimize);
+        let b = m.add_var("b", VarKind::Binary, 0.0, 1.0);
+        m.set_bounds(b, -3.0, 7.0);
+        assert_eq!(m.bounds(b), (0.0, 1.0));
+        m.set_bounds(b, 1.0, 1.0);
+        assert_eq!(m.bounds(b), (1.0, 1.0));
+    }
+
+    #[test]
+    fn single_variable_rows_fold_into_bounds() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
+        // 2x <= 7  =>  x <= 3 (integral rounding), no row emitted
+        assert!(m.add_bound_or_constraint(&[(x, 2.0)], Cmp::Le, 7.0));
+        assert_eq!(m.num_constraints(), 0);
+        assert_eq!(m.bounds(x), (0.0, 3.0));
+        // -x <= -2  =>  x >= 2
+        assert!(m.add_bound_or_constraint(&[(x, -1.0)], Cmp::Le, -2.0));
+        assert_eq!(m.bounds(x), (2.0, 3.0));
+        // equality pins the variable
+        assert!(m.add_bound_or_constraint(&[(x, 1.0)], Cmp::Eq, 3.0));
+        assert_eq!(m.bounds(x), (3.0, 3.0));
+        // a row that would empty the domain is kept as a real (infeasible)
+        // constraint instead of panicking in set_bounds
+        assert!(!m.add_bound_or_constraint(&[(x, 1.0)], Cmp::Le, 1.0));
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.bounds(x), (3.0, 3.0));
+        // multi-variable rows pass straight through
+        let y = m.add_var("y", VarKind::Integer, 0.0, 10.0);
+        assert!(!m.add_bound_or_constraint(&[(x, 1.0), (y, 1.0)], Cmp::Le, 5.0));
+        assert_eq!(m.num_constraints(), 2);
     }
 }

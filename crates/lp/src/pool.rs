@@ -15,14 +15,15 @@
 //! comparison of the value vectors, so the reported optimal objective never
 //! depends on the number of worker threads or their interleaving.
 
-use crate::simplex::Basis;
 use crate::VarId;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// An open branch-and-bound node: the bound overrides along its path from
-/// the root, plus warm-start and ordering metadata.
+/// the root plus ordering metadata. Nodes carry no simplex basis — node
+/// relaxations solve cold on purpose (see `milp::process_node`); the warm
+/// machinery serves the diving heuristic instead.
 pub(crate) struct Node {
     /// `(var, lo, hi)` overrides accumulated from the root.
     pub bounds: Vec<(VarId, f64, f64)>,
@@ -30,8 +31,6 @@ pub(crate) struct Node {
     /// Dual bound inherited from the parent relaxation, normalized so that
     /// larger is always better (the root uses `+∞`).
     pub score: f64,
-    /// Parent's optimal basis for the warm-started child solve.
-    pub basis: Option<Basis>,
 }
 
 struct Entry {
@@ -224,7 +223,6 @@ mod tests {
             bounds: Vec::new(),
             depth: 0,
             score,
-            basis: None,
         }
     }
 

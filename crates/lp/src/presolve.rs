@@ -33,6 +33,10 @@ pub struct PresolveStats {
     pub bounds_tightened: usize,
     /// Constraints removed as redundant.
     pub rows_removed: usize,
+    /// Singleton rows (`a·x cmp b`) folded into variable bounds. The
+    /// bounded-variable simplex handles bounds for free, so keeping these
+    /// as rows would only grow the tableau.
+    pub singletons_folded: usize,
     /// Variables whose domain collapsed to a point.
     pub vars_fixed: usize,
     /// Tightening rounds executed.
@@ -52,6 +56,45 @@ pub fn presolve(model: &Model, max_rounds: usize) -> PresolveOutcome {
     for _round in 0..max_rounds {
         stats.rounds += 1;
         let mut changed = false;
+
+        // 0. Singleton rows fold into variable bounds — the
+        // bounded-variable simplex represents bounds implicitly, so a
+        // `a·x cmp b` row is pure tableau growth. An infeasible fold (the
+        // tightened interval would be empty) ends presolve immediately.
+        let mut si = 0;
+        while si < m.constraints.len() {
+            let c = &m.constraints[si];
+            let fold = match c.expr.terms[..] {
+                [(v, a)] if a.abs() > EPS => Some((v, a, c.cmp, c.rhs)),
+                _ => None,
+            };
+            let Some((v, a, cmp, rhs)) = fold else {
+                si += 1;
+                continue;
+            };
+            let (vlo, vhi) = m.bounds(v);
+            let integral = !matches!(m.kind(v), VarKind::Continuous);
+            // Presolve's empty-interval policy is stricter than the
+            // model-level fold: a singleton row that empties the domain
+            // (or pins an integer to a fraction) proves infeasibility.
+            let Some((nlo, nhi)) = crate::model::fold_interval(vlo, vhi, integral, a, cmp, rhs)
+            else {
+                return PresolveOutcome::Infeasible;
+            };
+            if nlo > nhi + EPS {
+                return PresolveOutcome::Infeasible;
+            }
+            // Clamp away sub-tolerance inversions before set_bounds
+            // validates the interval.
+            let nlo = nlo.min(nhi);
+            m.set_bounds(v, nlo, nhi);
+            if nlo > vlo + EPS || nhi < vhi - EPS {
+                stats.bounds_tightened += 1;
+            }
+            m.constraints.remove(si);
+            stats.singletons_folded += 1;
+            changed = true;
+        }
 
         // 1. Row classification.
         let mut keep = vec![true; m.constraints.len()];
@@ -208,14 +251,45 @@ mod tests {
         m.set_objective(LinExpr::from(x));
         match presolve(&m, 4) {
             PresolveOutcome::Reduced { model, stats } => {
-                // the loose row goes first; tightening x ≤ 3 then makes the
-                // binding row redundant as well, so both disappear
-                assert_eq!(stats.rows_removed, 2);
+                // both rows are singletons: folded straight into x's bounds
+                assert_eq!(stats.singletons_folded, 2);
                 assert_eq!(model.num_constraints(), 0);
                 assert_eq!(model.bounds(x).1, 3.0);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn folds_singleton_rows_into_bounds() {
+        // Mixed model: one singleton Ge, one singleton Eq on another var,
+        // one genuine two-variable row that must survive.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(x) * 2.0, Cmp::Ge, 3.0); // x >= 1.5 -> 2
+        m.add_constraint(LinExpr::from(y), Cmp::Eq, 4.0);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Le, 9.0);
+        m.set_objective(LinExpr::from(x) + y);
+        match presolve(&m, 4) {
+            PresolveOutcome::Reduced { model, stats } => {
+                assert_eq!(stats.singletons_folded, 2);
+                assert_eq!(model.bounds(x).0, 2.0);
+                assert_eq!(model.bounds(y), (4.0, 4.0));
+                // the x + y row tightens x's upper (x <= 5) but remains
+                assert!(model.num_constraints() <= 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_eq_fractional_integer_is_infeasible() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(x) * 2.0, Cmp::Eq, 5.0); // x = 2.5
+        m.set_objective(LinExpr::from(x));
+        assert!(matches!(presolve(&m, 4), PresolveOutcome::Infeasible));
     }
 
     #[test]

@@ -1,33 +1,58 @@
-//! Two-phase dense primal simplex with warm-started re-solves.
+//! Bounded-variable dense primal simplex with warm-started re-solves.
 //!
 //! The models produced by the register-saturation formulations are small
 //! (hundreds of rows and columns), dense-tableau simplex is the simplest
 //! correct implementation at that scale, and determinism falls out for free.
 //!
+//! ## Bounded variables
+//!
+//! Finite upper bounds are handled **implicitly**: every column carries a
+//! status — basic, nonbasic-at-lower, or nonbasic-at-upper — and the ratio
+//! test considers three events (a basic variable reaching its lower bound,
+//! a basic variable reaching its *upper* bound, and the entering variable
+//! flipping straight to its opposite bound without a basis change). The
+//! standard form therefore contains **only the structural constraint
+//! rows**: no `x ≤ u` bound rows and no bound slacks. The RS linearizations
+//! are almost entirely binary variables, so this halves both tableau
+//! dimensions compared to the explicit-bound-row formulation (kept as a
+//! differential reference in [`crate::reference`]) and shrinks the dense
+//! pivot area ~4×.
+//!
 //! Conversion to standard form:
 //! 1. every variable is shifted by its (finite) lower bound, so all
-//!    structural variables are `≥ 0`;
-//! 2. finite upper bounds become explicit `x ≤ range` rows;
-//! 3. `≤` / `≥` rows receive slack / surplus variables, negative right-hand
+//!    structural variables are `≥ 0` with range `hi − lo` (possibly `∞`);
+//! 2. `≤` / `≥` rows receive slack / surplus variables, negative right-hand
 //!    sides are negated, and rows without a ready basic column receive an
 //!    artificial variable;
-//! 4. phase 1 minimizes the artificial sum (infeasible iff it stays
+//! 3. phase 1 minimizes the artificial sum (infeasible iff it stays
 //!    positive), phase 2 optimizes the true objective.
 //!
+//! The right-hand-side column always stores the **actual basic values**:
+//! contributions of nonbasic-at-upper columns are folded in
+//! (`rhs = B⁻¹b − Σ_{j at upper} T·ⱼ uⱼ`), and every status change
+//! folds/unfolds the affected column, so feasibility is simply
+//! `0 ≤ rhs(r) ≤ range(basic(r))`.
+//!
 //! Anti-cycling: Dantzig pricing normally, with a permanent switch to
-//! Bland's rule after an iteration budget proportional to the tableau size.
+//! Bland's rule (smallest eligible entering index, smallest basic index on
+//! ratio ties) after an iteration budget proportional to the tableau size.
+//! Bound flips move the objective strictly and cannot cycle.
 //!
 //! ## Warm starts
 //!
-//! Branch-and-bound children differ from their parent by a single bound
-//! change, so [`solve_with_basis`] accepts the parent's optimal [`Basis`]:
-//! the child tableau is rebuilt, the hinted columns are pivoted back into
-//! the basis (skipping phase 1 entirely), and the solve resumes with dual
-//! simplex when the bound change made the basis primal-infeasible — the
-//! typical one-bound-tightening case converges in a handful of pivots. Any
-//! structural mismatch or numerical trouble falls back to the cold
-//! two-phase path, so the warm entry point is never less robust than
-//! [`solve_relaxation`].
+//! A bound tightening leaves the constraint matrix untouched, so
+//! [`solve_with_basis`] accepts the previous solve's optimal [`Basis`]
+//! (basic columns **plus nonbasic bound statuses** — both are needed for
+//! the hint to survive the bounded rewrite): the tableau is rebuilt, the
+//! hinted columns are pivoted back in by Gaussian elimination with column
+//! selection, the hinted at-upper columns are folded at the **new** bounds,
+//! and the solve resumes with dual simplex when the bound change made the
+//! basis primal-infeasible — a single tightening typically converges in a
+//! handful of pivots. Any structural mismatch or numerical trouble falls
+//! back to the cold two-phase path, so the warm entry point is never less
+//! robust than [`solve_relaxation`]. The MILP driver uses this for its
+//! diving-heuristic chains; tree nodes re-solve cold on purpose (see
+//! `crate::milp` for why).
 //!
 //! ## Pivot loop
 //!
@@ -45,6 +70,11 @@ use crate::EPS;
 /// [`LpOutcome::PivotTooSmall`], or falls back to the cold path when warm
 /// starting.
 const PIVOT_MIN: f64 = 1e-11;
+
+/// Columns whose range (`hi − lo`) is at most this are *fixed*: they can
+/// never profitably enter the basis, and their reduced cost is vacuously
+/// dual feasible (the variable cannot move in either direction).
+const FIXED_TOL: f64 = 1e-9;
 
 /// A feasible (optimal) LP solution.
 #[derive(Clone, Debug)]
@@ -71,19 +101,45 @@ pub enum LpOutcome {
     PivotTooSmall,
 }
 
-/// An exportable simplex basis: the basic column per standard-form row,
-/// over the structural + slack columns (artificials are never exported).
+/// Per-solve work counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LpStats {
+    /// Full tableau eliminations (including warm-start basis reinstalls).
+    pub pivots: usize,
+    /// Bound flips: a nonbasic column moved to its opposite bound with a
+    /// rank-1 right-hand-side update instead of a pivot.
+    pub bound_flips: usize,
+    /// True iff a warm-start hint was accepted and the solve finished on
+    /// the warm path (no cold fallback).
+    pub warm_hit: bool,
+}
+
+/// Position of a column relative to the current basis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ColStatus {
+    Basic,
+    /// Nonbasic at its lower bound (shifted value `0`).
+    Lower,
+    /// Nonbasic at its (finite) upper bound (shifted value `range`).
+    Upper,
+}
+
+/// An exportable simplex basis: the basic column per structural row plus
+/// the set of columns nonbasic at their upper bound, over the structural +
+/// slack columns (artificials are never exported).
 ///
 /// Obtained from [`solve_with_basis`] and fed back as a warm-start hint for
 /// a model with the same constraint structure (branch-and-bound children
-/// qualify: bound tightenings change right-hand sides, not the row/column
-/// layout).
+/// qualify: bound tightenings change bounds and right-hand sides, not the
+/// row/column layout — branching no longer grows the tableau).
 #[derive(Clone, Debug)]
 pub struct Basis {
     m: usize,
     /// Structural + slack column count the basis was exported against.
     ncols: usize,
     cols: Vec<usize>,
+    /// Columns nonbasic at their upper bound at export time.
+    upper: Vec<u32>,
 }
 
 /// Internal soft error: a pivot element below [`PIVOT_MIN`].
@@ -102,14 +158,24 @@ enum DualStatus {
 
 struct Tableau {
     /// (m + 1) rows × (ncols + 1) columns, row-major; last row is the cost
-    /// row, last column the right-hand side.
+    /// row, last column the right-hand side (= actual basic values, with
+    /// nonbasic-at-upper contributions folded in).
     t: Vec<f64>,
     m: usize,
     ncols: usize,
     basis: Vec<usize>,
+    /// Column status (basic / at-lower / at-upper).
+    status: Vec<ColStatus>,
+    /// Shifted upper bound (`hi − lo`) per column; `∞` for slacks,
+    /// surpluses, and artificials.
+    range: Vec<f64>,
     /// Columns that may enter the basis (artificials are disabled after
     /// phase 1).
     allowed: Vec<bool>,
+    /// Eliminations performed.
+    pivots: usize,
+    /// Bound flips performed.
+    flips: usize,
     /// Reused snapshot of the normalized pivot row.
     scratch_row: Vec<f64>,
     /// Reused nonzero-column mask of the pivot row.
@@ -117,13 +183,18 @@ struct Tableau {
 }
 
 impl Tableau {
-    fn new(m: usize, ncols: usize) -> Self {
+    fn new(m: usize, ncols: usize, range: Vec<f64>) -> Self {
+        debug_assert_eq!(range.len(), ncols);
         Tableau {
             t: vec![0.0; (m + 1) * (ncols + 1)],
             m,
             ncols,
             basis: vec![usize::MAX; m],
+            status: vec![ColStatus::Lower; ncols],
+            range,
             allowed: vec![true; ncols],
+            pivots: 0,
+            flips: 0,
             scratch_row: Vec::new(),
             scratch_nz: Vec::new(),
         }
@@ -144,12 +215,25 @@ impl Tableau {
         self.at(r, self.ncols)
     }
 
+    /// Upper range of the basic variable of row `r`.
+    #[inline]
+    fn basic_range(&self, r: usize) -> f64 {
+        self.range[self.basis[r]]
+    }
+
+    /// Is a nonbasic column eligible to move (not fixed, not disabled)?
+    #[inline]
+    fn movable(&self, j: usize) -> bool {
+        self.allowed[j] && self.status[j] != ColStatus::Basic && self.range[j] > FIXED_TOL
+    }
+
     fn pivot(&mut self, row: usize, col: usize) -> Result<(), PivotStall> {
         let w = self.ncols + 1;
         let piv = self.at(row, col);
         if piv.abs() <= PIVOT_MIN {
             return Err(PivotStall);
         }
+        self.pivots += 1;
         // Normalize pivot row.
         let inv = 1.0 / piv;
         let rs = row * w;
@@ -201,33 +285,78 @@ impl Tableau {
         Ok(())
     }
 
-    /// Lexicographic row comparison for the anti-cycling ratio test: is
-    /// `row r / a_r` lexicographically smaller than `row lr / a_lr`? The
-    /// lexicographic rule strictly decreases a lex-ordering of the basis at
-    /// every degenerate pivot, so (unlike a tolerance-windowed Bland rule
-    /// under floating-point drift) it cannot revisit a basis.
-    fn lex_less_row(&self, r: usize, a_r: f64, lr: usize, a_lr: f64) -> bool {
+    /// Adds `sign · range(col) · column(col)` to the right-hand-side column
+    /// (all rows including the cost row). `sign = -1` folds a column that
+    /// just moved to its upper bound; `sign = +1` unfolds it.
+    fn fold_rhs(&mut self, col: usize, sign: f64) {
+        let u = self.range[col];
+        if !u.is_finite() || u <= 0.0 {
+            return;
+        }
         let w = self.ncols + 1;
-        let (rs, ls) = (r * w, lr * w);
-        for j in 0..w {
-            let x = self.t[rs + j] / a_r;
-            let y = self.t[ls + j] / a_lr;
-            if (x - y).abs() > 1e-12 {
-                return x < y;
+        for r in 0..=self.m {
+            let a = self.t[r * w + col];
+            if a != 0.0 {
+                self.t[r * w + self.ncols] += sign * u * a;
             }
         }
-        false
     }
 
-    /// Runs the primal simplex loop on the current cost row (minimization).
-    /// Returns `false` if unbounded.
+    /// Moves nonbasic `col` to its opposite bound without a basis change.
+    fn flip(&mut self, col: usize, from_upper: bool) {
+        self.flips += 1;
+        if from_upper {
+            self.fold_rhs(col, 1.0);
+            self.status[col] = ColStatus::Lower;
+        } else {
+            self.fold_rhs(col, -1.0);
+            self.status[col] = ColStatus::Upper;
+        }
+    }
+
+    /// Basis change with status/fold bookkeeping: `col` enters (from its
+    /// upper bound when `from_upper`), the basic variable of `row` leaves
+    /// (to its upper bound when `leave_at_upper`).
+    fn pivot_bounded(
+        &mut self,
+        row: usize,
+        col: usize,
+        from_upper: bool,
+        leave_at_upper: bool,
+    ) -> Result<(), PivotStall> {
+        if from_upper {
+            // Unfold the entering column: the elimination algebra assumes
+            // it sits at its lower bound.
+            self.fold_rhs(col, 1.0);
+        }
+        let old = self.basis[row];
+        self.pivot(row, col)?;
+        self.status[col] = ColStatus::Basic;
+        if old != usize::MAX {
+            if leave_at_upper {
+                self.fold_rhs(old, -1.0);
+                self.status[old] = ColStatus::Upper;
+            } else {
+                self.status[old] = ColStatus::Lower;
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the bounded-variable primal simplex loop on the current cost
+    /// row (minimization). Returns `false` if unbounded.
     ///
     /// Anti-cycling: Dantzig pricing with a largest-pivot ratio tie-break
     /// normally; after an iteration budget proportional to the tableau
-    /// size, a permanent switch to Bland entering + lexicographic leaving.
-    /// A hard cap (the massively degenerate register-saturation phase-1
-    /// systems can defeat tolerance-based rules) fails soft via
-    /// [`PivotStall`] rather than looping forever.
+    /// size, a permanent switch to Bland entering + smallest-basic-index
+    /// leaving. (PR 2's lexicographic leaving rule is gone on purpose: its
+    /// strictly-decreasing-lex-order argument assumes every degenerate
+    /// pivot leaves at the lower bound, which bound flips and
+    /// leave-at-upper pivots break; classic Bland is the rule with a
+    /// finiteness proof for the bounded-variable simplex, and bound flips
+    /// themselves move the objective strictly so they cannot cycle.) A
+    /// hard cap backstops the floating-point tie windows either way,
+    /// failing soft via [`PivotStall`] rather than looping forever.
     fn optimize(&mut self) -> Result<bool, PivotStall> {
         let iter_budget = 50 * (self.m + self.ncols) + 1000;
         let hard_cap = 4 * iter_budget;
@@ -237,112 +366,167 @@ impl Tableau {
             if iters > hard_cap {
                 return Err(PivotStall);
             }
-            let lex = iters > iter_budget;
-            // Entering column.
-            let mut enter: Option<usize> = None;
-            let mut best = -EPS;
+            let bland = iters > iter_budget;
+            // Entering column: at-lower columns improve with rc < -EPS,
+            // at-upper columns with rc > EPS (they can only decrease).
+            let mut enter: Option<(usize, bool)> = None;
+            let mut best = EPS;
             for j in 0..self.ncols {
-                if !self.allowed[j] {
+                if !self.movable(j) {
                     continue;
                 }
                 let rc = self.at(self.m, j);
-                if lex {
-                    // Bland entering: smallest index with negative cost.
-                    if rc < -EPS {
-                        enter = Some(j);
+                let from_upper = self.status[j] == ColStatus::Upper;
+                let viol = if from_upper { rc } else { -rc };
+                if bland {
+                    if viol > EPS {
+                        enter = Some((j, from_upper));
                         break;
                     }
-                } else if rc < best {
-                    best = rc;
-                    enter = Some(j);
+                } else if viol > best {
+                    best = viol;
+                    enter = Some((j, from_upper));
                 }
             }
-            let Some(col) = enter else {
+            let Some((col, from_upper)) = enter else {
                 return Ok(true); // optimal
             };
-            // Ratio test. The rhs is clamped at zero: accumulated drift can
-            // leave a basic value at -1e-13, and a negative ratio would
-            // walk the iterate out of the feasible region.
-            let mut leave: Option<usize> = None;
-            let mut best_ratio = f64::INFINITY;
-            for r in 0..self.m {
-                let a = self.at(r, col);
-                if a > 1e-9 {
-                    let ratio = self.rhs(r).max(0.0) / a;
-                    let better = match leave {
-                        None => true,
-                        Some(lr) => {
-                            if ratio < best_ratio - 1e-12 {
-                                true
-                            } else if ratio > best_ratio + 1e-12 {
-                                false
-                            } else if lex {
-                                self.lex_less_row(r, a, lr, self.at(lr, col))
-                            } else {
-                                // On ties take the larger pivot element for
-                                // numerical stability.
-                                a.abs() > self.at(lr, col).abs()
-                            }
-                        }
-                    };
-                    if better {
-                        best_ratio = ratio;
-                        leave = Some(r);
-                    }
+            match self.ratio_test(col, from_upper, bland) {
+                RatioOutcome::Unbounded => return Ok(false),
+                RatioOutcome::Flip => self.flip(col, from_upper),
+                RatioOutcome::Pivot(row, leave_at_upper) => {
+                    self.pivot_bounded(row, col, from_upper, leave_at_upper)?;
                 }
             }
-            let Some(row) = leave else {
-                return Ok(false); // unbounded
-            };
-            self.pivot(row, col)?;
         }
     }
 
-    /// Dual simplex repair: restores primal feasibility while keeping the
-    /// cost row dual feasible. Precondition: all allowed reduced costs are
-    /// `≥ -EPS`.
+    /// Bounded-variable ratio test for `col` entering (moving off its
+    /// lower, or when `from_upper` its upper, bound). Considers basic
+    /// variables hitting either of their bounds plus the entering column's
+    /// own bound flip.
+    fn ratio_test(&self, col: usize, from_upper: bool, bland: bool) -> RatioOutcome {
+        // The rhs is clamped at zero / range: accumulated drift can leave a
+        // basic value at -1e-13, and a negative step would walk the iterate
+        // out of the feasible region.
+        let mut t_best = self.range[col]; // own bound flip (may be ∞)
+        let mut leave: Option<(usize, bool)> = None;
+        for r in 0..self.m {
+            let a = self.at(r, col);
+            if a.abs() <= 1e-9 {
+                continue;
+            }
+            // Basic value rate per unit step of the entering variable.
+            let rate = if from_upper { a } else { -a };
+            let (t, at_upper) = if rate < 0.0 {
+                (self.rhs(r).max(0.0) / -rate, false)
+            } else {
+                let u = self.basic_range(r);
+                if u.is_infinite() {
+                    continue;
+                }
+                ((u - self.rhs(r)).max(0.0) / rate, true)
+            };
+            let replace = if t < t_best - 1e-12 {
+                true
+            } else if t > t_best + 1e-12 {
+                false
+            } else {
+                match leave {
+                    // Tie with the bound flip: flipping is a rank-1 rhs
+                    // update, strictly cheaper — keep it.
+                    None => false,
+                    Some((lr, _)) => {
+                        if bland {
+                            self.basis[r] < self.basis[lr]
+                        } else {
+                            // On ties take the larger pivot element for
+                            // numerical stability.
+                            a.abs() > self.at(lr, col).abs()
+                        }
+                    }
+                }
+            };
+            if replace {
+                t_best = t;
+                leave = Some((r, at_upper));
+            }
+        }
+        match leave {
+            None if t_best.is_infinite() => RatioOutcome::Unbounded,
+            None => RatioOutcome::Flip,
+            Some((row, at_upper)) => RatioOutcome::Pivot(row, at_upper),
+        }
+    }
+
+    /// Dual simplex repair: restores primal feasibility (with respect to
+    /// both bounds of the basic variables) while keeping the cost row dual
+    /// feasible. Precondition: every movable at-lower column has reduced
+    /// cost `≥ -EPS` and every movable at-upper column `≤ EPS`.
     fn dual_optimize(&mut self) -> Result<DualStatus, PivotStall> {
         let iter_budget = 50 * (self.m + self.ncols) + 1000;
         for _ in 0..iter_budget {
-            // Leaving row: most negative right-hand side.
-            let mut row: Option<usize> = None;
-            let mut most_neg = -1e-9;
+            // Leaving row: largest bound violation on either side.
+            let mut row: Option<(usize, bool)> = None;
+            let mut worst = 1e-9;
             for r in 0..self.m {
                 let b = self.rhs(r);
-                if b < most_neg {
-                    most_neg = b;
-                    row = Some(r);
+                if -b > worst {
+                    worst = -b;
+                    row = Some((r, false));
+                }
+                let u = self.basic_range(r);
+                if u.is_finite() && b - u > worst {
+                    worst = b - u;
+                    row = Some((r, true));
                 }
             }
-            let Some(row) = row else {
+            let Some((row, above)) = row else {
                 return Ok(DualStatus::Feasible);
             };
-            // Entering column: dual ratio test over negative row entries.
+            // Entering column: dual ratio test. Eligibility depends on the
+            // violated side and the column's bound status — the pivot must
+            // move the basic value towards the violated bound while keeping
+            // every reduced cost on its feasible side.
             let mut col: Option<usize> = None;
             let mut best_ratio = f64::INFINITY;
             let mut best_a = 0.0f64;
             for j in 0..self.ncols {
-                if !self.allowed[j] {
+                if !self.movable(j) {
                     continue;
                 }
                 let a = self.at(row, j);
-                if a < -1e-9 {
-                    let ratio = self.at(self.m, j).max(0.0) / -a;
-                    if ratio < best_ratio - 1e-12
-                        || (ratio < best_ratio + 1e-12 && a.abs() > best_a)
-                    {
-                        best_ratio = ratio;
-                        best_a = a.abs();
-                        col = Some(j);
-                    }
+                let at_upper = self.status[j] == ColStatus::Upper;
+                let eligible = match (at_upper, above) {
+                    (false, false) => a < -1e-9,
+                    (false, true) => a > 1e-9,
+                    (true, false) => a > 1e-9,
+                    (true, true) => a < -1e-9,
+                };
+                if !eligible {
+                    continue;
+                }
+                let rc = self.at(self.m, j);
+                let num = if at_upper {
+                    (-rc).max(0.0)
+                } else {
+                    rc.max(0.0)
+                };
+                let ratio = num / a.abs();
+                if ratio < best_ratio - 1e-12 || (ratio < best_ratio + 1e-12 && a.abs() > best_a) {
+                    best_ratio = ratio;
+                    best_a = a.abs();
+                    col = Some(j);
                 }
             }
             let Some(col) = col else {
-                // The row reads x_B + Σ aⱼxⱼ = b < 0 with all aⱼ ≥ 0 over
-                // nonnegative variables: infeasible.
+                // Every movable column already sits at the bound that pulls
+                // the violated basic value as far as it can go: no solution
+                // satisfies the bounds — infeasible.
                 return Ok(DualStatus::Infeasible);
             };
-            self.pivot(row, col)?;
+            let from_upper = self.status[col] == ColStatus::Upper;
+            self.pivot_bounded(row, col, from_upper, above)?;
         }
         Ok(DualStatus::Stalled)
     }
@@ -361,6 +545,40 @@ impl Tableau {
             }
         }
     }
+
+    /// Primal feasibility of the current basic values against both bounds.
+    fn primal_feasible(&self) -> bool {
+        (0..self.m).all(|r| {
+            let b = self.rhs(r);
+            let u = self.basic_range(r);
+            b >= -1e-9 && (u.is_infinite() || b <= u + 1e-9)
+        })
+    }
+
+    /// Dual feasibility of the reduced costs over the first `ncheck`
+    /// columns (fixed columns are vacuously dual feasible).
+    fn dual_feasible(&self, ncheck: usize) -> bool {
+        (0..ncheck).all(|j| {
+            if !self.movable(j) {
+                return true;
+            }
+            let rc = self.at(self.m, j);
+            match self.status[j] {
+                ColStatus::Lower => rc >= -EPS,
+                ColStatus::Upper => rc <= EPS,
+                ColStatus::Basic => true,
+            }
+        })
+    }
+}
+
+/// Result of the bounded ratio test.
+enum RatioOutcome {
+    Unbounded,
+    /// The entering column's own bound is the binding limit.
+    Flip,
+    /// `(leaving row, leaves at upper bound)`.
+    Pivot(usize, bool),
 }
 
 /// One standard-form constraint row over shifted structural variables.
@@ -371,10 +589,13 @@ struct Row {
 }
 
 /// The standard form shared by the cold and warm solve paths.
-struct StdForm {
+pub(crate) struct StdForm {
     n: usize,
     m: usize,
     lo: Vec<f64>,
+    /// Shifted upper bound per structural + slack column (`∞` where
+    /// unbounded; all-`∞` in the explicit-bound-row reference form).
+    range: Vec<f64>,
     rows: Vec<Row>,
     n_slack: usize,
     slack_of_row: Vec<Option<(usize, f64)>>,
@@ -383,10 +604,15 @@ struct StdForm {
     n_art: usize,
 }
 
-fn std_form(model: &Model) -> StdForm {
+/// Builds the standard form. With `explicit_bounds` (the test-only
+/// reference formulation) every finite upper bound becomes a dense
+/// `x ≤ range` row with its own slack and all column ranges are `∞`;
+/// otherwise bounds stay implicit in the column ranges and the row set is
+/// exactly the model's structural constraints.
+pub(crate) fn std_form(model: &Model, explicit_bounds: bool) -> StdForm {
     let n = model.num_vars();
 
-    // Shifted variables: x = lo + x', x' >= 0; remember ranges.
+    // Shifted variables: x = lo + x', x' in [0, hi - lo].
     let lo: Vec<f64> = (0..n)
         .map(|i| model.bounds(crate::VarId(i as u32)).0)
         .collect();
@@ -394,7 +620,7 @@ fn std_form(model: &Model) -> StdForm {
         .map(|i| model.bounds(crate::VarId(i as u32)).1)
         .collect();
 
-    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints());
     for c in &model.constraints {
         let mut rhs = c.rhs;
         let mut coeffs = Vec::with_capacity(c.expr.terms.len());
@@ -408,13 +634,15 @@ fn std_form(model: &Model) -> StdForm {
             rhs,
         });
     }
-    for i in 0..n {
-        if hi[i].is_finite() {
-            rows.push(Row {
-                coeffs: vec![(i, 1.0)],
-                cmp: Cmp::Le,
-                rhs: hi[i] - lo[i],
-            });
+    if explicit_bounds {
+        for i in 0..n {
+            if hi[i].is_finite() {
+                rows.push(Row {
+                    coeffs: vec![(i, 1.0)],
+                    cmp: Cmp::Le,
+                    rhs: hi[i] - lo[i],
+                });
+            }
         }
     }
 
@@ -438,6 +666,18 @@ fn std_form(model: &Model) -> StdForm {
     }
     let n_slack = next - n;
 
+    // Column ranges: structural bounds (implicit form only); slacks are
+    // one-sided.
+    let mut range: Vec<f64> = Vec::with_capacity(n + n_slack);
+    for i in 0..n {
+        range.push(if explicit_bounds {
+            f64::INFINITY
+        } else {
+            hi[i] - lo[i]
+        });
+    }
+    range.resize(n + n_slack, f64::INFINITY);
+
     // Negate rows with negative rhs (flips slack signs too); rows that do
     // not end up with a ready +1 basic column need an artificial.
     let mut needs_artificial: Vec<bool> = vec![false; m];
@@ -454,6 +694,7 @@ fn std_form(model: &Model) -> StdForm {
         n,
         m,
         lo,
+        range,
         rows,
         n_slack,
         slack_of_row,
@@ -461,6 +702,36 @@ fn std_form(model: &Model) -> StdForm {
         needs_artificial,
         n_art,
     }
+}
+
+/// Tableau dimensions `(rows, structural + slack columns)` of the
+/// bounded-variable standard form — the rows are exactly the model's
+/// structural constraints (zero bound rows). The explicit-bound-row
+/// reference shape is [`crate::reference::tableau_shape`].
+pub fn tableau_shape(model: &Model) -> (usize, usize) {
+    std_form_shape(model, false)
+}
+
+/// Shared shape helper for the bounded and reference standard forms,
+/// computed directly from the model (one row + slack per Le/Ge constraint;
+/// the explicit form adds a Le row + slack per finite upper bound) without
+/// materializing a `StdForm`.
+pub(crate) fn std_form_shape(model: &Model, explicit_bounds: bool) -> (usize, usize) {
+    let n = model.num_vars();
+    let m = model.num_constraints();
+    let slacks = model
+        .constraints
+        .iter()
+        .filter(|c| !matches!(c.cmp, Cmp::Eq))
+        .count();
+    let finite_uppers = if explicit_bounds {
+        (0..n)
+            .filter(|&i| model.bounds(crate::VarId(i as u32)).1.is_finite())
+            .count()
+    } else {
+        0
+    };
+    (m + finite_uppers, n + slacks + finite_uppers)
 }
 
 /// Fills the structural, slack, and rhs entries of a tableau whose column
@@ -497,9 +768,16 @@ fn set_phase2_cost(tab: &mut Tableau, model: &Model) {
     }
 }
 
-/// Extracts the structural solution from an optimal tableau.
+/// Extracts the structural solution from an optimal tableau: basic columns
+/// read their row's right-hand side, at-upper columns their range, at-lower
+/// columns zero.
 fn extract(tab: &Tableau, sf: &StdForm, model: &Model) -> Solution {
     let mut shifted = vec![0.0f64; tab.ncols];
+    for (j, &s) in tab.status.iter().enumerate() {
+        if s == ColStatus::Upper {
+            shifted[j] = tab.range[j];
+        }
+    }
     for r in 0..tab.m {
         let b = tab.basis[r];
         if b < tab.ncols {
@@ -516,10 +794,15 @@ fn extract(tab: &Tableau, sf: &StdForm, model: &Model) -> Solution {
 fn export_basis(tab: &Tableau, sf: &StdForm) -> Option<Basis> {
     let core = sf.n + sf.n_slack;
     if tab.basis.iter().all(|&b| b < core) {
+        let upper = (0..core)
+            .filter(|&j| tab.status[j] == ColStatus::Upper)
+            .map(|j| j as u32)
+            .collect();
         Some(Basis {
             m: sf.m,
             ncols: core,
             cols: tab.basis.clone(),
+            upper,
         })
     } else {
         None
@@ -538,77 +821,146 @@ pub fn solve_relaxation(model: &Model) -> LpOutcome {
 ///
 /// Fast path: if the hinted basis is still primal feasible and dual
 /// feasible after the bound change, the solve finishes with **zero**
-/// simplex pivots. A primal-infeasible hint is repaired by dual simplex;
-/// anything else falls back to the cold two-phase solve.
+/// simplex pivots beyond the basis reinstall. A primal-infeasible hint is
+/// repaired by dual simplex; anything else falls back to the cold
+/// two-phase solve.
 pub fn solve_with_basis(model: &Model, hint: Option<&Basis>) -> (LpOutcome, Option<Basis>) {
-    let sf = std_form(model);
+    let (outcome, basis, _) = solve_with_basis_stats(model, hint);
+    (outcome, basis)
+}
+
+/// [`solve_with_basis`] with per-solve work counters.
+pub fn solve_with_basis_stats(
+    model: &Model,
+    hint: Option<&Basis>,
+) -> (LpOutcome, Option<Basis>, LpStats) {
+    let sf = std_form(model, false);
+    let mut stats = LpStats::default();
     if let Some(h) = hint {
-        if let Some(result) = warm_solve(model, &sf, h) {
-            return result;
+        if let Some((outcome, basis, warm_stats)) = warm_solve(model, &sf, h) {
+            stats.pivots += warm_stats.pivots;
+            stats.bound_flips += warm_stats.bound_flips;
+            stats.warm_hit = true;
+            return (outcome, basis, stats);
         }
     }
-    cold_solve(model, &sf)
+    let (outcome, basis, cold_stats) = cold_solve(model, &sf);
+    stats.pivots += cold_stats.pivots;
+    stats.bound_flips += cold_stats.bound_flips;
+    (outcome, basis, stats)
 }
 
 /// The warm path: rebuild the tableau without artificials, pivot the hinted
-/// columns back into the basis, and resume. `None` means "fall back to the
-/// cold path" (structural mismatch or numerical trouble) and is not a
-/// verdict about the model.
-fn warm_solve(model: &Model, sf: &StdForm, hint: &Basis) -> Option<(LpOutcome, Option<Basis>)> {
+/// columns back into the basis, restore the hinted bound statuses, and
+/// resume. `None` means "fall back to the cold path" (structural mismatch
+/// or numerical trouble) and is not a verdict about the model.
+fn warm_solve(
+    model: &Model,
+    sf: &StdForm,
+    hint: &Basis,
+) -> Option<(LpOutcome, Option<Basis>, LpStats)> {
     let core = sf.n + sf.n_slack;
     if hint.m != sf.m || hint.ncols != core || hint.cols.len() != sf.m {
         return None;
     }
-    let mut tab = Tableau::new(sf.m, core);
+    let mut tab = Tableau::new(sf.m, core, sf.range.clone());
     fill_core(&mut tab, sf);
 
-    // Re-install the hinted basis by Gaussian pivoting. The basis matrix is
-    // nonsingular for the parent model and row sign flips preserve that,
-    // but the fixed pairing order can still hit a small pivot — fall back
-    // cold in that case.
+    // Re-install the hinted basis by Gaussian elimination with column
+    // selection: the hinted columns still form a nonsingular basis for the
+    // child (bound changes never touch the constraint matrix), but the
+    // parent's exact row-column pairing replayed in fixed order can hit a
+    // zero (an earlier elimination cancels the entry), so each row instead
+    // pivots on the largest-magnitude remaining hinted column. Exact
+    // arithmetic guarantees a nonzero exists for every row; a numerically
+    // tiny best entry falls back cold.
+    let mut remaining: Vec<usize> = hint.cols.clone();
     for r in 0..sf.m {
-        let c = hint.cols[r];
-        if c >= core || tab.at(r, c).abs() <= 1e-9 {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, &c) in remaining.iter().enumerate() {
+            if c >= core {
+                return None;
+            }
+            let mag = tab.at(r, c).abs();
+            if best.is_none_or(|(_, b)| mag > b) {
+                best = Some((i, mag));
+            }
+        }
+        let (i, mag) = best?;
+        if mag <= 1e-9 {
             return None;
         }
+        let c = remaining.swap_remove(i);
         tab.pivot(r, c).ok()?;
+        tab.status[c] = ColStatus::Basic;
+    }
+    // Fold the hinted at-upper columns at the *child's* ranges: branching
+    // is a pure bound change, so the parent's nonbasic statuses carry over
+    // even when the bound values themselves moved. A column whose child
+    // range became infinite or fixed stays at lower.
+    for &c in &hint.upper {
+        let c = c as usize;
+        if c >= core {
+            return None;
+        }
+        if tab.status[c] == ColStatus::Basic {
+            continue;
+        }
+        if tab.range[c].is_finite() && tab.range[c] > FIXED_TOL {
+            tab.status[c] = ColStatus::Upper;
+            tab.fold_rhs(c, -1.0);
+        }
     }
 
     set_phase2_cost(&mut tab, model);
     tab.reduce_cost_row();
 
-    let primal_feasible = (0..sf.m).all(|r| tab.rhs(r) >= -1e-9);
-    if !primal_feasible {
+    if !tab.primal_feasible() {
         // Bound tightenings leave the parent's reduced costs intact, so the
         // cost row is normally still dual feasible and dual simplex repairs
         // feasibility in a few pivots. If dual feasibility was lost too,
         // the hint is useless: go cold.
-        let dual_feasible = (0..core).all(|j| tab.at(sf.m, j) >= -EPS);
-        if !dual_feasible {
+        if !tab.dual_feasible(core) {
             return None;
         }
         match tab.dual_optimize() {
             Ok(DualStatus::Feasible) => {}
-            Ok(DualStatus::Infeasible) => return Some((LpOutcome::Infeasible, None)),
+            Ok(DualStatus::Infeasible) => {
+                let stats = LpStats {
+                    pivots: tab.pivots,
+                    bound_flips: tab.flips,
+                    warm_hit: true,
+                };
+                return Some((LpOutcome::Infeasible, None, stats));
+            }
             Ok(DualStatus::Stalled) | Err(PivotStall) => return None,
         }
     }
-    match tab.optimize() {
+    let result = tab.optimize();
+    let stats = LpStats {
+        pivots: tab.pivots,
+        bound_flips: tab.flips,
+        warm_hit: true,
+    };
+    match result {
         Ok(true) => {
             let sol = extract(&tab, sf, model);
             let basis = export_basis(&tab, sf);
-            Some((LpOutcome::Optimal(sol), basis))
+            Some((LpOutcome::Optimal(sol), basis, stats))
         }
-        Ok(false) => Some((LpOutcome::Unbounded, None)),
+        Ok(false) => Some((LpOutcome::Unbounded, None, stats)),
         Err(PivotStall) => None,
     }
 }
 
-/// The cold two-phase path.
-fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>) {
+/// The cold two-phase path, shared by the bounded-variable and
+/// explicit-bound-row (reference) standard forms.
+pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>, LpStats) {
     let core = sf.n + sf.n_slack;
     let ncols = core + sf.n_art;
-    let mut tab = Tableau::new(sf.m, ncols);
+    let mut range = sf.range.clone();
+    range.resize(ncols, f64::INFINITY);
+    let mut tab = Tableau::new(sf.m, ncols, range);
     fill_core(&mut tab, sf);
     {
         let w = ncols + 1;
@@ -623,8 +975,14 @@ fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>) {
                     .expect("row without slack needs artificial")
                     .0;
             }
+            tab.status[tab.basis[i]] = ColStatus::Basic;
         }
     }
+    let stats_of = |tab: &Tableau| LpStats {
+        pivots: tab.pivots,
+        bound_flips: tab.flips,
+        warm_hit: false,
+    };
 
     // Phase 1: minimize the artificial sum. Cost row: 1 on artificials,
     // reduce against the artificial basis rows.
@@ -645,25 +1003,26 @@ fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>) {
         }
         match tab.optimize() {
             Ok(ok) => debug_assert!(ok, "phase 1 cannot be unbounded"),
-            Err(PivotStall) => return (LpOutcome::PivotTooSmall, None),
+            Err(PivotStall) => return (LpOutcome::PivotTooSmall, None, stats_of(&tab)),
         }
         let art_sum = -tab.rhs(m);
         if art_sum > 1e-6 {
-            return (LpOutcome::Infeasible, None);
+            return (LpOutcome::Infeasible, None, stats_of(&tab));
         }
         // Drive remaining (degenerate) artificials out of the basis.
         for r in 0..sf.m {
             if tab.basis[r] >= core {
                 let mut pivot_col = None;
                 for j in 0..core {
-                    if tab.at(r, j).abs() > 1e-9 {
+                    if tab.status[j] != ColStatus::Basic && tab.at(r, j).abs() > 1e-9 {
                         pivot_col = Some(j);
                         break;
                     }
                 }
                 if let Some(j) = pivot_col {
-                    if tab.pivot(r, j).is_err() {
-                        return (LpOutcome::PivotTooSmall, None);
+                    let from_upper = tab.status[j] == ColStatus::Upper;
+                    if tab.pivot_bounded(r, j, from_upper, false).is_err() {
+                        return (LpOutcome::PivotTooSmall, None, stats_of(&tab));
                     }
                 }
                 // else: the row is redundant; the artificial stays basic at 0
@@ -682,10 +1041,10 @@ fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>) {
         Ok(true) => {
             let sol = extract(&tab, sf, model);
             let basis = export_basis(&tab, sf);
-            (LpOutcome::Optimal(sol), basis)
+            (LpOutcome::Optimal(sol), basis, stats_of(&tab))
         }
-        Ok(false) => (LpOutcome::Unbounded, None),
-        Err(PivotStall) => (LpOutcome::PivotTooSmall, None),
+        Ok(false) => (LpOutcome::Unbounded, None, stats_of(&tab)),
+        Err(PivotStall) => (LpOutcome::PivotTooSmall, None, stats_of(&tab)),
     }
 }
 
@@ -714,6 +1073,37 @@ mod tests {
         assert!((s.objective - 10.0).abs() < 1e-6, "got {}", s.objective);
         assert!((s.values[0] - 2.0).abs() < 1e-6);
         assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn simple_max_with_variable_bounds() {
+        // Same optimum but x ≤ 2 expressed as a *bound*: the tableau must
+        // contain a single structural row.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 2.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Le, 4.0);
+        m.set_objective(LinExpr::from(x) * 3.0 + (2.0, y));
+        assert_eq!(tableau_shape(&m), (1, 3));
+        let s = optimal(&m);
+        assert!((s.objective - 10.0).abs() < 1e-6, "got {}", s.objective);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pure_box_lp_solves_by_bound_flips() {
+        // No constraints at all: the optimum is a box vertex reached purely
+        // by bound flips (zero rows, zero pivots).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, -1.0, 3.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 5.0);
+        m.set_objective(LinExpr::from(x) + (-2.0, y));
+        assert_eq!(tableau_shape(&m), (0, 2));
+        let s = optimal(&m);
+        assert!((s.values[0] - 3.0).abs() < 1e-9);
+        assert!(s.values[1].abs() < 1e-9);
+        assert!((s.objective - 3.0).abs() < 1e-9);
     }
 
     #[test]
@@ -749,6 +1139,17 @@ mod tests {
         let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0);
         m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
         m.add_constraint(LinExpr::from(x), Cmp::Le, 3.0);
+        m.set_objective(LinExpr::from(x));
+        assert!(matches!(solve_relaxation(&m), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn detects_infeasible_against_bounds() {
+        // The infeasibility comes from a *bound*, not a row: x ≤ 3 as a
+        // bound with the row x ≥ 5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 3.0);
+        m.add_constraint(LinExpr::from(x), Cmp::Ge, 5.0);
         m.set_objective(LinExpr::from(x));
         assert!(matches!(solve_relaxation(&m), LpOutcome::Infeasible));
     }
@@ -835,6 +1236,21 @@ mod tests {
         m.set_objective(LinExpr::from(x) + y + z);
         let s = optimal(&m);
         assert!(m.check_feasible(&s.values, 1e-5).is_ok());
+    }
+
+    #[test]
+    fn no_bound_rows_in_standard_form() {
+        // Three bounded variables, two structural rows: the bounded form
+        // must have exactly 2 rows; the reference form carries the bound
+        // rows (2 + 3) with their slacks.
+        let m = bounded_model();
+        assert_eq!(m.num_constraints(), 2);
+        let (rows, cols) = tableau_shape(&m);
+        assert_eq!(rows, 2);
+        assert_eq!(cols, 3 + 2); // structural + one slack per Le row
+        let (ref_rows, ref_cols) = crate::reference::tableau_shape(&m);
+        assert_eq!(ref_rows, 5);
+        assert_eq!(ref_cols, 3 + 5);
     }
 
     // ---- warm-start coverage ----
@@ -978,5 +1394,38 @@ mod tests {
             );
             basis = next.or(basis);
         }
+    }
+
+    #[test]
+    fn warm_start_preserves_at_upper_statuses() {
+        // At the parent optimum of `bounded_model` x sits at its upper
+        // bound (x = 6 would violate x + 2y ≤ 8 with y = 1 → x = 6, y = 1,
+        // z = 3 is the optimum, x basic or at-upper depending on pivoting).
+        // Whatever the exported statuses are, replaying them on the
+        // unchanged model must hit the zero-pivot fast path and agree.
+        let m = bounded_model();
+        let (cold, basis) = warm_optimal(&m, None);
+        let basis = basis.unwrap();
+        let (out, _, stats) = solve_with_basis_stats(&m, Some(&basis));
+        let LpOutcome::Optimal(warm) = out else {
+            panic!("expected optimal");
+        };
+        assert!(stats.warm_hit);
+        // Only the basis-reinstall pivots, nothing beyond.
+        assert!(stats.pivots <= m.num_constraints());
+        assert!((warm.objective - cold.objective).abs() < 1e-9);
+        assert_eq!(warm.values.len(), cold.values.len());
+        for (a, b) in warm.values.iter().zip(&cold.values) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pivot_and_flip_counters_report_work() {
+        let m = bounded_model();
+        let (out, _, stats) = solve_with_basis_stats(&m, None);
+        assert!(matches!(out, LpOutcome::Optimal(_)));
+        assert!(!stats.warm_hit);
+        assert!(stats.pivots + stats.bound_flips > 0);
     }
 }

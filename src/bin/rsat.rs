@@ -1,7 +1,7 @@
 //! `rsat` — register-saturation command-line tool.
 //!
 //! ```text
-//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--threads N]
+//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N]
 //! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]
 //! rsat pipeline <file.ddg> --registers N [--issue 1|4|8]
 //! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]
@@ -10,7 +10,10 @@
 //!
 //! `--threads N` runs the exact solvers (`--exact` combinatorial search,
 //! `--ilp` intLP branch-and-bound) with `N` parallel workers; the reported
-//! saturations are identical for every thread count.
+//! saturations are identical for every thread count. `--stats` prints the
+//! branch-and-bound solve statistics of each `--ilp` run (nodes, LP
+//! solves, warm-started dive solves and hits, simplex pivots and bound
+//! flips, and the relaxation tableau shape).
 //!
 //! `corpus` walks a directory of `.ddg` files with `--jobs` scoped-thread
 //! workers (each with its own warm analysis engine), prints a per-file
@@ -41,7 +44,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--threads N]"
+                "  rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N]"
             );
             eprintln!(
                 "  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]"
@@ -88,6 +91,7 @@ fn run(args: &[String]) -> Result<(), String> {
             reg_type,
             args.iter().any(|a| a == "--exact"),
             args.iter().any(|a| a == "--ilp"),
+            args.iter().any(|a| a == "--stats"),
             threads,
         ),
         "reduce" => reduce(
@@ -183,6 +187,7 @@ fn analyze(
     reg_type: Option<RegType>,
     exact: bool,
     ilp: bool,
+    stats: bool,
     threads: usize,
 ) -> Result<(), String> {
     println!(
@@ -211,21 +216,39 @@ fn analyze(
                 }
             );
         }
+        let mut ilp_stats = None;
         if ilp {
             match RsIlp::with_threads(threads).saturation(ddg, t) {
-                Ok(r) => print!(
-                    ", intLP RS = {}{}",
-                    r.saturation,
-                    if r.proven_optimal {
-                        ""
-                    } else {
-                        " (budget-limited)"
-                    }
-                ),
+                Ok(r) => {
+                    print!(
+                        ", intLP RS = {}{}",
+                        r.saturation,
+                        if r.proven_optimal {
+                            ""
+                        } else {
+                            " (budget-limited)"
+                        }
+                    );
+                    ilp_stats = Some(r.milp_stats);
+                }
                 Err(e) => print!(", intLP failed: {e}"),
             }
         }
         println!();
+        if let (true, Some(st)) = (stats, ilp_stats) {
+            println!(
+                "  intLP stats: {} nodes, {} LP solves ({} warm dives, {} warm hits), \
+                 {} pivots, {} bound flips, tableau {}x{}",
+                st.nodes,
+                st.lp_solves,
+                st.warm_solves,
+                st.warm_hits,
+                st.pivots,
+                st.bound_flips,
+                st.rows,
+                st.cols
+            );
+        }
         let names: Vec<String> = h
             .saturating_values
             .iter()

@@ -1,0 +1,13 @@
+//! Helpers shared by the solver integration suites.
+
+/// Is a MILP outcome budget-limited (wall-clock/node budget or numerical
+/// soft-fail)? Such outcomes are machine- and thread-dependent and must be
+/// skipped by determinism/differential comparisons; every other class is
+/// comparable.
+pub fn budget_limited(r: &Result<rs_lp::milp::MilpSolution, rs_lp::MilpError>) -> bool {
+    match r {
+        Ok(s) => !s.stats.proven_optimal,
+        Err(rs_lp::MilpError::BudgetExhausted) | Err(rs_lp::MilpError::Numerical) => true,
+        Err(_) => false,
+    }
+}

@@ -8,6 +8,9 @@
 //! solved with 1 and 4 threads; objectives must match exactly and both
 //! witnesses must be feasible.
 
+mod common;
+
+use common::budget_limited;
 use proptest::prelude::*;
 use rs_core::ilp::RsIlp;
 use rs_core::model::{RegType, Target};
@@ -37,15 +40,22 @@ proptest! {
         let Some(model) = rs_model(ops, 0x5EED_7000 + seed) else {
             return Ok(());
         };
-        let seq = rs_lp::solve(&model, &MilpConfig::default());
-        let par = rs_lp::solve(&model, &MilpConfig::with_threads(4));
+        // A minority of random kernels fall off a big-M cliff; a short
+        // budget keeps the suite fast, and budget-limited runs are skipped
+        // below (how far a search gets within a wall-clock budget is
+        // legitimately thread-count- and machine-dependent — only *proven*
+        // optima carry the determinism guarantee).
+        let cfg = MilpConfig {
+            time_limit: Some(std::time::Duration::from_secs(30)),
+            ..MilpConfig::default()
+        };
+        let seq = rs_lp::solve(&model, &cfg);
+        let par = rs_lp::solve(&model, &MilpConfig { threads: 4, ..cfg });
+        if budget_limited(&seq) || budget_limited(&par) {
+            return Ok(());
+        }
         match (seq, par) {
             (Ok(s), Ok(p)) => {
-                // Only compare proven optima: a budget-limited incumbent is
-                // legitimately exploration-order dependent.
-                if !(s.stats.proven_optimal && p.stats.proven_optimal) {
-                    return Ok(());
-                }
                 prop_assert_eq!(
                     s.objective.round() as i64,
                     p.objective.round() as i64,
