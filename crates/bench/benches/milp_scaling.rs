@@ -39,6 +39,14 @@ struct Cell {
     lp_solves: usize,
     warm_solves: usize,
     warm_hits: usize,
+    /// Basis reinstalls performed by dive steps — zero by construction on
+    /// the incremental dive tableau (asserted below); the previous engine
+    /// re-installed the parent basis on every dive step.
+    dive_reinstalls: usize,
+    /// Branching decisions taken from trusted accumulated pseudocosts.
+    pseudocost_branches: usize,
+    /// Strong-branching-lite probes spent initializing pseudocosts.
+    strong_branch_probes: usize,
     pivots: usize,
     bound_flips: usize,
     rows: usize,
@@ -58,13 +66,17 @@ struct ReferenceRun {
     cols: usize,
 }
 
-/// `(size, threads, millis)` of the report this run replaced — the
-/// before/after trail of the perf trajectory.
+/// `(size, threads, millis, nodes)` of the report this run replaced — the
+/// before/after trail of the perf trajectory. `nodes` feeds the
+/// informational `nodes_vs_previous_1t` tree-size trajectory below (not
+/// asserted — a legitimate branching change may trade one size's tree for
+/// another's; reviewers compare the trail across reports instead).
 #[derive(Serialize)]
 struct PrevCell {
     size: usize,
     threads: usize,
     millis: f64,
+    nodes: Option<usize>,
 }
 
 #[derive(Serialize)]
@@ -82,6 +94,11 @@ struct Report {
     /// Wall-clock speedup of the bounded single-thread run over the
     /// reference run, per size.
     speedup_vs_reference: Vec<(usize, f64)>,
+    /// `(size, nodes now, nodes in the previous report)` at one thread —
+    /// the pseudocost-branching tree-size trajectory, recorded (not
+    /// asserted) so successive reports carry their own before/after
+    /// comparison.
+    nodes_vs_previous_1t: Vec<(usize, usize, Option<usize>)>,
 }
 
 /// The Section-3 saturation intLP of a seeded random kernel of `ops`
@@ -93,51 +110,34 @@ fn random_kernel_model(ops: usize, seed: u64) -> Model {
     RsIlp::new().build_model(&ddg, RegType::FLOAT).0
 }
 
-/// Best-effort extraction of `(size, threads, millis)` cell triples from a
-/// previous report. Tolerant line scan (the vendored serde_json has no
-/// deserializer); anything after the `cells` array is cut off so
-/// `reference` / `previous_cells` entries are not re-ingested.
+/// Extraction of `(size, threads, millis, nodes)` from a previous report's
+/// `cells` array, parsed with the vendored `serde_json::from_str` (this
+/// replaced a tolerant line scan once the shim grew a real deserializer).
+/// `nodes` is absent from reports older than the field itself.
 fn read_previous_cells(path: &std::path::Path) -> Vec<PrevCell> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
-    let text = text
-        .split("\"reference\"")
-        .next()
-        .unwrap_or("")
-        .split("\"previous_cells\"")
-        .next()
-        .unwrap_or("");
-    let grab = |line: &str| -> Option<f64> {
-        line.split(':')
-            .nth(1)?
-            .trim()
-            .trim_end_matches(',')
-            .parse()
-            .ok()
+    let Ok(report) = serde_json::from_str(&text) else {
+        return Vec::new();
     };
-    let mut out = Vec::new();
-    let (mut size, mut threads) = (None, None);
-    for line in text.lines() {
-        let t = line.trim();
-        if t.starts_with("\"size\"") {
-            size = grab(t);
-            threads = None;
-        } else if t.starts_with("\"threads\"") {
-            threads = grab(t);
-        } else if t.starts_with("\"millis\"") {
-            if let (Some(s), Some(th), Some(ms)) = (size, threads, grab(t)) {
-                out.push(PrevCell {
-                    size: s as usize,
-                    threads: th as usize,
-                    millis: ms,
-                });
-            }
-            size = None;
-            threads = None;
-        }
-    }
-    out
+    let Some(cells) = report.get("cells").and_then(|c| c.as_array()) else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter_map(|cell| {
+            Some(PrevCell {
+                size: cell.get("size")?.as_u64()? as usize,
+                threads: cell.get("threads")?.as_u64()? as usize,
+                millis: cell.get("millis")?.as_f64()?,
+                nodes: cell
+                    .get("nodes")
+                    .and_then(|n| n.as_u64())
+                    .map(|n| n as usize),
+            })
+        })
+        .collect()
 }
 
 fn main() {
@@ -179,10 +179,6 @@ fn main() {
         let ref_millis = start.elapsed().as_secs_f64() * 1e3;
         assert!(ref_sol.stats.proven_optimal, "reference hit the budget");
         let ref_obj = ref_sol.objective.round() as i64;
-        assert!(
-            ref_sol.stats.rows > model.num_constraints(),
-            "reference must carry explicit bound rows"
-        );
         println!(
             "{size:>6} {:>9} {ref_millis:>12.1} {ref_obj:>10} {:>8} {:>9} {:>10} {:>9}",
             "ref", ref_sol.stats.nodes, "-", ref_sol.stats.pivots, ref_sol.stats.rows
@@ -211,12 +207,31 @@ fn main() {
                 obj, ref_obj,
                 "size {size}: threads={threads} diverges from the reference objective"
             );
-            // The tentpole invariant: no explicit bound rows — the tableau
-            // has exactly the structural constraint rows.
-            assert_eq!(
+            // The bounded-simplex invariant: no explicit bound rows — the
+            // tableau has at most the structural constraint rows (presolve
+            // may fold singleton rows away, never add any).
+            assert!(
+                sol.stats.rows <= model.num_constraints(),
+                "size {size}: bounded path emitted bound rows ({} rows > {} constraints)",
                 sol.stats.rows,
-                model.num_constraints(),
-                "size {size}: bounded path emitted bound rows"
+                model.num_constraints()
+            );
+            // The incremental-dive-tableau invariant: dive chains apply
+            // bound folds in place; a basis reinstall anywhere in a dive
+            // is a regression to the previous engine.
+            assert_eq!(
+                sol.stats.dive_reinstalls, 0,
+                "size {size}: dive steps re-installed a basis"
+            );
+            // Both engines presolve identically, so the reference tableau
+            // must exceed the bounded one by exactly its explicit bound
+            // rows (one per finite upper bound — strictly more rows).
+            assert!(
+                ref_sol.stats.rows > sol.stats.rows,
+                "size {size}: reference must carry explicit bound rows \
+                 ({} vs bounded {})",
+                ref_sol.stats.rows,
+                sol.stats.rows
             );
             println!(
                 "{size:>6} {threads:>9} {millis:>12.1} {obj:>10} {:>8} {:>9} {:>10} {:>9}",
@@ -234,6 +249,9 @@ fn main() {
                 lp_solves: sol.stats.lp_solves,
                 warm_solves: sol.stats.warm_solves,
                 warm_hits: sol.stats.warm_hits,
+                dive_reinstalls: sol.stats.dive_reinstalls,
+                pseudocost_branches: sol.stats.pseudocost_branches,
+                strong_branch_probes: sol.stats.strong_branch_probes,
                 pivots: sol.stats.pivots,
                 bound_flips: sol.stats.bound_flips,
                 rows: sol.stats.rows,
@@ -269,6 +287,26 @@ fn main() {
         println!("size {size}: bounded 1T is {s:.2}x the explicit-bound-row reference");
     }
 
+    // Tree-size trajectory: pseudocost branching vs the previous report's
+    // single-thread cells.
+    let nodes_vs_previous_1t: Vec<(usize, usize, Option<usize>)> = cells
+        .iter()
+        .filter(|c| c.threads == 1)
+        .map(|c| {
+            let prev = previous_cells
+                .iter()
+                .find(|p| p.size == c.size && p.threads == 1)
+                .and_then(|p| p.nodes);
+            (c.size, c.nodes, prev)
+        })
+        .collect();
+    for &(size, now, prev) in &nodes_vs_previous_1t {
+        match prev {
+            Some(prev) => println!("size {size}: {now} nodes at 1T (previous report: {prev})"),
+            None => println!("size {size}: {now} nodes at 1T (no previous node data)"),
+        }
+    }
+
     let text = format!(
         "milp_scaling: {} cells, host parallelism {}, 4-thread speedup on largest model: {}, \
          bounded-vs-reference 1T speedups: {}\n",
@@ -289,6 +327,7 @@ fn main() {
         previous_cells,
         speedup_4t_largest,
         speedup_vs_reference,
+        nodes_vs_previous_1t,
     };
     rs_bench::common::write_report(&out_dir, "milp_scaling", &text, &report);
     println!(

@@ -103,8 +103,9 @@ pub struct RsIlpResult {
     pub saturating_values: Vec<NodeId>,
     /// Model size (for the complexity table).
     pub model_stats: ModelStats,
-    /// Branch-and-bound solve statistics (nodes, LP solves, warm-started
-    /// dives, pivots, relaxation tableau shape) — surfaced by
+    /// Branch-and-bound solve statistics (nodes, LP solves, incremental
+    /// dive-tableau re-solves and reinstall count, pseudocost branching
+    /// counters, pivots, relaxation tableau shape) — surfaced by
     /// `rsat analyze --ilp --stats`.
     pub milp_stats: MilpStats,
     /// True iff branch-and-bound proved optimality within budget.

@@ -50,8 +50,8 @@ pub use milp::{solve, MilpConfig, MilpError, MilpStats};
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
 pub use presolve::{presolve, PresolveOutcome, PresolveStats};
 pub use simplex::{
-    solve_relaxation, solve_with_basis, solve_with_basis_stats, tableau_shape, Basis, LpOutcome,
-    LpStats, Solution,
+    solve_relaxation, solve_with_basis, solve_with_basis_stats, tableau_shape, Basis, DiveStep,
+    DiveTableau, LpOutcome, LpStats, Solution,
 };
 
 /// Numeric tolerance used throughout the solver.

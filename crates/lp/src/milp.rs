@@ -10,36 +10,58 @@
 //! uses a shared atomic incumbent bound, so a bound improvement found by
 //! one worker immediately tightens every other worker's search.
 //!
-//! ## Cold nodes, warm dives
+//! ## Cold nodes, incremental dives
 //!
 //! Node relaxations are solved **cold** on purpose: a warm re-solve from
 //! the parent basis returns the same objective, but lands on a
 //! minimally-repaired vertex whose fractional pattern systematically
-//! misleads most-fractional branching (measured 100-1000x tree blowups on
-//! the register-saturation corpus). The warm-start machinery
-//! ([`crate::simplex::solve_with_basis`]) instead powers the **diving
-//! primal heuristic**: each worker periodically dives from its current
-//! subproblem, fixing the most fractional variable and re-solving
-//! warm-started — a chain of pure bound tightenings, which is exactly the
-//! cheap dual-repair case. The incumbents those dives find are what turn
-//! the near-flat big-M dual bounds into actual pruning.
+//! misleads fractionality-guided branching (measured 100-1000x tree
+//! blowups on the register-saturation corpus). On the bounded path the
+//! cold node tableau is kept live as a [`crate::simplex::DiveTableau`],
+//! which serves two consumers:
+//!
+//! - the **diving primal heuristic**: each worker periodically dives from
+//!   its current subproblem, fixing near-integral variables in batches.
+//!   Every dive step is an in-place bound fold plus dual repair on the
+//!   live tableau — **no per-step basis reinstall** (the reinstall was the
+//!   dominant warm cost of the previous `solve_with_basis` chain;
+//!   [`MilpStats::dive_reinstalls`] pins the invariant at zero). The
+//!   incumbents those dives find are what turn the near-flat big-M dual
+//!   bounds into actual pruning.
+//! - **strong-branching-lite probes** for pseudocost initialization (see
+//!   below), which clone the tableau (one memcpy ≈ one pivot) and tighten
+//!   the probe bound on the copy.
+//!
+//! ## Pseudocost branching
+//!
+//! Branching is guided by **pseudocosts**: shared per-variable estimates
+//! of the objective degradation per unit of fractional distance, learned
+//! from every child relaxation the search solves. Variables without
+//! reliable estimates are initialized by strong-branching-lite probes on
+//! the node's dive tableau (bounded per node); once both directions have
+//! enough observations the accumulated estimates are trusted outright
+//! ([`MilpStats::pseudocost_branches`] counts those decisions). The score
+//! is the classic product rule `max(down·f⁻, ε) · max(up·f⁺, ε)`; an
+//! infeasible probe direction scores infinite (branching there prunes a
+//! whole side immediately). [`MilpConfig::pseudocost`] falls back to
+//! most-fractional branching when disabled.
 //!
 //! Determinism: pruning only ever discards nodes that provably cannot
 //! *strictly* beat the incumbent, so the optimal objective is identical for
-//! every thread count — dives only add incumbents and can never change the
+//! every thread count — dives only add incumbents, and pseudocost updates
+//! only steer which node is *explored* next; neither can change the
 //! reported optimum. (The witness values among equally-optimal solutions
 //! may still vary with thread count, because a different exploration order
 //! encounters a different subset of the optima.)
 //!
-//! Branching picks the most fractional integral variable; the dual bound is
-//! rounded to an integer before pruning when
+//! The dual bound is rounded to an integer before pruning when
 //! [`MilpConfig::integral_objective`] is set (every objective in the
 //! register-saturation models has integer coefficients, so `floor`/`ceil`
 //! of the relaxation bound is a valid tightening).
 
-use crate::model::{Model, Sense, VarKind};
-use crate::pool::{Incumbent, Node, NodePool};
-use crate::simplex::{solve_with_basis_stats, LpOutcome, Solution};
+use crate::model::{Model, Sense};
+use crate::pool::{BranchStep, Incumbent, Node, NodePool, Pseudocosts};
+use crate::simplex::{DiveStep, DiveTableau, LpOutcome, LpStats, Solution};
 use crate::EPS;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::Instant;
@@ -52,6 +74,26 @@ const TIME_CHECK_MASK: usize = 63;
 /// A worker re-runs the diving primal heuristic from its current
 /// subproblem once per this many processed nodes (power of two).
 const DIVE_PERIOD: usize = 64;
+
+/// Fixpoint rounds for the presolve pass wired in front of the search.
+const PRESOLVE_ROUNDS: usize = 4;
+
+/// A pseudocost direction is *reliable* — trusted without further strong
+/// branching — once it has this many observations.
+const PC_RELIABLE: usize = 1;
+
+/// At most this many strong-branching-lite probes per node (each probe is
+/// two tableau clones + dual repairs on the dive tableau).
+const SB_PER_NODE: usize = 8;
+
+/// Pivot cap per strong-branching probe repair: a probe is an estimate,
+/// not a proof, so its dual repair is cut off early and a capped-out probe
+/// simply yields no estimate (falling back to the store averages).
+const SB_PIVOT_CAP: usize = 160;
+
+/// Floor for the pseudocost product score: keeps a zero estimate on one
+/// side from erasing the other side's signal.
+const PC_SCORE_EPS: f64 = 1e-4;
 
 /// Knobs for the branch-and-bound driver.
 #[derive(Clone, Debug)]
@@ -72,6 +114,18 @@ pub struct MilpConfig {
     /// Worker threads draining the node pool (clamped to ≥ 1). The optimal
     /// objective does not depend on this value.
     pub threads: usize,
+    /// Pseudocost branching with strong-branching-lite reliability
+    /// initialization (default). Disabled, the search falls back to
+    /// most-fractional branching. The reference-LP path always uses
+    /// most-fractional branching (it has no dive tableau to probe). The
+    /// optimal objective does not depend on this flag.
+    pub pseudocost: bool,
+    /// Run the [`crate::presolve`] pass (singleton-row folding, activity
+    /// bound tightening, redundant-row elimination) before the search
+    /// (default). Presolve never changes the feasible set, so the optimal
+    /// objective does not depend on this flag; [`MilpStats::rows`] /
+    /// [`MilpStats::cols`] report the presolved tableau shape.
+    pub presolve: bool,
     /// Route every node relaxation through the explicit-bound-row
     /// *reference* simplex ([`crate::reference`]) instead of the
     /// bounded-variable path. Test-only differential baseline: no warm
@@ -88,6 +142,8 @@ impl Default for MilpConfig {
             integral_objective: true,
             int_tol: 1e-6,
             threads: 1,
+            pseudocost: true,
+            presolve: true,
             reference_lp: false,
         }
     }
@@ -136,16 +192,32 @@ impl std::error::Error for MilpError {}
 pub struct MilpStats {
     /// Branch-and-bound nodes explored.
     pub nodes: usize,
-    /// LP relaxations solved.
+    /// LP relaxations solved (cold node solves plus every incremental
+    /// re-solve on a dive tableau: dive steps and strong-branching
+    /// probes).
     pub lp_solves: usize,
-    /// LP relaxations solved with a warm-start basis hint (the diving
-    /// heuristic's chain solves; tree nodes deliberately solve cold).
+    /// Incremental warm re-solves on a live [`DiveTableau`] (the diving
+    /// heuristic's chain steps; tree nodes deliberately solve cold).
     pub warm_solves: usize,
-    /// Warm-started solves that finished on the warm path (the hint was
-    /// accepted; no cold fallback). Dive steps are pure bound changes
-    /// under the bounded-variable simplex, so this normally equals
-    /// [`MilpStats::warm_solves`].
+    /// Warm re-solves whose dual repair converged — to an optimum *or* to
+    /// an infeasibility proof (both are successful warm outcomes; only a
+    /// stalled repair discards the tableau). Dive steps are pure bound
+    /// tightenings, so this normally equals [`MilpStats::warm_solves`].
     pub warm_hits: usize,
+    /// Basis reinstalls performed on behalf of dive steps. The incremental
+    /// dive tableau applies bound tightenings in place — **no per-step
+    /// reinstall** — so this is zero by construction; the counter is wired
+    /// end-to-end so the perf report can pin the invariant (the previous
+    /// engine re-installed the parent basis on every dive step, which
+    /// dominated its warm cost).
+    pub dive_reinstalls: usize,
+    /// Branching decisions taken purely from trusted (reliable)
+    /// accumulated pseudocosts — no strong-branching probe needed at that
+    /// node.
+    pub pseudocost_branches: usize,
+    /// Strong-branching-lite probes performed to initialize unreliable
+    /// pseudocosts (each probes both directions of one variable).
+    pub strong_branch_probes: usize,
     /// Total simplex pivots (tableau eliminations, including warm-start
     /// basis reinstalls) across all node LPs.
     pub pivots: usize,
@@ -195,10 +267,15 @@ struct Ctx<'a> {
     deadline: Option<Instant>,
     pool: NodePool,
     incumbent: Incumbent,
+    /// Shared per-variable up/down degradation estimates.
+    pc: Pseudocosts,
     nodes: AtomicUsize,
     lp_solves: AtomicUsize,
     warm_solves: AtomicUsize,
     warm_hits: AtomicUsize,
+    dive_reinstalls: AtomicUsize,
+    pseudocost_branches: AtomicUsize,
+    strong_branch_probes: AtomicUsize,
     pivots: AtomicUsize,
     bound_flips: AtomicUsize,
     budget_hit: AtomicBool,
@@ -223,12 +300,47 @@ impl Ctx<'_> {
     fn improves(&self, score: f64) -> bool {
         score > self.incumbent.score() + EPS
     }
+
+    /// Feasibility tolerance for offering an incumbent. Deliberately
+    /// *capped* below the integrality tolerance: `int_tol` governs which
+    /// LP values count as integral, but a rounding that violates a
+    /// constraint by up to `int_tol` must never be reported as an optimum
+    /// — with a loose `int_tol` the gate would otherwise whitewash exactly
+    /// the violations the rounding introduced.
+    fn feas_tol(&self) -> f64 {
+        self.cfg.int_tol.min(1e-5)
+    }
 }
 
 /// Solves the mixed-integer program. Returns the optimal solution, or the
 /// best incumbent if the budget ran out (flagged in
 /// [`MilpStats::proven_optimal`]).
+///
+/// With [`MilpConfig::presolve`] (the default) the model first runs
+/// through [`crate::presolve`]: singleton rows fold into bounds, activity
+/// arguments tighten bounds and drop redundant rows, and a
+/// presolve-proven-infeasible model returns [`MilpError::Infeasible`]
+/// without any search. Presolve keeps the variable set (and the integer
+/// feasible set) intact, so the returned values are valid for the original
+/// model.
 pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError> {
+    let reduced;
+    let model = if cfg.presolve {
+        match crate::presolve::presolve(model, PRESOLVE_ROUNDS) {
+            crate::presolve::PresolveOutcome::Infeasible => return Err(MilpError::Infeasible),
+            crate::presolve::PresolveOutcome::Reduced { model: m, .. } => {
+                reduced = m;
+                &reduced
+            }
+        }
+    } else {
+        model
+    };
+    solve_presolved(model, cfg)
+}
+
+/// The branch-and-bound search on an (optionally presolved) model.
+fn solve_presolved(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
     let threads = cfg.threads.max(1);
     let n = model.num_vars();
@@ -243,19 +355,24 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError>
             .map(|i| model.bounds(crate::VarId(i as u32)))
             .collect(),
         integral: (0..n)
-            .map(|i| !matches!(model.kind(crate::VarId(i as u32)), VarKind::Continuous))
+            .map(|i| model.is_integral(crate::VarId(i as u32)))
             .collect(),
         deadline: cfg.time_limit.map(|tl| start + tl),
         pool: NodePool::new(Node {
             bounds: Vec::new(),
             depth: 0,
             score: f64::INFINITY,
+            branch: None,
         }),
         incumbent: Incumbent::new(),
+        pc: Pseudocosts::new(n),
         nodes: AtomicUsize::new(0),
         lp_solves: AtomicUsize::new(0),
         warm_solves: AtomicUsize::new(0),
         warm_hits: AtomicUsize::new(0),
+        dive_reinstalls: AtomicUsize::new(0),
+        pseudocost_branches: AtomicUsize::new(0),
+        strong_branch_probes: AtomicUsize::new(0),
         pivots: AtomicUsize::new(0),
         bound_flips: AtomicUsize::new(0),
         budget_hit: AtomicBool::new(false),
@@ -291,6 +408,9 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError>
         lp_solves: ctx.lp_solves.load(Ordering::Relaxed),
         warm_solves: ctx.warm_solves.load(Ordering::Relaxed),
         warm_hits: ctx.warm_hits.load(Ordering::Relaxed),
+        dive_reinstalls: ctx.dive_reinstalls.load(Ordering::Relaxed),
+        pseudocost_branches: ctx.pseudocost_branches.load(Ordering::Relaxed),
+        strong_branch_probes: ctx.strong_branch_probes.load(Ordering::Relaxed),
         pivots: ctx.pivots.load(Ordering::Relaxed),
         bound_flips: ctx.bound_flips.load(Ordering::Relaxed),
         rows,
@@ -309,32 +429,75 @@ pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError>
     }
 }
 
-/// One counted LP relaxation solve, routed through the configured path
-/// (bounded-variable warm-startable simplex, or the explicit-bound-row
-/// reference when [`MilpConfig::reference_lp`] is set).
-fn solve_node_lp(
-    ctx: &Ctx<'_>,
-    work: &Model,
-    hint: Option<&crate::simplex::Basis>,
-) -> (LpOutcome, Option<crate::simplex::Basis>) {
+/// Charges one LP solve's [`LpStats`] to the shared counters. This is the
+/// single accounting funnel for every solve the search performs; when the
+/// solve ran on behalf of a dive chain (`dive`), its basis-reinstall count
+/// feeds [`MilpStats::dive_reinstalls`] — the incremental dive tableau
+/// performs none, so any nonzero there means a dive step regressed to a
+/// reinstalling warm solve.
+fn charge_lp_stats(ctx: &Ctx<'_>, st: &LpStats, dive: bool) {
     ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
+    ctx.pivots.fetch_add(st.pivots, Ordering::Relaxed);
+    ctx.bound_flips.fetch_add(st.bound_flips, Ordering::Relaxed);
+    if dive {
+        ctx.dive_reinstalls
+            .fetch_add(st.reinstalls, Ordering::Relaxed);
+    }
+}
+
+/// One counted cold LP relaxation solve, routed through the configured
+/// path. On the bounded-variable path the optimal tableau is kept live as
+/// a [`DiveTableau`] for strong-branching probes and the periodic dive;
+/// the explicit-bound-row reference path ([`MilpConfig::reference_lp`])
+/// returns no tableau.
+fn solve_node_lp(ctx: &Ctx<'_>, work: &Model) -> (LpOutcome, Option<DiveTableau>) {
     if ctx.cfg.reference_lp {
         let (outcome, lp_stats) = crate::reference::solve_relaxation_stats(work);
-        ctx.pivots.fetch_add(lp_stats.pivots, Ordering::Relaxed);
+        charge_lp_stats(ctx, &lp_stats, false);
         (outcome, None)
     } else {
-        if hint.is_some() {
-            ctx.warm_solves.fetch_add(1, Ordering::Relaxed);
-        }
-        let (outcome, basis, lp_stats) = solve_with_basis_stats(work, hint);
-        ctx.pivots.fetch_add(lp_stats.pivots, Ordering::Relaxed);
-        ctx.bound_flips
-            .fetch_add(lp_stats.bound_flips, Ordering::Relaxed);
-        if lp_stats.warm_hit {
-            ctx.warm_hits.fetch_add(1, Ordering::Relaxed);
-        }
-        (outcome, basis)
+        cold_dive_tableau(ctx, work, false)
     }
+}
+
+/// One counted cold solve that keeps the tableau live (the bounded node
+/// path, the root probe, and the reference path's dive entry).
+fn cold_dive_tableau(ctx: &Ctx<'_>, model: &Model, dive: bool) -> (LpOutcome, Option<DiveTableau>) {
+    let (outcome, dt, lp_stats) = DiveTableau::new(model);
+    charge_lp_stats(ctx, &lp_stats, dive);
+    (outcome, dt)
+}
+
+/// Charges the pivot/flip work a dive tableau performed since `before`
+/// (its [`DiveTableau::work`] snapshot) to the shared counters. In-place
+/// tableau work by construction involves no basis reinstall.
+fn charge_dive_work(ctx: &Ctx<'_>, dt: &DiveTableau, before: (usize, usize)) {
+    let (p, f) = dt.work();
+    ctx.pivots.fetch_add(p - before.0, Ordering::Relaxed);
+    ctx.bound_flips.fetch_add(f - before.1, Ordering::Relaxed);
+}
+
+/// One counted incremental re-solve on a live dive tableau: applies the
+/// bound tightenings in place (rank-1 rhs folds — **zero** basis
+/// reinstalls, see [`MilpStats::dive_reinstalls`]) and dual-repairs.
+fn dive_tighten(
+    ctx: &Ctx<'_>,
+    dt: &mut DiveTableau,
+    changes: &[(crate::VarId, f64, f64)],
+    work: &Model,
+) -> DiveStep {
+    ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
+    ctx.warm_solves.fetch_add(1, Ordering::Relaxed);
+    let before = dt.work();
+    let step = dt.tighten(changes, work);
+    charge_dive_work(ctx, dt, before);
+    // Both Optimal and Infeasible are *converged* warm outcomes (the dual
+    // repair finished — an infeasibility proof is a success, exactly as on
+    // the old `solve_with_basis` path); only a stall discards the tableau.
+    if !matches!(step, DiveStep::Stalled) {
+        ctx.warm_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    step
 }
 
 /// How close to an integer a variable must sit for the diving heuristic to
@@ -344,28 +507,32 @@ fn solve_node_lp(
 /// LPs total.
 const DIVE_BATCH_TOL: f64 = 0.1;
 
-/// Diving primal heuristic: from the relaxation `sol` of the subproblem
-/// currently materialized in `work`, repeatedly fix the most fractional
-/// integral variable — together with every near-integral one (within
-/// [`DIVE_BATCH_TOL`] of an integer) — to its nearest in-bounds integer
-/// and re-solve (warm-started). An infeasible batch step falls back to
-/// fixing the single most fractional variable; if that is infeasible too,
-/// its opposite rounding is tried once, and a further failure aborts the
-/// dive. When the dive reaches an integral relaxation, the
-/// (feasibility-checked) point is offered as an incumbent.
+/// Diving primal heuristic on the **incremental dive tableau**: from the
+/// relaxation `sol` of the subproblem whose optimal tableau lives in `dt`,
+/// repeatedly fix the most fractional integral variable — together with
+/// every near-integral one (within [`DIVE_BATCH_TOL`] of an integer) — to
+/// its nearest in-bounds integer and dual-repair **in place**. No tableau
+/// rebuild, no basis reinstall, no model mutation: each step is a batch of
+/// rank-1 rhs folds plus a few dual pivots. An infeasible batch step
+/// restores the pre-step tableau (one clone held per step) and falls back
+/// to fixing the single most fractional variable; if that is infeasible
+/// too, its opposite rounding is tried once, and a further failure aborts
+/// the dive. A stalled dual repair aborts the dive outright (the tableau
+/// state is unreliable, and the dive is only a heuristic). When the dive
+/// reaches an integral relaxation, the (feasibility-checked) point is
+/// offered as an incumbent.
 ///
 /// The dive never prunes and never proves anything; it only feeds the
 /// incumbent bound, so it cannot change the reported optimal objective
 /// (pruning requires *strict* improvement) no matter when or on which
 /// worker it runs.
-fn dive_from(
-    ctx: &Ctx<'_>,
-    work: &mut Model,
-    mut sol: Solution,
-    mut basis: Option<crate::simplex::Basis>,
-) {
+fn dive_from(ctx: &Ctx<'_>, work: &Model, mut dt: DiveTableau, mut sol: Solution) {
     let max_steps = 2 * ctx.integral.len() + 8;
-    let mut saved_bounds: Vec<(crate::VarId, f64, f64)> = Vec::new();
+    let mut batch: Vec<(crate::VarId, f64, f64)> = Vec::new();
+    // Pre-step snapshot buffer, allocated once per dive and refilled by
+    // `clone_from` each step (a failed batch backs out by restoring it —
+    // the dive tableau itself only supports tightenings).
+    let mut snap = dt.clone();
     for step in 0..max_steps {
         if step & 7 == 0 {
             if let Some(dl) = ctx.deadline {
@@ -375,22 +542,7 @@ fn dive_from(
             }
         }
         // Most fractional integral variable of the current relaxation.
-        let mut pick: Option<(usize, f64)> = None;
-        let mut best_dist_half = f64::INFINITY;
-        for (i, &int) in ctx.integral.iter().enumerate() {
-            if !int {
-                continue;
-            }
-            let x = sol.values[i];
-            if (x - x.round()).abs() <= ctx.cfg.int_tol {
-                continue;
-            }
-            let dist_half = (x - x.floor() - 0.5).abs();
-            if dist_half < best_dist_half {
-                best_dist_half = dist_half;
-                pick = Some((i, x));
-            }
-        }
+        let pick = select_most_fractional(ctx, &sol).map(|(v, x)| (v.index(), x));
         let Some((i, x)) = pick else {
             // Integral relaxation: offer it.
             let mut values = sol.values;
@@ -399,7 +551,7 @@ fn dive_from(
                     *val = val.round();
                 }
             }
-            if ctx.model.check_feasible(&values, ctx.cfg.int_tol).is_ok() {
+            if ctx.model.check_feasible(&values, ctx.feas_tol()).is_ok() {
                 let objective = ctx.model.objective.eval(&values);
                 ctx.incumbent
                     .offer(ctx.dir * objective, objective, values, EPS);
@@ -408,8 +560,9 @@ fn dive_from(
         };
 
         // Batch step: fix every near-integral variable plus the most
-        // fractional one, remembering the previous bounds for the fallback.
-        saved_bounds.clear();
+        // fractional one. Refreshing the snapshot is one tableau memcpy,
+        // ≈ a single pivot's cost.
+        batch.clear();
         for (j, &int) in ctx.integral.iter().enumerate() {
             if !int {
                 continue;
@@ -420,57 +573,232 @@ fn dive_from(
                 continue;
             }
             let v = crate::VarId(j as u32);
-            let (lo, hi) = work.bounds(v);
+            let (lo, hi) = dt.bounds(v);
             let target = xj.round().clamp(lo, hi);
-            saved_bounds.push((v, lo, hi));
-            work.set_bounds(v, target, target);
+            batch.push((v, target, target));
         }
-        if let (LpOutcome::Optimal(s), b) = solve_node_lp(ctx, work, basis.as_ref()) {
-            sol = s;
-            basis = b.or(basis);
-            continue;
+        snap.clone_from(&dt);
+        match dive_tighten(ctx, &mut dt, &batch, work) {
+            DiveStep::Optimal(s) => {
+                sol = s;
+                continue;
+            }
+            DiveStep::Infeasible => {}
+            DiveStep::Stalled => return,
         }
         // Batch failed: restore and fix only the most fractional variable
         // (when the batch was already that single variable, go straight to
         // the opposite rounding).
-        for &(v, lo, hi) in &saved_bounds {
-            work.set_bounds(v, lo, hi);
-        }
-        let single_was_batch = saved_bounds.len() == 1;
+        let single_was_batch = batch.len() == 1;
+        dt.clone_from(&snap);
         let v = crate::VarId(i as u32);
-        let (lo, hi) = work.bounds(v);
+        let (lo, hi) = dt.bounds(v);
         let near = x.round().clamp(lo, hi);
         let far = if near > x { x.floor() } else { x.ceil() }.clamp(lo, hi);
         if !single_was_batch {
-            work.set_bounds(v, near, near);
-            if let (LpOutcome::Optimal(s), b) = solve_node_lp(ctx, work, basis.as_ref()) {
-                sol = s;
-                basis = b.or(basis);
-                continue;
+            match dive_tighten(ctx, &mut dt, &[(v, near, near)], work) {
+                DiveStep::Optimal(s) => {
+                    sol = s;
+                    continue;
+                }
+                DiveStep::Infeasible => dt.clone_from(&snap),
+                DiveStep::Stalled => return,
             }
         }
         if far == near {
             return;
         }
-        work.set_bounds(v, far, far);
-        if let (LpOutcome::Optimal(s), b) = solve_node_lp(ctx, work, basis.as_ref()) {
-            sol = s;
-            basis = b.or(basis);
-        } else {
-            return;
+        match dive_tighten(ctx, &mut dt, &[(v, far, far)], work) {
+            DiveStep::Optimal(s) => sol = s,
+            DiveStep::Infeasible | DiveStep::Stalled => return,
         }
     }
 }
 
 /// Deterministic root diving probe: seeds the shared incumbent before the
 /// workers start, so the multi-threaded search begins from the same
-/// incumbent floor regardless of pop-order races.
+/// incumbent floor regardless of pop-order races. Always runs on the
+/// bounded-variable dive tableau (the reference path has no incremental
+/// machinery; dives only feed incumbents, which are feasibility-checked,
+/// so this cannot change a reference run's reported optimum).
 fn dive_probe(ctx: &Ctx<'_>) {
-    let mut work = ctx.model.clone();
-    let (out, basis) = solve_node_lp(ctx, &work, None);
-    if let LpOutcome::Optimal(sol) = out {
-        dive_from(ctx, &mut work, sol, basis);
+    if let (LpOutcome::Optimal(sol), Some(dt)) = cold_dive_tableau(ctx, ctx.model, true) {
+        dive_from(ctx, ctx.model, dt, sol);
     }
+}
+
+/// Most-fractional branching rule (fraction closest to one half), the
+/// fallback when pseudocost branching is disabled or no dive tableau is
+/// available (reference path).
+fn select_most_fractional(ctx: &Ctx<'_>, sol: &Solution) -> Option<(crate::VarId, f64)> {
+    let mut branch: Option<(crate::VarId, f64)> = None;
+    let mut best_dist_half = f64::INFINITY;
+    for (i, &int) in ctx.integral.iter().enumerate() {
+        if !int {
+            continue;
+        }
+        let x = sol.values[i];
+        if (x - x.round()).abs() <= ctx.cfg.int_tol {
+            continue;
+        }
+        let dist_half = (x - x.floor() - 0.5).abs();
+        if dist_half < best_dist_half {
+            best_dist_half = dist_half;
+            branch = Some((crate::VarId(i as u32), x));
+        }
+    }
+    branch
+}
+
+/// Pseudocost branching with strong-branching-lite reliability
+/// initialization.
+///
+/// Every fractional candidate is scored by the product rule
+/// `max(down_est, ε) · max(up_est, ε)`, where each directional estimate is
+/// the expected objective degradation of that child (per-unit pseudocost ×
+/// fractional distance). Candidates whose pseudocosts are not yet reliable
+/// (fewer than [`PC_RELIABLE`] observations in either direction) are
+/// initialized by probing both children on a **clone of the node's dive
+/// tableau** — a bound tightening plus dual repair, no reinstall — with at
+/// most [`SB_PER_NODE`] probes per node, most fractional first; probe
+/// degradations are recorded into the shared store, so each variable is
+/// probed only a bounded number of times across the whole search. An
+/// infeasible probe direction scores infinite (branching there closes a
+/// whole side). Directions with no local probe and no reliable estimate
+/// fall back to the store average, then to the global average.
+fn select_branch_pseudocost(
+    ctx: &Ctx<'_>,
+    work: &Model,
+    dt: &DiveTableau,
+    sol: &Solution,
+    raw_score: f64,
+) -> Option<(crate::VarId, f64)> {
+    // Fractional candidates: (var index, value, down fraction, up fraction).
+    let mut cands: Vec<(usize, f64, f64, f64)> = Vec::new();
+    for (i, &int) in ctx.integral.iter().enumerate() {
+        if !int {
+            continue;
+        }
+        let x = sol.values[i];
+        if (x - x.round()).abs() <= ctx.cfg.int_tol {
+            continue;
+        }
+        let fd = x - x.floor();
+        cands.push((i, x, fd, 1.0 - fd));
+    }
+    if cands.is_empty() {
+        return None;
+    }
+
+    // Strong-branching-lite probes for unreliable candidates, most
+    // fractional first (deterministic order: distance to one half, then
+    // index).
+    let mut order: Vec<usize> = (0..cands.len()).collect();
+    order.sort_by(|&a, &b| {
+        let da = (cands[a].2 - 0.5).abs();
+        let db = (cands[b].2 - 0.5).abs();
+        da.total_cmp(&db).then(cands[a].0.cmp(&cands[b].0))
+    });
+    // Local probe estimates (total degradation per direction); NaN = none.
+    let mut local: Vec<(f64, f64)> = vec![(f64::NAN, f64::NAN); cands.len()];
+    let mut probes = 0usize;
+    // Probe scratch tableau, allocated on the first probe and refilled by
+    // `clone_from` for every direction afterwards (zero steady-state
+    // allocation on the branching hot path).
+    let mut scratch: Option<DiveTableau> = None;
+    for &ci in &order {
+        if probes >= SB_PER_NODE {
+            break;
+        }
+        let (i, x, fd, fu) = cands[ci];
+        let v = crate::VarId(i as u32);
+        if ctx.pc.count(v, false) >= PC_RELIABLE && ctx.pc.count(v, true) >= PC_RELIABLE {
+            continue;
+        }
+        probes += 1;
+        ctx.strong_branch_probes.fetch_add(1, Ordering::Relaxed);
+        let (lo, hi) = dt.bounds(v);
+        let fl = x.floor();
+        let mut probe_dir = |child_lo: f64, child_hi: f64, frac: f64, up: bool| -> f64 {
+            ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
+            let p = match &mut scratch {
+                Some(p) => {
+                    p.clone_from(dt);
+                    p
+                }
+                // First probe of the node: a fresh clone doubles as the
+                // refill.
+                empty => empty.insert(dt.clone()),
+            };
+            let before = p.work();
+            let step = p.tighten_capped(&[(v, child_lo, child_hi)], work, SB_PIVOT_CAP);
+            charge_dive_work(ctx, p, before);
+            match step {
+                DiveStep::Optimal(s) => {
+                    let deg = (raw_score - ctx.dir * s.objective).max(0.0);
+                    ctx.pc.record(v, up, deg / frac.max(ctx.cfg.int_tol));
+                    deg
+                }
+                // An infeasible child is the strongest possible branching
+                // signal *at this node*, scored infinite locally. The
+                // store gets a large-but-finite observation (8x the
+                // global average): infeasibility depends on the node's
+                // bounds, so an infinite average would poison the
+                // estimates — but recording nothing would leave the
+                // direction unreliable forever, re-probing the variable
+                // at every node where it is fractional. The biased-high
+                // record keeps the "branching here tends to close a
+                // side" signal while bounding total probes.
+                DiveStep::Infeasible => {
+                    ctx.pc.record(v, up, 8.0 * ctx.pc.global_avg());
+                    f64::INFINITY
+                }
+                DiveStep::Stalled => {
+                    // Capped-out repair: no usable estimate. A neutral
+                    // observation (the store average) is recorded so the
+                    // variable still converges to reliable — otherwise
+                    // every subsequent node would re-probe it and pay the
+                    // cap again.
+                    ctx.pc.record(v, up, ctx.pc.global_avg());
+                    f64::NAN
+                }
+            }
+        };
+        let down = probe_dir(lo, fl, fd, false);
+        let up = probe_dir(fl + 1.0, hi, fu, true);
+        local[ci] = (down, up);
+    }
+
+    // Product-rule scoring.
+    let gavg = ctx.pc.global_avg();
+    let mut best: Option<(f64, usize, bool)> = None;
+    for (ci, &(i, _, fd, fu)) in cands.iter().enumerate() {
+        let v = crate::VarId(i as u32);
+        let (ld, lu) = local[ci];
+        let down_est = if ld.is_nan() {
+            ctx.pc.avg(v, false).unwrap_or(gavg) * fd
+        } else {
+            ld
+        };
+        let up_est = if lu.is_nan() {
+            ctx.pc.avg(v, true).unwrap_or(gavg) * fu
+        } else {
+            lu
+        };
+        let trusted = ld.is_nan()
+            && lu.is_nan()
+            && ctx.pc.count(v, false) >= PC_RELIABLE
+            && ctx.pc.count(v, true) >= PC_RELIABLE;
+        let score = down_est.max(PC_SCORE_EPS) * up_est.max(PC_SCORE_EPS);
+        if best.is_none_or(|(bs, _, _)| score > bs) {
+            best = Some((score, ci, trusted));
+        }
+    }
+    let (_, ci, trusted) = best.expect("candidates are nonempty");
+    if trusted {
+        ctx.pseudocost_branches.fetch_add(1, Ordering::Relaxed);
+    }
+    Some((crate::VarId(cands[ci].0 as u32), cands[ci].1))
 }
 
 /// Worker loop: drain the pool until the search completes or is stopped.
@@ -555,12 +883,13 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
     // Node relaxations are deliberately solved *cold*: a fresh two-phase
     // solve returns the same objective as a warm re-solve, but its vertex
     // (among the many degenerate optima of the big-M RS relaxations) guides
-    // most-fractional branching far better than the minimally-repaired
+    // fractionality-based branching far better than the minimally-repaired
     // parent vertex a warm start lands on — measured tree sizes differ by
-    // 100-1000x on the random-kernel corpus. The warm machinery earns its
-    // keep in the diving heuristic below, whose chains of pure bound
-    // tightenings are exactly the cheap dual-repair case.
-    let (outcome, basis) = solve_node_lp(ctx, work, None);
+    // 100-1000x on the random-kernel corpus. On the bounded path the cold
+    // tableau stays live as a DiveTableau for the strong-branching probes
+    // and the periodic dive below, whose chains of pure bound tightenings
+    // run in place with zero basis reinstalls.
+    let (outcome, mut dt) = solve_node_lp(ctx, work);
     let sol = match outcome {
         LpOutcome::Optimal(s) => s,
         LpOutcome::Infeasible => return,
@@ -582,52 +911,61 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
         }
     };
 
+    // Feed the shared pseudocosts: this node's relaxation is exactly the
+    // child LP of the branching step that created it, so the degradation
+    // against the parent's raw bound is one per-unit observation. Recorded
+    // before any pruning — a pruned child is still a valid observation.
+    let raw_score = ctx.dir * sol.objective;
+    if let Some(b) = node.branch {
+        if b.frac > 1e-9 && b.parent_score.is_finite() {
+            ctx.pc.record(
+                b.var,
+                b.up,
+                ((b.parent_score - raw_score) / b.frac).max(0.0),
+            );
+        }
+    }
+
     // Bound pruning on the fresh relaxation. Children are queued under the
     // *tightened* (integer-rounded) bound: rounding loses nothing for
     // pruning, and it collapses the near-flat big-M bounds into integer
     // buckets, inside which the pool's depth tie-break dives straight to an
     // incumbent instead of ping-ponging across the frontier.
-    let score = ctx.tighten_score(ctx.dir * sol.objective);
+    let score = ctx.tighten_score(raw_score);
     if !ctx.improves(score) {
         return;
     }
 
-    // Branch on the most fractional integral variable (fraction closest to
-    // one half).
-    let mut branch: Option<(crate::VarId, f64)> = None;
-    let mut best_dist_half = f64::INFINITY;
-    for (i, &int) in ctx.integral.iter().enumerate() {
-        if !int {
-            continue;
-        }
-        let x = sol.values[i];
-        if (x - x.round()).abs() <= ctx.cfg.int_tol {
-            continue;
-        }
-        let dist_half = (x - x.floor() - 0.5).abs();
-        if dist_half < best_dist_half {
-            best_dist_half = dist_half;
-            branch = Some((crate::VarId(i as u32), x));
-        }
-    }
+    // Pick the branching variable: pseudocost product rule with
+    // strong-branching-lite initialization when enabled and a dive tableau
+    // is available, otherwise most-fractional.
+    let branch = match (ctx.cfg.pseudocost, dt.as_ref()) {
+        (true, Some(dt)) => select_branch_pseudocost(ctx, work, dt, &sol, raw_score),
+        _ => select_most_fractional(ctx, &sol),
+    };
 
     match branch {
         None => {
-            // Integral: candidate incumbent.
+            // Integral: candidate incumbent. The rounding is gated by a
+            // *real* feasibility check — `debug_assert!` alone would let an
+            // infeasible rounding become the reported optimum in release
+            // builds. A leaf that fails the check cannot be explored
+            // further (nothing fractional to branch on), so the optimality
+            // proof is surrendered instead of silently dropping the
+            // subtree.
             let mut values = sol.values.clone();
             for (i, val) in values.iter_mut().enumerate() {
                 if ctx.integral[i] {
                     *val = val.round();
                 }
             }
-            let objective = ctx.model.objective.eval(&values);
-            debug_assert!(
-                ctx.model.check_feasible(&values, 1e-5).is_ok(),
-                "incumbent must be feasible: {:?}",
-                ctx.model.check_feasible(&values, 1e-5)
-            );
-            ctx.incumbent
-                .offer(ctx.dir * objective, objective, values, EPS);
+            if ctx.model.check_feasible(&values, ctx.feas_tol()).is_ok() {
+                let objective = ctx.model.objective.eval(&values);
+                ctx.incumbent
+                    .offer(ctx.dir * objective, objective, values, EPS);
+            } else {
+                ctx.numerical.store(true, Ordering::Relaxed);
+            }
         }
         Some((v, x)) => {
             // Simple-rounding primal heuristic: the big-M relaxations of
@@ -644,38 +982,47 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
             }
             let objective = ctx.model.objective.eval(&rounded);
             if ctx.improves(ctx.dir * objective)
-                && ctx.model.check_feasible(&rounded, ctx.cfg.int_tol).is_ok()
+                && ctx.model.check_feasible(&rounded, ctx.feas_tol()).is_ok()
             {
                 ctx.incumbent
                     .offer(ctx.dir * objective, objective, rounded, EPS);
             }
             let fl = x.floor();
-            let child = |lo: f64, hi: f64| {
+            let f_down = x - fl;
+            let child = |lo: f64, hi: f64, frac: f64, up: bool| {
                 let mut b = node.bounds.clone();
                 b.push((v, lo, hi));
                 Node {
                     bounds: b,
                     depth: node.depth + 1,
                     score,
+                    branch: Some(BranchStep {
+                        var: v,
+                        frac,
+                        parent_score: raw_score,
+                        up,
+                    }),
                 }
             };
+            let down = child(f64::NEG_INFINITY, fl, f_down, false);
+            let up = child(fl + 1.0, f64::INFINITY, 1.0 - f_down, true);
             // Both children inherit this relaxation's bound; the side
-            // nearer the fractional value is pushed first (earlier sequence
-            // number wins best-bound ties, diving towards an incumbent
-            // fast).
-            let down_first = x - fl <= 0.5;
-            if down_first {
-                ctx.pool.push(child(f64::NEG_INFINITY, fl));
-                ctx.pool.push(child(fl + 1.0, f64::INFINITY));
+            // nearer the fractional value is pushed first — the pool pops
+            // the earlier sequence number on score/depth ties, so the
+            // near side is explored first, diving towards an incumbent
+            // fast.
+            if f_down <= 0.5 {
+                ctx.pool.push(down);
+                ctx.pool.push(up);
             } else {
-                ctx.pool.push(child(fl + 1.0, f64::INFINITY));
-                ctx.pool.push(child(f64::NEG_INFINITY, fl));
+                ctx.pool.push(up);
+                ctx.pool.push(down);
             }
             // Periodic diving restart: every `DIVE_PERIOD` nodes this worker
             // re-runs the diving heuristic from its current subproblem,
-            // warm-chaining off this node's exported basis. On the
-            // near-flat big-M relaxations the dual bound barely moves, so
-            // pruning lives or dies by incumbent quality — a dive from a
+            // chaining in-place bound folds on this node's live tableau. On
+            // the near-flat big-M relaxations the dual bound barely moves,
+            // so pruning lives or dies by incumbent quality — a dive from a
             // deep subproblem regularly finds the incumbent that collapses
             // the remaining frontier. Extra incumbents can only tighten the
             // bound, never change the reported optimum.
@@ -686,7 +1033,18 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
                 4 * DIVE_PERIOD - 1
             };
             if *processed & period_mask == 1 {
-                dive_from(ctx, work, sol, basis);
+                match dt.take() {
+                    Some(dt) => dive_from(ctx, work, dt, sol),
+                    None => {
+                        // Reference path: no live tableau from the node
+                        // solve; build one cold for the dive.
+                        if let (LpOutcome::Optimal(s), Some(dt)) =
+                            cold_dive_tableau(ctx, work, true)
+                        {
+                            dive_from(ctx, work, dt, s);
+                        }
+                    }
+                }
             }
         }
     }
@@ -848,6 +1206,97 @@ mod tests {
     }
 
     #[test]
+    fn infeasible_rounding_leaf_is_rejected() {
+        // Regression: the integral-leaf incumbent path was guarded only by
+        // a `debug_assert!` — in release builds an infeasible rounding
+        // became the reported optimum. With a loose integrality tolerance
+        // the LP optimum x = 0.6 of `10x ≤ 6` counts as integral, and its
+        // rounding x = 1 violates the row by 4. The leaf must be rejected
+        // (surrendering the proof), never offered.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 1.0);
+        m.add_constraint(LinExpr::from(x) * 10.0, Cmp::Le, 6.0);
+        m.set_objective(LinExpr::from(x));
+        let cfg = MilpConfig {
+            int_tol: 0.45,
+            // presolve would fold the singleton row into x's bounds and
+            // hide the leaf this regression is about
+            presolve: false,
+            ..MilpConfig::default()
+        };
+        // Surrendering with an error is sound; claiming the infeasible
+        // rounding as the optimum is the bug.
+        if let Ok(s) = solve(&m, &cfg) {
+            assert!(
+                m.check_feasible(&s.values, 1e-6).is_ok(),
+                "reported optimum is infeasible: {:?}",
+                s.values
+            );
+        }
+
+        // The subtler variant: the rounding violates the row by *less*
+        // than int_tol (x ≤ 0.6 violated by 0.4 < 0.45). The feasibility
+        // gate is capped below int_tol precisely so a loose integrality
+        // tolerance cannot whitewash the violation its own rounding
+        // introduced.
+        let mut m2 = Model::new(Sense::Maximize);
+        let x2 = m2.add_var("x", VarKind::Integer, 0.0, 1.0);
+        m2.add_constraint(LinExpr::from(x2), Cmp::Le, 0.6);
+        m2.set_objective(LinExpr::from(x2));
+        if let Ok(s) = solve(&m2, &cfg) {
+            assert!(
+                m2.check_feasible(&s.values, 1e-6).is_ok(),
+                "reported optimum is infeasible: {:?}",
+                s.values
+            );
+        }
+    }
+
+    #[test]
+    fn pseudocost_engine_reports_stats() {
+        // A branching model: the first nodes have unreliable pseudocosts,
+        // so strong-branching-lite probes must fire, and the incremental
+        // dive tableau must never reinstall a basis.
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..8)
+            .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 9.0))
+            .collect();
+        let mut e = LinExpr::new();
+        let mut obj = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            e = e + ((i % 3 + 2) as f64, v);
+            obj = obj + ((i % 5 + 1) as f64, v);
+        }
+        m.add_constraint(e, Cmp::Le, 37.5);
+        m.set_objective(obj);
+        let s = solve(&m, &MilpConfig::default()).unwrap();
+        assert!(s.stats.proven_optimal);
+        assert_eq!(
+            s.stats.dive_reinstalls, 0,
+            "dive tableau must not reinstall"
+        );
+        assert!(
+            s.stats.nodes <= 1 || s.stats.strong_branch_probes > 0,
+            "branching without reliable pseudocosts must probe, stats: {:?}",
+            s.stats
+        );
+
+        // Disabling pseudocost branching falls back to most-fractional and
+        // must not change the objective (or touch the probe counters).
+        let off = solve(
+            &m,
+            &MilpConfig {
+                pseudocost: false,
+                ..MilpConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(off.objective.round() as i64, s.objective.round() as i64);
+        assert_eq!(off.stats.strong_branch_probes, 0);
+        assert_eq!(off.stats.pseudocost_branches, 0);
+    }
+
+    #[test]
     fn thread_count_does_not_change_objective() {
         // A search tree with plenty of nodes; every thread count must agree.
         let mut m = Model::new(Sense::Maximize);
@@ -963,18 +1412,33 @@ mod tests {
                 m.set_objective(o);
 
                 let expected = brute_force(&cons, &obj, sense);
-                match solve(&m, &MilpConfig::with_threads(threads)) {
-                    Ok(sol) => {
-                        prop_assert!(sol.stats.proven_optimal);
-                        let got = sol.objective.round() as i64;
-                        prop_assert_eq!(Some(got), expected,
-                            "solver {} vs brute force {:?}", got, expected);
-                        prop_assert!(m.check_feasible(&sol.values, 1e-5).is_ok());
+                // Default engine (pseudocost branching + presolve on) and
+                // the stripped configuration (most-fractional, no
+                // presolve) must both match the brute force — objective
+                // equivalence across every knob combination.
+                let configs = [
+                    MilpConfig::with_threads(threads),
+                    MilpConfig {
+                        pseudocost: false,
+                        presolve: false,
+                        threads,
+                        ..MilpConfig::default()
+                    },
+                ];
+                for cfg in configs {
+                    match solve(&m, &cfg) {
+                        Ok(sol) => {
+                            prop_assert!(sol.stats.proven_optimal);
+                            let got = sol.objective.round() as i64;
+                            prop_assert_eq!(Some(got), expected,
+                                "solver {} vs brute force {:?} (cfg {:?})", got, expected, cfg);
+                            prop_assert!(m.check_feasible(&sol.values, 1e-5).is_ok());
+                        }
+                        Err(MilpError::Infeasible) => {
+                            prop_assert_eq!(expected, None, "solver claims infeasible");
+                        }
+                        Err(e) => prop_assert!(false, "unexpected solver error {e}"),
                     }
-                    Err(MilpError::Infeasible) => {
-                        prop_assert_eq!(expected, None, "solver claims infeasible");
-                    }
-                    Err(e) => prop_assert!(false, "unexpected solver error {e}"),
                 }
             }
         }

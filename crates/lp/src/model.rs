@@ -206,6 +206,13 @@ impl Model {
         self.vars[v.index()].kind
     }
 
+    /// Is the variable integrality-constrained (integer or binary)? The
+    /// predicate behind every integral-rounding decision in the solver
+    /// stack (bound folds, presolve, branch-and-bound candidate scans).
+    pub fn is_integral(&self, v: VarId) -> bool {
+        !matches!(self.vars[v.index()].kind, VarKind::Continuous)
+    }
+
     /// Variable bounds `(lo, hi)`.
     pub fn bounds(&self, v: VarId) -> (f64, f64) {
         let var = &self.vars[v.index()];
@@ -265,7 +272,7 @@ impl Model {
     /// empty.
     fn try_fold_bound(&mut self, v: VarId, a: f64, cmp: Cmp, rhs: f64) -> bool {
         let (lo, hi) = self.bounds(v);
-        let integral = !matches!(self.kind(v), VarKind::Continuous);
+        let integral = self.is_integral(v);
         match fold_interval(lo, hi, integral, a, cmp, rhs) {
             Some((nlo, nhi)) if nlo <= nhi => {
                 self.set_bounds(v, nlo, nhi);

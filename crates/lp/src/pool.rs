@@ -17,8 +17,20 @@
 
 use crate::VarId;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+
+/// The branching step that created a node, kept so the child's relaxation
+/// can feed the shared pseudocost estimates: branching variable, the
+/// fractional distance the bound moved (`x − ⌊x⌋` down, `⌈x⌉ − x` up), the
+/// parent relaxation's raw (un-rounded) score, and the direction.
+#[derive(Clone, Copy)]
+pub(crate) struct BranchStep {
+    pub var: VarId,
+    pub frac: f64,
+    pub parent_score: f64,
+    pub up: bool,
+}
 
 /// An open branch-and-bound node: the bound overrides along its path from
 /// the root plus ordering metadata. Nodes carry no simplex basis — node
@@ -31,11 +43,17 @@ pub(crate) struct Node {
     /// Dual bound inherited from the parent relaxation, normalized so that
     /// larger is always better (the root uses `+∞`).
     pub score: f64,
+    /// Branching step that created this node (`None` for the root), for
+    /// pseudocost bookkeeping.
+    pub branch: Option<BranchStep>,
 }
 
 struct Entry {
     node: Node,
-    /// Push sequence number; among equal bounds, older nodes first.
+    /// Push sequence number; among equal bounds and depths, older nodes
+    /// pop first, so the child a worker pushes first (the nearer branching
+    /// side — see the child-push order in `milp::process_node`) is the one
+    /// explored first.
     seq: u64,
 }
 
@@ -54,15 +72,19 @@ impl Ord for Entry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap: higher score wins. Score ties (common —
         // both children inherit the parent's bound, and the big-M RS
-        // relaxations are flat near the root) break towards the deeper,
-        // most recently pushed node: best-bound search with depth-first
-        // tie-breaking, which dives to an incumbent as fast as plain DFS
-        // instead of enumerating a frontier breadth-first.
+        // relaxations are flat near the root) break towards the deeper
+        // node (best-bound search with depth-first tie-breaking, which
+        // dives to an incumbent as fast as plain DFS instead of enumerating
+        // a frontier breadth-first), and among equal depths towards the
+        // *earlier* sequence number — the max-heap must therefore order
+        // seq *descending*, so `other.seq` is compared against `self.seq`.
+        // That makes the sibling pushed first (the nearer branching side)
+        // pop first, matching the child-push order in `milp`.
         self.node
             .score
             .total_cmp(&other.node.score)
             .then_with(|| self.node.depth.cmp(&other.node.depth))
-            .then_with(|| self.seq.cmp(&other.seq))
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -203,6 +225,110 @@ impl Incumbent {
     }
 }
 
+/// Shared per-variable pseudocost estimates: the average objective
+/// degradation per unit of fractional distance observed when branching a
+/// variable up or down. Workers update the store lock-free (CAS loops on
+/// the `f64` bit patterns); the estimates steer branching only, so the
+/// interleaving of updates can change the tree shape but never the
+/// reported optimum (pruning stays strict-improvement-only).
+pub(crate) struct Pseudocosts {
+    up: Vec<PcCell>,
+    down: Vec<PcCell>,
+    glob_sum: AtomicU64,
+    glob_cnt: AtomicUsize,
+}
+
+struct PcCell {
+    sum: AtomicU64,
+    cnt: AtomicUsize,
+}
+
+impl PcCell {
+    fn new() -> Self {
+        PcCell {
+            sum: AtomicU64::new(0.0f64.to_bits()),
+            cnt: AtomicUsize::new(0),
+        }
+    }
+}
+
+/// Lock-free `f64` accumulation via compare-and-swap on the bit pattern.
+fn atomic_f64_add(cell: &AtomicU64, x: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let new = (f64::from_bits(cur) + x).to_bits();
+        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+impl Pseudocosts {
+    pub fn new(num_vars: usize) -> Self {
+        Pseudocosts {
+            up: (0..num_vars).map(|_| PcCell::new()).collect(),
+            down: (0..num_vars).map(|_| PcCell::new()).collect(),
+            glob_sum: AtomicU64::new(0.0f64.to_bits()),
+            glob_cnt: AtomicUsize::new(0),
+        }
+    }
+
+    fn cell(&self, v: VarId, up: bool) -> &PcCell {
+        if up {
+            &self.up[v.index()]
+        } else {
+            &self.down[v.index()]
+        }
+    }
+
+    /// Records one observed per-unit degradation for `v` in the given
+    /// direction (from a child relaxation or a strong-branching probe).
+    pub fn record(&self, v: VarId, up: bool, per_unit: f64) {
+        if !per_unit.is_finite() || per_unit < 0.0 {
+            return;
+        }
+        let cell = self.cell(v, up);
+        atomic_f64_add(&cell.sum, per_unit);
+        cell.cnt.fetch_add(1, Ordering::Relaxed);
+        atomic_f64_add(&self.glob_sum, per_unit);
+        self.glob_cnt.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations for `v` in the given direction.
+    pub fn count(&self, v: VarId, up: bool) -> usize {
+        self.cell(v, up).cnt.load(Ordering::Relaxed)
+    }
+
+    /// Average per-unit degradation for `v` in the given direction, `None`
+    /// while uninitialized.
+    pub fn avg(&self, v: VarId, up: bool) -> Option<f64> {
+        let cell = self.cell(v, up);
+        let cnt = cell.cnt.load(Ordering::Relaxed);
+        if cnt == 0 {
+            return None;
+        }
+        Some(f64::from_bits(cell.sum.load(Ordering::Relaxed)) / cnt as f64)
+    }
+
+    /// Average per-unit degradation across every variable and direction —
+    /// the fallback estimate for directions with no data yet. `1.0` while
+    /// the store is completely empty (reduces the product score to plain
+    /// fractionality).
+    pub fn global_avg(&self) -> f64 {
+        let cnt = self.glob_cnt.load(Ordering::Relaxed);
+        if cnt == 0 {
+            return 1.0;
+        }
+        let avg = f64::from_bits(self.glob_sum.load(Ordering::Relaxed)) / cnt as f64;
+        if avg > 0.0 {
+            avg
+        } else {
+            1.0
+        }
+    }
+}
+
 fn lex_less(a: &[f64], b: &[f64]) -> bool {
     for (x, y) in a.iter().zip(b) {
         match x.total_cmp(y) {
@@ -223,6 +349,7 @@ mod tests {
             bounds: Vec::new(),
             depth: 0,
             score,
+            branch: None,
         }
     }
 
@@ -246,7 +373,7 @@ mod tests {
     #[test]
     fn pool_ties_dive_depth_first() {
         // Equal scores: the deeper node pops first (dive), and among equal
-        // depths the most recently pushed (LIFO, like DFS).
+        // depths the earlier sequence number wins (push order).
         let pool = NodePool::new(Node {
             depth: 7,
             ..node(2.0)
@@ -260,9 +387,63 @@ mod tests {
             ..node(2.0)
         });
         assert_eq!(pool.pop().unwrap().depth, 8);
-        // among the two depth-7 nodes, the pushed one (seq 2) beats the root (seq 0)
+        // among the two depth-7 nodes, the root (seq 0) precedes the pushed
+        // one (seq 2)
         assert_eq!(pool.pop().unwrap().depth, 7);
         assert_eq!(pool.pop().unwrap().depth, 7);
+    }
+
+    #[test]
+    fn siblings_pop_in_push_order() {
+        // Regression for the inverted seq tie-break: two children pushed by
+        // the same worker share score and depth, and the one pushed first
+        // (the branching side nearer the fractional value — see
+        // `milp::process_node`) must pop first. The old `Ord` popped the
+        // *larger* seq, the exact opposite of both its doc comment and the
+        // child-push logic.
+        let pool = NodePool::new(node(9.0));
+        let root = pool.pop().unwrap();
+        drop(root);
+        let child = |v: u32| Node {
+            bounds: vec![(VarId(v), 0.0, 0.0)],
+            depth: 1,
+            score: 5.0,
+            branch: None,
+        };
+        pool.push(child(0)); // near side, pushed first
+        pool.push(child(1)); // far side, pushed second
+        pool.done();
+        let first = pool.pop().unwrap();
+        let second = pool.pop().unwrap();
+        assert_eq!(
+            first.bounds[0].0,
+            VarId(0),
+            "near-side child must pop first"
+        );
+        assert_eq!(second.bounds[0].0, VarId(1));
+    }
+
+    #[test]
+    fn pseudocosts_accumulate_per_direction() {
+        let pc = Pseudocosts::new(3);
+        let v = VarId(1);
+        assert_eq!(pc.count(v, true), 0);
+        assert!(pc.avg(v, true).is_none());
+        assert_eq!(pc.global_avg(), 1.0);
+        pc.record(v, true, 2.0);
+        pc.record(v, true, 4.0);
+        pc.record(v, false, 1.0);
+        assert_eq!(pc.count(v, true), 2);
+        assert_eq!(pc.count(v, false), 1);
+        assert!((pc.avg(v, true).unwrap() - 3.0).abs() < 1e-12);
+        assert!((pc.avg(v, false).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pc.global_avg() - 7.0 / 3.0).abs() < 1e-12);
+        // other vars untouched
+        assert_eq!(pc.count(VarId(0), true), 0);
+        // non-finite and negative observations are dropped
+        pc.record(v, true, f64::INFINITY);
+        pc.record(v, true, -1.0);
+        assert_eq!(pc.count(v, true), 2);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! to integral variables.
 
 use crate::expr::LinExpr;
-use crate::model::{Cmp, Model, VarKind};
+use crate::model::{Cmp, Model};
 use crate::EPS;
 
 /// Outcome of presolving.
@@ -73,7 +73,7 @@ pub fn presolve(model: &Model, max_rounds: usize) -> PresolveOutcome {
                 continue;
             };
             let (vlo, vhi) = m.bounds(v);
-            let integral = !matches!(m.kind(v), VarKind::Continuous);
+            let integral = m.is_integral(v);
             // Presolve's empty-interval policy is stricter than the
             // model-level fold: a singleton row that empties the domain
             // (or pins an integer to a fraction) proves infeasibility.
@@ -147,7 +147,7 @@ pub fn presolve(model: &Model, max_rounds: usize) -> PresolveOutcome {
                         continue;
                     }
                     let (vlo, vhi) = m.bounds(v);
-                    let integral = !matches!(m.kind(v), VarKind::Continuous);
+                    let integral = m.is_integral(v);
                     match cmp {
                         Cmp::Le => {
                             // lo of the rest = act_lo − contribution_lo(v)
@@ -240,6 +240,7 @@ mod tests {
     use super::*;
     use crate::milp::{solve, MilpConfig};
     use crate::model::Sense;
+    use crate::model::VarKind;
     use proptest::prelude::*;
 
     #[test]

@@ -183,8 +183,15 @@ mod tests {
                 }
                 m.set_objective(o);
 
-                let cfg = MilpConfig::default();
-                match (crate::milp::solve(&m, &cfg), solve_milp(&m, &cfg)) {
+                // Raw-formulation differential: presolve off, so the
+                // tableau-shape invariants are about the standard forms
+                // themselves.
+                let cfg = MilpConfig {
+                    presolve: false,
+                    ..MilpConfig::default()
+                };
+                let bounded = crate::milp::solve(&m, &cfg);
+                match (&bounded, solve_milp(&m, &cfg)) {
                     (Ok(a), Ok(b)) => {
                         prop_assert!(a.stats.proven_optimal && b.stats.proven_optimal);
                         prop_assert!(
@@ -197,11 +204,26 @@ mod tests {
                         prop_assert_eq!(a.stats.rows, m.num_constraints());
                         prop_assert_eq!(b.stats.rows, m.num_constraints() + 3);
                     }
-                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (Err(a), Err(b)) => prop_assert_eq!(a.clone(), b),
                     (a, b) => prop_assert!(
                         false,
                         "outcome classes diverge: bounded {:?} vs reference {:?}",
-                        a.map(|s| s.objective), b.map(|s| s.objective)
+                        a.as_ref().map(|s| s.objective), b.map(|s| s.objective)
+                    ),
+                }
+                // The default path (presolve wired into `milp::solve`) must
+                // agree with the presolve-free solve on the objective.
+                match (crate::milp::solve(&m, &MilpConfig::default()), bounded) {
+                    (Ok(p), Ok(raw)) => prop_assert!(
+                        (p.objective - raw.objective).abs() < 1e-6,
+                        "presolve changed the objective: {} vs {}",
+                        p.objective, raw.objective
+                    ),
+                    (Err(p), Err(raw)) => prop_assert_eq!(p, raw),
+                    (p, raw) => prop_assert!(
+                        false,
+                        "presolve changed the outcome class: {:?} vs {:?}",
+                        p.map(|s| s.objective), raw.map(|s| s.objective)
                     ),
                 }
             }

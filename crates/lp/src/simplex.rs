@@ -109,6 +109,11 @@ pub struct LpStats {
     /// Bound flips: a nonbasic column moved to its opposite bound with a
     /// rank-1 right-hand-side update instead of a pivot.
     pub bound_flips: usize,
+    /// Basis reinstalls performed: `1` when a warm-start hint was accepted
+    /// and pivoted back in by Gaussian elimination (`m` of the counted
+    /// pivots are that reinstall), `0` on cold solves and on the in-place
+    /// [`DiveTableau`] re-solves, which never reinstall.
+    pub reinstalls: usize,
     /// True iff a warm-start hint was accepted and the solve finished on
     /// the warm path (no cold fallback).
     pub warm_hit: bool,
@@ -156,6 +161,7 @@ enum DualStatus {
     Stalled,
 }
 
+#[derive(Clone)]
 struct Tableau {
     /// (m + 1) rows × (ncols + 1) columns, row-major; last row is the cost
     /// row, last column the right-hand side (= actual basic values, with
@@ -293,11 +299,21 @@ impl Tableau {
         if !u.is_finite() || u <= 0.0 {
             return;
         }
+        self.fold_rhs_scaled(col, sign * u);
+    }
+
+    /// Adds `delta · column(col)` to the right-hand-side column (all rows
+    /// including the cost row) — the rank-1 update behind both the at-upper
+    /// folds and the in-place bound tightenings of [`DiveTableau`].
+    fn fold_rhs_scaled(&mut self, col: usize, delta: f64) {
+        if delta == 0.0 {
+            return;
+        }
         let w = self.ncols + 1;
         for r in 0..=self.m {
             let a = self.t[r * w + col];
             if a != 0.0 {
-                self.t[r * w + self.ncols] += sign * u * a;
+                self.t[r * w + self.ncols] += delta * a;
             }
         }
     }
@@ -464,7 +480,13 @@ impl Tableau {
     /// feasible. Precondition: every movable at-lower column has reduced
     /// cost `≥ -EPS` and every movable at-upper column `≤ EPS`.
     fn dual_optimize(&mut self) -> Result<DualStatus, PivotStall> {
-        let iter_budget = 50 * (self.m + self.ncols) + 1000;
+        self.dual_optimize_capped(50 * (self.m + self.ncols) + 1000)
+    }
+
+    /// [`Tableau::dual_optimize`] with an explicit iteration cap —
+    /// strong-branching probes bound their repair effort and treat a
+    /// capped-out repair as [`DualStatus::Stalled`] (no estimate).
+    fn dual_optimize_capped(&mut self, iter_budget: usize) -> Result<DualStatus, PivotStall> {
         for _ in 0..iter_budget {
             // Leaving row: largest bound violation on either side.
             let mut row: Option<(usize, bool)> = None;
@@ -840,6 +862,7 @@ pub fn solve_with_basis_stats(
         if let Some((outcome, basis, warm_stats)) = warm_solve(model, &sf, h) {
             stats.pivots += warm_stats.pivots;
             stats.bound_flips += warm_stats.bound_flips;
+            stats.reinstalls += warm_stats.reinstalls;
             stats.warm_hit = true;
             return (outcome, basis, stats);
         }
@@ -929,6 +952,7 @@ fn warm_solve(
                 let stats = LpStats {
                     pivots: tab.pivots,
                     bound_flips: tab.flips,
+                    reinstalls: 1,
                     warm_hit: true,
                 };
                 return Some((LpOutcome::Infeasible, None, stats));
@@ -940,6 +964,7 @@ fn warm_solve(
     let stats = LpStats {
         pivots: tab.pivots,
         bound_flips: tab.flips,
+        reinstalls: 1,
         warm_hit: true,
     };
     match result {
@@ -956,6 +981,18 @@ fn warm_solve(
 /// The cold two-phase path, shared by the bounded-variable and
 /// explicit-bound-row (reference) standard forms.
 pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>, LpStats) {
+    let (outcome, basis, stats, _) = cold_solve_tab(model, sf);
+    (outcome, basis, stats)
+}
+
+/// [`cold_solve`] variant that also hands back the final tableau on an
+/// optimal solve, so [`DiveTableau`] can keep it live across a chain of
+/// bound tightenings instead of rebuilding + re-installing a basis per
+/// step.
+fn cold_solve_tab(
+    model: &Model,
+    sf: &StdForm,
+) -> (LpOutcome, Option<Basis>, LpStats, Option<Tableau>) {
     let core = sf.n + sf.n_slack;
     let ncols = core + sf.n_art;
     let mut range = sf.range.clone();
@@ -981,6 +1018,7 @@ pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basi
     let stats_of = |tab: &Tableau| LpStats {
         pivots: tab.pivots,
         bound_flips: tab.flips,
+        reinstalls: 0,
         warm_hit: false,
     };
 
@@ -1003,11 +1041,11 @@ pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basi
         }
         match tab.optimize() {
             Ok(ok) => debug_assert!(ok, "phase 1 cannot be unbounded"),
-            Err(PivotStall) => return (LpOutcome::PivotTooSmall, None, stats_of(&tab)),
+            Err(PivotStall) => return (LpOutcome::PivotTooSmall, None, stats_of(&tab), None),
         }
         let art_sum = -tab.rhs(m);
         if art_sum > 1e-6 {
-            return (LpOutcome::Infeasible, None, stats_of(&tab));
+            return (LpOutcome::Infeasible, None, stats_of(&tab), None);
         }
         // Drive remaining (degenerate) artificials out of the basis.
         for r in 0..sf.m {
@@ -1022,7 +1060,7 @@ pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basi
                 if let Some(j) = pivot_col {
                     let from_upper = tab.status[j] == ColStatus::Upper;
                     if tab.pivot_bounded(r, j, from_upper, false).is_err() {
-                        return (LpOutcome::PivotTooSmall, None, stats_of(&tab));
+                        return (LpOutcome::PivotTooSmall, None, stats_of(&tab), None);
                     }
                 }
                 // else: the row is redundant; the artificial stays basic at 0
@@ -1041,10 +1079,181 @@ pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basi
         Ok(true) => {
             let sol = extract(&tab, sf, model);
             let basis = export_basis(&tab, sf);
-            (LpOutcome::Optimal(sol), basis, stats_of(&tab))
+            let stats = stats_of(&tab);
+            (LpOutcome::Optimal(sol), basis, stats, Some(tab))
         }
-        Ok(false) => (LpOutcome::Unbounded, None, stats_of(&tab)),
-        Err(PivotStall) => (LpOutcome::PivotTooSmall, None, stats_of(&tab)),
+        Ok(false) => (LpOutcome::Unbounded, None, stats_of(&tab), None),
+        Err(PivotStall) => (LpOutcome::PivotTooSmall, None, stats_of(&tab), None),
+    }
+}
+
+/// Outcome of one [`DiveTableau::tighten`] step.
+#[derive(Clone, Debug)]
+pub enum DiveStep {
+    /// The tightened relaxation is optimal.
+    Optimal(Solution),
+    /// The tightened bounds admit no feasible point.
+    Infeasible,
+    /// The dual repair exhausted its iteration budget or hit a tiny pivot;
+    /// the tableau state is unreliable and the caller should discard it
+    /// (heuristic callers abort, exact callers rebuild cold).
+    Stalled,
+}
+
+/// An **incremental dive tableau**: the factorized tableau of an optimal
+/// relaxation kept live across a chain of bound *tightenings*.
+///
+/// The warm-start path ([`solve_with_basis`]) rebuilds the tableau and
+/// re-installs the parent basis by Gaussian elimination — `m` full pivots —
+/// before the (usually tiny) dual repair even starts; across a diving
+/// chain that reinstall dominates the cost. `DiveTableau` removes it
+/// entirely: a bound tightening is applied **in place** as rank-1
+/// right-hand-side folds, and the only simplex work per step is the dual
+/// repair itself.
+///
+/// The algebra, for a structural column `j` currently shifted by `lo_j`
+/// with range `r_j = hi_j − lo_j` (rhs column = `B⁻¹b − Σ_{k at upper}
+/// r_k·T_k`):
+///
+/// - raising `lo_j` by `d` re-shifts the column (`b ← b − d·A_j`, i.e.
+///   `rhs ← rhs − d·T_j`) — unless `j` is nonbasic at upper, where the
+///   shrunken fold (`r_j ← r_j − d`) cancels the re-shift exactly and the
+///   rhs is untouched;
+/// - lowering `hi_j` by `e` shrinks the range; only an at-upper column
+///   moves (`rhs ← rhs + e·T_j`).
+///
+/// Reduced costs never change under bound changes and a tightening can
+/// only *remove* movable columns, so the basis stays dual feasible and a
+/// single dual-simplex repair restores optimality (or proves the child
+/// infeasible). Only tightenings are supported — relaxing a bound could
+/// re-mobilize a column whose reduced cost drifted while it was fixed —
+/// so callers snapshot via [`Clone`] (one tableau memcpy, ≈ the cost of a
+/// single pivot) where they may need to back out, e.g. strong-branching
+/// probes and dive batch fallbacks.
+#[derive(Clone)]
+pub struct DiveTableau {
+    tab: Tableau,
+    /// Current lower bound per structural variable (the column shift).
+    lo: Vec<f64>,
+    /// Current upper bound per structural variable.
+    hi: Vec<f64>,
+    /// Structural variable count.
+    n: usize,
+}
+
+impl DiveTableau {
+    /// Cold-solves the relaxation of `model` (two-phase bounded-variable
+    /// simplex — identical work to [`solve_relaxation`]) and keeps the
+    /// optimal tableau live. The tableau is `Some` exactly when the
+    /// outcome is [`LpOutcome::Optimal`].
+    pub fn new(model: &Model) -> (LpOutcome, Option<DiveTableau>, LpStats) {
+        let sf = std_form(model, false);
+        let (outcome, _, stats, tab) = cold_solve_tab(model, &sf);
+        let dt = tab.map(|tab| {
+            let n = sf.n;
+            let hi = (0..n)
+                .map(|i| model.bounds(crate::VarId(i as u32)).1)
+                .collect();
+            DiveTableau {
+                tab,
+                lo: sf.lo.clone(),
+                hi,
+                n,
+            }
+        });
+        (outcome, dt, stats)
+    }
+
+    /// Current bounds of a structural variable.
+    pub fn bounds(&self, v: crate::VarId) -> (f64, f64) {
+        (self.lo[v.index()], self.hi[v.index()])
+    }
+
+    /// Cumulative `(pivots, bound_flips)` performed on this tableau,
+    /// including the initial cold solve (clones inherit the counters of
+    /// their source; callers charge deltas).
+    pub fn work(&self) -> (usize, usize) {
+        (self.tab.pivots, self.tab.flips)
+    }
+
+    /// Applies a batch of bound tightenings in place and re-optimizes with
+    /// dual simplex. Bounds outside the current box are clamped inward
+    /// (this entry point can only tighten); an empty domain reports
+    /// [`DiveStep::Infeasible`] without touching the tableau further.
+    ///
+    /// `model` is only consulted for the objective evaluation of the
+    /// extracted solution.
+    pub fn tighten(&mut self, changes: &[(crate::VarId, f64, f64)], model: &Model) -> DiveStep {
+        self.tighten_capped(changes, model, usize::MAX)
+    }
+
+    /// [`DiveTableau::tighten`] with a cap on the dual-repair pivots —
+    /// strong-branching probes bound their per-probe effort this way and
+    /// accept [`DiveStep::Stalled`] (no estimate) past the cap.
+    pub fn tighten_capped(
+        &mut self,
+        changes: &[(crate::VarId, f64, f64)],
+        model: &Model,
+        max_repair_pivots: usize,
+    ) -> DiveStep {
+        for &(v, new_lo, new_hi) in changes {
+            let j = v.index();
+            debug_assert!(j < self.n, "tighten targets a structural variable");
+            let cur_lo = self.lo[j];
+            let cur_hi = self.hi[j];
+            let new_lo = new_lo.max(cur_lo);
+            let new_hi = new_hi.min(cur_hi);
+            if new_lo > new_hi {
+                return DiveStep::Infeasible;
+            }
+            debug_assert!(new_lo.is_finite(), "lower bounds stay finite");
+            let d = new_lo - cur_lo;
+            let at_upper = self.tab.status[j] == ColStatus::Upper;
+            if d > 0.0 && !at_upper {
+                // Re-shift: the column's zero point moves up by `d`.
+                self.tab.fold_rhs_scaled(j, -d);
+            }
+            if cur_hi.is_finite() {
+                let e = cur_hi - new_hi;
+                if e > 0.0 && at_upper {
+                    // The at-upper value slides down with its bound.
+                    self.tab.fold_rhs_scaled(j, e);
+                }
+            }
+            self.lo[j] = new_lo;
+            self.hi[j] = new_hi;
+            self.tab.range[j] = new_hi - new_lo;
+        }
+        if !self.tab.primal_feasible() {
+            let budget = (50 * (self.tab.m + self.tab.ncols) + 1000).min(max_repair_pivots);
+            match self.tab.dual_optimize_capped(budget) {
+                Ok(DualStatus::Feasible) => {}
+                Ok(DualStatus::Infeasible) => return DiveStep::Infeasible,
+                Ok(DualStatus::Stalled) | Err(PivotStall) => return DiveStep::Stalled,
+            }
+        }
+        DiveStep::Optimal(self.solution(model))
+    }
+
+    /// Extracts the structural solution of the current (primal-feasible)
+    /// tableau.
+    fn solution(&self, model: &Model) -> Solution {
+        let tab = &self.tab;
+        let mut shifted = vec![0.0f64; tab.ncols];
+        for (j, &s) in tab.status.iter().enumerate() {
+            if s == ColStatus::Upper {
+                shifted[j] = tab.range[j];
+            }
+        }
+        for r in 0..tab.m {
+            let b = tab.basis[r];
+            if b < tab.ncols {
+                shifted[b] = tab.rhs(r);
+            }
+        }
+        let values: Vec<f64> = (0..self.n).map(|i| self.lo[i] + shifted[i]).collect();
+        let objective = model.objective.eval(&values);
+        Solution { values, objective }
     }
 }
 
@@ -1427,5 +1636,120 @@ mod tests {
         assert!(matches!(out, LpOutcome::Optimal(_)));
         assert!(!stats.warm_hit);
         assert!(stats.pivots + stats.bound_flips > 0);
+    }
+
+    // ---- incremental dive tableau ----
+
+    fn dive_tableau(m: &Model) -> (DiveTableau, Solution) {
+        let (out, dt, _) = DiveTableau::new(m);
+        let LpOutcome::Optimal(sol) = out else {
+            panic!("expected optimal, got {out:?}");
+        };
+        (dt.expect("optimal solve keeps the tableau"), sol)
+    }
+
+    #[test]
+    fn dive_tableau_matches_cold_solve_chain() {
+        // A chain of upper-bound tightenings applied in place must track
+        // fresh cold solves exactly — and perform zero pivots for the
+        // reinstall that no longer exists (only the dual repair works).
+        let m = bounded_model();
+        let (mut dt, first) = dive_tableau(&m);
+        let cold_first = optimal(&m);
+        assert!((first.objective - cold_first.objective).abs() < 1e-9);
+        let mut child = m.clone();
+        for new_hi in [5.0, 4.0, 2.0, 1.0, 0.0] {
+            child.set_bounds(crate::VarId(0), 0.0, new_hi);
+            let step = dt.tighten(&[(crate::VarId(0), 0.0, new_hi)], &child);
+            let DiveStep::Optimal(warm) = step else {
+                panic!("expected optimal at hi={new_hi}, got {step:?}");
+            };
+            let cold = optimal(&child);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "hi={new_hi}: dive {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(child.check_feasible(&warm.values, 1e-6).is_ok());
+            assert_eq!(dt.bounds(crate::VarId(0)), (0.0, new_hi));
+        }
+    }
+
+    #[test]
+    fn dive_tableau_lower_bound_raises() {
+        let m = bounded_model();
+        let (mut dt, _) = dive_tableau(&m);
+        let mut child = m.clone();
+        for new_lo in [1.0, 2.0, 3.0] {
+            child.set_bounds(crate::VarId(1), new_lo, 6.0);
+            let step = dt.tighten(&[(crate::VarId(1), new_lo, 6.0)], &child);
+            let DiveStep::Optimal(warm) = step else {
+                panic!("expected optimal at lo={new_lo}, got {step:?}");
+            };
+            let cold = optimal(&child);
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "lo={new_lo}: dive {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+        }
+        // y >= 5 forces x + 2y >= 10 > 8: infeasible, like the cold solve.
+        child.set_bounds(crate::VarId(1), 5.0, 6.0);
+        let step = dt.tighten(&[(crate::VarId(1), 5.0, 6.0)], &child);
+        assert!(matches!(step, DiveStep::Infeasible), "got {step:?}");
+        assert!(matches!(solve_relaxation(&child), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn dive_tableau_batch_fix_detects_infeasible() {
+        // x + y >= 8 with both fixed small: the batch tighten must report
+        // infeasible exactly like a cold solve of the fixed model.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 10.0);
+        m.add_constraint(LinExpr::from(x) + y, Cmp::Ge, 8.0);
+        m.set_objective(LinExpr::from(x) + y);
+        let (mut dt, _) = dive_tableau(&m);
+        let step = dt.tighten(&[(x, 0.0, 3.0), (y, 0.0, 3.0)], &m);
+        assert!(matches!(step, DiveStep::Infeasible), "got {step:?}");
+    }
+
+    #[test]
+    fn dive_tableau_clone_isolates_probes() {
+        // Strong-branching probes clone the tableau; the original must be
+        // unaffected by a probe's tightenings.
+        let m = bounded_model();
+        let (dt, base) = dive_tableau(&m);
+        let mut probe = dt.clone();
+        let mut child = m.clone();
+        child.set_bounds(crate::VarId(0), 0.0, 1.0);
+        let DiveStep::Optimal(probed) = probe.tighten(&[(crate::VarId(0), 0.0, 1.0)], &child)
+        else {
+            panic!("probe must stay optimal");
+        };
+        assert!(probed.objective < base.objective - 1e-6);
+        // the original still reports the unrestricted optimum
+        let mut dt2 = dt.clone();
+        let DiveStep::Optimal(still) = dt2.tighten(&[], &m) else {
+            panic!("no-op tighten stays optimal");
+        };
+        assert!((still.objective - base.objective).abs() < 1e-9);
+        assert_eq!(dt.bounds(crate::VarId(0)), (0.0, 6.0));
+    }
+
+    #[test]
+    fn dive_tableau_only_tightens() {
+        // Bounds wider than the current box are clamped inward: the dive
+        // tableau refuses to relax (callers snapshot via Clone instead).
+        let m = bounded_model();
+        let (mut dt, base) = dive_tableau(&m);
+        let step = dt.tighten(&[(crate::VarId(0), -5.0, 50.0)], &m);
+        let DiveStep::Optimal(s) = step else {
+            panic!("clamped no-op must stay optimal");
+        };
+        assert!((s.objective - base.objective).abs() < 1e-9);
+        assert_eq!(dt.bounds(crate::VarId(0)), (0.0, 6.0));
     }
 }

@@ -12,8 +12,10 @@
 //! `--ilp` intLP branch-and-bound) with `N` parallel workers; the reported
 //! saturations are identical for every thread count. `--stats` prints the
 //! branch-and-bound solve statistics of each `--ilp` run (nodes, LP
-//! solves, warm-started dive solves and hits, simplex pivots and bound
-//! flips, and the relaxation tableau shape).
+//! solves, incremental dive-tableau solves and hits with the dive basis
+//! reinstall count — zero on the incremental engine — pseudocost branch
+//! and strong-branching-probe counts, simplex pivots and bound flips, and
+//! the relaxation tableau shape).
 //!
 //! `corpus` walks a directory of `.ddg` files with `--jobs` scoped-thread
 //! workers (each with its own warm analysis engine), prints a per-file
@@ -237,12 +239,16 @@ fn analyze(
         println!();
         if let (true, Some(st)) = (stats, ilp_stats) {
             println!(
-                "  intLP stats: {} nodes, {} LP solves ({} warm dives, {} warm hits), \
+                "  intLP stats: {} nodes, {} LP solves ({} warm dives, {} warm hits, \
+                 {} dive reinstalls), {} pseudocost branches, {} strong-branch probes, \
                  {} pivots, {} bound flips, tableau {}x{}",
                 st.nodes,
                 st.lp_solves,
                 st.warm_solves,
                 st.warm_hits,
+                st.dive_reinstalls,
+                st.pseudocost_branches,
+                st.strong_branch_probes,
                 st.pivots,
                 st.bound_flips,
                 st.rows,

@@ -5,8 +5,10 @@
 //! actually uses: the `Serialize`/`Deserialize` derive macros and trait
 //! names, backed by a simple JSON-shaped value tree ([`Value`]) instead of
 //! serde's visitor machinery. `serde_json::to_string_pretty` renders that
-//! tree. Swapping the real serde back in requires no source changes in the
-//! workspace — only the manifests.
+//! tree, `serde_json::from_str` parses JSON text back into it, and the
+//! [`Value`] accessors (`get`/`as_array`/`as_f64`/…) navigate parsed
+//! documents. Swapping the real serde back in requires no source changes
+//! in the workspace — only the manifests.
 
 // Lets the `::serde::...` paths in derive-generated code resolve inside
 // this crate's own tests.
@@ -33,6 +35,59 @@ pub enum Value {
     Array(Vec<Value>),
     /// Object with insertion-ordered keys.
     Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The elements of an array value.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64` (integers widen losslessly within `2^53`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Non-negative integer value as `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(i) => u64::try_from(i).ok(),
+            Value::UInt(u) => u64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// String value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
 }
 
 /// A type that can turn itself into a [`Value`].

@@ -1,17 +1,19 @@
 //! Offline stand-in for [`serde_json`]: renders the vendored `serde` crate's
-//! value tree as JSON text. Only the `to_string` / `to_string_pretty` entry
-//! points the workspace uses are provided.
+//! value tree as JSON text, and parses JSON text back into that tree. The
+//! entry points the workspace uses are provided: `to_string` /
+//! `to_string_pretty` for serialization and [`from_str`] for reading the
+//! benchmark harnesses' own reports back (the `milp_scaling` before/after
+//! trail).
 
 use serde::{Serialize, Value};
 
-/// Serialization error. The value-tree model cannot actually fail, but the
-/// signature mirrors `serde_json` so call sites keep their `.expect(...)`.
+/// Serialization or parse error with a human-readable message.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(String);
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("JSON serialization error")
+        f.write_str(&self.0)
     }
 }
 
@@ -100,6 +102,263 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>, level: us
     }
 }
 
+/// Parses JSON text into a [`Value`] tree — the deserialization half of
+/// the shim (recursive descent; numbers become `Int`/`UInt` when they are
+/// integral and fit, `Float` otherwise; `null`, nesting, string escapes
+/// including `\uXXXX` surrogate pairs are all supported).
+pub fn from_str(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+/// Nesting ceiling: parsing is recursive, so runaway nesting must fail
+/// cleanly instead of overflowing the stack.
+const MAX_DEPTH: usize = 128;
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> Error {
+        Error(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, lit: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected literal '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => {
+                self.depth += 1;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.depth += 1;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.expect_literal("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.expect_literal("null").map(|()| Value::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(c) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match c {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                            } else {
+                                hi
+                            };
+                            match char::from_u32(code) {
+                                Some(ch) => out.push(ch),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at `c`.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err(self.err("invalid UTF-8 in string")),
+                    };
+                    if start + len > self.bytes.len() {
+                        return Err(self.err("truncated UTF-8 in string"));
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let Some(c) = self.peek() else {
+                return Err(self.err("truncated unicode escape"));
+            };
+            let d = match c {
+                b'0'..=b'9' => (c - b'0') as u32,
+                b'a'..=b'f' => (c - b'a') as u32 + 10,
+                b'A'..=b'F' => (c - b'A') as u32 + 10,
+                _ => return Err(self.err("invalid hex digit")),
+            };
+            code = code * 16 + d;
+            self.pos += 1;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII by construction");
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u128>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number '{text}' at byte {start}")))
+    }
+}
+
 fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
@@ -146,5 +405,89 @@ mod tests {
     fn escapes_strings() {
         let json = to_string(&"a\"b\\c\nd").unwrap();
         assert_eq!(json, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parses_scalars_and_numbers() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str(" -42 ").unwrap(), Value::Int(-42));
+        assert_eq!(
+            from_str("18446744073709551615").unwrap(),
+            Value::UInt(18446744073709551615)
+        );
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-0.125").unwrap(), Value::Float(-0.125));
+        assert_eq!(
+            from_str("\"a\\nb\\u0041\"").unwrap(),
+            Value::Str("a\nbA".into())
+        );
+        // surrogate pair
+        assert_eq!(
+            from_str("\"\\ud83e\\udd80\"").unwrap(),
+            Value::Str("🦀".into())
+        );
+    }
+
+    #[test]
+    fn parses_nested_structures_and_accessors() {
+        let v =
+            from_str(r#"{"cells":[{"size":14,"millis":1.5},{"size":18,"millis":2.0}],"ok":true}"#)
+                .unwrap();
+        assert_eq!(v.get("ok").and_then(|b| b.as_bool()), Some(true));
+        let cells = v.get("cells").and_then(|c| c.as_array()).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].get("size").and_then(|s| s.as_u64()), Some(14));
+        assert_eq!(cells[1].get("millis").and_then(|m| m.as_f64()), Some(2.0));
+        assert!(v.get("missing").is_none());
+        assert!(cells[0].get("size").unwrap().as_str().is_none());
+    }
+
+    #[test]
+    fn round_trips_serialized_reports() {
+        #[derive(serde::Serialize)]
+        struct Report {
+            name: String,
+            rows: Vec<(usize, f64)>,
+            flag: Option<bool>,
+            note: String,
+        }
+        let r = Report {
+            name: "milp_scaling".into(),
+            rows: vec![(14, 194.5), (18, 228.25)],
+            flag: None,
+            note: "quotes \" and \\ and\nnewlines".into(),
+        };
+        for text in [to_string(&r).unwrap(), to_string_pretty(&r).unwrap()] {
+            let v = from_str(&text).unwrap();
+            assert_eq!(v.get("name").and_then(|n| n.as_str()), Some("milp_scaling"));
+            let rows = v.get("rows").and_then(|x| x.as_array()).unwrap();
+            let first = rows[0].as_array().unwrap();
+            assert_eq!(first[0].as_u64(), Some(14));
+            assert_eq!(first[1].as_f64(), Some(194.5));
+            assert_eq!(v.get("flag"), Some(&Value::Null));
+            assert_eq!(
+                v.get("note").and_then(|n| n.as_str()),
+                Some("quotes \" and \\ and\nnewlines")
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\":1,}",
+            "nan",
+        ] {
+            assert!(from_str(bad).is_err(), "accepted malformed input {bad:?}");
+        }
     }
 }
