@@ -1,19 +1,18 @@
 //! The parallel corpus driver behind `rsat corpus <dir>`: walk a directory
-//! of `.ddg` files, analyse (and optionally reduce or pipeline) each one on
-//! a pool of scoped-thread workers — one [`RsEngine`] per worker, so every
-//! thread keeps its own warm [`rs_core::engine::AnalysisScratch`] — and
-//! produce a JSON-serializable summary.
+//! of `.ddg` files and run each one through the same [`Dispatcher`] that
+//! powers `rsat serve` and the one-shot subcommands — one dispatcher (and
+//! therefore one warm [`rs_core::engine::RsEngine`]) per worker thread —
+//! then fold the [`rs_core::request::RsResponse`]s into a
+//! JSON-serializable summary. The corpus runner is a batch *client* of the
+//! service dispatch path, not a third execution stack.
 //!
 //! Error containment is per file: a malformed `.ddg` becomes an `ok: false`
-//! entry carrying the parse error and the run continues. Summaries are
-//! deterministic in everything except wall-clock fields, independent of
-//! `jobs` (asserted by `tests/corpus_cli.rs`).
+//! entry carrying the structured [`RsError`] and the run continues.
+//! Summaries are deterministic in everything except wall-clock fields,
+//! independent of `jobs` (asserted by `tests/corpus_cli.rs`).
 
-use rs_core::engine::RsEngine;
-use rs_core::model::{Ddg, RegType};
-use rs_core::parse::parse_ddg;
-use rs_core::pipeline::Pipeline;
-use rs_core::reduce::ReduceOutcome;
+use rs_core::request::{codes, reg_type_from_name, RsError, RsOp, RsRequest};
+use rs_serve::Dispatcher;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,6 +34,25 @@ pub enum CorpusMode {
         /// Register budget per type.
         registers: usize,
     },
+}
+
+impl CorpusMode {
+    fn op(self) -> RsOp {
+        match self {
+            CorpusMode::Analyze => RsOp::Analyze,
+            CorpusMode::Reduce { .. } => RsOp::Reduce,
+            CorpusMode::Pipeline { .. } => RsOp::Pipeline,
+        }
+    }
+
+    fn registers(self) -> Option<usize> {
+        match self {
+            CorpusMode::Analyze => None,
+            CorpusMode::Reduce { registers } | CorpusMode::Pipeline { registers } => {
+                Some(registers)
+            }
+        }
+    }
 }
 
 /// Corpus run configuration.
@@ -93,14 +111,16 @@ pub struct CorpusFileSummary {
     pub file: String,
     /// Whether the file parsed and analysed.
     pub ok: bool,
-    /// Parse/analysis error when `ok` is false.
-    pub error: Option<String>,
+    /// Structured error (shared `{code, message}` shape) when `ok` is false.
+    pub error: Option<RsError>,
     /// Operation count (incl. ⊥); 0 when the file failed to parse.
     pub ops: usize,
     /// Edge count.
     pub edges: usize,
     /// Critical path length.
     pub critical_path: i64,
+    /// List-schedule makespan (pipeline mode with every budget met).
+    pub makespan: Option<i64>,
     /// Per-type outcomes, ascending register type.
     pub types: Vec<CorpusTypeSummary>,
     /// Wall-clock milliseconds spent on this file (excluded from the
@@ -111,15 +131,17 @@ pub struct CorpusFileSummary {
 impl CorpusFileSummary {
     /// The `jobs`-independent content of this entry (everything except
     /// timing) — what `--jobs 1` and `--jobs N` runs must agree on.
+    #[allow(clippy::type_complexity)]
     pub fn deterministic_view(
         &self,
     ) -> (
         &str,
         bool,
-        &Option<String>,
+        &Option<RsError>,
         usize,
         usize,
         i64,
+        Option<i64>,
         &[CorpusTypeSummary],
     ) {
         (
@@ -129,6 +151,7 @@ impl CorpusFileSummary {
             self.ops,
             self.edges,
             self.critical_path,
+            self.makespan,
             &self.types,
         )
     }
@@ -158,14 +181,17 @@ pub struct CorpusSummary {
 /// Runs the corpus under `dir`. Returns an error only for driver-level
 /// failures (unreadable directory, no `.ddg` files); malformed corpus files
 /// are contained as `ok: false` entries.
-pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, String> {
-    if let CorpusMode::Reduce { registers } | CorpusMode::Pipeline { registers } = opts.mode {
-        if registers == 0 {
-            return Err("register budget must be at least 1".to_string());
-        }
+pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, RsError> {
+    if opts.mode.registers() == Some(0) {
+        return Err(RsError::usage("register budget must be at least 1"));
     }
     let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read directory {}: {e}", dir.display()))?
+        .map_err(|e| {
+            RsError::new(
+                codes::IO,
+                format!("cannot read directory {}: {e}", dir.display()),
+            )
+        })?
         .filter_map(|entry| {
             let path = entry.ok()?.path();
             (path.is_file() && path.extension().is_some_and(|x| x == "ddg")).then_some(path)
@@ -173,7 +199,10 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, Str
         .collect();
     paths.sort();
     if paths.is_empty() {
-        return Err(format!("no .ddg files in {}", dir.display()));
+        return Err(RsError::usage(format!(
+            "no .ddg files in {}",
+            dir.display()
+        )));
     }
 
     let jobs = opts.jobs.clamp(1, paths.len());
@@ -185,12 +214,14 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, Str
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| {
-                // Per-worker engine: a private scratch, warm across files.
-                let mut engine = RsEngine::new();
+                // Per-worker dispatcher: a private warm engine across files,
+                // the same execution path as `rsat serve` (cache-less —
+                // every corpus file is distinct work).
+                let mut dispatcher = Dispatcher::new();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(path) = paths.get(i) else { break };
-                    let summary = run_file(&mut engine, dir, path, opts.mode);
+                    let summary = run_file(&mut dispatcher, dir, path, opts.mode);
                     results.lock().unwrap()[i] = Some(summary);
                 }
             });
@@ -206,11 +237,7 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, Str
     Ok(CorpusSummary {
         dir: dir.display().to_string(),
         jobs,
-        mode: match opts.mode {
-            CorpusMode::Analyze => "analyze".into(),
-            CorpusMode::Reduce { .. } => "reduce".into(),
-            CorpusMode::Pipeline { .. } => "pipeline".into(),
-        },
+        mode: opts.mode.op().name().to_string(),
         file_count: files.len(),
         analyzed,
         failed: files.len() - analyzed,
@@ -219,147 +246,80 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, Str
     })
 }
 
-fn run_file(engine: &mut RsEngine, dir: &Path, path: &Path, mode: CorpusMode) -> CorpusFileSummary {
+fn run_file(
+    dispatcher: &mut Dispatcher,
+    dir: &Path,
+    path: &Path,
+    mode: CorpusMode,
+) -> CorpusFileSummary {
     let name = path.strip_prefix(dir).unwrap_or(path).display().to_string();
     let start = Instant::now();
-    let fail = |error: String, start: Instant| CorpusFileSummary {
+    let fail = |error: RsError, start: Instant| CorpusFileSummary {
         file: name.clone(),
         ok: false,
         error: Some(error),
         ops: 0,
         edges: 0,
         critical_path: 0,
+        makespan: None,
         types: Vec::new(),
         millis: start.elapsed().as_secs_f64() * 1e3,
     };
 
     let input = match std::fs::read_to_string(path) {
         Ok(s) => s,
-        Err(e) => return fail(format!("cannot read: {e}"), start),
-    };
-    let mut ddg = match parse_ddg(&input) {
-        Ok(d) => d,
-        Err(e) => return fail(e.to_string(), start),
+        Err(e) => return fail(RsError::new(codes::IO, format!("cannot read: {e}")), start),
     };
 
-    let ops = ddg.num_ops();
-    let edges = ddg.graph().edge_count();
-    let critical_path = ddg.critical_path();
-    let reg_types = ddg.reg_types();
+    let mut req = RsRequest::new(mode.op(), input);
+    req.registers = mode.registers();
+    req.cache = false;
+    let resp = dispatcher.dispatch(&req);
+    if !resp.ok {
+        let error = resp
+            .error
+            .unwrap_or_else(|| RsError::new(codes::ENGINE, "missing error detail"));
+        return fail(error, start);
+    }
+    let result = resp.result.expect("ok response carries a result");
 
-    // Each mode computes every saturation exactly once: in reduce/pipeline
-    // modes the downstream machinery measures `rs_before` anyway, so the
-    // `saturation` field is sourced from there instead of a duplicate
-    // pre-analysis. (Types are processed in ascending order and arcs added
-    // for one type can lower a later type's pre-reduction saturation; the
-    // field is the estimate immediately before that type's reduction.)
-    let types: Vec<CorpusTypeSummary> = match mode {
-        CorpusMode::Analyze => reg_types
-            .into_iter()
-            .map(|t| CorpusTypeSummary {
-                reg_type: t.0,
-                values: ddg.values(t).len(),
-                saturation: engine.analyze(&ddg, t).saturation,
-                reduce: None,
-            })
-            .collect(),
-        CorpusMode::Reduce { registers } => reg_types
-            .into_iter()
-            .map(|t| {
-                let values = ddg.values(t).len();
-                let cp_before = ddg.critical_path();
-                let outcome = engine.reduce(&mut ddg, t, registers);
-                let saturation = match &outcome {
-                    ReduceOutcome::AlreadyFits { rs } => *rs,
-                    ReduceOutcome::Reduced { rs_before, .. }
-                    | ReduceOutcome::Failed { rs_before, .. } => *rs_before,
-                };
-                CorpusTypeSummary {
-                    reg_type: t.0,
-                    values,
-                    saturation,
-                    reduce: Some(reduce_summary(&ddg, registers, cp_before, &outcome)),
-                }
-            })
-            .collect(),
-        CorpusMode::Pipeline { registers } => {
-            let budgets: Vec<(RegType, usize)> =
-                reg_types.iter().map(|&t| (t, registers)).collect();
-            let pipeline = Pipeline {
-                budgets,
-                verify_exact: false,
-            };
-            let report = engine.run_pipeline(&pipeline, &mut ddg);
-            reg_types
-                .into_iter()
-                .map(|t| {
-                    let tr = report
-                        .types
-                        .iter()
-                        .find(|tr| tr.reg_type == t.0)
-                        .expect("pipeline reports every budgeted type with values");
-                    CorpusTypeSummary {
-                        reg_type: t.0,
-                        values: ddg.values(t).len(),
-                        saturation: tr.rs_before,
-                        reduce: Some(CorpusReduceSummary {
-                            budget: tr.budget,
-                            rs_after: tr.rs_after,
-                            arcs_added: tr.arcs_added,
-                            cp_before: tr.cp_before,
-                            cp_after: tr.cp_after,
-                            fits: tr.fits,
-                        }),
-                    }
-                })
-                .collect()
-        }
-    };
+    let types = result
+        .types
+        .iter()
+        .map(|tr| CorpusTypeSummary {
+            reg_type: reg_type_from_name(&tr.reg_type)
+                .map(|t| t.0)
+                .expect("dispatcher emits known type names"),
+            values: tr.values,
+            saturation: tr.saturation,
+            reduce: tr.reduce.as_ref().map(|r| CorpusReduceSummary {
+                budget: r.budget,
+                rs_after: r.rs_after,
+                arcs_added: r.arcs_added,
+                cp_before: r.cp_before,
+                cp_after: r.cp_after,
+                fits: r.fits,
+            }),
+        })
+        .collect();
 
     CorpusFileSummary {
         file: name,
         ok: true,
         error: None,
-        ops,
-        edges,
-        critical_path,
+        ops: result.ops,
+        edges: result.edges,
+        critical_path: result.critical_path,
+        makespan: result.makespan,
         types,
         millis: start.elapsed().as_secs_f64() * 1e3,
-    }
-}
-
-fn reduce_summary(
-    ddg: &Ddg,
-    budget: usize,
-    cp_before: i64,
-    outcome: &ReduceOutcome,
-) -> CorpusReduceSummary {
-    let (rs_after, arcs_added, fits) = match outcome {
-        ReduceOutcome::AlreadyFits { rs } => (*rs, 0, true),
-        ReduceOutcome::Reduced {
-            rs_after,
-            added_arcs,
-            ..
-        } => (*rs_after, added_arcs.len(), true),
-        ReduceOutcome::Failed {
-            best_rs,
-            added_arcs,
-            ..
-        } => (*best_rs, added_arcs.len(), false),
-    };
-    CorpusReduceSummary {
-        budget,
-        rs_after,
-        arcs_added,
-        cp_before,
-        cp_after: ddg.critical_path(),
-        fits,
     }
 }
 
 /// Renders the human-readable run summary printed by `rsat corpus` and
 /// stored as the `.txt` sidecar.
 pub fn render_text(summary: &CorpusSummary) -> String {
+    use rs_core::model::RegType;
     use std::fmt::Write;
     let mut out = String::new();
     let _ = writeln!(
@@ -407,7 +367,7 @@ pub fn render_text(summary: &CorpusSummary) -> String {
                 out,
                 "  {}: SKIPPED ({})",
                 f.file,
-                f.error.as_deref().unwrap_or("unknown error")
+                f.error.as_ref().map_or("unknown error", |e| &e.message)
             );
         }
     }
@@ -420,6 +380,10 @@ mod tests {
 
     fn fixture_dir() -> PathBuf {
         PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/data"))
+    }
+
+    fn error_message(f: &CorpusFileSummary) -> &str {
+        &f.error.as_ref().expect("failed entry has an error").message
     }
 
     #[test]
@@ -476,11 +440,8 @@ mod tests {
         assert_eq!(summary.failed, 1);
         let bad = summary.files.iter().find(|f| f.file == "bad.ddg").unwrap();
         assert!(!bad.ok);
-        assert!(
-            bad.error.as_deref().unwrap().contains("line 2"),
-            "{:?}",
-            bad.error
-        );
+        assert_eq!(bad.error.as_ref().unwrap().code, codes::PARSE);
+        assert!(error_message(bad).contains("line 2"), "{:?}", bad.error);
         let text = render_text(&summary);
         assert!(text.contains("SKIPPED"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -517,21 +478,9 @@ mod tests {
         assert_eq!(summary.analyzed, 1);
         assert_eq!(summary.failed, 3);
         let by_name = |n: &str| summary.files.iter().find(|f| f.file == n).unwrap();
-        assert!(by_name("cycle.ddg")
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("cycle"));
-        assert!(by_name("selfloop.ddg")
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("self-loop"));
-        assert!(by_name("vliw_lat.ddg")
-            .error
-            .as_deref()
-            .unwrap()
-            .contains("latency"));
+        assert!(error_message(by_name("cycle.ddg")).contains("cycle"));
+        assert!(error_message(by_name("selfloop.ddg")).contains("self-loop"));
+        assert!(error_message(by_name("vliw_lat.ddg")).contains("latency"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -553,6 +502,28 @@ mod tests {
     }
 
     #[test]
+    fn pipeline_mode_reports_makespan() {
+        let summary = run_corpus(
+            &fixture_dir(),
+            &CorpusOptions {
+                jobs: 1,
+                mode: CorpusMode::Pipeline { registers: 4 },
+            },
+        )
+        .unwrap();
+        let daxpy = summary
+            .files
+            .iter()
+            .find(|f| f.file == "daxpy.ddg")
+            .unwrap();
+        assert!(daxpy.ok);
+        assert!(
+            daxpy.makespan.is_some(),
+            "pipeline mode surfaces the schedule makespan"
+        );
+    }
+
+    #[test]
     fn empty_dir_is_a_driver_error() {
         let dir = std::env::temp_dir().join("rsat_corpus_empty");
         let _ = std::fs::remove_dir_all(&dir);
@@ -568,7 +539,7 @@ mod tests {
             CorpusMode::Pipeline { registers: 0 },
         ] {
             let e = run_corpus(&fixture_dir(), &CorpusOptions { jobs: 1, mode }).unwrap_err();
-            assert!(e.contains("at least 1"), "{e}");
+            assert!(e.message.contains("at least 1"), "{e}");
         }
     }
 }

@@ -41,6 +41,7 @@ pub mod parse;
 pub mod pipeline;
 pub mod pkill;
 pub mod reduce;
+pub mod request;
 pub mod spill;
 
 pub use engine::{AnalysisScratch, RsEngine};
@@ -52,4 +53,5 @@ pub use lifetime::{lifetime_intervals, register_need, saturating_values};
 pub use model::{Ddg, DdgBuilder, EdgeKind, OpClass, Operation, RegType, Target, TargetKind};
 pub use pipeline::{Pipeline, PipelineReport};
 pub use reduce::{ReduceOutcome, Reducer};
+pub use request::{RsError, RsOp, RsRequest, RsResponse, RsResult};
 pub use spill::{SpillPass, SpillResult};

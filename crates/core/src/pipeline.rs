@@ -16,7 +16,6 @@
 
 use crate::engine::RsEngine;
 use crate::exact::ExactRs;
-use crate::heuristic::GreedyK;
 use crate::model::{Ddg, RegType};
 use crate::reduce::{ReduceOutcome, Reducer};
 use serde::Serialize;
@@ -88,48 +87,32 @@ impl Pipeline {
 
     /// Runs saturation analysis + reduction on every configured type,
     /// mutating `ddg` in place.
+    ///
+    /// Thin wrapper: execution is delegated to a fresh [`RsEngine`] —
+    /// [`RsEngine::run_pipeline`] is the single execution path. Corpus-scale
+    /// drivers keep one engine per worker and route through it directly to
+    /// reuse its scratch across DAGs.
     pub fn run(&self, ddg: &mut Ddg) -> PipelineReport {
-        let greedy = GreedyK::new();
-        let mut analyze = |ddg: &Ddg, t: RegType| greedy.saturation(ddg, t);
-        let mut reduce = |ddg: &mut Ddg, t: RegType, budget: usize, reducer: &Reducer| {
-            reducer.reduce(ddg, t, budget)
-        };
-        self.run_impl(ddg, &mut analyze, &mut reduce)
+        RsEngine::new().run_pipeline(self, ddg)
     }
 
     /// Runs the pipeline through a batch [`RsEngine`]: identical report
-    /// (the engine analysis matches [`GreedyK`] exactly), allocation-reusing
-    /// execution. Corpus-scale drivers keep one engine per worker and call
-    /// this per DAG.
-    pub fn run_with(&self, engine: &mut RsEngine, ddg: &mut Ddg) -> PipelineReport {
-        // Both closures need the engine mutably; a RefCell arbitrates the
-        // borrow (they are never live at the same time).
-        let engine = std::cell::RefCell::new(engine);
-        let mut analyze = |ddg: &Ddg, t: RegType| engine.borrow_mut().analyze(ddg, t);
-        let mut reduce = |ddg: &mut Ddg, t: RegType, budget: usize, reducer: &Reducer| {
-            engine.borrow_mut().reduce_with(reducer, ddg, t, budget)
-        };
-        self.run_impl(ddg, &mut analyze, &mut reduce)
-    }
-
-    fn run_impl(
-        &self,
-        ddg: &mut Ddg,
-        analyze: &mut dyn FnMut(&Ddg, RegType) -> crate::heuristic::RsAnalysis,
-        reduce: &mut dyn FnMut(&mut Ddg, RegType, usize, &Reducer) -> ReduceOutcome,
-    ) -> PipelineReport {
+    /// (the engine analysis matches [`crate::heuristic::GreedyK`] exactly),
+    /// allocation-reusing execution. This is the engine hook behind
+    /// [`RsEngine::run_pipeline`].
+    pub(crate) fn run_with(&self, engine: &mut RsEngine, ddg: &mut Ddg) -> PipelineReport {
         let mut types = Vec::new();
         for &(t, budget) in &self.budgets {
             if ddg.values(t).is_empty() {
                 continue;
             }
             let cp_before = ddg.critical_path();
-            let before = analyze(ddg, t);
+            let before = engine.analyze(ddg, t);
             let reducer = Reducer {
                 verify_exact: self.verify_exact,
                 ..Reducer::new()
             };
-            let outcome = reduce(ddg, t, budget, &reducer);
+            let outcome = engine.reduce_with(&reducer, ddg, t, budget);
             let (rs_after, arcs_added, fits) = match &outcome {
                 ReduceOutcome::AlreadyFits { rs } => (*rs, 0, true),
                 ReduceOutcome::Reduced {

@@ -159,12 +159,13 @@ impl Reducer {
     }
 
     /// Reduces `RS_t(ddg)` below `r` by adding serialization arcs in place.
+    ///
+    /// Thin wrapper: execution is delegated to a fresh
+    /// [`crate::engine::RsEngine`] carrying this reducer's settings —
+    /// [`crate::engine::RsEngine::reduce_with`] is the single execution
+    /// path. Keep an engine alive across calls to reuse its scratch.
     pub fn reduce(&self, ddg: &mut Ddg, t: RegType, r: usize) -> ReduceOutcome {
-        let mut estimate = |ddg: &Ddg, t: RegType| {
-            let est = self.heuristic.saturation(ddg, t);
-            (est.saturation, est.saturating_values)
-        };
-        self.reduce_with(ddg, t, r, &mut estimate)
+        crate::engine::RsEngine::with_params(self.heuristic.clone()).reduce_with(self, ddg, t, r)
     }
 
     /// [`Reducer::reduce`] with a caller-supplied saturation estimator —
@@ -172,7 +173,7 @@ impl Reducer {
     /// measurement through its scratch. The estimator must behave like
     /// [`GreedyK::saturation`] (return the estimate and its witness
     /// antichain); `verify_exact` upgrades still apply on top of it.
-    pub fn reduce_with(
+    pub(crate) fn reduce_with(
         &self,
         ddg: &mut Ddg,
         t: RegType,

@@ -1,0 +1,139 @@
+//! Content-keyed memoization of analysis results.
+//!
+//! The key is the canonical request signature ([`rs_core::request::RsRequest::cache_key`]):
+//! DAG bytes + operation + every result-affecting parameter. Results are
+//! deterministic and thread-count invariant, so a hit can be replayed
+//! bit-identically. Only successful results are cached; eviction is FIFO.
+
+use rs_core::request::RsResult;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default number of cached results ([`MemoCache::with_capacity`] overrides).
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+struct Inner {
+    map: HashMap<String, RsResult>,
+    /// Insertion order, for FIFO eviction.
+    order: VecDeque<String>,
+    capacity: usize,
+}
+
+/// A bounded, thread-safe result cache with hit/miss counters.
+pub struct MemoCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for MemoCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CACHE_CAPACITY)
+    }
+}
+
+impl MemoCache {
+    /// A cache that evicts FIFO past `capacity` entries (min 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        MemoCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                capacity: capacity.max(1),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a result, counting a hit or a miss.
+    pub fn lookup(&self, key: &str) -> Option<RsResult> {
+        let inner = self.inner.lock().expect("cache lock");
+        match inner.map.get(key) {
+            Some(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(result.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a result, evicting the oldest entry when full. Concurrent
+    /// inserts under the same key are idempotent (results are
+    /// deterministic).
+    pub fn insert(&self, key: String, result: &RsResult) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.map.contains_key(&key) {
+            return;
+        }
+        while inner.map.len() >= inner.capacity {
+            match inner.order.pop_front() {
+                Some(old) => {
+                    inner.map.remove(&old);
+                }
+                None => break,
+            }
+        }
+        inner.order.push_back(key.clone());
+        inner.map.insert(key, result.clone());
+    }
+
+    /// Cumulative `(hits, misses)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Entries currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: usize) -> RsResult {
+        RsResult {
+            ops: tag,
+            edges: 0,
+            critical_path: 0,
+            types: Vec::new(),
+            makespan: None,
+            ddg_out: None,
+        }
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = MemoCache::with_capacity(8);
+        assert!(cache.lookup("a").is_none());
+        cache.insert("a".into(), &result(1));
+        assert_eq!(cache.lookup("a").unwrap().ops, 1);
+        assert_eq!(cache.counters(), (1, 1));
+    }
+
+    #[test]
+    fn eviction_is_fifo() {
+        let cache = MemoCache::with_capacity(2);
+        cache.insert("a".into(), &result(1));
+        cache.insert("b".into(), &result(2));
+        cache.insert("c".into(), &result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup("a").is_none(), "oldest entry evicted");
+        assert!(cache.lookup("b").is_some());
+        assert!(cache.lookup("c").is_some());
+    }
+}

@@ -1,0 +1,497 @@
+//! The single execution path behind every `rsat` front end.
+//!
+//! A [`Dispatcher`] owns one warm [`RsEngine`] and (optionally) a shared
+//! [`MemoCache`]; [`Dispatcher::dispatch`] turns an [`RsRequest`] into an
+//! [`RsResponse`], never panicking outward: engine panics are caught, the
+//! engine is replaced, and the request answers `ok:false` with code
+//! `panic`.
+
+use crate::cache::MemoCache;
+use rs_core::exact::ExactRs;
+use rs_core::heuristic::GreedyK;
+use rs_core::ilp::RsIlp;
+use rs_core::model::{Ddg, RegType};
+use rs_core::parse::{parse_ddg, print_ddg};
+use rs_core::reduce::ReduceOutcome;
+use rs_core::request::{
+    codes, reg_type_from_name, reg_type_name, AllocResult, CacheInfo, IlpStats, ReduceResult,
+    RsError, RsOp, RsRequest, RsResponse, RsResult, SolveResult, TypeResult,
+};
+use rs_core::spill::SpillPass;
+use rs_core::RsEngine;
+use rs_sched::{ListScheduler, RegisterAllocator, Resources};
+use serde::Deserialize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One warm worker: engine + optional shared cache.
+pub struct Dispatcher {
+    params: GreedyK,
+    engine: RsEngine,
+    cache: Option<Arc<MemoCache>>,
+}
+
+impl Default for Dispatcher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dispatcher {
+    /// A cache-less dispatcher with default engine parameters (the one-shot
+    /// CLI and corpus workers use this: every request computes cold).
+    pub fn new() -> Self {
+        Dispatcher {
+            params: GreedyK::new(),
+            engine: RsEngine::new(),
+            cache: None,
+        }
+    }
+
+    /// A dispatcher answering from (and filling) a shared memoization
+    /// cache.
+    pub fn with_cache(cache: Arc<MemoCache>) -> Self {
+        Dispatcher {
+            cache: Some(cache),
+            ..Dispatcher::new()
+        }
+    }
+
+    /// Cumulative cache counters (zeros without a cache).
+    pub fn cache_counters(&self) -> (u64, u64) {
+        self.cache.as_ref().map_or((0, 0), |c| c.counters())
+    }
+
+    fn cache_info(&self, hit: bool) -> CacheInfo {
+        let (hits, misses) = self.cache_counters();
+        CacheInfo { hit, hits, misses }
+    }
+
+    /// Executes one request: validate, consult the cache, run the engine
+    /// under panic containment, fill the cache.
+    pub fn dispatch(&mut self, req: &RsRequest) -> RsResponse {
+        let start = Instant::now();
+        let id = req.id.clone();
+        if let Err(e) = req.validate() {
+            return RsResponse::failure(id, e, self.cache_info(false), millis_since(start));
+        }
+        let key = match (&self.cache, req.cache) {
+            (Some(_), true) => Some(req.cache_key()),
+            _ => None,
+        };
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(result) = cache.lookup(key) {
+                return RsResponse::success(id, result, self.cache_info(true), millis_since(start));
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute(&mut self.engine, req)));
+        match outcome {
+            Ok(Ok(result)) => {
+                if let (Some(cache), Some(key)) = (&self.cache, key) {
+                    cache.insert(key, &result);
+                }
+                RsResponse::success(id, result, self.cache_info(false), millis_since(start))
+            }
+            Ok(Err(e)) => RsResponse::failure(id, e, self.cache_info(false), millis_since(start)),
+            Err(payload) => {
+                // The engine scratch may be mid-mutation: replace it, keep
+                // serving.
+                self.engine = RsEngine::with_params(self.params.clone());
+                let e = RsError::new(
+                    codes::PANIC,
+                    format!("engine panicked: {}", panic_message(&payload)),
+                );
+                RsResponse::failure(id, e, self.cache_info(false), millis_since(start))
+            }
+        }
+    }
+}
+
+fn millis_since(start: Instant) -> f64 {
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic payload".to_string()
+    }
+}
+
+/// Decodes one newline-delimited JSON request line and dispatches it.
+///
+/// Returns the response and its serialized JSON line. A line that is not
+/// valid JSON, or not a valid request object, yields an `ok:false` response
+/// with code `request` — the caller (daemon, corpus) keeps going.
+pub fn process_line(dispatcher: &mut Dispatcher, line: &str) -> (RsResponse, String) {
+    let response = match serde_json::from_str(line) {
+        Err(e) => RsResponse::failure(
+            None,
+            RsError::new(codes::REQUEST, format!("malformed request JSON: {e}")),
+            dispatcher.cache_info(false),
+            0.0,
+        ),
+        Ok(value) => match rs_core::request::RsRequest::from_value(&value) {
+            Err(e) => {
+                // Best effort: echo the id even when the request is invalid.
+                let id = value.get("id").and_then(|v| v.as_str()).map(str::to_string);
+                RsResponse::failure(
+                    id,
+                    RsError::new(codes::REQUEST, format!("invalid request: {e}")),
+                    dispatcher.cache_info(false),
+                    0.0,
+                )
+            }
+            Ok(req) => dispatcher.dispatch(&req),
+        },
+    };
+    let json = serde_json::to_string(&response).expect("responses always serialize");
+    (response, json)
+}
+
+/// Runs the validated request against the engine.
+fn execute(engine: &mut RsEngine, req: &RsRequest) -> Result<RsResult, RsError> {
+    let mut ddg = parse_ddg(&req.ddg).map_err(|e| RsError::new(codes::PARSE, e.to_string()))?;
+    let types: Vec<RegType> = match req.reg_type.as_deref() {
+        Some(name) => vec![reg_type_from_name(name).expect("validated")],
+        None => ddg.reg_types(),
+    };
+    let mut result = RsResult {
+        ops: ddg.num_ops(),
+        edges: ddg.graph().edge_count(),
+        critical_path: ddg.critical_path(),
+        types: Vec::new(),
+        makespan: None,
+        ddg_out: None,
+    };
+    match req.op {
+        RsOp::Analyze => {
+            for &t in &types {
+                result.types.push(analyze_type(engine, &ddg, t, req));
+            }
+        }
+        RsOp::Reduce => {
+            let budget = req.registers.expect("validated");
+            for &t in &types {
+                result
+                    .types
+                    .push(reduce_type(engine, &mut ddg, t, budget, req.spill)?);
+            }
+            if req.emit_ddg {
+                result.ddg_out = Some(print_ddg(&ddg));
+            }
+        }
+        RsOp::Pipeline => {
+            let budget = req.registers.expect("validated");
+            let resources = match req.issue {
+                None | Some(4) => Resources::four_issue(),
+                Some(1) => Resources::single_issue(),
+                Some(8) => Resources::wide_issue(),
+                Some(_) => unreachable!("validated"),
+            };
+            for &t in &types {
+                result
+                    .types
+                    .push(reduce_type(engine, &mut ddg, t, budget, false)?);
+            }
+            let all_fit = result
+                .types
+                .iter()
+                .all(|tr| tr.reduce.as_ref().is_some_and(|r| r.fits));
+            if all_fit {
+                let sched = ListScheduler::new(resources).schedule(&ddg);
+                result.makespan = Some(sched.makespan);
+                for (tr, &t) in result.types.iter_mut().zip(&types) {
+                    let alloc = RegisterAllocator::new().allocate(&ddg, t, &sched.sigma, budget);
+                    tr.alloc = Some(AllocResult {
+                        registers_used: alloc.registers_used,
+                        spills: alloc.spilled.len(),
+                    });
+                }
+            }
+            if req.emit_ddg {
+                result.ddg_out = Some(print_ddg(&ddg));
+            }
+        }
+    }
+    Ok(result)
+}
+
+fn analyze_type(engine: &mut RsEngine, ddg: &Ddg, t: RegType, req: &RsRequest) -> TypeResult {
+    let threads = req.threads.max(1);
+    let a = engine.analyze(ddg, t);
+    let saturating = a
+        .saturating_values
+        .iter()
+        .map(|&v| ddg.graph().node(v).name.clone())
+        .collect();
+    let mut tr = TypeResult {
+        reg_type: reg_type_name(t),
+        values: ddg.values(t).len(),
+        saturation: a.saturation,
+        saturating,
+        optimal: a.provably_optimal,
+        exact: None,
+        ilp: None,
+        ilp_stats: None,
+        ilp_error: None,
+        reduce: None,
+        alloc: None,
+    };
+    if req.exact {
+        let e = ExactRs::with_threads(threads).saturation(ddg, t);
+        tr.exact = Some(SolveResult {
+            saturation: e.saturation,
+            proven_optimal: e.proven_optimal,
+        });
+    }
+    if req.ilp {
+        match RsIlp::with_threads(threads).saturation(ddg, t) {
+            Ok(r) => {
+                tr.ilp = Some(SolveResult {
+                    saturation: r.saturation,
+                    proven_optimal: r.proven_optimal,
+                });
+                if req.stats {
+                    let st = &r.milp_stats;
+                    tr.ilp_stats = Some(IlpStats {
+                        nodes: st.nodes,
+                        lp_solves: st.lp_solves,
+                        warm_solves: st.warm_solves,
+                        warm_hits: st.warm_hits,
+                        dive_reinstalls: st.dive_reinstalls,
+                        pseudocost_branches: st.pseudocost_branches,
+                        strong_branch_probes: st.strong_branch_probes,
+                        pivots: st.pivots,
+                        bound_flips: st.bound_flips,
+                        rows: st.rows,
+                        cols: st.cols,
+                    });
+                }
+            }
+            Err(e) => tr.ilp_error = Some(RsError::new(codes::ENGINE, e.to_string())),
+        }
+    }
+    tr
+}
+
+/// Reduces one type in place, optionally spilling when serialization alone
+/// cannot meet the budget. An unmeetable budget is *not* an `Err` — it
+/// reports `fits: false` so batch clients see partial results; front ends
+/// decide whether that is fatal.
+fn reduce_type(
+    engine: &mut RsEngine,
+    ddg: &mut Ddg,
+    t: RegType,
+    budget: usize,
+    spill: bool,
+) -> Result<TypeResult, RsError> {
+    let values = ddg.values(t).len();
+    let cp_before = ddg.critical_path();
+    let out = engine.reduce(ddg, t, budget);
+    let (saturation, reduce) = match out {
+        ReduceOutcome::AlreadyFits { rs } => (
+            rs,
+            ReduceResult {
+                budget,
+                rs_after: rs,
+                arcs_added: 0,
+                cp_before,
+                cp_after: cp_before,
+                fits: true,
+                spilled: Vec::new(),
+            },
+        ),
+        ReduceOutcome::Reduced {
+            rs_before,
+            rs_after,
+            cp_before,
+            cp_after,
+            added_arcs,
+            ..
+        } => (
+            rs_before,
+            ReduceResult {
+                budget,
+                rs_after,
+                arcs_added: added_arcs.len(),
+                cp_before,
+                cp_after,
+                fits: true,
+                spilled: Vec::new(),
+            },
+        ),
+        ReduceOutcome::Failed {
+            rs_before,
+            best_rs,
+            cp_after,
+            added_arcs,
+        } => {
+            let spilled = if spill {
+                SpillPass::new().spill_to_fit(ddg, t, budget)
+            } else {
+                None
+            };
+            match spilled {
+                Some(res) => {
+                    *ddg = res.ddg;
+                    (
+                        rs_before,
+                        ReduceResult {
+                            budget,
+                            rs_after: res.rs_after,
+                            arcs_added: res.reduction_arcs,
+                            cp_before,
+                            cp_after: ddg.critical_path(),
+                            fits: true,
+                            spilled: res.spilled_values,
+                        },
+                    )
+                }
+                None => (
+                    rs_before,
+                    ReduceResult {
+                        budget,
+                        rs_after: best_rs,
+                        arcs_added: added_arcs.len(),
+                        cp_before,
+                        cp_after,
+                        fits: false,
+                        spilled: Vec::new(),
+                    },
+                ),
+            }
+        }
+    };
+    Ok(TypeResult {
+        reg_type: reg_type_name(t),
+        values,
+        saturation,
+        saturating: Vec::new(),
+        optimal: false,
+        exact: None,
+        ilp: None,
+        ilp_stats: None,
+        ilp_error: None,
+        reduce: Some(reduce),
+        alloc: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CHAINS: &str = "op a load float\nop sa store none\nflow a sa 4 float\n\
+                          op b load float\nop sb store none\nflow b sb 4 float\n\
+                          op c load float\nop sc store none\nflow c sc 4 float\n\
+                          op d load float\nop sd store none\nflow d sd 4 float\n";
+
+    #[test]
+    fn analyze_reports_saturation() {
+        let mut d = Dispatcher::new();
+        let resp = d.dispatch(&RsRequest::new(RsOp::Analyze, CHAINS));
+        assert!(resp.ok, "{:?}", resp.error);
+        let result = resp.result.unwrap();
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        assert_eq!(float.saturation, 4);
+        assert_eq!(float.saturating.len(), 4);
+    }
+
+    #[test]
+    fn reduce_meets_budget_and_emits_ddg() {
+        let mut d = Dispatcher::new();
+        let mut req = RsRequest::new(RsOp::Reduce, CHAINS);
+        req.registers = Some(2);
+        req.emit_ddg = true;
+        let resp = d.dispatch(&req);
+        assert!(resp.ok, "{:?}", resp.error);
+        let result = resp.result.unwrap();
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        let red = float.reduce.as_ref().unwrap();
+        assert!(red.fits);
+        assert!(red.rs_after <= 2);
+        assert!(red.arcs_added > 0);
+        let out = result.ddg_out.as_deref().expect("emit_ddg");
+        assert!(parse_ddg(out).is_ok(), "emitted DDG re-parses");
+    }
+
+    #[test]
+    fn infeasible_reduce_reports_fits_false_not_error() {
+        let two_into_one = "op l1 load float\nop l2 load float\nop add falu float\n\
+                            op st store none\nflow l1 add 4 float\nflow l2 add 4 float\n\
+                            flow add st 3 float\n";
+        let mut d = Dispatcher::new();
+        let mut req = RsRequest::new(RsOp::Reduce, two_into_one);
+        req.registers = Some(1);
+        let resp = d.dispatch(&req);
+        assert!(resp.ok);
+        let result = resp.result.unwrap();
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        assert!(!float.reduce.as_ref().unwrap().fits);
+    }
+
+    #[test]
+    fn parse_failures_carry_the_parse_code() {
+        let mut d = Dispatcher::new();
+        let resp = d.dispatch(&RsRequest::new(
+            RsOp::Analyze,
+            "op a load float\nflow a ghost 1 float\n",
+        ));
+        assert!(!resp.ok);
+        let err = resp.error.unwrap();
+        assert_eq!(err.code, codes::PARSE);
+        assert!(err.message.contains("line 2"), "{}", err.message);
+    }
+
+    #[test]
+    fn pipeline_schedules_and_allocates() {
+        let mut d = Dispatcher::new();
+        let mut req = RsRequest::new(RsOp::Pipeline, CHAINS);
+        req.registers = Some(4);
+        let resp = d.dispatch(&req);
+        assert!(resp.ok, "{:?}", resp.error);
+        let result = resp.result.unwrap();
+        assert!(result.makespan.is_some());
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        let alloc = float.alloc.unwrap();
+        assert!(alloc.registers_used <= 4);
+        assert_eq!(alloc.spills, 0);
+    }
+
+    #[test]
+    fn cache_hit_is_bit_identical_to_cold_result() {
+        let cache = Arc::new(MemoCache::with_capacity(16));
+        let mut d = Dispatcher::with_cache(cache);
+        let req = RsRequest::new(RsOp::Analyze, CHAINS);
+        let cold = d.dispatch(&req);
+        let warm = d.dispatch(&req);
+        assert!(!cold.cache.hit);
+        assert!(warm.cache.hit);
+        assert_eq!(warm.cache.hits, 1);
+        assert_eq!(
+            serde_json::to_string(&warm.result).unwrap(),
+            serde_json::to_string(&cold.result).unwrap(),
+            "hit result must be bit-identical to the cold result"
+        );
+    }
+
+    #[test]
+    fn malformed_line_is_contained_and_next_request_answers() {
+        let mut d = Dispatcher::new();
+        let (bad, _) = process_line(&mut d, "{\"v\":1,\"op\":\"analyze\"");
+        assert!(!bad.ok);
+        assert_eq!(bad.error.unwrap().code, codes::REQUEST);
+        let good = serde_json::to_string(&RsRequest::new(RsOp::Analyze, CHAINS)).unwrap();
+        let (ok, json) = process_line(&mut d, &good);
+        assert!(ok.ok);
+        assert!(
+            json.contains("\"ok\": true") || json.contains("\"ok\":true"),
+            "{json}"
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # rs-serve — the warm-engine analysis service
+//!
+//! Everything behind `rsat serve`, and the single execution path the
+//! one-shot CLI subcommands and the corpus runner share:
+//!
+//! - [`dispatch::Dispatcher`] — one warm [`rs_core::RsEngine`] per worker,
+//!   per-request fault isolation (panics and malformed payloads answer
+//!   `ok:false`, never kill the process), optional memoization;
+//! - [`cache::MemoCache`] — content-keyed result cache (DAG bytes + op +
+//!   params) with hit/miss counters surfaced in every response;
+//! - [`pool::ServePool`] — a bounded work queue with backpressure feeding
+//!   per-worker dispatchers;
+//! - [`server`] — newline-delimited JSON transports (stdio, Unix socket)
+//!   with in-order response reassembly.
+//!
+//! The request/response schema itself ([`rs_core::request`]) lives in
+//! `rs-core`; this crate depends on `rs-sched` so the `pipeline` operation
+//! can schedule and allocate, which is why execution cannot live in
+//! `rs-core` (the scheduler depends on it).
+
+pub mod cache;
+pub mod dispatch;
+pub mod pool;
+pub mod server;
+
+pub use cache::MemoCache;
+pub use dispatch::{process_line, Dispatcher};
+pub use pool::{Job, PoolHandle, ResponseSink, ServeConfig, ServePool, ServeStats};
+pub use server::{serve_io, InOrderSink, UnixServer};

@@ -1,0 +1,286 @@
+//! The worker pool: a bounded queue feeding per-worker [`Dispatcher`]s.
+//!
+//! Backpressure is the queue bound — [`PoolHandle::submit`] blocks the
+//! producer (the stdio/socket reader) while the queue is full, so a slow
+//! consumer throttles intake instead of growing memory without bound.
+
+use crate::cache::MemoCache;
+use crate::dispatch::{process_line, Dispatcher};
+use rs_core::request::RsResponse;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A blocking bounded MPMC queue (mutex + condvars).
+pub struct Bounded<T> {
+    state: Mutex<BoundedState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct BoundedState<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    closed: bool,
+}
+
+impl<T> Bounded<T> {
+    /// A queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(BoundedState {
+                items: VecDeque::new(),
+                capacity: capacity.max(1),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocks until there is room, then enqueues. Returns `false` (item
+    /// dropped) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return false;
+            }
+            if state.items.len() < state.capacity {
+                state.items.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Blocks until an item is available; `None` once closed and drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, consumers drain then stop.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Where a worker delivers a finished response.
+///
+/// `seq` is the submission sequence number; sinks that care about output
+/// order (the stdio server) reassemble with it, sinks that do not (load
+/// generators) just record.
+pub trait ResponseSink: Send + Sync {
+    /// Delivers response number `seq`, both typed and pre-serialized.
+    fn emit(&self, seq: u64, response: &RsResponse, json: &str);
+}
+
+/// One queued request line.
+pub struct Job {
+    /// Submission sequence number (per sink).
+    pub seq: u64,
+    /// The raw request line (JSON).
+    pub line: String,
+    /// Where the response goes.
+    pub sink: Arc<dyn ResponseSink>,
+}
+
+/// Service configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (0 = one per available CPU, capped at 8).
+    pub workers: usize,
+    /// Bounded queue capacity (backpressure threshold).
+    pub queue: usize,
+    /// Memoization cache capacity, in results.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 0,
+            queue: 64,
+            cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The worker count after resolving the `0 = auto` default.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            return self.workers;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
+    }
+}
+
+/// Request/outcome counters shared by all workers.
+#[derive(Default)]
+pub struct PoolCounters {
+    requests: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+}
+
+/// State shared between the pool owner and connection readers.
+pub struct PoolShared {
+    queue: Bounded<Job>,
+    cache: Arc<MemoCache>,
+    counters: PoolCounters,
+}
+
+/// A cloneable submission handle (used by per-connection reader threads).
+#[derive(Clone)]
+pub struct PoolHandle(Arc<PoolShared>);
+
+impl PoolHandle {
+    /// Enqueues a job, blocking while the queue is full (backpressure).
+    /// Returns `false` if the pool has shut down.
+    pub fn submit(&self, job: Job) -> bool {
+        self.0.queue.push(job)
+    }
+}
+
+/// Cumulative service statistics, reported at shutdown.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct ServeStats {
+    /// Requests dequeued by workers.
+    pub requests: u64,
+    /// `ok:true` responses.
+    pub ok: u64,
+    /// `ok:false` responses.
+    pub failed: u64,
+    /// Memoization cache hits.
+    pub cache_hits: u64,
+    /// Memoization cache misses.
+    pub cache_misses: u64,
+}
+
+/// A pool of worker threads, each owning a warm [`Dispatcher`] over one
+/// shared [`MemoCache`].
+pub struct ServePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServePool {
+    /// Spawns the workers.
+    pub fn new(cfg: &ServeConfig) -> Self {
+        let shared = Arc::new(PoolShared {
+            queue: Bounded::new(cfg.queue),
+            cache: Arc::new(MemoCache::with_capacity(cfg.cache_capacity)),
+            counters: PoolCounters::default(),
+        });
+        let workers = (0..cfg.effective_workers())
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rsat-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        ServePool { shared, workers }
+    }
+
+    /// A submission handle for reader threads.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle(Arc::clone(&self.shared))
+    }
+
+    /// Enqueues a job, blocking while the queue is full (backpressure).
+    pub fn submit(&self, job: Job) -> bool {
+        self.shared.queue.push(job)
+    }
+
+    /// The shared memoization cache.
+    pub fn cache(&self) -> Arc<MemoCache> {
+        Arc::clone(&self.shared.cache)
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let (cache_hits, cache_misses) = self.shared.cache.counters();
+        ServeStats {
+            requests: self.shared.counters.requests.load(Ordering::Relaxed),
+            ok: self.shared.counters.ok.load(Ordering::Relaxed),
+            failed: self.shared.counters.failed.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+        }
+    }
+
+    /// Closes the queue, drains in-flight work, joins the workers.
+    pub fn shutdown(self) -> ServeStats {
+        self.shared.queue.close();
+        for w in self.workers {
+            let _ = w.join();
+        }
+        let (cache_hits, cache_misses) = self.shared.cache.counters();
+        ServeStats {
+            requests: self.shared.counters.requests.load(Ordering::Relaxed),
+            ok: self.shared.counters.ok.load(Ordering::Relaxed),
+            failed: self.shared.counters.failed.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut dispatcher = Dispatcher::with_cache(Arc::clone(&shared.cache));
+    while let Some(job) = shared.queue.pop() {
+        let (response, json) = process_line(&mut dispatcher, &job.line);
+        shared.counters.requests.fetch_add(1, Ordering::Relaxed);
+        if response.ok {
+            shared.counters.ok.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        job.sink.emit(job.seq, &response, &json);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_queue_blocks_then_drains() {
+        let q = Arc::new(Bounded::new(2));
+        assert!(q.push(1));
+        assert!(q.push(2));
+        let q2 = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || q2.push(3));
+        // the pusher is blocked until a pop frees a slot
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!pusher.is_finished(), "push must block while full");
+        assert_eq!(q.pop(), Some(1));
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        q.close();
+        assert_eq!(q.pop(), None);
+        assert!(!q.push(4), "closed queue rejects pushes");
+    }
+}

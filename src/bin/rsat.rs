@@ -5,8 +5,16 @@
 //! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]
 //! rsat pipeline <file.ddg> --registers N [--issue 1|4|8]
 //! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]
+//! rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH]
 //! rsat dot      <file.ddg>
 //! ```
+//!
+//! Every subcommand except `dot` speaks the shared request/response schema
+//! of [`rs_core::request`]: flags are folded into one [`RsRequest`], executed
+//! by the same [`rs_serve::Dispatcher`] that powers `rsat serve` and
+//! `rsat corpus`, and the [`rs_core::request::RsResponse`] is rendered for
+//! humans here. Errors carry the unified `{code, message}` shape and print
+//! as `rsat: error[code]: message`.
 //!
 //! `--threads N` runs the exact solvers (`--exact` combinatorial search,
 //! `--ilp` intLP branch-and-bound) with `N` parallel workers; the reported
@@ -18,31 +26,34 @@
 //! the relaxation tableau shape).
 //!
 //! `corpus` walks a directory of `.ddg` files with `--jobs` scoped-thread
-//! workers (each with its own warm analysis engine), prints a per-file
-//! summary, and writes `corpus.json`/`corpus.txt` under `--out` (default
-//! `results/`). Malformed files are reported in the summary and skipped —
-//! they do not abort the run or fail the exit code. The summary content is
-//! identical for every `--jobs` value.
+//! workers (each a warm dispatcher), prints a per-file summary, and writes
+//! `corpus.json`/`corpus.txt` under `--out` (default `results/`). Malformed
+//! files are reported in the summary and skipped — they do not abort the
+//! run or fail the exit code. The summary content is identical for every
+//! `--jobs` value.
+//!
+//! `serve` is the persistent daemon: newline-delimited JSON requests on
+//! stdin (or a Unix socket with `--socket`), one response line per request
+//! in request order, warm engines across requests, and a content-keyed
+//! memoization cache shared by all workers. A malformed line answers
+//! `ok:false` and the daemon keeps serving. Run statistics go to stderr at
+//! shutdown (EOF).
 //!
 //! The input format is documented in `rs_core::parse`. Examples live in
 //! `examples/data/*.ddg`.
 
-use rs_core::exact::ExactRs;
-use rs_core::heuristic::GreedyK;
-use rs_core::ilp::RsIlp;
-use rs_core::model::{Ddg, RegType};
-use rs_core::parse::{parse_ddg, print_ddg};
-use rs_core::reduce::{ReduceOutcome, Reducer};
-use rs_core::spill::SpillPass;
-use rs_sched::{ListScheduler, RegisterAllocator, Resources};
+use rs_core::parse::parse_ddg;
+use rs_core::request::{codes, RsError, RsOp, RsRequest, RsResult};
+use rs_serve::{serve_io, Dispatcher, ServeConfig, UnixServer};
+use std::io::Read;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("rsat: {msg}");
+        Err(e) => {
+            eprintln!("rsat: error[{}]: {}", e.code, e.message);
             eprintln!();
             eprintln!("usage:");
             eprintln!(
@@ -55,159 +66,105 @@ fn main() -> ExitCode {
             eprintln!(
                 "  rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]"
             );
+            eprintln!(
+                "  rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH]"
+            );
             eprintln!("  rsat dot      <file.ddg>");
             ExitCode::FAILURE
         }
     }
 }
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing command")?;
-    if cmd == "corpus" {
-        return corpus(args);
-    }
-    let file = args.get(1).ok_or("missing input file")?;
-    let input = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
-    let ddg = parse_ddg(&input).map_err(|e| format!("{file}: {e}"))?;
-
-    let reg_type = flag_value(args, "--type")
-        .map(|s| match s.as_str() {
-            "int" => Ok(RegType::INT),
-            "float" => Ok(RegType::FLOAT),
-            "branch" => Ok(RegType::BRANCH),
-            other => Err(format!("unknown register type `{other}`")),
-        })
-        .transpose()?;
-
-    let threads = match flag_value(args, "--threads") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| "bad --threads value".to_string())?
-            .max(1),
-        None => 1,
-    };
-
+fn run(args: &[String]) -> Result<(), RsError> {
+    let cmd = args
+        .first()
+        .ok_or_else(|| RsError::usage("missing command"))?;
     match cmd.as_str() {
-        "analyze" => analyze(
-            &ddg,
-            reg_type,
-            args.iter().any(|a| a == "--exact"),
-            args.iter().any(|a| a == "--ilp"),
-            args.iter().any(|a| a == "--stats"),
-            threads,
-        ),
-        "reduce" => reduce(
-            ddg,
-            reg_type,
-            parse_registers(args)?,
-            args.iter().any(|a| a == "--spill"),
-            flag_value(args, "--output"),
-        ),
-        "pipeline" => pipeline(
-            ddg,
-            reg_type,
-            parse_registers(args)?,
-            flag_value(args, "--issue"),
-        ),
-        "dot" => {
-            println!("{}", ddg.to_dot("ddg", &[]));
-            Ok(())
-        }
-        other => Err(format!("unknown command `{other}`")),
+        "analyze" | "reduce" | "pipeline" => one_shot(cmd, args),
+        "corpus" => corpus(args),
+        "serve" => serve(args),
+        "dot" => dot(args),
+        other => Err(RsError::usage(format!("unknown command `{other}`"))),
     }
 }
 
-/// `rsat corpus <dir>`: the parallel corpus driver of `rs-bench`, with the
-/// report plumbing the experiment binaries use. A malformed `.ddg` is
-/// reported in the summary and skipped; only driver-level failures
-/// (unreadable directory, no corpus files, bad flags) fail the command.
-fn corpus(args: &[String]) -> Result<(), String> {
-    use rs_bench::corpus::{render_text, run_corpus, CorpusMode, CorpusOptions};
-
-    let dir = args.get(1).ok_or("missing corpus directory")?;
-    let jobs = match flag_value(args, "--jobs") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| "bad --jobs value".to_string())?
-            .max(1),
-        None => 1,
+/// Runs one `analyze`/`reduce`/`pipeline` invocation through the service
+/// dispatch path: flags → [`RsRequest`] → [`Dispatcher`] → rendered
+/// response.
+fn one_shot(cmd: &str, args: &[String]) -> Result<(), RsError> {
+    let file = args
+        .get(1)
+        .ok_or_else(|| RsError::usage("missing input file"))?;
+    let input = std::fs::read_to_string(file)
+        .map_err(|e| RsError::new(codes::IO, format!("cannot read {file}: {e}")))?;
+    let req = build_request(cmd, input, args)?;
+    let resp = Dispatcher::new().dispatch(&req);
+    let result = match (resp.ok, resp.result) {
+        (true, Some(result)) => result,
+        _ => {
+            let mut e = resp
+                .error
+                .unwrap_or_else(|| RsError::new(codes::ENGINE, "missing error detail"));
+            if e.code == codes::PARSE {
+                e.message = format!("{file}: {}", e.message);
+            }
+            return Err(e);
+        }
     };
-    let registers = match flag_value(args, "--registers") {
-        Some(_) => Some(parse_registers(args)?),
-        None => None,
-    };
-    let mode = match flag_value(args, "--mode").as_deref() {
-        None | Some("analyze") => CorpusMode::Analyze,
-        Some("reduce") => CorpusMode::Reduce {
-            registers: registers.ok_or("--mode reduce requires --registers N")?,
-        },
-        Some("pipeline") => CorpusMode::Pipeline {
-            registers: registers.ok_or("--mode pipeline requires --registers N")?,
-        },
-        Some(other) => return Err(format!("unknown corpus mode `{other}`")),
-    };
-    let out_dir = flag_value(args, "--out").unwrap_or_else(|| "results".to_string());
-
-    let summary = run_corpus(std::path::Path::new(dir), &CorpusOptions { jobs, mode })?;
-    let text = render_text(&summary);
-    print!("{text}");
-    rs_bench::common::write_report(std::path::Path::new(&out_dir), "corpus", &text, &summary);
-    println!(
-        "summary written to {}",
-        std::path::Path::new(&out_dir).join("corpus.json").display()
-    );
+    match req.op {
+        RsOp::Analyze => render_analyze(&req, &result),
+        RsOp::Reduce => render_reduce(&req, &result, flag_value(args, "--output"))?,
+        RsOp::Pipeline => render_pipeline(&req, &result)?,
+    }
     Ok(())
 }
 
-fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+/// Folds the one-shot subcommand flags into a service request. The same
+/// parameter validation ([`RsRequest::validate`]) applies to CLI runs and
+/// daemon requests alike.
+fn build_request(cmd: &str, ddg: String, args: &[String]) -> Result<RsRequest, RsError> {
+    let op = RsOp::from_name(cmd).expect("caller routes known subcommands");
+    let mut req = RsRequest::new(op, ddg);
+    req.cache = false; // one-shot process: nothing to warm
+    req.reg_type = flag_value(args, "--type");
+    req.threads = match flag_value(args, "--threads") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RsError::usage("bad --threads value"))?
+            .max(1),
+        None => 1,
+    };
+    req.registers = match flag_value(args, "--registers") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| RsError::usage("bad --registers value"))?,
+        ),
+        None => None,
+    };
+    req.issue = match flag_value(args, "--issue") {
+        Some(v) => Some(
+            v.parse::<u64>()
+                .map_err(|_| RsError::usage(format!("unknown issue width `{v}`")))?,
+        ),
+        None => None,
+    };
+    req.exact = args.iter().any(|a| a == "--exact");
+    req.ilp = args.iter().any(|a| a == "--ilp");
+    req.stats = args.iter().any(|a| a == "--stats");
+    req.spill = args.iter().any(|a| a == "--spill");
+    req.emit_ddg = op == RsOp::Reduce && flag_value(args, "--output").is_some();
+    Ok(req)
 }
 
-fn parse_registers(args: &[String]) -> Result<usize, String> {
-    let n: usize = flag_value(args, "--registers")
-        .ok_or("missing --registers N")?
-        .parse()
-        .map_err(|_| "bad --registers value".to_string())?;
-    if n == 0 {
-        return Err("--registers must be at least 1".to_string());
-    }
-    Ok(n)
-}
-
-fn types_to_analyse(ddg: &Ddg, requested: Option<RegType>) -> Vec<RegType> {
-    match requested {
-        Some(t) => vec![t],
-        None => ddg.reg_types(),
-    }
-}
-
-fn analyze(
-    ddg: &Ddg,
-    reg_type: Option<RegType>,
-    exact: bool,
-    ilp: bool,
-    stats: bool,
-    threads: usize,
-) -> Result<(), String> {
+fn render_analyze(req: &RsRequest, result: &RsResult) {
     println!(
         "{} operations (incl. ⊥), {} edges, critical path {}",
-        ddg.num_ops(),
-        ddg.graph().edge_count(),
-        ddg.critical_path()
+        result.ops, result.edges, result.critical_path
     );
-    for t in types_to_analyse(ddg, reg_type) {
-        let h = GreedyK::new().saturation(ddg, t);
-        print!(
-            "type {:?}: {} values, RS* = {}",
-            t,
-            ddg.values(t).len(),
-            h.saturation
-        );
-        if exact {
-            let e = ExactRs::with_threads(threads).saturation(ddg, t);
+    for tr in &result.types {
+        let t = &tr.reg_type;
+        print!("type {t}: {} values, RS* = {}", tr.values, tr.saturation);
+        if let Some(e) = &tr.exact {
             print!(
                 ", exact RS = {}{}",
                 e.saturation,
@@ -218,26 +175,22 @@ fn analyze(
                 }
             );
         }
-        let mut ilp_stats = None;
-        if ilp {
-            match RsIlp::with_threads(threads).saturation(ddg, t) {
-                Ok(r) => {
-                    print!(
-                        ", intLP RS = {}{}",
-                        r.saturation,
-                        if r.proven_optimal {
-                            ""
-                        } else {
-                            " (budget-limited)"
-                        }
-                    );
-                    ilp_stats = Some(r.milp_stats);
+        if let Some(i) = &tr.ilp {
+            print!(
+                ", intLP RS = {}{}",
+                i.saturation,
+                if i.proven_optimal {
+                    ""
+                } else {
+                    " (budget-limited)"
                 }
-                Err(e) => print!(", intLP failed: {e}"),
-            }
+            );
+        }
+        if let Some(e) = &tr.ilp_error {
+            print!(", intLP failed: {e}");
         }
         println!();
-        if let (true, Some(st)) = (stats, ilp_stats) {
+        if let (true, Some(st)) = (req.stats, &tr.ilp_stats) {
             println!(
                 "  intLP stats: {} nodes, {} LP solves ({} warm dives, {} warm hits, \
                  {} dive reinstalls), {} pseudocost branches, {} strong-branch probes, \
@@ -255,103 +208,199 @@ fn analyze(
                 st.cols
             );
         }
-        let names: Vec<String> = h
-            .saturating_values
-            .iter()
-            .map(|&v| ddg.graph().node(v).name.clone())
-            .collect();
-        println!("  saturating values: {}", names.join(", "));
+        println!("  saturating values: {}", tr.saturating.join(", "));
     }
-    Ok(())
 }
 
-fn reduce(
-    mut ddg: Ddg,
-    reg_type: Option<RegType>,
-    registers: usize,
-    spill: bool,
+fn render_reduce(
+    req: &RsRequest,
+    result: &RsResult,
     output: Option<String>,
-) -> Result<(), String> {
-    for t in types_to_analyse(&ddg.clone(), reg_type) {
-        let out = Reducer::new().reduce(&mut ddg, t, registers);
-        match &out {
-            ReduceOutcome::AlreadyFits { rs } => {
-                println!("type {t:?}: RS = {rs} ≤ {registers}, untouched")
-            }
-            ReduceOutcome::Reduced {
-                rs_before,
-                rs_after,
-                added_arcs,
-                cp_before,
-                cp_after,
-                ..
-            } => println!(
-                "type {t:?}: RS {rs_before} -> {rs_after} (+{} arcs, critical path {cp_before} -> {cp_after})",
-                added_arcs.len()
-            ),
-            ReduceOutcome::Failed { rs_before, .. } => {
-                if spill {
-                    match SpillPass::new().spill_to_fit(&ddg, t, registers) {
-                        Some(res) => {
-                            println!(
-                                "type {t:?}: RS {rs_before} needed spilling: {:?} spilled, final RS = {}",
-                                res.spilled_values, res.rs_after
-                            );
-                            ddg = res.ddg;
-                        }
-                        None => {
-                            return Err(format!(
-                                "type {t:?}: cannot reach {registers} registers even with spilling"
-                            ))
-                        }
-                    }
-                } else {
-                    return Err(format!(
-                        "type {t:?}: cannot reduce RS {rs_before} to {registers} by serialization \
-                         (try --spill)"
-                    ));
-                }
-            }
+) -> Result<(), RsError> {
+    let registers = req.registers.expect("validated");
+    for tr in &result.types {
+        let t = &tr.reg_type;
+        let r = tr.reduce.as_ref().expect("reduce op reports reduction");
+        if !r.fits {
+            // Batch clients see `fits: false`; the interactive CLI makes an
+            // unmet budget fatal, as before.
+            let message = if req.spill {
+                format!("type {t}: cannot reach {registers} registers even with spilling")
+            } else {
+                format!(
+                    "type {t}: cannot reduce RS {} to {registers} by serialization (try --spill)",
+                    tr.saturation
+                )
+            };
+            return Err(RsError::new(codes::INFEASIBLE, message));
+        }
+        if !r.spilled.is_empty() {
+            println!(
+                "type {t}: RS {} needed spilling: {:?} spilled, final RS = {}",
+                tr.saturation, r.spilled, r.rs_after
+            );
+        } else if r.arcs_added == 0 {
+            println!("type {t}: RS = {} ≤ {registers}, untouched", r.rs_after);
+        } else {
+            println!(
+                "type {t}: RS {} -> {} (+{} arcs, critical path {} -> {})",
+                tr.saturation, r.rs_after, r.arcs_added, r.cp_before, r.cp_after
+            );
         }
     }
     if let Some(path) = output {
-        std::fs::write(&path, print_ddg(&ddg)).map_err(|e| format!("cannot write {path}: {e}"))?;
+        let text = result.ddg_out.as_ref().expect("emit_ddg was requested");
+        std::fs::write(&path, text)
+            .map_err(|e| RsError::new(codes::IO, format!("cannot write {path}: {e}")))?;
         println!("modified DDG written to {path}");
     }
     Ok(())
 }
 
-fn pipeline(
-    mut ddg: Ddg,
-    reg_type: Option<RegType>,
-    registers: usize,
-    issue: Option<String>,
-) -> Result<(), String> {
-    let resources = match issue.as_deref() {
-        None | Some("4") => Resources::four_issue(),
-        Some("1") => Resources::single_issue(),
-        Some("8") => Resources::wide_issue(),
-        Some(other) => return Err(format!("unknown issue width `{other}`")),
-    };
-    let types = types_to_analyse(&ddg, reg_type);
-    for &t in &types {
-        let out = Reducer::new().reduce(&mut ddg, t, registers);
-        if !out.fits() {
-            return Err(format!(
-                "type {t:?}: budget {registers} infeasible without spilling"
+fn render_pipeline(req: &RsRequest, result: &RsResult) -> Result<(), RsError> {
+    let registers = req.registers.expect("validated");
+    for tr in &result.types {
+        let fits = tr.reduce.as_ref().is_some_and(|r| r.fits);
+        if !fits {
+            return Err(RsError::new(
+                codes::INFEASIBLE,
+                format!(
+                    "type {}: budget {registers} infeasible without spilling",
+                    tr.reg_type
+                ),
             ));
         }
     }
-    let sched = ListScheduler::new(resources).schedule(&ddg);
-    println!("schedule makespan: {}", sched.makespan);
-    for &t in &types {
-        let alloc = RegisterAllocator::new().allocate(&ddg, t, &sched.sigma, registers);
+    let makespan = result.makespan.expect("all budgets fit");
+    println!("schedule makespan: {makespan}");
+    for tr in &result.types {
+        let a = tr.alloc.expect("pipeline allocates when budgets fit");
         println!(
-            "type {:?}: {} registers used, {} spills",
-            t,
-            alloc.registers_used,
-            alloc.spilled.len()
+            "type {}: {} registers used, {} spills",
+            tr.reg_type, a.registers_used, a.spills
         );
     }
     Ok(())
+}
+
+/// `rsat corpus <dir>`: the parallel corpus driver of `rs-bench` — a batch
+/// client of the same dispatch path — with the report plumbing the
+/// experiment binaries use. A malformed `.ddg` is reported in the summary
+/// and skipped; only driver-level failures (unreadable directory, no corpus
+/// files, bad flags) fail the command.
+fn corpus(args: &[String]) -> Result<(), RsError> {
+    use rs_bench::corpus::{render_text, run_corpus, CorpusMode, CorpusOptions};
+
+    let dir = args
+        .get(1)
+        .ok_or_else(|| RsError::usage("missing corpus directory"))?;
+    let jobs = match flag_value(args, "--jobs") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RsError::usage("bad --jobs value"))?
+            .max(1),
+        None => 1,
+    };
+    let registers = match flag_value(args, "--registers") {
+        Some(v) => Some(
+            v.parse::<usize>()
+                .map_err(|_| RsError::usage("bad --registers value"))?,
+        ),
+        None => None,
+    };
+    let mode = match flag_value(args, "--mode").as_deref() {
+        None | Some("analyze") => CorpusMode::Analyze,
+        Some("reduce") => CorpusMode::Reduce {
+            registers: registers
+                .ok_or_else(|| RsError::usage("--mode reduce requires --registers N"))?,
+        },
+        Some("pipeline") => CorpusMode::Pipeline {
+            registers: registers
+                .ok_or_else(|| RsError::usage("--mode pipeline requires --registers N"))?,
+        },
+        Some(other) => return Err(RsError::usage(format!("unknown corpus mode `{other}`"))),
+    };
+    let out_dir = flag_value(args, "--out").unwrap_or_else(|| "results".to_string());
+
+    let summary = run_corpus(std::path::Path::new(dir), &CorpusOptions { jobs, mode })?;
+    let text = render_text(&summary);
+    print!("{text}");
+    rs_bench::common::write_report(std::path::Path::new(&out_dir), "corpus", &text, &summary);
+    println!(
+        "summary written to {}",
+        std::path::Path::new(&out_dir).join("corpus.json").display()
+    );
+    Ok(())
+}
+
+/// `rsat serve`: the warm-engine daemon. Stdio mode reads request lines
+/// from stdin and writes response lines to stdout; `--socket PATH` serves a
+/// Unix socket instead (stdin EOF stops the daemon). Human-facing output
+/// (startup banner, shutdown statistics) goes to stderr only — stdout
+/// carries nothing but response JSON.
+fn serve(args: &[String]) -> Result<(), RsError> {
+    let mut cfg = ServeConfig::default();
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v
+            .parse::<usize>()
+            .map_err(|_| RsError::usage("bad --workers value"))?;
+    }
+    if let Some(v) = flag_value(args, "--queue") {
+        cfg.queue = v
+            .parse::<usize>()
+            .map_err(|_| RsError::usage("bad --queue value"))?
+            .max(1);
+    }
+    if let Some(v) = flag_value(args, "--cache-capacity") {
+        cfg.cache_capacity = v
+            .parse::<usize>()
+            .map_err(|_| RsError::usage("bad --cache-capacity value"))?;
+    }
+
+    let stats = match flag_value(args, "--socket") {
+        Some(path) => {
+            let server = UnixServer::bind(std::path::Path::new(&path), &cfg)
+                .map_err(|e| RsError::new(codes::IO, format!("cannot bind {path}: {e}")))?;
+            eprintln!(
+                "rsat serve: listening on {path} with {} workers (EOF on stdin stops)",
+                cfg.effective_workers()
+            );
+            // Park until the parent closes stdin, then drain and exit.
+            let mut sink = Vec::new();
+            let _ = std::io::stdin().lock().read_to_end(&mut sink);
+            server.stop()
+        }
+        None => {
+            eprintln!(
+                "rsat serve: reading requests from stdin with {} workers",
+                cfg.effective_workers()
+            );
+            let stdin = std::io::stdin();
+            let (stats, _) = serve_io(stdin.lock(), std::io::stdout(), &cfg);
+            stats
+        }
+    };
+    eprintln!(
+        "rsat serve: {} requests, {} ok, {} failed, cache {} hits / {} misses",
+        stats.requests, stats.ok, stats.failed, stats.cache_hits, stats.cache_misses
+    );
+    Ok(())
+}
+
+fn dot(args: &[String]) -> Result<(), RsError> {
+    let file = args
+        .get(1)
+        .ok_or_else(|| RsError::usage("missing input file"))?;
+    let input = std::fs::read_to_string(file)
+        .map_err(|e| RsError::new(codes::IO, format!("cannot read {file}: {e}")))?;
+    let ddg = parse_ddg(&input).map_err(|e| RsError::new(codes::PARSE, format!("{file}: {e}")))?;
+    println!("{}", ddg.to_dot("ddg", &[]));
+    Ok(())
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }

@@ -105,7 +105,7 @@ proptest! {
         let mut d_ref = ddg.clone();
         let mut d_eng = ddg;
         let reference = pipeline.run(&mut d_ref);
-        let engine = with_engine(|e| pipeline.run_with(e, &mut d_eng));
+        let engine = with_engine(|e| e.run_pipeline(&pipeline, &mut d_eng));
         prop_assert_eq!(engine.types.len(), reference.types.len());
         for (a, b) in engine.types.iter().zip(&reference.types) {
             prop_assert_eq!(a.reg_type, b.reg_type);

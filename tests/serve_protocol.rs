@@ -1,0 +1,235 @@
+//! Wire-protocol tests for the `rsat serve` request/response API: JSON
+//! round-trips of the shared schema (property-based, with escape-heavy
+//! strings), daemon-level fault containment, cache determinism, and the
+//! stdio + Unix-socket transports driven through the real `rsat` binary.
+
+use proptest::prelude::*;
+use rs_core::request::{
+    CacheInfo, RsError, RsOp, RsRequest, RsResponse, RsResult, SolveResult, TypeResult,
+};
+use serde::Deserialize;
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Strings that stress JSON escaping and must survive a round trip intact.
+fn tricky_string(seed: u64) -> String {
+    const PIECES: &[&str] = &[
+        "plain",
+        "with \"quotes\" inside",
+        "line\nbreak and\r carriage",
+        "back\\slash c:\\tmp",
+        "tab\there",
+        "unicode ⊥ λ ≤ ∞",
+        "{\"looks\":\"like json\"}",
+        "",
+        "control \u{1} byte",
+    ];
+    PIECES[(seed % PIECES.len() as u64) as usize].to_string()
+}
+
+fn request_from_seed(seed: u64) -> RsRequest {
+    let op = match seed % 3 {
+        0 => RsOp::Analyze,
+        1 => RsOp::Reduce,
+        _ => RsOp::Pipeline,
+    };
+    let mut req = RsRequest::new(op, format!("op a load float\n{}", tricky_string(seed)));
+    req.id = (seed % 4 != 0).then(|| tricky_string(seed / 3));
+    req.reg_type = (seed % 5 == 0).then(|| "float".to_string());
+    req.registers = (seed % 2 == 0).then_some((seed % 7) as usize);
+    req.exact = seed % 2 == 1;
+    req.ilp = seed % 3 == 1;
+    req.stats = seed % 5 == 1;
+    req.spill = seed % 7 == 1;
+    req.emit_ddg = seed % 11 == 1;
+    req.threads = 1 + (seed % 4) as usize;
+    req.issue = (seed % 3 == 2).then_some(4);
+    req.cache = seed % 2 == 0;
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `RsRequest` → JSON → `Value` → `RsRequest` is the identity, for every
+    /// field combination including escape-heavy strings.
+    #[test]
+    fn request_json_round_trips(seed in 0u64..1_000_000) {
+        let req = request_from_seed(seed);
+        let json = serde_json::to_string(&req).unwrap();
+        let value = serde_json::from_str(&json).unwrap();
+        let back = RsRequest::from_value(&value).unwrap();
+        prop_assert_eq!(back, req);
+    }
+
+    /// `RsResponse` round-trips through its wire form, success and failure
+    /// shapes alike.
+    #[test]
+    fn response_json_round_trips(seed in 0u64..1_000_000) {
+        let cache = CacheInfo {
+            hit: seed % 2 == 0,
+            hits: seed % 13,
+            misses: seed % 17,
+        };
+        let resp = if seed % 3 == 0 {
+            RsResponse::failure(
+                Some(tricky_string(seed)),
+                RsError::new("parse", tricky_string(seed / 2)),
+                cache,
+                0.25,
+            )
+        } else {
+            let result = RsResult {
+                ops: (seed % 40) as usize,
+                edges: (seed % 60) as usize,
+                critical_path: (seed % 100) as i64,
+                types: vec![TypeResult {
+                    reg_type: "float".to_string(),
+                    values: 3,
+                    saturation: (seed % 8) as usize,
+                    saturating: vec![tricky_string(seed), tricky_string(seed + 1)],
+                    optimal: seed % 2 == 1,
+                    exact: (seed % 4 == 0).then_some(SolveResult {
+                        saturation: 3,
+                        proven_optimal: true,
+                    }),
+                    ilp: None,
+                    ilp_stats: None,
+                    ilp_error: (seed % 5 == 0)
+                        .then(|| RsError::new("engine", tricky_string(seed / 5))),
+                    reduce: None,
+                    alloc: None,
+                }],
+                makespan: (seed % 2 == 0).then_some((seed % 50) as i64),
+                ddg_out: (seed % 3 == 1).then(|| tricky_string(seed / 7)),
+            };
+            RsResponse::success(Some(tricky_string(seed)), result, cache, 1.5)
+        };
+        let json = serde_json::to_string(&resp).unwrap();
+        let value = serde_json::from_str(&json).unwrap();
+        let back = RsResponse::from_value(&value).unwrap();
+        prop_assert_eq!(back, resp);
+    }
+}
+
+fn spawn_serve(extra: &[&str]) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_rsat"))
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rsat serve")
+}
+
+fn analyze_line(ddg: &str, id: &str) -> String {
+    let mut req = RsRequest::new(RsOp::Analyze, ddg);
+    req.id = Some(id.to_string());
+    serde_json::to_string(&req).unwrap()
+}
+
+/// Drives the real binary over stdio: a malformed line mid-stream must
+/// answer `ok:false` without killing the daemon or disturbing the order or
+/// content of surrounding responses.
+#[test]
+fn daemon_stdio_contains_malformed_requests() {
+    let mut child = spawn_serve(&["--workers", "2"]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let good = analyze_line("op a load float\nop s store none\nflow a s 4 float\n", "g");
+    writeln!(stdin, "{good}").unwrap();
+    writeln!(stdin, "this is not a request").unwrap();
+    writeln!(stdin, "{good}").unwrap();
+    drop(stdin); // EOF: daemon drains and exits
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(out.status.success(), "daemon must exit cleanly");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one response per request line: {text}");
+    let oks: Vec<bool> = lines
+        .iter()
+        .map(|l| {
+            serde_json::from_str(l)
+                .expect("response is valid JSON")
+                .get("ok")
+                .and_then(|v| v.as_bool())
+                .expect("response has ok")
+        })
+        .collect();
+    assert_eq!(oks, vec![true, false, true]);
+}
+
+/// The same request twice through the daemon: the second answer must come
+/// from the cache and carry a bit-identical `result`.
+#[test]
+fn daemon_cache_hit_is_bit_identical() {
+    let mut child = spawn_serve(&["--workers", "1"]);
+    let mut stdin = child.stdin.take().expect("piped stdin");
+    let line = analyze_line("op a load float\nop b load float\n", "twice");
+    writeln!(stdin, "{line}").unwrap();
+    writeln!(stdin, "{line}").unwrap();
+    drop(stdin);
+    let out = child.wait_with_output().expect("daemon exit");
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    let values: Vec<serde::Value> = text
+        .lines()
+        .map(|l| serde_json::from_str(l).expect("valid response JSON"))
+        .collect();
+    assert_eq!(values.len(), 2);
+    let hit_of = |v: &serde::Value| {
+        v.get("cache")
+            .and_then(|c| c.get("hit"))
+            .and_then(|h| h.as_bool())
+            .expect("cache.hit present")
+    };
+    assert!(!hit_of(&values[0]), "first request computes cold");
+    assert!(hit_of(&values[1]), "second request hits the cache");
+    let result_json = |v: &serde::Value| {
+        serde_json::to_string(v.get("result").expect("ok response carries result")).unwrap()
+    };
+    assert_eq!(
+        result_json(&values[0]),
+        result_json(&values[1]),
+        "cache hit must replay the cold result bit-identically"
+    );
+}
+
+/// Socket transport through the real binary: bind, connect, round-trip one
+/// request, then stop via stdin EOF — the socket file must be gone after a
+/// clean exit.
+#[test]
+fn daemon_unix_socket_round_trip() {
+    let path = std::env::temp_dir().join(format!("rsat-proto-test-{}.sock", std::process::id()));
+    let path_str = path.to_str().unwrap().to_string();
+    let mut child = spawn_serve(&["--workers", "1", "--socket", &path_str]);
+
+    // The daemon binds asynchronously; retry the connect briefly.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let client = loop {
+        match UnixStream::connect(&path) {
+            Ok(c) => break c,
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => panic!("daemon never bound {path_str}: {e}"),
+        }
+    };
+    let mut writer = client.try_clone().unwrap();
+    writeln!(writer, "{}", analyze_line("op a load float\n", "sock")).unwrap();
+    let mut reader = BufReader::new(client);
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    let value: serde::Value = serde_json::from_str(response.trim()).unwrap();
+    assert_eq!(value.get("ok").and_then(|v| v.as_bool()), Some(true));
+    assert_eq!(value.get("id").and_then(|v| v.as_str()), Some("sock"));
+    drop(reader);
+    drop(writer);
+
+    drop(child.stdin.take()); // EOF on stdin stops the daemon
+    let status = child.wait().expect("daemon exit");
+    assert!(status.success());
+    assert!(!path.exists(), "socket file removed on clean shutdown");
+}

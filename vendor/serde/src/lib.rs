@@ -5,10 +5,11 @@
 //! actually uses: the `Serialize`/`Deserialize` derive macros and trait
 //! names, backed by a simple JSON-shaped value tree ([`Value`]) instead of
 //! serde's visitor machinery. `serde_json::to_string_pretty` renders that
-//! tree, `serde_json::from_str` parses JSON text back into it, and the
+//! tree, `serde_json::from_str` parses JSON text back into it, the
 //! [`Value`] accessors (`get`/`as_array`/`as_f64`/…) navigate parsed
-//! documents. Swapping the real serde back in requires no source changes
-//! in the workspace — only the manifests.
+//! documents, and [`Deserialize::from_value`] reconstructs typed data from
+//! them. Swapping the real serde back in requires no source changes in the
+//! workspace — only the manifests.
 
 // Lets the `::serde::...` paths in derive-generated code resolve inside
 // this crate's own tests.
@@ -100,11 +101,254 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait mirroring serde's `Deserialize`.
+/// Error produced when a [`Value`] does not match the expected shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError(message.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A short human name for a value's variant, used in error messages.
+fn kind_of(value: &Value) -> &'static str {
+    match value {
+        Value::Null => "null",
+        Value::Bool(_) => "bool",
+        Value::Int(_) | Value::UInt(_) => "integer",
+        Value::Float(_) => "number",
+        Value::Str(_) => "string",
+        Value::Array(_) => "array",
+        Value::Object(_) => "object",
+    }
+}
+
+/// A type that can reconstruct itself from a [`Value`].
 ///
-/// Nothing in the workspace deserializes at run time; the derive exists so
-/// `#[derive(Deserialize)]` attributes in the source compile unchanged.
-pub trait Deserialize {}
+/// Derivable with `#[derive(Deserialize)]`; the derive mirrors serde's JSON
+/// conventions (objects to structs, strings to unit enum variants,
+/// single-key objects to data-carrying variants). Unknown object keys are
+/// ignored and missing keys deserialize from [`Value::Null`], so `Option`
+/// fields default to `None`.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the serialization data model.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up `name` in an object value and deserializes it, treating a
+/// missing key as [`Value::Null`]. Used by derived [`Deserialize`] impls.
+pub fn de_field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    match value {
+        Value::Object(_) => {
+            let field = value.get(name).unwrap_or(&Value::Null);
+            T::from_value(field).map_err(|e| DeError(format!("field `{name}`: {e}")))
+        }
+        other => Err(DeError(format!(
+            "expected object with field `{name}`, found {}",
+            kind_of(other)
+        ))),
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match *value {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    ref other => Err(DeError(format!(
+                        "expected integer, found {}",
+                        kind_of(other)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for i128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Int(i) => Ok(i128::from(i)),
+            Value::UInt(u) => {
+                i128::try_from(u).map_err(|_| DeError(format!("{u} out of range for i128")))
+            }
+            ref other => Err(DeError(format!(
+                "expected integer, found {}",
+                kind_of(other)
+            ))),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Int(i) => {
+                u128::try_from(i).map_err(|_| DeError(format!("{i} out of range for u128")))
+            }
+            Value::UInt(u) => Ok(u),
+            ref other => Err(DeError(format!(
+                "expected integer, found {}",
+                kind_of(other)
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError(format!("expected number, found {}", kind_of(value))))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, found {}", kind_of(value))))
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError(format!("expected string, found {}", kind_of(value))))
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let s = String::from_value(value)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single-char string, got {s:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError(format!("expected array, found {}", kind_of(value))))?;
+        items.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| DeError(format!("expected array, found {}", kind_of(value))))?;
+        if items.len() != N {
+            return Err(DeError(format!(
+                "expected array of {N} elements, got {}",
+                items.len()
+            )));
+        }
+        let mut out = Vec::with_capacity(N);
+        for item in items {
+            out.push(T::from_value(item)?);
+        }
+        out.try_into()
+            .map_err(|_| DeError("array length mismatch".to_string()))
+    }
+}
+
+macro_rules! impl_de_tuple {
+    ($len:expr => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let items = value
+                    .as_array()
+                    .ok_or_else(|| DeError(format!("expected array, found {}", kind_of(value))))?;
+                if items.len() != $len {
+                    return Err(DeError(format!(
+                        "expected array of {} elements, got {}",
+                        $len,
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_de_tuple!(1 => A: 0);
+impl_de_tuple!(2 => A: 0, B: 1);
+impl_de_tuple!(3 => A: 0, B: 1, C: 2);
+impl_de_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+impl_de_tuple!(5 => A: 0, B: 1, C: 2, D: 3, E: 4);
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "expected object, found {}",
+                kind_of(other)
+            ))),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
 
 macro_rules! impl_ser_int {
     ($($t:ty),*) => {$(
@@ -288,6 +532,49 @@ mod tests {
             E::Wrap(Id(7)).to_value(),
             Value::Object(vec![("Wrap".into(), Value::UInt(7))])
         );
+    }
+
+    #[test]
+    fn derive_deserialize_roundtrips() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct Id(u32);
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        enum E {
+            Unit,
+            Wrap(Id),
+            Pair(i32, i32),
+            Named { x: f64 },
+        }
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct S {
+            a: usize,
+            b: String,
+            c: Option<E>,
+            d: Vec<E>,
+            e: [i64; 3],
+        }
+        let s = S {
+            a: 9,
+            b: "hi".into(),
+            c: Some(E::Named { x: 1.5 }),
+            d: vec![E::Unit, E::Wrap(Id(7)), E::Pair(-1, 2)],
+            e: [1, 2, 3],
+        };
+        let back = S::from_value(&s.to_value()).expect("roundtrip");
+        assert_eq!(back, s);
+        // missing keys deserialize as Null: Option fields default to None
+        let partial = Value::Object(vec![
+            ("a".into(), Value::UInt(1)),
+            ("b".into(), Value::Str("x".into())),
+            ("d".into(), Value::Array(vec![])),
+            ("e".into(), Value::Array(vec![Value::Int(0); 3])),
+        ]);
+        assert_eq!(S::from_value(&partial).unwrap().c, None);
+        // shape errors carry field context
+        let err = S::from_value(&Value::Object(vec![("a".into(), Value::Bool(true))]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("field `a`"), "{err}");
     }
 
     #[test]

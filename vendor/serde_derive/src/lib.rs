@@ -8,10 +8,12 @@
 //! - tuple structs (newtype ids like `NodeId(pub u32)`),
 //! - enums with unit, tuple, and named-field variants.
 //!
-//! Generated impls target `serde::Serialize::to_value` (a JSON-shaped value
-//! tree) and the `serde::Deserialize` marker trait, following serde_json's
-//! conventions: structs serialize to objects, unit variants to strings,
-//! newtype variants to single-key objects.
+//! Generated impls target `serde::Serialize::to_value` and
+//! `serde::Deserialize::from_value` (a JSON-shaped value tree), following
+//! serde_json's conventions: structs serialize to objects, unit variants to
+//! strings, newtype variants to single-key objects. Field types are never
+//! parsed — the generated `from_value` body relies on struct-literal type
+//! inference, so only field *names* matter.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -365,12 +367,103 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     out.parse().expect("serde derive: generated impl parses")
 }
 
-/// Derives the `serde::Deserialize` marker trait.
+/// `Ok(Name(...))` expression deserializing a tuple body from `src`.
+///
+/// A 1-tuple (newtype) deserializes transparently from the inner value; a
+/// longer tuple expects an array of exactly `n` elements.
+fn de_tuple_expr(ctor: &str, n: usize, src: &str) -> String {
+    match n {
+        0 => format!("Ok({ctor}())"),
+        1 => format!("Ok({ctor}(::serde::Deserialize::from_value({src})?))"),
+        _ => {
+            let gets = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{ let __items = {src}.as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for {ctor}\"))?; \
+                 if __items.len() != {n} {{ return Err(::serde::DeError::new(format!(\
+                 \"expected array of {n} elements for {ctor}, got {{}}\", __items.len()))); }} \
+                 Ok({ctor}({gets})) }}"
+            )
+        }
+    }
+}
+
+/// `Ok(Name { field: ..., ... })` expression deserializing named fields
+/// from the object value `src`.
+fn de_named_expr(ctor: &str, fields: &[String], src: &str) -> String {
+    if fields.is_empty() {
+        return format!(
+            "match {src} {{ ::serde::Value::Object(_) => Ok({ctor} {{}}), __other => \
+             Err(::serde::DeError::new(format!(\"expected object for {ctor}, found {{__other:?}}\"))) }}"
+        );
+    }
+    let inits = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({src}, \"{f}\")?"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!("Ok({ctor} {{ {inits} }})")
+}
+
+/// Derives `serde::Deserialize` (value-tree flavour) for structs and enums,
+/// mirroring the conventions of [`derive_serialize`]: objects to structs,
+/// strings to unit variants, single-key objects to data-carrying variants.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => de_named_expr(name, fields, "__v"),
+        Body::Tuple(n) => de_tuple_expr(name, *n, "__v"),
+        Body::Unit => format!("Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, b)| matches!(b, Body::Unit | Body::Enum(_)))
+                .map(|(vname, _)| format!("\"{vname}\" => Ok({name}::{vname}),"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter_map(|(vname, vbody)| {
+                    let ctor = format!("{name}::{vname}");
+                    match vbody {
+                        Body::Tuple(n) => Some(format!(
+                            "\"{vname}\" => {},",
+                            de_tuple_expr(&ctor, *n, "__inner")
+                        )),
+                        Body::Named(fields) => Some(format!(
+                            "\"{vname}\" => {},",
+                            de_named_expr(&ctor, fields, "__inner")
+                        )),
+                        Body::Unit | Body::Enum(_) => None,
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\n\
+                 __other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __inner) = &__entries[0];\n\
+                 match __k.as_str() {{\n{data_arms}\n\
+                 __other => Err(::serde::DeError::new(format!(\
+                 \"unknown variant `{{__other}}` of {name}\"))),\n}}\n}},\n\
+                 __other => Err(::serde::DeError::new(format!(\
+                 \"expected variant of {name}, found {{__other:?}}\"))),\n}}"
+            )
+        }
+    };
     let header = impl_header(&item, "::serde::Deserialize");
-    format!("#[automatically_derived]\n{header} {{}}\n")
-        .parse()
-        .expect("serde derive: generated impl parses")
+    let out = format!(
+        "#[automatically_derived]\n#[allow(clippy::all)]\n{header} {{\n    \
+         fn from_value(__v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n        \
+         let _ = __v;\n        {body}\n    }}\n}}\n"
+    );
+    out.parse().expect("serde derive: generated impl parses")
 }
