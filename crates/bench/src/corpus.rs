@@ -12,12 +12,12 @@
 //! independent of `jobs` (asserted by `tests/corpus_cli.rs`).
 
 use rs_core::request::{codes, reg_type_from_name, RsError, RsOp, RsRequest};
-use rs_serve::Dispatcher;
+use rs_serve::{Dispatcher, FaultPlan};
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// What to run per file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -62,6 +62,14 @@ pub struct CorpusOptions {
     pub jobs: usize,
     /// Per-file work.
     pub mode: CorpusMode,
+    /// Per-file deadline; a file whose analysis exceeds it is recorded as
+    /// a `timeout` entry (with the run continuing).
+    pub timeout_ms: Option<u64>,
+    /// Extra attempts for transiently-failed files (codes `panic` and
+    /// `overloaded`), with exponential backoff between attempts.
+    pub retries: usize,
+    /// Fault injection plan (chaos testing); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for CorpusOptions {
@@ -69,8 +77,19 @@ impl Default for CorpusOptions {
         CorpusOptions {
             jobs: 1,
             mode: CorpusMode::Analyze,
+            timeout_ms: None,
+            retries: 0,
+            faults: None,
         }
     }
+}
+
+/// Whether a failed response is worth retrying: injected/contained panics
+/// and shed-on-overload answers are transient (the next attempt runs on a
+/// replaced engine or an idler queue); every other code is deterministic
+/// for the same input and would just fail again.
+fn is_transient(code: &str) -> bool {
+    code == codes::PANIC || code == codes::OVERLOADED
 }
 
 /// Per-type analysis outcome of one file.
@@ -126,6 +145,10 @@ pub struct CorpusFileSummary {
     /// Wall-clock milliseconds spent on this file (excluded from the
     /// `jobs`-independence guarantee).
     pub millis: f64,
+    /// Transient-failure retries this file needed (excluded from the
+    /// `jobs`-independence guarantee: the fault schedule depends on
+    /// cross-worker arrival order).
+    pub retries: usize,
 }
 
 impl CorpusFileSummary {
@@ -218,10 +241,13 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, RsE
                 // the same execution path as `rsat serve` (cache-less —
                 // every corpus file is distinct work).
                 let mut dispatcher = Dispatcher::new();
+                if let Some(plan) = &opts.faults {
+                    dispatcher.set_faults(Arc::clone(plan));
+                }
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(path) = paths.get(i) else { break };
-                    let summary = run_file(&mut dispatcher, dir, path, opts.mode);
+                    let summary = run_file(&mut dispatcher, dir, path, opts);
                     results.lock().unwrap()[i] = Some(summary);
                 }
             });
@@ -250,11 +276,12 @@ fn run_file(
     dispatcher: &mut Dispatcher,
     dir: &Path,
     path: &Path,
-    mode: CorpusMode,
+    opts: &CorpusOptions,
 ) -> CorpusFileSummary {
+    let mode = opts.mode;
     let name = path.strip_prefix(dir).unwrap_or(path).display().to_string();
     let start = Instant::now();
-    let fail = |error: RsError, start: Instant| CorpusFileSummary {
+    let fail = |error: RsError, start: Instant, retries: usize| CorpusFileSummary {
         file: name.clone(),
         ok: false,
         error: Some(error),
@@ -264,22 +291,46 @@ fn run_file(
         makespan: None,
         types: Vec::new(),
         millis: start.elapsed().as_secs_f64() * 1e3,
+        retries,
     };
 
     let input = match std::fs::read_to_string(path) {
         Ok(s) => s,
-        Err(e) => return fail(RsError::new(codes::IO, format!("cannot read: {e}")), start),
+        Err(e) => {
+            return fail(
+                RsError::new(codes::IO, format!("cannot read: {e}")),
+                start,
+                0,
+            )
+        }
     };
 
     let mut req = RsRequest::new(mode.op(), input);
     req.registers = mode.registers();
     req.cache = false;
-    let resp = dispatcher.dispatch(&req);
+    req.timeout_ms = opts.timeout_ms;
+    let mut retries = 0;
+    let resp = loop {
+        let resp = dispatcher.dispatch(&req);
+        if resp.ok || retries >= opts.retries {
+            break resp;
+        }
+        match resp.error.as_ref() {
+            Some(e) if is_transient(&e.code) => {
+                retries += 1;
+                // Exponential backoff: 10 ms, 20 ms, 40 ms, ... capped at
+                // half a second so a chaos run cannot stall the corpus.
+                let backoff = Duration::from_millis(10 << (retries - 1).min(6));
+                std::thread::sleep(backoff.min(Duration::from_millis(500)));
+            }
+            _ => break resp,
+        }
+    };
     if !resp.ok {
         let error = resp
             .error
             .unwrap_or_else(|| RsError::new(codes::ENGINE, "missing error detail"));
-        return fail(error, start);
+        return fail(error, start, retries);
     }
     let result = resp.result.expect("ok response carries a result");
 
@@ -313,6 +364,7 @@ fn run_file(
         makespan: result.makespan,
         types,
         millis: start.elapsed().as_secs_f64() * 1e3,
+        retries,
     }
 }
 
@@ -406,6 +458,7 @@ mod tests {
             &CorpusOptions {
                 jobs: 1,
                 mode: CorpusMode::Reduce { registers: 3 },
+                ..Default::default()
             },
         )
         .unwrap();
@@ -414,6 +467,7 @@ mod tests {
             &CorpusOptions {
                 jobs: 4,
                 mode: CorpusMode::Reduce { registers: 3 },
+                ..Default::default()
             },
         )
         .unwrap();
@@ -491,6 +545,7 @@ mod tests {
             &CorpusOptions {
                 jobs: 1,
                 mode: CorpusMode::Reduce { registers: 3 },
+                ..Default::default()
             },
         )
         .unwrap();
@@ -508,6 +563,7 @@ mod tests {
             &CorpusOptions {
                 jobs: 1,
                 mode: CorpusMode::Pipeline { registers: 4 },
+                ..Default::default()
             },
         )
         .unwrap();
@@ -521,6 +577,55 @@ mod tests {
             daxpy.makespan.is_some(),
             "pipeline mode surfaces the schedule makespan"
         );
+    }
+
+    #[test]
+    fn transient_faults_are_retried_with_backoff() {
+        let dir = std::env::temp_dir().join("rsat_corpus_retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.ddg"), "op a load float\n").unwrap();
+        std::fs::write(dir.join("b.ddg"), "op b load float\n").unwrap();
+        // jobs=1 makes the fault schedule line up with file order:
+        // tick 1 (a.ddg) clean, tick 2 (b.ddg) panics, tick 3 (the retry
+        // of b.ddg) clean again.
+        let faulted = |retries| CorpusOptions {
+            jobs: 1,
+            retries,
+            faults: Some(Arc::new(FaultPlan::from_spec("panic=2").unwrap())),
+            ..Default::default()
+        };
+        let no_retry = run_corpus(&dir, &faulted(0)).unwrap();
+        assert_eq!(no_retry.analyzed, 1);
+        let b = no_retry.files.iter().find(|f| f.file == "b.ddg").unwrap();
+        assert_eq!(b.error.as_ref().unwrap().code, codes::PANIC);
+
+        let retried = run_corpus(&dir, &faulted(2)).unwrap();
+        assert_eq!(retried.analyzed, 2, "retry recovers the panicked file");
+        let b = retried.files.iter().find(|f| f.file == "b.ddg").unwrap();
+        assert!(b.ok);
+        assert_eq!(b.retries, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_transient_failures_are_not_retried() {
+        let dir = std::env::temp_dir().join("rsat_corpus_no_retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("bad.ddg"), "op a load float\nflow a g 1 float\n").unwrap();
+        let summary = run_corpus(
+            &dir,
+            &CorpusOptions {
+                retries: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let bad = summary.files.iter().find(|f| f.file == "bad.ddg").unwrap();
+        assert_eq!(bad.error.as_ref().unwrap().code, codes::PARSE);
+        assert_eq!(bad.retries, 0, "parse errors are deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -538,7 +643,15 @@ mod tests {
             CorpusMode::Reduce { registers: 0 },
             CorpusMode::Pipeline { registers: 0 },
         ] {
-            let e = run_corpus(&fixture_dir(), &CorpusOptions { jobs: 1, mode }).unwrap_err();
+            let e = run_corpus(
+                &fixture_dir(),
+                &CorpusOptions {
+                    jobs: 1,
+                    mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap_err();
             assert!(e.message.contains("at least 1"), "{e}");
         }
     }

@@ -117,6 +117,9 @@ const STRATEGIES: [Strategy; 3] = [
 pub struct RsEngine {
     /// Heuristic parameters, shared with the one-shot path.
     pub params: GreedyK,
+    /// Cooperative cancellation for the portfolio / hill-climb loops (see
+    /// [`RsEngine::set_cancel`]). Default: never trips.
+    cancel: rs_lp::Cancel,
     scratch: AnalysisScratch,
 }
 
@@ -130,8 +133,25 @@ impl RsEngine {
     pub fn with_params(params: GreedyK) -> Self {
         RsEngine {
             params,
-            scratch: AnalysisScratch::new(),
+            ..Self::default()
         }
+    }
+
+    /// Installs a cancellation token for subsequent [`RsEngine::analyze`] /
+    /// [`RsEngine::reduce_with`] calls. A tripped token makes `analyze`
+    /// stop after its cheapest portfolio candidate (the answer is always a
+    /// valid killing function — just possibly narrower than the full
+    /// portfolio's) and makes reductions return their partial progress.
+    /// Cancellation never corrupts the scratch: the next call on this
+    /// engine behaves exactly like a call on a fresh engine (property-
+    /// tested in `tests/engine_cancel.rs`).
+    pub fn set_cancel(&mut self, cancel: rs_lp::Cancel) {
+        self.cancel = cancel;
+    }
+
+    /// Removes any installed cancellation token.
+    pub fn clear_cancel(&mut self) {
+        self.cancel = rs_lp::Cancel::new();
     }
 
     /// Computes `RS*_t(ddg)` — identical to
@@ -140,6 +160,7 @@ impl RsEngine {
     pub fn analyze(&mut self, ddg: &Ddg, t: RegType) -> RsAnalysis {
         let max_repairs = self.params.max_repairs;
         let refine_passes = self.params.refine_passes;
+        let cancel = self.cancel.clone();
         let s = &mut self.scratch;
 
         ddg.values_into(t, &mut s.values);
@@ -207,6 +228,12 @@ impl RsEngine {
             if unique_killing {
                 break;
             }
+            // Cancellation: stop after the first successful candidate — the
+            // portfolio only widens an already-valid answer. Checked *after*
+            // the attempt so a tripped token still yields one candidate.
+            if have_best && cancel.cancelled() {
+                break;
+            }
         }
         assert!(
             have_best,
@@ -221,6 +248,11 @@ impl RsEngine {
             'passes: for _pass in 0..refine_passes {
                 let mut improved = false;
                 for ai in 0..s.ambiguous.len() {
+                    // One poll per ambiguous value: each trial below costs a
+                    // full killed-graph rebuild, so the clock read is noise.
+                    if cancel.cancelled() {
+                        break 'passes;
+                    }
                     let u = s.ambiguous[ai];
                     let current = s.best.of(u);
                     for ki in 0..s.pk.of(u).len() {
@@ -300,11 +332,12 @@ impl RsEngine {
         t: RegType,
         r: usize,
     ) -> ReduceOutcome {
+        let cancel = self.cancel.clone();
         let mut estimate = |d: &Ddg, t: RegType| {
             let a = self.analyze(d, t);
             (a.saturation, a.saturating_values)
         };
-        reducer.reduce_with(ddg, t, r, &mut estimate)
+        reducer.reduce_with(ddg, t, r, &mut estimate, &cancel)
     }
 
     /// Runs a [`Pipeline`] through this engine (see [`Pipeline::run_with`]).

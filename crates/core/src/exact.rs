@@ -26,9 +26,14 @@ use crate::pkill::{potential_killers, PKill};
 use rs_graph::antichain::max_antichain;
 use rs_graph::paths::LongestPaths;
 use rs_graph::NodeId;
+use rs_lp::Cancel;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Recursion steps between full (clock-reading) cancellation polls; the
+/// cheap latched-flag check runs on every step.
+const CANCEL_POLL_MASK: usize = 255;
 
 /// Configuration of the exact search.
 #[derive(Clone, Debug)]
@@ -45,6 +50,11 @@ pub struct ExactRs {
     /// may be pruned by another job's concurrently published equal-width
     /// bound. Every returned witness is valid.
     pub threads: usize,
+    /// Cooperative cancellation: a tripped token stops the search like an
+    /// exhausted node budget — the incumbent (never worse than the greedy
+    /// seed) is returned with `proven_optimal: false` and a valid
+    /// [`ExactRsResult::upper_bound`]. The default token never trips.
+    pub cancel: Cancel,
 }
 
 impl Default for ExactRs {
@@ -52,6 +62,7 @@ impl Default for ExactRs {
         ExactRs {
             node_limit: 2_000_000,
             threads: 1,
+            cancel: Cancel::new(),
         }
     }
 }
@@ -69,6 +80,11 @@ pub struct ExactRsResult {
     /// Whether the search space was exhausted (or pruned exactly) within
     /// the node budget.
     pub proven_optimal: bool,
+    /// A proven upper bound on the true saturation: equals `saturation`
+    /// when `proven_optimal`, otherwise the root optimistic width — so
+    /// `saturation ≤ RS_t(G) ≤ upper_bound` always holds, and an
+    /// interrupted run still reports how far its answer can be off.
+    pub upper_bound: usize,
     /// Number of complete killing functions evaluated.
     pub leaves_evaluated: usize,
     /// Number of pruned subtrees.
@@ -104,6 +120,7 @@ impl ExactRs {
                     killer: BTreeMap::new(),
                 },
                 proven_optimal: true,
+                upper_bound: 0,
                 leaves_evaluated: 0,
                 pruned: 0,
             };
@@ -125,6 +142,11 @@ impl ExactRs {
             .map(|(u, ks)| (u, ks[0]))
             .collect();
 
+        // Root optimistic bound: an upper bound on every completion, hence
+        // on the true saturation — what an interrupted run reports as its
+        // proven gap.
+        let root_ub = optimistic_width(ddg, &lp, &pk, &values, &base_assignment);
+
         // Shared search state: the incumbent width (pruning bound), the
         // global leaf budget, and diagnostic counters.
         let best_global = AtomicUsize::new(seed.saturation);
@@ -144,6 +166,8 @@ impl ExactRs {
                 node_limit: self.node_limit,
                 leaves: &leaves,
                 best_global: &best_global,
+                cancel: &self.cancel,
+                ticks: 0,
                 pruned: 0,
                 exhausted: true,
             };
@@ -176,6 +200,8 @@ impl ExactRs {
                             node_limit: self.node_limit,
                             leaves: &leaves,
                             best_global: &best_global,
+                            cancel: &self.cancel,
+                            ticks: 0,
                             pruned: 0,
                             exhausted: true,
                         };
@@ -201,6 +227,11 @@ impl ExactRs {
             }
         }
         ExactRsResult {
+            upper_bound: if exhausted {
+                best.width
+            } else {
+                root_ub.max(best.width)
+            },
             saturation: best.width,
             saturating_values: best.saturating,
             killing: best.killing,
@@ -233,6 +264,9 @@ struct Search<'a> {
     /// Reading a stale (smaller) value only costs pruning power, never
     /// correctness.
     best_global: &'a AtomicUsize,
+    cancel: &'a Cancel,
+    /// Local recursion-step counter driving the amortized full poll.
+    ticks: usize,
     pruned: usize,
     exhausted: bool,
 }
@@ -245,6 +279,14 @@ impl Search<'_> {
         local: &mut LocalBest,
     ) {
         if self.leaves.load(Ordering::Relaxed) >= self.node_limit {
+            self.exhausted = false;
+            return;
+        }
+        // Cheap latched-flag check every step; the clock-reading poll only
+        // every CANCEL_POLL_MASK + 1 steps. Either way an interruption
+        // surrenders the proof exactly like an exhausted budget.
+        self.ticks += 1;
+        if self.cancel.is_set() || (self.ticks & CANCEL_POLL_MASK == 0 && self.cancel.cancelled()) {
             self.exhausted = false;
             return;
         }
@@ -294,20 +336,31 @@ impl Search<'_> {
     /// extended graph's lp); for unassigned values, the intersection over
     /// all candidate killers.
     fn optimistic_width(&self, assignment: &BTreeMap<NodeId, NodeId>) -> usize {
-        let forced_before = |u: NodeId, w: NodeId| -> bool {
-            if u == w {
-                return false;
-            }
-            let check = |ku: NodeId| -> bool {
-                crate::killing::killer_kills_before(self.ddg, self.base_lp, ku, w)
-            };
-            match assignment.get(&u) {
-                Some(&ku) => check(ku),
-                None => self.pk.of(u).iter().all(|&ku| check(ku)),
-            }
-        };
-        max_antichain(self.values, forced_before).width()
+        optimistic_width(self.ddg, self.base_lp, self.pk, self.values, assignment)
     }
+}
+
+/// See [`Search::optimistic_width`]; free-standing so the driver can also
+/// compute the root bound before any search state exists.
+fn optimistic_width(
+    ddg: &Ddg,
+    base_lp: &LongestPaths,
+    pk: &PKill,
+    values: &[NodeId],
+    assignment: &BTreeMap<NodeId, NodeId>,
+) -> usize {
+    let forced_before = |u: NodeId, w: NodeId| -> bool {
+        if u == w {
+            return false;
+        }
+        let check =
+            |ku: NodeId| -> bool { crate::killing::killer_kills_before(ddg, base_lp, ku, w) };
+        match assignment.get(&u) {
+            Some(&ku) => check(ku),
+            None => pk.of(u).iter().all(|&ku| check(ku)),
+        }
+    };
+    max_antichain(values, forced_before).width()
 }
 
 #[cfg(test)]
@@ -393,9 +446,55 @@ mod tests {
         .saturation(&d, RegType::INT);
         let full = ExactRs::new().saturation(&d, RegType::INT);
         assert!(full.proven_optimal);
+        assert_eq!(full.upper_bound, full.saturation);
         assert!(limited.saturation <= full.saturation);
         // even budget-limited results are achievable lower bounds
         assert!(limited.saturation >= 1);
+        // ...and the reported gap brackets the true saturation
+        assert!(limited.upper_bound >= full.saturation);
+    }
+
+    #[test]
+    fn cancelled_search_degrades_with_valid_bounds() {
+        let mut b = DdgBuilder::new(Target::superscalar());
+        let mut stores = Vec::new();
+        for i in 0..3 {
+            stores.push(b.op(format!("s{i}"), OpClass::Store, None));
+        }
+        for i in 0..6 {
+            let v = b.op(format!("v{i}"), OpClass::Load, Some(RegType::INT));
+            b.flow(v, stores[i % 3], 4, RegType::INT);
+            b.flow(v, stores[(i + 1) % 3], 4, RegType::INT);
+        }
+        let d = b.finish();
+        let full = ExactRs::new().saturation(&d, RegType::INT);
+        assert!(full.proven_optimal);
+
+        // Pre-tripped token: the search stops at its first step, degrading
+        // to the greedy seed with the proof surrendered — never an error.
+        let cancel = rs_lp::Cancel::new();
+        cancel.cancel();
+        let cut = ExactRs {
+            cancel,
+            ..ExactRs::default()
+        }
+        .saturation(&d, RegType::INT);
+        assert!(!cut.proven_optimal);
+        assert!(cut.saturation >= 1, "greedy seed survives cancellation");
+        assert!(cut.saturation <= full.saturation);
+        assert!(cut.upper_bound >= full.saturation);
+
+        // Deterministic mid-search trips at various depths: bounds must
+        // bracket the true answer no matter where the search stopped.
+        for polls in [1, 4, 64] {
+            let cut = ExactRs {
+                cancel: rs_lp::Cancel::after_polls(polls),
+                ..ExactRs::default()
+            }
+            .saturation(&d, RegType::INT);
+            assert!(cut.saturation <= full.saturation, "polls={polls}");
+            assert!(cut.upper_bound >= full.saturation, "polls={polls}");
+        }
     }
 
     #[test]

@@ -110,6 +110,12 @@ pub struct RsIlpResult {
     pub milp_stats: MilpStats,
     /// True iff branch-and-bound proved optimality within budget.
     pub proven_optimal: bool,
+    /// A proven upper bound on the true saturation, derived from the
+    /// branch-and-bound dual bound: equals `saturation` when
+    /// `proven_optimal`, otherwise `saturation ≤ RS_t(G) ≤ upper_bound`.
+    /// Clamped to `|V_{R,t}|` (always a valid bound) when the search was
+    /// interrupted before producing a finite dual bound.
+    pub upper_bound: usize,
 }
 
 impl RsIlp {
@@ -258,6 +264,7 @@ impl RsIlp {
                 model_stats: ModelStats::default(),
                 milp_stats: MilpStats::default(),
                 proven_optimal: true,
+                upper_bound: 0,
             });
         }
         let (model, vars) = self.build_model(ddg, t);
@@ -278,13 +285,28 @@ impl RsIlp {
             lifetime::is_valid_schedule(ddg, &schedule),
             "intLP produced an invalid schedule"
         );
+        let saturation = sol.objective.round() as usize;
+        let upper_bound = if sol.stats.proven_optimal {
+            saturation
+        } else {
+            // The MILP dual bound is in objective space (= saturation for
+            // this maximize model). |values| is always valid, so clamp a
+            // non-finite or out-of-range bound to it.
+            let db = sol.stats.dual_bound;
+            if db.is_finite() && db < values.len() as f64 {
+                (db + 1e-6).floor().max(saturation as f64) as usize
+            } else {
+                values.len()
+            }
+        };
         Ok(RsIlpResult {
-            saturation: sol.objective.round() as usize,
+            saturation,
             schedule,
             saturating_values: saturating,
             model_stats: stats,
             milp_stats: sol.stats,
             proven_optimal: sol.stats.proven_optimal,
+            upper_bound,
         })
     }
 }

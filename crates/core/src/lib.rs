@@ -54,4 +54,5 @@ pub use model::{Ddg, DdgBuilder, EdgeKind, OpClass, Operation, RegType, Target, 
 pub use pipeline::{Pipeline, PipelineReport};
 pub use reduce::{ReduceOutcome, Reducer};
 pub use request::{RsError, RsOp, RsRequest, RsResponse, RsResult};
+pub use rs_lp::{Cancel, MilpError};
 pub use spill::{SpillPass, SpillResult};

@@ -179,6 +179,7 @@ impl Reducer {
         t: RegType,
         r: usize,
         estimate: &mut RsEstimator<'_>,
+        cancel: &rs_lp::Cancel,
     ) -> ReduceOutcome {
         assert!(r >= 1, "register budget must be positive");
         let (rs_first, sat_first) = self.measure(ddg, t, r, estimate);
@@ -205,6 +206,18 @@ impl Reducer {
                     cp_after: ddg.critical_path(),
                     added_arcs: added,
                     steps: step,
+                };
+            }
+            // Cooperative cancellation between steps: the arcs added so far
+            // stay in the DDG (each one is a valid serialization), so the
+            // partial progress is reported as `Failed` — a typed, truthful
+            // "did not reach r" with everything achieved up to the cut.
+            if cancel.cancelled() {
+                return ReduceOutcome::Failed {
+                    rs_before,
+                    best_rs,
+                    cp_after: ddg.critical_path(),
+                    added_arcs: added,
                 };
             }
             let Some(best) = self.best_candidate(ddg, t, &current.1) else {

@@ -44,6 +44,13 @@ pub mod codes {
     pub const ENGINE: &str = "engine";
     /// The register budget cannot be met with the requested means.
     pub const INFEASIBLE: &str = "infeasible";
+    /// The request's `timeout_ms` deadline expired. The response still
+    /// carries the best partial result (heuristic values, solver
+    /// incumbents with their bounds) in [`super::RsResponse::result`].
+    pub const TIMEOUT: &str = "timeout";
+    /// The server shed the request before execution: it waited in the
+    /// queue past its own deadline. Safe to retry.
+    pub const OVERLOADED: &str = "overloaded";
 }
 
 /// Machine-readable error shape shared by serve responses, corpus
@@ -178,6 +185,12 @@ pub struct RsRequest {
     pub issue: Option<u64>,
     /// Allow the server to answer from its memoization cache.
     pub cache: bool,
+    /// Wall-clock deadline for this request in milliseconds (default:
+    /// none). On expiry the executing stack cancels cooperatively and the
+    /// response degrades instead of failing: `ok:false` with
+    /// [`codes::TIMEOUT`] *plus* the best partial result. Excluded from
+    /// the cache key — degraded results are never cached.
+    pub timeout_ms: Option<u64>,
 }
 
 impl RsRequest {
@@ -198,6 +211,7 @@ impl RsRequest {
             emit_ddg: false,
             issue: None,
             cache: true,
+            timeout_ms: None,
         }
     }
 
@@ -243,9 +257,11 @@ impl RsRequest {
 
     /// Canonical memoization key over every result-affecting field.
     ///
-    /// `id`, `cache`, and `threads` are excluded: the first two do not
-    /// affect results, and exact-solver results are thread-count invariant
-    /// (solve *statistics* may differ; they are advisory).
+    /// `id`, `cache`, `threads`, and `timeout_ms` are excluded: the first
+    /// two do not affect results, exact-solver results are thread-count
+    /// invariant (solve *statistics* may differ; they are advisory), and
+    /// timed-out (degraded) results are never inserted into the cache, so
+    /// the deadline cannot affect what a cached entry holds.
     pub fn cache_key(&self) -> String {
         format!(
             "v{};op={};type={:?};regs={:?};exact={};ilp={};stats={};spill={};emit={};issue={:?};ddg={}",
@@ -284,6 +300,7 @@ impl Deserialize for RsRequest {
         req.emit_ddg = opt_field(value, "emit_ddg")?.unwrap_or(false);
         req.issue = opt_field(value, "issue")?;
         req.cache = opt_field(value, "cache")?.unwrap_or(true);
+        req.timeout_ms = opt_field(value, "timeout_ms")?;
         Ok(req)
     }
 }
@@ -322,6 +339,10 @@ pub struct SolveResult {
     pub saturation: usize,
     /// Whether the value is proven optimal (false: budget-limited).
     pub proven_optimal: bool,
+    /// Proven upper bound on the true saturation when the solver was
+    /// interrupted (`saturation ≤ RS ≤ bound`); `None` when proven optimal
+    /// (the bound would merely repeat `saturation`).
+    pub bound: Option<usize>,
 }
 
 /// intLP branch-and-bound statistics (mirrors `rs_lp::milp::MilpStats`).
@@ -468,6 +489,31 @@ impl RsResponse {
             millis,
         }
     }
+
+    /// A degraded (deadline-expired) response: `ok:false` with a
+    /// [`codes::TIMEOUT`] error **and** the best partial result the stack
+    /// produced before the cut — heuristic saturations, solver incumbents
+    /// with their dual bounds (`proven_optimal: false`), partial
+    /// reductions. Clients that only check `ok` treat it as a failure;
+    /// clients that look at `result` still get the best-known answer.
+    pub fn timeout(
+        id: Option<String>,
+        error: RsError,
+        partial: RsResult,
+        cache: CacheInfo,
+        millis: f64,
+    ) -> Self {
+        debug_assert_eq!(error.code, codes::TIMEOUT);
+        RsResponse {
+            v: PROTOCOL_VERSION,
+            id,
+            ok: false,
+            error: Some(error),
+            result: Some(partial),
+            cache,
+            millis,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -511,6 +557,7 @@ mod tests {
         req.registers = Some(4);
         req.issue = Some(8);
         req.threads = 3;
+        req.timeout_ms = Some(250);
         let json = serde_json::to_string(&req).unwrap();
         let back = RsRequest::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
         assert_eq!(back, req);
@@ -523,8 +570,50 @@ mod tests {
         b.threads = 8;
         b.id = Some("x".into());
         b.cache = false;
+        b.timeout_ms = Some(5);
         assert_eq!(a.cache_key(), b.cache_key());
         a.exact = true;
         assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn timeout_ms_defaults_to_none_on_the_wire() {
+        let v = serde_json::from_str(r#"{"v":1,"op":"analyze","ddg":"op a load float"}"#).unwrap();
+        let req = RsRequest::from_value(&v).expect("parses");
+        assert_eq!(req.timeout_ms, None);
+        let v = serde_json::from_str(
+            r#"{"v":1,"op":"analyze","ddg":"op a load float","timeout_ms":40}"#,
+        )
+        .unwrap();
+        let req = RsRequest::from_value(&v).expect("parses");
+        assert_eq!(req.timeout_ms, Some(40));
+    }
+
+    #[test]
+    fn timeout_response_carries_error_and_partial_result() {
+        let partial = RsResult {
+            ops: 2,
+            edges: 1,
+            critical_path: 3,
+            types: Vec::new(),
+            makespan: None,
+            ddg_out: None,
+        };
+        let resp = RsResponse::timeout(
+            Some("t".into()),
+            RsError::new(codes::TIMEOUT, "deadline expired after 40 ms"),
+            partial,
+            CacheInfo::disabled(),
+            41.0,
+        );
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_ref().unwrap().code, codes::TIMEOUT);
+        assert!(
+            resp.result.is_some(),
+            "timeout must keep the partial result"
+        );
+        let json = serde_json::to_string(&resp).unwrap();
+        let back = RsResponse::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, resp);
     }
 }

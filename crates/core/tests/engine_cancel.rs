@@ -1,0 +1,74 @@
+//! Property test: a cancelled analysis leaves no residue in the engine.
+//!
+//! The deadline layer (PR 7) interrupts `RsEngine::analyze` mid-flight via
+//! a [`Cancel`] token. The engine reuses scratch buffers and a solver pool
+//! across calls, so an interrupted run must not leak partial state into the
+//! next one: re-running the *same* engine after clearing the token has to
+//! produce exactly the answer a fresh engine would.
+//!
+//! The generator builds layered chain DAGs (always acyclic by construction)
+//! of float ALU ops with optional cross-chain edges, then trips the token
+//! after a random number of polls — from "before the first poll" (the whole
+//! run is cancelled) to "never reached" (the run completes normally).
+
+use proptest::prelude::*;
+use rs_core::{Cancel, DdgBuilder, OpClass, RegType, RsEngine, Target};
+
+/// Builds a `chains × len` layered DAG of float ops. Each chain is a flow
+/// path; `cross` is a bitmask adding forward edges `chain c, pos j` →
+/// `chain c+1, pos j+1`, which keeps the graph acyclic.
+fn build_ddg(chains: usize, len: usize, cross: u64) -> rs_core::Ddg {
+    let mut b = DdgBuilder::new(Target::superscalar());
+    let mut nodes = Vec::with_capacity(chains);
+    for c in 0..chains {
+        let mut chain = Vec::with_capacity(len);
+        for j in 0..len {
+            let n = b.op(format!("f{c}_{j}"), OpClass::FloatAlu, Some(RegType::FLOAT));
+            if j > 0 {
+                b.flow(chain[j - 1], n, 3, RegType::FLOAT);
+            }
+            chain.push(n);
+        }
+        nodes.push(chain);
+    }
+    let mut bit = 0;
+    for c in 0..chains.saturating_sub(1) {
+        for j in 0..len.saturating_sub(1) {
+            if cross >> bit & 1 == 1 {
+                b.flow(nodes[c][j], nodes[c + 1][j + 1], 3, RegType::FLOAT);
+            }
+            bit += 1;
+        }
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn interrupted_engine_recovers_to_fresh_engine_answers(
+        chains in 1usize..=4,
+        len in 1usize..=4,
+        cross in any::<u64>(),
+        polls in 0u64..12,
+    ) {
+        let ddg = build_ddg(chains, len, cross);
+
+        // Interrupt an analysis partway through (or not at all, when the
+        // poll budget outlasts the run — both paths must be clean).
+        let mut engine = RsEngine::new();
+        engine.set_cancel(Cancel::after_polls(polls));
+        let _interrupted = engine.analyze(&ddg, RegType::FLOAT);
+        engine.clear_cancel();
+
+        // The same engine, re-run, must match a fresh engine exactly.
+        let rerun = engine.analyze(&ddg, RegType::FLOAT);
+        let fresh = RsEngine::new().analyze(&ddg, RegType::FLOAT);
+
+        prop_assert_eq!(rerun.saturation, fresh.saturation);
+        prop_assert_eq!(rerun.saturating_values, fresh.saturating_values);
+        prop_assert_eq!(rerun.killing, fresh.killing);
+        prop_assert_eq!(rerun.provably_optimal, fresh.provably_optimal);
+    }
+}

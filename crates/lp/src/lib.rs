@@ -36,6 +36,7 @@
 //! assert_eq!(sol.objective.round() as i64, 7); // x=1, y=3
 //! ```
 
+pub mod cancel;
 pub mod expr;
 pub mod linearize;
 pub mod milp;
@@ -45,6 +46,7 @@ pub mod presolve;
 pub mod reference;
 pub mod simplex;
 
+pub use cancel::{min_deadline, Cancel};
 pub use expr::LinExpr;
 pub use milp::{solve, MilpConfig, MilpError, MilpStats};
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};

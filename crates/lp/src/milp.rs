@@ -59,11 +59,12 @@
 //! register-saturation models has integer coefficients, so `floor`/`ceil`
 //! of the relaxation bound is a valid tightening).
 
+use crate::cancel::{min_deadline, Cancel};
 use crate::model::{Model, Sense};
 use crate::pool::{BranchStep, Incumbent, Node, NodePool, Pseudocosts};
 use crate::simplex::{DiveStep, DiveTableau, LpOutcome, LpStats, Solution};
 use crate::EPS;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// How many nodes a worker processes between wall-clock checks —
@@ -132,6 +133,14 @@ pub struct MilpConfig {
     /// starts, bound rows double the tableau. The optimal objective must
     /// not depend on this flag.
     pub reference_lp: bool,
+    /// Cooperative cancellation token. Its flag is sampled once per node
+    /// and inside the simplex pivot loops; its deadline (if any) merges
+    /// with `time_limit`. A tripped token stops the search exactly like an
+    /// exhausted budget: the best incumbent is returned with
+    /// [`MilpStats::proven_optimal`] `false` and a valid
+    /// [`MilpStats::dual_bound`], or [`MilpError::BudgetExhausted`] when
+    /// no incumbent exists yet. The default token never trips.
+    pub cancel: Cancel,
 }
 
 impl Default for MilpConfig {
@@ -145,6 +154,7 @@ impl Default for MilpConfig {
             pseudocost: true,
             presolve: true,
             reference_lp: false,
+            cancel: Cancel::new(),
         }
     }
 }
@@ -232,6 +242,13 @@ pub struct MilpStats {
     /// True iff optimality was proven (budget not exhausted, no numerical
     /// trouble encountered).
     pub proven_optimal: bool,
+    /// Best-possible objective value in the model's sense: an upper bound
+    /// for maximization, lower for minimization. When optimality was
+    /// proven this equals the objective; after an interrupted search it is
+    /// the max of the incumbent score and every abandoned subproblem's
+    /// relaxation bound, mapped back to objective space. May be infinite
+    /// when the search was interrupted before the root relaxation solved.
+    pub dual_bound: f64,
 }
 
 /// An integer-feasible solution plus solve statistics.
@@ -281,6 +298,12 @@ struct Ctx<'a> {
     budget_hit: AtomicBool,
     numerical: AtomicBool,
     unbounded: AtomicBool,
+    /// Max score (dir·objective bound) over subproblems the search dropped
+    /// without exploring — budget stops, cancellation, numerical skips,
+    /// children rejected by a stopped pool. `max(incumbent score, this)`
+    /// is a valid score-space bound on the true optimum of an interrupted
+    /// search; stored as f64 bits, `-∞` while nothing was abandoned.
+    abandoned_bits: AtomicU64,
 }
 
 impl Ctx<'_> {
@@ -299,6 +322,37 @@ impl Ctx<'_> {
     /// Does a candidate score strictly beat the current incumbent?
     fn improves(&self, score: f64) -> bool {
         score > self.incumbent.score() + EPS
+    }
+
+    /// Folds the score of an abandoned (unexplored) subproblem into the
+    /// running dual-bound accumulator via a CAS max loop.
+    fn abandon(&self, score: f64) {
+        if score == f64::NEG_INFINITY {
+            return;
+        }
+        let bits = &self.abandoned_bits;
+        let mut cur = bits.load(Ordering::Relaxed);
+        while f64::from_bits(cur) < score {
+            match bits.compare_exchange_weak(
+                cur,
+                score.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Stops the search as interrupted (budget/deadline/cancel), folding
+    /// the given node's score and every still-open node into the
+    /// abandoned-bound accumulator so the reported dual bound stays sound.
+    fn interrupt(&self, node_score: f64) {
+        self.budget_hit.store(true, Ordering::Relaxed);
+        self.abandon(node_score);
+        let best_open = self.pool.stop();
+        self.abandon(best_open);
     }
 
     /// Feasibility tolerance for offering an incumbent. Deliberately
@@ -357,7 +411,7 @@ fn solve_presolved(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, Milp
         integral: (0..n)
             .map(|i| model.is_integral(crate::VarId(i as u32)))
             .collect(),
-        deadline: cfg.time_limit.map(|tl| start + tl),
+        deadline: min_deadline(cfg.time_limit.map(|tl| start + tl), cfg.cancel.deadline()),
         pool: NodePool::new(Node {
             bounds: Vec::new(),
             depth: 0,
@@ -378,6 +432,7 @@ fn solve_presolved(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, Milp
         budget_hit: AtomicBool::new(false),
         numerical: AtomicBool::new(false),
         unbounded: AtomicBool::new(false),
+        abandoned_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
     };
 
     // Seed the shared incumbent with a deterministic root dive before the
@@ -416,6 +471,16 @@ fn solve_presolved(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, Milp
         rows,
         cols,
         proven_optimal: !budget_hit && !numerical,
+        dual_bound: {
+            let inc_score = ctx.incumbent.score();
+            let score_bound = if budget_hit || numerical {
+                let abandoned = f64::from_bits(ctx.abandoned_bits.load(Ordering::Relaxed));
+                inc_score.max(abandoned)
+            } else {
+                inc_score
+            };
+            ctx.dir * score_bound
+        },
     };
     match ctx.incumbent.into_best() {
         Some((objective, values)) => Ok(MilpSolution {
@@ -463,7 +528,7 @@ fn solve_node_lp(ctx: &Ctx<'_>, work: &Model) -> (LpOutcome, Option<DiveTableau>
 /// One counted cold solve that keeps the tableau live (the bounded node
 /// path, the root probe, and the reference path's dive entry).
 fn cold_dive_tableau(ctx: &Ctx<'_>, model: &Model, dive: bool) -> (LpOutcome, Option<DiveTableau>) {
-    let (outcome, dt, lp_stats) = DiveTableau::new(model);
+    let (outcome, dt, lp_stats) = DiveTableau::new_cancellable(model, Some(&ctx.cfg.cancel));
     charge_lp_stats(ctx, &lp_stats, dive);
     (outcome, dt)
 }
@@ -535,6 +600,11 @@ fn dive_from(ctx: &Ctx<'_>, work: &Model, mut dt: DiveTableau, mut sol: Solution
     let mut snap = dt.clone();
     for step in 0..max_steps {
         if step & 7 == 0 {
+            // The dive is a pure heuristic — abandoning it mid-chain needs
+            // no bound accounting.
+            if ctx.cfg.cancel.is_set() {
+                return;
+            }
             if let Some(dl) = ctx.deadline {
                 if Instant::now() > dl {
                     return;
@@ -819,18 +889,22 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
     let prev = ctx.nodes.fetch_add(1, Ordering::Relaxed);
     if prev >= ctx.cfg.node_limit {
         ctx.nodes.fetch_sub(1, Ordering::Relaxed);
-        ctx.budget_hit.store(true, Ordering::Relaxed);
-        ctx.pool.stop();
+        ctx.interrupt(node.score);
         return;
     }
     *processed += 1;
+    // The cancel flag is one relaxed load — cheap enough per node; the
+    // wall clock stays amortized behind the 64-node mask.
+    if ctx.cfg.cancel.is_set() {
+        ctx.interrupt(node.score);
+        return;
+    }
     if *processed & TIME_CHECK_MASK == 0 {
-        if let Some(dl) = ctx.deadline {
-            if Instant::now() > dl {
-                ctx.budget_hit.store(true, Ordering::Relaxed);
-                ctx.pool.stop();
-                return;
-            }
+        let expired =
+            ctx.cfg.cancel.cancelled() || ctx.deadline.is_some_and(|dl| Instant::now() > dl);
+        if expired {
+            ctx.interrupt(node.score);
+            return;
         }
     }
 
@@ -904,9 +978,19 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
             return;
         }
         LpOutcome::PivotTooSmall => {
+            // A cancelled simplex aborts with this same outcome — that is
+            // an interruption, not numerical trouble, and must not taint
+            // the result as `Numerical`.
+            if ctx.cfg.cancel.is_set() {
+                ctx.interrupt(node.score);
+                return;
+            }
             // Soft numerical failure: skip the node, surrender the
             // optimality proof instead of crashing or silently mispruning.
+            // The skipped subtree's bound still counts against the dual
+            // bound of the (now unproven) answer.
             ctx.numerical.store(true, Ordering::Relaxed);
+            ctx.abandon(node.score);
             return;
         }
     };
@@ -965,6 +1049,7 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
                     .offer(ctx.dir * objective, objective, values, EPS);
             } else {
                 ctx.numerical.store(true, Ordering::Relaxed);
+                ctx.abandon(score);
             }
         }
         Some((v, x)) => {
@@ -1011,12 +1096,16 @@ fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: No
             // the earlier sequence number on score/depth ties, so the
             // near side is explored first, diving towards an incumbent
             // fast.
-            if f_down <= 0.5 {
-                ctx.pool.push(down);
-                ctx.pool.push(up);
+            // A stopped pool rejects the children; their inherited bound
+            // then counts as abandoned (both share `score`, one fold
+            // covers the pair).
+            let (first, second) = if f_down <= 0.5 {
+                (down, up)
             } else {
-                ctx.pool.push(up);
-                ctx.pool.push(down);
+                (up, down)
+            };
+            if !ctx.pool.push(first) || !ctx.pool.push(second) {
+                ctx.abandon(score);
             }
             // Periodic diving restart: every `DIVE_PERIOD` nodes this worker
             // re-runs the diving heuristic from its current subproblem,
@@ -1179,6 +1268,105 @@ mod tests {
         assert!(!s.stats.proven_optimal);
         assert_eq!(s.stats.nodes, 0);
         assert!(m.check_feasible(&s.values, 1e-6).is_ok());
+        // The surrendered proof still comes with a sound dual bound: the
+        // true optimum (x = 3) lies between incumbent and bound.
+        assert!(
+            s.objective <= 3.0 + 1e-9 && s.stats.dual_bound >= 3.0 - 1e-9,
+            "objective {} / dual bound {}",
+            s.objective,
+            s.stats.dual_bound
+        );
+    }
+
+    fn knapsack_model() -> Model {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", VarKind::Integer, 0.0, 1000.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 1000.0);
+        let c = m.add_var("c", VarKind::Integer, 0.0, 1000.0);
+        m.add_constraint(LinExpr::from(a) + b + c, Cmp::Le, 100.0);
+        m.add_constraint(
+            LinExpr::from(a) * 10.0 + (4.0, b) + (5.0, c),
+            Cmp::Le,
+            600.0,
+        );
+        m.add_constraint(LinExpr::from(a) * 2.0 + (2.0, b) + (6.0, c), Cmp::Le, 300.0);
+        m.set_objective(LinExpr::from(a) * 10.0 + (6.0, b) + (4.0, c));
+        m
+    }
+
+    #[test]
+    fn proven_solve_reports_tight_dual_bound() {
+        let s = solve(&knapsack_model(), &MilpConfig::default()).unwrap();
+        assert!(s.stats.proven_optimal);
+        assert!(
+            (s.stats.dual_bound - s.objective).abs() < 1e-9,
+            "proven: bound {} must equal objective {}",
+            s.stats.dual_bound,
+            s.objective
+        );
+    }
+
+    #[test]
+    fn pre_cancelled_solve_stops_without_incumbent() {
+        // A token tripped before the search starts: the root dive bails at
+        // its first check and the first node interrupts the pool — no
+        // incumbent exists, which surfaces as BudgetExhausted (the service
+        // layer maps it to the `timeout` wire code).
+        let cancel = Cancel::new();
+        cancel.cancel();
+        let cfg = MilpConfig {
+            cancel,
+            ..MilpConfig::default()
+        };
+        assert!(matches!(
+            solve(&knapsack_model(), &cfg),
+            Err(MilpError::BudgetExhausted)
+        ));
+    }
+
+    #[test]
+    fn interrupted_search_brackets_the_true_optimum() {
+        // Stop almost immediately via the node budget: the incumbent (from
+        // the root dive) and the abandoned-node dual bound must bracket the
+        // known optimum 732, and the proof must be surrendered.
+        let cfg = MilpConfig {
+            node_limit: 2,
+            ..MilpConfig::default()
+        };
+        let s = solve(&knapsack_model(), &cfg).unwrap();
+        assert!(!s.stats.proven_optimal);
+        assert!(s.objective <= 732.0 + 1e-9, "incumbent {}", s.objective);
+        assert!(
+            s.stats.dual_bound >= 732.0 - 1e-9,
+            "dual bound {} must stay above the optimum",
+            s.stats.dual_bound
+        );
+    }
+
+    #[test]
+    fn cancel_mid_search_keeps_soundness() {
+        // Deterministic mid-search interruption via the poll countdown:
+        // whenever it trips, the result must be a feasible point whose
+        // objective and dual bound bracket the optimum — or, if the search
+        // finished first, the proven optimum itself.
+        for polls in [1, 2, 4, 16] {
+            let cfg = MilpConfig {
+                cancel: Cancel::after_polls(polls),
+                ..MilpConfig::default()
+            };
+            let m = knapsack_model();
+            match solve(&m, &cfg) {
+                Ok(s) => {
+                    assert!(m.check_feasible(&s.values, 1e-6).is_ok());
+                    assert!(s.objective <= 732.0 + 1e-9);
+                    assert!(s.stats.dual_bound >= 732.0 - 1e-9);
+                    if s.stats.proven_optimal {
+                        assert_eq!(s.objective.round() as i64, 732);
+                    }
+                }
+                Err(e) => assert_eq!(e, MilpError::BudgetExhausted),
+            }
+        }
     }
 
     #[test]

@@ -118,15 +118,21 @@ impl NodePool {
         }
     }
 
-    pub fn push(&self, node: Node) {
+    /// Offers a node to the pool. Returns `false` when the pool is stopped
+    /// and the node was dropped — the caller must then fold the node's
+    /// score into its abandoned-bound accounting, or the dual bound
+    /// reported after a budget/deadline stop would be unsound.
+    #[must_use]
+    pub fn push(&self, node: Node) -> bool {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().unwrap();
         if inner.stopped {
-            return;
+            return false;
         }
         inner.heap.push(Entry { node, seq });
         drop(inner);
         self.cv.notify_one();
+        true
     }
 
     /// Pops the best open node, blocking while the queue is empty but other
@@ -162,13 +168,21 @@ impl NodePool {
         }
     }
 
-    /// Stops the search: waiting workers wake up and drain.
-    pub fn stop(&self) {
+    /// Stops the search: waiting workers wake up and drain. Returns the
+    /// best (largest) score among the open nodes being discarded — `-∞`
+    /// when the heap was already empty — so the caller can fold it into
+    /// the dual bound of an interrupted solve.
+    pub fn stop(&self) -> f64 {
         let mut inner = self.inner.lock().unwrap();
         inner.stopped = true;
+        let best_open = inner
+            .heap
+            .peek()
+            .map_or(f64::NEG_INFINITY, |e| e.node.score);
         inner.heap.clear();
         drop(inner);
         self.cv.notify_all();
+        best_open
     }
 }
 
@@ -356,8 +370,8 @@ mod tests {
     #[test]
     fn pool_pops_best_bound_first() {
         let pool = NodePool::new(node(1.0));
-        pool.push(node(5.0));
-        pool.push(node(3.0));
+        assert!(pool.push(node(5.0)));
+        assert!(pool.push(node(3.0)));
         let a = pool.pop().unwrap();
         let b = pool.pop().unwrap();
         let c = pool.pop().unwrap();
@@ -378,14 +392,14 @@ mod tests {
             depth: 7,
             ..node(2.0)
         });
-        pool.push(Node {
+        assert!(pool.push(Node {
             depth: 8,
             ..node(2.0)
-        });
-        pool.push(Node {
+        }));
+        assert!(pool.push(Node {
             depth: 7,
             ..node(2.0)
-        });
+        }));
         assert_eq!(pool.pop().unwrap().depth, 8);
         // among the two depth-7 nodes, the root (seq 0) precedes the pushed
         // one (seq 2)
@@ -410,8 +424,8 @@ mod tests {
             score: 5.0,
             branch: None,
         };
-        pool.push(child(0)); // near side, pushed first
-        pool.push(child(1)); // far side, pushed second
+        assert!(pool.push(child(0))); // near side, pushed first
+        assert!(pool.push(child(1))); // far side, pushed second
         pool.done();
         let first = pool.pop().unwrap();
         let second = pool.pop().unwrap();
@@ -456,14 +470,14 @@ mod tests {
                     while let Some(n) = pool.pop() {
                         seen.fetch_add(1, Ordering::Relaxed);
                         if n.depth < 3 {
-                            pool.push(Node {
+                            assert!(pool.push(Node {
                                 depth: n.depth + 1,
                                 ..node(0.0)
-                            });
-                            pool.push(Node {
+                            }));
+                            assert!(pool.push(Node {
                                 depth: n.depth + 1,
                                 ..node(0.0)
-                            });
+                            }));
                         }
                         pool.done();
                     }
@@ -482,6 +496,20 @@ mod tests {
         pool.stop();
         pool.done();
         assert!(pool.pop().is_none());
+        assert!(!pool.push(node(1.0)), "push after stop reports the drop");
+    }
+
+    #[test]
+    fn stop_reports_best_open_score() {
+        let pool = NodePool::new(node(2.0));
+        assert!(pool.push(node(7.0)));
+        assert!(pool.push(node(4.0)));
+        assert_eq!(pool.stop(), 7.0);
+        // Stopping an empty pool yields -inf (nothing was abandoned).
+        let empty = NodePool::new(node(1.0));
+        let n = empty.pop().unwrap();
+        drop(n);
+        assert_eq!(empty.stop(), f64::NEG_INFINITY);
     }
 
     #[test]

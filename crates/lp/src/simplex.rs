@@ -186,7 +186,18 @@ struct Tableau {
     scratch_row: Vec<f64>,
     /// Reused nonzero-column mask of the pivot row.
     scratch_nz: Vec<u32>,
+    /// Cooperative cancellation, sampled every [`CANCEL_CHECK_MASK`]+1
+    /// pivot-loop iterations. A tripped token aborts the optimization as
+    /// [`PivotStall`] (callers surface it as
+    /// [`LpOutcome::PivotTooSmall`]; the MILP driver disambiguates by
+    /// re-checking the token). `None` — the default — costs one branch per
+    /// check window.
+    cancel: Option<crate::cancel::Cancel>,
 }
+
+/// Pivot-loop iterations between cancellation checks (power of two minus
+/// one, used as a mask).
+const CANCEL_CHECK_MASK: usize = 127;
 
 impl Tableau {
     fn new(m: usize, ncols: usize, range: Vec<f64>) -> Self {
@@ -203,7 +214,15 @@ impl Tableau {
             flips: 0,
             scratch_row: Vec::new(),
             scratch_nz: Vec::new(),
+            cancel: None,
         }
+    }
+
+    /// Has the attached cancel token (if any) tripped? Amortized: only
+    /// sampled when `iters` crosses a check-window boundary.
+    #[inline]
+    fn cancelled_at(&self, iters: usize) -> bool {
+        iters & CANCEL_CHECK_MASK == 0 && self.cancel.as_ref().is_some_and(|c| c.is_set())
     }
 
     #[inline]
@@ -379,7 +398,7 @@ impl Tableau {
         let mut iters = 0usize;
         loop {
             iters += 1;
-            if iters > hard_cap {
+            if iters > hard_cap || self.cancelled_at(iters) {
                 return Err(PivotStall);
             }
             let bland = iters > iter_budget;
@@ -487,7 +506,10 @@ impl Tableau {
     /// strong-branching probes bound their repair effort and treat a
     /// capped-out repair as [`DualStatus::Stalled`] (no estimate).
     fn dual_optimize_capped(&mut self, iter_budget: usize) -> Result<DualStatus, PivotStall> {
-        for _ in 0..iter_budget {
+        for it in 1..=iter_budget {
+            if self.cancelled_at(it) {
+                return Err(PivotStall);
+            }
             // Leaving row: largest bound violation on either side.
             let mut row: Option<(usize, bool)> = None;
             let mut worst = 1e-9;
@@ -981,23 +1003,27 @@ fn warm_solve(
 /// The cold two-phase path, shared by the bounded-variable and
 /// explicit-bound-row (reference) standard forms.
 pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>, LpStats) {
-    let (outcome, basis, stats, _) = cold_solve_tab(model, sf);
+    let (outcome, basis, stats, _) = cold_solve_tab(model, sf, None);
     (outcome, basis, stats)
 }
 
 /// [`cold_solve`] variant that also hands back the final tableau on an
 /// optimal solve, so [`DiveTableau`] can keep it live across a chain of
 /// bound tightenings instead of rebuilding + re-installing a basis per
-/// step.
+/// step. A `cancel` token, when given, rides on the tableau: both solve
+/// phases — and every later warm repair on the live tableau — abort as
+/// [`LpOutcome::PivotTooSmall`] once it trips.
 fn cold_solve_tab(
     model: &Model,
     sf: &StdForm,
+    cancel: Option<&crate::cancel::Cancel>,
 ) -> (LpOutcome, Option<Basis>, LpStats, Option<Tableau>) {
     let core = sf.n + sf.n_slack;
     let ncols = core + sf.n_art;
     let mut range = sf.range.clone();
     range.resize(ncols, f64::INFINITY);
     let mut tab = Tableau::new(sf.m, ncols, range);
+    tab.cancel = cancel.cloned();
     fill_core(&mut tab, sf);
     {
         let w = ncols + 1;
@@ -1147,8 +1173,19 @@ impl DiveTableau {
     /// optimal tableau live. The tableau is `Some` exactly when the
     /// outcome is [`LpOutcome::Optimal`].
     pub fn new(model: &Model) -> (LpOutcome, Option<DiveTableau>, LpStats) {
+        Self::new_cancellable(model, None)
+    }
+
+    /// [`DiveTableau::new`] with an optional cancellation token that stays
+    /// attached to the live tableau: the cold solve and every later
+    /// [`DiveTableau::tighten`] repair abort as
+    /// [`LpOutcome::PivotTooSmall`] / [`DiveStep::Stalled`] once it trips.
+    pub fn new_cancellable(
+        model: &Model,
+        cancel: Option<&crate::cancel::Cancel>,
+    ) -> (LpOutcome, Option<DiveTableau>, LpStats) {
         let sf = std_form(model, false);
-        let (outcome, _, stats, tab) = cold_solve_tab(model, &sf);
+        let (outcome, _, stats, tab) = cold_solve_tab(model, &sf, cancel);
         let dt = tab.map(|tab| {
             let n = sf.n;
             let hi = (0..n)

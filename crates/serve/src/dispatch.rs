@@ -7,6 +7,7 @@
 //! `panic`.
 
 use crate::cache::MemoCache;
+use crate::fault::{FaultAction, FaultPlan};
 use rs_core::exact::ExactRs;
 use rs_core::heuristic::GreedyK;
 use rs_core::ilp::RsIlp;
@@ -19,17 +20,77 @@ use rs_core::request::{
 };
 use rs_core::spill::SpillPass;
 use rs_core::RsEngine;
+use rs_core::{Cancel, MilpError};
 use rs_sched::{ListScheduler, RegisterAllocator, Resources};
 use serde::Deserialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One worker's in-flight registration, shared with the pool watchdog.
+///
+/// While a deadline-carrying request executes, the dispatcher publishes
+/// its cancel token and hard deadline here. The watchdog (one thread per
+/// [`crate::pool::ServePool`]) sweeps all slots and force-cancels any
+/// entry stuck past `deadline + grace` — covering code paths whose own
+/// cooperative polls are too sparse (or an injected fault's sleep). A
+/// forced cancel latches; the worker observes it after the request ends
+/// and replaces its engine as a hygiene measure.
+#[derive(Clone, Default)]
+pub struct WatchSlot {
+    inner: Arc<Mutex<WatchState>>,
+}
+
+#[derive(Default)]
+struct WatchState {
+    inflight: Option<(Cancel, Instant)>,
+    forced: bool,
+}
+
+impl WatchSlot {
+    /// Registers an in-flight request (only deadline-carrying requests
+    /// are watchable; others pass `None` and are skipped).
+    pub fn begin(&self, cancel: &Cancel, deadline: Option<Instant>) {
+        if let Some(dl) = deadline {
+            let mut st = self.inner.lock().expect("watch lock");
+            st.inflight = Some((cancel.clone(), dl));
+        }
+    }
+
+    /// Ends the in-flight window (the forced flag stays latched).
+    pub fn clear(&self) {
+        self.inner.lock().expect("watch lock").inflight = None;
+    }
+
+    /// Watchdog sweep: force-cancels an entry stuck past `deadline +
+    /// grace`. Returns `true` when this sweep fired the cancel.
+    pub fn check(&self, now: Instant, grace: Duration) -> bool {
+        let mut st = self.inner.lock().expect("watch lock");
+        match &st.inflight {
+            Some((cancel, dl)) if now > *dl + grace => {
+                cancel.cancel();
+                st.inflight = None; // fire once per request
+                st.forced = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Consumes the forced-cancel latch (worker side, after a request).
+    pub fn take_forced(&self) -> bool {
+        let mut st = self.inner.lock().expect("watch lock");
+        std::mem::take(&mut st.forced)
+    }
+}
 
 /// One warm worker: engine + optional shared cache.
 pub struct Dispatcher {
     params: GreedyK,
     engine: RsEngine,
     cache: Option<Arc<MemoCache>>,
+    faults: Option<Arc<FaultPlan>>,
+    watch: Option<WatchSlot>,
 }
 
 impl Default for Dispatcher {
@@ -46,7 +107,25 @@ impl Dispatcher {
             params: GreedyK::new(),
             engine: RsEngine::new(),
             cache: None,
+            faults: None,
+            watch: None,
         }
+    }
+
+    /// Injects faults per `plan` at this dispatcher's probe point (chaos
+    /// testing; see [`FaultPlan`]).
+    pub fn set_faults(&mut self, plan: Arc<FaultPlan>) {
+        self.faults = Some(plan);
+    }
+
+    /// Registers this dispatcher's in-flight window with a pool watchdog.
+    pub fn set_watch(&mut self, slot: WatchSlot) {
+        self.watch = Some(slot);
+    }
+
+    /// Discards the (possibly mid-mutation) engine for a fresh one.
+    pub fn replace_engine(&mut self) {
+        self.engine = RsEngine::with_params(self.params.clone());
     }
 
     /// A dispatcher answering from (and filling) a shared memoization
@@ -71,6 +150,16 @@ impl Dispatcher {
     /// Executes one request: validate, consult the cache, run the engine
     /// under panic containment, fill the cache.
     pub fn dispatch(&mut self, req: &RsRequest) -> RsResponse {
+        self.dispatch_at(req, Instant::now())
+    }
+
+    /// [`Self::dispatch`] with an explicit arrival time: a request's
+    /// `timeout_ms` deadline is anchored at `enqueued`, so queue wait
+    /// counts against the budget. On expiry the engine and solvers cancel
+    /// cooperatively and the response degrades to
+    /// [`RsResponse::timeout`] — `ok:false`, code `timeout`, best partial
+    /// result attached. Degraded results are never cached.
+    pub fn dispatch_at(&mut self, req: &RsRequest, enqueued: Instant) -> RsResponse {
         let start = Instant::now();
         let id = req.id.clone();
         if let Err(e) = req.validate() {
@@ -85,9 +174,55 @@ impl Dispatcher {
                 return RsResponse::success(id, result, self.cache_info(true), millis_since(start));
             }
         }
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute(&mut self.engine, req)));
+        let deadline = req
+            .timeout_ms
+            .map(|ms| enqueued + Duration::from_millis(ms));
+        let cancel = match deadline {
+            Some(dl) => Cancel::with_deadline(dl),
+            None => Cancel::new(),
+        };
+        self.engine.set_cancel(cancel.clone());
+        if let Some(w) = &self.watch {
+            w.begin(&cancel, deadline);
+        }
+        let fault = self.faults.as_ref().map_or(FaultAction::None, |p| p.next());
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            match fault {
+                FaultAction::None => {}
+                FaultAction::Panic => panic!("injected fault: panic"),
+                FaultAction::Error => {
+                    return Err(RsError::new(codes::ENGINE, "injected fault: engine error"));
+                }
+                FaultAction::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            }
+            execute(&mut self.engine, req, &cancel)
+        }));
+        if let Some(w) = &self.watch {
+            w.clear();
+        }
+        self.engine.clear_cancel();
         match outcome {
             Ok(Ok(result)) => {
+                // Timeout is decided by the token, not the wall clock: the
+                // flag latches only when some loop actually observed the
+                // expired deadline and cut work short, so an untouched
+                // result that merely finished late still answers `ok`.
+                if cancel.is_set() {
+                    let e = RsError::new(
+                        codes::TIMEOUT,
+                        format!(
+                            "deadline of {} ms expired; best partial result attached",
+                            req.timeout_ms.unwrap_or(0)
+                        ),
+                    );
+                    return RsResponse::timeout(
+                        id,
+                        e,
+                        result,
+                        self.cache_info(false),
+                        millis_since(start),
+                    );
+                }
                 if let (Some(cache), Some(key)) = (&self.cache, key) {
                     cache.insert(key, &result);
                 }
@@ -97,7 +232,7 @@ impl Dispatcher {
             Err(payload) => {
                 // The engine scratch may be mid-mutation: replace it, keep
                 // serving.
-                self.engine = RsEngine::with_params(self.params.clone());
+                self.replace_engine();
                 let e = RsError::new(
                     codes::PANIC,
                     format!("engine panicked: {}", panic_message(&payload)),
@@ -128,6 +263,19 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// valid JSON, or not a valid request object, yields an `ok:false` response
 /// with code `request` — the caller (daemon, corpus) keeps going.
 pub fn process_line(dispatcher: &mut Dispatcher, line: &str) -> (RsResponse, String) {
+    process_line_at(dispatcher, line, Instant::now())
+}
+
+/// [`process_line`] with an explicit enqueue time. A request whose entire
+/// `timeout_ms` budget was consumed waiting in the queue is *shed*: it
+/// answers `ok:false` with code `overloaded` without executing, so a
+/// backlogged server degrades by dropping stale work instead of burning
+/// workers on answers nobody is still waiting for.
+pub fn process_line_at(
+    dispatcher: &mut Dispatcher,
+    line: &str,
+    enqueued: Instant,
+) -> (RsResponse, String) {
     let response = match serde_json::from_str(line) {
         Err(e) => RsResponse::failure(
             None,
@@ -146,7 +294,24 @@ pub fn process_line(dispatcher: &mut Dispatcher, line: &str) -> (RsResponse, Str
                     0.0,
                 )
             }
-            Ok(req) => dispatcher.dispatch(&req),
+            Ok(req) => {
+                let waited = enqueued.elapsed();
+                match req.timeout_ms {
+                    Some(ms) if waited >= Duration::from_millis(ms) => RsResponse::failure(
+                        req.id.clone(),
+                        RsError::new(
+                            codes::OVERLOADED,
+                            format!(
+                                "shed before execution: queued {} ms against a {ms} ms deadline",
+                                waited.as_millis()
+                            ),
+                        ),
+                        dispatcher.cache_info(false),
+                        0.0,
+                    ),
+                    _ => dispatcher.dispatch_at(&req, enqueued),
+                }
+            }
         },
     };
     let json = serde_json::to_string(&response).expect("responses always serialize");
@@ -154,10 +319,12 @@ pub fn process_line(dispatcher: &mut Dispatcher, line: &str) -> (RsResponse, Str
 }
 
 /// Runs the validated request against the engine.
-fn execute(engine: &mut RsEngine, req: &RsRequest) -> Result<RsResult, RsError> {
+fn execute(engine: &mut RsEngine, req: &RsRequest, cancel: &Cancel) -> Result<RsResult, RsError> {
     let mut ddg = parse_ddg(&req.ddg).map_err(|e| RsError::new(codes::PARSE, e.to_string()))?;
     let types: Vec<RegType> = match req.reg_type.as_deref() {
-        Some(name) => vec![reg_type_from_name(name).expect("validated")],
+        Some(name) => vec![reg_type_from_name(name).ok_or_else(|| {
+            RsError::new(codes::REQUEST, format!("unknown register type `{name}`"))
+        })?],
         None => ddg.reg_types(),
     };
     let mut result = RsResult {
@@ -171,11 +338,13 @@ fn execute(engine: &mut RsEngine, req: &RsRequest) -> Result<RsResult, RsError> 
     match req.op {
         RsOp::Analyze => {
             for &t in &types {
-                result.types.push(analyze_type(engine, &ddg, t, req));
+                result
+                    .types
+                    .push(analyze_type(engine, &ddg, t, req, cancel));
             }
         }
         RsOp::Reduce => {
-            let budget = req.registers.expect("validated");
+            let budget = req.registers.ok_or_else(missing_budget)?;
             for &t in &types {
                 result
                     .types
@@ -186,12 +355,17 @@ fn execute(engine: &mut RsEngine, req: &RsRequest) -> Result<RsResult, RsError> 
             }
         }
         RsOp::Pipeline => {
-            let budget = req.registers.expect("validated");
+            let budget = req.registers.ok_or_else(missing_budget)?;
             let resources = match req.issue {
                 None | Some(4) => Resources::four_issue(),
                 Some(1) => Resources::single_issue(),
                 Some(8) => Resources::wide_issue(),
-                Some(_) => unreachable!("validated"),
+                Some(w) => {
+                    return Err(RsError::new(
+                        codes::REQUEST,
+                        format!("unsupported issue width {w} (want 1, 4, or 8)"),
+                    ))
+                }
             };
             for &t in &types {
                 result
@@ -221,7 +395,20 @@ fn execute(engine: &mut RsEngine, req: &RsRequest) -> Result<RsResult, RsError> 
     Ok(result)
 }
 
-fn analyze_type(engine: &mut RsEngine, ddg: &Ddg, t: RegType, req: &RsRequest) -> TypeResult {
+/// Validation guarantees a budget for reduce/pipeline, but requests built
+/// programmatically can reach [`execute`] unvalidated — answer typed
+/// (code `request`) instead of panicking the worker.
+fn missing_budget() -> RsError {
+    RsError::new(codes::REQUEST, "reduce requires a register budget")
+}
+
+fn analyze_type(
+    engine: &mut RsEngine,
+    ddg: &Ddg,
+    t: RegType,
+    req: &RsRequest,
+    cancel: &Cancel,
+) -> TypeResult {
     let threads = req.threads.max(1);
     let a = engine.analyze(ddg, t);
     let saturating = a
@@ -243,18 +430,32 @@ fn analyze_type(engine: &mut RsEngine, ddg: &Ddg, t: RegType, req: &RsRequest) -
         alloc: None,
     };
     if req.exact {
-        let e = ExactRs::with_threads(threads).saturation(ddg, t);
+        let mut solver = ExactRs::with_threads(threads);
+        solver.cancel = cancel.clone();
+        let e = solver.saturation(ddg, t);
         tr.exact = Some(SolveResult {
             saturation: e.saturation,
             proven_optimal: e.proven_optimal,
+            bound: if e.proven_optimal {
+                None
+            } else {
+                Some(e.upper_bound)
+            },
         });
     }
     if req.ilp {
-        match RsIlp::with_threads(threads).saturation(ddg, t) {
+        let mut solver = RsIlp::with_threads(threads);
+        solver.milp.cancel = cancel.clone();
+        match solver.saturation(ddg, t) {
             Ok(r) => {
                 tr.ilp = Some(SolveResult {
                     saturation: r.saturation,
                     proven_optimal: r.proven_optimal,
+                    bound: if r.proven_optimal {
+                        None
+                    } else {
+                        Some(r.upper_bound)
+                    },
                 });
                 if req.stats {
                     let st = &r.milp_stats;
@@ -272,6 +473,16 @@ fn analyze_type(engine: &mut RsEngine, ddg: &Ddg, t: RegType, req: &RsRequest) -
                         cols: st.cols,
                     });
                 }
+            }
+            // Budget/deadline exhaustion without any incumbent is a
+            // degradation, not an engine fault: type it `timeout` so
+            // clients (and the CLI) render "interrupted" instead of a
+            // fatal solver error. Genuine solver faults keep `engine`.
+            Err(MilpError::BudgetExhausted) => {
+                tr.ilp_error = Some(RsError::new(
+                    codes::TIMEOUT,
+                    "intLP interrupted before any incumbent was found",
+                ));
             }
             Err(e) => tr.ilp_error = Some(RsError::new(codes::ENGINE, e.to_string())),
         }
@@ -478,6 +689,122 @@ mod tests {
             serde_json::to_string(&cold.result).unwrap(),
             "hit result must be bit-identical to the cold result"
         );
+    }
+
+    #[test]
+    fn expired_deadline_degrades_to_timeout_with_partial_result() {
+        let mut d = Dispatcher::new();
+        // Reduce polls the token every serialization step, so an
+        // already-expired deadline trips on the first step. (An analyze
+        // that proves optimality before any poll still answers `ok` —
+        // timeout is decided by the token, not the wall clock.)
+        let mut req = RsRequest::new(RsOp::Reduce, CHAINS);
+        req.registers = Some(2);
+        req.timeout_ms = Some(0); // expired on arrival: every poll trips
+        let resp = d.dispatch(&req);
+        assert!(!resp.ok);
+        assert_eq!(resp.error.as_ref().unwrap().code, codes::TIMEOUT);
+        let result = resp.result.expect("timeout keeps the partial result");
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        assert!(float.saturation >= 1, "partial result reports the RS seen");
+        let red = float.reduce.as_ref().expect("partial reduce attached");
+        assert!(!red.fits, "interrupted reduction reports fits:false");
+    }
+
+    #[test]
+    fn fast_requests_with_generous_deadlines_still_answer_ok() {
+        let mut d = Dispatcher::new();
+        let mut req = RsRequest::new(RsOp::Analyze, CHAINS);
+        req.timeout_ms = Some(60_000);
+        let resp = d.dispatch(&req);
+        assert!(resp.ok, "{:?}", resp.error);
+    }
+
+    #[test]
+    fn degraded_results_are_not_cached() {
+        let cache = Arc::new(MemoCache::with_capacity(16));
+        let mut d = Dispatcher::with_cache(cache);
+        let mut timed = RsRequest::new(RsOp::Reduce, CHAINS);
+        timed.registers = Some(2);
+        timed.timeout_ms = Some(0);
+        let degraded = d.dispatch(&timed);
+        assert_eq!(degraded.error.unwrap().code, codes::TIMEOUT);
+        // Same cache key (timeout_ms is excluded): a cached degraded
+        // result would surface here as a hit.
+        let mut fresh_req = RsRequest::new(RsOp::Reduce, CHAINS);
+        fresh_req.registers = Some(2);
+        let fresh = d.dispatch(&fresh_req);
+        assert!(fresh.ok);
+        assert!(!fresh.cache.hit, "degraded result must not be cached");
+    }
+
+    #[test]
+    fn stale_queued_request_is_shed_without_executing() {
+        let mut d = Dispatcher::new();
+        let mut req = RsRequest::new(RsOp::Analyze, CHAINS);
+        req.timeout_ms = Some(10);
+        let line = serde_json::to_string(&req).unwrap();
+        let enqueued = Instant::now() - Duration::from_millis(50);
+        let (resp, _) = process_line_at(&mut d, &line, enqueued);
+        assert!(!resp.ok);
+        assert_eq!(resp.error.unwrap().code, codes::OVERLOADED);
+        assert!(resp.result.is_none(), "shed requests never execute");
+    }
+
+    #[test]
+    fn watchdog_slot_force_cancels_and_latches() {
+        let slot = WatchSlot::default();
+        let cancel = Cancel::new();
+        let deadline = Instant::now() - Duration::from_millis(5);
+        slot.begin(&cancel, Some(deadline));
+        assert!(
+            !slot.check(deadline, Duration::from_millis(100)),
+            "in grace"
+        );
+        assert!(slot.check(Instant::now(), Duration::ZERO));
+        assert!(cancel.is_set(), "watchdog forced the token");
+        assert!(!slot.check(Instant::now(), Duration::ZERO), "fires once");
+        assert!(slot.take_forced());
+        assert!(!slot.take_forced(), "latch is consumed");
+        // Requests without a deadline are not watchable.
+        slot.begin(&Cancel::new(), None);
+        assert!(!slot.check(Instant::now(), Duration::ZERO));
+    }
+
+    #[test]
+    fn injected_faults_answer_typed_and_service_continues() {
+        use crate::fault::FaultPlan;
+        let mut d = Dispatcher::new();
+        d.set_faults(Arc::new(FaultPlan::from_spec("panic=3,error=2").unwrap()));
+        let req = RsRequest::new(RsOp::Analyze, CHAINS);
+        let first = d.dispatch(&req); // tick 1: clean
+        let second = d.dispatch(&req); // tick 2: injected error
+        let third = d.dispatch(&req); // tick 3: injected panic, contained
+        let fourth = d.dispatch(&req); // tick 4: injected error
+        assert!(first.ok);
+        assert_eq!(second.error.unwrap().code, codes::ENGINE);
+        assert_eq!(third.error.unwrap().code, codes::PANIC);
+        assert_eq!(fourth.error.unwrap().code, codes::ENGINE);
+        assert!(d.dispatch(&req).ok, "engine replaced, service continues");
+    }
+
+    #[test]
+    fn unvalidated_requests_answer_typed_request_errors() {
+        // Reaching execute() without validate() must not panic the worker.
+        let cancel = Cancel::new();
+        let mut engine = RsEngine::new();
+        let mut req = RsRequest::new(RsOp::Reduce, CHAINS);
+        let err = execute(&mut engine, &req, &cancel).unwrap_err();
+        assert_eq!(err.code, codes::REQUEST);
+        req.reg_type = Some("flux".into());
+        let err = execute(&mut engine, &req, &cancel).unwrap_err();
+        assert_eq!(err.code, codes::REQUEST);
+        let mut req = RsRequest::new(RsOp::Pipeline, CHAINS);
+        req.registers = Some(4);
+        req.issue = Some(3);
+        let err = execute(&mut engine, &req, &cancel).unwrap_err();
+        assert_eq!(err.code, codes::REQUEST);
+        assert!(err.message.contains("issue width"), "{err}");
     }
 
     #[test]

@@ -9,7 +9,10 @@
 //! - [`cache::MemoCache`] — content-keyed result cache (DAG bytes + op +
 //!   params) with hit/miss counters surfaced in every response;
 //! - [`pool::ServePool`] — a bounded work queue with backpressure feeding
-//!   per-worker dispatchers;
+//!   per-worker dispatchers, plus queue-wait load shedding and a watchdog
+//!   that force-cancels work stuck past its deadline;
+//! - [`fault::FaultPlan`] — deterministic fault injection (forced panics,
+//!   delays, spurious errors) for chaos testing the above;
 //! - [`server`] — newline-delimited JSON transports (stdio, Unix socket)
 //!   with in-order response reassembly.
 //!
@@ -20,10 +23,12 @@
 
 pub mod cache;
 pub mod dispatch;
+pub mod fault;
 pub mod pool;
 pub mod server;
 
 pub use cache::MemoCache;
-pub use dispatch::{process_line, Dispatcher};
+pub use dispatch::{process_line, process_line_at, Dispatcher, WatchSlot};
+pub use fault::{FaultAction, FaultPlan};
 pub use pool::{Job, PoolHandle, ResponseSink, ServeConfig, ServePool, ServeStats};
 pub use server::{serve_io, InOrderSink, UnixServer};

@@ -5,12 +5,14 @@
 //! consumer throttles intake instead of growing memory without bound.
 
 use crate::cache::MemoCache;
-use crate::dispatch::{process_line, Dispatcher};
-use rs_core::request::RsResponse;
+use crate::dispatch::{process_line_at, Dispatcher, WatchSlot};
+use crate::fault::FaultPlan;
+use rs_core::request::{codes, RsResponse};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// A blocking bounded MPMC queue (mutex + condvars).
 pub struct Bounded<T> {
@@ -98,6 +100,22 @@ pub struct Job {
     pub line: String,
     /// Where the response goes.
     pub sink: Arc<dyn ResponseSink>,
+    /// When the job entered the queue — a request's `timeout_ms` budget
+    /// is anchored here, so queue wait counts against its deadline and
+    /// jobs whose whole budget drained while queued are shed.
+    pub enqueued: Instant,
+}
+
+impl Job {
+    /// A job stamped with the current time as its enqueue instant.
+    pub fn new(seq: u64, line: String, sink: Arc<dyn ResponseSink>) -> Self {
+        Job {
+            seq,
+            line,
+            sink,
+            enqueued: Instant::now(),
+        }
+    }
 }
 
 /// Service configuration.
@@ -109,6 +127,11 @@ pub struct ServeConfig {
     pub queue: usize,
     /// Memoization cache capacity, in results.
     pub cache_capacity: usize,
+    /// Watchdog grace beyond a request's deadline before its token is
+    /// force-cancelled and the worker's engine marked for replacement.
+    pub grace_ms: u64,
+    /// Fault injection plan (chaos testing); `None` in production.
+    pub faults: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +140,8 @@ impl Default for ServeConfig {
             workers: 0,
             queue: 64,
             cache_capacity: crate::cache::DEFAULT_CACHE_CAPACITY,
+            grace_ms: 1000,
+            faults: None,
         }
     }
 }
@@ -140,13 +165,19 @@ pub struct PoolCounters {
     requests: AtomicU64,
     ok: AtomicU64,
     failed: AtomicU64,
+    timeouts: AtomicU64,
+    shed: AtomicU64,
+    watchdog_cancels: AtomicU64,
+    engines_replaced: AtomicU64,
 }
 
-/// State shared between the pool owner and connection readers.
+/// State shared between the pool owner, connection readers, and watchdog.
 pub struct PoolShared {
     queue: Bounded<Job>,
     cache: Arc<MemoCache>,
     counters: PoolCounters,
+    slots: Vec<WatchSlot>,
+    stop_watchdog: AtomicBool,
 }
 
 /// A cloneable submission handle (used by per-connection reader threads).
@@ -168,8 +199,17 @@ pub struct ServeStats {
     pub requests: u64,
     /// `ok:true` responses.
     pub ok: u64,
-    /// `ok:false` responses.
+    /// `ok:false` responses (includes timeouts and shed requests).
     pub failed: u64,
+    /// Deadline-expired responses (code `timeout`, partial result).
+    pub timeouts: u64,
+    /// Requests shed before execution (code `overloaded`).
+    pub shed: u64,
+    /// Watchdog force-cancels of work stuck past deadline + grace.
+    pub watchdog_cancels: u64,
+    /// Engines replaced after a forced cancel (panic replacements are
+    /// counted under `failed`, not here).
+    pub engines_replaced: u64,
     /// Memoization cache hits.
     pub cache_hits: u64,
     /// Memoization cache misses.
@@ -181,26 +221,43 @@ pub struct ServeStats {
 pub struct ServePool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl ServePool {
-    /// Spawns the workers.
+    /// Spawns the workers and the watchdog.
     pub fn new(cfg: &ServeConfig) -> Self {
+        let n = cfg.effective_workers();
         let shared = Arc::new(PoolShared {
             queue: Bounded::new(cfg.queue),
             cache: Arc::new(MemoCache::with_capacity(cfg.cache_capacity)),
             counters: PoolCounters::default(),
+            slots: (0..n).map(|_| WatchSlot::default()).collect(),
+            stop_watchdog: AtomicBool::new(false),
         });
-        let workers = (0..cfg.effective_workers())
+        let workers = (0..n)
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let faults = cfg.faults.clone();
                 std::thread::Builder::new()
                     .name(format!("rsat-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i, faults))
                     .expect("spawn worker")
             })
             .collect();
-        ServePool { shared, workers }
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let grace = Duration::from_millis(cfg.grace_ms);
+            std::thread::Builder::new()
+                .name("rsat-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, grace))
+                .expect("spawn watchdog")
+        };
+        ServePool {
+            shared,
+            workers,
+            watchdog: Some(watchdog),
+        }
     }
 
     /// A submission handle for reader threads.
@@ -220,44 +277,94 @@ impl ServePool {
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> ServeStats {
-        let (cache_hits, cache_misses) = self.shared.cache.counters();
-        ServeStats {
-            requests: self.shared.counters.requests.load(Ordering::Relaxed),
-            ok: self.shared.counters.ok.load(Ordering::Relaxed),
-            failed: self.shared.counters.failed.load(Ordering::Relaxed),
-            cache_hits,
-            cache_misses,
-        }
+        snapshot(&self.shared)
     }
 
-    /// Closes the queue, drains in-flight work, joins the workers.
-    pub fn shutdown(self) -> ServeStats {
+    /// Closes the queue, drains in-flight work, joins the workers and the
+    /// watchdog.
+    pub fn shutdown(mut self) -> ServeStats {
         self.shared.queue.close();
         for w in self.workers {
             let _ = w.join();
         }
-        let (cache_hits, cache_misses) = self.shared.cache.counters();
-        ServeStats {
-            requests: self.shared.counters.requests.load(Ordering::Relaxed),
-            ok: self.shared.counters.ok.load(Ordering::Relaxed),
-            failed: self.shared.counters.failed.load(Ordering::Relaxed),
-            cache_hits,
-            cache_misses,
+        self.shared.stop_watchdog.store(true, Ordering::Relaxed);
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
         }
+        snapshot(&self.shared)
     }
 }
 
-fn worker_loop(shared: &PoolShared) {
+fn snapshot(shared: &PoolShared) -> ServeStats {
+    let (cache_hits, cache_misses) = shared.cache.counters();
+    ServeStats {
+        requests: shared.counters.requests.load(Ordering::Relaxed),
+        ok: shared.counters.ok.load(Ordering::Relaxed),
+        failed: shared.counters.failed.load(Ordering::Relaxed),
+        timeouts: shared.counters.timeouts.load(Ordering::Relaxed),
+        shed: shared.counters.shed.load(Ordering::Relaxed),
+        watchdog_cancels: shared.counters.watchdog_cancels.load(Ordering::Relaxed),
+        engines_replaced: shared.counters.engines_replaced.load(Ordering::Relaxed),
+        cache_hits,
+        cache_misses,
+    }
+}
+
+fn worker_loop(shared: &PoolShared, index: usize, faults: Option<Arc<FaultPlan>>) {
     let mut dispatcher = Dispatcher::with_cache(Arc::clone(&shared.cache));
+    let slot = shared.slots[index].clone();
+    dispatcher.set_watch(slot.clone());
+    if let Some(plan) = faults {
+        dispatcher.set_faults(plan);
+    }
     while let Some(job) = shared.queue.pop() {
-        let (response, json) = process_line(&mut dispatcher, &job.line);
+        let (response, json) = process_line_at(&mut dispatcher, &job.line, job.enqueued);
+        if slot.take_forced() {
+            // A watchdog had to force this request's cancel: the engine
+            // may have been interrupted somewhere its own polls never
+            // reach, so swap it out before the next request.
+            dispatcher.replace_engine();
+            shared
+                .counters
+                .engines_replaced
+                .fetch_add(1, Ordering::Relaxed);
+        }
         shared.counters.requests.fetch_add(1, Ordering::Relaxed);
         if response.ok {
             shared.counters.ok.fetch_add(1, Ordering::Relaxed);
         } else {
             shared.counters.failed.fetch_add(1, Ordering::Relaxed);
+            match response.error.as_ref().map(|e| e.code.as_str()) {
+                Some(codes::TIMEOUT) => {
+                    shared.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                }
+                Some(codes::OVERLOADED) => {
+                    shared.counters.shed.fetch_add(1, Ordering::Relaxed);
+                }
+                _ => {}
+            }
         }
         job.sink.emit(job.seq, &response, &json);
+    }
+}
+
+/// Sweeps every worker's [`WatchSlot`] until shutdown, force-cancelling
+/// in-flight work stuck past its deadline plus `grace`.
+fn watchdog_loop(shared: &PoolShared, grace: Duration) {
+    // Sweep often enough that a stuck request overshoots its grace by at
+    // most ~1/4 of it (bounded to keep an idle daemon cheap).
+    let sweep = (grace / 4).clamp(Duration::from_millis(5), Duration::from_millis(250));
+    while !shared.stop_watchdog.load(Ordering::Relaxed) {
+        let now = Instant::now();
+        for slot in &shared.slots {
+            if slot.check(now, grace) {
+                shared
+                    .counters
+                    .watchdog_cancels
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        std::thread::sleep(sweep);
     }
 }
 

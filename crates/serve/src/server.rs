@@ -82,11 +82,7 @@ where
         if line.trim().is_empty() {
             continue;
         }
-        let job = Job {
-            seq,
-            line,
-            sink: Arc::clone(&sink) as Arc<dyn ResponseSink>,
-        };
+        let job = Job::new(seq, line, Arc::clone(&sink) as Arc<dyn ResponseSink>);
         if !pool.submit(job) {
             break;
         }
@@ -206,11 +202,7 @@ fn serve_connection(stream: UnixStream, handle: &PoolHandle) {
         if line.trim().is_empty() {
             continue;
         }
-        let job = Job {
-            seq,
-            line,
-            sink: Arc::clone(&sink) as Arc<dyn ResponseSink>,
-        };
+        let job = Job::new(seq, line, Arc::clone(&sink) as Arc<dyn ResponseSink>);
         if !handle.submit(job) {
             break;
         }

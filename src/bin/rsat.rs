@@ -1,11 +1,13 @@
 //! `rsat` — register-saturation command-line tool.
 //!
 //! ```text
-//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N]
-//! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]
-//! rsat pipeline <file.ddg> --registers N [--issue 1|4|8]
+//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N] [--timeout-ms N]
+//! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg] [--timeout-ms N]
+//! rsat pipeline <file.ddg> --registers N [--issue 1|4|8] [--timeout-ms N]
 //! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]
-//! rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH]
+//!               [--timeout-ms N] [--retries N] [--faults SPEC]
+//! rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH] [--grace-ms N]
+//!               [--faults SPEC]
 //! rsat dot      <file.ddg>
 //! ```
 //!
@@ -44,7 +46,7 @@
 
 use rs_core::parse::parse_ddg;
 use rs_core::request::{codes, RsError, RsOp, RsRequest, RsResult};
-use rs_serve::{serve_io, Dispatcher, ServeConfig, UnixServer};
+use rs_serve::{serve_io, Dispatcher, FaultPlan, ServeConfig, UnixServer};
 use std::io::Read;
 use std::process::ExitCode;
 
@@ -57,17 +59,17 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage:");
             eprintln!(
-                "  rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N]"
+                "  rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N] [--timeout-ms N]"
             );
             eprintln!(
-                "  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg]"
+                "  rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg] [--timeout-ms N]"
             );
-            eprintln!("  rsat pipeline <file.ddg> --registers N [--issue 1|4|8]");
+            eprintln!("  rsat pipeline <file.ddg> --registers N [--issue 1|4|8] [--timeout-ms N]");
             eprintln!(
-                "  rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]"
+                "  rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir] [--timeout-ms N] [--retries N] [--faults SPEC]"
             );
             eprintln!(
-                "  rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH]"
+                "  rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH] [--grace-ms N] [--faults SPEC]"
             );
             eprintln!("  rsat dot      <file.ddg>");
             ExitCode::FAILURE
@@ -99,7 +101,14 @@ fn one_shot(cmd: &str, args: &[String]) -> Result<(), RsError> {
         .map_err(|e| RsError::new(codes::IO, format!("cannot read {file}: {e}")))?;
     let req = build_request(cmd, input, args)?;
     let resp = Dispatcher::new().dispatch(&req);
-    let result = match (resp.ok, resp.result) {
+    // A timeout response is a degradation, not a failure: it still
+    // carries the best partial result, which gets rendered normally
+    // (with interruption markers) plus a warning on stderr.
+    let timed_out = match (resp.ok, &resp.error) {
+        (false, Some(e)) if e.code == codes::TIMEOUT => resp.error.clone(),
+        _ => None,
+    };
+    let result = match (resp.ok || timed_out.is_some(), resp.result) {
         (true, Some(result)) => result,
         _ => {
             let mut e = resp
@@ -111,10 +120,14 @@ fn one_shot(cmd: &str, args: &[String]) -> Result<(), RsError> {
             return Err(e);
         }
     };
+    let interrupted = timed_out.is_some();
     match req.op {
         RsOp::Analyze => render_analyze(&req, &result),
-        RsOp::Reduce => render_reduce(&req, &result, flag_value(args, "--output"))?,
-        RsOp::Pipeline => render_pipeline(&req, &result)?,
+        RsOp::Reduce => render_reduce(&req, &result, flag_value(args, "--output"), interrupted)?,
+        RsOp::Pipeline => render_pipeline(&req, &result, interrupted)?,
+    }
+    if let Some(e) = timed_out {
+        eprintln!("rsat: warning[{}]: {}", e.code, e.message);
     }
     Ok(())
 }
@@ -153,7 +166,18 @@ fn build_request(cmd: &str, ddg: String, args: &[String]) -> Result<RsRequest, R
     req.stats = args.iter().any(|a| a == "--stats");
     req.spill = args.iter().any(|a| a == "--spill");
     req.emit_ddg = op == RsOp::Reduce && flag_value(args, "--output").is_some();
+    req.timeout_ms = parse_timeout_ms(args)?;
     Ok(req)
+}
+
+fn parse_timeout_ms(args: &[String]) -> Result<Option<u64>, RsError> {
+    match flag_value(args, "--timeout-ms") {
+        Some(v) => Ok(Some(
+            v.parse::<u64>()
+                .map_err(|_| RsError::usage("bad --timeout-ms value"))?,
+        )),
+        None => Ok(None),
+    }
 }
 
 fn render_analyze(req: &RsRequest, result: &RsResult) {
@@ -165,29 +189,17 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
         let t = &tr.reg_type;
         print!("type {t}: {} values, RS* = {}", tr.values, tr.saturation);
         if let Some(e) = &tr.exact {
-            print!(
-                ", exact RS = {}{}",
-                e.saturation,
-                if e.proven_optimal {
-                    ""
-                } else {
-                    " (budget-limited)"
-                }
-            );
+            print!(", exact RS = {}{}", e.saturation, solve_qualifier(e));
         }
         if let Some(i) = &tr.ilp {
-            print!(
-                ", intLP RS = {}{}",
-                i.saturation,
-                if i.proven_optimal {
-                    ""
-                } else {
-                    " (budget-limited)"
-                }
-            );
+            print!(", intLP RS = {}{}", i.saturation, solve_qualifier(i));
         }
         if let Some(e) = &tr.ilp_error {
-            print!(", intLP failed: {e}");
+            if e.code == codes::TIMEOUT {
+                print!(", intLP interrupted: {}", e.message);
+            } else {
+                print!(", intLP failed: {e}");
+            }
         }
         println!();
         if let (true, Some(st)) = (req.stats, &tr.ilp_stats) {
@@ -212,15 +224,38 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
     }
 }
 
+/// How an exact-flavour solver result is qualified: nothing when proven,
+/// otherwise "not proven optimal" with the solver's upper bound bracketing
+/// the true saturation.
+fn solve_qualifier(s: &rs_core::request::SolveResult) -> String {
+    if s.proven_optimal {
+        return String::new();
+    }
+    match s.bound {
+        Some(b) => format!(" (not proven optimal; true RS ≤ {b})"),
+        None => " (not proven optimal)".to_string(),
+    }
+}
+
 fn render_reduce(
     req: &RsRequest,
     result: &RsResult,
     output: Option<String>,
+    interrupted: bool,
 ) -> Result<(), RsError> {
     let registers = req.registers.expect("validated");
     for tr in &result.types {
         let t = &tr.reg_type;
         let r = tr.reduce.as_ref().expect("reduce op reports reduction");
+        if !r.fits && interrupted {
+            // The deadline cut the reduction short; the partial state
+            // (arcs added so far) is still worth reporting.
+            println!(
+                "type {t}: interrupted at RS {} -> {} (+{} arcs) before meeting budget {registers}",
+                tr.saturation, r.rs_after, r.arcs_added
+            );
+            continue;
+        }
         if !r.fits {
             // Batch clients see `fits: false`; the interactive CLI makes an
             // unmet budget fatal, as before.
@@ -257,10 +292,17 @@ fn render_reduce(
     Ok(())
 }
 
-fn render_pipeline(req: &RsRequest, result: &RsResult) -> Result<(), RsError> {
+fn render_pipeline(req: &RsRequest, result: &RsResult, interrupted: bool) -> Result<(), RsError> {
     let registers = req.registers.expect("validated");
     for tr in &result.types {
         let fits = tr.reduce.as_ref().is_some_and(|r| r.fits);
+        if !fits && interrupted {
+            println!(
+                "type {}: interrupted before meeting budget {registers}; no schedule",
+                tr.reg_type
+            );
+            return Ok(());
+        }
         if !fits {
             return Err(RsError::new(
                 codes::INFEASIBLE,
@@ -321,8 +363,25 @@ fn corpus(args: &[String]) -> Result<(), RsError> {
         Some(other) => return Err(RsError::usage(format!("unknown corpus mode `{other}`"))),
     };
     let out_dir = flag_value(args, "--out").unwrap_or_else(|| "results".to_string());
+    let timeout_ms = parse_timeout_ms(args)?;
+    let retries = match flag_value(args, "--retries") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| RsError::usage("bad --retries value"))?,
+        None => 0,
+    };
+    let faults = parse_faults(args)?;
 
-    let summary = run_corpus(std::path::Path::new(dir), &CorpusOptions { jobs, mode })?;
+    let summary = run_corpus(
+        std::path::Path::new(dir),
+        &CorpusOptions {
+            jobs,
+            mode,
+            timeout_ms,
+            retries,
+            faults,
+        },
+    )?;
     let text = render_text(&summary);
     print!("{text}");
     rs_bench::common::write_report(std::path::Path::new(&out_dir), "corpus", &text, &summary);
@@ -356,6 +415,15 @@ fn serve(args: &[String]) -> Result<(), RsError> {
             .parse::<usize>()
             .map_err(|_| RsError::usage("bad --cache-capacity value"))?;
     }
+    if let Some(v) = flag_value(args, "--grace-ms") {
+        cfg.grace_ms = v
+            .parse::<u64>()
+            .map_err(|_| RsError::usage("bad --grace-ms value"))?;
+    }
+    cfg.faults = parse_faults(args)?;
+    if cfg.faults.is_some() {
+        eprintln!("rsat serve: CHAOS MODE — fault injection active");
+    }
 
     let stats = match flag_value(args, "--socket") {
         Some(path) => {
@@ -381,10 +449,31 @@ fn serve(args: &[String]) -> Result<(), RsError> {
         }
     };
     eprintln!(
-        "rsat serve: {} requests, {} ok, {} failed, cache {} hits / {} misses",
-        stats.requests, stats.ok, stats.failed, stats.cache_hits, stats.cache_misses
+        "rsat serve: {} requests, {} ok, {} failed ({} timeout, {} shed), \
+         {} watchdog cancels, {} engines replaced, cache {} hits / {} misses",
+        stats.requests,
+        stats.ok,
+        stats.failed,
+        stats.timeouts,
+        stats.shed,
+        stats.watchdog_cancels,
+        stats.engines_replaced,
+        stats.cache_hits,
+        stats.cache_misses
     );
     Ok(())
+}
+
+/// Fault injection plan from `--faults SPEC` (first) or the `RSAT_FAULTS`
+/// environment variable. A malformed flag is a usage error; a malformed
+/// environment variable is ignored with a warning ([`FaultPlan::from_env`]).
+fn parse_faults(args: &[String]) -> Result<Option<std::sync::Arc<FaultPlan>>, RsError> {
+    match flag_value(args, "--faults") {
+        Some(spec) => FaultPlan::from_spec(&spec)
+            .map(|p| Some(std::sync::Arc::new(p)))
+            .map_err(|e| RsError::usage(format!("bad --faults value: {e}"))),
+        None => Ok(FaultPlan::from_env()),
+    }
 }
 
 fn dot(args: &[String]) -> Result<(), RsError> {

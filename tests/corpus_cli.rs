@@ -125,8 +125,24 @@ fn jobs_one_and_four_summaries_agree() {
         CorpusMode::Reduce { registers: 3 },
         CorpusMode::Pipeline { registers: 3 },
     ] {
-        let one = run_corpus(Path::new(&fixtures()), &CorpusOptions { jobs: 1, mode }).unwrap();
-        let four = run_corpus(Path::new(&fixtures()), &CorpusOptions { jobs: 4, mode }).unwrap();
+        let one = run_corpus(
+            Path::new(&fixtures()),
+            &CorpusOptions {
+                jobs: 1,
+                mode,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let four = run_corpus(
+            Path::new(&fixtures()),
+            &CorpusOptions {
+                jobs: 4,
+                mode,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(one.file_count, four.file_count);
         assert_eq!(one.failed, four.failed);
         for (a, b) in one.files.iter().zip(&four.files) {

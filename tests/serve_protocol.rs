@@ -94,6 +94,7 @@ proptest! {
                     exact: (seed % 4 == 0).then_some(SolveResult {
                         saturation: 3,
                         proven_optimal: true,
+                        bound: (seed % 8 == 4).then_some(5),
                     }),
                     ilp: None,
                     ilp_stats: None,
