@@ -15,8 +15,11 @@
 //! Modes follow the criterion convention: `cargo bench` (passes `--bench`)
 //! runs the full grid; `--test` (or no `--bench`) runs a small smoke grid.
 //! In every mode the harness asserts:
-//! - the optimal objective is identical across thread counts (node-pool
-//!   determinism) *and* equal to the reference formulation's objective;
+//! - the optimal objective, the node count, *and* the committed-trace
+//!   digest are identical across thread counts (partitioned-search
+//!   determinism — same tree, not just same answer; `nodes_invariant:
+//!   true` in the report), with the objective also equal to the reference
+//!   formulation's;
 //! - the bounded path's tableau row count equals the structural
 //!   constraint count — zero bound rows — while the reference tableau
 //!   carries one extra row per finite upper bound.
@@ -36,6 +39,11 @@ struct Cell {
     millis: f64,
     objective: i64,
     nodes: usize,
+    /// Order-sensitive FNV digest of the committed node trace (depth +
+    /// branch path per node). Identical across the thread grid — the
+    /// statically-partitioned search explores byte-for-byte the same tree
+    /// at every thread count (asserted below).
+    trace_digest: u64,
     lp_solves: usize,
     warm_solves: usize,
     warm_hits: usize,
@@ -99,6 +107,11 @@ struct Report {
     /// asserted) so successive reports carry their own before/after
     /// comparison.
     nodes_vs_previous_1t: Vec<(usize, usize, Option<usize>)>,
+    /// Every instance solved with an identical node count *and* trace
+    /// digest across the whole thread grid. Asserted per cell — a report
+    /// only ever exists with `true` here; the field makes the guarantee
+    /// visible in the artifact.
+    nodes_invariant: bool,
 }
 
 /// The Section-3 saturation intLP of a seeded random kernel of `ops`
@@ -193,6 +206,7 @@ fn main() {
             cols: ref_sol.stats.cols,
         });
 
+        let mut first_trace: Option<(usize, u64)> = None;
         for &threads in thread_grid {
             let cfg = MilpConfig::with_threads(threads);
             let start = Instant::now();
@@ -207,6 +221,22 @@ fn main() {
                 obj, ref_obj,
                 "size {size}: threads={threads} diverges from the reference objective"
             );
+            // Partitioned-search determinism: the tree itself — not just
+            // the optimum — is identical at every thread count, node
+            // count and committed-trace digest both.
+            match first_trace {
+                None => first_trace = Some((sol.stats.nodes, sol.stats.trace_digest)),
+                Some((n0, d0)) => {
+                    assert_eq!(
+                        sol.stats.nodes, n0,
+                        "size {size}: threads={threads} changed the node count"
+                    );
+                    assert_eq!(
+                        sol.stats.trace_digest, d0,
+                        "size {size}: threads={threads} changed the trace digest"
+                    );
+                }
+            }
             // The bounded-simplex invariant: no explicit bound rows — the
             // tableau has at most the structural constraint rows (presolve
             // may fold singleton rows away, never add any).
@@ -246,6 +276,7 @@ fn main() {
                 millis,
                 objective: obj,
                 nodes: sol.stats.nodes,
+                trace_digest: sol.stats.trace_digest,
                 lp_solves: sol.stats.lp_solves,
                 warm_solves: sol.stats.warm_solves,
                 warm_hits: sol.stats.warm_hits,
@@ -328,6 +359,8 @@ fn main() {
         speedup_4t_largest,
         speedup_vs_reference,
         nodes_vs_previous_1t,
+        // Reached only if every per-cell node-count/digest assertion held.
+        nodes_invariant: true,
     };
     rs_bench::common::write_report(&out_dir, "milp_scaling", &text, &report);
     println!(

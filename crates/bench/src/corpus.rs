@@ -12,8 +12,9 @@
 //! independent of `jobs` (asserted by `tests/corpus_cli.rs`).
 
 use rs_core::request::{codes, reg_type_from_name, RsError, RsOp, RsRequest};
-use rs_serve::{Dispatcher, FaultPlan};
-use serde::Serialize;
+use rs_serve::{CheckpointStore, Dispatcher, FaultPlan};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -65,9 +66,22 @@ pub struct CorpusOptions {
     /// Per-file deadline; a file whose analysis exceeds it is recorded as
     /// a `timeout` entry (with the run continuing).
     pub timeout_ms: Option<u64>,
-    /// Extra attempts for transiently-failed files (codes `panic` and
-    /// `overloaded`), with exponential backoff between attempts.
+    /// Extra attempts for failed files. Codes `panic` and `overloaded`
+    /// are transient (exponential backoff between attempts); `timeout` is
+    /// retried immediately because each attempt *resumes* the interrupted
+    /// branch-and-bound search from its checkpoint — attempts compose
+    /// into one larger budget instead of repeating the same prefix.
     pub retries: usize,
+    /// Also run the exact intLP saturation solver per file (analyze mode).
+    /// This is the resumable solver: with `retries` and a `timeout_ms`,
+    /// interrupted files pick their search back up on the next attempt.
+    pub ilp: bool,
+    /// Periodic run checkpoint file. Completed per-file entries are
+    /// rewritten here (atomically, tmp + rename) after every file, and a
+    /// rerun pointed at the same path skips files it already covers — a
+    /// corpus run killed mid-way resumes instead of restarting. Removed
+    /// on successful completion.
+    pub resume_path: Option<PathBuf>,
     /// Fault injection plan (chaos testing); `None` in production.
     pub faults: Option<Arc<FaultPlan>>,
 }
@@ -79,21 +93,25 @@ impl Default for CorpusOptions {
             mode: CorpusMode::Analyze,
             timeout_ms: None,
             retries: 0,
+            ilp: false,
+            resume_path: None,
             faults: None,
         }
     }
 }
 
-/// Whether a failed response is worth retrying: injected/contained panics
-/// and shed-on-overload answers are transient (the next attempt runs on a
-/// replaced engine or an idler queue); every other code is deterministic
-/// for the same input and would just fail again.
+/// Whether a failed response is worth retrying *with backoff*:
+/// injected/contained panics and shed-on-overload answers are transient
+/// (the next attempt runs on a replaced engine or an idler queue).
+/// Timeouts are retried too, but immediately and via checkpoint resume
+/// (see [`run_file`]); every other code is deterministic for the same
+/// input and would just fail again.
 fn is_transient(code: &str) -> bool {
     code == codes::PANIC || code == codes::OVERLOADED
 }
 
 /// Per-type analysis outcome of one file.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CorpusTypeSummary {
     /// Register type (index form, as in `rs_core::pipeline::TypeReport`).
     pub reg_type: u8,
@@ -102,12 +120,15 @@ pub struct CorpusTypeSummary {
     /// Greedy-k saturation estimate `RS*` (in reduce/pipeline modes: the
     /// estimate immediately before this type's reduction).
     pub saturation: usize,
+    /// Exact intLP saturation ([`CorpusOptions::ilp`]); `None` when the
+    /// solver was not run or was interrupted before finding an incumbent.
+    pub ilp_saturation: Option<usize>,
     /// Reduction outcome (reduce/pipeline modes only).
     pub reduce: Option<CorpusReduceSummary>,
 }
 
 /// Reduction outcome of one (file, type) pair.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CorpusReduceSummary {
     /// Register budget applied.
     pub budget: usize,
@@ -124,7 +145,7 @@ pub struct CorpusReduceSummary {
 }
 
 /// Outcome of one corpus file.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct CorpusFileSummary {
     /// File name relative to the corpus directory.
     pub file: String,
@@ -149,6 +170,10 @@ pub struct CorpusFileSummary {
     /// `jobs`-independence guarantee: the fault schedule depends on
     /// cross-worker arrival order).
     pub retries: usize,
+    /// How many of those retries *resumed* an interrupted search from a
+    /// parked checkpoint (as opposed to cold restarts). Also excluded
+    /// from the `jobs`-independence guarantee.
+    pub resumed: usize,
 }
 
 impl CorpusFileSummary {
@@ -195,6 +220,10 @@ pub struct CorpusSummary {
     pub analyzed: usize,
     /// Files skipped with an error entry.
     pub failed: usize,
+    /// Files restored from a [`CorpusOptions::resume_path`] checkpoint
+    /// of an earlier, interrupted run (their entries appear in `files`
+    /// like any other, but were not re-analysed).
+    pub restored: usize,
     /// Total wall-clock milliseconds of the parallel region.
     pub total_millis: f64,
     /// Per-file entries, sorted by file name.
@@ -230,8 +259,28 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, RsE
 
     let jobs = opts.jobs.clamp(1, paths.len());
     let next = AtomicUsize::new(0);
+    let mode_name = opts.mode.op().name().to_string();
     let mut slots: Vec<Option<CorpusFileSummary>> = (0..paths.len()).map(|_| None).collect();
+
+    // A rerun pointed at the same `--resume` file restores the entries an
+    // earlier (killed) run already completed; its workers only touch the
+    // empty slots, so the final summary covers every file exactly once.
+    let mut restored = 0;
+    if let Some(rp) = &opts.resume_path {
+        let mut prior = load_resume(rp, &mode_name);
+        for (i, path) in paths.iter().enumerate() {
+            let name = path.strip_prefix(dir).unwrap_or(path).display().to_string();
+            if let Some(entry) = prior.remove(&name) {
+                slots[i] = Some(entry);
+                restored += 1;
+            }
+        }
+    }
     let results = Mutex::new(&mut slots);
+    // One checkpoint store for the whole run: a file whose timed-out
+    // attempt parked a search checkpoint resumes it on the retry, no
+    // matter which worker runs it.
+    let ckpts = Arc::new(CheckpointStore::default());
 
     let start = Instant::now();
     std::thread::scope(|scope| {
@@ -241,14 +290,26 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, RsE
                 // the same execution path as `rsat serve` (cache-less —
                 // every corpus file is distinct work).
                 let mut dispatcher = Dispatcher::new();
+                dispatcher.set_checkpoint_store(Arc::clone(&ckpts));
                 if let Some(plan) = &opts.faults {
                     dispatcher.set_faults(Arc::clone(plan));
                 }
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(path) = paths.get(i) else { break };
-                    let summary = run_file(&mut dispatcher, dir, path, opts);
-                    results.lock().unwrap()[i] = Some(summary);
+                    if results.lock().unwrap()[i].is_some() {
+                        continue; // restored from the resume checkpoint
+                    }
+                    let summary = run_file(&mut dispatcher, dir, path, opts, &ckpts);
+                    let mut held = results.lock().unwrap();
+                    held[i] = Some(summary);
+                    if let Some(rp) = &opts.resume_path {
+                        // Rewrite the whole checkpoint after each file
+                        // (atomic: tmp + rename). Corpora are small; the
+                        // simplicity is worth the quadratic rewrites.
+                        let done: Vec<&CorpusFileSummary> = held.iter().flatten().collect();
+                        save_resume(rp, &mode_name, &done);
+                    }
                 }
             });
         }
@@ -259,17 +320,70 @@ pub fn run_corpus(dir: &Path, opts: &CorpusOptions) -> Result<CorpusSummary, RsE
         .into_iter()
         .map(|s| s.expect("worker filled every slot"))
         .collect();
+    if let Some(rp) = &opts.resume_path {
+        // The run covered everything: a later rerun should start fresh.
+        let _ = std::fs::remove_file(rp);
+    }
     let analyzed = files.iter().filter(|f| f.ok).count();
     Ok(CorpusSummary {
         dir: dir.display().to_string(),
         jobs,
-        mode: opts.mode.op().name().to_string(),
+        mode: mode_name,
         file_count: files.len(),
         analyzed,
         failed: files.len() - analyzed,
+        restored,
         total_millis,
         files,
     })
+}
+
+/// On-disk shape of a `--resume` run checkpoint.
+#[derive(Serialize, Deserialize)]
+struct ResumeFile {
+    version: u32,
+    mode: String,
+    files: Vec<CorpusFileSummary>,
+}
+
+const RESUME_VERSION: u32 = 1;
+
+/// Loads a run checkpoint, keyed by file name. Unreadable, malformed, or
+/// mismatched (different mode/version) checkpoints are ignored — the run
+/// simply starts cold, mirroring how the solvers treat a checkpoint from
+/// a different model.
+fn load_resume(path: &Path, mode: &str) -> HashMap<String, CorpusFileSummary> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return HashMap::new();
+    };
+    let parsed = serde_json::from_str(&text)
+        .ok()
+        .and_then(|v| ResumeFile::from_value(&v).ok());
+    match parsed {
+        Some(r) if r.version == RESUME_VERSION && r.mode == mode => {
+            r.files.into_iter().map(|f| (f.file.clone(), f)).collect()
+        }
+        _ => HashMap::new(),
+    }
+}
+
+/// Atomically rewrites the run checkpoint (tmp + rename), so a kill at
+/// any instant leaves either the old or the new checkpoint, never a torn
+/// one. Best-effort: IO errors are swallowed (checkpointing must never
+/// fail the run it protects).
+fn save_resume(path: &Path, mode: &str, files: &[&CorpusFileSummary]) {
+    let snapshot = ResumeFile {
+        version: RESUME_VERSION,
+        mode: mode.to_string(),
+        files: files.iter().map(|f| (*f).clone()).collect(),
+    };
+    let Ok(json) = serde_json::to_string(&snapshot) else {
+        return;
+    };
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 fn run_file(
@@ -277,11 +391,12 @@ fn run_file(
     dir: &Path,
     path: &Path,
     opts: &CorpusOptions,
+    ckpts: &CheckpointStore,
 ) -> CorpusFileSummary {
     let mode = opts.mode;
     let name = path.strip_prefix(dir).unwrap_or(path).display().to_string();
     let start = Instant::now();
-    let fail = |error: RsError, start: Instant, retries: usize| CorpusFileSummary {
+    let fail = |error: RsError, start: Instant, retries: usize, resumed: usize| CorpusFileSummary {
         file: name.clone(),
         ok: false,
         error: Some(error),
@@ -292,6 +407,7 @@ fn run_file(
         types: Vec::new(),
         millis: start.elapsed().as_secs_f64() * 1e3,
         retries,
+        resumed,
     };
 
     let input = match std::fs::read_to_string(path) {
@@ -301,6 +417,7 @@ fn run_file(
                 RsError::new(codes::IO, format!("cannot read: {e}")),
                 start,
                 0,
+                0,
             )
         }
     };
@@ -308,8 +425,10 @@ fn run_file(
     let mut req = RsRequest::new(mode.op(), input);
     req.registers = mode.registers();
     req.cache = false;
+    req.ilp = opts.ilp;
     req.timeout_ms = opts.timeout_ms;
     let mut retries = 0;
+    let mut resumed = 0;
     let resp = loop {
         let resp = dispatcher.dispatch(&req);
         if resp.ok || retries >= opts.retries {
@@ -323,14 +442,22 @@ fn run_file(
                 let backoff = Duration::from_millis(10 << (retries - 1).min(6));
                 std::thread::sleep(backoff.min(Duration::from_millis(500)));
             }
+            // A timed-out attempt is worth retrying *without* backoff:
+            // each attempt gets a fresh deadline, and when the interrupted
+            // search parked a checkpoint the next attempt resumes it
+            // node-for-node — attempts compose into one larger budget.
+            Some(e) if e.code == codes::TIMEOUT => retries += 1,
             _ => break resp,
+        }
+        if ckpts.contains(&req.cache_key()) {
+            resumed += 1; // this retry continues a parked search
         }
     };
     if !resp.ok {
         let error = resp
             .error
             .unwrap_or_else(|| RsError::new(codes::ENGINE, "missing error detail"));
-        return fail(error, start, retries);
+        return fail(error, start, retries, resumed);
     }
     let result = resp.result.expect("ok response carries a result");
 
@@ -343,6 +470,7 @@ fn run_file(
                 .expect("dispatcher emits known type names"),
             values: tr.values,
             saturation: tr.saturation,
+            ilp_saturation: tr.ilp.as_ref().map(|s| s.saturation),
             reduce: tr.reduce.as_ref().map(|r| CorpusReduceSummary {
                 budget: r.budget,
                 rs_after: r.rs_after,
@@ -365,6 +493,7 @@ fn run_file(
         types,
         millis: start.elapsed().as_secs_f64() * 1e3,
         retries,
+        resumed,
     }
 }
 
@@ -625,6 +754,81 @@ mod tests {
         let bad = summary.files.iter().find(|f| f.file == "bad.ddg").unwrap();
         assert_eq!(bad.error.as_ref().unwrap().code, codes::PARSE);
         assert_eq!(bad.retries, 0, "parse errors are deterministic");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timed_out_ilp_retries_resume_from_checkpoints() {
+        let dir = std::env::temp_dir().join("rsat_corpus_resume_retry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("chains.ddg"),
+            "op a load float\nop sa store none\nflow a sa 4 float\n\
+             op b load float\nop sb store none\nflow b sb 4 float\n",
+        )
+        .unwrap();
+        // A 0 ms deadline interrupts the intLP on every attempt, so each
+        // attempt parks a checkpoint and each retry finds one to resume.
+        let summary = run_corpus(
+            &dir,
+            &CorpusOptions {
+                ilp: true,
+                timeout_ms: Some(0),
+                retries: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let f = summary.files.first().unwrap();
+        assert!(!f.ok);
+        assert_eq!(f.error.as_ref().unwrap().code, codes::TIMEOUT);
+        assert_eq!(f.retries, 2);
+        assert_eq!(f.resumed, 2, "every retry continued the parked search");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn killed_run_resumes_from_checkpoint_file() {
+        let dir = std::env::temp_dir().join("rsat_corpus_resume_file");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("a.ddg"), "op a load float\n").unwrap();
+        std::fs::write(dir.join("b.ddg"), "op b load float\n").unwrap();
+        let resume = dir.join("resume.json");
+        let with_resume = || CorpusOptions {
+            resume_path: Some(resume.clone()),
+            ..Default::default()
+        };
+        let full = run_corpus(&dir, &with_resume()).unwrap();
+        assert_eq!(full.restored, 0);
+        assert!(!resume.exists(), "completed run removes its checkpoint");
+
+        // Simulate a run killed after a.ddg: a checkpoint holding only
+        // a's entry. The rerun restores it and analyses only b.ddg.
+        let partial = ResumeFile {
+            version: RESUME_VERSION,
+            mode: "analyze".into(),
+            files: vec![full.files[0].clone()],
+        };
+        std::fs::write(&resume, serde_json::to_string(&partial).unwrap()).unwrap();
+        let rerun = run_corpus(&dir, &with_resume()).unwrap();
+        assert_eq!(rerun.restored, 1);
+        assert_eq!(rerun.file_count, 2, "every file covered exactly once");
+        for (a, b) in full.files.iter().zip(&rerun.files) {
+            assert_eq!(a.deterministic_view(), b.deterministic_view());
+        }
+        assert!(!resume.exists(), "rerun completed and cleaned up");
+
+        // A checkpoint from a different mode is ignored, not trusted.
+        let foreign = ResumeFile {
+            version: RESUME_VERSION,
+            mode: "reduce".into(),
+            files: vec![full.files[0].clone()],
+        };
+        std::fs::write(&resume, serde_json::to_string(&foreign).unwrap()).unwrap();
+        let cold = run_corpus(&dir, &with_resume()).unwrap();
+        assert_eq!(cold.restored, 0, "mismatched mode starts cold");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

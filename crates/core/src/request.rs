@@ -333,7 +333,7 @@ impl CacheInfo {
 }
 
 /// Result of one exact-flavour solver run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolveResult {
     /// The saturation the solver found.
     pub saturation: usize,
@@ -343,6 +343,19 @@ pub struct SolveResult {
     /// interrupted (`saturation ≤ RS ≤ bound`); `None` when proven optimal
     /// (the bound would merely repeat `saturation`).
     pub bound: Option<usize>,
+    /// Opaque resume token, present when the solver was interrupted
+    /// (deadline, cancellation, or node budget) with open work left. The
+    /// serving dispatcher also retains the checkpoint behind this token in
+    /// a bounded store keyed by the request's cache key, so **retrying the
+    /// same request resumes the search** instead of restarting it; the
+    /// token itself lets clients persist the snapshot across server
+    /// restarts. Treat the contents as opaque: the format is a
+    /// solver-internal JSON document, versioned and fingerprinted against
+    /// the exact model and configuration that produced it.
+    pub resume: Option<String>,
+    /// True when this result continued a previous interrupted search from
+    /// a retained checkpoint instead of solving from scratch.
+    pub resumed: bool,
 }
 
 /// intLP branch-and-bound statistics (mirrors `rs_lp::milp::MilpStats`).
@@ -370,6 +383,11 @@ pub struct IlpStats {
     pub rows: usize,
     /// Relaxation tableau columns.
     pub cols: usize,
+    /// Order-sensitive digest of the committed branch-and-bound node
+    /// trace. Identical runs (any thread count; interrupted-and-resumed
+    /// or not) report identical digests — the observable the determinism
+    /// smoke checks diff.
+    pub trace_digest: u64,
 }
 
 /// Outcome of reducing one register type below its budget.
@@ -587,6 +605,37 @@ mod tests {
         .unwrap();
         let req = RsRequest::from_value(&v).expect("parses");
         assert_eq!(req.timeout_ms, Some(40));
+    }
+
+    #[test]
+    fn solve_result_resume_token_roundtrips() {
+        // The resume token is an embedded JSON document — every quote,
+        // backslash, and control character must survive the string-field
+        // escaping of the response wire format.
+        let sr = SolveResult {
+            saturation: 3,
+            proven_optimal: false,
+            bound: Some(5),
+            resume: Some(
+                "{\"version\":1,\"frontier\":[{\"path\":[0,1]}],\
+                 \"note\":\"quote \\\" backslash \\\\ newline \\n tab \\t\"}"
+                    .into(),
+            ),
+            resumed: true,
+        };
+        let json = serde_json::to_string(&sr).unwrap();
+        let back = SolveResult::from_value(&serde_json::from_str(&json).unwrap()).unwrap();
+        assert_eq!(back, sr);
+
+        // Absent token deserializes to None/false (wire compat with
+        // responses from servers predating resume support).
+        let v = serde_json::from_str(
+            r#"{"saturation":2,"proven_optimal":true,"bound":null,"resume":null,"resumed":false}"#,
+        )
+        .unwrap();
+        let back = SolveResult::from_value(&v).unwrap();
+        assert_eq!(back.resume, None);
+        assert!(!back.resumed);
     }
 
     #[test]

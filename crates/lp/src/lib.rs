@@ -48,7 +48,9 @@ pub mod simplex;
 
 pub use cancel::{min_deadline, Cancel};
 pub use expr::LinExpr;
-pub use milp::{solve, MilpConfig, MilpError, MilpStats};
+pub use milp::{
+    solve, solve_from, solve_resumable, MilpConfig, MilpError, MilpRun, MilpStats, SearchCheckpoint,
+};
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
 pub use presolve::{presolve, PresolveOutcome, PresolveStats};
 pub use simplex::{

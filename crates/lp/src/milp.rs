@@ -1,14 +1,27 @@
-//! Parallel branch-and-bound MILP solver on top of the bounded-variable
-//! simplex relaxation.
+//! Deterministic round-based branch-and-bound MILP solver on top of the
+//! bounded-variable simplex relaxation.
 //!
-//! The search is organized around a shared best-bound node pool
-//! ([`crate::pool`]) drained by `std::thread::scope` workers. Each worker
-//! owns a private copy of the model (bounds are the only thing a node
-//! changes — under the bounded-variable simplex a branching step never
-//! grows the tableau), pops the open node with the best inherited dual
-//! bound, solves its LP relaxation, and pushes the two children. Pruning
-//! uses a shared atomic incumbent bound, so a bound improvement found by
-//! one worker immediately tightens every other worker's search.
+//! The search is organized as **bulk-synchronous rounds** over a
+//! deterministic frontier ([`crate::pool::Frontier`]): each round pops a
+//! fixed-size batch of open nodes ([`BATCH`], independent of the thread
+//! count), processes every node of the batch against *frozen* round-start
+//! state — incumbent score, pseudocost store — and then commits the
+//! results sequentially in batch order. Worker threads only parallelize
+//! the processing step; they never touch shared mutable state. Node
+//! identity is the **branch path** from the root (see [`crate::pool`]), so
+//! pop order, node counts, branching decisions, incumbents, and the
+//! explored-node sequence are identical at any [`MilpConfig::threads`]
+//! value; [`MilpStats::trace_digest`] content-hashes the committed node
+//! sequence to pin that invariant.
+//!
+//! Because rounds commit atomically (an interrupted round is pushed back
+//! whole), the committed prefix of an interrupted search is always exactly
+//! the prefix of the uninterrupted search. That is what makes
+//! [`SearchCheckpoint`] sound: a snapshot of the frontier + incumbent +
+//! pseudocost store taken at a round boundary, from which
+//! [`solve_from`] resumes the search **node-for-node** — an interrupted-
+//! then-resumed run reports the same objective, node count, and trace
+//! digest as an uninterrupted one.
 //!
 //! ## Cold nodes, incremental dives
 //!
@@ -20,12 +33,11 @@
 //! cold node tableau is kept live as a [`crate::simplex::DiveTableau`],
 //! which serves two consumers:
 //!
-//! - the **diving primal heuristic**: each worker periodically dives from
-//!   its current subproblem, fixing near-integral variables in batches.
-//!   Every dive step is an in-place bound fold plus dual repair on the
-//!   live tableau — **no per-step basis reinstall** (the reinstall was the
-//!   dominant warm cost of the previous `solve_with_basis` chain;
-//!   [`MilpStats::dive_reinstalls`] pins the invariant at zero). The
+//! - the **diving primal heuristic**: nodes whose global index falls on
+//!   the dive period dive from their subproblem, fixing near-integral
+//!   variables in batches. Every dive step is an in-place bound fold plus
+//!   dual repair on the live tableau — **no per-step basis reinstall**
+//!   ([`MilpStats::dive_reinstalls`] pins the invariant at zero). The
 //!   incumbents those dives find are what turn the near-flat big-M dual
 //!   bounds into actual pruning.
 //! - **strong-branching-lite probes** for pseudocost initialization (see
@@ -34,25 +46,17 @@
 //!
 //! ## Pseudocost branching
 //!
-//! Branching is guided by **pseudocosts**: shared per-variable estimates
-//! of the objective degradation per unit of fractional distance, learned
-//! from every child relaxation the search solves. Variables without
-//! reliable estimates are initialized by strong-branching-lite probes on
-//! the node's dive tableau (bounded per node); once both directions have
-//! enough observations the accumulated estimates are trusted outright
-//! ([`MilpStats::pseudocost_branches`] counts those decisions). The score
-//! is the classic product rule `max(down·f⁻, ε) · max(up·f⁺, ε)`; an
-//! infeasible probe direction scores infinite (branching there prunes a
-//! whole side immediately). [`MilpConfig::pseudocost`] falls back to
-//! most-fractional branching when disabled.
-//!
-//! Determinism: pruning only ever discards nodes that provably cannot
-//! *strictly* beat the incumbent, so the optimal objective is identical for
-//! every thread count — dives only add incumbents, and pseudocost updates
-//! only steer which node is *explored* next; neither can change the
-//! reported optimum. (The witness values among equally-optimal solutions
-//! may still vary with thread count, because a different exploration order
-//! encounters a different subset of the optima.)
+//! Branching is guided by **pseudocosts**: per-variable estimates of the
+//! objective degradation per unit of fractional distance, learned from
+//! every child relaxation the search solves. During a round each worker
+//! reads a frozen snapshot of the store overlaid with its own node's
+//! observations; the observations are replayed into the shared store in
+//! batch order at commit time, so the estimates — and the branching they
+//! steer — are thread-count invariant. Variables without reliable
+//! estimates are initialized by strong-branching-lite probes on the node's
+//! dive tableau (bounded per node); the score is the classic product rule
+//! `max(down·f⁻, ε) · max(up·f⁺, ε)`. [`MilpConfig::pseudocost`] falls
+//! back to most-fractional branching when disabled.
 //!
 //! The dual bound is rounded to an integer before pruning when
 //! [`MilpConfig::integral_objective`] is set (every objective in the
@@ -60,20 +64,26 @@
 //! of the relaxation bound is a valid tightening).
 
 use crate::cancel::{min_deadline, Cancel};
-use crate::model::{Model, Sense};
-use crate::pool::{BranchStep, Incumbent, Node, NodePool, Pseudocosts};
+use crate::model::{Model, Sense, VarKind};
+use crate::pool::{BranchStep, Frontier, Incumbent, Node, PcStore};
 use crate::simplex::{DiveStep, DiveTableau, LpOutcome, LpStats, Solution};
-use crate::EPS;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use crate::{VarId, EPS};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-/// How many nodes a worker processes between wall-clock checks —
-/// `Instant::now` is a syscall-ish vsyscall and the node loop is hot, so
-/// the deadline is only sampled every `TIME_CHECK_MASK + 1` nodes.
-const TIME_CHECK_MASK: usize = 63;
+/// Nodes per search round. A round is the atomic unit of commitment (and
+/// of parallelism): its nodes are processed against frozen round-start
+/// state and committed in batch order. The constant is independent of
+/// [`MilpConfig::threads`] — that is what makes node counts and traces
+/// thread-count invariant. Budget and cancellation are checked at round
+/// boundaries, so stops can overshoot `node_limit` by up to `BATCH - 1`
+/// nodes.
+const BATCH: usize = 8;
 
-/// A worker re-runs the diving primal heuristic from its current
-/// subproblem once per this many processed nodes (power of two).
+/// A node dives from its subproblem when its global index falls on this
+/// period (power of two; relaxed 4x once an incumbent exists).
 const DIVE_PERIOD: usize = 64;
 
 /// Fixpoint rounds for the presolve pass wired in front of the search.
@@ -96,24 +106,34 @@ const SB_PIVOT_CAP: usize = 160;
 /// side from erasing the other side's signal.
 const PC_SCORE_EPS: f64 = 1e-4;
 
+/// Wire-format version of [`SearchCheckpoint`]; a checkpoint from a
+/// different version is silently ignored (the solve starts cold).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
 /// Knobs for the branch-and-bound driver.
 #[derive(Clone, Debug)]
 pub struct MilpConfig {
-    /// Maximum number of branch-and-bound nodes before giving up.
+    /// Maximum number of branch-and-bound nodes before giving up. Checked
+    /// at round boundaries, so an interrupted search may overshoot by up
+    /// to `BATCH - 1` nodes. The limit is **cumulative across a resume
+    /// chain**: a resumed solve counts the checkpoint's nodes against it,
+    /// so resuming an exhausted search needs a larger limit.
     pub node_limit: usize,
     /// Wall-clock budget; `None` disables the check. The deadline is
-    /// sampled once per 64 nodes per worker (a deliberate trade against
-    /// per-node clock reads), so the overshoot is ~64 node-processing
-    /// times — negligible normally, but noticeable on models whose single
-    /// LP solves are slow. Pair with `node_limit` for a hard stop.
+    /// sampled once per round (a deliberate trade against per-node clock
+    /// reads), so the overshoot is one round of node-processing time —
+    /// negligible normally, but noticeable on models whose single LP
+    /// solves are slow. Pair with `node_limit` for a hard stop.
     pub time_limit: Option<std::time::Duration>,
     /// Declare the dual bound integral and round it when pruning (valid
     /// whenever the objective takes integer values on integer solutions).
     pub integral_objective: bool,
     /// Integrality tolerance.
     pub int_tol: f64,
-    /// Worker threads draining the node pool (clamped to ≥ 1). The optimal
-    /// objective does not depend on this value.
+    /// Worker threads processing each round's batch (clamped to ≥ 1).
+    /// **Semantically inert**: node counts, traces, incumbents, and the
+    /// reported optimum are identical for every value — threads only
+    /// change wall-clock time.
     pub threads: usize,
     /// Pseudocost branching with strong-branching-lite reliability
     /// initialization (default). Disabled, the search falls back to
@@ -133,13 +153,14 @@ pub struct MilpConfig {
     /// starts, bound rows double the tableau. The optimal objective must
     /// not depend on this flag.
     pub reference_lp: bool,
-    /// Cooperative cancellation token. Its flag is sampled once per node
-    /// and inside the simplex pivot loops; its deadline (if any) merges
-    /// with `time_limit`. A tripped token stops the search exactly like an
-    /// exhausted budget: the best incumbent is returned with
-    /// [`MilpStats::proven_optimal`] `false` and a valid
-    /// [`MilpStats::dual_bound`], or [`MilpError::BudgetExhausted`] when
-    /// no incumbent exists yet. The default token never trips.
+    /// Cooperative cancellation token. Its flag is sampled before every
+    /// node and inside the simplex pivot loops; its deadline (if any)
+    /// merges with `time_limit`. A tripped token stops the search exactly
+    /// like an exhausted budget: the best incumbent is returned with
+    /// [`MilpStats::proven_optimal`] `false`, a valid
+    /// [`MilpStats::dual_bound`], and a [`SearchCheckpoint`] (via
+    /// [`solve_resumable`]) — or [`MilpError::BudgetExhausted`] when no
+    /// incumbent exists yet. The default token never trips.
     pub cancel: Cancel,
 }
 
@@ -200,7 +221,7 @@ impl std::error::Error for MilpError {}
 /// Solve statistics, attached to every solution.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct MilpStats {
-    /// Branch-and-bound nodes explored.
+    /// Branch-and-bound nodes explored (committed).
     pub nodes: usize,
     /// LP relaxations solved (cold node solves plus every incremental
     /// re-solve on a dive tableau: dive steps and strong-branching
@@ -245,10 +266,21 @@ pub struct MilpStats {
     /// Best-possible objective value in the model's sense: an upper bound
     /// for maximization, lower for minimization. When optimality was
     /// proven this equals the objective; after an interrupted search it is
-    /// the max of the incumbent score and every abandoned subproblem's
-    /// relaxation bound, mapped back to objective space. May be infinite
-    /// when the search was interrupted before the root relaxation solved.
+    /// the max of the incumbent score, every abandoned subproblem's
+    /// relaxation bound, and the best open frontier bound, mapped back to
+    /// objective space. May be infinite when the search was interrupted
+    /// before the root relaxation solved.
     pub dual_bound: f64,
+    /// FNV-1a content hash over the committed explored-node sequence
+    /// (each node's depth and branch path, in commit order). Identical for
+    /// every thread count, and — across an interrupt/checkpoint/resume
+    /// chain — identical to the uninterrupted run's digest. Two solves of
+    /// the same model with the same semantic configuration that report
+    /// different digests explored different trees.
+    pub trace_digest: u64,
+    /// True when this solve resumed from an accepted [`SearchCheckpoint`]
+    /// instead of starting cold.
+    pub resumed: bool,
 }
 
 /// An integer-feasible solution plus solve statistics.
@@ -271,7 +303,363 @@ impl From<MilpSolution> for Solution {
     }
 }
 
-/// Shared, read-only search context.
+/// Outcome of a resumable solve: the solver result plus, when the search
+/// was interrupted (budget, deadline, or cancellation), a checkpoint that
+/// resumes it exactly where it stopped.
+#[derive(Clone, Debug)]
+pub struct MilpRun {
+    /// The solver result, exactly as [`solve`] would report it.
+    pub result: Result<MilpSolution, MilpError>,
+    /// Present iff the search was interrupted. Feed it back through
+    /// [`solve_from`] (with a larger budget / fresh deadline) to continue
+    /// node-for-node.
+    pub checkpoint: Option<SearchCheckpoint>,
+}
+
+// ---------------------------------------------------------------------------
+// FNV-1a hashing: the trace digest and the model/config fingerprint.
+// ---------------------------------------------------------------------------
+
+/// Incremental 64-bit FNV-1a hasher. Used both for the explored-node trace
+/// digest (whose running state is persisted in checkpoints so a resumed
+/// run continues the same hash chain) and for the model/config
+/// fingerprint that guards checkpoint compatibility.
+#[derive(Clone, Copy, Debug)]
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Fnv(Self::OFFSET)
+    }
+
+    fn from_state(state: u64) -> Self {
+        Fnv(state)
+    }
+
+    fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        for &b in bs {
+            self.byte(b);
+        }
+    }
+
+    fn u64v(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn f64v(&mut self, v: f64) {
+        self.u64v(v.to_bits());
+    }
+
+    fn state(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fingerprint of the *original* (pre-presolve) model plus every
+/// configuration knob that affects search semantics. Budget knobs
+/// (`node_limit`, `time_limit`), `threads`, and the cancel token are
+/// deliberately excluded — a checkpoint exists precisely to be resumed
+/// with a different budget, and threads are semantically inert.
+fn fingerprint(model: &Model, cfg: &MilpConfig) -> u64 {
+    let mut h = Fnv::new();
+    h.byte(match model.sense {
+        Sense::Maximize => 1,
+        Sense::Minimize => 2,
+    });
+    h.u64v(model.vars.len() as u64);
+    for v in &model.vars {
+        h.byte(match v.kind {
+            VarKind::Continuous => 0,
+            VarKind::Integer => 1,
+            VarKind::Binary => 2,
+        });
+        h.f64v(v.lo);
+        h.f64v(v.hi);
+    }
+    h.u64v(model.constraints.len() as u64);
+    for c in &model.constraints {
+        h.u64v(c.expr.terms.len() as u64);
+        for &(v, coef) in &c.expr.terms {
+            h.u64v(v.0 as u64);
+            h.f64v(coef);
+        }
+        h.f64v(c.expr.constant);
+        h.byte(match c.cmp {
+            crate::Cmp::Le => 0,
+            crate::Cmp::Ge => 1,
+            crate::Cmp::Eq => 2,
+        });
+        h.f64v(c.rhs);
+    }
+    h.u64v(model.objective.terms.len() as u64);
+    for &(v, coef) in &model.objective.terms {
+        h.u64v(v.0 as u64);
+        h.f64v(coef);
+    }
+    h.f64v(model.objective.constant);
+    h.f64v(cfg.int_tol);
+    h.byte(cfg.integral_objective as u8);
+    h.byte(cfg.pseudocost as u8);
+    h.byte(cfg.presolve as u8);
+    h.byte(cfg.reference_lp as u8);
+    h.state()
+}
+
+// ---------------------------------------------------------------------------
+// SearchCheckpoint: the serializable snapshot.
+// ---------------------------------------------------------------------------
+
+/// A serializable snapshot of an interrupted branch-and-bound search: the
+/// open frontier, the incumbent, the pseudocost store, all statistics
+/// counters, and the running trace-digest state — everything needed for
+/// [`solve_from`] to continue **node-for-node** as if the search had
+/// never stopped.
+///
+/// Checkpoints are taken only at round boundaries (rounds commit
+/// atomically), which is what makes the resumed run bit-identical to the
+/// uninterrupted one. All floating-point payloads are stored as IEEE-754
+/// bit patterns (`u64`) because the JSON wire format cannot represent
+/// `±∞` and round-tripping through decimal could perturb bounds.
+///
+/// A checkpoint is bound to its model and semantic configuration by a
+/// [`fingerprint`]; [`solve_resumable`] silently ignores a checkpoint that
+/// does not match (the solve starts cold, flagged by
+/// [`MilpStats::resumed`] `false`) — robustness over strictness, since
+/// upper layers key checkpoints by request cache keys that could collide.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SearchCheckpoint {
+    version: u32,
+    fingerprint: u64,
+    nodes: usize,
+    digest: u64,
+    root_dive_done: bool,
+    numerical: bool,
+    /// Max abandoned (numerical-skip) score, as f64 bits.
+    abandoned: u64,
+    /// How many resumes preceded this checkpoint (0 = first interruption).
+    resumed_chain: u32,
+    frontier: Vec<CkptNode>,
+    incumbent: Option<CkptIncumbent>,
+    pc: CkptPc,
+    counters: CkptCounters,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CkptNode {
+    path: Vec<u8>,
+    depth: usize,
+    /// Inherited dual bound, as f64 bits.
+    score: u64,
+    /// Bound overrides `(var, lo bits, hi bits)`.
+    bounds: Vec<(u32, u64, u64)>,
+    branch: Option<CkptBranch>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CkptBranch {
+    var: u32,
+    frac: u64,
+    parent_score: u64,
+    up: bool,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CkptIncumbent {
+    /// Objective as f64 bits.
+    objective: u64,
+    /// Values as f64 bits.
+    values: Vec<u64>,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CkptPc {
+    up_sum: Vec<u64>,
+    up_cnt: Vec<usize>,
+    down_sum: Vec<u64>,
+    down_cnt: Vec<usize>,
+    glob_sum: u64,
+    glob_cnt: usize,
+}
+
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct CkptCounters {
+    lp_solves: usize,
+    warm_solves: usize,
+    warm_hits: usize,
+    dive_reinstalls: usize,
+    pseudocost_branches: usize,
+    strong_branch_probes: usize,
+    pivots: usize,
+    bound_flips: usize,
+}
+
+impl CkptNode {
+    fn from_node(n: Node) -> CkptNode {
+        CkptNode {
+            path: n.path,
+            depth: n.depth,
+            score: n.score.to_bits(),
+            bounds: n
+                .bounds
+                .into_iter()
+                .map(|(v, lo, hi)| (v.0, lo.to_bits(), hi.to_bits()))
+                .collect(),
+            branch: n.branch.map(|b| CkptBranch {
+                var: b.var.0,
+                frac: b.frac.to_bits(),
+                parent_score: b.parent_score.to_bits(),
+                up: b.up,
+            }),
+        }
+    }
+
+    fn to_node(&self) -> Node {
+        Node {
+            bounds: self
+                .bounds
+                .iter()
+                .map(|&(v, lo, hi)| (VarId(v), f64::from_bits(lo), f64::from_bits(hi)))
+                .collect(),
+            depth: self.depth,
+            score: f64::from_bits(self.score),
+            branch: self.branch.as_ref().map(|b| BranchStep {
+                var: VarId(b.var),
+                frac: f64::from_bits(b.frac),
+                parent_score: f64::from_bits(b.parent_score),
+                up: b.up,
+            }),
+            path: self.path.clone(),
+        }
+    }
+}
+
+impl SearchCheckpoint {
+    /// Serializes the checkpoint to its JSON wire format. The output is a
+    /// plain JSON object (no floats — every real is an integer bit
+    /// pattern), safe to embed as a string field in a larger document.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint has no unserializable values")
+    }
+
+    /// Parses a checkpoint from its JSON wire format.
+    pub fn from_json(s: &str) -> Result<SearchCheckpoint, String> {
+        let v = serde_json::from_str(s).map_err(|e| format!("checkpoint parse: {e}"))?;
+        SearchCheckpoint::from_value(&v).map_err(|e| format!("checkpoint shape: {e}"))
+    }
+
+    /// Whether this checkpoint belongs to the given model and semantic
+    /// configuration (and speaks the current wire version). A mismatched
+    /// checkpoint passed to [`solve_resumable`] is ignored, not an error.
+    pub fn matches(&self, model: &Model, cfg: &MilpConfig) -> bool {
+        self.version == CHECKPOINT_VERSION && self.fingerprint == fingerprint(model, cfg)
+    }
+
+    /// Committed nodes at the time of the snapshot.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// How many interrupt/resume cycles preceded this checkpoint
+    /// (0 = taken by a cold run's first interruption).
+    pub fn resumed_chain(&self) -> u32 {
+        self.resumed_chain
+    }
+
+    /// Structural sanity against the (presolved) variable count: a
+    /// fingerprint collision must not index out of bounds.
+    fn structurally_valid(&self, n: usize) -> bool {
+        self.pc.up_sum.len() == n
+            && self.pc.up_cnt.len() == n
+            && self.pc.down_sum.len() == n
+            && self.pc.down_cnt.len() == n
+            && self.incumbent.as_ref().is_none_or(|i| i.values.len() == n)
+            && self.frontier.iter().all(|nd| {
+                nd.bounds.iter().all(|&(v, _, _)| (v as usize) < n)
+                    && nd.branch.as_ref().is_none_or(|b| (b.var as usize) < n)
+            })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points.
+// ---------------------------------------------------------------------------
+
+/// Solves the mixed-integer program. Returns the optimal solution, or the
+/// best incumbent if the budget ran out (flagged in
+/// [`MilpStats::proven_optimal`]).
+///
+/// With [`MilpConfig::presolve`] (the default) the model first runs
+/// through [`crate::presolve`]: singleton rows fold into bounds, activity
+/// arguments tighten bounds and drop redundant rows, and a
+/// presolve-proven-infeasible model returns [`MilpError::Infeasible`]
+/// without any search. Presolve keeps the variable set (and the integer
+/// feasible set) intact, so the returned values are valid for the original
+/// model.
+pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError> {
+    solve_resumable(model, cfg, None).result
+}
+
+/// [`solve`], but interruptions (budget, deadline, cancellation) also
+/// yield a [`SearchCheckpoint`] in the returned [`MilpRun`], and an
+/// accepted `resume` checkpoint continues a previous search node-for-node
+/// instead of starting cold.
+///
+/// A `resume` checkpoint is **validated, not trusted**: it must speak the
+/// current wire version, fingerprint-match the model and semantic config,
+/// and be structurally sound — otherwise it is silently dropped and the
+/// solve starts cold ([`MilpStats::resumed`] reports which happened).
+pub fn solve_resumable(
+    model: &Model,
+    cfg: &MilpConfig,
+    resume: Option<&SearchCheckpoint>,
+) -> MilpRun {
+    let fp = fingerprint(model, cfg);
+    let reduced;
+    let pre = if cfg.presolve {
+        match crate::presolve::presolve(model, PRESOLVE_ROUNDS) {
+            crate::presolve::PresolveOutcome::Infeasible => {
+                return MilpRun {
+                    result: Err(MilpError::Infeasible),
+                    checkpoint: None,
+                }
+            }
+            crate::presolve::PresolveOutcome::Reduced { model: m, .. } => {
+                reduced = m;
+                &reduced
+            }
+        }
+    } else {
+        model
+    };
+    let resume = resume.filter(|ck| {
+        ck.version == CHECKPOINT_VERSION
+            && ck.fingerprint == fp
+            && ck.structurally_valid(pre.num_vars())
+    });
+    solve_presolved(pre, cfg, fp, resume)
+}
+
+/// Resumes a search from a checkpoint: shorthand for
+/// [`solve_resumable`]`(model, cfg, Some(checkpoint))`. The model and the
+/// semantic configuration must match the ones that produced the
+/// checkpoint (budget knobs and `threads` may differ); a mismatch falls
+/// back to a cold solve.
+pub fn solve_from(model: &Model, cfg: &MilpConfig, checkpoint: &SearchCheckpoint) -> MilpRun {
+    solve_resumable(model, cfg, Some(checkpoint))
+}
+
+// ---------------------------------------------------------------------------
+// Search context and state.
+// ---------------------------------------------------------------------------
+
+/// Shared, read-only search context (safe to hand to worker threads).
 struct Ctx<'a> {
     model: &'a Model,
     cfg: &'a MilpConfig,
@@ -282,28 +670,6 @@ struct Ctx<'a> {
     /// Per variable: is it integral (integer or binary)?
     integral: Vec<bool>,
     deadline: Option<Instant>,
-    pool: NodePool,
-    incumbent: Incumbent,
-    /// Shared per-variable up/down degradation estimates.
-    pc: Pseudocosts,
-    nodes: AtomicUsize,
-    lp_solves: AtomicUsize,
-    warm_solves: AtomicUsize,
-    warm_hits: AtomicUsize,
-    dive_reinstalls: AtomicUsize,
-    pseudocost_branches: AtomicUsize,
-    strong_branch_probes: AtomicUsize,
-    pivots: AtomicUsize,
-    bound_flips: AtomicUsize,
-    budget_hit: AtomicBool,
-    numerical: AtomicBool,
-    unbounded: AtomicBool,
-    /// Max score (dir·objective bound) over subproblems the search dropped
-    /// without exploring — budget stops, cancellation, numerical skips,
-    /// children rejected by a stopped pool. `max(incumbent score, this)`
-    /// is a valid score-space bound on the true optimum of an interrupted
-    /// search; stored as f64 bits, `-∞` while nothing was abandoned.
-    abandoned_bits: AtomicU64,
 }
 
 impl Ctx<'_> {
@@ -319,42 +685,6 @@ impl Ctx<'_> {
         }
     }
 
-    /// Does a candidate score strictly beat the current incumbent?
-    fn improves(&self, score: f64) -> bool {
-        score > self.incumbent.score() + EPS
-    }
-
-    /// Folds the score of an abandoned (unexplored) subproblem into the
-    /// running dual-bound accumulator via a CAS max loop.
-    fn abandon(&self, score: f64) {
-        if score == f64::NEG_INFINITY {
-            return;
-        }
-        let bits = &self.abandoned_bits;
-        let mut cur = bits.load(Ordering::Relaxed);
-        while f64::from_bits(cur) < score {
-            match bits.compare_exchange_weak(
-                cur,
-                score.to_bits(),
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            ) {
-                Ok(_) => break,
-                Err(c) => cur = c,
-            }
-        }
-    }
-
-    /// Stops the search as interrupted (budget/deadline/cancel), folding
-    /// the given node's score and every still-open node into the
-    /// abandoned-bound accumulator so the reported dual bound stays sound.
-    fn interrupt(&self, node_score: f64) {
-        self.budget_hit.store(true, Ordering::Relaxed);
-        self.abandon(node_score);
-        let best_open = self.pool.stop();
-        self.abandon(best_open);
-    }
-
     /// Feasibility tolerance for offering an incumbent. Deliberately
     /// *capped* below the integrality tolerance: `int_tol` governs which
     /// LP values count as integral, but a rounding that violates a
@@ -366,35 +696,335 @@ impl Ctx<'_> {
     }
 }
 
-/// Solves the mixed-integer program. Returns the optimal solution, or the
-/// best incumbent if the budget ran out (flagged in
-/// [`MilpStats::proven_optimal`]).
-///
-/// With [`MilpConfig::presolve`] (the default) the model first runs
-/// through [`crate::presolve`]: singleton rows fold into bounds, activity
-/// arguments tighten bounds and drop redundant rows, and a
-/// presolve-proven-infeasible model returns [`MilpError::Infeasible`]
-/// without any search. Presolve keeps the variable set (and the integer
-/// feasible set) intact, so the returned values are valid for the original
-/// model.
-pub fn solve(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError> {
-    let reduced;
-    let model = if cfg.presolve {
-        match crate::presolve::presolve(model, PRESOLVE_ROUNDS) {
-            crate::presolve::PresolveOutcome::Infeasible => return Err(MilpError::Infeasible),
-            crate::presolve::PresolveOutcome::Reduced { model: m, .. } => {
-                reduced = m;
-                &reduced
-            }
-        }
-    } else {
-        model
-    };
-    solve_presolved(model, cfg)
+/// Per-solve statistics counters (also the per-node local accumulator a
+/// worker charges into, merged at commit time).
+#[derive(Clone, Copy, Debug, Default)]
+struct LocalCounters {
+    lp_solves: usize,
+    warm_solves: usize,
+    warm_hits: usize,
+    dive_reinstalls: usize,
+    pseudocost_branches: usize,
+    strong_branch_probes: usize,
+    pivots: usize,
+    bound_flips: usize,
 }
 
-/// The branch-and-bound search on an (optionally presolved) model.
-fn solve_presolved(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, MilpError> {
+impl LocalCounters {
+    fn add(&mut self, o: &LocalCounters) {
+        self.lp_solves += o.lp_solves;
+        self.warm_solves += o.warm_solves;
+        self.warm_hits += o.warm_hits;
+        self.dive_reinstalls += o.dive_reinstalls;
+        self.pseudocost_branches += o.pseudocost_branches;
+        self.strong_branch_probes += o.strong_branch_probes;
+        self.pivots += o.pivots;
+        self.bound_flips += o.bound_flips;
+    }
+}
+
+/// What processing one node produced, to be committed by the driver (or
+/// discarded whole if any node of the round was interrupted).
+enum OutcomeKind {
+    /// Pruned, infeasible, or an integral leaf — no children (any
+    /// incumbent offer rides in [`NodeOutcome::offers`]).
+    Pruned,
+    /// Branched: `(near, far)` children to push.
+    Children(Box<(Node, Node)>),
+    /// Numerically abandoned subtree; the payload score counts against
+    /// the dual bound and surrenders the optimality proof.
+    Numerical(f64),
+    /// Unbounded relaxation at the root: the MILP is unbounded.
+    Unbounded,
+}
+
+struct NodeOutcome {
+    kind: OutcomeKind,
+    records: Vec<(VarId, bool, f64)>,
+    offers: Vec<(f64, f64, Vec<f64>)>,
+    counters: LocalCounters,
+    /// True when cancellation or a deadline altered (or could have
+    /// altered) this node's processing. The driver aborts the whole round:
+    /// an interrupted node's outcome is never committed, so the committed
+    /// prefix stays deterministic.
+    interrupted: bool,
+}
+
+/// A worker's view of one node: frozen round-start state plus local
+/// effect logs. Nothing here is shared — `pc` is a private clone of the
+/// round-start store that overlays the node's own observations (so
+/// probes within the node see them), and every effect is logged for the
+/// driver to replay in batch order at commit time.
+struct NodeRun<'c, 'a> {
+    ctx: &'c Ctx<'a>,
+    /// Frozen round-start incumbent score, raised by this node's own
+    /// offers (pruning gate).
+    inc_score: f64,
+    pc: PcStore,
+    records: Vec<(VarId, bool, f64)>,
+    offers: Vec<(f64, f64, Vec<f64>)>,
+    counters: LocalCounters,
+    interrupted: bool,
+}
+
+impl<'c, 'a> NodeRun<'c, 'a> {
+    fn new(ctx: &'c Ctx<'a>, inc_score: f64, pc: PcStore) -> Self {
+        NodeRun {
+            ctx,
+            inc_score,
+            pc,
+            records: Vec::new(),
+            offers: Vec::new(),
+            counters: LocalCounters::default(),
+            interrupted: false,
+        }
+    }
+
+    /// Does a candidate score strictly beat the best incumbent this node
+    /// can see (round-start incumbent + own offers)?
+    fn improves(&self, score: f64) -> bool {
+        score > self.inc_score + EPS
+    }
+
+    /// Logs an incumbent offer. The driver replays offers through the
+    /// deterministic [`Incumbent`] gate at commit time; locally the offer
+    /// only raises this node's pruning floor.
+    fn offer(&mut self, objective: f64, values: Vec<f64>) {
+        let score = self.ctx.dir * objective;
+        if score > self.inc_score {
+            self.inc_score = score;
+        }
+        self.offers.push((score, objective, values));
+    }
+
+    /// Logs one pseudocost observation, also applying it to the local
+    /// overlay store so later probes in this node see it.
+    fn record(&mut self, v: VarId, up: bool, per_unit: f64) {
+        self.pc.record(v, up, per_unit);
+        self.records.push((v, up, per_unit));
+    }
+
+    /// Charges one LP solve's [`LpStats`]. When the solve ran on behalf of
+    /// a dive chain (`dive`), its basis-reinstall count feeds
+    /// [`MilpStats::dive_reinstalls`] — the incremental dive tableau
+    /// performs none, so any nonzero there means a dive step regressed to
+    /// a reinstalling warm solve.
+    fn charge_lp(&mut self, st: &LpStats, dive: bool) {
+        self.counters.lp_solves += 1;
+        self.counters.pivots += st.pivots;
+        self.counters.bound_flips += st.bound_flips;
+        if dive {
+            self.counters.dive_reinstalls += st.reinstalls;
+        }
+    }
+
+    /// Charges the pivot/flip work a dive tableau performed since
+    /// `before` (its [`DiveTableau::work`] snapshot).
+    fn charge_dive_work(&mut self, dt: &DiveTableau, before: (usize, usize)) {
+        let (p, f) = dt.work();
+        self.counters.pivots += p - before.0;
+        self.counters.bound_flips += f - before.1;
+    }
+
+    /// Marks the node interrupted if the cancel flag is set — called at
+    /// every early-exit point whose timing depends on cancellation, so a
+    /// perturbed computation is never committed.
+    fn interrupt_if_cancelled(&mut self) {
+        if self.ctx.cfg.cancel.is_set() {
+            self.interrupted = true;
+        }
+    }
+
+    fn finish(self, kind: OutcomeKind) -> NodeOutcome {
+        NodeOutcome {
+            kind,
+            records: self.records,
+            offers: self.offers,
+            counters: self.counters,
+            interrupted: self.interrupted,
+        }
+    }
+}
+
+/// Driver-owned mutable search state: everything a checkpoint persists.
+struct SearchState {
+    frontier: Frontier,
+    incumbent: Incumbent,
+    pc: PcStore,
+    nodes: usize,
+    digest: Fnv,
+    counters: LocalCounters,
+    numerical: bool,
+    /// Max score over numerically abandoned subproblems, `-∞` when none.
+    abandoned: f64,
+    root_dive_done: bool,
+    resumed_chain: u32,
+    resumed: bool,
+}
+
+impl SearchState {
+    fn fresh(num_vars: usize) -> SearchState {
+        SearchState {
+            frontier: Frontier::seeded(),
+            incumbent: Incumbent::new(),
+            pc: PcStore::new(num_vars),
+            nodes: 0,
+            digest: Fnv::new(),
+            counters: LocalCounters::default(),
+            numerical: false,
+            abandoned: f64::NEG_INFINITY,
+            root_dive_done: false,
+            resumed_chain: 0,
+            resumed: false,
+        }
+    }
+
+    fn restore(ck: &SearchCheckpoint, dir: f64) -> SearchState {
+        let mut frontier = Frontier::new();
+        for nd in &ck.frontier {
+            frontier.push(nd.to_node());
+        }
+        let incumbent = match &ck.incumbent {
+            Some(i) => {
+                let objective = f64::from_bits(i.objective);
+                Incumbent::from_parts(
+                    objective,
+                    i.values.iter().map(|&b| f64::from_bits(b)).collect(),
+                    dir * objective,
+                )
+            }
+            None => Incumbent::new(),
+        };
+        SearchState {
+            frontier,
+            incumbent,
+            pc: PcStore::from_parts(
+                ck.pc.up_sum.iter().map(|&b| f64::from_bits(b)).collect(),
+                ck.pc.up_cnt.clone(),
+                ck.pc.down_sum.iter().map(|&b| f64::from_bits(b)).collect(),
+                ck.pc.down_cnt.clone(),
+                f64::from_bits(ck.pc.glob_sum),
+                ck.pc.glob_cnt,
+            ),
+            nodes: ck.nodes,
+            digest: Fnv::from_state(ck.digest),
+            counters: LocalCounters {
+                lp_solves: ck.counters.lp_solves,
+                warm_solves: ck.counters.warm_solves,
+                warm_hits: ck.counters.warm_hits,
+                dive_reinstalls: ck.counters.dive_reinstalls,
+                pseudocost_branches: ck.counters.pseudocost_branches,
+                strong_branch_probes: ck.counters.strong_branch_probes,
+                pivots: ck.counters.pivots,
+                bound_flips: ck.counters.bound_flips,
+            },
+            numerical: ck.numerical,
+            abandoned: f64::from_bits(ck.abandoned),
+            root_dive_done: ck.root_dive_done,
+            resumed_chain: ck.resumed_chain + 1,
+            resumed: true,
+        }
+    }
+
+    /// Replays a node's logged effects in order: counters, pseudocost
+    /// observations, incumbent offers.
+    fn absorb_effects(&mut self, out: NodeOutcome) -> OutcomeKind {
+        self.counters.add(&out.counters);
+        for (v, up, x) in out.records {
+            self.pc.record(v, up, x);
+        }
+        for (score, objective, values) in out.offers {
+            self.incumbent.offer(score, objective, values, EPS);
+        }
+        out.kind
+    }
+
+    /// Commits one processed node in batch order. Returns `true` when the
+    /// node proved the MILP unbounded.
+    fn commit_node(&mut self, node: &Node, out: NodeOutcome) -> bool {
+        self.nodes += 1;
+        self.digest.u64v(node.depth as u64);
+        self.digest.u64v(node.path.len() as u64);
+        self.digest.bytes(&node.path);
+        match self.absorb_effects(out) {
+            OutcomeKind::Pruned => false,
+            OutcomeKind::Children(b) => {
+                let (near, far) = *b;
+                self.frontier.push(near);
+                self.frontier.push(far);
+                false
+            }
+            OutcomeKind::Numerical(score) => {
+                self.numerical = true;
+                if score > self.abandoned {
+                    self.abandoned = score;
+                }
+                false
+            }
+            OutcomeKind::Unbounded => true,
+        }
+    }
+
+    /// Snapshots the interrupted search (drains the frontier).
+    fn make_checkpoint(&mut self, fingerprint: u64) -> SearchCheckpoint {
+        let (up_sum, up_cnt, down_sum, down_cnt, glob_sum, glob_cnt) = self.pc.parts();
+        let pc = CkptPc {
+            up_sum: up_sum.iter().map(|x| x.to_bits()).collect(),
+            up_cnt: up_cnt.to_vec(),
+            down_sum: down_sum.iter().map(|x| x.to_bits()).collect(),
+            down_cnt: down_cnt.to_vec(),
+            glob_sum: glob_sum.to_bits(),
+            glob_cnt,
+        };
+        SearchCheckpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint,
+            nodes: self.nodes,
+            digest: self.digest.state(),
+            root_dive_done: self.root_dive_done,
+            numerical: self.numerical,
+            abandoned: self.abandoned.to_bits(),
+            resumed_chain: self.resumed_chain,
+            frontier: self
+                .frontier
+                .drain_sorted()
+                .into_iter()
+                .map(CkptNode::from_node)
+                .collect(),
+            incumbent: self
+                .incumbent
+                .peek()
+                .map(|(objective, values)| CkptIncumbent {
+                    objective: objective.to_bits(),
+                    values: values.iter().map(|x| x.to_bits()).collect(),
+                }),
+            pc,
+            counters: CkptCounters {
+                lp_solves: self.counters.lp_solves,
+                warm_solves: self.counters.warm_solves,
+                warm_hits: self.counters.warm_hits,
+                dive_reinstalls: self.counters.dive_reinstalls,
+                pseudocost_branches: self.counters.pseudocost_branches,
+                strong_branch_probes: self.counters.strong_branch_probes,
+                pivots: self.counters.pivots,
+                bound_flips: self.counters.bound_flips,
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The round driver.
+// ---------------------------------------------------------------------------
+
+/// The round-based branch-and-bound search on an (optionally presolved)
+/// model.
+fn solve_presolved(
+    model: &Model,
+    cfg: &MilpConfig,
+    fp: u64,
+    resume: Option<&SearchCheckpoint>,
+) -> MilpRun {
     let start = Instant::now();
     let threads = cfg.threads.max(1);
     let n = model.num_vars();
@@ -405,165 +1035,524 @@ fn solve_presolved(model: &Model, cfg: &MilpConfig) -> Result<MilpSolution, Milp
             Sense::Maximize => 1.0,
             Sense::Minimize => -1.0,
         },
-        original_bounds: (0..n)
-            .map(|i| model.bounds(crate::VarId(i as u32)))
-            .collect(),
-        integral: (0..n)
-            .map(|i| model.is_integral(crate::VarId(i as u32)))
-            .collect(),
+        original_bounds: (0..n).map(|i| model.bounds(VarId(i as u32))).collect(),
+        integral: (0..n).map(|i| model.is_integral(VarId(i as u32))).collect(),
         deadline: min_deadline(cfg.time_limit.map(|tl| start + tl), cfg.cancel.deadline()),
-        pool: NodePool::new(Node {
-            bounds: Vec::new(),
-            depth: 0,
-            score: f64::INFINITY,
-            branch: None,
-        }),
-        incumbent: Incumbent::new(),
-        pc: Pseudocosts::new(n),
-        nodes: AtomicUsize::new(0),
-        lp_solves: AtomicUsize::new(0),
-        warm_solves: AtomicUsize::new(0),
-        warm_hits: AtomicUsize::new(0),
-        dive_reinstalls: AtomicUsize::new(0),
-        pseudocost_branches: AtomicUsize::new(0),
-        strong_branch_probes: AtomicUsize::new(0),
-        pivots: AtomicUsize::new(0),
-        bound_flips: AtomicUsize::new(0),
-        budget_hit: AtomicBool::new(false),
-        numerical: AtomicBool::new(false),
-        unbounded: AtomicBool::new(false),
-        abandoned_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+    };
+    let mut st = match resume {
+        Some(ck) => SearchState::restore(ck, ctx.dir),
+        None => SearchState::fresh(n),
     };
 
-    // Seed the shared incumbent with a deterministic root dive before the
-    // workers spawn: every thread count starts the tree search from the
-    // same incumbent floor, which keeps multi-threaded exploration from
-    // wandering incumbent-less when pop-order races delay the per-worker
-    // dives.
-    dive_probe(&ctx);
-
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| worker(&ctx));
+    // Deterministic root dive: seeds the incumbent before the tree search
+    // so every run starts from the same incumbent floor. Committed
+    // atomically — an interrupted dive is discarded whole (and re-run on
+    // resume, `root_dive_done` stays false), so its offers never make a
+    // committed prefix diverge from the uninterrupted run.
+    if !st.root_dive_done {
+        let mut run = NodeRun::new(&ctx, st.incumbent.score(), st.pc.clone());
+        dive_probe(&mut run);
+        if !run.interrupted {
+            let out = run.finish(OutcomeKind::Pruned);
+            st.absorb_effects(out);
+            st.root_dive_done = true;
         }
-    });
-
-    if ctx.unbounded.load(Ordering::Relaxed) {
-        return Err(MilpError::Unbounded);
     }
-    let budget_hit = ctx.budget_hit.load(Ordering::Relaxed);
-    let numerical = ctx.numerical.load(Ordering::Relaxed);
+
+    // Per-worker model copies, allocated once and reused across rounds
+    // (nodes only ever change variable bounds).
+    let slots = threads.clamp(1, BATCH);
+    let mut work_models: Vec<Model> = (0..slots).map(|_| model.clone()).collect();
+
+    let mut interrupted = false;
+    let mut unbounded = false;
+    'search: loop {
+        // Round-boundary checks: one full cancellation poll (flag,
+        // deadline, poll countdown) plus the merged wall-clock deadline
+        // and the node budget. Interruptions happen *only* here and
+        // between-round state is all-committed, which is what entitles
+        // the checkpoint to claim exact resumability.
+        if cfg.cancel.cancelled() || ctx.deadline.is_some_and(|dl| Instant::now() >= dl) {
+            interrupted = true;
+            break;
+        }
+        if st.nodes >= cfg.node_limit {
+            interrupted = true;
+            break;
+        }
+        if st.frontier.is_empty() {
+            break;
+        }
+        let take = BATCH.min(st.frontier.len());
+        let mut batch = Vec::with_capacity(take);
+        for _ in 0..take {
+            batch.push(st.frontier.pop().expect("sized by frontier length"));
+        }
+        // Dive scheduling is a function of the committed node index, not
+        // of any worker-local counter: deterministic at every thread
+        // count. The period relaxes 4x once an incumbent exists.
+        let no_incumbent = st.incumbent.score() == f64::NEG_INFINITY;
+        let period_mask = if no_incumbent {
+            DIVE_PERIOD - 1
+        } else {
+            4 * DIVE_PERIOD - 1
+        };
+        let dive_flags: Vec<bool> = (0..take)
+            .map(|bi| (st.nodes + bi) & period_mask == 1)
+            .collect();
+        let outcomes = process_batch(
+            &ctx,
+            st.incumbent.score(),
+            &st.pc,
+            &batch,
+            &dive_flags,
+            &mut work_models,
+            threads,
+        );
+        if outcomes.iter().any(|o| o.interrupted) {
+            // Abort the round whole: push the batch back so the frontier
+            // (and hence the checkpoint) covers exactly the uncommitted
+            // work, and nothing half-processed leaks into the state.
+            for node in batch {
+                st.frontier.push(node);
+            }
+            interrupted = true;
+            break;
+        }
+        for (node, out) in batch.iter().zip(outcomes) {
+            if st.commit_node(node, out) {
+                unbounded = true;
+                break 'search;
+            }
+        }
+    }
+
+    if unbounded {
+        return MilpRun {
+            result: Err(MilpError::Unbounded),
+            checkpoint: None,
+        };
+    }
+
     let (rows, cols) = if cfg.reference_lp {
         crate::reference::tableau_shape(model)
     } else {
         crate::simplex::tableau_shape(model)
     };
+    let inc_score = st.incumbent.score();
+    let score_bound = if interrupted {
+        // Open nodes are not abandoned — they are checkpointed — but
+        // their bounds still cap what the unexplored remainder could
+        // reach, so the reported dual bound folds the best open score.
+        inc_score.max(st.abandoned).max(st.frontier.best_score())
+    } else if st.numerical {
+        inc_score.max(st.abandoned)
+    } else {
+        inc_score
+    };
+    let checkpoint = if interrupted {
+        Some(st.make_checkpoint(fp))
+    } else {
+        None
+    };
     let stats = MilpStats {
-        nodes: ctx.nodes.load(Ordering::Relaxed),
-        lp_solves: ctx.lp_solves.load(Ordering::Relaxed),
-        warm_solves: ctx.warm_solves.load(Ordering::Relaxed),
-        warm_hits: ctx.warm_hits.load(Ordering::Relaxed),
-        dive_reinstalls: ctx.dive_reinstalls.load(Ordering::Relaxed),
-        pseudocost_branches: ctx.pseudocost_branches.load(Ordering::Relaxed),
-        strong_branch_probes: ctx.strong_branch_probes.load(Ordering::Relaxed),
-        pivots: ctx.pivots.load(Ordering::Relaxed),
-        bound_flips: ctx.bound_flips.load(Ordering::Relaxed),
+        nodes: st.nodes,
+        lp_solves: st.counters.lp_solves,
+        warm_solves: st.counters.warm_solves,
+        warm_hits: st.counters.warm_hits,
+        dive_reinstalls: st.counters.dive_reinstalls,
+        pseudocost_branches: st.counters.pseudocost_branches,
+        strong_branch_probes: st.counters.strong_branch_probes,
+        pivots: st.counters.pivots,
+        bound_flips: st.counters.bound_flips,
         rows,
         cols,
-        proven_optimal: !budget_hit && !numerical,
-        dual_bound: {
-            let inc_score = ctx.incumbent.score();
-            let score_bound = if budget_hit || numerical {
-                let abandoned = f64::from_bits(ctx.abandoned_bits.load(Ordering::Relaxed));
-                inc_score.max(abandoned)
-            } else {
-                inc_score
-            };
-            ctx.dir * score_bound
-        },
+        proven_optimal: !interrupted && !st.numerical,
+        dual_bound: ctx.dir * score_bound,
+        trace_digest: st.digest.state(),
+        resumed: st.resumed,
     };
-    match ctx.incumbent.into_best() {
+    let numerical = st.numerical;
+    let result = match st.incumbent.into_best() {
         Some((objective, values)) => Ok(MilpSolution {
             values,
             objective,
             stats,
         }),
-        None if budget_hit => Err(MilpError::BudgetExhausted),
+        None if interrupted => Err(MilpError::BudgetExhausted),
         None if numerical => Err(MilpError::Numerical),
         None => Err(MilpError::Infeasible),
+    };
+    MilpRun { result, checkpoint }
+}
+
+/// Processes one round's batch: sequentially when a single worker
+/// suffices, otherwise on scoped threads pulling batch indices from an
+/// atomic counter. Either way each node sees only the frozen round-start
+/// state, so the outcomes are identical — threading changes wall-clock
+/// time, nothing else.
+fn process_batch(
+    ctx: &Ctx<'_>,
+    inc_score: f64,
+    pc: &PcStore,
+    batch: &[Node],
+    dive_flags: &[bool],
+    work_models: &mut [Model],
+    threads: usize,
+) -> Vec<NodeOutcome> {
+    let n = batch.len();
+    let workers = threads.min(n).min(work_models.len());
+    if workers <= 1 {
+        let work = &mut work_models[0];
+        return batch
+            .iter()
+            .zip(dive_flags)
+            .map(|(node, &dive)| run_one(ctx, inc_score, pc, node, dive, work))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<NodeOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    {
+        let next = &next;
+        let results = &results;
+        std::thread::scope(|s| {
+            for work in work_models.iter_mut().take(workers) {
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = run_one(ctx, inc_score, pc, &batch[i], dive_flags[i], work);
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every batch slot is filled")
+        })
+        .collect()
+}
+
+/// Runs one node against frozen round-start state, producing its outcome.
+fn run_one(
+    ctx: &Ctx<'_>,
+    inc_score: f64,
+    pc: &PcStore,
+    node: &Node,
+    dive: bool,
+    work: &mut Model,
+) -> NodeOutcome {
+    let mut run = NodeRun::new(ctx, inc_score, pc.clone());
+    // A cancel that lands mid-round aborts the round before more work is
+    // sunk; the node is pushed back and re-processed on resume.
+    if ctx.cfg.cancel.is_set() {
+        run.interrupted = true;
+        return run.finish(OutcomeKind::Pruned);
+    }
+    let kind = process_node(&mut run, work, node, dive);
+    run.finish(kind)
+}
+
+fn process_node(
+    run: &mut NodeRun<'_, '_>,
+    work: &mut Model,
+    node: &Node,
+    dive: bool,
+) -> OutcomeKind {
+    let ctx = run.ctx;
+    // Prune by the inherited parent bound — the incumbent may have
+    // improved since this node was pushed.
+    if !run.improves(node.score) {
+        return OutcomeKind::Pruned;
+    }
+
+    // Apply node bounds over the originals, with the integral
+    // bound-tightening fast path: integer domains are rounded inward, which
+    // both shrinks the relaxation and detects infeasible branches without
+    // an LP solve.
+    for (i, &(lo, hi)) in ctx.original_bounds.iter().enumerate() {
+        work.set_bounds(VarId(i as u32), lo, hi);
+    }
+    for &(v, lo, hi) in &node.bounds {
+        let (clo, chi) = work.bounds(v);
+        let nlo = clo.max(lo);
+        let nhi = chi.min(hi);
+        if nlo > nhi {
+            return OutcomeKind::Pruned;
+        }
+        work.set_bounds(v, nlo, nhi);
+    }
+    for (i, &int) in ctx.integral.iter().enumerate() {
+        if !int {
+            continue;
+        }
+        let v = VarId(i as u32);
+        let (lo, hi) = work.bounds(v);
+        let tlo = if lo.is_finite() {
+            (lo - ctx.cfg.int_tol).ceil()
+        } else {
+            lo
+        };
+        let thi = if hi.is_finite() {
+            (hi + ctx.cfg.int_tol).floor()
+        } else {
+            hi
+        };
+        if tlo > thi {
+            return OutcomeKind::Pruned;
+        }
+        if tlo != lo || thi != hi {
+            work.set_bounds(v, tlo, thi);
+        }
+    }
+
+    // Node relaxations are deliberately solved *cold*: a fresh two-phase
+    // solve returns the same objective as a warm re-solve, but its vertex
+    // (among the many degenerate optima of the big-M RS relaxations) guides
+    // fractionality-based branching far better than the minimally-repaired
+    // parent vertex a warm start lands on — measured tree sizes differ by
+    // 100-1000x on the random-kernel corpus. On the bounded path the cold
+    // tableau stays live as a DiveTableau for the strong-branching probes
+    // and the scheduled dive below, whose chains of pure bound tightenings
+    // run in place with zero basis reinstalls.
+    let (outcome, mut dt) = solve_node_lp(run, work);
+    let sol = match outcome {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => return OutcomeKind::Pruned,
+        LpOutcome::Unbounded => {
+            // Unbounded relaxation at the root means unbounded MILP if a
+            // feasible integer point exists; report unbounded directly
+            // (our models never hit this outside tests).
+            if node.depth == 0 {
+                return OutcomeKind::Unbounded;
+            }
+            return OutcomeKind::Pruned;
+        }
+        LpOutcome::PivotTooSmall => {
+            // A cancelled simplex aborts with this same outcome — that is
+            // an interruption, not numerical trouble, and must not taint
+            // the result as `Numerical` (nor be committed at all).
+            if ctx.cfg.cancel.is_set() {
+                run.interrupted = true;
+                return OutcomeKind::Pruned;
+            }
+            // Soft numerical failure: skip the node, surrender the
+            // optimality proof instead of crashing or silently mispruning.
+            // The skipped subtree's bound still counts against the dual
+            // bound of the (now unproven) answer.
+            return OutcomeKind::Numerical(node.score);
+        }
+    };
+
+    // Feed the pseudocosts: this node's relaxation is exactly the child LP
+    // of the branching step that created it, so the degradation against
+    // the parent's raw bound is one per-unit observation. Recorded before
+    // any pruning — a pruned child is still a valid observation.
+    let raw_score = ctx.dir * sol.objective;
+    if let Some(b) = node.branch {
+        if b.frac > 1e-9 && b.parent_score.is_finite() {
+            run.record(
+                b.var,
+                b.up,
+                ((b.parent_score - raw_score) / b.frac).max(0.0),
+            );
+        }
+    }
+
+    // Bound pruning on the fresh relaxation. Children are queued under the
+    // *tightened* (integer-rounded) bound: rounding loses nothing for
+    // pruning, and it collapses the near-flat big-M bounds into integer
+    // buckets, inside which the frontier's depth tie-break dives straight
+    // to an incumbent instead of ping-ponging across the frontier.
+    let score = ctx.tighten_score(raw_score);
+    if !run.improves(score) {
+        return OutcomeKind::Pruned;
+    }
+
+    // Pick the branching variable: pseudocost product rule with
+    // strong-branching-lite initialization when enabled and a dive tableau
+    // is available, otherwise most-fractional.
+    let branch = match (ctx.cfg.pseudocost, dt.as_ref()) {
+        (true, Some(t)) => select_branch_pseudocost(run, work, t, &sol, raw_score),
+        _ => select_most_fractional(ctx, &sol),
+    };
+    if run.interrupted {
+        return OutcomeKind::Pruned;
+    }
+
+    match branch {
+        None => {
+            // Integral: candidate incumbent. The rounding is gated by a
+            // *real* feasibility check — `debug_assert!` alone would let an
+            // infeasible rounding become the reported optimum in release
+            // builds. A leaf that fails the check cannot be explored
+            // further (nothing fractional to branch on), so the optimality
+            // proof is surrendered instead of silently dropping the
+            // subtree.
+            let mut values = sol.values;
+            for (i, val) in values.iter_mut().enumerate() {
+                if ctx.integral[i] {
+                    *val = val.round();
+                }
+            }
+            if ctx.model.check_feasible(&values, ctx.feas_tol()).is_ok() {
+                let objective = ctx.model.objective.eval(&values);
+                run.offer(objective, values);
+                OutcomeKind::Pruned
+            } else {
+                OutcomeKind::Numerical(score)
+            }
+        }
+        Some((v, x)) => {
+            // Simple-rounding primal heuristic: the big-M relaxations of
+            // the register-saturation models are nearly flat, so a pure
+            // dive needs hundreds of levels before its leaf is integral —
+            // but naively rounding the fractional relaxation is very often
+            // already feasible. An early incumbent is what turns the
+            // bound into actual pruning.
+            let mut rounded = sol.values.clone();
+            for (i, val) in rounded.iter_mut().enumerate() {
+                if ctx.integral[i] {
+                    *val = val.round();
+                }
+            }
+            let objective = ctx.model.objective.eval(&rounded);
+            if run.improves(ctx.dir * objective)
+                && ctx.model.check_feasible(&rounded, ctx.feas_tol()).is_ok()
+            {
+                run.offer(objective, rounded);
+            }
+            let fl = x.floor();
+            let f_down = x - fl;
+            // The near side (the child containing the rounding of the
+            // fractional value) gets path bit 0, the far side bit 1; the
+            // frontier pops lexicographically smaller paths first on
+            // score/depth ties, so the near side is explored first,
+            // diving towards an incumbent fast — by node identity, not by
+            // push timing.
+            let near_is_down = f_down <= 0.5;
+            let child = |lo: f64, hi: f64, frac: f64, up: bool, bit: u8| {
+                let mut b = node.bounds.clone();
+                b.push((v, lo, hi));
+                let mut path = node.path.clone();
+                path.push(bit);
+                Node {
+                    bounds: b,
+                    depth: node.depth + 1,
+                    score,
+                    branch: Some(BranchStep {
+                        var: v,
+                        frac,
+                        parent_score: raw_score,
+                        up,
+                    }),
+                    path,
+                }
+            };
+            let down = child(
+                f64::NEG_INFINITY,
+                fl,
+                f_down,
+                false,
+                if near_is_down { 0 } else { 1 },
+            );
+            let up = child(
+                fl + 1.0,
+                f64::INFINITY,
+                1.0 - f_down,
+                true,
+                if near_is_down { 1 } else { 0 },
+            );
+            let (near, far) = if near_is_down { (down, up) } else { (up, down) };
+            // Scheduled diving restart: when the driver flagged this node
+            // (its global index fell on the dive period), re-run the
+            // diving heuristic from this subproblem, chaining in-place
+            // bound folds on the node's live tableau. On the near-flat
+            // big-M relaxations the dual bound barely moves, so pruning
+            // lives or dies by incumbent quality — a dive from a deep
+            // subproblem regularly finds the incumbent that collapses the
+            // remaining frontier. Extra incumbents can only tighten the
+            // bound, never change the reported optimum.
+            if dive {
+                match dt.take() {
+                    Some(t) => dive_from(run, work, t, sol),
+                    None => {
+                        // Reference path: no live tableau from the node
+                        // solve; build one cold for the dive.
+                        if let (LpOutcome::Optimal(s), Some(t)) = cold_dive_tableau(run, work, true)
+                        {
+                            dive_from(run, work, t, s);
+                        }
+                    }
+                }
+            }
+            OutcomeKind::Children(Box::new((near, far)))
+        }
     }
 }
 
-/// Charges one LP solve's [`LpStats`] to the shared counters. This is the
-/// single accounting funnel for every solve the search performs; when the
-/// solve ran on behalf of a dive chain (`dive`), its basis-reinstall count
-/// feeds [`MilpStats::dive_reinstalls`] — the incremental dive tableau
-/// performs none, so any nonzero there means a dive step regressed to a
-/// reinstalling warm solve.
-fn charge_lp_stats(ctx: &Ctx<'_>, st: &LpStats, dive: bool) {
-    ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
-    ctx.pivots.fetch_add(st.pivots, Ordering::Relaxed);
-    ctx.bound_flips.fetch_add(st.bound_flips, Ordering::Relaxed);
-    if dive {
-        ctx.dive_reinstalls
-            .fetch_add(st.reinstalls, Ordering::Relaxed);
-    }
-}
+// ---------------------------------------------------------------------------
+// LP plumbing.
+// ---------------------------------------------------------------------------
 
 /// One counted cold LP relaxation solve, routed through the configured
 /// path. On the bounded-variable path the optimal tableau is kept live as
-/// a [`DiveTableau`] for strong-branching probes and the periodic dive;
-/// the explicit-bound-row reference path ([`MilpConfig::reference_lp`])
+/// a [`DiveTableau`] for strong-branching probes and scheduled dives; the
+/// explicit-bound-row reference path ([`MilpConfig::reference_lp`])
 /// returns no tableau.
-fn solve_node_lp(ctx: &Ctx<'_>, work: &Model) -> (LpOutcome, Option<DiveTableau>) {
-    if ctx.cfg.reference_lp {
+fn solve_node_lp(run: &mut NodeRun<'_, '_>, work: &Model) -> (LpOutcome, Option<DiveTableau>) {
+    if run.ctx.cfg.reference_lp {
         let (outcome, lp_stats) = crate::reference::solve_relaxation_stats(work);
-        charge_lp_stats(ctx, &lp_stats, false);
+        run.charge_lp(&lp_stats, false);
         (outcome, None)
     } else {
-        cold_dive_tableau(ctx, work, false)
+        cold_dive_tableau(run, work, false)
     }
 }
 
 /// One counted cold solve that keeps the tableau live (the bounded node
 /// path, the root probe, and the reference path's dive entry).
-fn cold_dive_tableau(ctx: &Ctx<'_>, model: &Model, dive: bool) -> (LpOutcome, Option<DiveTableau>) {
-    let (outcome, dt, lp_stats) = DiveTableau::new_cancellable(model, Some(&ctx.cfg.cancel));
-    charge_lp_stats(ctx, &lp_stats, dive);
+fn cold_dive_tableau(
+    run: &mut NodeRun<'_, '_>,
+    model: &Model,
+    dive: bool,
+) -> (LpOutcome, Option<DiveTableau>) {
+    let (outcome, dt, lp_stats) = DiveTableau::new_cancellable(model, Some(&run.ctx.cfg.cancel));
+    run.charge_lp(&lp_stats, dive);
     (outcome, dt)
-}
-
-/// Charges the pivot/flip work a dive tableau performed since `before`
-/// (its [`DiveTableau::work`] snapshot) to the shared counters. In-place
-/// tableau work by construction involves no basis reinstall.
-fn charge_dive_work(ctx: &Ctx<'_>, dt: &DiveTableau, before: (usize, usize)) {
-    let (p, f) = dt.work();
-    ctx.pivots.fetch_add(p - before.0, Ordering::Relaxed);
-    ctx.bound_flips.fetch_add(f - before.1, Ordering::Relaxed);
 }
 
 /// One counted incremental re-solve on a live dive tableau: applies the
 /// bound tightenings in place (rank-1 rhs folds — **zero** basis
 /// reinstalls, see [`MilpStats::dive_reinstalls`]) and dual-repairs.
 fn dive_tighten(
-    ctx: &Ctx<'_>,
+    run: &mut NodeRun<'_, '_>,
     dt: &mut DiveTableau,
-    changes: &[(crate::VarId, f64, f64)],
+    changes: &[(VarId, f64, f64)],
     work: &Model,
 ) -> DiveStep {
-    ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
-    ctx.warm_solves.fetch_add(1, Ordering::Relaxed);
+    run.counters.lp_solves += 1;
+    run.counters.warm_solves += 1;
     let before = dt.work();
     let step = dt.tighten(changes, work);
-    charge_dive_work(ctx, dt, before);
+    run.charge_dive_work(dt, before);
     // Both Optimal and Infeasible are *converged* warm outcomes (the dual
-    // repair finished — an infeasibility proof is a success, exactly as on
-    // the old `solve_with_basis` path); only a stall discards the tableau.
+    // repair finished — an infeasibility proof is a success); only a stall
+    // discards the tableau.
     if !matches!(step, DiveStep::Stalled) {
-        ctx.warm_hits.fetch_add(1, Ordering::Relaxed);
+        run.counters.warm_hits += 1;
     }
     step
 }
+
+// ---------------------------------------------------------------------------
+// Diving heuristic.
+// ---------------------------------------------------------------------------
 
 /// How close to an integer a variable must sit for the diving heuristic to
 /// batch-fix it alongside the most fractional one ("vector diving"). The
@@ -588,25 +1577,27 @@ const DIVE_BATCH_TOL: f64 = 0.1;
 /// offered as an incumbent.
 ///
 /// The dive never prunes and never proves anything; it only feeds the
-/// incumbent bound, so it cannot change the reported optimal objective
-/// (pruning requires *strict* improvement) no matter when or on which
-/// worker it runs.
-fn dive_from(ctx: &Ctx<'_>, work: &Model, mut dt: DiveTableau, mut sol: Solution) {
+/// incumbent bound. A dive cut short by cancellation or the deadline marks
+/// the node interrupted — the driver then aborts the whole round, so a
+/// partially-run dive is never committed and determinism survives
+/// asynchronous cancellation.
+fn dive_from(run: &mut NodeRun<'_, '_>, work: &Model, mut dt: DiveTableau, mut sol: Solution) {
+    let ctx = run.ctx;
     let max_steps = 2 * ctx.integral.len() + 8;
-    let mut batch: Vec<(crate::VarId, f64, f64)> = Vec::new();
+    let mut batch: Vec<(VarId, f64, f64)> = Vec::new();
     // Pre-step snapshot buffer, allocated once per dive and refilled by
     // `clone_from` each step (a failed batch backs out by restoring it —
     // the dive tableau itself only supports tightenings).
     let mut snap = dt.clone();
     for step in 0..max_steps {
         if step & 7 == 0 {
-            // The dive is a pure heuristic — abandoning it mid-chain needs
-            // no bound accounting.
             if ctx.cfg.cancel.is_set() {
+                run.interrupted = true;
                 return;
             }
             if let Some(dl) = ctx.deadline {
                 if Instant::now() > dl {
+                    run.interrupted = true;
                     return;
                 }
             }
@@ -623,8 +1614,7 @@ fn dive_from(ctx: &Ctx<'_>, work: &Model, mut dt: DiveTableau, mut sol: Solution
             }
             if ctx.model.check_feasible(&values, ctx.feas_tol()).is_ok() {
                 let objective = ctx.model.objective.eval(&values);
-                ctx.incumbent
-                    .offer(ctx.dir * objective, objective, values, EPS);
+                run.offer(objective, values);
             }
             return;
         };
@@ -642,66 +1632,83 @@ fn dive_from(ctx: &Ctx<'_>, work: &Model, mut dt: DiveTableau, mut sol: Solution
             if frac <= ctx.cfg.int_tol || (frac > DIVE_BATCH_TOL && j != i) {
                 continue;
             }
-            let v = crate::VarId(j as u32);
+            let v = VarId(j as u32);
             let (lo, hi) = dt.bounds(v);
             let target = xj.round().clamp(lo, hi);
             batch.push((v, target, target));
         }
         snap.clone_from(&dt);
-        match dive_tighten(ctx, &mut dt, &batch, work) {
+        match dive_tighten(run, &mut dt, &batch, work) {
             DiveStep::Optimal(s) => {
                 sol = s;
                 continue;
             }
             DiveStep::Infeasible => {}
-            DiveStep::Stalled => return,
+            DiveStep::Stalled => {
+                run.interrupt_if_cancelled();
+                return;
+            }
         }
         // Batch failed: restore and fix only the most fractional variable
         // (when the batch was already that single variable, go straight to
         // the opposite rounding).
         let single_was_batch = batch.len() == 1;
         dt.clone_from(&snap);
-        let v = crate::VarId(i as u32);
+        let v = VarId(i as u32);
         let (lo, hi) = dt.bounds(v);
         let near = x.round().clamp(lo, hi);
         let far = if near > x { x.floor() } else { x.ceil() }.clamp(lo, hi);
         if !single_was_batch {
-            match dive_tighten(ctx, &mut dt, &[(v, near, near)], work) {
+            match dive_tighten(run, &mut dt, &[(v, near, near)], work) {
                 DiveStep::Optimal(s) => {
                     sol = s;
                     continue;
                 }
                 DiveStep::Infeasible => dt.clone_from(&snap),
-                DiveStep::Stalled => return,
+                DiveStep::Stalled => {
+                    run.interrupt_if_cancelled();
+                    return;
+                }
             }
         }
         if far == near {
             return;
         }
-        match dive_tighten(ctx, &mut dt, &[(v, far, far)], work) {
+        match dive_tighten(run, &mut dt, &[(v, far, far)], work) {
             DiveStep::Optimal(s) => sol = s,
-            DiveStep::Infeasible | DiveStep::Stalled => return,
+            DiveStep::Infeasible => return,
+            DiveStep::Stalled => {
+                run.interrupt_if_cancelled();
+                return;
+            }
         }
     }
 }
 
-/// Deterministic root diving probe: seeds the shared incumbent before the
-/// workers start, so the multi-threaded search begins from the same
-/// incumbent floor regardless of pop-order races. Always runs on the
-/// bounded-variable dive tableau (the reference path has no incremental
-/// machinery; dives only feed incumbents, which are feasibility-checked,
-/// so this cannot change a reference run's reported optimum).
-fn dive_probe(ctx: &Ctx<'_>) {
-    if let (LpOutcome::Optimal(sol), Some(dt)) = cold_dive_tableau(ctx, ctx.model, true) {
-        dive_from(ctx, ctx.model, dt, sol);
+/// Deterministic root diving probe: seeds the incumbent before the tree
+/// search, so every run (and every thread count) begins from the same
+/// incumbent floor. Always runs on the bounded-variable dive tableau (the
+/// reference path has no incremental machinery; dives only feed
+/// incumbents, which are feasibility-checked, so this cannot change a
+/// reference run's reported optimum).
+fn dive_probe(run: &mut NodeRun<'_, '_>) {
+    let model = run.ctx.model;
+    match cold_dive_tableau(run, model, true) {
+        (LpOutcome::Optimal(sol), Some(dt)) => dive_from(run, model, dt, sol),
+        (LpOutcome::PivotTooSmall, _) => run.interrupt_if_cancelled(),
+        _ => {}
     }
 }
+
+// ---------------------------------------------------------------------------
+// Branching rules.
+// ---------------------------------------------------------------------------
 
 /// Most-fractional branching rule (fraction closest to one half), the
 /// fallback when pseudocost branching is disabled or no dive tableau is
 /// available (reference path).
-fn select_most_fractional(ctx: &Ctx<'_>, sol: &Solution) -> Option<(crate::VarId, f64)> {
-    let mut branch: Option<(crate::VarId, f64)> = None;
+fn select_most_fractional(ctx: &Ctx<'_>, sol: &Solution) -> Option<(VarId, f64)> {
+    let mut branch: Option<(VarId, f64)> = None;
     let mut best_dist_half = f64::INFINITY;
     for (i, &int) in ctx.integral.iter().enumerate() {
         if !int {
@@ -714,10 +1721,76 @@ fn select_most_fractional(ctx: &Ctx<'_>, sol: &Solution) -> Option<(crate::VarId
         let dist_half = (x - x.floor() - 0.5).abs();
         if dist_half < best_dist_half {
             best_dist_half = dist_half;
-            branch = Some((crate::VarId(i as u32), x));
+            branch = Some((VarId(i as u32), x));
         }
     }
     branch
+}
+
+/// Probes one branching direction of `v` on a clone of the node's dive
+/// tableau, recording the observed degradation into the node's local
+/// pseudocost overlay. Returns the local estimate for the product score
+/// (`NaN` = no usable estimate, `∞` = infeasible child).
+#[allow(clippy::too_many_arguments)]
+fn probe_dir(
+    run: &mut NodeRun<'_, '_>,
+    scratch: &mut Option<DiveTableau>,
+    dt: &DiveTableau,
+    work: &Model,
+    v: VarId,
+    child_lo: f64,
+    child_hi: f64,
+    frac: f64,
+    up: bool,
+    raw_score: f64,
+) -> f64 {
+    run.counters.lp_solves += 1;
+    let p = match scratch {
+        Some(p) => {
+            p.clone_from(dt);
+            p
+        }
+        // First probe of the node: a fresh clone doubles as the refill.
+        empty => empty.insert(dt.clone()),
+    };
+    let before = p.work();
+    let step = p.tighten_capped(&[(v, child_lo, child_hi)], work, SB_PIVOT_CAP);
+    let (pv, fl) = p.work();
+    run.counters.pivots += pv - before.0;
+    run.counters.bound_flips += fl - before.1;
+    match step {
+        DiveStep::Optimal(s) => {
+            let deg = (raw_score - run.ctx.dir * s.objective).max(0.0);
+            run.record(v, up, deg / frac.max(run.ctx.cfg.int_tol));
+            deg
+        }
+        // An infeasible child is the strongest possible branching signal
+        // *at this node*, scored infinite locally. The store gets a
+        // large-but-finite observation (8x the global average):
+        // infeasibility depends on the node's bounds, so an infinite
+        // average would poison the estimates — but recording nothing
+        // would leave the direction unreliable forever, re-probing the
+        // variable at every node where it is fractional. The biased-high
+        // record keeps the "branching here tends to close a side" signal
+        // while bounding total probes.
+        DiveStep::Infeasible => {
+            let avg = run.pc.global_avg();
+            run.record(v, up, 8.0 * avg);
+            f64::INFINITY
+        }
+        DiveStep::Stalled => {
+            // A stall caused by cancellation would be nondeterministic —
+            // mark the node interrupted so the round is aborted instead
+            // of committed. A cap-induced stall is deterministic: a
+            // neutral observation (the store average) is recorded so the
+            // variable still converges to reliable — otherwise every
+            // subsequent node would re-probe it and pay the cap again.
+            run.interrupt_if_cancelled();
+            let avg = run.pc.global_avg();
+            run.record(v, up, avg);
+            f64::NAN
+        }
+    }
 }
 
 /// Pseudocost branching with strong-branching-lite reliability
@@ -731,26 +1804,29 @@ fn select_most_fractional(ctx: &Ctx<'_>, sol: &Solution) -> Option<(crate::VarId
 /// initialized by probing both children on a **clone of the node's dive
 /// tableau** — a bound tightening plus dual repair, no reinstall — with at
 /// most [`SB_PER_NODE`] probes per node, most fractional first; probe
-/// degradations are recorded into the shared store, so each variable is
-/// probed only a bounded number of times across the whole search. An
-/// infeasible probe direction scores infinite (branching there closes a
-/// whole side). Directions with no local probe and no reliable estimate
-/// fall back to the store average, then to the global average.
+/// degradations are recorded into the node's pseudocost log (replayed into
+/// the shared store at commit), so each variable is probed only a bounded
+/// number of times across the whole search. An infeasible probe direction
+/// scores infinite (branching there closes a whole side). Directions with
+/// no local probe and no reliable estimate fall back to the store average,
+/// then to the global average. Reads only frozen round-start state plus
+/// this node's own observations — deterministic at every thread count.
 fn select_branch_pseudocost(
-    ctx: &Ctx<'_>,
+    run: &mut NodeRun<'_, '_>,
     work: &Model,
     dt: &DiveTableau,
     sol: &Solution,
     raw_score: f64,
-) -> Option<(crate::VarId, f64)> {
+) -> Option<(VarId, f64)> {
     // Fractional candidates: (var index, value, down fraction, up fraction).
+    let int_tol = run.ctx.cfg.int_tol;
     let mut cands: Vec<(usize, f64, f64, f64)> = Vec::new();
-    for (i, &int) in ctx.integral.iter().enumerate() {
+    for (i, &int) in run.ctx.integral.iter().enumerate() {
         if !int {
             continue;
         }
         let x = sol.values[i];
-        if (x - x.round()).abs() <= ctx.cfg.int_tol {
+        if (x - x.round()).abs() <= int_tol {
             continue;
         }
         let fd = x - x.floor();
@@ -781,84 +1857,53 @@ fn select_branch_pseudocost(
             break;
         }
         let (i, x, fd, fu) = cands[ci];
-        let v = crate::VarId(i as u32);
-        if ctx.pc.count(v, false) >= PC_RELIABLE && ctx.pc.count(v, true) >= PC_RELIABLE {
+        let v = VarId(i as u32);
+        if run.pc.count(v, false) >= PC_RELIABLE && run.pc.count(v, true) >= PC_RELIABLE {
             continue;
         }
         probes += 1;
-        ctx.strong_branch_probes.fetch_add(1, Ordering::Relaxed);
+        run.counters.strong_branch_probes += 1;
         let (lo, hi) = dt.bounds(v);
         let fl = x.floor();
-        let mut probe_dir = |child_lo: f64, child_hi: f64, frac: f64, up: bool| -> f64 {
-            ctx.lp_solves.fetch_add(1, Ordering::Relaxed);
-            let p = match &mut scratch {
-                Some(p) => {
-                    p.clone_from(dt);
-                    p
-                }
-                // First probe of the node: a fresh clone doubles as the
-                // refill.
-                empty => empty.insert(dt.clone()),
-            };
-            let before = p.work();
-            let step = p.tighten_capped(&[(v, child_lo, child_hi)], work, SB_PIVOT_CAP);
-            charge_dive_work(ctx, p, before);
-            match step {
-                DiveStep::Optimal(s) => {
-                    let deg = (raw_score - ctx.dir * s.objective).max(0.0);
-                    ctx.pc.record(v, up, deg / frac.max(ctx.cfg.int_tol));
-                    deg
-                }
-                // An infeasible child is the strongest possible branching
-                // signal *at this node*, scored infinite locally. The
-                // store gets a large-but-finite observation (8x the
-                // global average): infeasibility depends on the node's
-                // bounds, so an infinite average would poison the
-                // estimates — but recording nothing would leave the
-                // direction unreliable forever, re-probing the variable
-                // at every node where it is fractional. The biased-high
-                // record keeps the "branching here tends to close a
-                // side" signal while bounding total probes.
-                DiveStep::Infeasible => {
-                    ctx.pc.record(v, up, 8.0 * ctx.pc.global_avg());
-                    f64::INFINITY
-                }
-                DiveStep::Stalled => {
-                    // Capped-out repair: no usable estimate. A neutral
-                    // observation (the store average) is recorded so the
-                    // variable still converges to reliable — otherwise
-                    // every subsequent node would re-probe it and pay the
-                    // cap again.
-                    ctx.pc.record(v, up, ctx.pc.global_avg());
-                    f64::NAN
-                }
-            }
-        };
-        let down = probe_dir(lo, fl, fd, false);
-        let up = probe_dir(fl + 1.0, hi, fu, true);
+        let down = probe_dir(run, &mut scratch, dt, work, v, lo, fl, fd, false, raw_score);
+        let up = probe_dir(
+            run,
+            &mut scratch,
+            dt,
+            work,
+            v,
+            fl + 1.0,
+            hi,
+            fu,
+            true,
+            raw_score,
+        );
         local[ci] = (down, up);
+        if run.interrupted {
+            return None;
+        }
     }
 
     // Product-rule scoring.
-    let gavg = ctx.pc.global_avg();
+    let gavg = run.pc.global_avg();
     let mut best: Option<(f64, usize, bool)> = None;
     for (ci, &(i, _, fd, fu)) in cands.iter().enumerate() {
-        let v = crate::VarId(i as u32);
+        let v = VarId(i as u32);
         let (ld, lu) = local[ci];
         let down_est = if ld.is_nan() {
-            ctx.pc.avg(v, false).unwrap_or(gavg) * fd
+            run.pc.avg(v, false).unwrap_or(gavg) * fd
         } else {
             ld
         };
         let up_est = if lu.is_nan() {
-            ctx.pc.avg(v, true).unwrap_or(gavg) * fu
+            run.pc.avg(v, true).unwrap_or(gavg) * fu
         } else {
             lu
         };
         let trusted = ld.is_nan()
             && lu.is_nan()
-            && ctx.pc.count(v, false) >= PC_RELIABLE
-            && ctx.pc.count(v, true) >= PC_RELIABLE;
+            && run.pc.count(v, false) >= PC_RELIABLE
+            && run.pc.count(v, true) >= PC_RELIABLE;
         let score = down_est.max(PC_SCORE_EPS) * up_est.max(PC_SCORE_EPS);
         if best.is_none_or(|(bs, _, _)| score > bs) {
             best = Some((score, ci, trusted));
@@ -866,279 +1911,10 @@ fn select_branch_pseudocost(
     }
     let (_, ci, trusted) = best.expect("candidates are nonempty");
     if trusted {
-        ctx.pseudocost_branches.fetch_add(1, Ordering::Relaxed);
+        run.counters.pseudocost_branches += 1;
     }
-    Some((crate::VarId(cands[ci].0 as u32), cands[ci].1))
+    Some((VarId(cands[ci].0 as u32), cands[ci].1))
 }
-
-/// Worker loop: drain the pool until the search completes or is stopped.
-fn worker(ctx: &Ctx<'_>) {
-    // Private model copy: nodes only ever change variable bounds.
-    let mut work = ctx.model.clone();
-    let mut processed = 0usize;
-    while let Some(node) = ctx.pool.pop() {
-        process_node(ctx, &mut work, &mut processed, node);
-        ctx.pool.done();
-    }
-}
-
-fn process_node(ctx: &Ctx<'_>, work: &mut Model, processed: &mut usize, node: Node) {
-    // Node budget: the comparison is against a plain atomic counter; the
-    // wall clock is sampled only every 64 nodes (checking `Instant::now`
-    // per node costs more than a typical warm LP re-solve on small models).
-    let prev = ctx.nodes.fetch_add(1, Ordering::Relaxed);
-    if prev >= ctx.cfg.node_limit {
-        ctx.nodes.fetch_sub(1, Ordering::Relaxed);
-        ctx.interrupt(node.score);
-        return;
-    }
-    *processed += 1;
-    // The cancel flag is one relaxed load — cheap enough per node; the
-    // wall clock stays amortized behind the 64-node mask.
-    if ctx.cfg.cancel.is_set() {
-        ctx.interrupt(node.score);
-        return;
-    }
-    if *processed & TIME_CHECK_MASK == 0 {
-        let expired =
-            ctx.cfg.cancel.cancelled() || ctx.deadline.is_some_and(|dl| Instant::now() > dl);
-        if expired {
-            ctx.interrupt(node.score);
-            return;
-        }
-    }
-
-    // Prune by the inherited parent bound (already tightened at push time)
-    // — the incumbent may have improved since this node was pushed.
-    if !ctx.improves(node.score) {
-        return;
-    }
-
-    // Apply node bounds over the originals, with the integral
-    // bound-tightening fast path: integer domains are rounded inward, which
-    // both shrinks the relaxation and detects infeasible branches without
-    // an LP solve.
-    for (i, &(lo, hi)) in ctx.original_bounds.iter().enumerate() {
-        work.set_bounds(crate::VarId(i as u32), lo, hi);
-    }
-    for &(v, lo, hi) in &node.bounds {
-        let (clo, chi) = work.bounds(v);
-        let nlo = clo.max(lo);
-        let nhi = chi.min(hi);
-        if nlo > nhi {
-            return;
-        }
-        work.set_bounds(v, nlo, nhi);
-    }
-    for (i, &int) in ctx.integral.iter().enumerate() {
-        if !int {
-            continue;
-        }
-        let v = crate::VarId(i as u32);
-        let (lo, hi) = work.bounds(v);
-        let tlo = if lo.is_finite() {
-            (lo - ctx.cfg.int_tol).ceil()
-        } else {
-            lo
-        };
-        let thi = if hi.is_finite() {
-            (hi + ctx.cfg.int_tol).floor()
-        } else {
-            hi
-        };
-        if tlo > thi {
-            return;
-        }
-        if tlo != lo || thi != hi {
-            work.set_bounds(v, tlo, thi);
-        }
-    }
-
-    // Node relaxations are deliberately solved *cold*: a fresh two-phase
-    // solve returns the same objective as a warm re-solve, but its vertex
-    // (among the many degenerate optima of the big-M RS relaxations) guides
-    // fractionality-based branching far better than the minimally-repaired
-    // parent vertex a warm start lands on — measured tree sizes differ by
-    // 100-1000x on the random-kernel corpus. On the bounded path the cold
-    // tableau stays live as a DiveTableau for the strong-branching probes
-    // and the periodic dive below, whose chains of pure bound tightenings
-    // run in place with zero basis reinstalls.
-    let (outcome, mut dt) = solve_node_lp(ctx, work);
-    let sol = match outcome {
-        LpOutcome::Optimal(s) => s,
-        LpOutcome::Infeasible => return,
-        LpOutcome::Unbounded => {
-            // Unbounded relaxation at the root means unbounded MILP if a
-            // feasible integer point exists; report unbounded directly
-            // (our models never hit this outside tests).
-            if node.depth == 0 {
-                ctx.unbounded.store(true, Ordering::Relaxed);
-                ctx.pool.stop();
-            }
-            return;
-        }
-        LpOutcome::PivotTooSmall => {
-            // A cancelled simplex aborts with this same outcome — that is
-            // an interruption, not numerical trouble, and must not taint
-            // the result as `Numerical`.
-            if ctx.cfg.cancel.is_set() {
-                ctx.interrupt(node.score);
-                return;
-            }
-            // Soft numerical failure: skip the node, surrender the
-            // optimality proof instead of crashing or silently mispruning.
-            // The skipped subtree's bound still counts against the dual
-            // bound of the (now unproven) answer.
-            ctx.numerical.store(true, Ordering::Relaxed);
-            ctx.abandon(node.score);
-            return;
-        }
-    };
-
-    // Feed the shared pseudocosts: this node's relaxation is exactly the
-    // child LP of the branching step that created it, so the degradation
-    // against the parent's raw bound is one per-unit observation. Recorded
-    // before any pruning — a pruned child is still a valid observation.
-    let raw_score = ctx.dir * sol.objective;
-    if let Some(b) = node.branch {
-        if b.frac > 1e-9 && b.parent_score.is_finite() {
-            ctx.pc.record(
-                b.var,
-                b.up,
-                ((b.parent_score - raw_score) / b.frac).max(0.0),
-            );
-        }
-    }
-
-    // Bound pruning on the fresh relaxation. Children are queued under the
-    // *tightened* (integer-rounded) bound: rounding loses nothing for
-    // pruning, and it collapses the near-flat big-M bounds into integer
-    // buckets, inside which the pool's depth tie-break dives straight to an
-    // incumbent instead of ping-ponging across the frontier.
-    let score = ctx.tighten_score(raw_score);
-    if !ctx.improves(score) {
-        return;
-    }
-
-    // Pick the branching variable: pseudocost product rule with
-    // strong-branching-lite initialization when enabled and a dive tableau
-    // is available, otherwise most-fractional.
-    let branch = match (ctx.cfg.pseudocost, dt.as_ref()) {
-        (true, Some(dt)) => select_branch_pseudocost(ctx, work, dt, &sol, raw_score),
-        _ => select_most_fractional(ctx, &sol),
-    };
-
-    match branch {
-        None => {
-            // Integral: candidate incumbent. The rounding is gated by a
-            // *real* feasibility check — `debug_assert!` alone would let an
-            // infeasible rounding become the reported optimum in release
-            // builds. A leaf that fails the check cannot be explored
-            // further (nothing fractional to branch on), so the optimality
-            // proof is surrendered instead of silently dropping the
-            // subtree.
-            let mut values = sol.values.clone();
-            for (i, val) in values.iter_mut().enumerate() {
-                if ctx.integral[i] {
-                    *val = val.round();
-                }
-            }
-            if ctx.model.check_feasible(&values, ctx.feas_tol()).is_ok() {
-                let objective = ctx.model.objective.eval(&values);
-                ctx.incumbent
-                    .offer(ctx.dir * objective, objective, values, EPS);
-            } else {
-                ctx.numerical.store(true, Ordering::Relaxed);
-                ctx.abandon(score);
-            }
-        }
-        Some((v, x)) => {
-            // Simple-rounding primal heuristic: the big-M relaxations of
-            // the register-saturation models are nearly flat, so a pure
-            // dive needs hundreds of levels before its leaf is integral —
-            // but naively rounding the fractional relaxation is very often
-            // already feasible. An early incumbent is what turns the shared
-            // bound into actual pruning.
-            let mut rounded = sol.values.clone();
-            for (i, val) in rounded.iter_mut().enumerate() {
-                if ctx.integral[i] {
-                    *val = val.round();
-                }
-            }
-            let objective = ctx.model.objective.eval(&rounded);
-            if ctx.improves(ctx.dir * objective)
-                && ctx.model.check_feasible(&rounded, ctx.feas_tol()).is_ok()
-            {
-                ctx.incumbent
-                    .offer(ctx.dir * objective, objective, rounded, EPS);
-            }
-            let fl = x.floor();
-            let f_down = x - fl;
-            let child = |lo: f64, hi: f64, frac: f64, up: bool| {
-                let mut b = node.bounds.clone();
-                b.push((v, lo, hi));
-                Node {
-                    bounds: b,
-                    depth: node.depth + 1,
-                    score,
-                    branch: Some(BranchStep {
-                        var: v,
-                        frac,
-                        parent_score: raw_score,
-                        up,
-                    }),
-                }
-            };
-            let down = child(f64::NEG_INFINITY, fl, f_down, false);
-            let up = child(fl + 1.0, f64::INFINITY, 1.0 - f_down, true);
-            // Both children inherit this relaxation's bound; the side
-            // nearer the fractional value is pushed first — the pool pops
-            // the earlier sequence number on score/depth ties, so the
-            // near side is explored first, diving towards an incumbent
-            // fast.
-            // A stopped pool rejects the children; their inherited bound
-            // then counts as abandoned (both share `score`, one fold
-            // covers the pair).
-            let (first, second) = if f_down <= 0.5 {
-                (down, up)
-            } else {
-                (up, down)
-            };
-            if !ctx.pool.push(first) || !ctx.pool.push(second) {
-                ctx.abandon(score);
-            }
-            // Periodic diving restart: every `DIVE_PERIOD` nodes this worker
-            // re-runs the diving heuristic from its current subproblem,
-            // chaining in-place bound folds on this node's live tableau. On
-            // the near-flat big-M relaxations the dual bound barely moves,
-            // so pruning lives or dies by incumbent quality — a dive from a
-            // deep subproblem regularly finds the incumbent that collapses
-            // the remaining frontier. Extra incumbents can only tighten the
-            // bound, never change the reported optimum.
-            let no_incumbent = ctx.incumbent.score() == f64::NEG_INFINITY;
-            let period_mask = if no_incumbent {
-                DIVE_PERIOD - 1
-            } else {
-                4 * DIVE_PERIOD - 1
-            };
-            if *processed & period_mask == 1 {
-                match dt.take() {
-                    Some(dt) => dive_from(ctx, work, dt, sol),
-                    None => {
-                        // Reference path: no live tableau from the node
-                        // solve; build one cold for the dive.
-                        if let (LpOutcome::Optimal(s), Some(dt)) =
-                            cold_dive_tableau(ctx, work, true)
-                        {
-                            dive_from(ctx, work, dt, s);
-                        }
-                    }
-                }
-            }
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1484,9 +2260,9 @@ mod tests {
         assert_eq!(off.stats.pseudocost_branches, 0);
     }
 
-    #[test]
-    fn thread_count_does_not_change_objective() {
-        // A search tree with plenty of nodes; every thread count must agree.
+    /// A 10-variable, 6-constraint model whose search tree has plenty of
+    /// nodes — the workhorse for thread-invariance and resume tests.
+    fn wide_model() -> Model {
         let mut m = Model::new(Sense::Maximize);
         let vars: Vec<_> = (0..10)
             .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 6.0))
@@ -1503,7 +2279,13 @@ mod tests {
             obj = obj + (((i * 13) % 7 + 1) as f64, v);
         }
         m.set_objective(obj);
+        m
+    }
 
+    #[test]
+    fn thread_count_does_not_change_objective() {
+        // A search tree with plenty of nodes; every thread count must agree.
+        let m = wide_model();
         let reference = solve(&m, &MilpConfig::default()).unwrap();
         assert!(reference.stats.proven_optimal);
         for threads in [2, 3, 4, 8] {
@@ -1630,6 +2412,58 @@ mod tests {
                 }
             }
         }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn interrupt_resume_is_equivalent(
+                cons in proptest::collection::vec(
+                    (proptest::array::uniform3(-3i64..=3), -5i64..=20), 1..4),
+                obj in proptest::array::uniform3(-4i64..=4),
+                maximize in any::<bool>(),
+                step in 1usize..=6,
+            ) {
+                let sense = if maximize { Sense::Maximize } else { Sense::Minimize };
+                let mut m = Model::new(sense);
+                let vars: Vec<_> = (0..3)
+                    .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 4.0))
+                    .collect();
+                for (coefs, rhs) in &cons {
+                    let mut e = LinExpr::new();
+                    for (i, &c) in coefs.iter().enumerate() {
+                        e = e + (c as f64, vars[i]);
+                    }
+                    m.add_constraint(e, Cmp::Le, *rhs as f64);
+                }
+                let mut o = LinExpr::new();
+                for (i, &c) in obj.iter().enumerate() {
+                    o = o + (c as f64, vars[i]);
+                }
+                m.set_objective(o);
+
+                // Interrupt every `step` nodes, checkpoint, resume —
+                // the chain must land on exactly the uninterrupted
+                // run's result, tree, and trace.
+                let full = solve(&m, &MilpConfig::default());
+                let (run, _) = super::run_resume_chain(&m, step);
+                match (full, run.result) {
+                    (Ok(f), Ok(r)) => {
+                        prop_assert_eq!(f.objective, r.objective);
+                        prop_assert_eq!(f.stats.nodes, r.stats.nodes);
+                        prop_assert_eq!(f.stats.trace_digest, r.stats.trace_digest);
+                        prop_assert_eq!(f.values, r.values);
+                    }
+                    (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                    (f, r) => prop_assert!(
+                        false,
+                        "uninterrupted {:?} vs resumed chain {:?}",
+                        f.map(|s| s.objective),
+                        r.map(|s| s.objective)
+                    ),
+                }
+            }
+        }
     }
 
     #[test]
@@ -1644,5 +2478,162 @@ mod tests {
         let s = solve(&m, &MilpConfig::default()).unwrap();
         // best: y=4, x=0 -> 8
         assert_eq!(s.objective.round() as i64, 8);
+    }
+
+    #[test]
+    fn trace_digest_and_node_count_are_thread_invariant() {
+        // Not just the objective: the *entire explored tree* must be
+        // identical at every thread count — node count, trace digest,
+        // values, and every semantic counter.
+        let m = wide_model();
+        let reference = solve(&m, &MilpConfig::default()).unwrap();
+        assert!(reference.stats.proven_optimal);
+        assert!(reference.stats.nodes > BATCH, "want a multi-round search");
+        for threads in [2, 4] {
+            let s = solve(&m, &MilpConfig::with_threads(threads)).unwrap();
+            assert_eq!(
+                s.stats.nodes, reference.stats.nodes,
+                "threads={threads} changed the node count"
+            );
+            assert_eq!(
+                s.stats.trace_digest, reference.stats.trace_digest,
+                "threads={threads} changed the explored-node sequence"
+            );
+            assert_eq!(s.objective, reference.objective);
+            assert_eq!(s.values, reference.values);
+            assert_eq!(s.stats.lp_solves, reference.stats.lp_solves);
+            assert_eq!(
+                s.stats.pseudocost_branches,
+                reference.stats.pseudocost_branches
+            );
+            assert_eq!(
+                s.stats.strong_branch_probes,
+                reference.stats.strong_branch_probes
+            );
+        }
+    }
+
+    /// Drives a solve of `m` to completion in slices of `step` nodes,
+    /// checkpointing at every interruption and resuming, and returns the
+    /// final run plus the number of resumes it took.
+    fn run_resume_chain(m: &Model, step: usize) -> (MilpRun, usize) {
+        let mut limit = step;
+        let mut ck: Option<SearchCheckpoint> = None;
+        let mut resumes = 0usize;
+        loop {
+            let cfg = MilpConfig {
+                node_limit: limit,
+                ..MilpConfig::default()
+            };
+            let run = solve_resumable(m, &cfg, ck.as_ref());
+            match run.checkpoint {
+                Some(c) => {
+                    assert!(c.matches(m, &cfg), "checkpoint must match its own solve");
+                    assert_eq!(c.resumed_chain() as usize, resumes);
+                    ck = Some(c);
+                    // The node budget is cumulative across the chain.
+                    limit += step;
+                    resumes += 1;
+                    assert!(resumes < 10_000, "resume chain does not converge");
+                }
+                None => return (run, resumes),
+            }
+        }
+    }
+
+    #[test]
+    fn interrupted_resume_chain_matches_uninterrupted() {
+        let m = wide_model();
+        let full = solve(&m, &MilpConfig::default()).unwrap();
+        assert!(full.stats.proven_optimal);
+        for step in [1usize, 3, 8, 17] {
+            let (run, resumes) = run_resume_chain(&m, step);
+            let s = run.result.expect("chain must finish like the full solve");
+            assert!(resumes > 0, "step {step} never interrupted");
+            assert!(s.stats.resumed, "final slice must report resumed");
+            assert!(s.stats.proven_optimal);
+            assert_eq!(s.objective, full.objective, "step {step}");
+            assert_eq!(s.values, full.values, "step {step}");
+            assert_eq!(s.stats.nodes, full.stats.nodes, "step {step}");
+            assert_eq!(
+                s.stats.trace_digest, full.stats.trace_digest,
+                "step {step}: resumed chain explored a different tree"
+            );
+            assert_eq!(s.stats.lp_solves, full.stats.lp_solves, "step {step}");
+            assert_eq!(
+                s.stats.strong_branch_probes, full.stats.strong_branch_probes,
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_survives_json_roundtrip() {
+        let m = wide_model();
+        let cfg = MilpConfig {
+            node_limit: 5,
+            ..MilpConfig::default()
+        };
+        let run = solve_resumable(&m, &cfg, None);
+        let ck = run.checkpoint.expect("node_limit 5 must interrupt");
+        let twin = SearchCheckpoint::from_json(&ck.to_json()).expect("round-trip");
+        assert!(twin.matches(&m, &cfg));
+        assert_eq!(twin.nodes(), ck.nodes());
+
+        // Resuming from the original and from its JSON round-trip twin
+        // must explore byte-identical trees.
+        let cfg2 = MilpConfig::default();
+        let a = solve_resumable(&m, &cfg2, Some(&ck));
+        let b = solve_resumable(&m, &cfg2, Some(&twin));
+        let (a, b) = (a.result.unwrap(), b.result.unwrap());
+        assert!(a.stats.resumed && b.stats.resumed);
+        assert_eq!(a.stats.nodes, b.stats.nodes);
+        assert_eq!(a.stats.trace_digest, b.stats.trace_digest);
+        assert_eq!(a.objective, b.objective);
+        assert_eq!(a.values, b.values);
+    }
+
+    #[test]
+    fn mismatched_checkpoint_is_ignored() {
+        // A checkpoint from one model fed into another's solve must be
+        // silently dropped: cold start, correct optimum, resumed=false.
+        let k = knapsack_model();
+        let ck = solve_resumable(
+            &k,
+            &MilpConfig {
+                node_limit: 1,
+                ..MilpConfig::default()
+            },
+            None,
+        )
+        .checkpoint
+        .expect("node_limit 1 must interrupt the knapsack");
+        let m = wide_model();
+        let run = solve_resumable(&m, &MilpConfig::default(), Some(&ck));
+        let s = run.result.unwrap();
+        assert!(!s.stats.resumed, "foreign checkpoint must not resume");
+        assert!(s.stats.proven_optimal);
+        let cold = solve(&m, &MilpConfig::default()).unwrap();
+        assert_eq!(s.objective, cold.objective);
+        assert_eq!(s.stats.trace_digest, cold.stats.trace_digest);
+
+        // Same story for a config whose *semantics* differ (int_tol).
+        let cfg = MilpConfig {
+            int_tol: 1e-5,
+            ..MilpConfig::default()
+        };
+        let ck2 = solve_resumable(
+            &m,
+            &MilpConfig {
+                node_limit: 1,
+                ..MilpConfig::default()
+            },
+            None,
+        )
+        .checkpoint
+        .unwrap();
+        assert!(!ck2.matches(&m, &cfg));
+        let s2 = solve_resumable(&m, &cfg, Some(&ck2)).result.unwrap();
+        assert!(!s2.stats.resumed);
     }
 }

@@ -1,24 +1,24 @@
-//! Shared node pool and incumbent store for the parallel branch-and-bound
-//! driver.
+//! Deterministic frontier, incumbent store, and pseudocost store for the
+//! round-based branch-and-bound driver.
 //!
-//! The pool is a best-bound priority queue drained by `std::thread::scope`
-//! workers: each worker pops the open node with the most promising dual
-//! bound, solves its relaxation, and pushes the two children. Termination
-//! is detected with an in-flight counter — the search is over exactly when
-//! the queue is empty *and* no worker still holds a node (a held node may
-//! yet push children).
+//! The search in [`crate::milp`] is organized as bulk-synchronous rounds:
+//! the driver pops a fixed-size batch of open nodes from the [`Frontier`],
+//! the batch is processed against *frozen* round-start state (possibly in
+//! parallel), and the results are committed sequentially in batch order.
+//! Nothing in this module is shared mutably between threads, so every
+//! structure here is plain data — which is exactly what makes the open
+//! frontier, the incumbent, and the pseudocost store serializable into a
+//! [`crate::milp::SearchCheckpoint`].
 //!
-//! The incumbent is shared through a mutex plus an atomic snapshot of its
-//! score so workers can prune without taking the lock. Incumbent selection
-//! is deterministic: a candidate replaces the incumbent only when it is
-//! strictly better, and ties on the objective are broken by lexicographic
-//! comparison of the value vectors, so the reported optimal objective never
-//! depends on the number of worker threads or their interleaving.
+//! Node identity is the **branch path**: the sequence of near/far child
+//! choices from the root. The frontier's total order — score, then depth,
+//! then lexicographic path — depends only on that identity, never on push
+//! timing or pop races, so node counts and traces are identical at any
+//! `threads` value. Best-bound ordering is a performance hint here, not a
+//! semantic one.
 
 use crate::VarId;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
 
 /// The branching step that created a node, kept so the child's relaxation
 /// can feed the shared pseudocost estimates: branching variable, the
@@ -34,8 +34,9 @@ pub(crate) struct BranchStep {
 
 /// An open branch-and-bound node: the bound overrides along its path from
 /// the root plus ordering metadata. Nodes carry no simplex basis — node
-/// relaxations solve cold on purpose (see `milp::process_node`); the warm
-/// machinery serves the diving heuristic instead.
+/// relaxations solve cold on purpose (see `milp`); the warm machinery
+/// serves the diving heuristic instead.
+#[derive(Clone)]
 pub(crate) struct Node {
     /// `(var, lo, hi)` overrides accumulated from the root.
     pub bounds: Vec<(VarId, f64, f64)>,
@@ -46,16 +47,28 @@ pub(crate) struct Node {
     /// Branching step that created this node (`None` for the root), for
     /// pseudocost bookkeeping.
     pub branch: Option<BranchStep>,
+    /// Branch path from the root: one element per branching step, `0` for
+    /// the near-side child (the one the old push-order tie-break explored
+    /// first), `1` for the far side. The path is the node's deterministic
+    /// identity — it names the same subproblem in every run — and doubles
+    /// as the frontier's final tie-break and the trace-digest input.
+    pub path: Vec<u8>,
 }
 
-struct Entry {
-    node: Node,
-    /// Push sequence number; among equal bounds and depths, older nodes
-    /// pop first, so the child a worker pushes first (the nearer branching
-    /// side — see the child-push order in `milp::process_node`) is the one
-    /// explored first.
-    seq: u64,
+impl Node {
+    /// The root subproblem (no overrides, empty path, bound `+∞`).
+    pub fn root() -> Node {
+        Node {
+            bounds: Vec::new(),
+            depth: 0,
+            score: f64::INFINITY,
+            branch: None,
+            path: Vec::new(),
+        }
+    }
 }
+
+struct Entry(Node);
 
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
@@ -76,253 +89,208 @@ impl Ord for Entry {
         // node (best-bound search with depth-first tie-breaking, which
         // dives to an incumbent as fast as plain DFS instead of enumerating
         // a frontier breadth-first), and among equal depths towards the
-        // *earlier* sequence number — the max-heap must therefore order
-        // seq *descending*, so `other.seq` is compared against `self.seq`.
-        // That makes the sibling pushed first (the nearer branching side)
-        // pop first, matching the child-push order in `milp`.
-        self.node
+        // lexicographically *smaller* branch path — the near-side child
+        // (`0`) pops before its far-side sibling (`1`), recovering the old
+        // push-order behavior without depending on push order. Paths are
+        // unique per node, so the order is total and pop order is a pure
+        // function of the frontier's contents.
+        self.0
             .score
-            .total_cmp(&other.node.score)
-            .then_with(|| self.node.depth.cmp(&other.node.depth))
-            .then_with(|| other.seq.cmp(&self.seq))
+            .total_cmp(&other.0.score)
+            .then_with(|| self.0.depth.cmp(&other.0.depth))
+            .then_with(|| other.0.path.cmp(&self.0.path))
     }
 }
 
-struct Inner {
+/// Deterministic best-bound frontier, owned by the round driver. Pop order
+/// depends only on the nodes it holds (score, then depth, then branch
+/// path) — never on insertion order or thread interleaving.
+pub(crate) struct Frontier {
     heap: BinaryHeap<Entry>,
-    /// Nodes popped but not yet reported done.
-    in_flight: usize,
-    /// Budget exhausted or error: drain immediately.
-    stopped: bool,
 }
 
-/// Best-bound node pool shared by the workers.
-pub(crate) struct NodePool {
-    inner: Mutex<Inner>,
-    cv: Condvar,
-    seq: AtomicU64,
-}
-
-impl NodePool {
-    pub fn new(root: Node) -> Self {
-        let mut heap = BinaryHeap::new();
-        heap.push(Entry { node: root, seq: 0 });
-        NodePool {
-            inner: Mutex::new(Inner {
-                heap,
-                in_flight: 0,
-                stopped: false,
-            }),
-            cv: Condvar::new(),
-            seq: AtomicU64::new(1),
+impl Frontier {
+    pub fn new() -> Self {
+        Frontier {
+            heap: BinaryHeap::new(),
         }
     }
 
-    /// Offers a node to the pool. Returns `false` when the pool is stopped
-    /// and the node was dropped — the caller must then fold the node's
-    /// score into its abandoned-bound accounting, or the dual bound
-    /// reported after a budget/deadline stop would be unsound.
-    #[must_use]
-    pub fn push(&self, node: Node) -> bool {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let mut inner = self.inner.lock().unwrap();
-        if inner.stopped {
-            return false;
-        }
-        inner.heap.push(Entry { node, seq });
-        drop(inner);
-        self.cv.notify_one();
-        true
+    /// A frontier holding only the root subproblem.
+    pub fn seeded() -> Self {
+        let mut f = Frontier::new();
+        f.push(Node::root());
+        f
     }
 
-    /// Pops the best open node, blocking while the queue is empty but other
-    /// workers still hold nodes. Returns `None` when the search is complete
-    /// or stopped. Every `Some` must be matched by a [`NodePool::done`]
-    /// call once the node's children (if any) have been pushed.
-    pub fn pop(&self) -> Option<Node> {
-        let mut inner = self.inner.lock().unwrap();
-        loop {
-            if inner.stopped {
-                return None;
-            }
-            if let Some(e) = inner.heap.pop() {
-                inner.in_flight += 1;
-                return Some(e.node);
-            }
-            if inner.in_flight == 0 {
-                // Queue empty and nobody can produce more: wake the others.
-                self.cv.notify_all();
-                return None;
-            }
-            inner = self.cv.wait(inner).unwrap();
-        }
+    pub fn push(&mut self, node: Node) {
+        self.heap.push(Entry(node));
     }
 
-    /// Reports a popped node fully processed.
-    pub fn done(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        inner.in_flight -= 1;
-        if inner.in_flight == 0 && inner.heap.is_empty() {
-            drop(inner);
-            self.cv.notify_all();
-        }
+    pub fn pop(&mut self) -> Option<Node> {
+        self.heap.pop().map(|e| e.0)
     }
 
-    /// Stops the search: waiting workers wake up and drain. Returns the
-    /// best (largest) score among the open nodes being discarded — `-∞`
-    /// when the heap was already empty — so the caller can fold it into
-    /// the dual bound of an interrupted solve.
-    pub fn stop(&self) -> f64 {
-        let mut inner = self.inner.lock().unwrap();
-        inner.stopped = true;
-        let best_open = inner
-            .heap
-            .peek()
-            .map_or(f64::NEG_INFINITY, |e| e.node.score);
-        inner.heap.clear();
-        drop(inner);
-        self.cv.notify_all();
-        best_open
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Best (largest) open score, `-∞` when empty — the open frontier's
+    /// contribution to the dual bound of an interrupted search.
+    pub fn best_score(&self) -> f64 {
+        self.heap.peek().map_or(f64::NEG_INFINITY, |e| e.0.score)
+    }
+
+    /// Drains the frontier in pop order (best first) — the canonical node
+    /// sequence a checkpoint records.
+    pub fn drain_sorted(&mut self) -> Vec<Node> {
+        let mut out = Vec::with_capacity(self.heap.len());
+        while let Some(e) = self.heap.pop() {
+            out.push(e.0);
+        }
+        out
     }
 }
 
-/// Shared incumbent with an atomic score snapshot for lock-free pruning.
+/// The incumbent store, owned by the round driver and updated only at
+/// commit time. Incumbent selection is deterministic: a candidate replaces
+/// the incumbent only when it is strictly better, and ties on the objective
+/// are broken by lexicographic comparison of the value vectors, so the
+/// reported optimum never depends on the number of worker threads.
 pub(crate) struct Incumbent {
     /// `(objective, values)` of the best integer-feasible point.
-    best: Mutex<Option<(f64, Vec<f64>)>>,
+    best: Option<(f64, Vec<f64>)>,
     /// Score (`dir · objective`) of the incumbent; `-∞` while empty.
-    score_bits: AtomicU64,
+    score: f64,
 }
 
 impl Incumbent {
     pub fn new() -> Self {
         Incumbent {
-            best: Mutex::new(None),
-            score_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+            best: None,
+            score: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Restores an incumbent from checkpointed parts.
+    pub fn from_parts(objective: f64, values: Vec<f64>, score: f64) -> Self {
+        Incumbent {
+            best: Some((objective, values)),
+            score,
         }
     }
 
     /// Current incumbent score (larger is better), `-∞` if none.
     pub fn score(&self) -> f64 {
-        f64::from_bits(self.score_bits.load(Ordering::Relaxed))
+        self.score
+    }
+
+    /// The incumbent's `(objective, values)`, if any.
+    pub fn peek(&self) -> Option<&(f64, Vec<f64>)> {
+        self.best.as_ref()
     }
 
     /// Offers a candidate. Replaces the incumbent when strictly better (by
     /// more than `eps`), or on an objective tie when the value vector is
     /// lexicographically smaller — a deterministic, order-independent
     /// selection rule.
-    pub fn offer(&self, score: f64, objective: f64, values: Vec<f64>, eps: f64) {
-        let mut best = self.best.lock().unwrap();
-        let replace = match &*best {
+    pub fn offer(&mut self, score: f64, objective: f64, values: Vec<f64>, eps: f64) {
+        let replace = match &self.best {
             None => true,
-            Some((inc_obj, inc_vals)) => {
-                let inc_score = self.score();
-                if score > inc_score + eps {
+            Some((_, inc_vals)) => {
+                if score > self.score + eps {
                     true
-                } else if score < inc_score - eps {
+                } else if score < self.score - eps {
                     false
                 } else {
-                    let _ = inc_obj;
                     lex_less(&values, inc_vals)
                 }
             }
         };
         if replace {
-            self.score_bits.store(score.to_bits(), Ordering::Relaxed);
-            *best = Some((objective, values));
+            self.score = score;
+            self.best = Some((objective, values));
         }
     }
 
     /// Takes the final incumbent.
     pub fn into_best(self) -> Option<(f64, Vec<f64>)> {
-        self.best.into_inner().unwrap()
+        self.best
     }
 }
 
-/// Shared per-variable pseudocost estimates: the average objective
-/// degradation per unit of fractional distance observed when branching a
-/// variable up or down. Workers update the store lock-free (CAS loops on
-/// the `f64` bit patterns); the estimates steer branching only, so the
-/// interleaving of updates can change the tree shape but never the
-/// reported optimum (pruning stays strict-improvement-only).
-pub(crate) struct Pseudocosts {
-    up: Vec<PcCell>,
-    down: Vec<PcCell>,
-    glob_sum: AtomicU64,
-    glob_cnt: AtomicUsize,
+/// Per-variable pseudocost estimates: the average objective degradation per
+/// unit of fractional distance observed when branching a variable up or
+/// down. The store is plain data: workers read a frozen snapshot during a
+/// round and log their observations, which the driver replays in batch
+/// order at commit time — so the estimates (and therefore the branching
+/// decisions they steer) are identical at every thread count, and the
+/// whole store serializes into a checkpoint.
+#[derive(Clone)]
+pub(crate) struct PcStore {
+    up_sum: Vec<f64>,
+    up_cnt: Vec<usize>,
+    down_sum: Vec<f64>,
+    down_cnt: Vec<usize>,
+    glob_sum: f64,
+    glob_cnt: usize,
 }
 
-struct PcCell {
-    sum: AtomicU64,
-    cnt: AtomicUsize,
-}
-
-impl PcCell {
-    fn new() -> Self {
-        PcCell {
-            sum: AtomicU64::new(0.0f64.to_bits()),
-            cnt: AtomicUsize::new(0),
-        }
-    }
-}
-
-/// Lock-free `f64` accumulation via compare-and-swap on the bit pattern.
-fn atomic_f64_add(cell: &AtomicU64, x: f64) {
-    let mut cur = cell.load(Ordering::Relaxed);
-    loop {
-        let new = (f64::from_bits(cur) + x).to_bits();
-        match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
-            Ok(_) => return,
-            Err(seen) => cur = seen,
-        }
-    }
-}
-
-impl Pseudocosts {
+impl PcStore {
     pub fn new(num_vars: usize) -> Self {
-        Pseudocosts {
-            up: (0..num_vars).map(|_| PcCell::new()).collect(),
-            down: (0..num_vars).map(|_| PcCell::new()).collect(),
-            glob_sum: AtomicU64::new(0.0f64.to_bits()),
-            glob_cnt: AtomicUsize::new(0),
-        }
-    }
-
-    fn cell(&self, v: VarId, up: bool) -> &PcCell {
-        if up {
-            &self.up[v.index()]
-        } else {
-            &self.down[v.index()]
+        PcStore {
+            up_sum: vec![0.0; num_vars],
+            up_cnt: vec![0; num_vars],
+            down_sum: vec![0.0; num_vars],
+            down_cnt: vec![0; num_vars],
+            glob_sum: 0.0,
+            glob_cnt: 0,
         }
     }
 
     /// Records one observed per-unit degradation for `v` in the given
     /// direction (from a child relaxation or a strong-branching probe).
-    pub fn record(&self, v: VarId, up: bool, per_unit: f64) {
+    pub fn record(&mut self, v: VarId, up: bool, per_unit: f64) {
         if !per_unit.is_finite() || per_unit < 0.0 {
             return;
         }
-        let cell = self.cell(v, up);
-        atomic_f64_add(&cell.sum, per_unit);
-        cell.cnt.fetch_add(1, Ordering::Relaxed);
-        atomic_f64_add(&self.glob_sum, per_unit);
-        self.glob_cnt.fetch_add(1, Ordering::Relaxed);
+        let i = v.index();
+        if up {
+            self.up_sum[i] += per_unit;
+            self.up_cnt[i] += 1;
+        } else {
+            self.down_sum[i] += per_unit;
+            self.down_cnt[i] += 1;
+        }
+        self.glob_sum += per_unit;
+        self.glob_cnt += 1;
     }
 
     /// Number of observations for `v` in the given direction.
     pub fn count(&self, v: VarId, up: bool) -> usize {
-        self.cell(v, up).cnt.load(Ordering::Relaxed)
+        if up {
+            self.up_cnt[v.index()]
+        } else {
+            self.down_cnt[v.index()]
+        }
     }
 
     /// Average per-unit degradation for `v` in the given direction, `None`
     /// while uninitialized.
     pub fn avg(&self, v: VarId, up: bool) -> Option<f64> {
-        let cell = self.cell(v, up);
-        let cnt = cell.cnt.load(Ordering::Relaxed);
+        let (sum, cnt) = if up {
+            (self.up_sum[v.index()], self.up_cnt[v.index()])
+        } else {
+            (self.down_sum[v.index()], self.down_cnt[v.index()])
+        };
         if cnt == 0 {
             return None;
         }
-        Some(f64::from_bits(cell.sum.load(Ordering::Relaxed)) / cnt as f64)
+        Some(sum / cnt as f64)
     }
 
     /// Average per-unit degradation across every variable and direction —
@@ -330,20 +298,59 @@ impl Pseudocosts {
     /// the store is completely empty (reduces the product score to plain
     /// fractionality).
     pub fn global_avg(&self) -> f64 {
-        let cnt = self.glob_cnt.load(Ordering::Relaxed);
-        if cnt == 0 {
+        if self.glob_cnt == 0 {
             return 1.0;
         }
-        let avg = f64::from_bits(self.glob_sum.load(Ordering::Relaxed)) / cnt as f64;
+        let avg = self.glob_sum / self.glob_cnt as f64;
         if avg > 0.0 {
             avg
         } else {
             1.0
         }
     }
+
+    /// Checkpoint serialization parts (sums as `f64`, bit-converted by the
+    /// caller).
+    #[allow(clippy::type_complexity)]
+    pub fn parts(&self) -> (&[f64], &[usize], &[f64], &[usize], f64, usize) {
+        (
+            &self.up_sum,
+            &self.up_cnt,
+            &self.down_sum,
+            &self.down_cnt,
+            self.glob_sum,
+            self.glob_cnt,
+        )
+    }
+
+    /// Rebuilds a store from checkpointed parts.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        up_sum: Vec<f64>,
+        up_cnt: Vec<usize>,
+        down_sum: Vec<f64>,
+        down_cnt: Vec<usize>,
+        glob_sum: f64,
+        glob_cnt: usize,
+    ) -> Self {
+        PcStore {
+            up_sum,
+            up_cnt,
+            down_sum,
+            down_cnt,
+            glob_sum,
+            glob_cnt,
+        }
+    }
+
+    /// Number of variables the store covers.
+    #[cfg(test)]
+    pub fn num_vars(&self) -> usize {
+        self.up_sum.len()
+    }
 }
 
-fn lex_less(a: &[f64], b: &[f64]) -> bool {
+pub(crate) fn lex_less(a: &[f64], b: &[f64]) -> bool {
     for (x, y) in a.iter().zip(b) {
         match x.total_cmp(y) {
             std::cmp::Ordering::Less => return true,
@@ -360,86 +367,87 @@ mod tests {
 
     fn node(score: f64) -> Node {
         Node {
-            bounds: Vec::new(),
-            depth: 0,
             score,
-            branch: None,
+            ..Node::root()
         }
     }
 
     #[test]
-    fn pool_pops_best_bound_first() {
-        let pool = NodePool::new(node(1.0));
-        assert!(pool.push(node(5.0)));
-        assert!(pool.push(node(3.0)));
-        let a = pool.pop().unwrap();
-        let b = pool.pop().unwrap();
-        let c = pool.pop().unwrap();
-        assert_eq!(a.score, 5.0);
-        assert_eq!(b.score, 3.0);
-        assert_eq!(c.score, 1.0);
-        pool.done();
-        pool.done();
-        pool.done();
-        assert!(pool.pop().is_none());
+    fn frontier_pops_best_bound_first() {
+        let mut f = Frontier::new();
+        f.push(node(1.0));
+        f.push(node(5.0));
+        f.push(node(3.0));
+        assert_eq!(f.pop().unwrap().score, 5.0);
+        assert_eq!(f.pop().unwrap().score, 3.0);
+        assert_eq!(f.pop().unwrap().score, 1.0);
+        assert!(f.pop().is_none());
     }
 
     #[test]
-    fn pool_ties_dive_depth_first() {
-        // Equal scores: the deeper node pops first (dive), and among equal
-        // depths the earlier sequence number wins (push order).
-        let pool = NodePool::new(Node {
+    fn frontier_ties_dive_depth_first() {
+        // Equal scores: the deeper node pops first (dive).
+        let mut f = Frontier::new();
+        f.push(Node {
             depth: 7,
+            path: vec![0; 7],
             ..node(2.0)
         });
-        assert!(pool.push(Node {
+        f.push(Node {
             depth: 8,
+            path: vec![0; 8],
             ..node(2.0)
-        }));
-        assert!(pool.push(Node {
+        });
+        f.push(Node {
             depth: 7,
+            path: vec![1; 7],
             ..node(2.0)
-        }));
-        assert_eq!(pool.pop().unwrap().depth, 8);
-        // among the two depth-7 nodes, the root (seq 0) precedes the pushed
-        // one (seq 2)
-        assert_eq!(pool.pop().unwrap().depth, 7);
-        assert_eq!(pool.pop().unwrap().depth, 7);
+        });
+        assert_eq!(f.pop().unwrap().depth, 8);
+        assert_eq!(f.pop().unwrap().depth, 7);
+        assert_eq!(f.pop().unwrap().depth, 7);
     }
 
     #[test]
-    fn siblings_pop_in_push_order() {
-        // Regression for the inverted seq tie-break: two children pushed by
-        // the same worker share score and depth, and the one pushed first
-        // (the branching side nearer the fractional value — see
-        // `milp::process_node`) must pop first. The old `Ord` popped the
-        // *larger* seq, the exact opposite of both its doc comment and the
-        // child-push logic.
-        let pool = NodePool::new(node(9.0));
-        let root = pool.pop().unwrap();
-        drop(root);
-        let child = |v: u32| Node {
-            bounds: vec![(VarId(v), 0.0, 0.0)],
+    fn siblings_pop_in_path_order_regardless_of_push_order() {
+        // Two children share score and depth; the near side (path bit 0)
+        // must pop first even when pushed second — pop order is a function
+        // of node identity, never of insertion order.
+        let child = |bit: u8| Node {
+            bounds: vec![(VarId(bit as u32), 0.0, 0.0)],
             depth: 1,
             score: 5.0,
             branch: None,
+            path: vec![bit],
         };
-        assert!(pool.push(child(0))); // near side, pushed first
-        assert!(pool.push(child(1))); // far side, pushed second
-        pool.done();
-        let first = pool.pop().unwrap();
-        let second = pool.pop().unwrap();
-        assert_eq!(
-            first.bounds[0].0,
-            VarId(0),
-            "near-side child must pop first"
-        );
-        assert_eq!(second.bounds[0].0, VarId(1));
+        for order in [[0u8, 1], [1, 0]] {
+            let mut f = Frontier::new();
+            f.push(child(order[0]));
+            f.push(child(order[1]));
+            assert_eq!(
+                f.pop().unwrap().path,
+                vec![0],
+                "near-side child must pop first (push order {order:?})"
+            );
+            assert_eq!(f.pop().unwrap().path, vec![1]);
+        }
+    }
+
+    #[test]
+    fn drain_sorted_yields_pop_order() {
+        let mut f = Frontier::new();
+        f.push(node(1.0));
+        f.push(node(9.0));
+        f.push(node(4.0));
+        assert_eq!(f.best_score(), 9.0);
+        let scores: Vec<f64> = f.drain_sorted().iter().map(|n| n.score).collect();
+        assert_eq!(scores, vec![9.0, 4.0, 1.0]);
+        assert_eq!(f.best_score(), f64::NEG_INFINITY);
     }
 
     #[test]
     fn pseudocosts_accumulate_per_direction() {
-        let pc = Pseudocosts::new(3);
+        let mut pc = PcStore::new(3);
         let v = VarId(1);
         assert_eq!(pc.count(v, true), 0);
         assert!(pc.avg(v, true).is_none());
@@ -461,60 +469,21 @@ mod tests {
     }
 
     #[test]
-    fn pool_blocks_until_holder_finishes() {
-        let pool = NodePool::new(node(0.0));
-        let seen = std::sync::atomic::AtomicUsize::new(0);
-        std::thread::scope(|s| {
-            for _ in 0..3 {
-                s.spawn(|| {
-                    while let Some(n) = pool.pop() {
-                        seen.fetch_add(1, Ordering::Relaxed);
-                        if n.depth < 3 {
-                            assert!(pool.push(Node {
-                                depth: n.depth + 1,
-                                ..node(0.0)
-                            }));
-                            assert!(pool.push(Node {
-                                depth: n.depth + 1,
-                                ..node(0.0)
-                            }));
-                        }
-                        pool.done();
-                    }
-                });
-            }
-        });
-        // Full binary tree of depth 3: 1 + 2 + 4 + 8 nodes.
-        assert_eq!(seen.load(Ordering::Relaxed), 15);
-    }
-
-    #[test]
-    fn stop_drains_waiters() {
-        let pool = NodePool::new(node(0.0));
-        let n = pool.pop().unwrap();
-        drop(n);
-        pool.stop();
-        pool.done();
-        assert!(pool.pop().is_none());
-        assert!(!pool.push(node(1.0)), "push after stop reports the drop");
-    }
-
-    #[test]
-    fn stop_reports_best_open_score() {
-        let pool = NodePool::new(node(2.0));
-        assert!(pool.push(node(7.0)));
-        assert!(pool.push(node(4.0)));
-        assert_eq!(pool.stop(), 7.0);
-        // Stopping an empty pool yields -inf (nothing was abandoned).
-        let empty = NodePool::new(node(1.0));
-        let n = empty.pop().unwrap();
-        drop(n);
-        assert_eq!(empty.stop(), f64::NEG_INFINITY);
+    fn pseudocosts_roundtrip_through_parts() {
+        let mut pc = PcStore::new(2);
+        pc.record(VarId(0), true, 1.5);
+        pc.record(VarId(1), false, 0.25);
+        let (us, uc, ds, dc, gs, gc) = pc.parts();
+        let back = PcStore::from_parts(us.to_vec(), uc.to_vec(), ds.to_vec(), dc.to_vec(), gs, gc);
+        assert_eq!(back.count(VarId(0), true), 1);
+        assert_eq!(back.avg(VarId(1), false), Some(0.25));
+        assert_eq!(back.global_avg(), pc.global_avg());
+        assert_eq!(back.num_vars(), 2);
     }
 
     #[test]
     fn incumbent_keeps_strictly_better_and_lex_ties() {
-        let inc = Incumbent::new();
+        let mut inc = Incumbent::new();
         inc.offer(5.0, 5.0, vec![2.0, 1.0], 1e-7);
         assert_eq!(inc.score(), 5.0);
         // worse: ignored

@@ -7,6 +7,7 @@
 //! `panic`.
 
 use crate::cache::MemoCache;
+use crate::checkpoint::{CheckpointSlot, CheckpointStore};
 use crate::fault::{FaultAction, FaultPlan};
 use rs_core::exact::ExactRs;
 use rs_core::heuristic::GreedyK;
@@ -20,7 +21,7 @@ use rs_core::request::{
 };
 use rs_core::spill::SpillPass;
 use rs_core::RsEngine;
-use rs_core::{Cancel, MilpError};
+use rs_core::{Cancel, MilpError, SearchCheckpoint};
 use rs_sched::{ListScheduler, RegisterAllocator, Resources};
 use serde::Deserialize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -84,11 +85,13 @@ impl WatchSlot {
     }
 }
 
-/// One warm worker: engine + optional shared cache.
+/// One warm worker: engine + optional shared cache + optional shared
+/// checkpoint store.
 pub struct Dispatcher {
     params: GreedyK,
     engine: RsEngine,
     cache: Option<Arc<MemoCache>>,
+    ckpts: Option<Arc<CheckpointStore>>,
     faults: Option<Arc<FaultPlan>>,
     watch: Option<WatchSlot>,
 }
@@ -107,9 +110,18 @@ impl Dispatcher {
             params: GreedyK::new(),
             engine: RsEngine::new(),
             cache: None,
+            ckpts: None,
             faults: None,
             watch: None,
         }
+    }
+
+    /// Retains interrupted-search checkpoints in `store`, keyed by cache
+    /// key, so retried requests resume instead of restarting (see
+    /// [`CheckpointStore`]). Works with or without a result cache — the
+    /// corpus runner uses a store on cache-less dispatchers.
+    pub fn set_checkpoint_store(&mut self, store: Arc<CheckpointStore>) {
+        self.ckpts = Some(store);
     }
 
     /// Injects faults per `plan` at this dispatcher's probe point (chaos
@@ -165,15 +177,37 @@ impl Dispatcher {
         if let Err(e) = req.validate() {
             return RsResponse::failure(id, e, self.cache_info(false), millis_since(start));
         }
-        let key = match (&self.cache, req.cache) {
-            (Some(_), true) => Some(req.cache_key()),
-            _ => None,
+        // The canonical key does double duty: memoization (only when the
+        // request allows caching) and checkpoint retention (whenever a
+        // store is attached — also for cache-disabled requests, since
+        // resuming never replays a stale result, it only continues exact
+        // work from a saved frontier).
+        let memo = self.cache.is_some() && req.cache;
+        let key = if memo || self.ckpts.is_some() {
+            Some(req.cache_key())
+        } else {
+            None
         };
-        if let (Some(cache), Some(key)) = (&self.cache, &key) {
-            if let Some(result) = cache.lookup(key) {
-                return RsResponse::success(id, result, self.cache_info(true), millis_since(start));
+        if memo {
+            if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                if let Some(result) = cache.lookup(key) {
+                    return RsResponse::success(
+                        id,
+                        result,
+                        self.cache_info(true),
+                        millis_since(start),
+                    );
+                }
             }
         }
+        // A retried request takes its predecessor's interrupted-search
+        // snapshots before executing; the solvers below continue from
+        // them node-for-node.
+        let resume_slots = match (&self.ckpts, &key) {
+            (Some(store), Some(key)) => store.take(key).unwrap_or_default(),
+            _ => Vec::new(),
+        };
+        let mut harvested: Vec<CheckpointSlot> = Vec::new();
         let deadline = req
             .timeout_ms
             .map(|ms| enqueued + Duration::from_millis(ms));
@@ -195,12 +229,28 @@ impl Dispatcher {
                 }
                 FaultAction::Delay(ms) => std::thread::sleep(Duration::from_millis(ms)),
             }
-            execute(&mut self.engine, req, &cancel)
+            execute(
+                &mut self.engine,
+                req,
+                &cancel,
+                &resume_slots,
+                &mut harvested,
+            )
         }));
         if let Some(w) = &self.watch {
             w.clear();
         }
         self.engine.clear_cancel();
+        // Park whatever the solvers left unfinished — on timeouts *and* on
+        // `ok` answers whose search hit a node budget — so the next retry
+        // of this request continues instead of restarting. This is also
+        // the watchdog-salvage path: a force-cancelled solve still returns
+        // cooperatively, and its checkpoint lands here.
+        if let (Some(store), Some(key)) = (&self.ckpts, &key) {
+            if !harvested.is_empty() {
+                store.put(key.clone(), harvested);
+            }
+        }
         match outcome {
             Ok(Ok(result)) => {
                 // Timeout is decided by the token, not the wall clock: the
@@ -223,8 +273,10 @@ impl Dispatcher {
                         millis_since(start),
                     );
                 }
-                if let (Some(cache), Some(key)) = (&self.cache, key) {
-                    cache.insert(key, &result);
+                if memo {
+                    if let (Some(cache), Some(key)) = (&self.cache, key) {
+                        cache.insert(key, &result);
+                    }
                 }
                 RsResponse::success(id, result, self.cache_info(false), millis_since(start))
             }
@@ -319,7 +371,17 @@ pub fn process_line_at(
 }
 
 /// Runs the validated request against the engine.
-fn execute(engine: &mut RsEngine, req: &RsRequest, cancel: &Cancel) -> Result<RsResult, RsError> {
+///
+/// `resume` carries named checkpoints from an earlier interrupted attempt
+/// of this request; solvers that find their slot continue from it.
+/// Interrupted solves deposit fresh checkpoints into `harvest`.
+fn execute(
+    engine: &mut RsEngine,
+    req: &RsRequest,
+    cancel: &Cancel,
+    resume: &[CheckpointSlot],
+    harvest: &mut Vec<CheckpointSlot>,
+) -> Result<RsResult, RsError> {
     let mut ddg = parse_ddg(&req.ddg).map_err(|e| RsError::new(codes::PARSE, e.to_string()))?;
     let types: Vec<RegType> = match req.reg_type.as_deref() {
         Some(name) => vec![reg_type_from_name(name).ok_or_else(|| {
@@ -340,7 +402,7 @@ fn execute(engine: &mut RsEngine, req: &RsRequest, cancel: &Cancel) -> Result<Rs
             for &t in &types {
                 result
                     .types
-                    .push(analyze_type(engine, &ddg, t, req, cancel));
+                    .push(analyze_type(engine, &ddg, t, req, cancel, resume, harvest));
             }
         }
         RsOp::Reduce => {
@@ -402,12 +464,15 @@ fn missing_budget() -> RsError {
     RsError::new(codes::REQUEST, "reduce requires a register budget")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn analyze_type(
     engine: &mut RsEngine,
     ddg: &Ddg,
     t: RegType,
     req: &RsRequest,
     cancel: &Cancel,
+    resume: &[CheckpointSlot],
+    harvest: &mut Vec<CheckpointSlot>,
 ) -> TypeResult {
     let threads = req.threads.max(1);
     let a = engine.analyze(ddg, t);
@@ -441,12 +506,30 @@ fn analyze_type(
             } else {
                 Some(e.upper_bound)
             },
+            resume: None,
+            resumed: false,
         });
     }
     if req.ilp {
         let mut solver = RsIlp::with_threads(threads);
         solver.milp.cancel = cancel.clone();
-        match solver.saturation(ddg, t) {
+        // The per-request checkpoint slot for this solver is the register
+        // type name: each interrupted intLP resumes its own frontier.
+        let slot = reg_type_name(t);
+        let prior = resume
+            .iter()
+            .find(|(name, _)| name == &slot)
+            .and_then(|(_, json)| SearchCheckpoint::from_json(json).ok());
+        let run = solver.saturation_resumable(ddg, t, prior.as_ref());
+        // The resume token surfaced to clients is the checkpoint JSON
+        // itself — opaque to them, exact to us. The same snapshot is
+        // harvested into the dispatcher's store so a plain retry resumes
+        // even when the client dropped the token.
+        let token = run.checkpoint.as_ref().map(|ck| ck.to_json());
+        if let Some(json) = token.clone() {
+            harvest.push((slot, json));
+        }
+        match run.result {
             Ok(r) => {
                 tr.ilp = Some(SolveResult {
                     saturation: r.saturation,
@@ -456,6 +539,8 @@ fn analyze_type(
                     } else {
                         Some(r.upper_bound)
                     },
+                    resume: token,
+                    resumed: r.milp_stats.resumed,
                 });
                 if req.stats {
                     let st = &r.milp_stats;
@@ -471,6 +556,7 @@ fn analyze_type(
                         bound_flips: st.bound_flips,
                         rows: st.rows,
                         cols: st.cols,
+                        trace_digest: st.trace_digest,
                     });
                 }
             }
@@ -739,6 +825,51 @@ mod tests {
     }
 
     #[test]
+    fn retried_timeout_request_resumes_from_checkpoint() {
+        use crate::checkpoint::CheckpointStore;
+        let store = Arc::new(CheckpointStore::default());
+        let mut d = Dispatcher::new();
+        d.set_checkpoint_store(store.clone());
+        let mut req = RsRequest::new(RsOp::Analyze, CHAINS);
+        req.ilp = true;
+        req.timeout_ms = Some(0); // expired on arrival: intLP interrupted at once
+        let first = d.dispatch(&req);
+        assert!(!first.ok);
+        assert_eq!(first.error.unwrap().code, codes::TIMEOUT);
+        assert_eq!(store.len(), 1, "interrupted intLP parked a checkpoint");
+        // Same cache key (timeout_ms is excluded): the retry picks the
+        // checkpoint up and finishes the search it started.
+        let mut retry = RsRequest::new(RsOp::Analyze, CHAINS);
+        retry.ilp = true;
+        let second = d.dispatch(&retry);
+        assert!(second.ok, "{:?}", second.error);
+        let result = second.result.unwrap();
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        let ilp = float.ilp.as_ref().expect("resumed intLP completed");
+        assert!(ilp.resumed, "retry continued from the parked checkpoint");
+        assert!(ilp.proven_optimal);
+        assert_eq!(ilp.saturation, 4);
+        assert!(ilp.resume.is_none(), "finished searches carry no token");
+        assert!(store.is_empty(), "resume consumed the entry");
+        assert_eq!(store.counters(), (1, 1));
+    }
+
+    #[test]
+    fn cold_requests_without_checkpoints_report_resumed_false() {
+        let mut d = Dispatcher::new();
+        d.set_checkpoint_store(Arc::new(crate::checkpoint::CheckpointStore::default()));
+        let mut req = RsRequest::new(RsOp::Analyze, CHAINS);
+        req.ilp = true;
+        let resp = d.dispatch(&req);
+        assert!(resp.ok, "{:?}", resp.error);
+        let result = resp.result.unwrap();
+        let float = result.types.iter().find(|t| t.reg_type == "float").unwrap();
+        let ilp = float.ilp.as_ref().unwrap();
+        assert!(!ilp.resumed);
+        assert!(ilp.resume.is_none());
+    }
+
+    #[test]
     fn stale_queued_request_is_shed_without_executing() {
         let mut d = Dispatcher::new();
         let mut req = RsRequest::new(RsOp::Analyze, CHAINS);
@@ -793,16 +924,17 @@ mod tests {
         // Reaching execute() without validate() must not panic the worker.
         let cancel = Cancel::new();
         let mut engine = RsEngine::new();
+        let mut hv = Vec::new();
         let mut req = RsRequest::new(RsOp::Reduce, CHAINS);
-        let err = execute(&mut engine, &req, &cancel).unwrap_err();
+        let err = execute(&mut engine, &req, &cancel, &[], &mut hv).unwrap_err();
         assert_eq!(err.code, codes::REQUEST);
         req.reg_type = Some("flux".into());
-        let err = execute(&mut engine, &req, &cancel).unwrap_err();
+        let err = execute(&mut engine, &req, &cancel, &[], &mut hv).unwrap_err();
         assert_eq!(err.code, codes::REQUEST);
         let mut req = RsRequest::new(RsOp::Pipeline, CHAINS);
         req.registers = Some(4);
         req.issue = Some(3);
-        let err = execute(&mut engine, &req, &cancel).unwrap_err();
+        let err = execute(&mut engine, &req, &cancel, &[], &mut hv).unwrap_err();
         assert_eq!(err.code, codes::REQUEST);
         assert!(err.message.contains("issue width"), "{err}");
     }

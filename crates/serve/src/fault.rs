@@ -75,19 +75,22 @@ impl FaultPlan {
         Ok(plan)
     }
 
-    /// Reads `RSAT_FAULTS`; `None` when unset or empty. A malformed value
-    /// is reported to stderr and ignored rather than killing the daemon.
-    pub fn from_env() -> Option<Arc<FaultPlan>> {
-        let spec = std::env::var("RSAT_FAULTS").ok()?;
+    /// Reads `RSAT_FAULTS`; `Ok(None)` when unset or empty. A malformed
+    /// value is a **startup error** — silently ignoring it would run the
+    /// daemon without the chaos schedule the operator asked for, which is
+    /// exactly the run where you cannot tell. Same contract as a malformed
+    /// `--faults` flag.
+    pub fn from_env() -> Result<Option<Arc<FaultPlan>>, String> {
+        let spec = match std::env::var("RSAT_FAULTS") {
+            Ok(s) => s,
+            Err(_) => return Ok(None),
+        };
         if spec.trim().is_empty() {
-            return None;
+            return Ok(None);
         }
         match FaultPlan::from_spec(&spec) {
-            Ok(plan) => Some(Arc::new(plan)),
-            Err(e) => {
-                eprintln!("rsat: ignoring RSAT_FAULTS: {e}");
-                None
-            }
+            Ok(plan) => Ok(Some(Arc::new(plan))),
+            Err(e) => Err(format!("invalid RSAT_FAULTS: {e}")),
         }
     }
 

@@ -8,6 +8,10 @@
 //!   `ok:false`, never kill the process), optional memoization;
 //! - [`cache::MemoCache`] — content-keyed result cache (DAG bytes + op +
 //!   params) with hit/miss counters surfaced in every response;
+//! - [`checkpoint::CheckpointStore`] — bounded retention of interrupted
+//!   branch-and-bound checkpoints keyed by the same cache key, so a
+//!   retried request *resumes* its search node-for-node instead of
+//!   restarting (the continuation mirror of the memo cache);
 //! - [`pool::ServePool`] — a bounded work queue with backpressure feeding
 //!   per-worker dispatchers, plus queue-wait load shedding and a watchdog
 //!   that force-cancels work stuck past its deadline;
@@ -22,12 +26,14 @@
 //! `rs-core` (the scheduler depends on it).
 
 pub mod cache;
+pub mod checkpoint;
 pub mod dispatch;
 pub mod fault;
 pub mod pool;
 pub mod server;
 
 pub use cache::MemoCache;
+pub use checkpoint::{CheckpointSlot, CheckpointStore};
 pub use dispatch::{process_line, process_line_at, Dispatcher, WatchSlot};
 pub use fault::{FaultAction, FaultPlan};
 pub use pool::{Job, PoolHandle, ResponseSink, ServeConfig, ServePool, ServeStats};

@@ -5,6 +5,7 @@
 //! consumer throttles intake instead of growing memory without bound.
 
 use crate::cache::MemoCache;
+use crate::checkpoint::CheckpointStore;
 use crate::dispatch::{process_line_at, Dispatcher, WatchSlot};
 use crate::fault::FaultPlan;
 use rs_core::request::{codes, RsResponse};
@@ -175,6 +176,12 @@ pub struct PoolCounters {
 pub struct PoolShared {
     queue: Bounded<Job>,
     cache: Arc<MemoCache>,
+    /// Interrupted-search checkpoints, shared by every worker so a retry
+    /// resumes no matter which worker picks it up. This is also how a
+    /// watchdog force-cancel *salvages* work: the cancelled solve still
+    /// returns cooperatively, its checkpoint lands here, and the retry
+    /// continues from it instead of paying for the lost nodes again.
+    ckpts: Arc<CheckpointStore>,
     counters: PoolCounters,
     slots: Vec<WatchSlot>,
     stop_watchdog: AtomicBool,
@@ -214,6 +221,11 @@ pub struct ServeStats {
     pub cache_hits: u64,
     /// Memoization cache misses.
     pub cache_misses: u64,
+    /// Interrupted-search checkpoints deposited for later resume.
+    pub checkpoints_stored: u64,
+    /// Retried requests that resumed a parked checkpoint instead of
+    /// restarting their search.
+    pub resumed: u64,
 }
 
 /// A pool of worker threads, each owning a warm [`Dispatcher`] over one
@@ -231,6 +243,7 @@ impl ServePool {
         let shared = Arc::new(PoolShared {
             queue: Bounded::new(cfg.queue),
             cache: Arc::new(MemoCache::with_capacity(cfg.cache_capacity)),
+            ckpts: Arc::new(CheckpointStore::default()),
             counters: PoolCounters::default(),
             slots: (0..n).map(|_| WatchSlot::default()).collect(),
             stop_watchdog: AtomicBool::new(false),
@@ -297,6 +310,7 @@ impl ServePool {
 
 fn snapshot(shared: &PoolShared) -> ServeStats {
     let (cache_hits, cache_misses) = shared.cache.counters();
+    let (checkpoints_stored, resumed) = shared.ckpts.counters();
     ServeStats {
         requests: shared.counters.requests.load(Ordering::Relaxed),
         ok: shared.counters.ok.load(Ordering::Relaxed),
@@ -307,11 +321,14 @@ fn snapshot(shared: &PoolShared) -> ServeStats {
         engines_replaced: shared.counters.engines_replaced.load(Ordering::Relaxed),
         cache_hits,
         cache_misses,
+        checkpoints_stored,
+        resumed,
     }
 }
 
 fn worker_loop(shared: &PoolShared, index: usize, faults: Option<Arc<FaultPlan>>) {
     let mut dispatcher = Dispatcher::with_cache(Arc::clone(&shared.cache));
+    dispatcher.set_checkpoint_store(Arc::clone(&shared.ckpts));
     let slot = shared.slots[index].clone();
     dispatcher.set_watch(slot.clone());
     if let Some(plan) = faults {

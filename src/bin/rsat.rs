@@ -4,8 +4,8 @@
 //! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N] [--timeout-ms N]
 //! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg] [--timeout-ms N]
 //! rsat pipeline <file.ddg> --registers N [--issue 1|4|8] [--timeout-ms N]
-//! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir]
-//!               [--timeout-ms N] [--retries N] [--faults SPEC]
+//! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--ilp] [--out dir]
+//!               [--timeout-ms N] [--retries N] [--resume PATH] [--faults SPEC]
 //! rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH] [--grace-ms N]
 //!               [--faults SPEC]
 //! rsat dot      <file.ddg>
@@ -32,7 +32,11 @@
 //! `corpus.json`/`corpus.txt` under `--out` (default `results/`). Malformed
 //! files are reported in the summary and skipped — they do not abort the
 //! run or fail the exit code. The summary content is identical for every
-//! `--jobs` value.
+//! `--jobs` value. `--ilp` adds the exact intLP saturation per file; with
+//! `--timeout-ms N --retries K`, a timed-out intLP *resumes* from its
+//! checkpoint on the next attempt instead of restarting. `--resume PATH`
+//! keeps an atomically-rewritten run checkpoint so a killed corpus run,
+//! rerun with the same flag, skips the files it already completed.
 //!
 //! `serve` is the persistent daemon: newline-delimited JSON requests on
 //! stdin (or a Unix socket with `--socket`), one response line per request
@@ -66,7 +70,7 @@ fn main() -> ExitCode {
             );
             eprintln!("  rsat pipeline <file.ddg> --registers N [--issue 1|4|8] [--timeout-ms N]");
             eprintln!(
-                "  rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--out dir] [--timeout-ms N] [--retries N] [--faults SPEC]"
+                "  rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--ilp] [--out dir] [--timeout-ms N] [--retries N] [--resume PATH] [--faults SPEC]"
             );
             eprintln!(
                 "  rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH] [--grace-ms N] [--faults SPEC]"
@@ -206,7 +210,7 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
             println!(
                 "  intLP stats: {} nodes, {} LP solves ({} warm dives, {} warm hits, \
                  {} dive reinstalls), {} pseudocost branches, {} strong-branch probes, \
-                 {} pivots, {} bound flips, tableau {}x{}",
+                 {} pivots, {} bound flips, tableau {}x{}, trace digest {:016x}",
                 st.nodes,
                 st.lp_solves,
                 st.warm_solves,
@@ -217,7 +221,8 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
                 st.pivots,
                 st.bound_flips,
                 st.rows,
-                st.cols
+                st.cols,
+                st.trace_digest
             );
         }
         println!("  saturating values: {}", tr.saturating.join(", "));
@@ -370,6 +375,8 @@ fn corpus(args: &[String]) -> Result<(), RsError> {
             .map_err(|_| RsError::usage("bad --retries value"))?,
         None => 0,
     };
+    let ilp = args.iter().any(|a| a == "--ilp");
+    let resume_path = flag_value(args, "--resume").map(std::path::PathBuf::from);
     let faults = parse_faults(args)?;
 
     let summary = run_corpus(
@@ -379,6 +386,8 @@ fn corpus(args: &[String]) -> Result<(), RsError> {
             mode,
             timeout_ms,
             retries,
+            ilp,
+            resume_path,
             faults,
         },
     )?;
@@ -450,7 +459,8 @@ fn serve(args: &[String]) -> Result<(), RsError> {
     };
     eprintln!(
         "rsat serve: {} requests, {} ok, {} failed ({} timeout, {} shed), \
-         {} watchdog cancels, {} engines replaced, cache {} hits / {} misses",
+         {} watchdog cancels, {} engines replaced, cache {} hits / {} misses, \
+         {} checkpoints stored / {} resumed",
         stats.requests,
         stats.ok,
         stats.failed,
@@ -459,20 +469,24 @@ fn serve(args: &[String]) -> Result<(), RsError> {
         stats.watchdog_cancels,
         stats.engines_replaced,
         stats.cache_hits,
-        stats.cache_misses
+        stats.cache_misses,
+        stats.checkpoints_stored,
+        stats.resumed
     );
     Ok(())
 }
 
 /// Fault injection plan from `--faults SPEC` (first) or the `RSAT_FAULTS`
-/// environment variable. A malformed flag is a usage error; a malformed
-/// environment variable is ignored with a warning ([`FaultPlan::from_env`]).
+/// environment variable. Both fail fast at startup with a usage error —
+/// silently running *without* the chaos schedule the operator configured
+/// would invalidate exactly the experiment it was set up for
+/// ([`FaultPlan::from_env`]).
 fn parse_faults(args: &[String]) -> Result<Option<std::sync::Arc<FaultPlan>>, RsError> {
     match flag_value(args, "--faults") {
         Some(spec) => FaultPlan::from_spec(&spec)
             .map(|p| Some(std::sync::Arc::new(p)))
             .map_err(|e| RsError::usage(format!("bad --faults value: {e}"))),
-        None => Ok(FaultPlan::from_env()),
+        None => FaultPlan::from_env().map_err(RsError::usage),
     }
 }
 

@@ -1,16 +1,17 @@
 //! Parallel-vs-sequential agreement of the MILP engine on real
 //! register-saturation models.
 //!
-//! The branch-and-bound node pool promises that the optimal objective is
-//! independent of the worker thread count — including with pseudocost
-//! branching, whose shared degradation estimates are updated lock-free by
-//! every worker: the interleaving of those updates can reshape the tree
-//! but never the reported optimum (pruning stays strict-improvement-only).
+//! The statically-partitioned branch-and-bound search promises that the
+//! *entire tree* — not just the optimal objective — is independent of the
+//! worker thread count: nodes are processed in deterministic rounds with
+//! per-round frozen pseudocosts and incumbents, so node counts and the
+//! committed-trace digest are byte-identical at every `threads` value.
 //! These tests check that promise on the actual Section-3 intLP models
 //! (not just synthetic knapsacks): random kernels are generated, their
 //! saturation models built, and each is solved across the {1, 2, 4}
-//! thread grid with pseudocost branching explicitly on; objectives must
-//! match exactly and every witness must be feasible.
+//! thread grid with pseudocost branching explicitly on; objectives, node
+//! counts, and trace digests must match exactly and every witness must be
+//! feasible.
 
 mod common;
 
@@ -71,6 +72,19 @@ proptest! {
                         s.objective.round() as i64,
                         p.objective.round() as i64,
                         "ops={} seed={} threads={}", ops, seed, threads
+                    );
+                    // Same tree, not just same answer: the partitioned
+                    // search commits identical rounds at every thread
+                    // count.
+                    prop_assert_eq!(
+                        s.stats.nodes, p.stats.nodes,
+                        "ops={} seed={} threads={} changed the node count",
+                        ops, seed, threads
+                    );
+                    prop_assert_eq!(
+                        s.stats.trace_digest, p.stats.trace_digest,
+                        "ops={} seed={} threads={} changed the trace digest",
+                        ops, seed, threads
                     );
                     prop_assert!(model.check_feasible(&s.values, 1e-5).is_ok());
                     prop_assert!(model.check_feasible(&p.values, 1e-5).is_ok());

@@ -95,6 +95,10 @@ proptest! {
                         saturation: 3,
                         proven_optimal: true,
                         bound: (seed % 8 == 4).then_some(5),
+                        // Resume tokens are raw JSON strings — escape-heavy
+                        // content must round-trip inside the field.
+                        resume: (seed % 8 == 0).then(|| tricky_string(seed / 3)),
+                        resumed: seed % 16 == 0,
                     }),
                     ilp: None,
                     ilp_stats: None,
