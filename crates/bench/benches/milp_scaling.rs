@@ -57,6 +57,19 @@ struct Cell {
     strong_branch_probes: usize,
     pivots: usize,
     bound_flips: usize,
+    /// Pivots priced by the dual steepest-edge rule (subset of `pivots`).
+    dse_pivots: usize,
+    /// Cutting planes accepted into the pool (root + in-tree, deduped).
+    cuts_added: usize,
+    /// Root separation rounds that accepted at least one cut.
+    cut_rounds: usize,
+    /// Nodes fathomed by per-node bound propagation (no LP solve spent).
+    propagation_fathoms: usize,
+    /// Fraction of the root integrality gap closed by the root cut loop:
+    /// `(pre − post) / (pre − optimum)`; absent when the loop never ran
+    /// or the root relaxation was already tight.
+    root_gap_closed: Option<f64>,
+    /// Tableau rows including appended cut rows.
     rows: usize,
     cols: usize,
 }
@@ -176,8 +189,8 @@ fn main() {
     let mut speedup_vs_reference: Vec<(usize, f64)> = Vec::new();
     println!("milp_scaling: host parallelism {host_parallelism}");
     println!(
-        "{:>6} {:>9} {:>12} {:>10} {:>8} {:>9} {:>10} {:>9}",
-        "size", "threads", "millis", "objective", "nodes", "warm", "pivots", "rows"
+        "{:>6} {:>9} {:>12} {:>10} {:>8} {:>9} {:>10} {:>9} {:>6} {:>6}",
+        "size", "threads", "millis", "objective", "nodes", "warm", "pivots", "rows", "cuts", "pfath"
     );
 
     for &(size, seed) in instances {
@@ -239,12 +252,14 @@ fn main() {
             }
             // The bounded-simplex invariant: no explicit bound rows — the
             // tableau has at most the structural constraint rows (presolve
-            // may fold singleton rows away, never add any).
+            // may fold singleton rows away, never add any) plus the cut
+            // rows the search itself appended.
             assert!(
-                sol.stats.rows <= model.num_constraints(),
-                "size {size}: bounded path emitted bound rows ({} rows > {} constraints)",
+                sol.stats.rows <= model.num_constraints() + sol.stats.cuts_added,
+                "size {size}: bounded path emitted bound rows ({} rows > {} constraints + {} cuts)",
                 sol.stats.rows,
-                model.num_constraints()
+                model.num_constraints(),
+                sol.stats.cuts_added
             );
             // The incremental-dive-tableau invariant: dive chains apply
             // bound folds in place; a basis reinstall anywhere in a dive
@@ -264,8 +279,13 @@ fn main() {
                 sol.stats.rows
             );
             println!(
-                "{size:>6} {threads:>9} {millis:>12.1} {obj:>10} {:>8} {:>9} {:>10} {:>9}",
-                sol.stats.nodes, sol.stats.warm_solves, sol.stats.pivots, sol.stats.rows
+                "{size:>6} {threads:>9} {millis:>12.1} {obj:>10} {:>8} {:>9} {:>10} {:>9} {:>6} {:>6}",
+                sol.stats.nodes,
+                sol.stats.warm_solves,
+                sol.stats.pivots,
+                sol.stats.rows,
+                sol.stats.cuts_added,
+                sol.stats.propagation_fathoms
             );
             if threads == 1 && ref_millis > 0.0 {
                 speedup_vs_reference.push((size, ref_millis / millis.max(1e-9)));
@@ -285,6 +305,20 @@ fn main() {
                 strong_branch_probes: sol.stats.strong_branch_probes,
                 pivots: sol.stats.pivots,
                 bound_flips: sol.stats.bound_flips,
+                dse_pivots: sol.stats.dse_pivots,
+                cuts_added: sol.stats.cuts_added,
+                cut_rounds: sol.stats.cut_rounds,
+                propagation_fathoms: sol.stats.propagation_fathoms,
+                root_gap_closed: {
+                    let pre = sol.stats.root_bound_pre_cuts;
+                    let post = sol.stats.root_bound_post_cuts;
+                    let gap = pre - sol.objective;
+                    if pre.is_finite() && post.is_finite() && gap.abs() > 1e-9 {
+                        Some((pre - post) / gap)
+                    } else {
+                        None
+                    }
+                },
                 rows: sol.stats.rows,
                 cols: sol.stats.cols,
             });

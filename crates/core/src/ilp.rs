@@ -77,7 +77,8 @@ pub struct RsIlp {
     /// `Σ_e δ(e)`). Smaller horizons shrink big-M constants; the result is
     /// the saturation restricted to schedules of that makespan.
     pub horizon_override: Option<i64>,
-    /// Branch-and-bound budget.
+    /// Branch-and-bound budget and engine knobs (cutting planes, pricing
+    /// rule, bound propagation, threads — see [`MilpConfig`]).
     pub milp: MilpConfig,
 }
 

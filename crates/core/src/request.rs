@@ -377,8 +377,17 @@ pub struct IlpStats {
     pub strong_branch_probes: usize,
     /// Simplex pivots.
     pub pivots: usize,
+    /// Pivots whose leaving row was chosen by dual steepest-edge pricing
+    /// (zero under Dantzig pricing).
+    pub dse_pivots: usize,
     /// Bound flips.
     pub bound_flips: usize,
+    /// Cutting planes added to the relaxation (root rounds + node cuts).
+    pub cuts_added: usize,
+    /// Root separation rounds that improved the relaxation bound.
+    pub cut_rounds: usize,
+    /// Nodes fathomed by bound propagation before any LP solve.
+    pub propagation_fathoms: usize,
     /// Relaxation tableau rows.
     pub rows: usize,
     /// Relaxation tableau columns.

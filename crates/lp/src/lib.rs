@@ -37,6 +37,7 @@
 //! ```
 
 pub mod cancel;
+pub mod cuts;
 pub mod expr;
 pub mod linearize;
 pub mod milp;
@@ -47,15 +48,16 @@ pub mod reference;
 pub mod simplex;
 
 pub use cancel::{min_deadline, Cancel};
+pub use cuts::Cut;
 pub use expr::LinExpr;
 pub use milp::{
     solve, solve_from, solve_resumable, MilpConfig, MilpError, MilpRun, MilpStats, SearchCheckpoint,
 };
 pub use model::{Cmp, Model, ModelStats, Sense, VarId, VarKind};
-pub use presolve::{presolve, PresolveOutcome, PresolveStats};
+pub use presolve::{presolve, propagate, PresolveOutcome, PresolveStats, Propagation};
 pub use simplex::{
-    solve_relaxation, solve_with_basis, solve_with_basis_stats, tableau_shape, Basis, DiveStep,
-    DiveTableau, LpOutcome, LpStats, Solution,
+    solve_relaxation, solve_with_basis, solve_with_basis_pricing, solve_with_basis_stats,
+    tableau_shape, Basis, DiveStep, DiveTableau, LpOutcome, LpStats, Pricing, Solution,
 };
 
 /// Numeric tolerance used throughout the solver.

@@ -64,9 +64,10 @@
 //! of the relaxation bound is a valid tightening).
 
 use crate::cancel::{min_deadline, Cancel};
+use crate::cuts::Cut;
 use crate::model::{Model, Sense, VarKind};
-use crate::pool::{BranchStep, Frontier, Incumbent, Node, PcStore};
-use crate::simplex::{DiveStep, DiveTableau, LpOutcome, LpStats, Solution};
+use crate::pool::{BranchStep, CutPool, Frontier, Incumbent, Node, PcStore};
+use crate::simplex::{DiveStep, DiveTableau, LpOutcome, LpStats, Pricing, Solution};
 use crate::{VarId, EPS};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -106,9 +107,44 @@ const SB_PIVOT_CAP: usize = 160;
 /// side from erasing the other side's signal.
 const PC_SCORE_EPS: f64 = 1e-4;
 
+/// Maximum root cut-separation rounds (separate → append → re-solve).
+const ROOT_CUT_ROUNDS: usize = 8;
+
+/// Cuts accepted per root separation round (most violated first).
+const ROOT_CUTS_PER_ROUND: usize = 20;
+
+/// Cuts accepted per in-tree separation (sparingly: cuts are global rows
+/// appended to every relaxation, so tree separation pays for itself only
+/// near the top of the tree).
+const NODE_CUTS_PER_NODE: usize = 4;
+
+/// In-tree separation only at nodes this deep or shallower (depth 0 is
+/// covered by the root loop).
+const NODE_CUT_DEPTH: usize = 8;
+
+/// In-tree separation fires when the committed node index matches this
+/// mask (a function of the committed index, like dive scheduling — that is
+/// what keeps it thread-count invariant).
+const NODE_CUT_MASK: usize = 15;
+
+/// Minimum violation for a separated cut to be accepted.
+const CUT_MIN_VIOLATION: f64 = 1e-4;
+
+/// Density cap for tableau-derived (Gomory) cuts: rows denser than this
+/// tax every later LP solve more than their bound contribution is worth.
+const GOMORY_MAX_TERMS: usize = 24;
+
+/// A root separation round must improve the relaxation bound by more than
+/// this (in score space) to earn another round.
+const ROOT_CUT_MIN_IMPROVE: f64 = 1e-6;
+
+/// A pooled cut slack for this many consecutive root re-solves is retired.
+const CUT_MAX_AGE: u32 = 2;
+
 /// Wire-format version of [`SearchCheckpoint`]; a checkpoint from a
 /// different version is silently ignored (the solve starts cold).
-pub const CHECKPOINT_VERSION: u32 = 1;
+/// Version 2 added the cut pool and the cut/pricing/propagation counters.
+pub const CHECKPOINT_VERSION: u32 = 2;
 
 /// Knobs for the branch-and-bound driver.
 #[derive(Clone, Debug)]
@@ -153,6 +189,29 @@ pub struct MilpConfig {
     /// starts, bound rows double the tableau. The optimal objective must
     /// not depend on this flag.
     pub reference_lp: bool,
+    /// Pricing rule for the dual-simplex repair passes (dive tableau
+    /// tightenings, strong-branching probes, warm re-solves). The default
+    /// [`Pricing::DualSteepestEdge`] picks leaving rows by
+    /// steepest-edge-normalized infeasibility — markedly fewer pivots per
+    /// repair on the register-saturation tableaus; [`Pricing::Dantzig`]
+    /// (most-violated row) is the simpler fallback. Cold solves are primal
+    /// and unaffected. The optimal objective does not depend on this knob,
+    /// but the explored tree may (different optimal-face vertices), so it
+    /// is part of the checkpoint fingerprint.
+    pub pricing: Pricing,
+    /// Separate lifted cover and clique cuts ([`crate::cuts`]) at the root
+    /// (rounds until the relaxation bound stops improving) and sparingly
+    /// in the tree, managed through a deduplicating pool with
+    /// activity-based aging (default). Cuts are globally valid, so they
+    /// tighten every node relaxation; they never exclude an integer point,
+    /// so the optimal objective does not depend on this flag.
+    pub cuts: bool,
+    /// Run a cheap bound-propagation pass ([`crate::presolve::propagate`])
+    /// on each node's tightened domain before its LP solve (default).
+    /// Knapsack-style activity arguments shrink integer domains and detect
+    /// infeasible branches without a simplex call
+    /// ([`MilpStats::propagation_fathoms`]).
+    pub propagation: bool,
     /// Cooperative cancellation token. Its flag is sampled before every
     /// node and inside the simplex pivot loops; its deadline (if any)
     /// merges with `time_limit`. A tripped token stops the search exactly
@@ -175,6 +234,9 @@ impl Default for MilpConfig {
             pseudocost: true,
             presolve: true,
             reference_lp: false,
+            pricing: Pricing::DualSteepestEdge,
+            cuts: true,
+            propagation: true,
             cancel: Cancel::new(),
         }
     }
@@ -254,9 +316,28 @@ pub struct MilpStats {
     pub pivots: usize,
     /// Total bound flips (rank-1 rhs updates in place of pivots).
     pub bound_flips: usize,
-    /// Relaxation tableau rows. Equals the structural constraint count on
-    /// the bounded-variable path (zero bound rows); the reference path adds
-    /// one row per finite upper bound.
+    /// Pivots priced by the dual steepest-edge rule (a subset of
+    /// [`MilpStats::pivots`]; zero when [`MilpConfig::pricing`] is
+    /// Dantzig).
+    pub dse_pivots: usize,
+    /// Cutting planes accepted into the cut pool (root + in-tree), net of
+    /// dedup, not counting later retirements.
+    pub cuts_added: usize,
+    /// Root cut-separation rounds that accepted at least one cut.
+    pub cut_rounds: usize,
+    /// Nodes fathomed by the per-node bound-propagation pass — branches
+    /// proved infeasible without an LP solve.
+    pub propagation_fathoms: usize,
+    /// Root relaxation bound before any cuts, in objective space (`NaN`
+    /// when the cut loop never ran: cuts disabled, or resumed past it).
+    pub root_bound_pre_cuts: f64,
+    /// Root relaxation bound after the last cut round, in objective space
+    /// (`NaN` when the cut loop never ran).
+    pub root_bound_post_cuts: f64,
+    /// Relaxation tableau rows **including appended cut rows**. Equals the
+    /// structural constraint count on the bounded-variable path (zero
+    /// bound rows); the reference path adds one row per finite upper
+    /// bound.
     pub rows: usize,
     /// Relaxation tableau columns (structural + slack).
     pub cols: usize,
@@ -409,6 +490,12 @@ fn fingerprint(model: &Model, cfg: &MilpConfig) -> u64 {
     h.byte(cfg.pseudocost as u8);
     h.byte(cfg.presolve as u8);
     h.byte(cfg.reference_lp as u8);
+    h.byte(match cfg.pricing {
+        Pricing::Dantzig => 0,
+        Pricing::DualSteepestEdge => 1,
+    });
+    h.byte(cfg.cuts as u8);
+    h.byte(cfg.propagation as u8);
     h.state()
 }
 
@@ -440,6 +527,13 @@ pub struct SearchCheckpoint {
     nodes: usize,
     digest: u64,
     root_dive_done: bool,
+    /// Whether the root cut loop completed (it runs before the root dive;
+    /// an interrupted loop is discarded whole and re-run on resume).
+    root_cuts_done: bool,
+    /// Root relaxation score before/after cuts, as f64 bits (NaN bits when
+    /// the loop never ran).
+    root_bound_pre: u64,
+    root_bound_post: u64,
     numerical: bool,
     /// Max abandoned (numerical-skip) score, as f64 bits.
     abandoned: u64,
@@ -447,8 +541,40 @@ pub struct SearchCheckpoint {
     resumed_chain: u32,
     frontier: Vec<CkptNode>,
     incumbent: Option<CkptIncumbent>,
+    /// The cut pool in insertion order — the resumed run appends these
+    /// rows to its search model before touching the frontier, so every
+    /// node re-solves against the identical relaxation.
+    cuts: Vec<CkptCut>,
     pc: CkptPc,
     counters: CkptCounters,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct CkptCut {
+    /// `(var, coefficient bits)` pairs, sorted by var.
+    terms: Vec<(u32, u64)>,
+    /// Rhs as f64 bits.
+    rhs: u64,
+}
+
+impl CkptCut {
+    fn from_cut(c: &Cut) -> CkptCut {
+        CkptCut {
+            terms: c.terms.iter().map(|&(v, a)| (v.0, a.to_bits())).collect(),
+            rhs: c.rhs.to_bits(),
+        }
+    }
+
+    fn to_cut(&self) -> Cut {
+        Cut {
+            terms: self
+                .terms
+                .iter()
+                .map(|&(v, a)| (VarId(v), f64::from_bits(a)))
+                .collect(),
+            rhs: f64::from_bits(self.rhs),
+        }
+    }
 }
 
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -498,6 +624,10 @@ struct CkptCounters {
     strong_branch_probes: usize,
     pivots: usize,
     bound_flips: usize,
+    dse_pivots: usize,
+    cuts_added: usize,
+    cut_rounds: usize,
+    propagation_fathoms: usize,
 }
 
 impl CkptNode {
@@ -584,6 +714,10 @@ impl SearchCheckpoint {
                 nd.bounds.iter().all(|&(v, _, _)| (v as usize) < n)
                     && nd.branch.as_ref().is_none_or(|b| (b.var as usize) < n)
             })
+            && self
+                .cuts
+                .iter()
+                .all(|c| c.terms.iter().all(|&(v, _)| (v as usize) < n))
     }
 }
 
@@ -708,6 +842,10 @@ struct LocalCounters {
     strong_branch_probes: usize,
     pivots: usize,
     bound_flips: usize,
+    dse_pivots: usize,
+    cuts_added: usize,
+    cut_rounds: usize,
+    propagation_fathoms: usize,
 }
 
 impl LocalCounters {
@@ -720,6 +858,10 @@ impl LocalCounters {
         self.strong_branch_probes += o.strong_branch_probes;
         self.pivots += o.pivots;
         self.bound_flips += o.bound_flips;
+        self.dse_pivots += o.dse_pivots;
+        self.cuts_added += o.cuts_added;
+        self.cut_rounds += o.cut_rounds;
+        self.propagation_fathoms += o.propagation_fathoms;
     }
 }
 
@@ -742,6 +884,11 @@ struct NodeOutcome {
     kind: OutcomeKind,
     records: Vec<(VarId, bool, f64)>,
     offers: Vec<(f64, f64, Vec<f64>)>,
+    /// Cuts separated at this node (already violation-filtered and
+    /// deduplicated against the frozen round-start pool). The driver
+    /// deduplicates again at commit time — two nodes of one round can
+    /// separate the same cut — and appends survivors to every model.
+    cuts: Vec<Cut>,
     counters: LocalCounters,
     /// True when cancellation or a deadline altered (or could have
     /// altered) this node's processing. The driver aborts the whole round:
@@ -763,6 +910,7 @@ struct NodeRun<'c, 'a> {
     pc: PcStore,
     records: Vec<(VarId, bool, f64)>,
     offers: Vec<(f64, f64, Vec<f64>)>,
+    cuts: Vec<Cut>,
     counters: LocalCounters,
     interrupted: bool,
 }
@@ -775,6 +923,7 @@ impl<'c, 'a> NodeRun<'c, 'a> {
             pc,
             records: Vec::new(),
             offers: Vec::new(),
+            cuts: Vec::new(),
             counters: LocalCounters::default(),
             interrupted: false,
         }
@@ -813,6 +962,7 @@ impl<'c, 'a> NodeRun<'c, 'a> {
         self.counters.lp_solves += 1;
         self.counters.pivots += st.pivots;
         self.counters.bound_flips += st.bound_flips;
+        self.counters.dse_pivots += st.dse_pivots;
         if dive {
             self.counters.dive_reinstalls += st.reinstalls;
         }
@@ -820,10 +970,11 @@ impl<'c, 'a> NodeRun<'c, 'a> {
 
     /// Charges the pivot/flip work a dive tableau performed since
     /// `before` (its [`DiveTableau::work`] snapshot).
-    fn charge_dive_work(&mut self, dt: &DiveTableau, before: (usize, usize)) {
-        let (p, f) = dt.work();
+    fn charge_dive_work(&mut self, dt: &DiveTableau, before: (usize, usize, usize)) {
+        let (p, f, d) = dt.work();
         self.counters.pivots += p - before.0;
         self.counters.bound_flips += f - before.1;
+        self.counters.dse_pivots += d - before.2;
     }
 
     /// Marks the node interrupted if the cancel flag is set — called at
@@ -840,6 +991,7 @@ impl<'c, 'a> NodeRun<'c, 'a> {
             kind,
             records: self.records,
             offers: self.offers,
+            cuts: self.cuts,
             counters: self.counters,
             interrupted: self.interrupted,
         }
@@ -851,6 +1003,9 @@ struct SearchState {
     frontier: Frontier,
     incumbent: Incumbent,
     pc: PcStore,
+    /// The committed cut pool, in insertion order (part of the
+    /// deterministic search state — checkpointed and restored verbatim).
+    pool: CutPool,
     nodes: usize,
     digest: Fnv,
     counters: LocalCounters,
@@ -858,6 +1013,10 @@ struct SearchState {
     /// Max score over numerically abandoned subproblems, `-∞` when none.
     abandoned: f64,
     root_dive_done: bool,
+    root_cuts_done: bool,
+    /// Root relaxation score before/after cuts (NaN = loop never ran).
+    root_bound_pre: f64,
+    root_bound_post: f64,
     resumed_chain: u32,
     resumed: bool,
 }
@@ -868,12 +1027,16 @@ impl SearchState {
             frontier: Frontier::seeded(),
             incumbent: Incumbent::new(),
             pc: PcStore::new(num_vars),
+            pool: CutPool::new(),
             nodes: 0,
             digest: Fnv::new(),
             counters: LocalCounters::default(),
             numerical: false,
             abandoned: f64::NEG_INFINITY,
             root_dive_done: false,
+            root_cuts_done: false,
+            root_bound_pre: f64::NAN,
+            root_bound_post: f64::NAN,
             resumed_chain: 0,
             resumed: false,
         }
@@ -895,9 +1058,14 @@ impl SearchState {
             }
             None => Incumbent::new(),
         };
+        let mut pool = CutPool::new();
+        for c in &ck.cuts {
+            pool.insert(c.to_cut());
+        }
         SearchState {
             frontier,
             incumbent,
+            pool,
             pc: PcStore::from_parts(
                 ck.pc.up_sum.iter().map(|&b| f64::from_bits(b)).collect(),
                 ck.pc.up_cnt.clone(),
@@ -917,10 +1085,17 @@ impl SearchState {
                 strong_branch_probes: ck.counters.strong_branch_probes,
                 pivots: ck.counters.pivots,
                 bound_flips: ck.counters.bound_flips,
+                dse_pivots: ck.counters.dse_pivots,
+                cuts_added: ck.counters.cuts_added,
+                cut_rounds: ck.counters.cut_rounds,
+                propagation_fathoms: ck.counters.propagation_fathoms,
             },
             numerical: ck.numerical,
             abandoned: f64::from_bits(ck.abandoned),
             root_dive_done: ck.root_dive_done,
+            root_cuts_done: ck.root_cuts_done,
+            root_bound_pre: f64::from_bits(ck.root_bound_pre),
+            root_bound_post: f64::from_bits(ck.root_bound_post),
             resumed_chain: ck.resumed_chain + 1,
             resumed: true,
         }
@@ -982,6 +1157,9 @@ impl SearchState {
             nodes: self.nodes,
             digest: self.digest.state(),
             root_dive_done: self.root_dive_done,
+            root_cuts_done: self.root_cuts_done,
+            root_bound_pre: self.root_bound_pre.to_bits(),
+            root_bound_post: self.root_bound_post.to_bits(),
             numerical: self.numerical,
             abandoned: self.abandoned.to_bits(),
             resumed_chain: self.resumed_chain,
@@ -998,6 +1176,7 @@ impl SearchState {
                     objective: objective.to_bits(),
                     values: values.iter().map(|x| x.to_bits()).collect(),
                 }),
+            cuts: self.pool.cuts().iter().map(CkptCut::from_cut).collect(),
             pc,
             counters: CkptCounters {
                 lp_solves: self.counters.lp_solves,
@@ -1008,6 +1187,10 @@ impl SearchState {
                 strong_branch_probes: self.counters.strong_branch_probes,
                 pivots: self.counters.pivots,
                 bound_flips: self.counters.bound_flips,
+                dse_pivots: self.counters.dse_pivots,
+                cuts_added: self.counters.cuts_added,
+                cut_rounds: self.counters.cut_rounds,
+                propagation_fathoms: self.counters.propagation_fathoms,
             },
         }
     }
@@ -1044,14 +1227,59 @@ fn solve_presolved(
         None => SearchState::fresh(n),
     };
 
+    // The *search model*: the (presolved) base model plus every committed
+    // cut row, in pool insertion order. A resumed run rebuilds it from the
+    // checkpointed pool before touching the frontier, so every node
+    // re-solves against the identical relaxation.
+    let mut search_model = model.clone();
+    for cut in st.pool.cuts() {
+        cut.append_to(&mut search_model);
+    }
+
+    // Root cut loop: rounds of separate → append → re-solve on the root
+    // relaxation, before the root dive (so the dive benefits from the
+    // tightened relaxation). Committed atomically like the dive — an
+    // interrupted loop discards its cuts *and* its counters whole and is
+    // re-run on resume, so a resumed run's totals match an uninterrupted
+    // run's exactly.
+    let mut root_interrupted = false;
+    if cfg.cuts && !st.root_cuts_done {
+        match root_cut_loop(&ctx, model) {
+            RootCuts::Done(res) => {
+                st.counters.add(&res.counters);
+                st.root_bound_pre = res.pre;
+                st.root_bound_post = res.post;
+                st.pool = res.pool;
+                st.root_cuts_done = true;
+                search_model = res.model;
+            }
+            // LP infeasibility with (globally valid) cuts appended still
+            // proves MILP infeasibility: every integer-feasible point
+            // satisfies every cut.
+            RootCuts::Infeasible => {
+                return MilpRun {
+                    result: Err(MilpError::Infeasible),
+                    checkpoint: None,
+                }
+            }
+            RootCuts::Interrupted => root_interrupted = true,
+        }
+    }
+
     // Deterministic root dive: seeds the incumbent before the tree search
     // so every run starts from the same incumbent floor. Committed
     // atomically — an interrupted dive is discarded whole (and re-run on
     // resume, `root_dive_done` stays false), so its offers never make a
-    // committed prefix diverge from the uninterrupted run.
-    if !st.root_dive_done {
+    // committed prefix diverge from the uninterrupted run. The dive runs
+    // on the **pre-cut** model: cut rows reshape the relaxation's face
+    // structure in ways that strand the rounding heuristic short of any
+    // integer point (observed on the saturation corpus — the cut-augmented
+    // dive finds nothing where the plain one lands an incumbent
+    // immediately), and every offer is re-validated against the original
+    // model at commit time regardless.
+    if !root_interrupted && !st.root_dive_done {
         let mut run = NodeRun::new(&ctx, st.incumbent.score(), st.pc.clone());
-        dive_probe(&mut run);
+        dive_probe(&mut run, model);
         if !run.interrupted {
             let out = run.finish(OutcomeKind::Pruned);
             st.absorb_effects(out);
@@ -1060,9 +1288,10 @@ fn solve_presolved(
     }
 
     // Per-worker model copies, allocated once and reused across rounds
-    // (nodes only ever change variable bounds).
+    // (nodes change variable bounds; committed cut rows are appended to
+    // every copy in batch order).
     let slots = threads.clamp(1, BATCH);
-    let mut work_models: Vec<Model> = (0..slots).map(|_| model.clone()).collect();
+    let mut work_models: Vec<Model> = (0..slots).map(|_| search_model.clone()).collect();
 
     let mut interrupted = false;
     let mut unbounded = false;
@@ -1100,12 +1329,27 @@ fn solve_presolved(
         let dive_flags: Vec<bool> = (0..take)
             .map(|bi| (st.nodes + bi) & period_mask == 1)
             .collect();
+        // In-tree cut separation is scheduled exactly like dives: a
+        // function of the committed node index plus the node's own depth,
+        // never of worker timing — thread-count invariant by construction.
+        let sep_flags: Vec<bool> = batch
+            .iter()
+            .enumerate()
+            .map(|(bi, node)| {
+                cfg.cuts
+                    && node.depth >= 1
+                    && node.depth <= NODE_CUT_DEPTH
+                    && (st.nodes + bi) & NODE_CUT_MASK == 3
+            })
+            .collect();
         let outcomes = process_batch(
             &ctx,
             st.incumbent.score(),
             &st.pc,
+            &st.pool,
             &batch,
             &dive_flags,
+            &sep_flags,
             &mut work_models,
             threads,
         );
@@ -1113,16 +1357,35 @@ fn solve_presolved(
             // Abort the round whole: push the batch back so the frontier
             // (and hence the checkpoint) covers exactly the uncommitted
             // work, and nothing half-processed leaks into the state.
+            // Outcome cuts are discarded with the round, keeping the
+            // committed pool a deterministic prefix.
             for node in batch {
                 st.frontier.push(node);
             }
             interrupted = true;
             break;
         }
-        for (node, out) in batch.iter().zip(outcomes) {
+        for (node, mut out) in batch.iter().zip(outcomes) {
+            let node_cuts = std::mem::take(&mut out.cuts);
             if st.commit_node(node, out) {
                 unbounded = true;
                 break 'search;
+            }
+            // Commit the node's cuts in batch order: deduplicate against
+            // the pool (two nodes of one round can separate the same cut
+            // — they read the same frozen pool), then append the row to
+            // every worker model and the search model. From the next
+            // round on, every relaxation includes the new rows.
+            for cut in node_cuts {
+                if st.pool.contains(cut.key()) {
+                    continue;
+                }
+                for wm in work_models.iter_mut() {
+                    cut.append_to(wm);
+                }
+                cut.append_to(&mut search_model);
+                st.pool.insert(cut);
+                st.counters.cuts_added += 1;
             }
         }
     }
@@ -1135,9 +1398,9 @@ fn solve_presolved(
     }
 
     let (rows, cols) = if cfg.reference_lp {
-        crate::reference::tableau_shape(model)
+        crate::reference::tableau_shape(&search_model)
     } else {
-        crate::simplex::tableau_shape(model)
+        crate::simplex::tableau_shape(&search_model)
     };
     let inc_score = st.incumbent.score();
     let score_bound = if interrupted {
@@ -1165,6 +1428,12 @@ fn solve_presolved(
         strong_branch_probes: st.counters.strong_branch_probes,
         pivots: st.counters.pivots,
         bound_flips: st.counters.bound_flips,
+        dse_pivots: st.counters.dse_pivots,
+        cuts_added: st.counters.cuts_added,
+        cut_rounds: st.counters.cut_rounds,
+        propagation_fathoms: st.counters.propagation_fathoms,
+        root_bound_pre_cuts: ctx.dir * st.root_bound_pre,
+        root_bound_post_cuts: ctx.dir * st.root_bound_post,
         rows,
         cols,
         proven_optimal: !interrupted && !st.numerical,
@@ -1186,17 +1455,193 @@ fn solve_presolved(
     MilpRun { result, checkpoint }
 }
 
+/// Outcome of the root cut loop.
+enum RootCuts {
+    /// Loop finished (possibly without any cuts): commit the pool, the
+    /// cut-augmented model, the pre/post root bounds (score space, NaN
+    /// when the root never solved to optimality), and the charged work.
+    Done(Box<RootCutResult>),
+    /// The root relaxation is infeasible — with only globally valid rows
+    /// appended, that proves the MILP infeasible.
+    Infeasible,
+    /// Cancellation or the deadline landed mid-loop. Everything is
+    /// discarded (cuts, counters, bounds); the resumed run re-runs the
+    /// loop from scratch, so its totals match an uninterrupted run.
+    Interrupted,
+}
+
+struct RootCutResult {
+    pool: CutPool,
+    model: Model,
+    pre: f64,
+    post: f64,
+    counters: LocalCounters,
+}
+
+/// Rounds of separate → append → re-solve on the root relaxation of
+/// `base`, until separation dries up or the bound stops improving. Works
+/// entirely on locals — the caller commits (or discards) the result
+/// atomically.
+fn root_cut_loop(ctx: &Ctx<'_>, base: &Model) -> RootCuts {
+    let mut counters = LocalCounters::default();
+    let mut pool = CutPool::new();
+    let mut model = base.clone();
+
+    let solve_root =
+        |model: &Model, counters: &mut LocalCounters| -> (LpOutcome, Option<DiveTableau>) {
+            let (outcome, dt, st) =
+                DiveTableau::new_with_pricing(model, Some(&ctx.cfg.cancel), ctx.cfg.pricing);
+            counters.lp_solves += 1;
+            counters.pivots += st.pivots;
+            counters.bound_flips += st.bound_flips;
+            counters.dse_pivots += st.dse_pivots;
+            (outcome, dt)
+        };
+    let done_empty = |counters: LocalCounters, model: Model| -> RootCuts {
+        RootCuts::Done(Box::new(RootCutResult {
+            pool: CutPool::new(),
+            model,
+            pre: f64::NAN,
+            post: f64::NAN,
+            counters,
+        }))
+    };
+
+    let (mut sol, mut root_tab) = match solve_root(&model, &mut counters) {
+        (LpOutcome::Optimal(s), dt) => (s, dt),
+        (LpOutcome::Infeasible, _) => return RootCuts::Infeasible,
+        // Unbounded root: leave it to the search (the depth-0 node
+        // reports it); nothing to cut from.
+        (LpOutcome::Unbounded, _) => return done_empty(counters, model),
+        (LpOutcome::PivotTooSmall, _) => {
+            if ctx.cfg.cancel.is_set() {
+                return RootCuts::Interrupted;
+            }
+            // Numerical trouble at the root — skip cutting, let the
+            // search's own node handling deal with it.
+            return done_empty(counters, model);
+        }
+    };
+    let pre = ctx.dir * sol.objective;
+    let mut post = pre;
+    for _ in 0..ROOT_CUT_ROUNDS {
+        if ctx.cfg.cancel.cancelled() || ctx.deadline.is_some_and(|dl| Instant::now() >= dl) {
+            return RootCuts::Interrupted;
+        }
+        // Round snapshot: a round whose cuts fail to move the root bound
+        // is rolled back whole. Bound-neutral cuts still reshape the LP's
+        // vertex landscape, and every later node LP pays for the extra
+        // rows — observed on the saturation corpus to derail pseudocost
+        // branching badly enough to *triple* the tree. Only rounds that
+        // demonstrably tighten the relaxation earn a place in the pool.
+        let round_pool = pool.clone();
+        let round_model = model.clone();
+        let round_cuts_added = counters.cuts_added;
+        let round_cut_rounds = counters.cut_rounds;
+        let mut cuts = crate::cuts::separate(
+            &model,
+            &ctx.original_bounds,
+            &ctx.integral,
+            &sol.values,
+            ROOT_CUTS_PER_ROUND,
+            CUT_MIN_VIOLATION,
+            |k| pool.contains(k),
+        );
+        // Gomory mixed-integer cuts off the root tableau fill whatever
+        // budget combinatorial separation left: unlike cover/clique cuts
+        // they bite on *any* fractional vertex — on the unit-coefficient
+        // counting rows of the saturation intLP, where every cover is
+        // implied by its own source row, they are the separator that
+        // actually closes the root gap. The tableau was built from
+        // `model` at global bounds, so the cuts are globally valid.
+        if let Some(dt) = &root_tab {
+            if cuts.len() < ROOT_CUTS_PER_ROUND {
+                for (terms, rhs) in
+                    dt.gomory_cuts(
+                        &model,
+                        &ctx.integral,
+                        ROOT_CUTS_PER_ROUND - cuts.len(),
+                        GOMORY_MAX_TERMS,
+                    )
+                {
+                    let cut = Cut { terms, rhs };
+                    if cut.violation(&sol.values) >= CUT_MIN_VIOLATION
+                        && !pool.contains(cut.key())
+                        && !cuts.iter().any(|c| c.key() == cut.key())
+                    {
+                        cuts.push(cut);
+                    }
+                }
+            }
+        }
+        if cuts.is_empty() {
+            break;
+        }
+        for cut in cuts {
+            cut.append_to(&mut model);
+            if pool.insert(cut) {
+                counters.cuts_added += 1;
+            }
+        }
+        counters.cut_rounds += 1;
+        (sol, root_tab) = match solve_root(&model, &mut counters) {
+            (LpOutcome::Optimal(s), dt) => (s, dt),
+            (LpOutcome::Infeasible, _) => return RootCuts::Infeasible,
+            (LpOutcome::Unbounded, _) => break,
+            (LpOutcome::PivotTooSmall, _) => {
+                if ctx.cfg.cancel.is_set() {
+                    return RootCuts::Interrupted;
+                }
+                break;
+            }
+        };
+        // Activity-based aging: cuts slack at the new root point age; old
+        // enough, they retire and the model is rebuilt without them (the
+        // pool keeps insertion order, so the rebuild is deterministic).
+        // The rebuilt model no longer matches the live tableau's row set,
+        // so tableau-derived separation sits the next round out.
+        if pool.age_and_retire(&sol.values, CUT_MAX_AGE) > 0 {
+            model = base.clone();
+            for cut in pool.cuts() {
+                cut.append_to(&mut model);
+            }
+            root_tab = None;
+        }
+        // Score space: cuts can only *lower* the (maximizing) score bound.
+        let new_post = ctx.dir * sol.objective;
+        if new_post < post - ROOT_CUT_MIN_IMPROVE {
+            post = new_post;
+        } else {
+            pool = round_pool;
+            model = round_model;
+            counters.cuts_added = round_cuts_added;
+            counters.cut_rounds = round_cut_rounds;
+            break;
+        }
+    }
+    RootCuts::Done(Box::new(RootCutResult {
+        pool,
+        model,
+        pre,
+        post,
+        counters,
+    }))
+}
+
 /// Processes one round's batch: sequentially when a single worker
 /// suffices, otherwise on scoped threads pulling batch indices from an
 /// atomic counter. Either way each node sees only the frozen round-start
 /// state, so the outcomes are identical — threading changes wall-clock
 /// time, nothing else.
+#[allow(clippy::too_many_arguments)]
 fn process_batch(
     ctx: &Ctx<'_>,
     inc_score: f64,
     pc: &PcStore,
+    pool: &CutPool,
     batch: &[Node],
     dive_flags: &[bool],
+    sep_flags: &[bool],
     work_models: &mut [Model],
     threads: usize,
 ) -> Vec<NodeOutcome> {
@@ -1206,8 +1651,8 @@ fn process_batch(
         let work = &mut work_models[0];
         return batch
             .iter()
-            .zip(dive_flags)
-            .map(|(node, &dive)| run_one(ctx, inc_score, pc, node, dive, work))
+            .enumerate()
+            .map(|(i, node)| run_one(ctx, inc_score, pc, pool, node, dive_flags[i], sep_flags[i], work))
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -1222,7 +1667,16 @@ fn process_batch(
                     if i >= n {
                         break;
                     }
-                    let out = run_one(ctx, inc_score, pc, &batch[i], dive_flags[i], work);
+                    let out = run_one(
+                        ctx,
+                        inc_score,
+                        pc,
+                        pool,
+                        &batch[i],
+                        dive_flags[i],
+                        sep_flags[i],
+                        work,
+                    );
                     *results[i].lock().expect("result slot poisoned") = Some(out);
                 });
             }
@@ -1239,12 +1693,15 @@ fn process_batch(
 }
 
 /// Runs one node against frozen round-start state, producing its outcome.
+#[allow(clippy::too_many_arguments)]
 fn run_one(
     ctx: &Ctx<'_>,
     inc_score: f64,
     pc: &PcStore,
+    pool: &CutPool,
     node: &Node,
     dive: bool,
+    sep: bool,
     work: &mut Model,
 ) -> NodeOutcome {
     let mut run = NodeRun::new(ctx, inc_score, pc.clone());
@@ -1254,7 +1711,7 @@ fn run_one(
         run.interrupted = true;
         return run.finish(OutcomeKind::Pruned);
     }
-    let kind = process_node(&mut run, work, node, dive);
+    let kind = process_node(&mut run, work, node, dive, sep, pool);
     run.finish(kind)
 }
 
@@ -1263,6 +1720,8 @@ fn process_node(
     work: &mut Model,
     node: &Node,
     dive: bool,
+    sep: bool,
+    pool: &CutPool,
 ) -> OutcomeKind {
     let ctx = run.ctx;
     // Prune by the inherited parent bound — the incumbent may have
@@ -1308,6 +1767,55 @@ fn process_node(
         }
         if tlo != lo || thi != hi {
             work.set_bounds(v, tlo, thi);
+        }
+    }
+
+    // Cheap bound propagation on the node's tightened box before paying
+    // for a simplex solve: activity arguments over the (cut-augmented)
+    // rows shrink integer domains, and a propagation-proven-empty domain
+    // fathoms the branch with zero LP work. Once an incumbent exists the
+    // pass also propagates the **objective cutoff** as a temporary row
+    // (`dir·obj ≥ next improving integral value`): a node survives here
+    // only if it can still beat the incumbent — sound because the search
+    // only ever asks each subtree for *improving* solutions, and
+    // deterministic because the row derives from the frozen round-start
+    // incumbent. The pass is strictly **check-only**: the temporary row is
+    // popped and every tightened bound is restored before the solve, so
+    // propagation's only influence on the search is the fathom verdict —
+    // feeding the tightenings to the LP was observed to perturb branching
+    // on the saturation corpus for no node-count gain.
+    if ctx.cfg.propagation && (run.inc_score.is_finite() || !node.bounds.is_empty()) {
+        let cutoff = run.inc_score.is_finite();
+        if cutoff {
+            let target = if ctx.cfg.integral_objective {
+                (run.inc_score + ctx.cfg.int_tol).floor() + 1.0
+            } else {
+                run.inc_score + EPS
+            };
+            // dir·(Σcⱼxⱼ + k) ≥ target  ⇔  Σ(−dir·cⱼ)xⱼ ≤ dir·k − target.
+            let terms: Vec<(VarId, f64)> = ctx
+                .model
+                .objective
+                .terms
+                .iter()
+                .map(|&(v, c)| (v, -ctx.dir * c))
+                .collect();
+            let rhs = ctx.dir * ctx.model.objective.constant - target;
+            work.add_constraint_terms(&terms, crate::Cmp::Le, rhs);
+        }
+        let saved: Vec<(f64, f64)> = (0..work.num_vars())
+            .map(|i| work.bounds(VarId(i as u32)))
+            .collect();
+        let res = crate::presolve::propagate(work, ctx.cfg.int_tol, 3);
+        for (i, &(lo, hi)) in saved.iter().enumerate() {
+            work.set_bounds(VarId(i as u32), lo, hi);
+        }
+        if cutoff {
+            work.constraints.pop();
+        }
+        if let crate::presolve::Propagation::Infeasible = res {
+            run.counters.propagation_fathoms += 1;
+            return OutcomeKind::Pruned;
         }
     }
 
@@ -1372,6 +1880,23 @@ fn process_node(
     let score = ctx.tighten_score(raw_score);
     if !run.improves(score) {
         return OutcomeKind::Pruned;
+    }
+
+    // Driver-scheduled in-tree separation: offer new globally valid cuts
+    // violated by this node's relaxation point. Derived from the row set
+    // (shared by every work model) and the *global* bounds — never the
+    // node's — so the cuts can be appended everywhere. Committed
+    // (deduplicated against the live pool) in batch order.
+    if sep {
+        run.cuts = crate::cuts::separate(
+            work,
+            &ctx.original_bounds,
+            &ctx.integral,
+            &sol.values,
+            NODE_CUTS_PER_NODE,
+            CUT_MIN_VIOLATION,
+            |k| pool.contains(k),
+        );
     }
 
     // Pick the branching variable: pseudocost product rule with
@@ -1522,7 +2047,11 @@ fn cold_dive_tableau(
     model: &Model,
     dive: bool,
 ) -> (LpOutcome, Option<DiveTableau>) {
-    let (outcome, dt, lp_stats) = DiveTableau::new_cancellable(model, Some(&run.ctx.cfg.cancel));
+    let (outcome, dt, lp_stats) = DiveTableau::new_with_pricing(
+        model,
+        Some(&run.ctx.cfg.cancel),
+        run.ctx.cfg.pricing,
+    );
     run.charge_lp(&lp_stats, dive);
     (outcome, dt)
 }
@@ -1687,12 +2216,12 @@ fn dive_from(run: &mut NodeRun<'_, '_>, work: &Model, mut dt: DiveTableau, mut s
 
 /// Deterministic root diving probe: seeds the incumbent before the tree
 /// search, so every run (and every thread count) begins from the same
-/// incumbent floor. Always runs on the bounded-variable dive tableau (the
-/// reference path has no incremental machinery; dives only feed
-/// incumbents, which are feasibility-checked, so this cannot change a
-/// reference run's reported optimum).
-fn dive_probe(run: &mut NodeRun<'_, '_>) {
-    let model = run.ctx.model;
+/// incumbent floor. Dives on the given (cut-augmented) search model;
+/// always on the bounded-variable dive tableau (the reference path has no
+/// incremental machinery; dives only feed incumbents, which are
+/// feasibility-checked against the cut-free original model, so this
+/// cannot change a reference run's reported optimum).
+fn dive_probe(run: &mut NodeRun<'_, '_>, model: &Model) {
     match cold_dive_tableau(run, model, true) {
         (LpOutcome::Optimal(sol), Some(dt)) => dive_from(run, model, dt, sol),
         (LpOutcome::PivotTooSmall, _) => run.interrupt_if_cancelled(),
@@ -1755,9 +2284,10 @@ fn probe_dir(
     };
     let before = p.work();
     let step = p.tighten_capped(&[(v, child_lo, child_hi)], work, SB_PIVOT_CAP);
-    let (pv, fl) = p.work();
+    let (pv, fl, ds) = p.work();
     run.counters.pivots += pv - before.0;
     run.counters.bound_flips += fl - before.1;
+    run.counters.dse_pivots += ds - before.2;
     match step {
         DiveStep::Optimal(s) => {
             let deg = (raw_score - run.ctx.dir * s.objective).max(0.0);
@@ -2104,9 +2634,13 @@ mod tests {
     fn interrupted_search_brackets_the_true_optimum() {
         // Stop almost immediately via the node budget: the incumbent (from
         // the root dive) and the abandoned-node dual bound must bracket the
-        // known optimum 732, and the proof must be surrendered.
+        // known optimum 732, and the proof must be surrendered. Root cuts
+        // are pinned off — Gomory rounds close this model's gap so well the
+        // search would otherwise finish inside the two-node budget, and the
+        // scenario under test is the *interrupted* bracketing contract.
         let cfg = MilpConfig {
             node_limit: 2,
+            cuts: false,
             ..MilpConfig::default()
         };
         let s = solve(&knapsack_model(), &cfg).unwrap();
@@ -2382,15 +2916,31 @@ mod tests {
                 m.set_objective(o);
 
                 let expected = brute_force(&cons, &obj, sense);
-                // Default engine (pseudocost branching + presolve on) and
-                // the stripped configuration (most-fractional, no
-                // presolve) must both match the brute force — objective
-                // equivalence across every knob combination.
+                // Default engine (cuts + DSE pricing + propagation +
+                // pseudocost branching + presolve on), the fully stripped
+                // configuration (every accelerator off — the PR 8 baseline
+                // tree), and the reference-LP differential must all match
+                // the brute force — objective equivalence across every
+                // knob combination.
                 let configs = [
                     MilpConfig::with_threads(threads),
                     MilpConfig {
                         pseudocost: false,
                         presolve: false,
+                        threads,
+                        ..MilpConfig::default()
+                    },
+                    MilpConfig {
+                        cuts: false,
+                        propagation: false,
+                        pricing: crate::Pricing::Dantzig,
+                        pseudocost: false,
+                        presolve: false,
+                        threads,
+                        ..MilpConfig::default()
+                    },
+                    MilpConfig {
+                        reference_lp: true,
                         threads,
                         ..MilpConfig::default()
                     },
@@ -2635,5 +3185,92 @@ mod tests {
         assert!(!ck2.matches(&m, &cfg));
         let s2 = solve_resumable(&m, &cfg, Some(&ck2)).result.unwrap();
         assert!(!s2.stats.resumed);
+    }
+
+    #[test]
+    fn propagation_fathoms_row_infeasible_child_before_lp() {
+        // Maximize 2x + 2y under 2x + 2y ≤ 7: the root LP sits on the face
+        // x + y = 3.5 (every vertex fractional) with bound 7, which the
+        // integral round-down cannot improve, so the root must branch even
+        // though the dive already landed the true optimum 6. The node-time
+        // objective-cutoff row then demands 2x + 2y ≥ 7, and the down child
+        // of the branch caps that row's activity at 6: propagation proves
+        // the child empty from its box alone and must fathom it before any
+        // LP (the counter ticks).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 4.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 4.0);
+        m.add_constraint(LinExpr::from(x) * 2.0 + (2.0, y), Cmp::Le, 7.0);
+        m.set_objective(LinExpr::from(x) * 2.0 + (2.0, y));
+        // Cuts off: a root GMI cut closes this model's gap outright, and
+        // the point of the test is the *branching* path.
+        let cfg = MilpConfig {
+            cuts: false,
+            ..MilpConfig::default()
+        };
+        let s = solve(&m, &cfg).unwrap();
+        assert!(s.stats.proven_optimal);
+        assert!((s.objective - 6.0).abs() < 1e-6);
+        assert!(
+            s.stats.propagation_fathoms >= 1,
+            "the down child must die in propagation, got {:?}",
+            s.stats
+        );
+        // The fathom is an accelerator, not a semantics change.
+        let off = solve(
+            &m,
+            &MilpConfig {
+                propagation: false,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_eq!(off.stats.propagation_fathoms, 0);
+        assert!((off.objective - s.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn checkpoint_rejects_accelerator_config_drift() {
+        // The fingerprint must cover every knob that shapes the tree:
+        // resuming a default-config checkpoint under flipped cuts, pricing,
+        // or propagation would splice incompatible search frontiers, so
+        // each mismatch has to force a cold start instead.
+        let m = wide_model();
+        let ck = solve_resumable(
+            &m,
+            &MilpConfig {
+                node_limit: 1,
+                ..MilpConfig::default()
+            },
+            None,
+        )
+        .checkpoint
+        .expect("node_limit 1 must interrupt the wide model");
+        for cfg in [
+            MilpConfig {
+                cuts: false,
+                ..MilpConfig::default()
+            },
+            MilpConfig {
+                pricing: crate::Pricing::Dantzig,
+                ..MilpConfig::default()
+            },
+            MilpConfig {
+                propagation: false,
+                ..MilpConfig::default()
+            },
+        ] {
+            assert!(
+                !ck.matches(&m, &cfg),
+                "fingerprint must reject drift in {cfg:?}"
+            );
+            let run = solve_resumable(&m, &cfg, Some(&ck));
+            let s = run.result.unwrap();
+            assert!(!s.stats.resumed, "drifted config must cold-start");
+            assert!(s.stats.proven_optimal);
+            assert_eq!(s.objective, solve(&m, &cfg).unwrap().objective);
+        }
+        // Sanity: the unchanged config still resumes.
+        assert!(ck.matches(&m, &MilpConfig::default()));
     }
 }

@@ -201,6 +201,16 @@ impl Model {
         self.constraints.len()
     }
 
+    /// Read access to the `i`-th constraint as `(terms, cmp, rhs)`. The
+    /// stored expression constant is always zero ([`Model::add_constraint`]
+    /// folds it into the rhs), so the triple is the whole row — this is
+    /// what the cut separator and external inspectors walk.
+    pub fn constraint(&self, i: usize) -> (&[(VarId, f64)], Cmp, f64) {
+        let c = &self.constraints[i];
+        debug_assert_eq!(c.expr.constant, 0.0, "row constants fold into rhs");
+        (&c.expr.terms, c.cmp, c.rhs)
+    }
+
     /// Variable kind.
     pub fn kind(&self, v: VarId) -> VarKind {
         self.vars[v.index()].kind

@@ -350,6 +350,72 @@ impl PcStore {
     }
 }
 
+/// Deduplicating pool of globally valid cutting planes with activity-based
+/// aging.
+///
+/// The pool is part of the search's deterministic state: cuts are inserted
+/// in commit order, kept in insertion order, and serialized into the
+/// checkpoint in that order, so a resumed search rebuilds the identical row
+/// set. Workers read the pool (via [`CutPool::contains`]) against the
+/// frozen round-start snapshot; only the sequential commit loop mutates it.
+#[derive(Clone, Default)]
+pub(crate) struct CutPool {
+    cuts: Vec<crate::cuts::Cut>,
+    keys: std::collections::HashSet<u64>,
+    age: Vec<u32>,
+}
+
+impl CutPool {
+    pub fn new() -> Self {
+        CutPool::default()
+    }
+
+    /// Inserts a cut unless its content key is already pooled. Returns
+    /// whether the cut was actually added.
+    pub fn insert(&mut self, cut: crate::cuts::Cut) -> bool {
+        if !self.keys.insert(cut.key()) {
+            return false;
+        }
+        self.cuts.push(cut);
+        self.age.push(0);
+        true
+    }
+
+    pub fn contains(&self, key: u64) -> bool {
+        self.keys.contains(&key)
+    }
+
+    pub fn cuts(&self) -> &[crate::cuts::Cut] {
+        &self.cuts
+    }
+
+    /// Ages the pool against a relaxation solution: a cut slack at `point`
+    /// (not within ~1e-6 of binding) gains a year, a tight cut resets to
+    /// zero, and cuts older than `max_age` are retired. Returns the number
+    /// retired; the caller rebuilds its models when that is non-zero.
+    pub fn age_and_retire(&mut self, point: &[f64], max_age: u32) -> usize {
+        for (cut, age) in self.cuts.iter().zip(self.age.iter_mut()) {
+            if cut.violation(point) < -1e-6 {
+                *age += 1;
+            } else {
+                *age = 0;
+            }
+        }
+        let before = self.cuts.len();
+        let mut keep = self.age.iter().map(|&a| a <= max_age);
+        let keys = &mut self.keys;
+        self.cuts.retain(|c| {
+            let k = keep.next().unwrap();
+            if !k {
+                keys.remove(&c.key());
+            }
+            k
+        });
+        self.age.retain(|&a| a <= max_age);
+        before - self.cuts.len()
+    }
+}
+
 pub(crate) fn lex_less(a: &[f64], b: &[f64]) -> bool {
     for (x, y) in a.iter().zip(b) {
         match x.total_cmp(y) {

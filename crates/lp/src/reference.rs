@@ -200,9 +200,10 @@ mod tests {
                             a.objective, b.objective
                         );
                         // zero bound rows on the bounded path, one per
-                        // finite upper bound on the reference path
-                        prop_assert_eq!(a.stats.rows, m.num_constraints());
-                        prop_assert_eq!(b.stats.rows, m.num_constraints() + 3);
+                        // finite upper bound on the reference path; both
+                        // paths may also carry their own appended cut rows
+                        prop_assert_eq!(a.stats.rows, m.num_constraints() + a.stats.cuts_added);
+                        prop_assert_eq!(b.stats.rows, m.num_constraints() + b.stats.cuts_added + 3);
                     }
                     (Err(a), Err(b)) => prop_assert_eq!(a.clone(), b),
                     (a, b) => prop_assert!(

@@ -76,6 +76,28 @@ const PIVOT_MIN: f64 = 1e-11;
 /// dual feasible (the variable cannot move in either direction).
 const FIXED_TOL: f64 = 1e-9;
 
+/// Floor for dual steepest-edge reference weights: float cancellation in
+/// the exact update recurrence can drive a weight slightly negative, and a
+/// non-positive weight would flip the pricing ratio's sign.
+const DSE_MIN: f64 = 1e-10;
+
+/// Leaving-row pricing rule for the dual simplex repair loops.
+///
+/// Dantzig picks the row with the largest bound violation — one pass over
+/// the right-hand side, but blind to how distorted the row is. Dual
+/// steepest edge normalizes the violation by the row norm of `B⁻¹A`
+/// (`violation² / ‖row‖²`), which consistently picks pivots that make real
+/// progress on degenerate big-M relaxations. The weights start exact
+/// (`w_r = ‖row_r‖²`) and stay exact: every pivot updates them with the
+/// textbook recurrence fused into the elimination loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pricing {
+    /// Largest bound violation (the classic rule; always available).
+    Dantzig,
+    /// Reference-weight dual steepest edge with exact pivot updates.
+    DualSteepestEdge,
+}
+
 /// A feasible (optimal) LP solution.
 #[derive(Clone, Debug)]
 pub struct Solution {
@@ -117,6 +139,9 @@ pub struct LpStats {
     /// True iff a warm-start hint was accepted and the solve finished on
     /// the warm path (no cold fallback).
     pub warm_hit: bool,
+    /// Pivots selected by the dual steepest-edge rule (a subset of
+    /// [`LpStats::pivots`]; zero under [`Pricing::Dantzig`]).
+    pub dse_pivots: usize,
 }
 
 /// Position of a column relative to the current basis.
@@ -182,6 +207,16 @@ struct Tableau {
     pivots: usize,
     /// Bound flips performed.
     flips: usize,
+    /// Pivots whose leaving row was chosen by dual steepest edge.
+    dse_pivots: usize,
+    /// Leaving-row pricing rule for the dual repair loops.
+    pricing: Pricing,
+    /// Dual steepest-edge reference weights, `w_r = ‖row_r‖²` over the
+    /// structural + slack + artificial columns (rhs excluded). Empty until
+    /// the first DSE-priced dual loop initializes them; from then on every
+    /// pivot keeps them exact. Bound flips and rhs folds touch only the
+    /// rhs column, so they leave the weights untouched.
+    dse: Vec<f64>,
     /// Reused snapshot of the normalized pivot row.
     scratch_row: Vec<f64>,
     /// Reused nonzero-column mask of the pivot row.
@@ -212,6 +247,9 @@ impl Tableau {
             allowed: vec![true; ncols],
             pivots: 0,
             flips: 0,
+            dse_pivots: 0,
+            pricing: Pricing::Dantzig,
+            dse: Vec::new(),
             scratch_row: Vec::new(),
             scratch_nz: Vec::new(),
             cancel: None,
@@ -280,6 +318,26 @@ impl Tableau {
             }
         }
         let dense = pnz.len() * 2 >= w;
+        // Dual steepest-edge bookkeeping: the new pivot-row weight is
+        // `‖prow‖²` (rhs column excluded), and each eliminated row updates
+        // by the exact recurrence
+        //   w_i' = w_i − 2·f_i·(row_i · prow) + f_i²·‖prow‖²
+        // whose dot product runs over the row's *pre-elimination* values —
+        // accumulated inside the elimination loop itself, so the update
+        // costs one extra multiply-add per touched element.
+        let track_dse = !self.dse.is_empty();
+        let wr_new = if track_dse {
+            let mut s = 0.0;
+            for &j in &pnz {
+                let j = j as usize;
+                if j < self.ncols {
+                    s += prow[j] * prow[j];
+                }
+            }
+            s
+        } else {
+            0.0
+        };
         // Eliminate the column elsewhere.
         for r in 0..=self.m {
             if r == row {
@@ -291,7 +349,28 @@ impl Tableau {
                 continue;
             }
             let row_slice = &mut self.t[or_s..or_s + w];
-            if dense {
+            if track_dse && r < self.m {
+                // The dot accumulates over every column including the rhs;
+                // the rhs contribution (old value × prow rhs entry) is
+                // removed afterwards so the weight stays a structural norm.
+                let old_rhs = row_slice[w - 1];
+                let mut dot = 0.0;
+                if dense {
+                    for (x, &p) in row_slice.iter_mut().zip(prow.iter()) {
+                        dot += *x * p;
+                        *x -= factor * p;
+                    }
+                } else {
+                    for &j in &pnz {
+                        let j = j as usize;
+                        dot += row_slice[j] * prow[j];
+                        row_slice[j] -= factor * prow[j];
+                    }
+                }
+                dot -= old_rhs * prow[w - 1];
+                self.dse[r] =
+                    (self.dse[r] - 2.0 * factor * dot + factor * factor * wr_new).max(DSE_MIN);
+            } else if dense {
                 for (x, &p) in row_slice.iter_mut().zip(prow.iter()) {
                     *x -= factor * p;
                 }
@@ -303,6 +382,9 @@ impl Tableau {
             }
             // Force exact zero in the pivot column for stability.
             self.t[or_s + col] = 0.0;
+        }
+        if track_dse {
+            self.dse[row] = wr_new.max(DSE_MIN);
         }
         self.scratch_row = prow;
         self.scratch_nz = pnz;
@@ -502,27 +584,71 @@ impl Tableau {
         self.dual_optimize_capped(50 * (self.m + self.ncols) + 1000)
     }
 
+    /// Computes the dual steepest-edge reference weights from scratch —
+    /// one full tableau scan, about the cost of a single pivot. Called
+    /// lazily by the first DSE-priced dual loop; afterwards
+    /// [`Tableau::pivot`] keeps the weights exact, so the scan never
+    /// repeats for the lifetime of the tableau (dive chains included).
+    fn init_dse(&mut self) {
+        let w = self.ncols + 1;
+        self.dse = (0..self.m)
+            .map(|r| {
+                let s: f64 = self.t[r * w..r * w + self.ncols].iter().map(|x| x * x).sum();
+                s.max(DSE_MIN)
+            })
+            .collect();
+    }
+
     /// [`Tableau::dual_optimize`] with an explicit iteration cap —
     /// strong-branching probes bound their repair effort and treat a
     /// capped-out repair as [`DualStatus::Stalled`] (no estimate).
     fn dual_optimize_capped(&mut self, iter_budget: usize) -> Result<DualStatus, PivotStall> {
+        if self.pricing == Pricing::DualSteepestEdge && self.dse.is_empty() {
+            self.init_dse();
+        }
+        let use_dse = !self.dse.is_empty();
         for it in 1..=iter_budget {
             if self.cancelled_at(it) {
                 return Err(PivotStall);
             }
-            // Leaving row: largest bound violation on either side.
+            // Leaving row. Dantzig: largest bound violation on either
+            // side. Dual steepest edge: largest `violation² / w_r` — the
+            // violation measured in the geometry of the row, so a huge
+            // violation on a badly-scaled row no longer wins over a
+            // genuinely deep one. Both rules break ties towards the
+            // smaller row index (strict `>`), deterministically.
             let mut row: Option<(usize, bool)> = None;
-            let mut worst = 1e-9;
-            for r in 0..self.m {
-                let b = self.rhs(r);
-                if -b > worst {
-                    worst = -b;
-                    row = Some((r, false));
+            if use_dse {
+                let mut best = 0.0f64;
+                for r in 0..self.m {
+                    let b = self.rhs(r);
+                    let u = self.basic_range(r);
+                    let (viol, above) = if -b > 1e-9 {
+                        (-b, false)
+                    } else if u.is_finite() && b - u > 1e-9 {
+                        (b - u, true)
+                    } else {
+                        continue;
+                    };
+                    let score = viol * viol / self.dse[r];
+                    if score > best {
+                        best = score;
+                        row = Some((r, above));
+                    }
                 }
-                let u = self.basic_range(r);
-                if u.is_finite() && b - u > worst {
-                    worst = b - u;
-                    row = Some((r, true));
+            } else {
+                let mut worst = 1e-9;
+                for r in 0..self.m {
+                    let b = self.rhs(r);
+                    if -b > worst {
+                        worst = -b;
+                        row = Some((r, false));
+                    }
+                    let u = self.basic_range(r);
+                    if u.is_finite() && b - u > worst {
+                        worst = b - u;
+                        row = Some((r, true));
+                    }
                 }
             }
             let Some((row, above)) = row else {
@@ -571,6 +697,9 @@ impl Tableau {
             };
             let from_upper = self.status[col] == ColStatus::Upper;
             self.pivot_bounded(row, col, from_upper, above)?;
+            if use_dse {
+                self.dse_pivots += 1;
+            }
         }
         Ok(DualStatus::Stalled)
     }
@@ -878,13 +1007,26 @@ pub fn solve_with_basis_stats(
     model: &Model,
     hint: Option<&Basis>,
 ) -> (LpOutcome, Option<Basis>, LpStats) {
+    solve_with_basis_pricing(model, hint, Pricing::Dantzig)
+}
+
+/// [`solve_with_basis_stats`] with an explicit leaving-row pricing rule
+/// for the warm path's dual repair. The MILP driver routes
+/// `MilpConfig::pricing` through here; [`Pricing::Dantzig`] reproduces the
+/// historical behavior exactly.
+pub fn solve_with_basis_pricing(
+    model: &Model,
+    hint: Option<&Basis>,
+    pricing: Pricing,
+) -> (LpOutcome, Option<Basis>, LpStats) {
     let sf = std_form(model, false);
     let mut stats = LpStats::default();
     if let Some(h) = hint {
-        if let Some((outcome, basis, warm_stats)) = warm_solve(model, &sf, h) {
+        if let Some((outcome, basis, warm_stats)) = warm_solve(model, &sf, h, pricing) {
             stats.pivots += warm_stats.pivots;
             stats.bound_flips += warm_stats.bound_flips;
             stats.reinstalls += warm_stats.reinstalls;
+            stats.dse_pivots += warm_stats.dse_pivots;
             stats.warm_hit = true;
             return (outcome, basis, stats);
         }
@@ -892,6 +1034,7 @@ pub fn solve_with_basis_stats(
     let (outcome, basis, cold_stats) = cold_solve(model, &sf);
     stats.pivots += cold_stats.pivots;
     stats.bound_flips += cold_stats.bound_flips;
+    stats.dse_pivots += cold_stats.dse_pivots;
     (outcome, basis, stats)
 }
 
@@ -903,12 +1046,14 @@ fn warm_solve(
     model: &Model,
     sf: &StdForm,
     hint: &Basis,
+    pricing: Pricing,
 ) -> Option<(LpOutcome, Option<Basis>, LpStats)> {
     let core = sf.n + sf.n_slack;
     if hint.m != sf.m || hint.ncols != core || hint.cols.len() != sf.m {
         return None;
     }
     let mut tab = Tableau::new(sf.m, core, sf.range.clone());
+    tab.pricing = pricing;
     fill_core(&mut tab, sf);
 
     // Re-install the hinted basis by Gaussian elimination with column
@@ -976,6 +1121,7 @@ fn warm_solve(
                     bound_flips: tab.flips,
                     reinstalls: 1,
                     warm_hit: true,
+                    dse_pivots: tab.dse_pivots,
                 };
                 return Some((LpOutcome::Infeasible, None, stats));
             }
@@ -988,6 +1134,7 @@ fn warm_solve(
         bound_flips: tab.flips,
         reinstalls: 1,
         warm_hit: true,
+        dse_pivots: tab.dse_pivots,
     };
     match result {
         Ok(true) => {
@@ -1003,7 +1150,7 @@ fn warm_solve(
 /// The cold two-phase path, shared by the bounded-variable and
 /// explicit-bound-row (reference) standard forms.
 pub(crate) fn cold_solve(model: &Model, sf: &StdForm) -> (LpOutcome, Option<Basis>, LpStats) {
-    let (outcome, basis, stats, _) = cold_solve_tab(model, sf, None);
+    let (outcome, basis, stats, _) = cold_solve_tab(model, sf, None, Pricing::Dantzig);
     (outcome, basis, stats)
 }
 
@@ -1017,6 +1164,7 @@ fn cold_solve_tab(
     model: &Model,
     sf: &StdForm,
     cancel: Option<&crate::cancel::Cancel>,
+    pricing: Pricing,
 ) -> (LpOutcome, Option<Basis>, LpStats, Option<Tableau>) {
     let core = sf.n + sf.n_slack;
     let ncols = core + sf.n_art;
@@ -1024,6 +1172,7 @@ fn cold_solve_tab(
     range.resize(ncols, f64::INFINITY);
     let mut tab = Tableau::new(sf.m, ncols, range);
     tab.cancel = cancel.cloned();
+    tab.pricing = pricing;
     fill_core(&mut tab, sf);
     {
         let w = ncols + 1;
@@ -1046,6 +1195,7 @@ fn cold_solve_tab(
         bound_flips: tab.flips,
         reinstalls: 0,
         warm_hit: false,
+        dse_pivots: tab.dse_pivots,
     };
 
     // Phase 1: minimize the artificial sum. Cost row: 1 on artificials,
@@ -1184,8 +1334,21 @@ impl DiveTableau {
         model: &Model,
         cancel: Option<&crate::cancel::Cancel>,
     ) -> (LpOutcome, Option<DiveTableau>, LpStats) {
+        Self::new_with_pricing(model, cancel, Pricing::Dantzig)
+    }
+
+    /// [`DiveTableau::new_cancellable`] with an explicit pricing rule for
+    /// every dual repair performed on the live tableau (dive steps and
+    /// strong-branching probes). Under [`Pricing::DualSteepestEdge`] the
+    /// reference weights are initialized once — lazily, by the first
+    /// repair — and maintained exactly across the whole chain.
+    pub fn new_with_pricing(
+        model: &Model,
+        cancel: Option<&crate::cancel::Cancel>,
+        pricing: Pricing,
+    ) -> (LpOutcome, Option<DiveTableau>, LpStats) {
         let sf = std_form(model, false);
-        let (outcome, _, stats, tab) = cold_solve_tab(model, &sf, cancel);
+        let (outcome, _, stats, tab) = cold_solve_tab(model, &sf, cancel, pricing);
         let dt = tab.map(|tab| {
             let n = sf.n;
             let hi = (0..n)
@@ -1206,11 +1369,251 @@ impl DiveTableau {
         (self.lo[v.index()], self.hi[v.index()])
     }
 
-    /// Cumulative `(pivots, bound_flips)` performed on this tableau,
-    /// including the initial cold solve (clones inherit the counters of
-    /// their source; callers charge deltas).
-    pub fn work(&self) -> (usize, usize) {
-        (self.tab.pivots, self.tab.flips)
+    /// Cumulative `(pivots, bound_flips, dse_pivots)` performed on this
+    /// tableau, including the initial cold solve (clones inherit the
+    /// counters of their source; callers charge deltas).
+    pub fn work(&self) -> (usize, usize, usize) {
+        (self.tab.pivots, self.tab.flips, self.tab.dse_pivots)
+    }
+
+    /// Gomory mixed-integer cuts read off the current optimal tableau.
+    ///
+    /// For each basic **structural** column whose variable is integral but
+    /// whose value is fractional, the fully eliminated tableau row
+    /// `x'_B + Σ ā_j x'_j = b̄` is rewritten over the nonbasic columns'
+    /// distances-from-active-bound `t_j ≥ 0` (at-lower: `t = x − lo`;
+    /// at-upper: `t = hi − x`; slacks are always at-lower and substitute
+    /// back through their defining row), and the standard GMI coefficients
+    /// are applied: with `f₀ = frac(b̄)`, an integer-valued `t_j` with
+    /// `f_j = frac(g_j)` contributes `min(f_j, f₀(1−f_j)/(1−f₀))`, a
+    /// continuous one `g_j` or `f₀(−g_j)/(1−f₀)`. Artificial columns are
+    /// identically zero on feasible points and are skipped.
+    ///
+    /// Every bound consulted is the tableau's **current** box, so the
+    /// returned cuts are valid for all integer-feasible points inside it —
+    /// on a freshly built tableau (no [`DiveTableau::tighten`] applied)
+    /// that box is the model's global box and the cuts are globally valid.
+    /// `model` must be the model this tableau was built from (the slack →
+    /// row mapping is reconstructed from its constraint list).
+    ///
+    /// Returns at most `max_cuts` Le-form x-space cuts `(terms, rhs)`,
+    /// most-violated tableau rows first; term order, candidate order, and
+    /// all arithmetic are deterministic.
+    pub(crate) fn gomory_cuts(
+        &self,
+        model: &Model,
+        integral: &[bool],
+        max_cuts: usize,
+        max_terms: usize,
+    ) -> Vec<(Vec<(crate::VarId, f64)>, f64)> {
+        const INT_TOL: f64 = 1e-9;
+        const COEF_EPS: f64 = 1e-11;
+        const DROP_EPS: f64 = 1e-9;
+        const MIN_FRAC: f64 = 0.01;
+        const MIN_EFFICACY: f64 = 0.01;
+        const SNAP_EPS: f64 = 1e-6;
+        const MAX_DYNAMISM: f64 = 100.0;
+        const GRID: f64 = 1e9;
+        let frac_of = |v: f64| v - v.floor();
+        let is_int = |v: f64| {
+            let f = frac_of(v);
+            f <= INT_TOL || f >= 1.0 - INT_TOL
+        };
+
+        let tab = &self.tab;
+        let n = self.n;
+        // Slack column layout mirrors `std_form`: one column per Le/Ge row
+        // in row order, starting at `n`; everything past them is
+        // artificial. A slack is integer-valued iff its whole defining row
+        // is (integral variables, integer coefficients and rhs).
+        let mut slack_row: Vec<usize> = Vec::new();
+        let mut slack_sign: Vec<f64> = Vec::new();
+        let mut slack_int: Vec<bool> = Vec::new();
+        for (i, c) in model.constraints.iter().enumerate() {
+            let sc = match c.cmp {
+                Cmp::Le => 1.0,
+                Cmp::Ge => -1.0,
+                Cmp::Eq => continue,
+            };
+            slack_row.push(i);
+            slack_sign.push(sc);
+            slack_int.push(
+                is_int(c.rhs)
+                    && c.expr
+                        .terms
+                        .iter()
+                        .all(|&(v, a)| integral[v.index()] && is_int(a)),
+            );
+        }
+        let core = n + slack_row.len();
+
+        // Candidate rows: basic structural integral variable at a usefully
+        // fractional value (the cut's violation at the current vertex is
+        // exactly `f₀`). Most-violated first, row index breaking ties, so
+        // the strongest rounding cuts come out under `max_cuts`.
+        let mut cand: Vec<(f64, usize)> = (0..tab.m)
+            .filter_map(|r| {
+                let b = tab.basis[r];
+                if b >= n || !integral[b] || !is_int(self.lo[b]) {
+                    return None;
+                }
+                let f0 = frac_of(tab.rhs(r));
+                // `f₀` is the cut's violation, so small `f₀` means a weak
+                // cut — but *large* `f₀` is a strong one, only rejected in
+                // the last 1e-4 where `b̄` is integral up to tolerance and
+                // the "cut" would be slicing off rounding noise.
+                (f0 >= MIN_FRAC && f0 <= 1.0 - 1e-4).then(|| (f0, r))
+            })
+            .collect();
+        cand.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+
+        let mut out = Vec::new();
+        'rows: for &(_, r) in &cand {
+            if out.len() >= max_cuts {
+                break;
+            }
+            let f0 = frac_of(tab.rhs(r));
+            let ratio = f0 / (1.0 - f0);
+            // x-space accumulation of `Σ φ_j t_j ≥ f₀`: coefficient per
+            // variable plus the folded constant, deterministic order.
+            let mut w: std::collections::BTreeMap<u32, f64> = std::collections::BTreeMap::new();
+            let mut consts = 0.0f64;
+            for j in 0..tab.ncols {
+                if j >= core || tab.status[j] == ColStatus::Basic {
+                    continue;
+                }
+                let a = tab.at(r, j);
+                if a.abs() <= COEF_EPS {
+                    continue;
+                }
+                let at_upper = tab.status[j] == ColStatus::Upper;
+                let g = if at_upper { -a } else { a };
+                let t_integer = if j < n {
+                    integral[j] && is_int(if at_upper { self.hi[j] } else { self.lo[j] })
+                } else {
+                    slack_int[j - n]
+                };
+                let phi = if t_integer {
+                    let fj = frac_of(g);
+                    if fj <= f0 + INT_TOL {
+                        fj
+                    } else {
+                        ratio * (1.0 - fj)
+                    }
+                } else if g > 0.0 {
+                    g
+                } else {
+                    ratio * -g
+                };
+                if phi <= COEF_EPS {
+                    continue;
+                }
+                if j < n {
+                    if at_upper {
+                        // φ·t = φ·hi − φ·x.
+                        *w.entry(j as u32).or_default() -= phi;
+                        consts += phi * self.hi[j];
+                    } else {
+                        // φ·t = φ·x − φ·lo.
+                        *w.entry(j as u32).or_default() += phi;
+                        consts -= phi * self.lo[j];
+                    }
+                } else {
+                    // φ·u = φ·sc·(rhs_i − a_i·x).
+                    let i = slack_row[j - n];
+                    let sc = slack_sign[j - n];
+                    let c = &model.constraints[i];
+                    consts += phi * sc * c.rhs;
+                    for &(v, aik) in &c.expr.terms {
+                        *w.entry(v.index() as u32).or_default() -= phi * sc * aik;
+                    }
+                }
+            }
+            // `Σ w·x ≥ f₀ − consts`, negated to the pool's Le form, then
+            // canonicalized: tableau arithmetic leaves 1e-13-jittered
+            // copies of what are mathematically small-integer coefficients,
+            // and those jitters both evade the pool's content-key dedup
+            // (near-identical cuts pile up) and seed tiny pivots in every
+            // later repair. Coefficients within `SNAP_EPS` of an integer
+            // snap to it and near-zero ones drop, each time relaxing the
+            // rhs by the perturbation's worst-case contribution over the
+            // box — the cut only ever gets *weaker*, so validity is
+            // preserved; an unbounded variable under a perturbed term
+            // vetoes the cut instead.
+            let mut rhs = consts - f0;
+            let mut terms: Vec<(crate::VarId, f64)> = Vec::new();
+            for (&j, &wj) in &w {
+                let c = -wj;
+                let snapped = c.round();
+                let d = (c - snapped).abs();
+                let c = if d <= SNAP_EPS { snapped } else { c };
+                let slop = if d <= SNAP_EPS && d > 0.0 {
+                    let ji = j as usize;
+                    let bnd = self.lo[ji].abs().max(self.hi[ji].abs());
+                    if !bnd.is_finite() {
+                        continue 'rows;
+                    }
+                    d * bnd
+                } else {
+                    0.0
+                };
+                rhs += slop;
+                if c.abs() > DROP_EPS {
+                    terms.push((crate::VarId(j), c));
+                }
+            }
+            // Raising the rhs to a nearby integer is a further weakening.
+            if (rhs.round() - rhs) >= 0.0 && (rhs.round() - rhs) <= SNAP_EPS {
+                rhs = rhs.round();
+            }
+            if terms.is_empty() || terms.len() > max_terms {
+                continue;
+            }
+            // Quality gates. Efficacy: the cut's violation at the current
+            // vertex is `f₀`; normalized by the coefficient norm it is the
+            // euclidean distance the cut pushes the vertex — near-parallel
+            // dense rows that barely move the relaxation are rejected.
+            // Dynamism: rows mixing huge and tiny coefficients make every
+            // later LP numerically fragile (tiny pivots, stalled repairs),
+            // costing far more than their bound contribution is worth.
+            let norm = terms.iter().map(|&(_, c)| c * c).sum::<f64>().sqrt();
+            if f0 / norm < MIN_EFFICACY {
+                continue;
+            }
+            let maxc = terms.iter().map(|&(_, c)| c.abs()).fold(0.0, f64::max);
+            let minc = terms
+                .iter()
+                .map(|&(_, c)| c.abs())
+                .fold(f64::INFINITY, f64::min);
+            if maxc / minc > MAX_DYNAMISM {
+                continue;
+            }
+            // Canonical scale: normalize so the largest |coefficient| is 1
+            // and round everything onto a fixed grid (rhs always rounded
+            // *up*, coefficient perturbations again paid for through the
+            // rhs). Cuts that are mathematically equal but were read off
+            // different tableau rows with different last-bit noise now
+            // serialize identically — the pool's content-key dedup works.
+            let scale = 1.0 / maxc;
+            let mut slop = 0.0f64;
+            for (v, c) in &mut terms {
+                let s = *c * scale;
+                let g = (s * GRID).round() / GRID;
+                let d = (s - g).abs();
+                if d > 0.0 {
+                    let ji = v.index();
+                    let bnd = self.lo[ji].abs().max(self.hi[ji].abs());
+                    if !bnd.is_finite() {
+                        continue 'rows;
+                    }
+                    slop += d * bnd;
+                }
+                *c = g;
+            }
+            let rhs = ((rhs * scale + slop) * GRID).ceil() / GRID;
+            out.push((terms, rhs));
+        }
+        out
     }
 
     /// Applies a batch of bound tightenings in place and re-optimizes with
@@ -1788,5 +2191,144 @@ mod tests {
         };
         assert!((s.objective - base.objective).abs() < 1e-9);
         assert_eq!(dt.bounds(crate::VarId(0)), (0.0, 6.0));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        /// Brute-force GMI validity: on random small integer programs, no
+        /// cut read off the optimal root tableau may exclude any
+        /// integer-feasible point of the box.
+        #[test]
+        fn gomory_cuts_never_exclude_integer_points(
+            bounds in proptest::array::uniform3((-3i64..=3, 0i64..=5)),
+            cons in proptest::collection::vec(
+                (proptest::array::uniform3(-3i64..=3), -8i64..=12, 0u8..=8), 1..4),
+            obj in proptest::array::uniform3(-3i64..=3),
+        ) {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, w))| {
+                    m.add_var(format!("x{i}"), VarKind::Integer, lo as f64, (lo + w) as f64)
+                })
+                .collect();
+            for (coefs, rhs, cmp) in &cons {
+                let mut e = LinExpr::new();
+                for (i, &c) in coefs.iter().enumerate() {
+                    e = e + (c as f64, vars[i]);
+                }
+                let cmp = match cmp % 3 {
+                    0 => Cmp::Le,
+                    1 => Cmp::Ge,
+                    _ => Cmp::Eq,
+                };
+                m.add_constraint(e, cmp, *rhs as f64);
+            }
+            let mut o = LinExpr::new();
+            for (i, &c) in obj.iter().enumerate() {
+                o = o + (c as f64, vars[i]);
+            }
+            m.set_objective(o);
+
+            let (outcome, dt, _) = DiveTableau::new(&m);
+            if let (LpOutcome::Optimal(_), Some(dt)) = (outcome, dt) {
+                let cuts = dt.gomory_cuts(&m, &[true, true, true], 8, 64);
+                let rng: Vec<std::ops::RangeInclusive<i64>> = bounds
+                    .iter()
+                    .map(|&(lo, w)| lo..=(lo + w))
+                    .collect();
+                for x0 in rng[0].clone() {
+                    for x1 in rng[1].clone() {
+                        for x2 in rng[2].clone() {
+                            let p = [x0 as f64, x1 as f64, x2 as f64];
+                            if m.check_feasible(&p, 1e-6).is_err() {
+                                continue;
+                            }
+                            for (terms, rhs) in &cuts {
+                                let lhs: f64 =
+                                    terms.iter().map(|&(v, c)| c * p[v.index()]).sum();
+                                prop_assert!(
+                                    lhs <= rhs + 1e-6,
+                                    "cut {terms:?} <= {rhs} excludes feasible {p:?} (lhs {lhs})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        /// Pricing is a tie-breaking rule, not a semantics change: on random
+        /// warm restarts after a bound tightening, dual steepest-edge and
+        /// Dantzig leaving-row selection must reach the same outcome class
+        /// and (when optimal) the same objective.
+        #[test]
+        fn dse_and_dantzig_agree_on_warm_restarts(
+            bounds in proptest::array::uniform3((-4i64..=4, 1i64..=6)),
+            cons in proptest::collection::vec(
+                (proptest::array::uniform3(-3i64..=3), -8i64..=16, 0u8..=8), 1..5),
+            obj in proptest::array::uniform3(-4i64..=4),
+            tighten_var in 0usize..3,
+        ) {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = bounds
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, w))| {
+                    m.add_var(format!("x{i}"), VarKind::Continuous, lo as f64, (lo + w) as f64)
+                })
+                .collect();
+            for (coefs, rhs, cmp) in &cons {
+                let mut e = LinExpr::new();
+                for (i, &c) in coefs.iter().enumerate() {
+                    e = e + (c as f64, vars[i]);
+                }
+                let cmp = match cmp % 3 {
+                    0 => Cmp::Le,
+                    1 => Cmp::Ge,
+                    _ => Cmp::Eq,
+                };
+                m.add_constraint(e, cmp, *rhs as f64);
+            }
+            let mut o = LinExpr::new();
+            for (i, &c) in obj.iter().enumerate() {
+                o = o + (c as f64, vars[i]);
+            }
+            m.set_objective(o);
+
+            let (root, basis) = solve_with_basis(&m, None);
+            if let (LpOutcome::Optimal(_), Some(basis)) = (&root, basis) {
+                // Shrink one variable's box around an interior slice, as a
+                // branching step would, so the warm path has repair work.
+                let (lo, w) = bounds[tighten_var];
+                let mid = lo as f64 + w as f64 / 2.0;
+                m.set_bounds(vars[tighten_var], lo as f64, mid.floor().max(lo as f64));
+                let (a, _, sa) =
+                    solve_with_basis_pricing(&m, Some(&basis), Pricing::Dantzig);
+                let (b, _, sb) =
+                    solve_with_basis_pricing(&m, Some(&basis), Pricing::DualSteepestEdge);
+                // Dantzig never charges steepest-edge pivots; DSE only ever
+                // charges them on its warm dual-repair path.
+                prop_assert_eq!(sa.dse_pivots, 0);
+                prop_assert!(sb.warm_hit || sb.dse_pivots == 0);
+                match (&a, &b) {
+                    (LpOutcome::Optimal(x), LpOutcome::Optimal(y)) => prop_assert!(
+                        (x.objective - y.objective).abs() < 1e-6,
+                        "pricing changed the optimum: dantzig {} vs dse {}",
+                        x.objective, y.objective
+                    ),
+                    (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+                    (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+                    (a, b) => prop_assert!(
+                        false,
+                        "pricing changed the outcome class: dantzig {a:?} vs dse {b:?}"
+                    ),
+                }
+            }
+        }
     }
 }

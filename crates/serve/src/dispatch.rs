@@ -553,7 +553,11 @@ fn analyze_type(
                         pseudocost_branches: st.pseudocost_branches,
                         strong_branch_probes: st.strong_branch_probes,
                         pivots: st.pivots,
+                        dse_pivots: st.dse_pivots,
                         bound_flips: st.bound_flips,
+                        cuts_added: st.cuts_added,
+                        cut_rounds: st.cut_rounds,
+                        propagation_fathoms: st.propagation_fathoms,
                         rows: st.rows,
                         cols: st.cols,
                         trace_digest: st.trace_digest,

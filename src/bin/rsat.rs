@@ -24,8 +24,9 @@
 //! branch-and-bound solve statistics of each `--ilp` run (nodes, LP
 //! solves, incremental dive-tableau solves and hits with the dive basis
 //! reinstall count — zero on the incremental engine — pseudocost branch
-//! and strong-branching-probe counts, simplex pivots and bound flips, and
-//! the relaxation tableau shape).
+//! and strong-branching-probe counts, simplex pivots with the
+//! steepest-edge share, bound flips, cutting planes added with the root
+//! round count, propagation fathoms, and the relaxation tableau shape).
 //!
 //! `corpus` walks a directory of `.ddg` files with `--jobs` scoped-thread
 //! workers (each a warm dispatcher), prints a per-file summary, and writes
@@ -210,7 +211,8 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
             println!(
                 "  intLP stats: {} nodes, {} LP solves ({} warm dives, {} warm hits, \
                  {} dive reinstalls), {} pseudocost branches, {} strong-branch probes, \
-                 {} pivots, {} bound flips, tableau {}x{}, trace digest {:016x}",
+                 {} pivots ({} steepest-edge), {} bound flips, {} cuts in {} rounds, \
+                 {} propagation fathoms, tableau {}x{}, trace digest {:016x}",
                 st.nodes,
                 st.lp_solves,
                 st.warm_solves,
@@ -219,7 +221,11 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
                 st.pseudocost_branches,
                 st.strong_branch_probes,
                 st.pivots,
+                st.dse_pivots,
                 st.bound_flips,
+                st.cuts_added,
+                st.cut_rounds,
+                st.propagation_fathoms,
                 st.rows,
                 st.cols,
                 st.trace_digest

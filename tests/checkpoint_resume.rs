@@ -77,6 +77,59 @@ fn interrupted_resume_chain_matches_uninterrupted_on_rs_models() {
 }
 
 #[test]
+fn resume_token_is_rejected_across_accelerator_config_changes() {
+    // A checkpoint's frontier is only meaningful for the exact tree its
+    // config grows: the fingerprint covers the cut generator, the pricing
+    // rule, and the propagation pass, so a token minted under the default
+    // engine must cold-start — never splice — when any of them is flipped.
+    let ddg = kernel();
+    let mut solver = RsIlp::new();
+    solver.milp.node_limit = 2;
+    let ck = solver
+        .saturation_resumable(&ddg, RegType::FLOAT, None)
+        .checkpoint
+        .expect("tiny budget interrupts");
+
+    let full = RsIlp::new()
+        .saturation(&ddg, RegType::FLOAT)
+        .expect("model solves");
+    let variants: [(&str, Box<dyn Fn(&mut RsIlp)>); 3] = [
+        ("cuts off", Box::new(|s: &mut RsIlp| s.milp.cuts = false)),
+        (
+            "dantzig pricing",
+            Box::new(|s: &mut RsIlp| s.milp.pricing = rs_lp::Pricing::Dantzig),
+        ),
+        (
+            "propagation off",
+            Box::new(|s: &mut RsIlp| s.milp.propagation = false),
+        ),
+    ];
+    for (name, tweak) in variants {
+        let mut fresh = RsIlp::new();
+        tweak(&mut fresh);
+        let run = fresh.saturation_resumable(&ddg, RegType::FLOAT, Some(&ck));
+        let sol = run.result.expect("cold restart completes");
+        assert!(
+            !sol.milp_stats.resumed,
+            "{name}: drifted config must not resume a foreign token"
+        );
+        assert!(sol.proven_optimal, "{name}");
+        // Different tree shape, same answer.
+        assert_eq!(sol.saturation, full.saturation, "{name}");
+    }
+
+    // Control: the unchanged config resumes the token it minted.
+    let mut same = RsIlp::new();
+    same.milp.node_limit = 100_000;
+    let sol = same
+        .saturation_resumable(&ddg, RegType::FLOAT, Some(&ck))
+        .result
+        .expect("resume completes");
+    assert!(sol.milp_stats.resumed, "control: same config must resume");
+    assert_eq!(sol.saturation, full.saturation);
+}
+
+#[test]
 fn resume_token_survives_embedding_in_response_json() {
     let ddg = kernel();
     // Interrupt almost immediately: the checkpoint carries a non-empty

@@ -52,9 +52,15 @@ proptest! {
         // optima carry the determinism guarantee).
         let cfg = MilpConfig {
             time_limit: Some(std::time::Duration::from_secs(30)),
-            // The acceptance bar for the pseudocost engine: explicitly on,
-            // objective identical across the whole thread grid.
+            // The acceptance bar for the full accelerator stack: pseudocost
+            // branching, root/node cutting planes, dual steepest-edge
+            // pricing, and bound propagation all explicitly on — the tree
+            // must stay identical across the whole thread grid with every
+            // tree-shaping feature active, not just in a stripped engine.
             pseudocost: true,
+            cuts: true,
+            pricing: rs_lp::Pricing::DualSteepestEdge,
+            propagation: true,
             ..MilpConfig::default()
         };
         let seq = rs_lp::solve(&model, &cfg);
@@ -92,12 +98,64 @@ proptest! {
                         p.stats.dive_reinstalls, 0,
                         "dive steps must never reinstall a basis"
                     );
+                    // Separation is part of the deterministic contract:
+                    // every worker count must cut the same planes in the
+                    // same rounds and fathom the same nodes by propagation.
+                    prop_assert_eq!(
+                        (s.stats.cuts_added, s.stats.cut_rounds, s.stats.propagation_fathoms),
+                        (p.stats.cuts_added, p.stats.cut_rounds, p.stats.propagation_fathoms),
+                        "ops={} seed={} threads={} changed cut/propagation behavior",
+                        ops, seed, threads
+                    );
                 }
                 (Err(a), Err(b)) => prop_assert_eq!(a.clone(), b),
                 (a, b) => prop_assert!(
                     false,
                     "thread count {} changed the outcome class: seq {:?} vs par {:?}",
                     threads, a.as_ref().map(|s| s.objective), b.map(|s| s.objective)
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn bench_grid_trees_are_thread_invariant_with_cuts_and_dse() {
+    // The exact instances the scaling bench pins, solved with the full
+    // accelerator stack at every thread count: one fixed (nodes, digest,
+    // cuts, fathoms) tuple per size. This is the `nodes_invariant` /
+    // per-cell trace-digest acceptance check, runnable outside the bench
+    // harness.
+    for (size, seed) in [(12usize, 1u64), (14, 0), (18, 4)] {
+        let cfg = RandomDagConfig::sized(size, 0xBEEF + size as u64 + seed * 7919);
+        let ddg = random_ddg(&cfg, Target::superscalar());
+        let model = RsIlp::new().build_model(&ddg, RegType::FLOAT).0;
+        let mut baseline: Option<(f64, usize, u64, usize, usize)> = None;
+        for threads in [1usize, 2, 4] {
+            let sol = rs_lp::solve(
+                &model,
+                &MilpConfig {
+                    threads,
+                    cuts: true,
+                    pricing: rs_lp::Pricing::DualSteepestEdge,
+                    propagation: true,
+                    ..MilpConfig::default()
+                },
+            )
+            .expect("grid instance solves");
+            assert!(sol.stats.proven_optimal, "size {size} threads {threads}");
+            let tuple = (
+                sol.objective,
+                sol.stats.nodes,
+                sol.stats.trace_digest,
+                sol.stats.cuts_added,
+                sol.stats.propagation_fathoms,
+            );
+            match &baseline {
+                None => baseline = Some(tuple),
+                Some(b) => assert_eq!(
+                    *b, tuple,
+                    "size {size}: threads {threads} changed the tree"
                 ),
             }
         }
