@@ -190,7 +190,16 @@ fn main() {
     println!("milp_scaling: host parallelism {host_parallelism}");
     println!(
         "{:>6} {:>9} {:>12} {:>10} {:>8} {:>9} {:>10} {:>9} {:>6} {:>6}",
-        "size", "threads", "millis", "objective", "nodes", "warm", "pivots", "rows", "cuts", "pfath"
+        "size",
+        "threads",
+        "millis",
+        "objective",
+        "nodes",
+        "warm",
+        "pivots",
+        "rows",
+        "cuts",
+        "pfath"
     );
 
     for &(size, seed) in instances {
@@ -221,11 +230,18 @@ fn main() {
 
         let mut first_trace: Option<(usize, u64)> = None;
         for &threads in thread_grid {
-            let cfg = MilpConfig::with_threads(threads);
+            // Audit forced on across the whole grid: the pre-solve static
+            // pass must never perturb nodes, digest, or objective — the
+            // invariant assertions below run against audited solves.
+            let cfg = MilpConfig {
+                audit: true,
+                ..MilpConfig::with_threads(threads)
+            };
             let start = Instant::now();
             let sol = rs_lp::solve(&model, &cfg).expect("RS model is feasible");
             let millis = start.elapsed().as_secs_f64() * 1e3;
             assert!(sol.stats.proven_optimal, "size {size} hit the budget");
+            assert!(sol.stats.audited, "audit was requested for every cell");
             let obj = sol.objective.round() as i64;
             // Determinism + differential correctness: neither the thread
             // count nor the bound-handling formulation may change the

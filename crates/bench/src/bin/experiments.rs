@@ -9,6 +9,8 @@
 //! Reports land in `results/*.txt` (human-readable) and `results/*.json`
 //! (machine-readable).
 
+#![forbid(unsafe_code)]
+
 use rs_bench::{
     common, figure2, t1_rs_optimality, t2_reduce_optimality, t3_model_size, t4_min_vs_saturate,
     t5_ablation,

@@ -13,6 +13,8 @@
 //! The `experiments` binary drives them and writes `results/*.txt` and
 //! `results/*.json`.
 
+#![forbid(unsafe_code)]
+
 pub mod common;
 pub mod corpus;
 pub mod figure2;

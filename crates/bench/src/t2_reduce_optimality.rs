@@ -198,6 +198,7 @@ fn run_trial(case: &Case, budget: usize, rs_before: usize) -> Trial {
         }
         Err(ReduceIlpError::SpillUnavoidable) => (None, None),
         Err(ReduceIlpError::Budget) => (None, None),
+        Err(ReduceIlpError::Rejected(e)) => panic!("audit rejected a generated model: {e}"),
     };
 
     let category = classify(

@@ -324,10 +324,15 @@ impl RsIlp {
             .filter(|(_, &xv)| sol.values[xv.index()].round() as i64 == 1)
             .map(|(&u, _)| u)
             .collect();
-        debug_assert!(
-            lifetime::is_valid_schedule(ddg, &schedule),
-            "intLP produced an invalid schedule"
-        );
+        if !lifetime::is_valid_schedule(ddg, &schedule) {
+            // A rounded optimum violating precedence means numerical
+            // breakdown upstream; surface it as a typed error instead of
+            // returning a bogus saturation certificate.
+            return IlpRun {
+                result: Err(MilpError::Numerical),
+                checkpoint: run.checkpoint,
+            };
+        }
         let saturation = sol.objective.round() as usize;
         let upper_bound = if sol.stats.proven_optimal {
             saturation
@@ -420,6 +425,9 @@ pub enum ReduceIlpError {
     SpillUnavoidable,
     /// The MILP budget ran out.
     Budget,
+    /// The pre-solve static audit rejected the generated model — a
+    /// formulation bug, never a property of the input DDG.
+    Rejected(rs_lp::AuditError),
 }
 
 impl std::fmt::Display for ReduceIlpError {
@@ -432,6 +440,7 @@ impl std::fmt::Display for ReduceIlpError {
                 )
             }
             ReduceIlpError::Budget => write!(f, "MILP budget exhausted"),
+            ReduceIlpError::Rejected(e) => write!(f, "reduction model rejected by audit: {e}"),
         }
     }
 }
@@ -562,6 +571,7 @@ impl ReduceIlp {
                 Err(MilpError::BudgetExhausted) | Err(MilpError::Numerical) => {
                     return Err(ReduceIlpError::Budget)
                 }
+                Err(MilpError::Audit(e)) => return Err(ReduceIlpError::Rejected(e)),
             }
         }
     }

@@ -27,6 +27,8 @@
 //! time-indexed baseline intLP used for the model-size comparison
 //! ([`ilp_baseline`]), and the end-to-end pipeline ([`pipeline`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cfg;
 pub mod engine;
 pub mod exact;

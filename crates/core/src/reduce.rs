@@ -232,6 +232,7 @@ impl Reducer {
                 ddg.add_serial(s, d, lat);
                 added.push((s, d, lat));
             }
+            // lint:allow(D-04) candidate arc sets were acyclicity-checked when scored; this re-asserts after re-application
             debug_assert!(ddg.is_acyclic(), "serialization must keep the DDG acyclic");
             current = self.measure(ddg, t, r, estimate);
             best_rs = best_rs.min(current.0);

@@ -191,6 +191,12 @@ pub struct RsRequest {
     /// [`codes::TIMEOUT`] *plus* the best partial result. Excluded from
     /// the cache key — degraded results are never cached.
     pub timeout_ms: Option<u64>,
+    /// Override the solver's pre-solve static audit (`None` keeps the
+    /// build default: on in debug, off in release). The audit rejects
+    /// incoherent models and corrupted resume checkpoints with
+    /// [`codes::REQUEST`] errors before any search runs; it never changes
+    /// the answer of a sound request.
+    pub audit: Option<bool>,
 }
 
 impl RsRequest {
@@ -212,6 +218,7 @@ impl RsRequest {
             issue: None,
             cache: true,
             timeout_ms: None,
+            audit: None,
         }
     }
 
@@ -264,7 +271,7 @@ impl RsRequest {
     /// the deadline cannot affect what a cached entry holds.
     pub fn cache_key(&self) -> String {
         format!(
-            "v{};op={};type={:?};regs={:?};exact={};ilp={};stats={};spill={};emit={};issue={:?};ddg={}",
+            "v{};op={};type={:?};regs={:?};exact={};ilp={};stats={};spill={};emit={};issue={:?};audit={:?};ddg={}",
             self.v,
             self.op.name(),
             self.reg_type,
@@ -275,6 +282,7 @@ impl RsRequest {
             self.spill,
             self.emit_ddg,
             self.issue,
+            self.audit,
             self.ddg,
         )
     }
@@ -301,6 +309,7 @@ impl Deserialize for RsRequest {
         req.issue = opt_field(value, "issue")?;
         req.cache = opt_field(value, "cache")?.unwrap_or(true);
         req.timeout_ms = opt_field(value, "timeout_ms")?;
+        req.audit = opt_field(value, "audit")?;
         Ok(req)
     }
 }
@@ -397,6 +406,9 @@ pub struct IlpStats {
     /// or not) report identical digests — the observable the determinism
     /// smoke checks diff.
     pub trace_digest: u64,
+    /// Whether the pre-solve static audit ran for this solve. Advisory,
+    /// like the pivot counters: it never affects the reported answer.
+    pub audited: bool,
 }
 
 /// Outcome of reducing one register type below its budget.
@@ -530,7 +542,10 @@ impl RsResponse {
         cache: CacheInfo,
         millis: f64,
     ) -> Self {
-        debug_assert_eq!(error.code, codes::TIMEOUT);
+        // Promoted from a debug assertion: a mislabelled timeout response
+        // would lie to every release client. Once per response, and the
+        // serve loop's panic isolation contains a violation.
+        assert_eq!(error.code, codes::TIMEOUT);
         RsResponse {
             v: PROTOCOL_VERSION,
             id,

@@ -41,6 +41,8 @@
 //! assert_eq!(lp[c.index()], Some(5));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod antichain;
 pub mod bitset;
 pub mod closure;

@@ -12,6 +12,8 @@
 //! Every builder takes the [`Target`] so the same kernel can be analysed
 //! under superscalar and VLIW delay models.
 
+#![forbid(unsafe_code)]
+
 pub mod figure2;
 pub mod linpack;
 pub mod livermore;

@@ -1,0 +1,545 @@
+//! A hand-rolled token-level lexer for Rust source.
+//!
+//! Deliberately not a parser: the lint rules only need a faithful token
+//! stream — identifiers, literals, and punctuation with line numbers —
+//! where string/char literals, raw strings, raw identifiers, lifetimes,
+//! and (nested) comments can never be mistaken for code. Everything the
+//! rules match on (`debug_assert!`, `.unwrap()`, `HashMap`, `==` next to
+//! a float literal, …) is a short token sequence, so no syntax tree is
+//! required and the crate stays dependency-free.
+
+/// Kind of one lexed token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (raw identifiers `r#x` lex as `x`).
+    Ident,
+    /// Integer literal (any base, with suffix).
+    Int,
+    /// Float literal (`1.0`, `1.`, `1e-7`, `1f64`, …).
+    Float,
+    /// String, raw-string, byte-string, or char literal. `text` holds the
+    /// raw inner content (escapes unprocessed).
+    Str,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-char operators the rules care about (`==`,
+    /// `!=`, `::`, `<=`, `>=`, `=>`, `->`, `&&`, `||`, `..`) are single
+    /// tokens, everything else is one char.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One `//` line comment (block comments are skipped: the inline
+/// allowlist mechanism is line-comment only, so suppressions are always
+/// visible next to the code they justify).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    /// Comment body after the `//` (including any further `/` or `!`).
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and line comments. Unterminated literals are
+/// tolerated (the remainder of the file lexes as literal content): the
+/// scanner must never panic on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Lexed::default();
+
+    macro_rules! push {
+        ($kind:expr, $text:expr, $line:expr) => {
+            out.toks.push(Tok {
+                kind: $kind,
+                text: $text,
+                line: $line,
+            })
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = i + 2;
+            let mut j = start;
+            while j < n && b[j] != '\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line,
+                text: b[start..j].iter().collect(),
+            });
+            i = j;
+            continue;
+        }
+        // Block comment, nested.
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings, raw identifiers, byte strings / byte chars.
+        if c == 'r' || c == 'b' {
+            if let Some((tok, next_i, lines)) = lex_prefixed(&b, i, line) {
+                push!(tok.0, tok.1, line);
+                line += lines;
+                i = next_i;
+                continue;
+            }
+        }
+        // Plain string literal.
+        if c == '"' {
+            let (text, next_i, lines) = lex_quoted(&b, i + 1, '"');
+            push!(TokKind::Str, text, line);
+            line += lines;
+            i = next_i;
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: ident run not closed by a quote.
+            if i + 1 < n && is_ident_start(b[i + 1]) {
+                let mut j = i + 1;
+                while j < n && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                if j >= n || b[j] != '\'' {
+                    push!(TokKind::Lifetime, b[i + 1..j].iter().collect(), line);
+                    i = j;
+                    continue;
+                }
+            }
+            let (text, next_i, lines) = lex_quoted(&b, i + 1, '\'');
+            push!(TokKind::Str, text, line);
+            line += lines;
+            i = next_i;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let (kind, text, next_i) = lex_number(&b, i);
+            push!(kind, text, line);
+            i = next_i;
+            continue;
+        }
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < n && is_ident_continue(b[j]) {
+                j += 1;
+            }
+            push!(TokKind::Ident, b[i..j].iter().collect(), line);
+            i = j;
+            continue;
+        }
+        // Punctuation, with the multi-char operators the rules match on.
+        let two = if i + 1 < n { Some((c, b[i + 1])) } else { None };
+        let op: Option<&str> = match two {
+            Some(('=', '=')) => Some("=="),
+            Some(('=', '>')) => Some("=>"),
+            Some(('!', '=')) => Some("!="),
+            Some((':', ':')) => Some("::"),
+            Some(('<', '=')) => Some("<="),
+            Some(('>', '=')) => Some(">="),
+            Some(('-', '>')) => Some("->"),
+            Some(('&', '&')) => Some("&&"),
+            Some(('|', '|')) => Some("||"),
+            Some(('.', '.')) => Some(".."),
+            _ => None,
+        };
+        if let Some(op) = op {
+            push!(TokKind::Punct, op.to_string(), line);
+            i += 2;
+            continue;
+        }
+        push!(TokKind::Punct, c.to_string(), line);
+        i += 1;
+    }
+    out
+}
+
+/// Lexes `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `br#"…"#`, or `b'…'`
+/// starting at the `r`/`b` at index `i`. Returns `((kind, text), next
+/// index, newline count)` or `None` when this is a plain identifier.
+#[allow(clippy::type_complexity)]
+fn lex_prefixed(b: &[char], i: usize, _line: u32) -> Option<((TokKind, String), usize, u32)> {
+    let n = b.len();
+    let c = b[i];
+    let mut j = i + 1;
+    if c == 'b' && j < n && b[j] == 'r' {
+        j += 1; // br…
+    }
+    // Count raw hashes.
+    let hash_start = j;
+    while j < n && b[j] == '#' {
+        j += 1;
+    }
+    let hashes = j - hash_start;
+    if j < n && b[j] == '"' {
+        // Raw (or plain byte) string: terminated by `"` + `hashes` × `#`.
+        let mut k = j + 1;
+        let mut lines = 0u32;
+        let content_start = k;
+        if hashes == 0 && c == 'b' && b[i + 1] == '"' {
+            // b"…" uses ordinary escape rules.
+            let (text, next_i, nl) = lex_quoted(b, content_start, '"');
+            return Some(((TokKind::Str, text), next_i, nl));
+        }
+        while k < n {
+            if b[k] == '\n' {
+                lines += 1;
+            }
+            if b[k] == '"' {
+                let mut h = 0usize;
+                while h < hashes && k + 1 + h < n && b[k + 1 + h] == '#' {
+                    h += 1;
+                }
+                if h == hashes {
+                    let text: String = b[content_start..k].iter().collect();
+                    return Some(((TokKind::Str, text), k + 1 + hashes, lines));
+                }
+            }
+            k += 1;
+        }
+        let text: String = b[content_start..n].iter().collect();
+        return Some(((TokKind::Str, text), n, lines));
+    }
+    if hashes > 0 && c == 'r' && j < n && is_ident_start(b[j]) {
+        // Raw identifier r#ident: lexes as the bare identifier.
+        let mut k = j;
+        while k < n && is_ident_continue(b[k]) {
+            k += 1;
+        }
+        let text: String = b[j..k].iter().collect();
+        return Some(((TokKind::Ident, text), k, 0));
+    }
+    if c == 'b' && i + 1 < n && b[i + 1] == '\'' {
+        let (text, next_i, nl) = lex_quoted(b, i + 2, '\'');
+        return Some(((TokKind::Str, text), next_i, nl));
+    }
+    if c == 'b' && i + 1 < n && b[i + 1] == '"' {
+        let (text, next_i, nl) = lex_quoted(b, i + 2, '"');
+        return Some(((TokKind::Str, text), next_i, nl));
+    }
+    None
+}
+
+/// Consumes an escaped literal starting just after the opening quote.
+/// Returns `(inner text, index after closing quote, newline count)`.
+fn lex_quoted(b: &[char], start: usize, quote: char) -> (String, usize, u32) {
+    let n = b.len();
+    let mut j = start;
+    let mut lines = 0u32;
+    while j < n {
+        if b[j] == '\\' {
+            j += 2;
+            continue;
+        }
+        if b[j] == '\n' {
+            lines += 1;
+        }
+        if b[j] == quote {
+            return (b[start..j].iter().collect(), j + 1, lines);
+        }
+        j += 1;
+    }
+    (b[start..n].iter().collect(), n, lines)
+}
+
+/// Lexes a number starting at a digit. Returns `(kind, text, next index)`.
+fn lex_number(b: &[char], i: usize) -> (TokKind, String, usize) {
+    let n = b.len();
+    let mut j = i;
+    let mut float = false;
+    if b[i] == '0' && i + 1 < n && matches!(b[i + 1], 'x' | 'X' | 'o' | 'O' | 'b' | 'B') {
+        j = i + 2;
+        while j < n && (b[j].is_ascii_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        return (TokKind::Int, b[i..j].iter().collect(), j);
+    }
+    while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+        j += 1;
+    }
+    // Fractional part: `1.0` and trailing `1.` are floats, but `1.x`
+    // (field/method) and `1..2` (range) are not.
+    if j < n && b[j] == '.' {
+        let after = b.get(j + 1).copied();
+        let method_or_range = after.is_some_and(|c| is_ident_start(c) || c == '.');
+        if !method_or_range {
+            float = true;
+            j += 1;
+            while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Exponent.
+    if j < n && matches!(b[j], 'e' | 'E') {
+        let k = j + 1;
+        let signed = k < n && matches!(b[k], '+' | '-');
+        let digits_at = if signed { k + 1 } else { k };
+        if digits_at < n && b[digits_at].is_ascii_digit() {
+            float = true;
+            j = digits_at;
+            while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                j += 1;
+            }
+        }
+    }
+    // Suffix (`u32`, `f64`, …) — a float suffix makes it a float.
+    let suffix_at = j;
+    while j < n && is_ident_continue(b[j]) {
+        j += 1;
+    }
+    let suffix: String = b[suffix_at..j].iter().collect();
+    if suffix.starts_with("f32") || suffix.starts_with("f64") {
+        float = true;
+    }
+    let kind = if float { TokKind::Float } else { TokKind::Int };
+    (kind, b[i..j].iter().collect(), j)
+}
+
+/// Token-index ranges `[start, end)` covering `#[cfg(test)]` / `#[test]`
+/// items: the attribute and the braced body that follows it. Used to
+/// exempt test code from the rules that only bind production paths.
+/// `#[cfg(not(test))]` is recognized as *non*-test and never exempts.
+pub fn test_ranges(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let punct = |k: usize, s: &str| {
+        toks.get(k)
+            .is_some_and(|t| t.kind == TokKind::Punct && t.text == s)
+    };
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(punct(i, "#") && punct(i + 1, "[")) {
+            i += 1;
+            continue;
+        }
+        // Scan the attribute body for the `test` / `not` idents.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut has_test = false;
+        let mut has_not = false;
+        while j < toks.len() && depth > 0 {
+            let t = &toks[j];
+            if t.kind == TokKind::Punct {
+                if t.text == "[" {
+                    depth += 1;
+                } else if t.text == "]" {
+                    depth -= 1;
+                }
+            } else if t.kind == TokKind::Ident {
+                if t.text == "test" {
+                    has_test = true;
+                } else if t.text == "not" {
+                    has_not = true;
+                }
+            }
+            j += 1;
+        }
+        if !has_test || has_not {
+            i = j;
+            continue;
+        }
+        // Skip any further attributes, then find the item body.
+        let mut k = j;
+        while punct(k, "#") && punct(k + 1, "[") {
+            let mut d = 1usize;
+            k += 2;
+            while k < toks.len() && d > 0 {
+                if punct(k, "[") {
+                    d += 1;
+                } else if punct(k, "]") {
+                    d -= 1;
+                }
+                k += 1;
+            }
+        }
+        // Walk to the first top-level `{` (the body); a `;` first means a
+        // body-less item (nothing to exempt).
+        let mut pd = 0isize;
+        while k < toks.len() {
+            let t = &toks[k];
+            if t.kind == TokKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => pd += 1,
+                    ")" | "]" => pd -= 1,
+                    ";" if pd == 0 => break,
+                    "{" if pd == 0 => {
+                        let mut bd = 1usize;
+                        k += 1;
+                        while k < toks.len() && bd > 0 {
+                            if punct(k, "{") {
+                                bd += 1;
+                            } else if punct(k, "}") {
+                                bd -= 1;
+                            }
+                            k += 1;
+                        }
+                        out.push((i, k));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            k += 1;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_code() {
+        let l = lex("// debug_assert!(x)\nlet s = \"unwrap()\"; /* todo!() */");
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("debug_assert"));
+        let idents: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let t = texts(r##"let x = r#"a "quoted" body"#; let r#type = 1;"##);
+        assert!(t.contains(&"a \"quoted\" body".to_string()));
+        assert!(t.contains(&"type".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "a"]);
+        let strs = l.toks.iter().filter(|t| t.kind == TokKind::Str).count();
+        assert_eq!(strs, 2);
+    }
+
+    #[test]
+    fn float_vs_int_vs_method() {
+        let l = lex("a == 0.0; b == 1; c == 1.; d == 1e-7; t.0; 0..2; 5f64");
+        let kinds: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.kind, t.text.as_str()))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                (TokKind::Float, "0.0"),
+                (TokKind::Int, "1"),
+                (TokKind::Float, "1."),
+                (TokKind::Float, "1e-7"),
+                (TokKind::Int, "0"),
+                (TokKind::Int, "0"),
+                (TokKind::Int, "2"),
+                (TokKind::Float, "5f64"),
+            ]
+        );
+    }
+
+    #[test]
+    fn multichar_operators() {
+        let t = texts("a == b != c :: d <= e >= f -> g => h && i || j");
+        for op in ["==", "!=", "::", "<=", ">=", "->", "=>", "&&", "||"] {
+            assert!(t.contains(&op.to_string()), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn cfg_test_ranges_cover_mod_body() {
+        let src =
+            "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn t() { y.unwrap(); }\n}\n";
+        let l = lex(src);
+        let ranges = test_ranges(&l.toks);
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        let covered: Vec<_> = l.toks[s..e].iter().map(|t| t.text.as_str()).collect();
+        assert!(covered.contains(&"tests"));
+        assert!(covered.contains(&"y"));
+        assert!(!covered.contains(&"prod"));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "#[cfg(not(test))]\nmod prod { fn f() { x.unwrap(); } }\n";
+        let l = lex(src);
+        assert!(test_ranges(&l.toks).is_empty());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_strings() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 1;";
+        let l = lex(src);
+        let t = l.toks.iter().find(|t| t.text == "t").expect("t token");
+        assert_eq!(t.line, 4);
+    }
+}

@@ -1,0 +1,134 @@
+#![forbid(unsafe_code)]
+//! `rs-lint` CLI: scan the workspace, print findings, write the JSON
+//! report, and exit nonzero when the gate fails.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rs_lint::{scan_workspace, RULES};
+
+const USAGE: &str = "\
+rs-lint: workspace static-analysis pass for determinism & soundness invariants
+
+USAGE:
+    rs-lint --workspace [OPTIONS]
+
+OPTIONS:
+    --workspace        scan the workspace rooted at --root (or the cwd)
+    --root <DIR>       workspace root to scan (default: current directory)
+    --out <FILE>       JSON report path (default: results/lint.json)
+    --deny             treat warnings as failures (CI mode)
+    --list-rules       print the rule catalog and exit
+    --quiet            suppress per-finding output, print the summary only
+    -h, --help         show this help
+";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut out_path = PathBuf::from("results/lint.json");
+    let mut deny = false;
+    let mut quiet = false;
+    let mut list_rules = false;
+    let mut workspace = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root requires a directory"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_path = PathBuf::from(v),
+                None => return usage_error("--out requires a path"),
+            },
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    if list_rules {
+        println!("{:<6} {:<6} rule", "id", "level");
+        for r in RULES {
+            println!(
+                "{:<6} {:<6} {}  [{}]",
+                r.id,
+                r.severity.as_str(),
+                r.title,
+                r.scope
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if !workspace {
+        return usage_error("pass --workspace to scan (or --list-rules)");
+    }
+
+    let report = match scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rs-lint: scan failed under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if !quiet {
+        for f in &report.findings {
+            println!(
+                "{}:{}: {}[{}] {}",
+                f.file,
+                f.line,
+                f.severity.as_str(),
+                f.rule,
+                f.message
+            );
+            if !f.snippet.is_empty() {
+                println!("    | {}", f.snippet);
+            }
+        }
+    }
+
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Err(e) = std::fs::create_dir_all(parent) {
+                eprintln!("rs-lint: cannot create {}: {e}", parent.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
+        eprintln!("rs-lint: cannot write {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+
+    let errors = report.errors();
+    let warnings = report.warnings();
+    println!(
+        "rs-lint: {} files scanned, {} errors, {} warnings, {} allows ({})",
+        report.files_scanned,
+        errors,
+        warnings,
+        report.allows.len(),
+        out_path.display()
+    );
+
+    let failed = errors > 0 || (deny && warnings > 0);
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("rs-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,3 @@
+// lint:allow(Z-99) no such rule exists
+// lint:allow(D-01)
+pub fn noop() {}

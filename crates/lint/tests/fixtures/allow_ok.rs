@@ -1,0 +1,5 @@
+pub fn order_keys() -> u32 {
+    // lint:allow(D-01) membership-only index; iteration order never observed
+    let set: std::collections::HashSet<u64> = Default::default();
+    set.len() as u32
+}

@@ -1,0 +1,2 @@
+// lint:allow(D-03) there is nothing to suppress here
+pub fn noop() {}

@@ -1,0 +1,3 @@
+pub fn order_keys() -> std::collections::HashSet<u64> {
+    std::collections::HashSet::new()
+}

@@ -1,0 +1,5 @@
+use std::time::Instant;
+
+pub fn stamp() -> Instant {
+    Instant::now()
+}

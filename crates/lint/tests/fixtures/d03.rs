@@ -1,0 +1,3 @@
+pub fn at_bound(x: f64) -> bool {
+    x == 1.0
+}

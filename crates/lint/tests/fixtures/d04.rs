@@ -1,0 +1,3 @@
+pub fn guard(len: usize, cap: usize) {
+    debug_assert!(len <= cap, "frontier never exceeds capacity");
+}

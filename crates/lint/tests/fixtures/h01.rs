@@ -1,0 +1,3 @@
+//! A crate root without the unsafe-code ban.
+
+pub fn noop() {}

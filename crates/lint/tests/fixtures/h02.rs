@@ -1,0 +1,3 @@
+pub fn later() -> u32 {
+    todo!("finish the frontier rewrite")
+}

@@ -1,0 +1,3 @@
+pub fn fail() -> RsError {
+    RsError::new("catastrophe", "this code is not in the vocabulary")
+}

@@ -1,0 +1,126 @@
+//! Fixture-driven rule tests: every rule in the catalog has one
+//! deliberately-violating snippet under `tests/fixtures/` (a directory the
+//! workspace walker skips), and each test pins the exact rule ID and line
+//! the scanner must report for it.
+
+use rs_lint::{lint_source, FileLint, Severity};
+
+/// Loads a fixture and lints it under the given workspace-relative path
+/// (the path determines crate scoping).
+fn lint_fixture(name: &str, rel: &str) -> FileLint {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    lint_source(rel, &src)
+}
+
+/// Asserts the lint produced exactly `expected` as `(rule, line)` pairs.
+fn assert_findings(fl: &FileLint, expected: &[(&str, u32)]) {
+    let got: Vec<(&str, u32)> = fl.findings.iter().map(|f| (f.rule, f.line)).collect();
+    assert_eq!(got, expected, "findings: {:#?}", fl.findings);
+}
+
+#[test]
+fn d01_flags_hash_collections_in_solver_crates() {
+    let fl = lint_fixture("d01.rs", "crates/lp/src/fixture.rs");
+    assert_findings(&fl, &[("D-01", 1), ("D-01", 2)]);
+    assert!(fl.findings.iter().all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn d01_is_scoped_to_deterministic_search_crates() {
+    // The same source in a crate outside lp/core/graph is fine.
+    let fl = lint_fixture("d01.rs", "crates/bench/src/fixture.rs");
+    assert_findings(&fl, &[]);
+}
+
+#[test]
+fn d02_flags_wall_clock_reads() {
+    // Only the actual `Instant::now` call trips the rule — the import and
+    // the type position do not.
+    let fl = lint_fixture("d02.rs", "crates/core/src/fixture.rs");
+    assert_findings(&fl, &[("D-02", 4)]);
+}
+
+#[test]
+fn d03_flags_raw_float_equality() {
+    let fl = lint_fixture("d03.rs", "crates/lp/src/fixture.rs");
+    assert_findings(&fl, &[("D-03", 2)]);
+    assert_eq!(fl.findings[0].severity, Severity::Warn);
+}
+
+#[test]
+fn d04_flags_debug_assert() {
+    let fl = lint_fixture("d04.rs", "crates/lp/src/fixture.rs");
+    assert_findings(&fl, &[("D-04", 2)]);
+}
+
+#[test]
+fn s01_flags_unwrap_on_serve_paths() {
+    let fl = lint_fixture("s01.rs", "crates/serve/src/fixture.rs");
+    assert_findings(&fl, &[("S-01", 2)]);
+    // The same code outside the serve crate is not a finding.
+    let elsewhere = lint_fixture("s01.rs", "crates/sched/src/fixture.rs");
+    assert_findings(&elsewhere, &[]);
+}
+
+#[test]
+fn s02_flags_undocumented_error_codes() {
+    let fl = lint_fixture("s02.rs", "crates/core/src/fixture.rs");
+    assert_findings(&fl, &[("S-02", 2)]);
+    assert!(fl.findings[0].message.contains("catastrophe"));
+}
+
+#[test]
+fn h01_flags_crate_roots_without_unsafe_ban() {
+    let fl = lint_fixture("h01.rs", "crates/fake/src/lib.rs");
+    assert_findings(&fl, &[("H-01", 1)]);
+    // A non-root file with the same content is fine.
+    let not_root = lint_fixture("h01.rs", "crates/fake/src/util.rs");
+    assert_findings(&not_root, &[]);
+}
+
+#[test]
+fn h02_flags_todo_outside_tests() {
+    let fl = lint_fixture("h02.rs", "crates/graph/src/fixture.rs");
+    assert_findings(&fl, &[("H-02", 2)]);
+}
+
+#[test]
+fn allow_round_trip_suppresses_and_records() {
+    // A justified allow on the line above the finding suppresses it and
+    // is recorded as used in the report.
+    let fl = lint_fixture("allow_ok.rs", "crates/lp/src/fixture.rs");
+    assert_findings(&fl, &[]);
+    assert_eq!(fl.allows.len(), 1);
+    let a = &fl.allows[0];
+    assert_eq!(a.rule, "D-01");
+    assert_eq!(a.line, 2);
+    assert!(a.used);
+    assert!(a.reason.contains("membership-only"));
+}
+
+#[test]
+fn stale_allow_is_a_warning() {
+    let fl = lint_fixture("allow_stale.rs", "crates/lp/src/fixture.rs");
+    assert_findings(&fl, &[("A-02", 1)]);
+    assert_eq!(fl.findings[0].severity, Severity::Warn);
+}
+
+#[test]
+fn malformed_allows_are_errors() {
+    // Unknown rule ID and missing justification are both A-01 errors, and
+    // neither suppresses anything.
+    let fl = lint_fixture("allow_bad.rs", "crates/lp/src/fixture.rs");
+    assert_findings(&fl, &[("A-01", 1), ("A-01", 2)]);
+    assert!(fl.findings.iter().all(|f| f.severity == Severity::Error));
+}
+
+#[test]
+fn fixture_violations_vanish_under_test_paths() {
+    // Everything under a tests/ directory is exempt from the code rules.
+    let fl = lint_fixture("d01.rs", "crates/lp/tests/fixture.rs");
+    assert_findings(&fl, &[]);
+}

@@ -1,0 +1,65 @@
+//! The workspace self-check: the shipped tree must scan clean. This is
+//! the same gate CI runs (`rs-lint --workspace --deny`), wired into
+//! `cargo test` so a violating change fails locally before it ever
+//! reaches a pipeline.
+
+use rs_lint::{scan_workspace, Severity};
+
+fn workspace_root() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+#[test]
+fn workspace_scans_clean_under_deny() {
+    let report = scan_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — walker broke?",
+        report.files_scanned
+    );
+    let errors: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Error)
+        .collect();
+    assert!(errors.is_empty(), "lint errors in the tree: {errors:#?}");
+    let warnings: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warn)
+        .collect();
+    assert!(
+        warnings.is_empty(),
+        "lint warnings in the tree (the CI gate runs --deny): {warnings:#?}"
+    );
+}
+
+#[test]
+fn every_suppression_in_the_tree_is_used_and_justified() {
+    let report = scan_workspace(&workspace_root()).expect("scan succeeds");
+    assert!(
+        !report.allows.is_empty(),
+        "the tree documents its known exceptions via allows"
+    );
+    for a in &report.allows {
+        assert!(a.used, "stale allow at {}:{}", a.file, a.line);
+        assert!(
+            a.reason.split_whitespace().count() >= 3,
+            "threadbare justification at {}:{}: {:?}",
+            a.file,
+            a.line,
+            a.reason
+        );
+    }
+}
+
+#[test]
+fn scan_is_deterministic() {
+    let root = workspace_root();
+    let a = scan_workspace(&root).expect("scan succeeds");
+    let b = scan_workspace(&root).expect("scan succeeds");
+    assert_eq!(a.to_json(), b.to_json());
+}

@@ -55,11 +55,7 @@ pub struct Cut {
 impl Cut {
     /// Amount by which `point` violates the cut (`> 0` = violated).
     pub fn violation(&self, point: &[f64]) -> f64 {
-        let lhs: f64 = self
-            .terms
-            .iter()
-            .map(|&(v, a)| a * point[v.index()])
-            .sum();
+        let lhs: f64 = self.terms.iter().map(|&(v, a)| a * point[v.index()]).sum();
         lhs - self.rhs
     }
 
@@ -321,10 +317,8 @@ pub(crate) fn separate<F: Fn(u64) -> bool>(
             Cmp::Eq => &[1.0, -1.0],
         };
         for &sign in views {
-            let signed: Vec<(VarId, f64)> =
-                terms.iter().map(|&(v, a)| (v, sign * a)).collect();
-            let Some((items, c)) =
-                knapsack_surrogate(&signed, sign * rhs, bounds, integral, point)
+            let signed: Vec<(VarId, f64)> = terms.iter().map(|&(v, a)| (v, sign * a)).collect();
+            let Some((items, c)) = knapsack_surrogate(&signed, sign * rhs, bounds, integral, point)
             else {
                 continue;
             };
@@ -372,11 +366,7 @@ mod tests {
         let x = m.add_var("x", VarKind::Binary, 0.0, 1.0);
         let y = m.add_var("y", VarKind::Binary, 0.0, 1.0);
         let z = m.add_var("z", VarKind::Binary, 0.0, 1.0);
-        m.add_constraint(
-            LinExpr::from(x) * 3.0 + (3.0, y) + (3.0, z),
-            Cmp::Le,
-            5.0,
-        );
+        m.add_constraint(LinExpr::from(x) * 3.0 + (3.0, y) + (3.0, z), Cmp::Le, 5.0);
         let p = [5.0 / 9.0, 5.0 / 9.0, 5.0 / 9.0];
         let cuts = separate_all(&m, &p);
         assert!(!cuts.is_empty(), "must separate a cut");
@@ -412,11 +402,7 @@ mod tests {
         let a = m.add_var("a", VarKind::Binary, 0.0, 1.0);
         let b = m.add_var("b", VarKind::Binary, 0.0, 1.0);
         let t = m.add_var("t", VarKind::Continuous, 0.0, 8.0);
-        m.add_constraint(
-            LinExpr::from(t) + (-4.0, a) + (-4.0, b),
-            Cmp::Le,
-            0.0,
-        );
+        m.add_constraint(LinExpr::from(t) + (-4.0, a) + (-4.0, b), Cmp::Le, 0.0);
         m.set_objective(LinExpr::from(t));
         let p = [0.5, 0.5, 4.0];
         for cut in separate_all(&m, &p) {

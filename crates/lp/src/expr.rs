@@ -48,7 +48,11 @@ impl LinExpr {
         self
     }
 
-    /// Merges duplicate variables and drops zero coefficients.
+    /// Merges duplicate variables and drops (near-)zero coefficients:
+    /// anything within the solver tolerance [`crate::EPS`] of zero is
+    /// numerical noise (e.g. a coefficient that cancelled to `1e-16`
+    /// instead of `0.0`) and would otherwise survive as a phantom term
+    /// that perturbs pivoting and fingerprints.
     pub fn normalize(&mut self) {
         self.terms.sort_by_key(|(v, _)| *v);
         let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
@@ -58,7 +62,7 @@ impl LinExpr {
                 _ => out.push((v, c)),
             }
         }
-        out.retain(|&(_, c)| c != 0.0);
+        out.retain(|&(_, c)| !crate::approx_zero(c));
         self.terms = out;
     }
 
@@ -75,7 +79,7 @@ impl LinExpr {
     /// Whether the expression has no variable terms (after normalization it
     /// is constant).
     pub fn is_constant(&self) -> bool {
-        self.terms.iter().all(|&(_, c)| c == 0.0)
+        self.terms.iter().all(|&(_, c)| crate::approx_zero(c))
     }
 }
 
@@ -206,6 +210,20 @@ mod tests {
     fn scalar_multiplication() {
         let e = (LinExpr::from(v(0)) + 1.0) * 3.0;
         assert_eq!(e.eval(&[2.0]), 9.0);
+    }
+
+    #[test]
+    fn normalize_drops_subtolerance_noise() {
+        // Regression for the tolerance rewrite: coefficients that cancel
+        // to sub-EPS noise (1e-12) must vanish exactly like literal
+        // zeros, while coefficients just above EPS must survive.
+        let mut e = LinExpr::from(v(0)) + (-1.0 + 1e-12, v(0)) + (1e-6, v(1));
+        e.normalize();
+        assert_eq!(e.terms, vec![(v(1), 1e-6)]);
+        let mut z = LinExpr::term(v(2), 1e-12);
+        z.normalize();
+        assert!(z.is_constant());
+        assert!(z.terms.is_empty());
     }
 
     #[test]

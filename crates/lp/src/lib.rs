@@ -36,6 +36,9 @@
 //! assert_eq!(sol.objective.round() as i64, 7); // x=1, y=3
 //! ```
 
+#![forbid(unsafe_code)]
+
+pub mod audit;
 pub mod cancel;
 pub mod cuts;
 pub mod expr;
@@ -47,6 +50,7 @@ pub mod presolve;
 pub mod reference;
 pub mod simplex;
 
+pub use audit::AuditError;
 pub use cancel::{min_deadline, Cancel};
 pub use cuts::Cut;
 pub use expr::LinExpr;
@@ -62,3 +66,19 @@ pub use simplex::{
 
 /// Numeric tolerance used throughout the solver.
 pub const EPS: f64 = 1e-7;
+
+/// Tolerance equality at the solver tolerance [`EPS`]. Raw float `==` on
+/// solver values is a determinism hazard (lint rule D-03): two
+/// arithmetically equivalent pivot orders can disagree in the last ulp,
+/// so every value comparison goes through an explicit tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// Tolerance zero test at the solver tolerance [`EPS`]; the zero-argument
+/// twin of [`approx_eq`].
+#[inline]
+pub fn approx_zero(a: f64) -> bool {
+    a.abs() <= EPS
+}

@@ -212,6 +212,16 @@ pub struct MilpConfig {
     /// infeasible branches without a simplex call
     /// ([`MilpStats::propagation_fathoms`]).
     pub propagation: bool,
+    /// Run the [`crate::audit`] static pass before the search: the
+    /// emitted model, every restored or root-separated cut-pool row, and
+    /// any accepted checkpoint are validated up front, and a violation
+    /// returns [`MilpError::Audit`] instead of executing on incoherent
+    /// data. Defaults to on in debug builds (and CI, which sets it
+    /// explicitly); off in release where inputs come from the audited
+    /// emitters. **Not part of the checkpoint fingerprint** — audit
+    /// never changes search semantics, so debug and release checkpoints
+    /// stay interchangeable.
+    pub audit: bool,
     /// Cooperative cancellation token. Its flag is sampled before every
     /// node and inside the simplex pivot loops; its deadline (if any)
     /// merges with `time_limit`. A tripped token stops the search exactly
@@ -237,6 +247,7 @@ impl Default for MilpConfig {
             pricing: Pricing::DualSteepestEdge,
             cuts: true,
             propagation: true,
+            audit: cfg!(debug_assertions),
             cancel: Cancel::new(),
         }
     }
@@ -265,6 +276,9 @@ pub enum MilpError {
     /// The simplex reported unrecoverable numerical trouble (tiny pivots)
     /// and no incumbent was found.
     Numerical,
+    /// The pre-solve static audit ([`MilpConfig::audit`]) rejected the
+    /// model, cut pool, or resume checkpoint before the search started.
+    Audit(crate::audit::AuditError),
 }
 
 impl std::fmt::Display for MilpError {
@@ -274,6 +288,7 @@ impl std::fmt::Display for MilpError {
             MilpError::Unbounded => write!(f, "MILP unbounded"),
             MilpError::BudgetExhausted => write!(f, "MILP budget exhausted without incumbent"),
             MilpError::Numerical => write!(f, "MILP abandoned on numerical trouble"),
+            MilpError::Audit(e) => write!(f, "MILP rejected by static audit: {e}"),
         }
     }
 }
@@ -362,6 +377,9 @@ pub struct MilpStats {
     /// True when this solve resumed from an accepted [`SearchCheckpoint`]
     /// instead of starting cold.
     pub resumed: bool,
+    /// True when the pre-solve static audit ([`MilpConfig::audit`]) ran
+    /// on this solve's inputs.
+    pub audited: bool,
 }
 
 /// An integer-feasible solution plus solve statistics.
@@ -719,6 +737,81 @@ impl SearchCheckpoint {
                 .iter()
                 .all(|c| c.terms.iter().all(|&(v, _)| (v as usize) < n))
     }
+
+    /// Full payload-coherence audit of an *accepted* (version- and
+    /// fingerprint-matching) checkpoint, run by [`solve_resumable`] when
+    /// [`MilpConfig::audit`] is on. Subsumes [`structurally_valid`] and
+    /// additionally decodes every stored bit pattern: NaN where a real
+    /// bound/score/coefficient belongs, inverted or non-finite node
+    /// domains, and malformed pooled cut rows are all typed errors —
+    /// a checkpoint this corrupt means persisted state was damaged, and
+    /// silently cold-starting would hide it.
+    ///
+    /// [`structurally_valid`]: SearchCheckpoint::structurally_valid
+    fn audit_coherence(&self, n: usize) -> Result<(), crate::audit::AuditError> {
+        use crate::audit::AuditError;
+        let ck = |what: String| Err(AuditError::Checkpoint { what });
+        if !self.structurally_valid(n) {
+            return ck(format!(
+                "shape does not match the model ({n} vars): pseudocost/incumbent/frontier arity"
+            ));
+        }
+        if let Some(inc) = &self.incumbent {
+            if !f64::from_bits(inc.objective).is_finite() {
+                return ck("incumbent objective is not finite".to_string());
+            }
+            if inc.values.iter().any(|&b| !f64::from_bits(b).is_finite()) {
+                return ck("incumbent carries a non-finite value".to_string());
+            }
+        }
+        for (i, nd) in self.frontier.iter().enumerate() {
+            if f64::from_bits(nd.score).is_nan() {
+                return ck(format!("frontier node {i}: score is NaN"));
+            }
+            // Bound overrides are half-open tightenings: ±∞ endpoints are
+            // by design ("unchanged side"), and an empty intersection
+            // prunes the node gracefully — only NaN is incoherent.
+            for &(v, lob, hib) in &nd.bounds {
+                let (lo, hi) = (f64::from_bits(lob), f64::from_bits(hib));
+                if lo.is_nan() || hi.is_nan() {
+                    return ck(format!("frontier node {i}: NaN bound override for x{v}"));
+                }
+            }
+            if let Some(b) = &nd.branch {
+                if !f64::from_bits(b.frac).is_finite() {
+                    return ck(format!("frontier node {i}: branch fraction is not finite"));
+                }
+            }
+        }
+        for (i, c) in self.cuts.iter().enumerate() {
+            if !f64::from_bits(c.rhs).is_finite() {
+                return ck(format!("cut {i}: rhs is not finite"));
+            }
+            let mut prev: Option<u32> = None;
+            for &(v, ab) in &c.terms {
+                if !f64::from_bits(ab).is_finite() {
+                    return ck(format!("cut {i}: coefficient on x{v} is not finite"));
+                }
+                if prev.is_some_and(|p| v <= p) {
+                    return ck(format!("cut {i}: terms not strictly sorted by variable"));
+                }
+                prev = Some(v);
+            }
+        }
+        let pc_sums = self
+            .pc
+            .up_sum
+            .iter()
+            .chain(&self.pc.down_sum)
+            .chain(std::iter::once(&self.pc.glob_sum));
+        if pc_sums.into_iter().any(|&b| !f64::from_bits(b).is_finite()) {
+            return ck("pseudocost store carries a non-finite sum".to_string());
+        }
+        if f64::from_bits(self.abandoned).is_nan() {
+            return ck("abandoned-score watermark is NaN".to_string());
+        }
+        Ok(())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -754,6 +847,14 @@ pub fn solve_resumable(
     cfg: &MilpConfig,
     resume: Option<&SearchCheckpoint>,
 ) -> MilpRun {
+    if cfg.audit {
+        if let Err(e) = crate::audit::check_model(model) {
+            return MilpRun {
+                result: Err(MilpError::Audit(e)),
+                checkpoint: None,
+            };
+        }
+    }
     let fp = fingerprint(model, cfg);
     let reduced;
     let pre = if cfg.presolve {
@@ -772,11 +873,26 @@ pub fn solve_resumable(
     } else {
         model
     };
-    let resume = resume.filter(|ck| {
-        ck.version == CHECKPOINT_VERSION
-            && ck.fingerprint == fp
-            && ck.structurally_valid(pre.num_vars())
-    });
+    // A checkpoint that does not speak the current wire version or does
+    // not fingerprint-match stays a *silent* cold start — collisions are
+    // expected (upper layers key checkpoints by cache keys). One that
+    // claims to match and then turns out incoherent is another matter:
+    // with the audit on it is a typed error, because executing it (or
+    // silently discarding it) would mask corruption of persisted state.
+    let resume = resume.filter(|ck| ck.version == CHECKPOINT_VERSION && ck.fingerprint == fp);
+    let resume = if cfg.audit {
+        if let Some(ck) = resume {
+            if let Err(e) = ck.audit_coherence(pre.num_vars()) {
+                return MilpRun {
+                    result: Err(MilpError::Audit(e)),
+                    checkpoint: None,
+                };
+            }
+        }
+        resume
+    } else {
+        resume.filter(|ck| ck.structurally_valid(pre.num_vars()))
+    };
     solve_presolved(pre, cfg, fp, resume)
 }
 
@@ -1208,6 +1324,7 @@ fn solve_presolved(
     fp: u64,
     resume: Option<&SearchCheckpoint>,
 ) -> MilpRun {
+    // lint:allow(D-02) anchors the merged deadline; sampled only at round boundaries, never fed to the digest
     let start = Instant::now();
     let threads = cfg.threads.max(1);
     let n = model.num_vars();
@@ -1226,6 +1343,18 @@ fn solve_presolved(
         Some(ck) => SearchState::restore(ck, ctx.dir),
         None => SearchState::fresh(n),
     };
+
+    // Restored cut rows are validated against the base model before any
+    // node re-solves against them: a checkpointed cut that excludes an
+    // integer-feasible point would corrupt the whole resumed search.
+    if cfg.audit && !st.pool.cuts().is_empty() {
+        if let Err(e) = crate::audit::check_cuts(model, st.pool.cuts()) {
+            return MilpRun {
+                result: Err(MilpError::Audit(e)),
+                checkpoint: None,
+            };
+        }
+    }
 
     // The *search model*: the (presolved) base model plus every committed
     // cut row, in pool insertion order. A resumed run rebuilds it from the
@@ -1252,6 +1381,18 @@ fn solve_presolved(
                 st.pool = res.pool;
                 st.root_cuts_done = true;
                 search_model = res.model;
+                // The 512-case GMI proptest's oracle, run for real: no
+                // root-separated cut may exclude an integer point of the
+                // base model (exhaustively when the box is small, cheap
+                // row invariants always).
+                if cfg.audit {
+                    if let Err(e) = crate::audit::check_cuts(model, st.pool.cuts()) {
+                        return MilpRun {
+                            result: Err(MilpError::Audit(e)),
+                            checkpoint: None,
+                        };
+                    }
+                }
             }
             // LP infeasibility with (globally valid) cuts appended still
             // proves MILP infeasibility: every integer-feasible point
@@ -1301,6 +1442,7 @@ fn solve_presolved(
         // and the node budget. Interruptions happen *only* here and
         // between-round state is all-committed, which is what entitles
         // the checkpoint to claim exact resumability.
+        // lint:allow(D-02) round-boundary deadline poll: interruptions discard the round whole, committed state never sees the clock
         if cfg.cancel.cancelled() || ctx.deadline.is_some_and(|dl| Instant::now() >= dl) {
             interrupted = true;
             break;
@@ -1320,7 +1462,7 @@ fn solve_presolved(
         // Dive scheduling is a function of the committed node index, not
         // of any worker-local counter: deterministic at every thread
         // count. The period relaxes 4x once an incumbent exists.
-        let no_incumbent = st.incumbent.score() == f64::NEG_INFINITY;
+        let no_incumbent = st.incumbent.peek().is_none();
         let period_mask = if no_incumbent {
             DIVE_PERIOD - 1
         } else {
@@ -1440,6 +1582,7 @@ fn solve_presolved(
         dual_bound: ctx.dir * score_bound,
         trace_digest: st.digest.state(),
         resumed: st.resumed,
+        audited: cfg.audit,
     };
     let numerical = st.numerical;
     let result = match st.incumbent.into_best() {
@@ -1525,6 +1668,7 @@ fn root_cut_loop(ctx: &Ctx<'_>, base: &Model) -> RootCuts {
     let pre = ctx.dir * sol.objective;
     let mut post = pre;
     for _ in 0..ROOT_CUT_ROUNDS {
+        // lint:allow(D-02) cut-round deadline poll: an interrupted loop is discarded whole and re-run on resume
         if ctx.cfg.cancel.cancelled() || ctx.deadline.is_some_and(|dl| Instant::now() >= dl) {
             return RootCuts::Interrupted;
         }
@@ -1556,14 +1700,12 @@ fn root_cut_loop(ctx: &Ctx<'_>, base: &Model) -> RootCuts {
         // `model` at global bounds, so the cuts are globally valid.
         if let Some(dt) = &root_tab {
             if cuts.len() < ROOT_CUTS_PER_ROUND {
-                for (terms, rhs) in
-                    dt.gomory_cuts(
-                        &model,
-                        &ctx.integral,
-                        ROOT_CUTS_PER_ROUND - cuts.len(),
-                        GOMORY_MAX_TERMS,
-                    )
-                {
+                for (terms, rhs) in dt.gomory_cuts(
+                    &model,
+                    &ctx.integral,
+                    ROOT_CUTS_PER_ROUND - cuts.len(),
+                    GOMORY_MAX_TERMS,
+                ) {
                     let cut = Cut { terms, rhs };
                     if cut.violation(&sol.values) >= CUT_MIN_VIOLATION
                         && !pool.contains(cut.key())
@@ -1652,7 +1794,18 @@ fn process_batch(
         return batch
             .iter()
             .enumerate()
-            .map(|(i, node)| run_one(ctx, inc_score, pc, pool, node, dive_flags[i], sep_flags[i], work))
+            .map(|(i, node)| {
+                run_one(
+                    ctx,
+                    inc_score,
+                    pc,
+                    pool,
+                    node,
+                    dive_flags[i],
+                    sep_flags[i],
+                    work,
+                )
+            })
             .collect();
     }
     let next = AtomicUsize::new(0);
@@ -2047,11 +2200,8 @@ fn cold_dive_tableau(
     model: &Model,
     dive: bool,
 ) -> (LpOutcome, Option<DiveTableau>) {
-    let (outcome, dt, lp_stats) = DiveTableau::new_with_pricing(
-        model,
-        Some(&run.ctx.cfg.cancel),
-        run.ctx.cfg.pricing,
-    );
+    let (outcome, dt, lp_stats) =
+        DiveTableau::new_with_pricing(model, Some(&run.ctx.cfg.cancel), run.ctx.cfg.pricing);
     run.charge_lp(&lp_stats, dive);
     (outcome, dt)
 }
@@ -2125,6 +2275,7 @@ fn dive_from(run: &mut NodeRun<'_, '_>, work: &Model, mut dt: DiveTableau, mut s
                 return;
             }
             if let Some(dl) = ctx.deadline {
+                // lint:allow(D-02) dive deadline poll: an interrupted dive sets the flag and abandons the dive, committing nothing
                 if Instant::now() > dl {
                     run.interrupted = true;
                     return;

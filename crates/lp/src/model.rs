@@ -207,7 +207,9 @@ impl Model {
     /// what the cut separator and external inspectors walk.
     pub fn constraint(&self, i: usize) -> (&[(VarId, f64)], Cmp, f64) {
         let c = &self.constraints[i];
-        debug_assert_eq!(c.expr.constant, 0.0, "row constants fold into rhs");
+        // Walkers (cut separator, auditor) rely on the triple being the
+        // whole row, so the fold invariant is enforced in release too.
+        assert_eq!(c.expr.constant, 0.0, "row constants fold into rhs");
         (&c.expr.terms, c.cmp, c.rhs)
     }
 

@@ -1,0 +1,168 @@
+//! Integration tests for the pre-solve static auditor
+//! ([`rs_lp::audit`]): typed rejection of incoherent inputs through the
+//! public solve API, and proof that auditing never perturbs the search
+//! itself (identical nodes, digest, and optimum with the audit on/off).
+
+use rs_lp::{
+    solve, solve_resumable, AuditError, Cmp, LinExpr, MilpConfig, MilpError, Model,
+    SearchCheckpoint, Sense, VarKind,
+};
+
+/// A 10-var integer program fractional enough to branch for a while —
+/// interruptible at small node limits, so it yields checkpoints.
+fn wide_model() -> Model {
+    let mut m = Model::new(Sense::Maximize);
+    let vars: Vec<_> = (0..10)
+        .map(|i| m.add_var(format!("x{i}"), VarKind::Integer, 0.0, 6.0))
+        .collect();
+    for k in 0..6 {
+        let mut e = LinExpr::new();
+        for (i, &v) in vars.iter().enumerate() {
+            e = e + (((i * 7 + k * 11) % 5 + 1) as f64, v);
+        }
+        m.add_constraint(e, Cmp::Le, (35 + 3 * k) as f64);
+    }
+    let mut obj = LinExpr::new();
+    for (i, &v) in vars.iter().enumerate() {
+        obj = obj + (((i * 13) % 7 + 1) as f64, v);
+    }
+    m.set_objective(obj);
+    m
+}
+
+fn audited(on: bool) -> MilpConfig {
+    MilpConfig {
+        audit: on,
+        ..MilpConfig::default()
+    }
+}
+
+#[test]
+fn nan_coefficient_model_is_rejected_with_typed_error() {
+    let mut m = wide_model();
+    m.add_constraint(LinExpr::new() + (f64::NAN, rs_lp::VarId(0)), Cmp::Le, 1.0);
+    match solve(&m, &audited(true)) {
+        Err(MilpError::Audit(AuditError::Row { row, .. })) => assert_eq!(row, 6),
+        other => panic!("expected a typed Row audit error, got {other:?}"),
+    }
+}
+
+#[test]
+fn non_finite_rhs_is_rejected_before_any_search() {
+    let mut m = wide_model();
+    m.add_constraint(LinExpr::new() + rs_lp::VarId(1), Cmp::Ge, f64::NEG_INFINITY);
+    assert!(matches!(
+        solve(&m, &audited(true)),
+        Err(MilpError::Audit(AuditError::Row { .. }))
+    ));
+}
+
+#[test]
+fn corrupted_checkpoint_is_a_typed_error_not_a_silent_cold_start() {
+    // Interrupt a real solve to get a genuine (version- and
+    // fingerprint-matching) checkpoint...
+    let m = wide_model();
+    let cfg = MilpConfig {
+        node_limit: 1,
+        ..audited(true)
+    };
+    let ck = solve_resumable(&m, &cfg, None)
+        .checkpoint
+        .expect("node_limit 1 must interrupt the wide model");
+
+    // ...then corrupt one stored bit pattern (the pseudocost global sum
+    // becomes NaN) through the JSON wire format, the way persisted state
+    // actually gets damaged. The corruption leaves version, fingerprint,
+    // and shape intact — exactly the case a structural filter waves
+    // through and a silent cold start would mask.
+    let json = ck.to_json();
+    let at = json.find("\"glob_sum\":").expect("wire field present");
+    let start = at + "\"glob_sum\":".len();
+    let end = start + json[start..].find([',', '}']).expect("number is delimited");
+    let tampered = format!("{}{}{}", &json[..start], f64::NAN.to_bits(), &json[end..]);
+    let bad = SearchCheckpoint::from_json(&tampered).expect("shape still parses");
+    assert!(
+        bad.matches(&m, &audited(true)),
+        "corruption must not change the fingerprint"
+    );
+
+    match solve_resumable(&m, &audited(true), Some(&bad)).result {
+        Err(MilpError::Audit(AuditError::Checkpoint { what })) => {
+            assert!(what.contains("pseudocost"), "unexpected detail: {what}")
+        }
+        other => panic!("expected a typed Checkpoint audit error, got {other:?}"),
+    }
+}
+
+#[test]
+fn fingerprint_mismatch_stays_a_silent_cold_start_even_with_audit_on() {
+    // The audit tightens the *accepted*-checkpoint path only: a foreign
+    // checkpoint (fingerprint mismatch) keeps the documented
+    // robustness-over-strictness contract and cold-starts silently.
+    let mut other = wide_model();
+    other.add_constraint(LinExpr::new() + rs_lp::VarId(0), Cmp::Le, 3.0);
+    let ck = solve_resumable(
+        &other,
+        &MilpConfig {
+            node_limit: 1,
+            ..audited(true)
+        },
+        None,
+    )
+    .checkpoint
+    .expect("interrupt");
+    let m = wide_model();
+    let s = solve_resumable(&m, &audited(true), Some(&ck))
+        .result
+        .expect("cold start solves");
+    assert!(!s.stats.resumed);
+    assert!(s.stats.proven_optimal);
+}
+
+#[test]
+fn audit_never_perturbs_the_search() {
+    // nodes_invariant: the audited and unaudited solves must explore the
+    // identical tree — same committed nodes, same trace digest, same
+    // optimum — the audit is a pure pre-execution gate.
+    let m = wide_model();
+    let on = solve(&m, &audited(true)).expect("solvable");
+    let off = solve(&m, &audited(false)).expect("solvable");
+    assert!(on.stats.audited);
+    assert!(!off.stats.audited);
+    assert_eq!(on.stats.nodes, off.stats.nodes);
+    assert_eq!(on.stats.trace_digest, off.stats.trace_digest);
+    assert_eq!(on.objective, off.objective);
+    assert_eq!(on.values, off.values);
+}
+
+#[test]
+fn audited_resume_chain_still_matches_uninterrupted_run() {
+    // The checkpoint audit must accept every checkpoint the solver
+    // itself produces: chain interrupted solves to completion under
+    // audit and compare against the one-shot run.
+    let m = wide_model();
+    let uninterrupted = solve(&m, &audited(true)).expect("solvable");
+    let mut resume: Option<SearchCheckpoint> = None;
+    let mut final_sol = None;
+    for _ in 0..50 {
+        let run = solve_resumable(
+            &m,
+            &MilpConfig {
+                node_limit: resume.as_ref().map_or(2, |ck| ck.nodes() + 2),
+                ..audited(true)
+            },
+            resume.as_ref(),
+        );
+        match run.checkpoint {
+            Some(ck) => resume = Some(ck),
+            None => {
+                final_sol = Some(run.result.expect("chain completes"));
+                break;
+            }
+        }
+    }
+    let chained = final_sol.expect("resume chain must finish within 50 legs");
+    assert_eq!(chained.stats.trace_digest, uninterrupted.stats.trace_digest);
+    assert_eq!(chained.stats.nodes, uninterrupted.stats.nodes);
+    assert_eq!(chained.objective, uninterrupted.objective);
+}

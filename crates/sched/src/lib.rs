@@ -13,6 +13,8 @@
 //! - the *ILP loss* of reduction is measured as makespan growth under real
 //!   resource constraints, not just critical-path growth.
 
+#![forbid(unsafe_code)]
+
 pub mod allocator;
 pub mod list;
 pub mod resources;

@@ -49,7 +49,7 @@ impl MemoCache {
 
     /// Looks up a result, counting a hit or a miss.
     pub fn lookup(&self, key: &str) -> Option<RsResult> {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = crate::lock_recover(&self.inner);
         match inner.map.get(key) {
             Some(result) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -66,7 +66,7 @@ impl MemoCache {
     /// inserts under the same key are idempotent (results are
     /// deterministic).
     pub fn insert(&self, key: String, result: &RsResult) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = crate::lock_recover(&self.inner);
         if inner.map.contains_key(&key) {
             return;
         }
@@ -92,7 +92,7 @@ impl MemoCache {
 
     /// Entries currently cached.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").map.len()
+        crate::lock_recover(&self.inner).map.len()
     }
 
     /// Whether the cache is empty.

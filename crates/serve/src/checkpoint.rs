@@ -74,7 +74,7 @@ impl CheckpointStore {
         if slots.is_empty() {
             return;
         }
-        let mut inner = self.inner.lock().expect("checkpoint lock");
+        let mut inner = crate::lock_recover(&self.inner);
         if inner.map.insert(key.clone(), slots).is_none() {
             while inner.map.len() > inner.capacity {
                 match inner.order.pop_front() {
@@ -93,7 +93,7 @@ impl CheckpointStore {
     /// request when present. One-shot: a second retry after this take
     /// starts cold unless the resumed solve re-deposits.
     pub fn take(&self, key: &str) -> Option<Vec<CheckpointSlot>> {
-        let mut inner = self.inner.lock().expect("checkpoint lock");
+        let mut inner = crate::lock_recover(&self.inner);
         let slots = inner.map.remove(key)?;
         inner.order.retain(|k| k != key);
         self.resumed.fetch_add(1, Ordering::Relaxed);
@@ -113,16 +113,12 @@ impl CheckpointStore {
     /// Batch clients use this to tell a *resumed* retry (the next attempt
     /// continues a saved frontier) from a cold one.
     pub fn contains(&self, key: &str) -> bool {
-        self.inner
-            .lock()
-            .expect("checkpoint lock")
-            .map
-            .contains_key(key)
+        crate::lock_recover(&self.inner).map.contains_key(key)
     }
 
     /// Entries currently retained.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("checkpoint lock").map.len()
+        crate::lock_recover(&self.inner).map.len()
     }
 
     /// Whether the store is empty.

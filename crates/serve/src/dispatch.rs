@@ -53,20 +53,20 @@ impl WatchSlot {
     /// are watchable; others pass `None` and are skipped).
     pub fn begin(&self, cancel: &Cancel, deadline: Option<Instant>) {
         if let Some(dl) = deadline {
-            let mut st = self.inner.lock().expect("watch lock");
+            let mut st = crate::lock_recover(&self.inner);
             st.inflight = Some((cancel.clone(), dl));
         }
     }
 
     /// Ends the in-flight window (the forced flag stays latched).
     pub fn clear(&self) {
-        self.inner.lock().expect("watch lock").inflight = None;
+        crate::lock_recover(&self.inner).inflight = None;
     }
 
     /// Watchdog sweep: force-cancels an entry stuck past `deadline +
     /// grace`. Returns `true` when this sweep fired the cancel.
     pub fn check(&self, now: Instant, grace: Duration) -> bool {
-        let mut st = self.inner.lock().expect("watch lock");
+        let mut st = crate::lock_recover(&self.inner);
         match &st.inflight {
             Some((cancel, dl)) if now > *dl + grace => {
                 cancel.cancel();
@@ -80,7 +80,7 @@ impl WatchSlot {
 
     /// Consumes the forced-cancel latch (worker side, after a request).
     pub fn take_forced(&self) -> bool {
-        let mut st = self.inner.lock().expect("watch lock");
+        let mut st = crate::lock_recover(&self.inner);
         std::mem::take(&mut st.forced)
     }
 }
@@ -366,7 +366,19 @@ pub fn process_line_at(
             }
         },
     };
-    let json = serde_json::to_string(&response).expect("responses always serialize");
+    // Derive-generated serialization of an owned response cannot fail; if
+    // it ever does, degrade to a hand-built error line — the request loop
+    // must answer something rather than panic (lint rule S-01).
+    let json = serde_json::to_string(&response).unwrap_or_else(|e| {
+        let msg = format!("response serialization failed: {e}");
+        let quoted =
+            serde_json::to_string(&msg).unwrap_or_else(|_| "\"serialization failed\"".into());
+        format!(
+            "{{\"v\":{},\"ok\":false,\"error\":{{\"code\":\"{}\",\"message\":{quoted}}}}}",
+            rs_core::request::PROTOCOL_VERSION,
+            rs_core::request::codes::PANIC,
+        )
+    });
     (response, json)
 }
 
@@ -513,6 +525,9 @@ fn analyze_type(
     if req.ilp {
         let mut solver = RsIlp::with_threads(threads);
         solver.milp.cancel = cancel.clone();
+        if let Some(audit) = req.audit {
+            solver.milp.audit = audit;
+        }
         // The per-request checkpoint slot for this solver is the register
         // type name: each interrupted intLP resumes its own frontier.
         let slot = reg_type_name(t);
@@ -561,6 +576,7 @@ fn analyze_type(
                         rows: st.rows,
                         cols: st.cols,
                         trace_digest: st.trace_digest,
+                        audited: st.audited,
                     });
                 }
             }
@@ -572,6 +588,15 @@ fn analyze_type(
                 tr.ilp_error = Some(RsError::new(
                     codes::TIMEOUT,
                     "intLP interrupted before any incumbent was found",
+                ));
+            }
+            // Audit rejections are a property of the submitted model or
+            // resume state, not an engine fault: type them `request` so
+            // clients see *their* input (or retained checkpoint) was bad.
+            Err(MilpError::Audit(a)) => {
+                tr.ilp_error = Some(RsError::new(
+                    codes::REQUEST,
+                    format!("rejected by pre-solve audit: {a}"),
                 ));
             }
             Err(e) => tr.ilp_error = Some(RsError::new(codes::ENGINE, e.to_string())),

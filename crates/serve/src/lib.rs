@@ -25,6 +25,8 @@
 //! can schedule and allocate, which is why execution cannot live in
 //! `rs-core` (the scheduler depends on it).
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod checkpoint;
 pub mod dispatch;
@@ -38,3 +40,16 @@ pub use dispatch::{process_line, process_line_at, Dispatcher, WatchSlot};
 pub use fault::{FaultAction, FaultPlan};
 pub use pool::{Job, PoolHandle, ResponseSink, ServeConfig, ServePool, ServeStats};
 pub use server::{serve_io, InOrderSink, UnixServer};
+
+/// Locks a mutex, recovering from poisoning instead of panicking.
+///
+/// A worker that panics while holding one of the service's locks has
+/// already been isolated and answered `ok:false` by the dispatcher's
+/// panic boundary; propagating the poison would turn that one contained
+/// failure into a process-wide outage on the next lock. Every structure
+/// guarded this way (memo cache, checkpoint store, connection list,
+/// in-order sink, bounded queue) is consistent after any partial update,
+/// so continuing with the recovered state is sound.
+pub(crate) fn lock_recover<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}

@@ -45,7 +45,7 @@ impl<T> Bounded<T> {
     /// Blocks until there is room, then enqueues. Returns `false` (item
     /// dropped) if the queue was closed.
     pub fn push(&self, item: T) -> bool {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = crate::lock_recover(&self.state);
         loop {
             if state.closed {
                 return false;
@@ -55,13 +55,13 @@ impl<T> Bounded<T> {
                 self.not_empty.notify_one();
                 return true;
             }
-            state = self.not_full.wait(state).expect("queue lock");
+            state = self.not_full.wait(state).unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Blocks until an item is available; `None` once closed and drained.
     pub fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = crate::lock_recover(&self.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 self.not_full.notify_one();
@@ -70,13 +70,16 @@ impl<T> Bounded<T> {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("queue lock");
+            state = self
+                .not_empty
+                .wait(state)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 
     /// Closes the queue: producers fail fast, consumers drain then stop.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = crate::lock_recover(&self.state);
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -255,6 +258,7 @@ impl ServePool {
                 std::thread::Builder::new()
                     .name(format!("rsat-worker-{i}"))
                     .spawn(move || worker_loop(&shared, i, faults))
+                    // lint:allow(S-01) pool construction is startup, not a request path; failing to spawn means the service never comes up
                     .expect("spawn worker")
             })
             .collect();
@@ -264,6 +268,7 @@ impl ServePool {
             std::thread::Builder::new()
                 .name("rsat-watchdog".into())
                 .spawn(move || watchdog_loop(&shared, grace))
+                // lint:allow(S-01) pool construction is startup, not a request path; failing to spawn means the service never comes up
                 .expect("spawn watchdog")
         };
         ServePool {

@@ -1,7 +1,7 @@
 //! `rsat` — register-saturation command-line tool.
 //!
 //! ```text
-//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N] [--timeout-ms N]
+//! rsat analyze  <file.ddg> [--type float|int|branch] [--exact] [--ilp] [--stats] [--threads N] [--timeout-ms N] [--audit]
 //! rsat reduce   <file.ddg> --registers N [--type T] [--spill] [--output out.ddg] [--timeout-ms N]
 //! rsat pipeline <file.ddg> --registers N [--issue 1|4|8] [--timeout-ms N]
 //! rsat corpus   <dir> [--jobs N] [--mode analyze|reduce|pipeline] [--registers N] [--ilp] [--out dir]
@@ -9,6 +9,7 @@
 //! rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH] [--grace-ms N]
 //!               [--faults SPEC]
 //! rsat dot      <file.ddg>
+//! rsat lint     [--root DIR] [--out FILE] [--deny] [--list-rules] [--quiet]
 //! ```
 //!
 //! Every subcommand except `dot` speaks the shared request/response schema
@@ -46,8 +47,22 @@
 //! `ok:false` and the daemon keeps serving. Run statistics go to stderr at
 //! shutdown (EOF).
 //!
+//! `--audit` forces the solver's pre-solve static audit on (it defaults to
+//! on in debug builds only): models, cut pools, and resume checkpoints are
+//! statically checked before any search, and incoherent ones are rejected
+//! with a typed `request` error instead of corrupting a solve. `--stats`
+//! reports whether a solve was audited.
+//!
+//! `lint` runs the workspace static-analysis pass (`rs-lint`) over the
+//! repository: determinism and soundness rules (no hash-ordered iteration
+//! in search code, no wall-clock near committed state, no raw float
+//! equality on solver values, no panics on serve request paths, …) with
+//! findings written to `results/lint.json`.
+//!
 //! The input format is documented in `rs_core::parse`. Examples live in
 //! `examples/data/*.ddg`.
+
+#![forbid(unsafe_code)]
 
 use rs_core::parse::parse_ddg;
 use rs_core::request::{codes, RsError, RsOp, RsRequest, RsResult};
@@ -77,6 +92,9 @@ fn main() -> ExitCode {
                 "  rsat serve    [--workers N] [--queue N] [--cache-capacity N] [--socket PATH] [--grace-ms N] [--faults SPEC]"
             );
             eprintln!("  rsat dot      <file.ddg>");
+            eprintln!(
+                "  rsat lint     [--root DIR] [--out FILE] [--deny] [--list-rules] [--quiet]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -91,6 +109,7 @@ fn run(args: &[String]) -> Result<(), RsError> {
         "corpus" => corpus(args),
         "serve" => serve(args),
         "dot" => dot(args),
+        "lint" => lint(args),
         other => Err(RsError::usage(format!("unknown command `{other}`"))),
     }
 }
@@ -172,6 +191,9 @@ fn build_request(cmd: &str, ddg: String, args: &[String]) -> Result<RsRequest, R
     req.spill = args.iter().any(|a| a == "--spill");
     req.emit_ddg = op == RsOp::Reduce && flag_value(args, "--output").is_some();
     req.timeout_ms = parse_timeout_ms(args)?;
+    if args.iter().any(|a| a == "--audit") {
+        req.audit = Some(true);
+    }
     Ok(req)
 }
 
@@ -230,6 +252,9 @@ fn render_analyze(req: &RsRequest, result: &RsResult) {
                 st.cols,
                 st.trace_digest
             );
+            if st.audited {
+                println!("  intLP audit: model, cut pool, and resume state statically checked");
+            }
         }
         println!("  saturating values: {}", tr.saturating.join(", "));
     }
@@ -504,6 +529,66 @@ fn dot(args: &[String]) -> Result<(), RsError> {
         .map_err(|e| RsError::new(codes::IO, format!("cannot read {file}: {e}")))?;
     let ddg = parse_ddg(&input).map_err(|e| RsError::new(codes::PARSE, format!("{file}: {e}")))?;
     println!("{}", ddg.to_dot("ddg", &[]));
+    Ok(())
+}
+
+/// `rsat lint`: the embedded `rs-lint` workspace pass. Equivalent to
+/// `cargo run -p rs-lint -- --workspace`, so the gate ships inside the
+/// installed CLI. Findings (errors, or warnings under `--deny`) fail the
+/// command after the report is printed and written.
+fn lint(args: &[String]) -> Result<(), RsError> {
+    if args.iter().any(|a| a == "--list-rules") {
+        println!("{:<6} {:<6} rule", "id", "level");
+        for r in rs_lint::RULES {
+            println!(
+                "{:<6} {:<6} {}  [{}]",
+                r.id,
+                r.severity.as_str(),
+                r.title,
+                r.scope
+            );
+        }
+        return Ok(());
+    }
+    let root = flag_value(args, "--root").unwrap_or_else(|| ".".to_string());
+    let report = rs_lint::scan_workspace(std::path::Path::new(&root))
+        .map_err(|e| RsError::new(codes::IO, format!("cannot scan {root}: {e}")))?;
+    let quiet = args.iter().any(|a| a == "--quiet");
+    if !quiet {
+        for f in &report.findings {
+            println!(
+                "{}:{}: {}[{}] {}",
+                f.file,
+                f.line,
+                f.severity.as_str(),
+                f.rule,
+                f.message
+            );
+            println!("    | {}", f.snippet);
+        }
+    }
+    let out = flag_value(args, "--out").unwrap_or_else(|| "results/lint.json".to_string());
+    let out_path = std::path::Path::new(&out);
+    if let Some(parent) = out_path.parent() {
+        if !parent.as_os_str().is_empty() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+    }
+    std::fs::write(out_path, report.to_json())
+        .map_err(|e| RsError::new(codes::IO, format!("cannot write {out}: {e}")))?;
+    let (errors, warnings) = (report.errors(), report.warnings());
+    eprintln!(
+        "rsat lint: {} files scanned, {errors} errors, {warnings} warnings, {} allows ({out})",
+        report.files_scanned,
+        report.allows.len(),
+    );
+    let deny = args.iter().any(|a| a == "--deny");
+    if errors > 0 || (deny && warnings > 0) {
+        return Err(RsError::new(
+            codes::ENGINE,
+            format!("lint failed: {errors} errors, {warnings} warnings (see {out})"),
+        ));
+    }
     Ok(())
 }
 

@@ -48,6 +48,8 @@
 //! assert_eq!(rs.saturation, 2); // the two loads can be alive together
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use rs_core as core;
 pub use rs_graph as graph;
 pub use rs_kernels as kernels;

@@ -153,10 +153,7 @@ fn bench_grid_trees_are_thread_invariant_with_cuts_and_dse() {
             );
             match &baseline {
                 None => baseline = Some(tuple),
-                Some(b) => assert_eq!(
-                    *b, tuple,
-                    "size {size}: threads {threads} changed the tree"
-                ),
+                Some(b) => assert_eq!(*b, tuple, "size {size}: threads {threads} changed the tree"),
             }
         }
     }

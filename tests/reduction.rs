@@ -118,6 +118,9 @@ fn exact_reduction_matches_or_beats_heuristic_ilp_loss() {
                 );
             }
             Err(ReduceIlpError::Budget) => {}
+            Err(ReduceIlpError::Rejected(e)) => {
+                panic!("seed {seed}: audit rejected a generated model: {e}")
+            }
         }
     }
     assert!(compared >= 2, "only {compared} feasible comparisons ran");
